@@ -1,0 +1,65 @@
+// Ablation of the *reconstruction* decisions documented in DESIGN.md §3.0
+// (not part of the paper): potential-based reward shaping, plausibility
+// beam guidance, the milestone ranking bonus, and validation-driven score
+// mode selection. Run on the Beauty preset, all users.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace cadrl {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  data::Dataset dataset = MakeDatasetByName("Beauty");
+
+  struct Variant {
+    std::string name;
+    std::function<void(core::CadrlOptions*)> apply;
+  };
+  const std::vector<Variant> variants = {
+      {"CADRL (all design decisions)", [](core::CadrlOptions*) {}},
+      {"- potential shaping",
+       [](core::CadrlOptions* o) { o->potential_shaping = 0.0f; }},
+      {"- beam guidance",
+       [](core::CadrlOptions* o) { o->beam_guidance_weight = 0.0f; }},
+      {"- milestone ranking bonus",
+       [](core::CadrlOptions* o) { o->rank_category_weight = 0.0f; }},
+      {"- path-probability prior",
+       [](core::CadrlOptions* o) { o->rank_path_weight = 0.0f; }},
+      {"- entropy regularization",
+       [](core::CadrlOptions* o) { o->entropy_coef = 0.0f; }},
+  };
+
+  TablePrinter table(
+      "Design-decision ablation on Beauty (reconstruction choices, "
+      "DESIGN.md 3.0; all %)");
+  table.SetHeader({"Variant", "NDCG", "Recall", "HR", "Prec."});
+  for (const Variant& v : variants) {
+    auto base = baselines::MakeCadrlForDataset(config.budget, "Beauty");
+    core::CadrlOptions options = base->options();
+    v.apply(&options);
+    core::CadrlRecommender model(options, "CADRL");
+    if (!model.Fit(dataset).ok()) {
+      table.AddRow({v.name, "-", "-", "-", "-"});
+      continue;
+    }
+    const eval::EvalResult r =
+        eval::EvaluateRecommender(&model, dataset, 10, config.eval_users);
+    table.AddRow({v.name, Pct(r.ndcg), Pct(r.recall), Pct(r.hit_rate),
+                  Pct(r.precision)});
+    std::cerr << v.name << ": " << Pct(r.ndcg) << std::endl;
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cadrl
+
+int main() {
+  cadrl::bench::Run();
+  return 0;
+}

@@ -1,0 +1,136 @@
+#ifndef CADRL_BENCH_BENCH_COMMON_H_
+#define CADRL_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/cafe.h"
+#include "baselines/cke.h"
+#include "baselines/deepconn.h"
+#include "baselines/heteroembed.h"
+#include "baselines/kgat.h"
+#include "baselines/ripplenet.h"
+#include "baselines/rl_baselines.h"
+#include "baselines/rulerec.h"
+#include "core/cadrl.h"
+#include "data/generator.h"
+#include "eval/evaluator.h"
+#include "util/table.h"
+
+namespace cadrl {
+namespace bench {
+
+// One training/evaluation budget shared by every bench binary so tables are
+// comparable. CADRL_BENCH_FAST=1 in the environment shrinks everything for
+// smoke runs.
+struct BenchConfig {
+  baselines::RlBudget budget;
+  embed::TransEOptions transe;
+  int eval_users = 0;  // 0 = every user
+
+  static BenchConfig FromEnv() {
+    BenchConfig c;
+    c.budget.dim = 24;
+    c.budget.transe_epochs = 8;
+    c.budget.cggnn_epochs = 20;
+    c.budget.episodes_per_user = 6;
+    c.budget.beam_width = 16;
+    c.budget.policy_hidden = 48;
+    c.transe.dim = 24;
+    c.transe.epochs = 8;
+    const char* fast = std::getenv("CADRL_BENCH_FAST");
+    if (fast != nullptr && std::string(fast) == "1") {
+      c.budget.transe_epochs = 3;
+      c.budget.cggnn_epochs = 2;
+      c.budget.episodes_per_user = 1;
+      c.budget.beam_width = 8;
+      c.transe.epochs = 3;
+      c.eval_users = 20;
+    }
+    return c;
+  }
+};
+
+inline data::Dataset MakeDatasetByName(const std::string& name) {
+  if (name == "Clothing") {
+    return data::MustGenerateDataset(data::SyntheticConfig::ClothingSim());
+  }
+  if (name == "Cell_Phones") {
+    return data::MustGenerateDataset(data::SyntheticConfig::CellPhonesSim());
+  }
+  return data::MustGenerateDataset(data::SyntheticConfig::BeautySim());
+}
+
+inline const std::vector<std::string>& DatasetNames() {
+  static const std::vector<std::string> kNames = {"Clothing", "Cell_Phones",
+                                                  "Beauty"};
+  return kNames;
+}
+
+// A lazily constructed model entry of the Table I zoo.
+struct ModelEntry {
+  std::string name;
+  std::function<std::unique_ptr<eval::Recommender>()> make;
+};
+
+// The 14 models of Table I in the paper's row order, configured for
+// `dataset_name` where the paper uses per-dataset hyper-parameters.
+inline std::vector<ModelEntry> Table1Models(const BenchConfig& config,
+                                            const std::string& dataset_name) {
+  using namespace baselines;  // NOLINT(build/namespaces): bench-local
+  const RlBudget budget = config.budget;
+  const embed::TransEOptions transe = config.transe;
+  std::vector<ModelEntry> zoo;
+  zoo.push_back({"CKE", [transe] {
+                   CkeOptions o;
+                   o.transe = transe;
+                   return std::make_unique<CkeRecommender>(o);
+                 }});
+  zoo.push_back({"KGAT", [transe] {
+                   KgatOptions o;
+                   o.transe = transe;
+                   return std::make_unique<KgatRecommender>(o);
+                 }});
+  zoo.push_back({"DeepCoNN", [] {
+                   return std::make_unique<DeepConnRecommender>();
+                 }});
+  zoo.push_back({"RippleNet", [transe] {
+                   RippleNetOptions o;
+                   o.transe = transe;
+                   return std::make_unique<RippleNetRecommender>(o);
+                 }});
+  zoo.push_back({"RuleRec", [] {
+                   return std::make_unique<RuleRecRecommender>();
+                 }});
+  zoo.push_back({"HeteroEmbed", [transe] {
+                   HeteroEmbedOptions o;
+                   o.transe = transe;
+                   return std::make_unique<HeteroEmbedRecommender>(o);
+                 }});
+  zoo.push_back({"PGPR", [budget] { return MakePgpr(budget); }});
+  zoo.push_back({"ReMR", [budget] { return MakeRemr(budget); }});
+  zoo.push_back({"ADAC", [budget] { return MakeAdac(budget); }});
+  zoo.push_back({"INFER", [budget] { return MakeInfer(budget); }});
+  zoo.push_back({"CogER", [budget] { return MakeCoger(budget); }});
+  zoo.push_back({"CAFE", [transe] {
+                   CafeOptions o;
+                   o.transe = transe;
+                   return std::make_unique<CafeRecommender>(o);
+                 }});
+  zoo.push_back({"UCPR", [budget] { return MakeUcpr(budget); }});
+  zoo.push_back({"CADRL", [budget, dataset_name] {
+                   return MakeCadrlForDataset(budget, dataset_name);
+                 }});
+  return zoo;
+}
+
+inline std::string Pct(double v) { return TablePrinter::Fmt(v, 3); }
+
+}  // namespace bench
+}  // namespace cadrl
+
+#endif  // CADRL_BENCH_BENCH_COMMON_H_

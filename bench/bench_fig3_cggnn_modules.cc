@@ -1,0 +1,69 @@
+// Reproduces Fig. 3: effectiveness of the CGGNN modules. Compares RGGNN
+// (GGNN removed) and RCGAN (CGAN removed) against UCPR and full CADRL on
+// Beauty and Cell Phones, over all four metrics.
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+
+namespace cadrl {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  struct Variant {
+    std::string name;
+    std::function<std::unique_ptr<eval::Recommender>(const std::string&)>
+        make;
+  };
+  const std::vector<Variant> variants = {
+      {"UCPR",
+       [&](const std::string&) -> std::unique_ptr<eval::Recommender> {
+         return baselines::MakeUcpr(config.budget);
+       }},
+      {"RGGNN",
+       [&](const std::string&) -> std::unique_ptr<eval::Recommender> {
+         return baselines::MakeRggnn(config.budget);
+       }},
+      {"RCGAN",
+       [&](const std::string&) -> std::unique_ptr<eval::Recommender> {
+         return baselines::MakeRcgan(config.budget);
+       }},
+      {"CADRL",
+       [&](const std::string& d) -> std::unique_ptr<eval::Recommender> {
+         return baselines::MakeCadrlForDataset(config.budget, d);
+       }},
+  };
+
+  for (const std::string& dataset_name : {"Beauty", "Cell_Phones"}) {
+    data::Dataset dataset = MakeDatasetByName(dataset_name);
+    TablePrinter table("Fig 3 (" + dataset_name +
+                       "): CGGNN module ablation (all %)");
+    table.SetHeader({"Model", "NDCG", "Recall", "HR", "Prec."});
+    for (const Variant& v : variants) {
+      auto model = v.make(dataset_name);
+      if (!model->Fit(dataset).ok()) {
+        table.AddRow({v.name, "-", "-", "-", "-"});
+        continue;
+      }
+      const eval::EvalResult r = eval::EvaluateRecommender(
+          model.get(), dataset, 10, config.eval_users);
+      table.AddRow({v.name, Pct(r.ndcg), Pct(r.recall), Pct(r.hit_rate),
+                    Pct(r.precision)});
+      std::cerr << dataset_name << " / " << v.name << " done" << std::endl;
+    }
+    table.Print(std::cout);
+    std::cout << std::endl;
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cadrl
+
+int main() {
+  cadrl::bench::Run();
+  return 0;
+}

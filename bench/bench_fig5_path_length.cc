@@ -1,0 +1,95 @@
+// Reproduces Fig. 5: NDCG as a function of the maximum recommendation step
+// L (1..8) for the RL-based models (PGPR, UCPR, CADRL; CAFE's pattern
+// length plays the analogous role) on all three datasets. Each point
+// retrains the model with that horizon.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace cadrl {
+namespace bench {
+namespace {
+
+core::CadrlOptions WithLength(core::CadrlOptions o, int length) {
+  o.max_path_length = length;
+  return o;
+}
+
+void Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  // The sweep retrains (#models x #lengths x #datasets) models; use a
+  // slightly smaller per-model budget than Table I.
+  config.budget.episodes_per_user = std::max(1, config.budget.episodes_per_user - 4);
+  const int eval_cap = 100;
+  const std::vector<int> lengths = {1, 2, 3, 4, 5, 6, 7, 8};
+
+  for (const std::string& dataset_name : DatasetNames()) {
+    data::Dataset dataset = MakeDatasetByName(dataset_name);
+    TablePrinter table("Fig 5 (" + dataset_name +
+                       "): NDCG (%) vs maximum path length L");
+    std::vector<std::string> header = {"Model"};
+    for (int l : lengths) header.push_back("L=" + std::to_string(l));
+    table.SetHeader(header);
+
+    struct Series {
+      std::string name;
+      std::function<std::unique_ptr<eval::Recommender>(int)> make;
+    };
+    const std::vector<Series> series = {
+        {"PGPR",
+         [&](int l) -> std::unique_ptr<eval::Recommender> {
+           auto model = baselines::MakePgpr(config.budget);
+           return std::make_unique<core::CadrlRecommender>(
+               WithLength(model->options(), l), "PGPR");
+         }},
+        {"UCPR",
+         [&](int l) -> std::unique_ptr<eval::Recommender> {
+           auto model = baselines::MakeUcpr(config.budget);
+           return std::make_unique<core::CadrlRecommender>(
+               WithLength(model->options(), l), "UCPR");
+         }},
+        {"CAFE",
+         [&](int l) -> std::unique_ptr<eval::Recommender> {
+           baselines::CafeOptions o;
+           o.transe = config.transe;
+           o.max_pattern_length = l;
+           return std::make_unique<baselines::CafeRecommender>(o);
+         }},
+        {"CADRL",
+         [&](int l) -> std::unique_ptr<eval::Recommender> {
+           auto model =
+               baselines::MakeCadrlForDataset(config.budget, dataset_name);
+           return std::make_unique<core::CadrlRecommender>(
+               WithLength(model->options(), l), "CADRL");
+         }},
+    };
+
+    for (const Series& s : series) {
+      std::vector<std::string> row = {s.name};
+      for (int l : lengths) {
+        auto model = s.make(l);
+        if (!model->Fit(dataset).ok()) {
+          row.push_back("-");
+          continue;
+        }
+        const eval::EvalResult r = eval::EvaluateRecommender(model.get(), dataset, 10, eval_cap);
+        row.push_back(Pct(r.ndcg));
+        std::cerr << dataset_name << " / " << s.name << " L=" << l
+                  << ": " << Pct(r.ndcg) << std::endl;
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+    std::cout << std::endl;
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cadrl
+
+int main() {
+  cadrl::bench::Run();
+  return 0;
+}

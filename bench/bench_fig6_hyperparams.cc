@@ -1,0 +1,64 @@
+// Reproduces Fig. 6: sensitivity of CADRL's NDCG to the key
+// hyper-parameters — (a) the trade-off factor delta of Eq 11, (b) the
+// reward discount factor alpha_pe of Eq 20, (c) alpha_pc of Eq 21 — on all
+// three datasets.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace cadrl {
+namespace bench {
+namespace {
+
+void RunSweep(const BenchConfig& config, const std::string& title,
+              const std::vector<float>& values,
+              const std::function<void(core::CadrlOptions*, float)>& apply) {
+  TablePrinter table(title);
+  std::vector<std::string> header = {"Dataset"};
+  for (float v : values) header.push_back(TablePrinter::Fmt(v, 1));
+  table.SetHeader(header);
+  for (const std::string& dataset_name : DatasetNames()) {
+    data::Dataset dataset = MakeDatasetByName(dataset_name);
+    std::vector<std::string> row = {dataset_name};
+    for (float v : values) {
+      auto base = baselines::MakeCadrlForDataset(config.budget, dataset_name);
+      core::CadrlOptions options = base->options();
+      apply(&options, v);
+      core::CadrlRecommender model(options, "CADRL");
+      if (!model.Fit(dataset).ok()) {
+        row.push_back("-");
+        continue;
+      }
+      const eval::EvalResult r = eval::EvaluateRecommender(&model, dataset, 10, 100);
+      row.push_back(Pct(r.ndcg));
+      std::cerr << title << " " << dataset_name << " v="
+                << TablePrinter::Fmt(v, 1) << ": " << Pct(r.ndcg)
+                << std::endl;
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << std::endl;
+}
+
+void Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  config.budget.episodes_per_user = std::max(1, config.budget.episodes_per_user - 3);
+  const std::vector<float> grid = {0.1f, 0.3f, 0.5f, 0.7f, 0.9f};
+  RunSweep(config, "Fig 6(a): NDCG (%) vs trade-off factor delta", grid,
+           [](core::CadrlOptions* o, float v) { o->cggnn.delta = v; });
+  RunSweep(config, "Fig 6(b): NDCG (%) vs reward discount factor alpha_pe",
+           grid, [](core::CadrlOptions* o, float v) { o->alpha_pe = v; });
+  RunSweep(config, "Fig 6(c): NDCG (%) vs reward discount factor alpha_pc",
+           grid, [](core::CadrlOptions* o, float v) { o->alpha_pc = v; });
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cadrl
+
+int main() {
+  cadrl::bench::Run();
+  return 0;
+}

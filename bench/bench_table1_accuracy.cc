@@ -1,0 +1,97 @@
+// Reproduces Table I: recommendation accuracy (NDCG / Recall / HR /
+// Precision @10, reported as percentages) of all 13 baselines and CADRL on
+// the three synthetic Amazon-like datasets, plus the "Improv." row of CADRL
+// over the strongest baseline.
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "util/stopwatch.h"
+
+namespace cadrl {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  std::map<std::string, std::map<std::string, eval::EvalResult>> results;
+
+  for (const std::string& dataset_name : DatasetNames()) {
+    data::Dataset dataset = MakeDatasetByName(dataset_name);
+    std::cerr << "== dataset " << dataset_name << " ==" << std::endl;
+    for (const ModelEntry& entry : Table1Models(config, dataset_name)) {
+      Stopwatch sw;
+      auto model = entry.make();
+      const Status status = model->Fit(dataset);
+      if (!status.ok()) {
+        std::cerr << entry.name << ": fit failed: " << status.ToString()
+                  << std::endl;
+        continue;
+      }
+      eval::EvalResult result = eval::EvaluateRecommender(
+          model.get(), dataset, 10, config.eval_users);
+      results[dataset_name][entry.name] = result;
+      std::cerr << "  " << entry.name << ": NDCG=" << Pct(result.ndcg)
+                << " (" << TablePrinter::Fmt(sw.ElapsedSeconds(), 1) << "s)"
+                << std::endl;
+    }
+  }
+
+  TablePrinter table(
+      "Table I: Comparison of recommendation accuracy (all values %)");
+  std::vector<std::string> header = {"Model"};
+  for (const std::string& d : DatasetNames()) {
+    header.push_back(d + " NDCG");
+    header.push_back(d + " Recall");
+    header.push_back(d + " HR");
+    header.push_back(d + " Prec.");
+  }
+  table.SetHeader(header);
+  const auto model_names = Table1Models(config, "Beauty");
+  std::map<std::string, double> best_baseline_ndcg;
+  for (const ModelEntry& entry : model_names) {
+    std::vector<std::string> row = {entry.name};
+    for (const std::string& d : DatasetNames()) {
+      const auto it = results[d].find(entry.name);
+      if (it == results[d].end()) {
+        row.insert(row.end(), {"-", "-", "-", "-"});
+        continue;
+      }
+      const eval::EvalResult& r = it->second;
+      row.push_back(Pct(r.ndcg));
+      row.push_back(Pct(r.recall));
+      row.push_back(Pct(r.hit_rate));
+      row.push_back(Pct(r.precision));
+      if (entry.name != "CADRL") {
+        best_baseline_ndcg[d] = std::max(best_baseline_ndcg[d], r.ndcg);
+      }
+    }
+    table.AddRow(row);
+  }
+  // Improv. row: CADRL vs best baseline, per dataset (NDCG-based, mirroring
+  // the paper's per-metric improvements with the headline metric).
+  std::vector<std::string> improv = {"Improv."};
+  for (const std::string& d : DatasetNames()) {
+    const auto it = results[d].find("CADRL");
+    if (it == results[d].end() || best_baseline_ndcg[d] <= 0.0) {
+      improv.insert(improv.end(), {"-", "-", "-", "-"});
+      continue;
+    }
+    const double gain =
+        (it->second.ndcg - best_baseline_ndcg[d]) / best_baseline_ndcg[d];
+    improv.push_back(TablePrinter::Fmt(gain * 100.0, 2) + "%");
+    improv.insert(improv.end(), {"", "", ""});
+  }
+  table.AddRow(improv);
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cadrl
+
+int main() {
+  cadrl::bench::Run();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Reproduces Table III: computational cost of recommendation (normalized
+// to seconds per 1k users) and path finding (seconds per 10k paths) for
+// PGPR, HeteroEmbed, UCPR, CAFE and CADRL, as mean +/- std over repeats.
+// Uses google-benchmark for the per-operation microbenchmarks and a plain
+// harness for the paper-format table.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+
+namespace cadrl {
+namespace bench {
+namespace {
+
+struct Table3Entry {
+  std::string name;
+  std::function<std::unique_ptr<eval::Recommender>(const BenchConfig&,
+                                                   const std::string&)>
+      make;
+};
+
+std::vector<Table3Entry> Table3Models() {
+  using namespace baselines;  // NOLINT(build/namespaces): bench-local
+  return {
+      {"PGPR",
+       [](const BenchConfig& c, const std::string&) {
+         return std::unique_ptr<eval::Recommender>(MakePgpr(c.budget));
+       }},
+      {"HeteroEmbed",
+       [](const BenchConfig& c, const std::string&) {
+         HeteroEmbedOptions o;
+         o.transe = c.transe;
+         return std::unique_ptr<eval::Recommender>(
+             std::make_unique<HeteroEmbedRecommender>(o));
+       }},
+      {"UCPR",
+       [](const BenchConfig& c, const std::string&) {
+         return std::unique_ptr<eval::Recommender>(MakeUcpr(c.budget));
+       }},
+      {"CAFE",
+       [](const BenchConfig& c, const std::string&) {
+         CafeOptions o;
+         o.transe = c.transe;
+         return std::unique_ptr<eval::Recommender>(
+             std::make_unique<CafeRecommender>(o));
+       }},
+      {"CADRL",
+       [](const BenchConfig& c, const std::string& dataset) {
+         return std::unique_ptr<eval::Recommender>(
+             MakeCadrlForDataset(c.budget, dataset));
+       }},
+  };
+}
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  TablePrinter table(
+      "Table III: Computational cost (s). Rec normalized per 1k users, "
+      "Find per 10k paths; mean +/- std over 3 repeats");
+  std::vector<std::string> header = {"Model"};
+  for (const std::string& d : DatasetNames()) {
+    header.push_back(d + " Rec(1k users)");
+    header.push_back(d + " Find(10k paths)");
+  }
+  table.SetHeader(header);
+
+  std::map<std::string, std::vector<std::string>> rows;
+  for (const Table3Entry& entry : Table3Models()) {
+    rows[entry.name] = {entry.name};
+  }
+  for (const std::string& dataset_name : DatasetNames()) {
+    data::Dataset dataset = MakeDatasetByName(dataset_name);
+    for (const Table3Entry& entry : Table3Models()) {
+      auto model = entry.make(config, dataset_name);
+      const Status status = model->Fit(dataset);
+      if (!status.ok()) {
+        rows[entry.name].insert(rows[entry.name].end(), {"-", "-"});
+        continue;
+      }
+      const eval::TimingResult t = eval::MeasureEfficiency(
+          model.get(), dataset, /*users_per_run=*/30, /*paths_per_run=*/120,
+          /*repeats=*/3);
+      rows[entry.name].push_back(
+          TablePrinter::Fmt(t.rec_per_1k_users_mean, 3) + " +/- " +
+          TablePrinter::Fmt(t.rec_per_1k_users_std, 3));
+      rows[entry.name].push_back(
+          TablePrinter::Fmt(t.find_per_10k_paths_mean, 3) + " +/- " +
+          TablePrinter::Fmt(t.find_per_10k_paths_std, 3));
+      std::cerr << dataset_name << " / " << entry.name << " done"
+                << std::endl;
+    }
+  }
+  for (const Table3Entry& entry : Table3Models()) {
+    table.AddRow(rows[entry.name]);
+  }
+  table.Print(std::cout);
+}
+
+// A google-benchmark microbenchmark of the per-user inference step, the
+// operation Table III normalizes: registered so `--benchmark_filter` users
+// can drill into single-model latencies.
+void BM_CadrlRecommendUser(benchmark::State& state) {
+  static data::Dataset dataset = MakeDatasetByName("Beauty");
+  static std::unique_ptr<core::CadrlRecommender> model = [] {
+    BenchConfig config = BenchConfig::FromEnv();
+    auto m = baselines::MakeCadrlForDataset(config.budget, "Beauty");
+    CADRL_CHECK_OK(m->Fit(dataset));
+    return m;
+  }();
+  int64_t cursor = 0;
+  for (auto _ : state) {
+    const kg::EntityId user = dataset.users[static_cast<size_t>(
+        cursor++ % dataset.num_users())];
+    benchmark::DoNotOptimize(model->Recommend(user, 10));
+  }
+}
+BENCHMARK(BM_CadrlRecommendUser)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace cadrl
+
+int main(int argc, char** argv) {
+  cadrl::bench::Run();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Table IV: ablation of CADRL's two components — "CADRL w/o
+// DARL" (single agent, binary terminal reward) and "CADRL w/o CGGNN"
+// (dual agents on raw TransE representations) — against the full model on
+// all three datasets.
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+
+namespace cadrl {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  struct Variant {
+    std::string name;
+    std::function<std::unique_ptr<core::CadrlRecommender>(
+        const std::string&)>
+        make;
+  };
+  const std::vector<Variant> variants = {
+      {"CADRL w/o DARL",
+       [&](const std::string&) {
+         return baselines::MakeCadrlWithoutDarl(config.budget);
+       }},
+      {"CADRL w/o CGGNN",
+       [&](const std::string&) {
+         return baselines::MakeCadrlWithoutCggnn(config.budget);
+       }},
+      {"CADRL",
+       [&](const std::string& dataset_name) {
+         return baselines::MakeCadrlForDataset(config.budget, dataset_name);
+       }},
+  };
+
+  TablePrinter table("Table IV: Ablation on different components (all %)");
+  std::vector<std::string> header = {"Model"};
+  for (const std::string& d : DatasetNames()) {
+    header.push_back(d + " NDCG");
+    header.push_back(d + " Recall");
+    header.push_back(d + " HR");
+    header.push_back(d + " Prec.");
+  }
+  table.SetHeader(header);
+  std::map<std::string, std::vector<std::string>> rows;
+  for (const Variant& v : variants) rows[v.name] = {v.name};
+  for (const std::string& dataset_name : DatasetNames()) {
+    data::Dataset dataset = MakeDatasetByName(dataset_name);
+    for (const Variant& v : variants) {
+      auto model = v.make(dataset_name);
+      const Status status = model->Fit(dataset);
+      if (!status.ok()) {
+        rows[v.name].insert(rows[v.name].end(), {"-", "-", "-", "-"});
+        continue;
+      }
+      const eval::EvalResult r = eval::EvaluateRecommender(
+          model.get(), dataset, 10, config.eval_users);
+      rows[v.name].push_back(Pct(r.ndcg));
+      rows[v.name].push_back(Pct(r.recall));
+      rows[v.name].push_back(Pct(r.hit_rate));
+      rows[v.name].push_back(Pct(r.precision));
+      std::cerr << dataset_name << " / " << v.name << ": NDCG "
+                << Pct(r.ndcg) << std::endl;
+    }
+  }
+  for (const Variant& v : variants) table.AddRow(rows[v.name]);
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cadrl
+
+int main() {
+  cadrl::bench::Run();
+  return 0;
+}

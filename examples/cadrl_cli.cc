@@ -1,0 +1,179 @@
+// Command-line front end for the library: generate datasets to disk, train
+// and evaluate CADRL on a saved dataset, or produce explained
+// recommendations for one user.
+//
+//   cadrl_cli generate <beauty|cellphones|clothing|tiny> <path>
+//   cadrl_cli eval <dataset-path>
+//   cadrl_cli train <dataset-path> <model-path>
+//   cadrl_cli recommend <dataset-path> <user-entity-id> [k] [model-path]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/cadrl.h"
+#include "data/generator.h"
+#include "data/serialize.h"
+#include "eval/evaluator.h"
+#include "eval/path_metrics.h"
+
+namespace {
+
+using namespace cadrl;
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+         "  cadrl_cli generate <beauty|cellphones|clothing|tiny> <path>\n"
+         "  cadrl_cli eval <dataset-path>\n"
+         "  cadrl_cli train <dataset-path> <model-path>\n"
+         "  cadrl_cli recommend <dataset-path> <user-entity-id> [k] "
+         "[model-path]\n";
+  return 2;
+}
+
+core::CadrlOptions DefaultOptions(const std::string& dataset_name) {
+  core::CadrlOptions o;
+  o.transe.dim = 24;
+  o.transe.epochs = 8;
+  o.cggnn.epochs = 12;
+  o.episodes_per_user = 4;
+  if (dataset_name == "Clothing") {
+    o.max_path_length = 7;
+    o.cggnn.delta = 0.3f;
+    o.alpha_pe = 0.4f;
+    o.alpha_pc = 0.4f;
+  }
+  return o;
+}
+
+int Generate(const std::string& preset, const std::string& path) {
+  data::SyntheticConfig config;
+  if (preset == "beauty") {
+    config = data::SyntheticConfig::BeautySim();
+  } else if (preset == "cellphones") {
+    config = data::SyntheticConfig::CellPhonesSim();
+  } else if (preset == "clothing") {
+    config = data::SyntheticConfig::ClothingSim();
+  } else if (preset == "tiny") {
+    config = data::SyntheticConfig::Tiny();
+  } else {
+    return Usage();
+  }
+  data::Dataset dataset;
+  Status status = data::GenerateDataset(config, &dataset);
+  if (status.ok()) status = data::SaveDataset(dataset, path);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  const data::DatasetStats stats = ComputeStats(dataset);
+  std::cout << "wrote " << path << ": " << stats.num_entities
+            << " entities, " << stats.num_triples << " triples, "
+            << stats.num_interactions << " interactions\n";
+  return 0;
+}
+
+int TrainModel(const std::string& path, core::CadrlRecommender** out,
+               data::Dataset* dataset) {
+  Status status = data::LoadDataset(path, dataset);
+  if (!status.ok()) {
+    std::cerr << "error loading " << path << ": " << status.ToString()
+              << "\n";
+    return 1;
+  }
+  auto* model =
+      new core::CadrlRecommender(DefaultOptions(dataset->name));
+  std::cout << "training CADRL on '" << dataset->name << "' ("
+            << dataset->num_users() << " users)...\n";
+  status = model->Fit(*dataset);
+  if (!status.ok()) {
+    std::cerr << "error training: " << status.ToString() << "\n";
+    delete model;
+    return 1;
+  }
+  *out = model;
+  return 0;
+}
+
+int Eval(const std::string& path) {
+  data::Dataset dataset;
+  core::CadrlRecommender* model = nullptr;
+  if (int rc = TrainModel(path, &model, &dataset); rc != 0) return rc;
+  const eval::EvalResult r = eval::EvaluateRecommender(model, dataset, 10);
+  std::cout << "NDCG@10 " << r.ndcg << "%  Recall@10 " << r.recall
+            << "%  HR@10 " << r.hit_rate << "%  Prec@10 " << r.precision
+            << "%  (" << r.users_evaluated << " users)\n";
+  delete model;
+  return 0;
+}
+
+int Train(const std::string& dataset_path, const std::string& model_path) {
+  data::Dataset dataset;
+  core::CadrlRecommender* model = nullptr;
+  if (int rc = TrainModel(dataset_path, &model, &dataset); rc != 0) return rc;
+  const Status status = model->SaveModel(model_path);
+  delete model;
+  if (!status.ok()) {
+    std::cerr << "error saving: " << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "model written to " << model_path << "\n";
+  return 0;
+}
+
+int Recommend(const std::string& path, const std::string& user_arg, int k,
+              const std::string& model_path) {
+  data::Dataset dataset;
+  core::CadrlRecommender* model = nullptr;
+  if (!model_path.empty()) {
+    Status status = data::LoadDataset(path, &dataset);
+    if (status.ok()) {
+      model = new core::CadrlRecommender(DefaultOptions(dataset.name));
+      status = model->LoadModel(dataset, model_path);
+    }
+    if (!status.ok()) {
+      std::cerr << "error loading model: " << status.ToString() << "\n";
+      delete model;
+      return 1;
+    }
+  } else if (int rc = TrainModel(path, &model, &dataset); rc != 0) {
+    return rc;
+  }
+  const kg::EntityId user =
+      static_cast<kg::EntityId>(std::atoll(user_arg.c_str()));
+  if (dataset.UserIndex(user) < 0) {
+    std::cerr << "entity " << user << " is not a user of this dataset; "
+              << "valid ids start at " << dataset.users.front() << "\n";
+    delete model;
+    return 1;
+  }
+  std::vector<eval::RecommendationPath> paths;
+  for (const auto& rec : model->Recommend(user, k)) {
+    std::cout << "item " << rec.item << "  score "
+              << static_cast<int>(rec.score * 1000) / 1000.0 << "\n  "
+              << eval::FormatPath(dataset.graph, rec.path) << "\n";
+    paths.push_back(rec.path);
+  }
+  const eval::PathQuality q = eval::EvaluatePaths(dataset.graph, paths);
+  std::cout << "paths: " << q.num_valid << "/" << q.num_paths
+            << " valid, mean length "
+            << static_cast<int>(q.mean_length * 100) / 100.0 << "\n";
+  delete model;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate" && argc == 4) return Generate(argv[2], argv[3]);
+  if (command == "eval" && argc == 3) return Eval(argv[2]);
+  if (command == "train" && argc == 4) return Train(argv[2], argv[3]);
+  if (command == "recommend" && argc >= 4 && argc <= 6) {
+    return Recommend(argv[2], argv[3], argc >= 5 ? std::atoi(argv[4]) : 5,
+                     argc == 6 ? argv[5] : "");
+  }
+  return Usage();
+}

@@ -1,0 +1,169 @@
+// Case study in the spirit of the paper's Fig. 1 / Fig. 7: a hand-built
+// sports-shopping knowledge graph where the item a user will buy next sits
+// across a category boundary. Prints the full ranked candidate list of
+// CADRL (with its multi-hop cross-category reasoning paths) against a
+// 3-hop single-agent PGPR, so the rank of the held-out target and the
+// length/shape of each explanation are directly visible.
+//
+//   ./build/examples/case_study
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "baselines/rl_baselines.h"
+#include "core/cadrl.h"
+#include "data/dataset.h"
+
+namespace {
+
+using namespace cadrl;
+
+struct World {
+  data::Dataset dataset;
+  std::map<kg::EntityId, std::string> names;
+  kg::EntityId user2;
+  kg::EntityId jersey;
+};
+
+// The Fig. 1 fragment: users with the same shopping preferences, items in
+// the "shoes", "equipment" and "apparel" categories, and a 5-hop path from
+// User 2 to Michael Jordan's Jersey.
+World BuildWorld() {
+  World w;
+  kg::KnowledgeGraph& g = w.dataset.graph;
+  auto add = [&](kg::EntityType type, const std::string& name) {
+    const kg::EntityId id = g.AddEntity(type);
+    w.names[id] = name;
+    return id;
+  };
+  const kg::EntityId user1 = add(kg::EntityType::kUser, "User1");
+  const kg::EntityId user2 = add(kg::EntityType::kUser, "User2");
+  const kg::EntityId user3 = add(kg::EntityType::kUser, "User3");
+  // Category 0: basketball shoes; 1: equipment; 2: apparel.
+  const kg::EntityId aj3 = add(kg::EntityType::kItem, "AJ_III");
+  const kg::EntityId aj4 = add(kg::EntityType::kItem, "AJ_IV");
+  const kg::EntityId ball = add(kg::EntityType::kItem, "AJ_Basketball");
+  const kg::EntityId headband = add(kg::EntityType::kItem, "AJ_Headband");
+  const kg::EntityId shorts = add(kg::EntityType::kItem, "BULLS_Shorts");
+  const kg::EntityId jersey = add(kg::EntityType::kItem, "MJ_Jersey");
+  const kg::EntityId socks = add(kg::EntityType::kItem, "Crew_Socks");
+  const kg::EntityId brand = add(kg::EntityType::kBrand, "Air_Jordan");
+  const kg::EntityId bulls = add(kg::EntityType::kFeature, "BULLS_Clothing");
+  const kg::EntityId sports = add(kg::EntityType::kFeature, "Basketball");
+  g.SetItemCategory(aj3, 0);
+  g.SetItemCategory(aj4, 0);
+  g.SetItemCategory(socks, 0);
+  g.SetItemCategory(ball, 1);
+  g.SetItemCategory(headband, 1);
+  g.SetItemCategory(shorts, 2);
+  g.SetItemCategory(jersey, 2);
+
+  using R = kg::Relation;
+  g.AddTriple(aj3, R::kProducedBy, brand);
+  g.AddTriple(aj4, R::kProducedBy, brand);
+  g.AddTriple(ball, R::kProducedBy, brand);
+  g.AddTriple(headband, R::kProducedBy, brand);
+  g.AddTriple(shorts, R::kDescribedBy, bulls);
+  g.AddTriple(jersey, R::kDescribedBy, bulls);
+  for (kg::EntityId item : {aj3, aj4, ball, headband, shorts, jersey}) {
+    g.AddTriple(item, R::kDescribedBy, sports);
+  }
+  // The cross-category chain User2 must discover:
+  // AJ_III -> AJ_Basketball -> MJ_Jersey (equipment bridges to apparel).
+  g.AddTriple(aj3, R::kAlsoBought, ball);
+  g.AddTriple(ball, R::kBoughtTogether, jersey);
+  g.AddTriple(aj4, R::kAlsoViewed, headband);
+  g.AddTriple(shorts, R::kBoughtTogether, jersey);
+  g.AddTriple(aj3, R::kAlsoViewed, aj4);
+  g.AddTriple(socks, R::kAlsoBought, aj3);
+  // User1 is the "evidence" shopper who already bought across categories.
+  auto purchase = [&](kg::EntityId u, kg::EntityId v, bool train) {
+    const int64_t idx = static_cast<int64_t>(u);
+    (void)idx;
+    if (train) g.AddTriple(u, R::kPurchase, v);
+  };
+  w.dataset.users = {user1, user2, user3};
+  w.dataset.train_items.resize(3);
+  w.dataset.test_items.resize(3);
+  auto record = [&](size_t pos, kg::EntityId u, kg::EntityId v, bool train) {
+    purchase(u, v, train);
+    if (train) {
+      w.dataset.train_items[pos].push_back(v);
+    } else {
+      w.dataset.test_items[pos].push_back(v);
+    }
+  };
+  record(0, user1, aj3, true);
+  record(0, user1, ball, true);
+  record(0, user1, jersey, true);
+  record(0, user1, shorts, false);
+  record(1, user2, aj3, true);
+  record(1, user2, aj4, true);
+  record(1, user2, jersey, false);  // the target: 5 hops away
+  record(2, user3, shorts, true);
+  record(2, user3, headband, true);
+  record(2, user3, socks, false);
+  g.Finalize();
+  w.dataset.category_graph = kg::CategoryGraph::Build(g);
+  w.dataset.name = "fig1-fragment";
+  w.user2 = user2;
+  w.jersey = jersey;
+  return w;
+}
+
+std::string Render(const World& w, const eval::RecommendationPath& path) {
+  std::string out = w.names.at(path.user);
+  for (const eval::PathStep& step : path.steps) {
+    out += " --" + kg::RelationName(step.relation) + "--> " +
+           w.names.at(step.entity);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  World w = BuildWorld();
+  std::cout << "Knowledge graph: " << w.dataset.graph.num_entities()
+            << " entities, " << w.dataset.graph.num_triples()
+            << " triples, 3 categories (shoes / equipment / apparel)\n";
+  std::cout << "Goal: recommend " << w.names.at(w.jersey)
+            << " to " << w.names.at(w.user2)
+            << " — reachable only via a cross-category chain.\n\n";
+
+  core::CadrlOptions options;
+  options.transe.dim = 12;
+  options.transe.epochs = 30;
+  options.cggnn.epochs = 10;
+  options.cggnn.pairs_per_epoch = 32;
+  options.episodes_per_user = 40;
+  options.max_path_length = 5;
+  options.beam_width = 8;
+  options.seed = 3;
+  options.rank_category_weight = 1.5f;  // lean on the milestone guidance
+  cadrl::core::CadrlRecommender cadrl_model(options);
+  CADRL_CHECK_OK(cadrl_model.Fit(w.dataset));
+
+  std::cout << "CADRL recommendations for " << w.names.at(w.user2) << ":\n";
+  for (const auto& rec : cadrl_model.Recommend(w.user2, 5)) {
+    std::cout << "  " << w.names.at(rec.item)
+              << (rec.item == w.jersey ? "   <-- the held-out target" : "")
+              << "\n    path: " << Render(w, rec.path) << "\n";
+  }
+
+  cadrl::baselines::RlBudget budget;
+  budget.dim = 12;
+  budget.transe_epochs = 30;
+  budget.episodes_per_user = 40;
+  auto pgpr = cadrl::baselines::MakePgpr(budget);
+  CADRL_CHECK_OK(pgpr->Fit(w.dataset));
+  std::cout << "\nPGPR (3-hop, single agent) for " << w.names.at(w.user2)
+            << ":\n";
+  for (const auto& rec : pgpr->Recommend(w.user2, 5)) {
+    std::cout << "  " << w.names.at(rec.item)
+              << (rec.item == w.jersey ? "   <-- the held-out target" : "")
+              << "\n    path: " << Render(w, rec.path) << "\n";
+  }
+  return 0;
+}

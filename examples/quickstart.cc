@@ -1,0 +1,58 @@
+// Quickstart: generate a small synthetic Amazon-like dataset, train the
+// CADRL recommender, and print explainable top-5 recommendations.
+//
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/cadrl.h"
+#include "data/generator.h"
+#include "eval/evaluator.h"
+
+int main() {
+  using namespace cadrl;
+
+  // 1. A dataset: a knowledge graph with users/items/brands/features, item
+  //    category labels, and a 70/30 train/test interaction split.
+  data::SyntheticConfig config = data::SyntheticConfig::Tiny();
+  data::Dataset dataset = data::MustGenerateDataset(config);
+  std::cout << "Dataset '" << dataset.name << "': "
+            << dataset.graph.num_entities() << " entities, "
+            << dataset.graph.num_triples() << " triples, "
+            << dataset.graph.num_categories() << " categories\n\n";
+
+  // 2. Configure and train CADRL. Options default to the paper's
+  //    hyper-parameters; only the training budget is set here.
+  core::CadrlOptions options;
+  options.transe.dim = 16;
+  options.transe.epochs = 6;
+  options.cggnn.epochs = 8;
+  options.episodes_per_user = 4;
+  options.max_path_length = 5;
+  core::CadrlRecommender model(options);
+  const Status status = model.Fit(dataset);
+  if (!status.ok()) {
+    std::cerr << "training failed: " << status.ToString() << "\n";
+    return 1;
+  }
+
+  // 3. Recommend: every recommendation carries its reasoning path over the
+  //    knowledge graph.
+  const kg::EntityId user = dataset.users[0];
+  std::cout << "Top-5 recommendations for user " << user << ":\n";
+  for (const eval::Recommendation& rec : model.Recommend(user, 5)) {
+    std::cout << "  item " << rec.item << " (score "
+              << static_cast<int>(rec.score * 100) / 100.0 << ")\n"
+              << "    why: " << eval::FormatPath(dataset.graph, rec.path)
+              << "\n";
+  }
+
+  // 4. Evaluate against the held-out test interactions.
+  const eval::EvalResult result =
+      eval::EvaluateRecommender(&model, dataset, 10);
+  std::cout << "\nTest metrics over " << result.users_evaluated
+            << " users: NDCG@10 " << result.ndcg << "%, Recall@10 "
+            << result.recall << "%, HR@10 " << result.hit_rate
+            << "%, Prec@10 " << result.precision << "%\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "autograd/module.h"
+
+#include <cmath>
+
+namespace cadrl {
+namespace ag {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [name, t] : params_) out.push_back(t);
+  for (const Module* m : submodules_) {
+    auto sub = m->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+Tensor Module::RegisterParameter(std::string name, Tensor t) {
+  CADRL_CHECK(t.defined());
+  t.set_requires_grad(true);
+  params_.emplace_back(std::move(name), t);
+  return params_.back().second;
+}
+
+void Module::RegisterModule(Module* submodule) {
+  CADRL_CHECK(submodule != nullptr);
+  submodules_.push_back(submodule);
+}
+
+float GlorotStddev(int64_t fan_in, int64_t fan_out) {
+  return std::sqrt(2.0f / static_cast<float>(fan_in + fan_out));
+}
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
+               bool use_bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter(
+      "weight", Tensor::Randn({out_features, in_features}, rng,
+                              GlorotStddev(in_features, out_features)));
+  if (use_bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  CADRL_CHECK_EQ(x.rank(), 1);
+  CADRL_CHECK_EQ(x.numel(), in_features_);
+  Tensor y = MatMul(weight_, x);
+  if (bias_.defined()) y = Add(y, bias_);
+  return y;
+}
+
+Embedding::Embedding(int64_t count, int64_t dim, Rng* rng, float stddev)
+    : count_(count), dim_(dim) {
+  table_ =
+      RegisterParameter("table", Tensor::Randn({count, dim}, rng, stddev));
+}
+
+Embedding::Embedding(int64_t count, int64_t dim, std::vector<float> rows,
+                     bool trainable)
+    : count_(count), dim_(dim) {
+  CADRL_CHECK_EQ(static_cast<int64_t>(rows.size()), count * dim);
+  Tensor t = Tensor::FromVector(std::move(rows), {count, dim});
+  if (trainable) {
+    table_ = RegisterParameter("table", std::move(t));
+  } else {
+    table_ = std::move(t);
+  }
+}
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  w_input_ = RegisterParameter(
+      "w_input", Tensor::Randn({4 * hidden_size, input_size}, rng,
+                               GlorotStddev(input_size, hidden_size)));
+  w_hidden_ = RegisterParameter(
+      "w_hidden", Tensor::Randn({4 * hidden_size, hidden_size}, rng,
+                                GlorotStddev(hidden_size, hidden_size)));
+  Tensor bias = Tensor::Zeros({4 * hidden_size});
+  // Forget-gate bias of 1 is the standard stabilization.
+  for (int64_t i = hidden_size; i < 2 * hidden_size; ++i) {
+    bias.data()[i] = 1.0f;
+  }
+  bias_ = RegisterParameter("bias", std::move(bias));
+}
+
+LstmCell::State LstmCell::InitialState() const {
+  return {Tensor::Zeros({hidden_size_}), Tensor::Zeros({hidden_size_})};
+}
+
+LstmCell::State LstmCell::Forward(const Tensor& x, const State& prev) const {
+  CADRL_CHECK_EQ(x.rank(), 1);
+  CADRL_CHECK_EQ(x.numel(), input_size_);
+  Tensor gates =
+      Add(Add(MatMul(w_input_, x), MatMul(w_hidden_, prev.h)), bias_);
+  const int64_t h = hidden_size_;
+  Tensor input_gate = Sigmoid(Slice(gates, 0, h));
+  Tensor forget_gate = Sigmoid(Slice(gates, h, h));
+  Tensor cell_update = Tanh(Slice(gates, 2 * h, h));
+  Tensor output_gate = Sigmoid(Slice(gates, 3 * h, h));
+  Tensor c = Add(Mul(forget_gate, prev.c), Mul(input_gate, cell_update));
+  Tensor h_new = Mul(output_gate, Tanh(c));
+  return {std::move(h_new), std::move(c)};
+}
+
+}  // namespace ag
+}  // namespace cadrl

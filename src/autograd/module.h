@@ -1,0 +1,121 @@
+#ifndef CADRL_AUTOGRAD_MODULE_H_
+#define CADRL_AUTOGRAD_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/tensor.h"
+
+namespace cadrl {
+namespace ag {
+
+// Base class for parameterized computations. Subclasses register their
+// parameter tensors (and sub-modules) in their constructor; Parameters()
+// flattens the whole tree for an Optimizer.
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All trainable parameters of this module and its registered sub-modules.
+  std::vector<Tensor> Parameters() const;
+
+  // Named parameters of this module only (not sub-modules).
+  const std::vector<std::pair<std::string, Tensor>>& named_parameters() const {
+    return params_;
+  }
+
+ protected:
+  Module() = default;
+
+  // Registers `t` as a trainable parameter and returns it.
+  Tensor RegisterParameter(std::string name, Tensor t);
+
+  // Registers a sub-module (not owned).
+  void RegisterModule(Module* submodule);
+
+ private:
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<Module*> submodules_;
+};
+
+// Glorot/Xavier-uniform-equivalent Gaussian stddev for a weight matrix.
+float GlorotStddev(int64_t fan_in, int64_t fan_out);
+
+// Fully connected layer: y = W x + b (bias optional).
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool use_bias = true);
+
+  // x must be rank-1 of length in_features; returns rank-1 of length
+  // out_features.
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  const Tensor& weight() const { return weight_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor weight_;  // (out, in)
+  Tensor bias_;    // (out) or undefined
+};
+
+// Trainable lookup table of `count` rows of dimension `dim`.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t count, int64_t dim, Rng* rng, float stddev = 0.1f);
+
+  // Creates an embedding whose rows are initialized from `rows` (a flattened
+  // count x dim buffer), e.g. pre-trained TransE vectors.
+  Embedding(int64_t count, int64_t dim, std::vector<float> rows,
+            bool trainable);
+
+  Tensor Row(int64_t index) const { return GatherRow(table_, index); }
+
+  int64_t count() const { return count_; }
+  int64_t dim() const { return dim_; }
+  const Tensor& table() const { return table_; }
+
+ private:
+  int64_t count_;
+  int64_t dim_;
+  Tensor table_;  // (count, dim)
+};
+
+// Single LSTM step. Gate layout in the fused weight matrices is
+// [input, forget, cell, output].
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  struct State {
+    Tensor h;  // hidden, rank-1 (hidden_size)
+    Tensor c;  // cell, rank-1 (hidden_size)
+  };
+
+  // Zero-initialized state (the paper's LSTM_c(0, ...) seed).
+  State InitialState() const;
+
+  State Forward(const Tensor& x, const State& prev) const;
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  Tensor w_input_;   // (4*hidden, input)
+  Tensor w_hidden_;  // (4*hidden, hidden)
+  Tensor bias_;      // (4*hidden), forget gate bias-initialized to 1
+};
+
+}  // namespace ag
+}  // namespace cadrl
+
+#endif  // CADRL_AUTOGRAD_MODULE_H_

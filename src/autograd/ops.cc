@@ -1,0 +1,644 @@
+#include "autograd/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cadrl {
+namespace ag {
+namespace {
+
+using ImplPtr = std::shared_ptr<TensorImpl>;
+
+ImplPtr NewImpl(std::vector<int64_t> shape) {
+  auto impl = std::make_shared<TensorImpl>();
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  impl->shape = std::move(shape);
+  impl->data.assign(static_cast<size_t>(n), 0.0f);
+  return impl;
+}
+
+bool ShouldTrack(const std::vector<ImplPtr>& parents) {
+  if (!GradEnabled()) return false;
+  for (const auto& p : parents) {
+    if (p->requires_grad) return true;
+  }
+  return false;
+}
+
+// Attaches the tape node if gradients are needed. `fn` must accumulate the
+// output grad into each parent that requires grad.
+void Track(const ImplPtr& out, std::vector<ImplPtr> parents,
+           std::function<void()> fn) {
+  if (!ShouldTrack(parents)) return;
+  out->requires_grad = true;
+  out->parents = std::move(parents);
+  out->backward_fn = std::move(fn);
+}
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  CADRL_CHECK(a.shape() == b.shape()) << "shape mismatch";
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  auto out = NewImpl(a.shape());
+  const size_t n = out->data.size();
+  for (size_t i = 0; i < n; ++i) out->data[i] = a.data()[i] + b.data()[i];
+  ImplPtr pa = a.impl(), pb = b.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa, pb}, [o, pa, pb, n] {
+    o->EnsureGrad();
+    if (pa->requires_grad) {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) pa->grad[i] += o->grad[i];
+    }
+    if (pb->requires_grad) {
+      pb->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) pb->grad[i] += o->grad[i];
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  auto out = NewImpl(a.shape());
+  const size_t n = out->data.size();
+  for (size_t i = 0; i < n; ++i) out->data[i] = a.data()[i] - b.data()[i];
+  ImplPtr pa = a.impl(), pb = b.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa, pb}, [o, pa, pb, n] {
+    o->EnsureGrad();
+    if (pa->requires_grad) {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) pa->grad[i] += o->grad[i];
+    }
+    if (pb->requires_grad) {
+      pb->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) pb->grad[i] -= o->grad[i];
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  auto out = NewImpl(a.shape());
+  const size_t n = out->data.size();
+  for (size_t i = 0; i < n; ++i) out->data[i] = a.data()[i] * b.data()[i];
+  ImplPtr pa = a.impl(), pb = b.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa, pb}, [o, pa, pb, n] {
+    o->EnsureGrad();
+    if (pa->requires_grad) {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) pa->grad[i] += o->grad[i] * pb->data[i];
+    }
+    if (pb->requires_grad) {
+      pb->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) pb->grad[i] += o->grad[i] * pa->data[i];
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor AddN(const std::vector<Tensor>& inputs) {
+  CADRL_CHECK(!inputs.empty());
+  auto out = NewImpl(inputs[0].shape());
+  const size_t n = out->data.size();
+  std::vector<ImplPtr> parents;
+  parents.reserve(inputs.size());
+  for (const Tensor& t : inputs) {
+    CADRL_CHECK(t.shape() == inputs[0].shape()) << "AddN shape mismatch";
+    for (size_t i = 0; i < n; ++i) out->data[i] += t.data()[i];
+    parents.push_back(t.impl());
+  }
+  TensorImpl* o = out.get();
+  auto ps = parents;
+  Track(out, std::move(parents), [o, ps, n] {
+    o->EnsureGrad();
+    for (const auto& p : ps) {
+      if (!p->requires_grad) continue;
+      p->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) p->grad[i] += o->grad[i];
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor MulScalar(const Tensor& a, float c) {
+  auto out = NewImpl(a.shape());
+  const size_t n = out->data.size();
+  for (size_t i = 0; i < n; ++i) out->data[i] = a.data()[i] * c;
+  ImplPtr pa = a.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa}, [o, pa, c, n] {
+    o->EnsureGrad();
+    pa->EnsureGrad();
+    for (size_t i = 0; i < n; ++i) pa->grad[i] += o->grad[i] * c;
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor AddScalar(const Tensor& a, float c) {
+  auto out = NewImpl(a.shape());
+  const size_t n = out->data.size();
+  for (size_t i = 0; i < n; ++i) out->data[i] = a.data()[i] + c;
+  ImplPtr pa = a.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa}, [o, pa, n] {
+    o->EnsureGrad();
+    pa->EnsureGrad();
+    for (size_t i = 0; i < n; ++i) pa->grad[i] += o->grad[i];
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor Scale(const Tensor& a, const Tensor& s) {
+  CADRL_CHECK_EQ(s.numel(), 1);
+  auto out = NewImpl(a.shape());
+  const size_t n = out->data.size();
+  const float sv = s.data()[0];
+  for (size_t i = 0; i < n; ++i) out->data[i] = a.data()[i] * sv;
+  ImplPtr pa = a.impl(), ps = s.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa, ps}, [o, pa, ps, n] {
+    o->EnsureGrad();
+    const float sv2 = ps->data[0];
+    if (pa->requires_grad) {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) pa->grad[i] += o->grad[i] * sv2;
+    }
+    if (ps->requires_grad) {
+      ps->EnsureGrad();
+      float acc = 0.0f;
+      for (size_t i = 0; i < n; ++i) acc += o->grad[i] * pa->data[i];
+      ps->grad[0] += acc;
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  auto out = NewImpl(a.shape());
+  const size_t n = out->data.size();
+  for (size_t i = 0; i < n; ++i) {
+    const float x = a.data()[i];
+    // Branch for numerical stability on large |x|.
+    out->data[i] = x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                             : std::exp(x) / (1.0f + std::exp(x));
+  }
+  ImplPtr pa = a.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa}, [o, pa, n] {
+    o->EnsureGrad();
+    pa->EnsureGrad();
+    for (size_t i = 0; i < n; ++i) {
+      const float y = o->data[i];
+      pa->grad[i] += o->grad[i] * y * (1.0f - y);
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor Tanh(const Tensor& a) {
+  auto out = NewImpl(a.shape());
+  const size_t n = out->data.size();
+  for (size_t i = 0; i < n; ++i) out->data[i] = std::tanh(a.data()[i]);
+  ImplPtr pa = a.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa}, [o, pa, n] {
+    o->EnsureGrad();
+    pa->EnsureGrad();
+    for (size_t i = 0; i < n; ++i) {
+      const float y = o->data[i];
+      pa->grad[i] += o->grad[i] * (1.0f - y * y);
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor Relu(const Tensor& a) {
+  auto out = NewImpl(a.shape());
+  const size_t n = out->data.size();
+  for (size_t i = 0; i < n; ++i) out->data[i] = std::max(0.0f, a.data()[i]);
+  ImplPtr pa = a.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa}, [o, pa, n] {
+    o->EnsureGrad();
+    pa->EnsureGrad();
+    for (size_t i = 0; i < n; ++i) {
+      if (pa->data[i] > 0.0f) pa->grad[i] += o->grad[i];
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  auto out = NewImpl(a.shape());
+  const size_t n = out->data.size();
+  for (size_t i = 0; i < n; ++i) {
+    const float x = a.data()[i];
+    out->data[i] = x > 0.0f ? x : negative_slope * x;
+  }
+  ImplPtr pa = a.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa}, [o, pa, n, negative_slope] {
+    o->EnsureGrad();
+    pa->EnsureGrad();
+    for (size_t i = 0; i < n; ++i) {
+      pa->grad[i] +=
+          o->grad[i] * (pa->data[i] > 0.0f ? 1.0f : negative_slope);
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor Exp(const Tensor& a) {
+  auto out = NewImpl(a.shape());
+  const size_t n = out->data.size();
+  for (size_t i = 0; i < n; ++i) out->data[i] = std::exp(a.data()[i]);
+  ImplPtr pa = a.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa}, [o, pa, n] {
+    o->EnsureGrad();
+    pa->EnsureGrad();
+    for (size_t i = 0; i < n; ++i) pa->grad[i] += o->grad[i] * o->data[i];
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor Log(const Tensor& a) {
+  auto out = NewImpl(a.shape());
+  const size_t n = out->data.size();
+  for (size_t i = 0; i < n; ++i) {
+    CADRL_CHECK_GT(a.data()[i], 0.0f) << "Log requires positive inputs";
+    out->data[i] = std::log(a.data()[i]);
+  }
+  ImplPtr pa = a.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa}, [o, pa, n] {
+    o->EnsureGrad();
+    pa->EnsureGrad();
+    for (size_t i = 0; i < n; ++i) pa->grad[i] += o->grad[i] / pa->data[i];
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CADRL_CHECK_EQ(a.rank(), 2);
+  const int64_t m = a.rows(), k = a.cols();
+  if (b.rank() == 1) {
+    CADRL_CHECK_EQ(b.numel(), k);
+    auto out = NewImpl({m});
+    for (int64_t i = 0; i < m; ++i) {
+      float acc = 0.0f;
+      const float* arow = a.data() + i * k;
+      for (int64_t j = 0; j < k; ++j) acc += arow[j] * b.data()[j];
+      out->data[static_cast<size_t>(i)] = acc;
+    }
+    ImplPtr pa = a.impl(), pb = b.impl();
+    TensorImpl* o = out.get();
+    Track(out, {pa, pb}, [o, pa, pb, m, k] {
+      o->EnsureGrad();
+      if (pa->requires_grad) {
+        pa->EnsureGrad();
+        for (int64_t i = 0; i < m; ++i) {
+          const float g = o->grad[static_cast<size_t>(i)];
+          float* arow = pa->grad.data() + i * k;
+          for (int64_t j = 0; j < k; ++j) arow[j] += g * pb->data[j];
+        }
+      }
+      if (pb->requires_grad) {
+        pb->EnsureGrad();
+        for (int64_t i = 0; i < m; ++i) {
+          const float g = o->grad[static_cast<size_t>(i)];
+          const float* arow = pa->data.data() + i * k;
+          for (int64_t j = 0; j < k; ++j) pb->grad[j] += g * arow[j];
+        }
+      }
+    });
+    return MakeFromImpl(out);
+  }
+  CADRL_CHECK_EQ(b.rank(), 2);
+  CADRL_CHECK_EQ(b.rows(), k);
+  const int64_t p = b.cols();
+  auto out = NewImpl({m, p});
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = out->data.data() + i * p;
+    for (int64_t j = 0; j < k; ++j) {
+      const float av = arow[j];
+      const float* brow = b.data() + j * p;
+      for (int64_t c = 0; c < p; ++c) orow[c] += av * brow[c];
+    }
+  }
+  ImplPtr pa = a.impl(), pb = b.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa, pb}, [o, pa, pb, m, k, p] {
+    o->EnsureGrad();
+    if (pa->requires_grad) {
+      pa->EnsureGrad();
+      // dA = dC * B^T
+      for (int64_t i = 0; i < m; ++i) {
+        const float* grow = o->grad.data() + i * p;
+        float* arow = pa->grad.data() + i * k;
+        for (int64_t j = 0; j < k; ++j) {
+          const float* brow = pb->data.data() + j * p;
+          float acc = 0.0f;
+          for (int64_t c = 0; c < p; ++c) acc += grow[c] * brow[c];
+          arow[j] += acc;
+        }
+      }
+    }
+    if (pb->requires_grad) {
+      pb->EnsureGrad();
+      // dB = A^T * dC
+      for (int64_t i = 0; i < m; ++i) {
+        const float* arow = pa->data.data() + i * k;
+        const float* grow = o->grad.data() + i * p;
+        for (int64_t j = 0; j < k; ++j) {
+          float* brow = pb->grad.data() + j * p;
+          const float av = arow[j];
+          for (int64_t c = 0; c < p; ++c) brow[c] += av * grow[c];
+        }
+      }
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor Dot(const Tensor& a, const Tensor& b) {
+  CADRL_CHECK_EQ(a.rank(), 1);
+  CADRL_CHECK_EQ(b.rank(), 1);
+  CADRL_CHECK_EQ(a.numel(), b.numel());
+  const size_t n = static_cast<size_t>(a.numel());
+  auto out = NewImpl({});
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a.data()[i] * b.data()[i];
+  out->data[0] = acc;
+  ImplPtr pa = a.impl(), pb = b.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa, pb}, [o, pa, pb, n] {
+    o->EnsureGrad();
+    const float g = o->grad[0];
+    if (pa->requires_grad) {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) pa->grad[i] += g * pb->data[i];
+    }
+    if (pb->requires_grad) {
+      pb->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) pb->grad[i] += g * pa->data[i];
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor Sum(const Tensor& a) {
+  auto out = NewImpl({});
+  const size_t n = a.impl()->data.size();
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a.data()[i];
+  out->data[0] = acc;
+  ImplPtr pa = a.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa}, [o, pa, n] {
+    o->EnsureGrad();
+    pa->EnsureGrad();
+    const float g = o->grad[0];
+    for (size_t i = 0; i < n; ++i) pa->grad[i] += g;
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor Mean(const Tensor& a) {
+  return MulScalar(Sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor Concat(const std::vector<Tensor>& parts) {
+  CADRL_CHECK(!parts.empty());
+  int64_t total = 0;
+  for (const Tensor& t : parts) {
+    CADRL_CHECK_EQ(t.rank(), 1);
+    total += t.numel();
+  }
+  auto out = NewImpl({total});
+  std::vector<ImplPtr> parents;
+  parents.reserve(parts.size());
+  size_t offset = 0;
+  for (const Tensor& t : parts) {
+    std::copy(t.data(), t.data() + t.numel(), out->data.begin() + offset);
+    offset += static_cast<size_t>(t.numel());
+    parents.push_back(t.impl());
+  }
+  TensorImpl* o = out.get();
+  auto ps = parents;
+  Track(out, std::move(parents), [o, ps] {
+    o->EnsureGrad();
+    size_t off = 0;
+    for (const auto& p : ps) {
+      const size_t n = p->data.size();
+      if (p->requires_grad) {
+        p->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) p->grad[i] += o->grad[off + i];
+      }
+      off += n;
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor Slice(const Tensor& a, int64_t begin, int64_t len) {
+  CADRL_CHECK_EQ(a.rank(), 1);
+  CADRL_CHECK_GE(begin, 0);
+  CADRL_CHECK_GT(len, 0);
+  CADRL_CHECK_LE(begin + len, a.numel());
+  auto out = NewImpl({len});
+  std::copy(a.data() + begin, a.data() + begin + len, out->data.begin());
+  ImplPtr pa = a.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa}, [o, pa, begin, len] {
+    o->EnsureGrad();
+    pa->EnsureGrad();
+    for (int64_t i = 0; i < len; ++i) {
+      pa->grad[static_cast<size_t>(begin + i)] +=
+          o->grad[static_cast<size_t>(i)];
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor StackRows(const std::vector<Tensor>& rows) {
+  CADRL_CHECK(!rows.empty());
+  const int64_t d = rows[0].numel();
+  const int64_t m = static_cast<int64_t>(rows.size());
+  auto out = NewImpl({m, d});
+  std::vector<ImplPtr> parents;
+  parents.reserve(rows.size());
+  for (int64_t r = 0; r < m; ++r) {
+    CADRL_CHECK_EQ(rows[static_cast<size_t>(r)].rank(), 1);
+    CADRL_CHECK_EQ(rows[static_cast<size_t>(r)].numel(), d);
+    std::copy(rows[static_cast<size_t>(r)].data(),
+              rows[static_cast<size_t>(r)].data() + d,
+              out->data.begin() + r * d);
+    parents.push_back(rows[static_cast<size_t>(r)].impl());
+  }
+  TensorImpl* o = out.get();
+  auto ps = parents;
+  Track(out, std::move(parents), [o, ps, d] {
+    o->EnsureGrad();
+    for (size_t r = 0; r < ps.size(); ++r) {
+      const auto& p = ps[r];
+      if (!p->requires_grad) continue;
+      p->EnsureGrad();
+      const float* grow = o->grad.data() + static_cast<int64_t>(r) * d;
+      for (int64_t i = 0; i < d; ++i) p->grad[static_cast<size_t>(i)] += grow[i];
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor GatherRow(const Tensor& table, int64_t index) {
+  CADRL_CHECK_EQ(table.rank(), 2);
+  CADRL_CHECK_GE(index, 0);
+  CADRL_CHECK_LT(index, table.rows());
+  const int64_t d = table.cols();
+  auto out = NewImpl({d});
+  std::copy(table.data() + index * d, table.data() + (index + 1) * d,
+            out->data.begin());
+  ImplPtr pt = table.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pt}, [o, pt, index, d] {
+    o->EnsureGrad();
+    pt->EnsureGrad();
+    float* trow = pt->grad.data() + index * d;
+    for (int64_t i = 0; i < d; ++i) trow[i] += o->grad[static_cast<size_t>(i)];
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
+  auto out = NewImpl(std::move(shape));
+  CADRL_CHECK_EQ(out->data.size(), a.impl()->data.size());
+  out->data = a.impl()->data;
+  const size_t n = out->data.size();
+  ImplPtr pa = a.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa}, [o, pa, n] {
+    o->EnsureGrad();
+    pa->EnsureGrad();
+    for (size_t i = 0; i < n; ++i) pa->grad[i] += o->grad[i];
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor Softmax(const Tensor& logits) {
+  CADRL_CHECK_EQ(logits.rank(), 1);
+  const int64_t n = logits.numel();
+  auto out = NewImpl({n});
+  float max_logit = logits.data()[0];
+  for (int64_t i = 1; i < n; ++i) {
+    max_logit = std::max(max_logit, logits.data()[i]);
+  }
+  float denom = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    out->data[static_cast<size_t>(i)] = std::exp(logits.data()[i] - max_logit);
+    denom += out->data[static_cast<size_t>(i)];
+  }
+  for (int64_t i = 0; i < n; ++i) out->data[static_cast<size_t>(i)] /= denom;
+  ImplPtr pl = logits.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pl}, [o, pl, n] {
+    o->EnsureGrad();
+    pl->EnsureGrad();
+    float dot = 0.0f;
+    for (int64_t i = 0; i < n; ++i) {
+      dot += o->grad[static_cast<size_t>(i)] * o->data[static_cast<size_t>(i)];
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      pl->grad[static_cast<size_t>(i)] +=
+          o->data[static_cast<size_t>(i)] *
+          (o->grad[static_cast<size_t>(i)] - dot);
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor LogSoftmax(const Tensor& logits) {
+  CADRL_CHECK_EQ(logits.rank(), 1);
+  const int64_t n = logits.numel();
+  auto out = NewImpl({n});
+  float max_logit = logits.data()[0];
+  for (int64_t i = 1; i < n; ++i) {
+    max_logit = std::max(max_logit, logits.data()[i]);
+  }
+  float denom = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    denom += std::exp(logits.data()[i] - max_logit);
+  }
+  const float log_denom = std::log(denom) + max_logit;
+  for (int64_t i = 0; i < n; ++i) {
+    out->data[static_cast<size_t>(i)] = logits.data()[i] - log_denom;
+  }
+  ImplPtr pl = logits.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pl}, [o, pl, n] {
+    o->EnsureGrad();
+    pl->EnsureGrad();
+    float grad_sum = 0.0f;
+    for (int64_t i = 0; i < n; ++i) grad_sum += o->grad[static_cast<size_t>(i)];
+    for (int64_t i = 0; i < n; ++i) {
+      const float softmax_i = std::exp(o->data[static_cast<size_t>(i)]);
+      pl->grad[static_cast<size_t>(i)] +=
+          o->grad[static_cast<size_t>(i)] - grad_sum * softmax_i;
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor CosineSimilarity(const Tensor& a, const Tensor& b, float eps) {
+  CADRL_CHECK_EQ(a.rank(), 1);
+  CADRL_CHECK_EQ(b.rank(), 1);
+  CADRL_CHECK_EQ(a.numel(), b.numel());
+  const size_t n = static_cast<size_t>(a.numel());
+  float dot = 0.0f, na2 = 0.0f, nb2 = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    dot += a.data()[i] * b.data()[i];
+    na2 += a.data()[i] * a.data()[i];
+    nb2 += b.data()[i] * b.data()[i];
+  }
+  const float na = std::max(std::sqrt(na2), eps);
+  const float nb = std::max(std::sqrt(nb2), eps);
+  auto out = NewImpl({});
+  const float cos = dot / (na * nb);
+  out->data[0] = cos;
+  ImplPtr pa = a.impl(), pb = b.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa, pb}, [o, pa, pb, n, na, nb, cos] {
+    o->EnsureGrad();
+    const float g = o->grad[0];
+    if (pa->requires_grad) {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) {
+        pa->grad[i] +=
+            g * (pb->data[i] / (na * nb) - cos * pa->data[i] / (na * na));
+      }
+    }
+    if (pb->requires_grad) {
+      pb->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) {
+        pb->grad[i] +=
+            g * (pa->data[i] / (na * nb) - cos * pb->data[i] / (nb * nb));
+      }
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+}  // namespace ag
+}  // namespace cadrl

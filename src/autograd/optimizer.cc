@@ -1,0 +1,94 @@
+#include "autograd/optimizer.h"
+
+#include <cmath>
+
+namespace cadrl {
+namespace ag {
+
+Optimizer::Optimizer(std::vector<Tensor> params)
+    : params_(std::move(params)) {
+  for (const Tensor& p : params_) {
+    CADRL_CHECK(p.defined());
+    CADRL_CHECK(p.requires_grad());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (Tensor& p : params_) {
+    const float* g = p.grad();
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      total += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Tensor& p : params_) {
+      float* g = p.grad();
+      for (int64_t i = 0; i < p.numel(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+void Sgd::Step() {
+  for (Tensor& p : params_) {
+    float* data = p.data();
+    const float* grad = p.grad();
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      data[i] -= lr_ * (grad[i] + weight_decay_ * data[i]);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    m_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
+    v_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Tensor& p = params_[k];
+    float* data = p.data();
+    const float* grad = p.grad();
+    auto& m = m_[k];
+    auto& v = v_[k];
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      const float g = grad[i] + weight_decay_ * data[i];
+      m[static_cast<size_t>(i)] =
+          beta1_ * m[static_cast<size_t>(i)] + (1.0f - beta1_) * g;
+      v[static_cast<size_t>(i)] =
+          beta2_ * v[static_cast<size_t>(i)] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[static_cast<size_t>(i)] / bias1;
+      const float v_hat = v[static_cast<size_t>(i)] / bias2;
+      data[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace ag
+}  // namespace cadrl

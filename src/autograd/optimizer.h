@@ -1,0 +1,69 @@
+#ifndef CADRL_AUTOGRAD_OPTIMIZER_H_
+#define CADRL_AUTOGRAD_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/tensor.h"
+
+namespace cadrl {
+namespace ag {
+
+// Base class for first-order optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  // Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  // Clears the gradients of all parameters.
+  void ZeroGrad();
+
+  // Rescales gradients so their global L2 norm is at most `max_norm`.
+  // Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+// Plain stochastic gradient descent with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float weight_decay = 0.0f);
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+// Adam (Kingma & Ba). The paper trains CADRL with Adam, lr 1e-4.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<float>> m_;  // first moments per parameter
+  std::vector<std::vector<float>> v_;  // second moments per parameter
+};
+
+}  // namespace ag
+}  // namespace cadrl
+
+#endif  // CADRL_AUTOGRAD_OPTIMIZER_H_

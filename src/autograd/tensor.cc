@@ -1,0 +1,153 @@
+#include "autograd/tensor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cadrl {
+namespace ag {
+namespace {
+
+int64_t NumelOf(const std::vector<int64_t>& shape) {
+  CADRL_CHECK_LE(shape.size(), 2u) << "tensors are rank 0-2";
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    CADRL_CHECK_GT(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+thread_local int g_no_grad_depth = 0;
+
+}  // namespace
+
+Tensor MakeFromImpl(std::shared_ptr<TensorImpl> impl) {
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromVector({value}, {}, requires_grad);
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape, bool requires_grad) {
+  return Full(std::move(shape), 0.0f, requires_grad);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value,
+                    bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->data.assign(NumelOf(shape), value);
+  impl->shape = std::move(shape);
+  impl->requires_grad = requires_grad;
+  return MakeFromImpl(std::move(impl));
+}
+
+Tensor Tensor::FromVector(std::vector<float> values,
+                          std::vector<int64_t> shape, bool requires_grad) {
+  CADRL_CHECK_EQ(static_cast<int64_t>(values.size()), NumelOf(shape));
+  auto impl = std::make_shared<TensorImpl>();
+  impl->data = std::move(values);
+  impl->shape = std::move(shape);
+  impl->requires_grad = requires_grad;
+  return MakeFromImpl(std::move(impl));
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng* rng, float stddev,
+                     bool requires_grad) {
+  CADRL_CHECK(rng != nullptr);
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  float* d = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    d[i] = static_cast<float>(rng->Gaussian(0.0, stddev));
+  }
+  return t;
+}
+
+int64_t Tensor::rows() const {
+  CADRL_CHECK_EQ(rank(), 2);
+  return impl_->shape[0];
+}
+
+int64_t Tensor::cols() const {
+  CADRL_CHECK_EQ(rank(), 2);
+  return impl_->shape[1];
+}
+
+float* Tensor::grad() {
+  impl_->EnsureGrad();
+  return impl_->grad.data();
+}
+
+const float* Tensor::grad() const {
+  impl_->EnsureGrad();
+  return impl_->grad.data();
+}
+
+float Tensor::item() const {
+  CADRL_CHECK_EQ(numel(), 1);
+  return impl_->data[0];
+}
+
+float Tensor::at(int64_t i) const {
+  CADRL_CHECK_EQ(rank(), 1);
+  CADRL_CHECK_GE(i, 0);
+  CADRL_CHECK_LT(i, numel());
+  return impl_->data[static_cast<size_t>(i)];
+}
+
+float Tensor::at(int64_t r, int64_t c) const {
+  CADRL_CHECK_EQ(rank(), 2);
+  CADRL_CHECK_GE(r, 0);
+  CADRL_CHECK_LT(r, rows());
+  CADRL_CHECK_GE(c, 0);
+  CADRL_CHECK_LT(c, cols());
+  return impl_->data[static_cast<size_t>(r * cols() + c)];
+}
+
+void Tensor::ZeroGrad() {
+  impl_->EnsureGrad();
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+Tensor Tensor::Detach() const {
+  return FromVector(impl_->data, impl_->shape, /*requires_grad=*/false);
+}
+
+void Backward(const Tensor& root) {
+  CADRL_CHECK(root.defined());
+  CADRL_CHECK_EQ(root.numel(), 1) << "Backward requires a scalar root";
+  // Iterative post-order DFS to get a reverse topological order.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root.impl().get(), 0});
+  visited.insert(root.impl().get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      TensorImpl* parent = f.node->parents[f.next_parent++].get();
+      if (visited.insert(parent).second) stack.push_back({parent, 0});
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  // Seed d(root)/d(root) = 1 and propagate in reverse topological order.
+  root.impl()->EnsureGrad();
+  root.impl()->grad[0] += 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn();
+  }
+}
+
+NoGradGuard::NoGradGuard() { ++g_no_grad_depth; }
+NoGradGuard::~NoGradGuard() { --g_no_grad_depth; }
+
+bool GradEnabled() { return g_no_grad_depth == 0; }
+
+}  // namespace ag
+}  // namespace cadrl

@@ -1,0 +1,110 @@
+#ifndef CADRL_AUTOGRAD_TENSOR_H_
+#define CADRL_AUTOGRAD_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cadrl {
+namespace ag {
+
+// Shared storage + tape node behind a Tensor handle. Not used directly by
+// clients; exposed so op implementations (ops.cc) can build the graph.
+struct TensorImpl {
+  std::vector<int64_t> shape;  // rank 0 (scalar), 1 (vector) or 2 (matrix)
+  std::vector<float> data;
+  std::vector<float> grad;  // allocated lazily; same length as data
+  bool requires_grad = false;
+  // Propagates this node's grad into its parents' grads. Null for leaves.
+  std::function<void()> backward_fn;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+// A dense float tensor of rank 0-2 with reverse-mode automatic
+// differentiation. Tensor is a cheap value-semantic handle: copies share the
+// underlying storage and tape node. Build computations with the free
+// functions in ops.h, then call Backward() on a scalar result.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // --- Factory functions ---
+  static Tensor Scalar(float value, bool requires_grad = false);
+  static Tensor Zeros(std::vector<int64_t> shape, bool requires_grad = false);
+  static Tensor Full(std::vector<int64_t> shape, float value,
+                     bool requires_grad = false);
+  static Tensor FromVector(std::vector<float> values,
+                           std::vector<int64_t> shape,
+                           bool requires_grad = false);
+  // I.i.d. Gaussian entries with the given standard deviation.
+  static Tensor Randn(std::vector<int64_t> shape, Rng* rng, float stddev,
+                      bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+
+  // --- Shape accessors ---
+  int rank() const { return static_cast<int>(impl_->shape.size()); }
+  const std::vector<int64_t>& shape() const { return impl_->shape; }
+  int64_t numel() const { return static_cast<int64_t>(impl_->data.size()); }
+  // Rank-2 helpers.
+  int64_t rows() const;
+  int64_t cols() const;
+
+  // --- Data access ---
+  float* data() { return impl_->data.data(); }
+  const float* data() const { return impl_->data.data(); }
+  float* grad();
+  const float* grad() const;
+  // Scalar value; requires rank 0 or numel()==1.
+  float item() const;
+  float at(int64_t i) const;          // rank-1 element
+  float at(int64_t r, int64_t c) const;  // rank-2 element
+
+  bool requires_grad() const { return impl_->requires_grad; }
+  void set_requires_grad(bool value) { impl_->requires_grad = value; }
+  void ZeroGrad();
+
+  // Deep copy of the values only (result is a leaf with no history).
+  Tensor Detach() const;
+
+  const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
+
+ private:
+  friend Tensor MakeFromImpl(std::shared_ptr<TensorImpl> impl);
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+// Internal: wraps an impl in a handle (used by ops.cc).
+Tensor MakeFromImpl(std::shared_ptr<TensorImpl> impl);
+
+// Runs reverse-mode differentiation from `root` (must be a scalar),
+// accumulating into .grad() of every reachable tensor that requires grad.
+// Grads accumulate across calls; use Optimizer::ZeroGrad between steps.
+void Backward(const Tensor& root);
+
+// While alive, newly created ops record no tape (inference mode). Nestable.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+};
+
+// True unless inside a NoGradGuard.
+bool GradEnabled();
+
+}  // namespace ag
+}  // namespace cadrl
+
+#endif  // CADRL_AUTOGRAD_TENSOR_H_

@@ -1,0 +1,167 @@
+#include "baselines/cafe.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cadrl {
+namespace baselines {
+
+CafeRecommender::CafeRecommender(const CafeOptions& options)
+    : options_(options) {}
+
+Status CafeRecommender::Fit(const data::Dataset& dataset) {
+  CADRL_RETURN_IF_ERROR(options_.transe.Validate());
+  if (options_.patterns_per_user < 1 || options_.branch_cap < 1) {
+    return Status::InvalidArgument("bad CAFE configuration");
+  }
+  dataset_ = &dataset;
+  transe_ = std::make_unique<embed::TransEModel>(
+      embed::TransEModel::Train(dataset.graph, options_.transe));
+  index_ = std::make_unique<TrainIndex>(dataset);
+  const kg::KnowledgeGraph& graph = dataset.graph;
+
+  // Coarse stage: mine each user's meta-path profile from its own train
+  // interactions; aggregate into a global fallback profile.
+  profiles_.clear();
+  std::map<Rule, int64_t> global_counts;
+  for (size_t u = 0; u < dataset.users.size(); ++u) {
+    const kg::EntityId user = dataset.users[u];
+    std::map<Rule, int64_t> counts;
+    for (kg::EntityId item : dataset.train_items[u]) {
+      CollectRulePatterns(graph, user, item, options_.max_pattern_length,
+                          &counts, options_.mining_budget);
+    }
+    counts.erase(Rule{kg::Relation::kPurchase});
+    for (const auto& [rule, c] : counts) global_counts[rule] += c;
+    std::vector<std::pair<int64_t, Rule>> ranked;
+    for (const auto& [rule, c] : counts) ranked.emplace_back(c, rule);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    std::vector<Rule> profile;
+    for (const auto& [c, rule] : ranked) {
+      if (static_cast<int>(profile.size()) >= options_.patterns_per_user) {
+        break;
+      }
+      profile.push_back(rule);
+    }
+    profiles_[user] = std::move(profile);
+  }
+  {
+    std::vector<std::pair<int64_t, Rule>> ranked;
+    for (const auto& [rule, c] : global_counts) ranked.emplace_back(c, rule);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    global_profile_.clear();
+    for (const auto& [c, rule] : ranked) {
+      if (static_cast<int>(global_profile_.size()) >=
+          options_.patterns_per_user) {
+        break;
+      }
+      global_profile_.push_back(rule);
+    }
+  }
+  return Status::OK();
+}
+
+const std::vector<Rule>& CafeRecommender::ProfileOf(kg::EntityId user) const {
+  const auto it = profiles_.find(user);
+  if (it != profiles_.end() && !it->second.empty()) return it->second;
+  return global_profile_;
+}
+
+std::vector<eval::Recommendation> CafeRecommender::Recommend(
+    kg::EntityId user, int k) {
+  CADRL_CHECK(transe_ != nullptr) << "call Fit() first";
+  CADRL_CHECK_GT(k, 0);
+  const kg::KnowledgeGraph& graph = dataset_->graph;
+
+  struct Candidate {
+    double score;
+    eval::RecommendationPath path;
+  };
+  std::unordered_map<kg::EntityId, Candidate> candidates;
+
+  // Fine stage: pattern-constrained beam search guided by TransE.
+  for (const Rule& pattern : ProfileOf(user)) {
+    struct Node {
+      kg::EntityId entity;
+      std::vector<eval::PathStep> steps;
+    };
+    std::vector<Node> frontier = {{user, {}}};
+    for (kg::Relation rel : pattern) {
+      std::vector<std::pair<float, Node>> expanded;
+      for (const Node& node : frontier) {
+        for (const kg::Edge& edge : graph.Neighbors(node.entity)) {
+          if (edge.relation != rel) continue;
+          Node child;
+          child.entity = edge.dst;
+          child.steps = node.steps;
+          child.steps.push_back({edge.relation, edge.dst});
+          expanded.emplace_back(
+              transe_->ScoreTriple(user, kg::Relation::kPurchase, edge.dst),
+              std::move(child));
+        }
+      }
+      const int64_t keep = std::min<int64_t>(options_.branch_cap,
+                                             expanded.size());
+      std::partial_sort(expanded.begin(), expanded.begin() + keep,
+                        expanded.end(), [](const auto& a, const auto& b) {
+                          if (a.first != b.first) return a.first > b.first;
+                          return a.second.entity < b.second.entity;
+                        });
+      frontier.clear();
+      for (int64_t i = 0; i < keep; ++i) {
+        frontier.push_back(std::move(expanded[static_cast<size_t>(i)].second));
+      }
+      if (frontier.empty()) break;
+    }
+    for (Node& node : frontier) {
+      if (!graph.IsItem(node.entity)) continue;
+      if (index_->IsTrainItem(user, node.entity)) continue;
+      const double score =
+          transe_->ScoreTriple(user, kg::Relation::kPurchase, node.entity);
+      auto it = candidates.find(node.entity);
+      if (it == candidates.end() || score > it->second.score) {
+        eval::RecommendationPath path;
+        path.user = user;
+        path.steps = std::move(node.steps);
+        candidates[node.entity] = {score, std::move(path)};
+      }
+    }
+  }
+
+  std::vector<std::pair<kg::EntityId, Candidate>> ranked(candidates.begin(),
+                                                         candidates.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.score != b.second.score) {
+      return a.second.score > b.second.score;
+    }
+    return a.first < b.first;
+  });
+  std::vector<eval::Recommendation> out;
+  for (auto& [item, cand] : ranked) {
+    if (static_cast<int>(out.size()) >= k) break;
+    out.push_back({item, cand.score, std::move(cand.path)});
+  }
+  return out;
+}
+
+std::vector<eval::RecommendationPath> CafeRecommender::FindPaths(
+    kg::EntityId user, int max_paths) {
+  std::vector<eval::RecommendationPath> out;
+  for (auto& rec : Recommend(user, max_paths)) {
+    if (!rec.path.empty()) out.push_back(std::move(rec.path));
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace cadrl

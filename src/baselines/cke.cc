@@ -1,0 +1,106 @@
+#include "baselines/cke.h"
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "util/logging.h"
+
+namespace cadrl {
+namespace baselines {
+
+CkeRecommender::CkeRecommender(const CkeOptions& options)
+    : options_(options) {}
+
+Status CkeRecommender::Fit(const data::Dataset& dataset) {
+  CADRL_RETURN_IF_ERROR(options_.transe.Validate());
+  if (options_.epochs < 0 || options_.lr <= 0.0f) {
+    return Status::InvalidArgument("bad CKE training configuration");
+  }
+  dataset_ = &dataset;
+  transe_ = std::make_unique<embed::TransEModel>(
+      embed::TransEModel::Train(dataset.graph, options_.transe));
+  index_ = std::make_unique<TrainIndex>(dataset);
+  Rng rng(options_.seed);
+  const int d = transe_->dim();
+
+  const auto& users = dataset.graph.EntitiesOfType(kg::EntityType::kUser);
+  const auto& items = dataset.graph.EntitiesOfType(kg::EntityType::kItem);
+  user_pos_.clear();
+  item_pos_.clear();
+  for (size_t i = 0; i < users.size(); ++i) {
+    user_pos_[users[i]] = static_cast<int64_t>(i);
+  }
+  for (size_t i = 0; i < items.size(); ++i) {
+    item_pos_[items[i]] = static_cast<int64_t>(i);
+  }
+  user_cf_ = std::make_unique<ag::Embedding>(
+      static_cast<int64_t>(users.size()), d, &rng, 0.1f);
+  item_cf_ = std::make_unique<ag::Embedding>(
+      static_cast<int64_t>(items.size()), d, &rng, 0.1f);
+
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> pairs;
+  for (size_t u = 0; u < dataset.users.size(); ++u) {
+    for (kg::EntityId item : dataset.train_items[u]) {
+      pairs.emplace_back(dataset.users[u], item);
+    }
+  }
+  if (pairs.empty()) return Status::InvalidArgument("no train interactions");
+
+  std::vector<ag::Tensor> params = user_cf_->Parameters();
+  for (ag::Tensor& p : item_cf_->Parameters()) params.push_back(p);
+  ag::Adam optimizer(params, options_.lr);
+
+  auto item_kg_tensor = [&](kg::EntityId item) {
+    const auto v = transe_->EntityVec(item);
+    return ag::Tensor::FromVector(std::vector<float>(v.begin(), v.end()),
+                                  {d});
+  };
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    std::vector<ag::Tensor> losses;
+    for (int b = 0; b < options_.pairs_per_epoch; ++b) {
+      const auto& [user, pos] = pairs[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(pairs.size())))];
+      const kg::EntityId neg = items[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(items.size())))];
+      if (neg == pos) continue;
+      const ag::Tensor u = user_cf_->Row(user_pos_.at(user));
+      const ag::Tensor vp =
+          ag::Add(item_cf_->Row(item_pos_.at(pos)), item_kg_tensor(pos));
+      const ag::Tensor vn =
+          ag::Add(item_cf_->Row(item_pos_.at(neg)), item_kg_tensor(neg));
+      const ag::Tensor diff = ag::Sub(ag::Dot(u, vp), ag::Dot(u, vn));
+      const ag::Tensor two =
+          ag::Concat({ag::Reshape(diff, {1}), ag::Tensor::Zeros({1})});
+      losses.push_back(ag::Neg(ag::Slice(ag::LogSoftmax(two), 0, 1)));
+    }
+    if (losses.empty()) continue;
+    ag::Backward(ag::MulScalar(ag::Sum(ag::Concat(losses)),
+                               1.0f / static_cast<float>(losses.size())));
+    optimizer.Step();
+  }
+  return Status::OK();
+}
+
+double CkeRecommender::Score(kg::EntityId user, kg::EntityId item) const {
+  const int d = transe_->dim();
+  const float* u = user_cf_->table().data() + user_pos_.at(user) * d;
+  const float* v_cf = item_cf_->table().data() + item_pos_.at(item) * d;
+  const auto v_kg = transe_->EntityVec(item);
+  double score = 0.0;
+  for (int i = 0; i < d; ++i) {
+    score += static_cast<double>(u[i]) *
+             (v_cf[i] + v_kg[static_cast<size_t>(i)]);
+  }
+  return score;
+}
+
+std::vector<eval::Recommendation> CkeRecommender::Recommend(
+    kg::EntityId user, int k) {
+  CADRL_CHECK(transe_ != nullptr) << "call Fit() first";
+  return RankAllItems(*dataset_, *index_, user, k,
+                      [&](kg::EntityId item) { return Score(user, item); });
+}
+
+}  // namespace baselines
+}  // namespace cadrl

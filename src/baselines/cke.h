@@ -1,0 +1,52 @@
+#ifndef CADRL_BASELINES_CKE_H_
+#define CADRL_BASELINES_CKE_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "autograd/module.h"
+#include "baselines/common.h"
+#include "embed/transe.h"
+#include "eval/recommender.h"
+
+namespace cadrl {
+namespace baselines {
+
+struct CkeOptions {
+  embed::TransEOptions transe;
+  int epochs = 20;
+  int pairs_per_epoch = 256;
+  float lr = 0.02f;
+  uint64_t seed = 21;
+};
+
+// CKE (Zhang et al. 2016): collaborative filtering embeddings fused with
+// the item's structural (TransE) embedding — score(u,v) = u_cf · (v_cf +
+// v_kg), BPR-trained. The KG part is frozen, as in the original's
+// structural-knowledge branch.
+class CkeRecommender : public eval::Recommender {
+ public:
+  explicit CkeRecommender(const CkeOptions& options = {});
+
+  std::string name() const override { return "CKE"; }
+  Status Fit(const data::Dataset& dataset) override;
+  std::vector<eval::Recommendation> Recommend(kg::EntityId user,
+                                              int k) override;
+
+ private:
+  double Score(kg::EntityId user, kg::EntityId item) const;
+
+  CkeOptions options_;
+  const data::Dataset* dataset_ = nullptr;
+  std::unique_ptr<embed::TransEModel> transe_;
+  std::unique_ptr<TrainIndex> index_;
+  std::unique_ptr<ag::Embedding> user_cf_;
+  std::unique_ptr<ag::Embedding> item_cf_;
+  std::unordered_map<kg::EntityId, int64_t> user_pos_;
+  std::unordered_map<kg::EntityId, int64_t> item_pos_;
+};
+
+}  // namespace baselines
+}  // namespace cadrl
+
+#endif  // CADRL_BASELINES_CKE_H_

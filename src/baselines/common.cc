@@ -1,0 +1,99 @@
+#include "baselines/common.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace baselines {
+
+TrainIndex::TrainIndex(const data::Dataset& dataset) {
+  for (size_t u = 0; u < dataset.users.size(); ++u) {
+    const kg::EntityId user = dataset.users[u];
+    lists_[user] = dataset.train_items[u];
+    sets_[user] = std::unordered_set<kg::EntityId>(
+        dataset.train_items[u].begin(), dataset.train_items[u].end());
+  }
+}
+
+bool TrainIndex::IsTrainItem(kg::EntityId user, kg::EntityId item) const {
+  const auto it = sets_.find(user);
+  return it != sets_.end() && it->second.count(item) > 0;
+}
+
+const std::vector<kg::EntityId>& TrainIndex::TrainItems(
+    kg::EntityId user) const {
+  const auto it = lists_.find(user);
+  return it != lists_.end() ? it->second : empty_;
+}
+
+std::vector<eval::Recommendation> RankAllItems(
+    const data::Dataset& dataset, const TrainIndex& index, kg::EntityId user,
+    int k, const std::function<double(kg::EntityId)>& score) {
+  CADRL_CHECK_GT(k, 0);
+  const auto& items = dataset.graph.EntitiesOfType(kg::EntityType::kItem);
+  std::vector<std::pair<double, kg::EntityId>> scored;
+  scored.reserve(items.size());
+  for (kg::EntityId item : items) {
+    if (index.IsTrainItem(user, item)) continue;
+    scored.emplace_back(score(item), item);
+  }
+  const int64_t take = std::min<int64_t>(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<eval::Recommendation> out;
+  out.reserve(static_cast<size_t>(take));
+  for (int64_t i = 0; i < take; ++i) {
+    out.push_back({scored[static_cast<size_t>(i)].second,
+                   scored[static_cast<size_t>(i)].first,
+                   {}});
+  }
+  return out;
+}
+
+eval::RecommendationPath ShortestPath(const kg::KnowledgeGraph& graph,
+                                      kg::EntityId user, kg::EntityId item,
+                                      int max_hops) {
+  eval::RecommendationPath path;
+  path.user = user;
+  if (user == item) return path;
+  std::vector<int32_t> parent(static_cast<size_t>(graph.num_entities()), -2);
+  std::vector<kg::Relation> via(static_cast<size_t>(graph.num_entities()),
+                                kg::Relation::kSelfLoop);
+  parent[static_cast<size_t>(user)] = -1;
+  std::vector<kg::EntityId> frontier = {user};
+  bool found = false;
+  for (int depth = 0; depth < max_hops && !found && !frontier.empty();
+       ++depth) {
+    std::vector<kg::EntityId> next;
+    for (kg::EntityId e : frontier) {
+      for (const kg::Edge& edge : graph.Neighbors(e)) {
+        if (parent[static_cast<size_t>(edge.dst)] != -2) continue;
+        parent[static_cast<size_t>(edge.dst)] = e;
+        via[static_cast<size_t>(edge.dst)] = edge.relation;
+        if (edge.dst == item) {
+          found = true;
+          break;
+        }
+        next.push_back(edge.dst);
+      }
+      if (found) break;
+    }
+    frontier = std::move(next);
+  }
+  if (!found) return path;
+  std::vector<eval::PathStep> steps;
+  for (kg::EntityId e = item; e != user;
+       e = static_cast<kg::EntityId>(parent[static_cast<size_t>(e)])) {
+    steps.push_back({via[static_cast<size_t>(e)], e});
+  }
+  std::reverse(steps.begin(), steps.end());
+  path.steps = std::move(steps);
+  return path;
+}
+
+}  // namespace baselines
+}  // namespace cadrl

@@ -1,0 +1,45 @@
+#ifndef CADRL_BASELINES_COMMON_H_
+#define CADRL_BASELINES_COMMON_H_
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/recommender.h"
+
+namespace cadrl {
+namespace baselines {
+
+// Per-user train-item index shared by the score-all-items baselines.
+class TrainIndex {
+ public:
+  explicit TrainIndex(const data::Dataset& dataset);
+
+  bool IsTrainItem(kg::EntityId user, kg::EntityId item) const;
+  const std::vector<kg::EntityId>& TrainItems(kg::EntityId user) const;
+
+ private:
+  std::unordered_map<kg::EntityId, std::unordered_set<kg::EntityId>> sets_;
+  std::unordered_map<kg::EntityId, std::vector<kg::EntityId>> lists_;
+  std::vector<kg::EntityId> empty_;
+};
+
+// Ranks every item by `score` (higher is better), excluding the user's
+// train items, and returns the top k as Recommendations (no paths).
+std::vector<eval::Recommendation> RankAllItems(
+    const data::Dataset& dataset, const TrainIndex& index, kg::EntityId user,
+    int k, const std::function<double(kg::EntityId)>& score);
+
+// Bounded BFS from user to item (<= max_hops); returns the first shortest
+// path found as a RecommendationPath (empty if unreachable). Used by
+// baselines that attach post-hoc explanations.
+eval::RecommendationPath ShortestPath(const kg::KnowledgeGraph& graph,
+                                      kg::EntityId user, kg::EntityId item,
+                                      int max_hops);
+
+}  // namespace baselines
+}  // namespace cadrl
+
+#endif  // CADRL_BASELINES_COMMON_H_

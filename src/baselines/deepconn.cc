@@ -1,0 +1,141 @@
+#include "baselines/deepconn.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "util/logging.h"
+
+namespace cadrl {
+namespace baselines {
+namespace {
+
+void Normalize(std::vector<float>* v) {
+  float norm = 0.0f;
+  for (float x : *v) norm += x * x;
+  norm = std::sqrt(std::max(norm, 1e-12f));
+  for (float& x : *v) x /= norm;
+}
+
+}  // namespace
+
+DeepConnRecommender::DeepConnRecommender(const DeepConnOptions& options)
+    : options_(options) {}
+
+Status DeepConnRecommender::Fit(const data::Dataset& dataset) {
+  if (options_.dim < 2 || options_.epochs < 0 || options_.lr <= 0.0f) {
+    return Status::InvalidArgument("bad DeepCoNN configuration");
+  }
+  dataset_ = &dataset;
+  index_ = std::make_unique<TrainIndex>(dataset);
+  const kg::KnowledgeGraph& graph = dataset.graph;
+  const auto& features = graph.EntitiesOfType(kg::EntityType::kFeature);
+  num_features_ = static_cast<int64_t>(features.size());
+  if (num_features_ == 0) {
+    return Status::FailedPrecondition("KG has no feature entities");
+  }
+  std::unordered_map<kg::EntityId, int64_t> feature_pos;
+  for (size_t i = 0; i < features.size(); ++i) {
+    feature_pos[features[i]] = static_cast<int64_t>(i);
+  }
+
+  // Item documents: Described_by feature bags.
+  item_docs_.clear();
+  for (kg::EntityId item : graph.EntitiesOfType(kg::EntityType::kItem)) {
+    std::vector<float> doc(static_cast<size_t>(num_features_), 0.0f);
+    for (const kg::Edge& edge : graph.Neighbors(item)) {
+      if (edge.relation == kg::Relation::kDescribedBy) {
+        doc[static_cast<size_t>(feature_pos.at(edge.dst))] += 1.0f;
+      }
+    }
+    Normalize(&doc);
+    item_docs_[item] = std::move(doc);
+  }
+  // User documents: Mentioned features plus features of purchased items.
+  user_docs_.clear();
+  for (size_t u = 0; u < dataset.users.size(); ++u) {
+    const kg::EntityId user = dataset.users[u];
+    std::vector<float> doc(static_cast<size_t>(num_features_), 0.0f);
+    for (const kg::Edge& edge : graph.Neighbors(user)) {
+      if (edge.relation == kg::Relation::kMention) {
+        doc[static_cast<size_t>(feature_pos.at(edge.dst))] += 1.0f;
+      }
+    }
+    for (kg::EntityId item : dataset.train_items[u]) {
+      const auto& item_doc = item_docs_.at(item);
+      for (size_t i = 0; i < item_doc.size(); ++i) doc[i] += item_doc[i];
+    }
+    Normalize(&doc);
+    user_docs_[user] = std::move(doc);
+  }
+
+  Rng rng(options_.seed);
+  user_tower_ = std::make_unique<ag::Linear>(num_features_, options_.dim,
+                                             &rng);
+  item_tower_ = std::make_unique<ag::Linear>(num_features_, options_.dim,
+                                             &rng);
+  std::vector<ag::Tensor> params = user_tower_->Parameters();
+  for (ag::Tensor& p : item_tower_->Parameters()) params.push_back(p);
+  ag::Adam optimizer(params, options_.lr);
+
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> pairs;
+  for (size_t u = 0; u < dataset.users.size(); ++u) {
+    for (kg::EntityId item : dataset.train_items[u]) {
+      pairs.emplace_back(dataset.users[u], item);
+    }
+  }
+  const auto& items = graph.EntitiesOfType(kg::EntityType::kItem);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    std::vector<ag::Tensor> losses;
+    for (int b = 0; b < options_.pairs_per_epoch; ++b) {
+      const auto& [user, pos] = pairs[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(pairs.size())))];
+      const kg::EntityId neg = items[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(items.size())))];
+      if (neg == pos) continue;
+      const ag::Tensor u = ag::Tanh(user_tower_->Forward(UserDoc(user)));
+      const ag::Tensor vp = ag::Tanh(item_tower_->Forward(ItemDoc(pos)));
+      const ag::Tensor vn = ag::Tanh(item_tower_->Forward(ItemDoc(neg)));
+      const ag::Tensor diff = ag::Sub(ag::Dot(u, vp), ag::Dot(u, vn));
+      const ag::Tensor two =
+          ag::Concat({ag::Reshape(diff, {1}), ag::Tensor::Zeros({1})});
+      losses.push_back(ag::Neg(ag::Slice(ag::LogSoftmax(two), 0, 1)));
+    }
+    if (losses.empty()) continue;
+    ag::Backward(ag::MulScalar(ag::Sum(ag::Concat(losses)),
+                               1.0f / static_cast<float>(losses.size())));
+    optimizer.Step();
+  }
+  return Status::OK();
+}
+
+ag::Tensor DeepConnRecommender::UserDoc(kg::EntityId user) const {
+  const auto it = user_docs_.find(user);
+  CADRL_CHECK(it != user_docs_.end());
+  return ag::Tensor::FromVector(it->second, {num_features_});
+}
+
+ag::Tensor DeepConnRecommender::ItemDoc(kg::EntityId item) const {
+  const auto it = item_docs_.find(item);
+  CADRL_CHECK(it != item_docs_.end());
+  return ag::Tensor::FromVector(it->second, {num_features_});
+}
+
+double DeepConnRecommender::Score(kg::EntityId user,
+                                  kg::EntityId item) const {
+  ag::NoGradGuard guard;
+  const ag::Tensor u = ag::Tanh(user_tower_->Forward(UserDoc(user)));
+  const ag::Tensor v = ag::Tanh(item_tower_->Forward(ItemDoc(item)));
+  return static_cast<double>(ag::Dot(u, v).item());
+}
+
+std::vector<eval::Recommendation> DeepConnRecommender::Recommend(
+    kg::EntityId user, int k) {
+  CADRL_CHECK(user_tower_ != nullptr) << "call Fit() first";
+  return RankAllItems(*dataset_, *index_, user, k,
+                      [&](kg::EntityId item) { return Score(user, item); });
+}
+
+}  // namespace baselines
+}  // namespace cadrl

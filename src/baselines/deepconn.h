@@ -1,0 +1,56 @@
+#ifndef CADRL_BASELINES_DEEPCONN_H_
+#define CADRL_BASELINES_DEEPCONN_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "autograd/module.h"
+#include "baselines/common.h"
+#include "eval/recommender.h"
+
+namespace cadrl {
+namespace baselines {
+
+struct DeepConnOptions {
+  int dim = 16;
+  int epochs = 20;
+  int pairs_per_epoch = 256;
+  float lr = 0.02f;
+  uint64_t seed = 27;
+};
+
+// DeepCoNN (Zheng et al. 2017): two neural towers over user and item
+// "documents", joined by a factorization layer. Our KGs carry no review
+// text, so documents are substituted with feature bags (user: Mentioned
+// features + features of purchased items; item: Described_by features) and
+// the convolutional text encoders with dense towers — see DESIGN.md §3.6.
+class DeepConnRecommender : public eval::Recommender {
+ public:
+  explicit DeepConnRecommender(const DeepConnOptions& options = {});
+
+  std::string name() const override { return "DeepCoNN"; }
+  Status Fit(const data::Dataset& dataset) override;
+  std::vector<eval::Recommendation> Recommend(kg::EntityId user,
+                                              int k) override;
+
+ private:
+  ag::Tensor UserDoc(kg::EntityId user) const;
+  ag::Tensor ItemDoc(kg::EntityId item) const;
+  double Score(kg::EntityId user, kg::EntityId item) const;
+
+  DeepConnOptions options_;
+  const data::Dataset* dataset_ = nullptr;
+  std::unique_ptr<TrainIndex> index_;
+  int64_t num_features_ = 0;
+  // Normalized feature-count bags.
+  std::unordered_map<kg::EntityId, std::vector<float>> user_docs_;
+  std::unordered_map<kg::EntityId, std::vector<float>> item_docs_;
+  std::unique_ptr<ag::Linear> user_tower_;
+  std::unique_ptr<ag::Linear> item_tower_;
+};
+
+}  // namespace baselines
+}  // namespace cadrl
+
+#endif  // CADRL_BASELINES_DEEPCONN_H_

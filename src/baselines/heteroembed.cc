@@ -1,0 +1,45 @@
+#include "baselines/heteroembed.h"
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace baselines {
+
+HeteroEmbedRecommender::HeteroEmbedRecommender(
+    const HeteroEmbedOptions& options)
+    : options_(options) {}
+
+Status HeteroEmbedRecommender::Fit(const data::Dataset& dataset) {
+  CADRL_RETURN_IF_ERROR(options_.transe.Validate());
+  dataset_ = &dataset;
+  transe_ = std::make_unique<embed::TransEModel>(
+      embed::TransEModel::Train(dataset.graph, options_.transe));
+  index_ = std::make_unique<TrainIndex>(dataset);
+  return Status::OK();
+}
+
+std::vector<eval::Recommendation> HeteroEmbedRecommender::Recommend(
+    kg::EntityId user, int k) {
+  CADRL_CHECK(transe_ != nullptr) << "call Fit() first";
+  auto recs = RankAllItems(
+      *dataset_, *index_, user, k, [&](kg::EntityId item) {
+        return transe_->ScoreTriple(user, kg::Relation::kPurchase, item);
+      });
+  for (auto& rec : recs) {
+    rec.path =
+        ShortestPath(dataset_->graph, user, rec.item, options_.path_hops);
+  }
+  return recs;
+}
+
+std::vector<eval::RecommendationPath> HeteroEmbedRecommender::FindPaths(
+    kg::EntityId user, int max_paths) {
+  std::vector<eval::RecommendationPath> out;
+  for (auto& rec : Recommend(user, max_paths)) {
+    if (!rec.path.empty()) out.push_back(std::move(rec.path));
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace cadrl

@@ -1,0 +1,45 @@
+#ifndef CADRL_BASELINES_HETEROEMBED_H_
+#define CADRL_BASELINES_HETEROEMBED_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "embed/transe.h"
+#include "eval/recommender.h"
+
+namespace cadrl {
+namespace baselines {
+
+struct HeteroEmbedOptions {
+  embed::TransEOptions transe;
+  // Hop bound of the post-hoc explanation path search.
+  int path_hops = 3;
+};
+
+// HeteroEmbed (Ai et al. 2018): heterogeneous KG embeddings with the
+// multi-hop translation scoring function score(u,v) = -||u + r_purchase -
+// v||^2; the strongest traditional path-based baseline in Table I.
+// Explanations are recovered post hoc as shortest KG paths.
+class HeteroEmbedRecommender : public eval::Recommender {
+ public:
+  explicit HeteroEmbedRecommender(const HeteroEmbedOptions& options = {});
+
+  std::string name() const override { return "HeteroEmbed"; }
+  Status Fit(const data::Dataset& dataset) override;
+  std::vector<eval::Recommendation> Recommend(kg::EntityId user,
+                                              int k) override;
+  bool SupportsPaths() const override { return true; }
+  std::vector<eval::RecommendationPath> FindPaths(kg::EntityId user,
+                                                  int max_paths) override;
+
+ private:
+  HeteroEmbedOptions options_;
+  const data::Dataset* dataset_ = nullptr;
+  std::unique_ptr<embed::TransEModel> transe_;
+  std::unique_ptr<TrainIndex> index_;
+};
+
+}  // namespace baselines
+}  // namespace cadrl
+
+#endif  // CADRL_BASELINES_HETEROEMBED_H_

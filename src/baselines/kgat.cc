@@ -1,0 +1,95 @@
+#include "baselines/kgat.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace baselines {
+
+KgatRecommender::KgatRecommender(const KgatOptions& options)
+    : options_(options) {}
+
+Status KgatRecommender::Fit(const data::Dataset& dataset) {
+  CADRL_RETURN_IF_ERROR(options_.transe.Validate());
+  if (options_.layers < 1 || options_.neighbor_cap < 1) {
+    return Status::InvalidArgument("bad KGAT configuration");
+  }
+  dataset_ = &dataset;
+  index_ = std::make_unique<TrainIndex>(dataset);
+  const kg::KnowledgeGraph& graph = dataset.graph;
+  embed::TransEModel transe =
+      embed::TransEModel::Train(graph, options_.transe);
+  dim_ = transe.dim();
+  refined_ = transe.EntityTable();
+
+  // Attentive propagation: e <- normalize((1-w) e + w * sum_n alpha_n n),
+  // alpha = softmax over neighbors of the TransE plausibility pi(e, r, n).
+  const float w = options_.aggregation_weight;
+  for (int layer = 0; layer < options_.layers; ++layer) {
+    std::vector<float> next = refined_;
+    for (kg::EntityId e = 0; e < graph.num_entities(); ++e) {
+      const auto edges = graph.Neighbors(e);
+      if (edges.empty()) continue;
+      const int64_t cap =
+          std::min<int64_t>(options_.neighbor_cap, edges.size());
+      // Attention logits from the *current* refined vectors.
+      std::vector<float> logits(static_cast<size_t>(cap));
+      float max_logit = -1e30f;
+      for (int64_t i = 0; i < cap; ++i) {
+        const kg::Edge& edge = edges[static_cast<size_t>(i)];
+        const float* he = refined_.data() + static_cast<int64_t>(e) * dim_;
+        const float* ht =
+            refined_.data() + static_cast<int64_t>(edge.dst) * dim_;
+        const auto hr = transe.RelationVec(edge.relation);
+        float dist = 0.0f;
+        for (int d = 0; d < dim_; ++d) {
+          const float diff = he[d] + hr[static_cast<size_t>(d)] - ht[d];
+          dist += diff * diff;
+        }
+        logits[static_cast<size_t>(i)] = -dist;
+        max_logit = std::max(max_logit, -dist);
+      }
+      float denom = 0.0f;
+      for (float& l : logits) {
+        l = std::exp(l - max_logit);
+        denom += l;
+      }
+      float* out = next.data() + static_cast<int64_t>(e) * dim_;
+      const float* self = refined_.data() + static_cast<int64_t>(e) * dim_;
+      std::vector<float> agg(static_cast<size_t>(dim_), 0.0f);
+      for (int64_t i = 0; i < cap; ++i) {
+        const float alpha = logits[static_cast<size_t>(i)] / denom;
+        const float* hn =
+            refined_.data() +
+            static_cast<int64_t>(edges[static_cast<size_t>(i)].dst) * dim_;
+        for (int d = 0; d < dim_; ++d) agg[static_cast<size_t>(d)] += alpha * hn[d];
+      }
+      float norm = 0.0f;
+      for (int d = 0; d < dim_; ++d) {
+        out[d] = (1.0f - w) * self[d] + w * agg[static_cast<size_t>(d)];
+        norm += out[d] * out[d];
+      }
+      norm = std::sqrt(std::max(norm, 1e-12f));
+      for (int d = 0; d < dim_; ++d) out[d] /= norm;
+    }
+    refined_ = std::move(next);
+  }
+  return Status::OK();
+}
+
+std::vector<eval::Recommendation> KgatRecommender::Recommend(
+    kg::EntityId user, int k) {
+  CADRL_CHECK(!refined_.empty()) << "call Fit() first";
+  const float* u = refined_.data() + static_cast<int64_t>(user) * dim_;
+  return RankAllItems(*dataset_, *index_, user, k, [&](kg::EntityId item) {
+    const float* v = refined_.data() + static_cast<int64_t>(item) * dim_;
+    double score = 0.0;
+    for (int d = 0; d < dim_; ++d) score += static_cast<double>(u[d]) * v[d];
+    return score;
+  });
+}
+
+}  // namespace baselines
+}  // namespace cadrl

@@ -1,0 +1,49 @@
+#ifndef CADRL_BASELINES_KGAT_H_
+#define CADRL_BASELINES_KGAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/common.h"
+#include "embed/transe.h"
+#include "eval/recommender.h"
+
+namespace cadrl {
+namespace baselines {
+
+struct KgatOptions {
+  embed::TransEOptions transe;
+  // Attentive propagation layers (the original uses 2-3).
+  int layers = 2;
+  int neighbor_cap = 16;
+  // Residual mixing weight of the aggregated neighborhood.
+  float aggregation_weight = 0.5f;
+};
+
+// KGAT (Wang et al. 2019): attentive embedding propagation over the KG to
+// capture high-order connectivity, scored by inner product. This
+// implementation refines the TransE embeddings with plausibility-softmax
+// attention (the knowledge-aware attention of the original, computed from
+// the same translation score) and omits the end-to-end BPR fine-tuning —
+// noted as a "-lite" reconstruction in DESIGN.md §4.
+class KgatRecommender : public eval::Recommender {
+ public:
+  explicit KgatRecommender(const KgatOptions& options = {});
+
+  std::string name() const override { return "KGAT"; }
+  Status Fit(const data::Dataset& dataset) override;
+  std::vector<eval::Recommendation> Recommend(kg::EntityId user,
+                                              int k) override;
+
+ private:
+  KgatOptions options_;
+  const data::Dataset* dataset_ = nullptr;
+  std::unique_ptr<TrainIndex> index_;
+  int dim_ = 0;
+  std::vector<float> refined_;  // num_entities x dim
+};
+
+}  // namespace baselines
+}  // namespace cadrl
+
+#endif  // CADRL_BASELINES_KGAT_H_

@@ -1,0 +1,110 @@
+#include "baselines/ripplenet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace baselines {
+
+RippleNetRecommender::RippleNetRecommender(const RippleNetOptions& options)
+    : options_(options) {}
+
+Status RippleNetRecommender::Fit(const data::Dataset& dataset) {
+  CADRL_RETURN_IF_ERROR(options_.transe.Validate());
+  if (options_.hops < 1 || options_.ripple_cap < 1) {
+    return Status::InvalidArgument("bad RippleNet configuration");
+  }
+  dataset_ = &dataset;
+  transe_ = std::make_unique<embed::TransEModel>(
+      embed::TransEModel::Train(dataset.graph, options_.transe));
+  index_ = std::make_unique<TrainIndex>(dataset);
+  Rng rng(options_.seed);
+  const kg::KnowledgeGraph& graph = dataset.graph;
+
+  ripples_.clear();
+  for (size_t u = 0; u < dataset.users.size(); ++u) {
+    const kg::EntityId user = dataset.users[u];
+    std::vector<std::vector<RippleTriple>> hops;
+    std::vector<kg::EntityId> seeds = dataset.train_items[u];
+    for (int hop = 0; hop < options_.hops; ++hop) {
+      std::vector<RippleTriple> triples;
+      for (kg::EntityId head : seeds) {
+        for (const kg::Edge& edge : graph.Neighbors(head)) {
+          if (graph.IsUser(edge.dst)) continue;
+          triples.push_back({head, edge.relation, edge.dst});
+        }
+      }
+      if (static_cast<int64_t>(triples.size()) > options_.ripple_cap) {
+        rng.Shuffle(&triples);
+        triples.resize(static_cast<size_t>(options_.ripple_cap));
+      }
+      seeds.clear();
+      for (const RippleTriple& t : triples) seeds.push_back(t.tail);
+      hops.push_back(std::move(triples));
+    }
+    ripples_[user] = std::move(hops);
+  }
+  return Status::OK();
+}
+
+double RippleNetRecommender::Score(kg::EntityId user,
+                                   kg::EntityId item) const {
+  const int d = transe_->dim();
+  const auto v = transe_->EntityVec(item);
+  // Preference vector starts at the user embedding and accumulates each
+  // hop's attended tail aggregate o_h.
+  std::vector<double> pref(v.size());
+  {
+    const auto u = transe_->EntityVec(user);
+    for (int i = 0; i < d; ++i) pref[static_cast<size_t>(i)] = u[static_cast<size_t>(i)];
+  }
+  const auto it = ripples_.find(user);
+  if (it != ripples_.end()) {
+    for (const auto& hop : it->second) {
+      if (hop.empty()) continue;
+      // p_i = softmax(h_i . v)
+      std::vector<double> logits(hop.size());
+      double max_logit = -1e300;
+      for (size_t i = 0; i < hop.size(); ++i) {
+        const auto h = transe_->EntityVec(hop[i].head);
+        double dot = 0.0;
+        for (int j = 0; j < d; ++j) {
+          dot += static_cast<double>(h[static_cast<size_t>(j)]) *
+                 v[static_cast<size_t>(j)];
+        }
+        logits[i] = dot;
+        max_logit = std::max(max_logit, dot);
+      }
+      double denom = 0.0;
+      for (double& l : logits) {
+        l = std::exp(l - max_logit);
+        denom += l;
+      }
+      for (size_t i = 0; i < hop.size(); ++i) {
+        const double p = logits[i] / denom;
+        const auto t = transe_->EntityVec(hop[i].tail);
+        for (int j = 0; j < d; ++j) {
+          pref[static_cast<size_t>(j)] +=
+              p * t[static_cast<size_t>(j)];
+        }
+      }
+    }
+  }
+  double score = 0.0;
+  for (int j = 0; j < d; ++j) {
+    score += pref[static_cast<size_t>(j)] * v[static_cast<size_t>(j)];
+  }
+  return score;
+}
+
+std::vector<eval::Recommendation> RippleNetRecommender::Recommend(
+    kg::EntityId user, int k) {
+  CADRL_CHECK(transe_ != nullptr) << "call Fit() first";
+  return RankAllItems(*dataset_, *index_, user, k,
+                      [&](kg::EntityId item) { return Score(user, item); });
+}
+
+}  // namespace baselines
+}  // namespace cadrl

@@ -1,0 +1,57 @@
+#ifndef CADRL_BASELINES_RIPPLENET_H_
+#define CADRL_BASELINES_RIPPLENET_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/common.h"
+#include "embed/transe.h"
+#include "eval/recommender.h"
+
+namespace cadrl {
+namespace baselines {
+
+struct RippleNetOptions {
+  embed::TransEOptions transe;
+  int hops = 2;         // ripple-set depth (the original uses 2-3)
+  int ripple_cap = 32;  // max triples kept per hop
+  uint64_t seed = 23;
+};
+
+// RippleNet (Wang et al. 2018): propagates user preference along KG
+// triples rooted at the user's history. Each hop's ripple set (h, r, t) is
+// attended by softmax(h·v) and contributes its tails to the user's
+// evolving preference vector; the candidate score is (u + sum_h o_h) · v.
+// Built on TransE vectors (no joint end-to-end training; "-lite").
+class RippleNetRecommender : public eval::Recommender {
+ public:
+  explicit RippleNetRecommender(const RippleNetOptions& options = {});
+
+  std::string name() const override { return "RippleNet"; }
+  Status Fit(const data::Dataset& dataset) override;
+  std::vector<eval::Recommendation> Recommend(kg::EntityId user,
+                                              int k) override;
+
+ private:
+  struct RippleTriple {
+    kg::EntityId head;
+    kg::Relation relation;
+    kg::EntityId tail;
+  };
+
+  double Score(kg::EntityId user, kg::EntityId item) const;
+
+  RippleNetOptions options_;
+  const data::Dataset* dataset_ = nullptr;
+  std::unique_ptr<embed::TransEModel> transe_;
+  std::unique_ptr<TrainIndex> index_;
+  // Per-user ripple sets, one vector of triples per hop.
+  std::unordered_map<kg::EntityId, std::vector<std::vector<RippleTriple>>>
+      ripples_;
+};
+
+}  // namespace baselines
+}  // namespace cadrl
+
+#endif  // CADRL_BASELINES_RIPPLENET_H_

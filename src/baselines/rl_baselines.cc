@@ -1,0 +1,162 @@
+#include "baselines/rl_baselines.h"
+
+namespace cadrl {
+namespace baselines {
+
+core::CadrlOptions BaseRlOptions(const RlBudget& budget) {
+  core::CadrlOptions o;
+  o.transe.dim = budget.dim;
+  o.transe.epochs = budget.transe_epochs;
+  o.cggnn.epochs = budget.cggnn_epochs;
+  o.cggnn.ggnn_layers = 2;
+  o.cggnn.cgan_layers = 2;
+  o.episodes_per_user = budget.episodes_per_user;
+  o.beam_width = budget.beam_width;
+  o.policy_hidden = budget.policy_hidden;
+  o.seed = budget.seed;
+  return o;
+}
+
+std::unique_ptr<core::CadrlRecommender> MakePgpr(const RlBudget& budget) {
+  core::CadrlOptions o = BaseRlOptions(budget);
+  o.use_cggnn = false;
+  o.use_dual_agent = false;
+  o.share_history = false;
+  o.use_partner_rewards = false;
+  o.terminal_soft_reward = true;
+  o.max_path_length = 3;
+  // PGPR's inference sorts a large pool of complete paths, which is what
+  // makes it the slowest RL model in Table III: widen the search.
+  o.beam_width = budget.beam_width * 4;
+  o.beam_expand = 8;
+  return std::make_unique<core::CadrlRecommender>(o, "PGPR");
+}
+
+std::unique_ptr<core::CadrlRecommender> MakeAdac(const RlBudget& budget) {
+  core::CadrlOptions o = BaseRlOptions(budget);
+  o.use_cggnn = false;
+  o.use_dual_agent = false;
+  o.share_history = false;
+  o.use_partner_rewards = false;
+  o.terminal_soft_reward = true;
+  o.max_path_length = 3;
+  o.demonstration_weight = 0.5f;
+  return std::make_unique<core::CadrlRecommender>(o, "ADAC");
+}
+
+std::unique_ptr<core::CadrlRecommender> MakeUcpr(const RlBudget& budget) {
+  core::CadrlOptions o = BaseRlOptions(budget);
+  o.use_cggnn = false;
+  o.use_dual_agent = false;
+  o.share_history = false;
+  o.use_partner_rewards = false;
+  o.terminal_soft_reward = true;
+  o.use_user_demand = true;
+  o.max_path_length = 3;
+  return std::make_unique<core::CadrlRecommender>(o, "UCPR");
+}
+
+std::unique_ptr<core::CadrlRecommender> MakeRemr(const RlBudget& budget) {
+  core::CadrlOptions o = BaseRlOptions(budget);
+  o.use_cggnn = false;
+  o.use_dual_agent = true;
+  o.share_history = false;
+  o.use_partner_rewards = false;
+  o.terminal_soft_reward = true;
+  o.max_path_length = 3;
+  return std::make_unique<core::CadrlRecommender>(o, "ReMR");
+}
+
+std::unique_ptr<core::CadrlRecommender> MakeInfer(const RlBudget& budget) {
+  core::CadrlOptions o = BaseRlOptions(budget);
+  o.use_cggnn = true;
+  o.use_dual_agent = false;
+  o.share_history = false;
+  o.use_partner_rewards = false;
+  o.max_path_length = 3;
+  return std::make_unique<core::CadrlRecommender>(o, "INFER");
+}
+
+std::unique_ptr<core::CadrlRecommender> MakeCoger(const RlBudget& budget) {
+  core::CadrlOptions o = BaseRlOptions(budget);
+  o.use_cggnn = false;
+  o.use_dual_agent = false;
+  o.share_history = false;
+  o.use_partner_rewards = false;
+  o.terminal_soft_reward = true;
+  o.demonstration_weight = 0.3f;
+  o.use_user_demand = true;
+  o.max_path_length = 3;
+  return std::make_unique<core::CadrlRecommender>(o, "CogER");
+}
+
+std::unique_ptr<core::CadrlRecommender> MakeCadrl(const RlBudget& budget,
+                                                  int max_path_length,
+                                                  float delta, float alpha_pe,
+                                                  float alpha_pc) {
+  core::CadrlOptions o = BaseRlOptions(budget);
+  o.max_path_length = max_path_length;
+  o.cggnn.delta = delta;
+  o.alpha_pe = alpha_pe;
+  o.alpha_pc = alpha_pc;
+  return std::make_unique<core::CadrlRecommender>(o, "CADRL");
+}
+
+std::unique_ptr<core::CadrlRecommender> MakeCadrlForDataset(
+    const RlBudget& budget, const std::string& dataset_name) {
+  // §V-A3: [k, m, alpha_pe, alpha_pc, L] = [3,2,0.6,0.5,6] / [3,2,0.4,0.5,6]
+  // / [3,2,0.4,0.4,7]; delta = 0.4 / 0.4 / 0.3.
+  if (dataset_name == "Clothing") {
+    return MakeCadrl(budget, /*L=*/7, /*delta=*/0.3f, /*alpha_pe=*/0.4f,
+                     /*alpha_pc=*/0.4f);
+  }
+  if (dataset_name == "Cell_Phones") {
+    return MakeCadrl(budget, /*L=*/6, /*delta=*/0.4f, /*alpha_pe=*/0.4f,
+                     /*alpha_pc=*/0.5f);
+  }
+  return MakeCadrl(budget, /*L=*/6, /*delta=*/0.4f, /*alpha_pe=*/0.6f,
+                   /*alpha_pc=*/0.5f);
+}
+
+std::unique_ptr<core::CadrlRecommender> MakeCadrlWithoutDarl(
+    const RlBudget& budget) {
+  core::CadrlOptions o = BaseRlOptions(budget);
+  o.use_dual_agent = false;
+  o.share_history = false;
+  o.use_partner_rewards = false;
+  return std::make_unique<core::CadrlRecommender>(o, "CADRL w/o DARL");
+}
+
+std::unique_ptr<core::CadrlRecommender> MakeCadrlWithoutCggnn(
+    const RlBudget& budget) {
+  core::CadrlOptions o = BaseRlOptions(budget);
+  o.use_cggnn = false;
+  return std::make_unique<core::CadrlRecommender>(o, "CADRL w/o CGGNN");
+}
+
+std::unique_ptr<core::CadrlRecommender> MakeRggnn(const RlBudget& budget) {
+  core::CadrlOptions o = BaseRlOptions(budget);
+  o.cggnn.use_ggnn = false;
+  return std::make_unique<core::CadrlRecommender>(o, "RGGNN");
+}
+
+std::unique_ptr<core::CadrlRecommender> MakeRcgan(const RlBudget& budget) {
+  core::CadrlOptions o = BaseRlOptions(budget);
+  o.cggnn.use_cgan = false;
+  return std::make_unique<core::CadrlRecommender>(o, "RCGAN");
+}
+
+std::unique_ptr<core::CadrlRecommender> MakeRshi(const RlBudget& budget) {
+  core::CadrlOptions o = BaseRlOptions(budget);
+  o.share_history = false;
+  return std::make_unique<core::CadrlRecommender>(o, "RSHI");
+}
+
+std::unique_ptr<core::CadrlRecommender> MakeRcrm(const RlBudget& budget) {
+  core::CadrlOptions o = BaseRlOptions(budget);
+  o.use_partner_rewards = false;
+  return std::make_unique<core::CadrlRecommender>(o, "RCRM");
+}
+
+}  // namespace baselines
+}  // namespace cadrl

@@ -1,0 +1,82 @@
+#ifndef CADRL_BASELINES_RL_BASELINES_H_
+#define CADRL_BASELINES_RL_BASELINES_H_
+
+#include <memory>
+
+#include "core/cadrl.h"
+
+namespace cadrl {
+namespace baselines {
+
+// Shared training budget for all RL-based models so Table I/III/IV compare
+// algorithms, not compute. Every factory below derives its CadrlOptions
+// from this budget and flips only the switches that define the baseline.
+struct RlBudget {
+  int dim = 24;
+  int transe_epochs = 8;
+  int cggnn_epochs = 8;
+  int episodes_per_user = 4;
+  int beam_width = 20;
+  int policy_hidden = 48;
+  uint64_t seed = 7;
+};
+
+// Baseline-agnostic option skeleton from a budget.
+core::CadrlOptions BaseRlOptions(const RlBudget& budget);
+
+// PGPR (Xian et al. 2019): single agent, soft scoring-function terminal
+// reward, 3-hop horizon, and PGPR's heavier inference (larger beam and
+// exhaustive path sorting).
+std::unique_ptr<core::CadrlRecommender> MakePgpr(const RlBudget& budget);
+
+// ADAC (Zhao et al. 2020): PGPR plus demonstration imitation from BFS
+// shortest-path demonstrations (adversarial discriminator simplified to a
+// demonstration cross-entropy; DESIGN.md §4).
+std::unique_ptr<core::CadrlRecommender> MakeAdac(const RlBudget& budget);
+
+// UCPR (Tai et al. 2021): single agent with a user-demand memory fused
+// into the user representation, soft reward, 3-hop horizon.
+std::unique_ptr<core::CadrlRecommender> MakeUcpr(const RlBudget& budget);
+
+// ReMR (Wang et al. 2022): multi-level reasoning approximated by the dual
+// agents *without* the collaborative mechanism (no shared history, no
+// partner rewards), 3-hop horizon.
+std::unique_ptr<core::CadrlRecommender> MakeRemr(const RlBudget& budget);
+
+// INFER (Zhang et al. 2022): joint GNN representation + reasoning,
+// approximated by a single agent over CGGNN-refined representations.
+std::unique_ptr<core::CadrlRecommender> MakeInfer(const RlBudget& budget);
+
+// CogER (Bing et al. 2023): cognition-inspired dual-system reasoning,
+// approximated by a single agent with demonstration guidance and soft
+// rewards.
+std::unique_ptr<core::CadrlRecommender> MakeCoger(const RlBudget& budget);
+
+// The full CADRL model with the paper's per-dataset hyper-parameters
+// (L, delta, alpha_pe, alpha_pc from §V-A3).
+std::unique_ptr<core::CadrlRecommender> MakeCadrl(const RlBudget& budget,
+                                                  int max_path_length,
+                                                  float delta, float alpha_pe,
+                                                  float alpha_pc);
+
+// Paper hyper-parameters for a dataset preset name ("Beauty",
+// "Cell_Phones", "Clothing"); defaults to the Beauty setting otherwise.
+std::unique_ptr<core::CadrlRecommender> MakeCadrlForDataset(
+    const RlBudget& budget, const std::string& dataset_name);
+
+// Table IV ablations.
+std::unique_ptr<core::CadrlRecommender> MakeCadrlWithoutDarl(
+    const RlBudget& budget);
+std::unique_ptr<core::CadrlRecommender> MakeCadrlWithoutCggnn(
+    const RlBudget& budget);
+// Fig 3 ablations (CGGNN modules).
+std::unique_ptr<core::CadrlRecommender> MakeRggnn(const RlBudget& budget);
+std::unique_ptr<core::CadrlRecommender> MakeRcgan(const RlBudget& budget);
+// Fig 4 ablations (DARL modules).
+std::unique_ptr<core::CadrlRecommender> MakeRshi(const RlBudget& budget);
+std::unique_ptr<core::CadrlRecommender> MakeRcrm(const RlBudget& budget);
+
+}  // namespace baselines
+}  // namespace cadrl
+
+#endif  // CADRL_BASELINES_RL_BASELINES_H_

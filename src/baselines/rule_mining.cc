@@ -1,0 +1,67 @@
+#include "baselines/rule_mining.h"
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace baselines {
+namespace {
+
+void CollectDfs(const kg::KnowledgeGraph& graph, kg::EntityId current,
+                kg::EntityId target, int remaining, Rule* prefix,
+                std::map<Rule, int64_t>* counts, int64_t* budget) {
+  if (*budget <= 0) return;
+  for (const kg::Edge& edge : graph.Neighbors(current)) {
+    if (--(*budget) <= 0) return;
+    prefix->push_back(edge.relation);
+    if (edge.dst == target && !prefix->empty()) {
+      ++(*counts)[*prefix];
+    }
+    if (remaining > 1) {
+      CollectDfs(graph, edge.dst, target, remaining - 1, prefix, counts,
+                 budget);
+    }
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+void CollectRulePatterns(const kg::KnowledgeGraph& graph, kg::EntityId start,
+                         kg::EntityId target, int max_len,
+                         std::map<Rule, int64_t>* counts, int64_t budget) {
+  CADRL_CHECK(counts != nullptr);
+  CADRL_CHECK_GT(max_len, 0);
+  Rule prefix;
+  CollectDfs(graph, start, target, max_len, &prefix, counts, &budget);
+}
+
+std::unordered_map<kg::EntityId, int64_t> CountRuleEndpoints(
+    const kg::KnowledgeGraph& graph, kg::EntityId start, const Rule& rule,
+    int64_t expansion_budget) {
+  std::unordered_map<kg::EntityId, int64_t> frontier = {{start, 1}};
+  for (kg::Relation rel : rule) {
+    std::unordered_map<kg::EntityId, int64_t> next;
+    for (const auto& [entity, count] : frontier) {
+      for (const kg::Edge& edge : graph.Neighbors(entity)) {
+        if (edge.relation != rel) continue;
+        if (--expansion_budget <= 0) return next;
+        next[edge.dst] += count;
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return frontier;
+}
+
+std::string RuleToString(const Rule& rule) {
+  std::string out;
+  for (size_t i = 0; i < rule.size(); ++i) {
+    if (i > 0) out += " > ";
+    out += kg::RelationName(rule[i]);
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace cadrl

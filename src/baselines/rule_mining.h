@@ -1,0 +1,37 @@
+#ifndef CADRL_BASELINES_RULE_MINING_H_
+#define CADRL_BASELINES_RULE_MINING_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/graph.h"
+
+namespace cadrl {
+namespace baselines {
+
+// A meta-path rule: a sequence of relations leading from a user to an item,
+// e.g. {purchase, also_bought} ("users also buy what their purchases
+// co-occur with").
+using Rule = std::vector<kg::Relation>;
+
+// Accumulates, into `counts`, the relation sequences of every path from
+// `start` to `target` of length <= max_len. `budget` bounds the DFS node
+// expansions (the search stops silently when exhausted).
+void CollectRulePatterns(const kg::KnowledgeGraph& graph, kg::EntityId start,
+                         kg::EntityId target, int max_len,
+                         std::map<Rule, int64_t>* counts, int64_t budget);
+
+// Number of paths from `start` to each endpoint following exactly the
+// relation sequence `rule`. `expansion_budget` bounds total work.
+std::unordered_map<kg::EntityId, int64_t> CountRuleEndpoints(
+    const kg::KnowledgeGraph& graph, kg::EntityId start, const Rule& rule,
+    int64_t expansion_budget);
+
+// Renders "purchase > also_bought" for logging and case studies.
+std::string RuleToString(const Rule& rule);
+
+}  // namespace baselines
+}  // namespace cadrl
+
+#endif  // CADRL_BASELINES_RULE_MINING_H_

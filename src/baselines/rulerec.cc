@@ -1,0 +1,136 @@
+#include "baselines/rulerec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cadrl {
+namespace baselines {
+namespace {
+
+float Sigmoid(float x) {
+  return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                   : std::exp(x) / (1.0f + std::exp(x));
+}
+
+float Featurize(int64_t count) {
+  return std::log1p(static_cast<float>(count));
+}
+
+}  // namespace
+
+RuleRecRecommender::RuleRecRecommender(const RuleRecOptions& options)
+    : options_(options) {}
+
+Status RuleRecRecommender::Fit(const data::Dataset& dataset) {
+  if (options_.max_rule_length < 1 || options_.num_rules < 1 ||
+      options_.lr <= 0.0f) {
+    return Status::InvalidArgument("bad RuleRec configuration");
+  }
+  dataset_ = &dataset;
+  index_ = std::make_unique<TrainIndex>(dataset);
+  Rng rng(options_.seed);
+  const kg::KnowledgeGraph& graph = dataset.graph;
+
+  // --- 1. Rule mining over sampled train interactions ---
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> pairs;
+  for (size_t u = 0; u < dataset.users.size(); ++u) {
+    for (kg::EntityId item : dataset.train_items[u]) {
+      pairs.emplace_back(dataset.users[u], item);
+    }
+  }
+  if (pairs.empty()) return Status::InvalidArgument("no train interactions");
+  std::map<Rule, int64_t> pattern_counts;
+  for (int s = 0; s < options_.mining_pairs; ++s) {
+    const auto& [user, item] = pairs[static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(pairs.size())))];
+    CollectRulePatterns(graph, user, item, options_.max_rule_length,
+                        &pattern_counts, options_.mining_budget);
+  }
+  // Exclude the trivial 1-hop {purchase} rule: at inference it can only
+  // reach train items, which are excluded from ranking anyway.
+  pattern_counts.erase(Rule{kg::Relation::kPurchase});
+  std::vector<std::pair<int64_t, Rule>> ranked;
+  ranked.reserve(pattern_counts.size());
+  for (const auto& [rule, count] : pattern_counts) {
+    ranked.emplace_back(count, rule);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  rules_.clear();
+  for (const auto& [count, rule] : ranked) {
+    if (static_cast<int>(rules_.size()) >= options_.num_rules) break;
+    rules_.push_back(rule);
+  }
+  if (rules_.empty()) {
+    return Status::FailedPrecondition("rule mining found no patterns");
+  }
+
+  // --- 2. Logistic regression on path-count features ---
+  weights_.assign(rules_.size(), 0.0f);
+  bias_ = 0.0f;
+  const auto& items = graph.EntitiesOfType(kg::EntityType::kItem);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (int b = 0; b < 64; ++b) {
+      const auto& [user, pos] = pairs[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(pairs.size())))];
+      const kg::EntityId neg = items[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(items.size())))];
+      const auto counts = UserRuleCounts(user);
+      auto features = [&](kg::EntityId item) {
+        std::vector<float> x(rules_.size(), 0.0f);
+        for (size_t r = 0; r < rules_.size(); ++r) {
+          const auto it = counts[r].find(item);
+          if (it != counts[r].end()) x[r] = Featurize(it->second);
+        }
+        return x;
+      };
+      auto update = [&](const std::vector<float>& x, float label) {
+        float z = bias_;
+        for (size_t r = 0; r < x.size(); ++r) z += weights_[r] * x[r];
+        const float err = Sigmoid(z) - label;
+        for (size_t r = 0; r < x.size(); ++r) {
+          weights_[r] -= options_.lr * err * x[r];
+        }
+        bias_ -= options_.lr * err;
+      };
+      update(features(pos), 1.0f);
+      update(features(neg), 0.0f);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::unordered_map<kg::EntityId, int64_t>>
+RuleRecRecommender::UserRuleCounts(kg::EntityId user) const {
+  std::vector<std::unordered_map<kg::EntityId, int64_t>> counts;
+  counts.reserve(rules_.size());
+  for (const Rule& rule : rules_) {
+    counts.push_back(CountRuleEndpoints(dataset_->graph, user, rule,
+                                        options_.walk_budget));
+  }
+  return counts;
+}
+
+std::vector<eval::Recommendation> RuleRecRecommender::Recommend(
+    kg::EntityId user, int k) {
+  CADRL_CHECK(!rules_.empty()) << "call Fit() first";
+  const auto counts = UserRuleCounts(user);
+  return RankAllItems(*dataset_, *index_, user, k, [&](kg::EntityId item) {
+    double z = bias_;
+    for (size_t r = 0; r < rules_.size(); ++r) {
+      const auto it = counts[r].find(item);
+      if (it != counts[r].end()) {
+        z += static_cast<double>(weights_[r]) * Featurize(it->second);
+      }
+    }
+    return z;
+  });
+}
+
+}  // namespace baselines
+}  // namespace cadrl

@@ -1,0 +1,58 @@
+#ifndef CADRL_BASELINES_RULEREC_H_
+#define CADRL_BASELINES_RULEREC_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/common.h"
+#include "baselines/rule_mining.h"
+#include "eval/recommender.h"
+
+namespace cadrl {
+namespace baselines {
+
+struct RuleRecOptions {
+  int max_rule_length = 3;
+  int num_rules = 12;          // rules kept after mining
+  int mining_pairs = 100;      // (user, item) pairs sampled for mining
+  int64_t mining_budget = 20000;   // DFS expansions per mined pair
+  int64_t walk_budget = 50000;     // expansions per rule walk at inference
+  int epochs = 30;             // logistic-regression epochs
+  float lr = 0.1f;
+  uint64_t seed = 29;
+};
+
+// RuleRec (Ma et al. 2019): mines user->item meta-path rules from the
+// training KG, then learns per-rule weights with logistic regression on
+// path-count features; recommendations are rule-weighted path counts and
+// explanations instantiate the strongest matching rule.
+class RuleRecRecommender : public eval::Recommender {
+ public:
+  explicit RuleRecRecommender(const RuleRecOptions& options = {});
+
+  std::string name() const override { return "RuleRec"; }
+  Status Fit(const data::Dataset& dataset) override;
+  std::vector<eval::Recommendation> Recommend(kg::EntityId user,
+                                              int k) override;
+
+  // Mined rules, strongest mining support first (for tests / case studies).
+  const std::vector<Rule>& rules() const { return rules_; }
+  const std::vector<float>& rule_weights() const { return weights_; }
+
+ private:
+  // Path-count feature matrix: per rule, endpoint counts from `user`.
+  std::vector<std::unordered_map<kg::EntityId, int64_t>> UserRuleCounts(
+      kg::EntityId user) const;
+
+  RuleRecOptions options_;
+  const data::Dataset* dataset_ = nullptr;
+  std::unique_ptr<TrainIndex> index_;
+  std::vector<Rule> rules_;
+  std::vector<float> weights_;
+  float bias_ = 0.0f;
+};
+
+}  // namespace baselines
+}  // namespace cadrl
+
+#endif  // CADRL_BASELINES_RULEREC_H_

@@ -1,0 +1,830 @@
+#include "core/cadrl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "core/reward.h"
+#include "util/logging.h"
+
+namespace cadrl {
+namespace core {
+namespace {
+
+// Softmax probabilities of a logits tensor as raw floats.
+std::vector<float> ProbsOf(const ag::Tensor& logits) {
+  ag::NoGradGuard guard;
+  const ag::Tensor p = ag::Softmax(logits);
+  return std::vector<float>(p.data(), p.data() + p.numel());
+}
+
+}  // namespace
+
+Status CadrlOptions::Validate() const {
+  CADRL_RETURN_IF_ERROR(transe.Validate());
+  CADRL_RETURN_IF_ERROR(cggnn.Validate());
+  if (max_path_length < 1) {
+    return Status::InvalidArgument("max_path_length must be >= 1");
+  }
+  if (max_entity_actions < 2 || max_category_actions < 2) {
+    return Status::InvalidArgument("action caps must be >= 2");
+  }
+  if (alpha_pe < 0.0f || alpha_pc < 0.0f) {
+    return Status::InvalidArgument("reward factors must be >= 0");
+  }
+  if (gamma <= 0.0f || gamma > 1.0f) {
+    return Status::InvalidArgument("gamma must be in (0,1]");
+  }
+  if (policy_hidden < 2 || episodes_per_user < 0 || lr <= 0.0f) {
+    return Status::InvalidArgument("bad training configuration");
+  }
+  if (beam_width < 1 || beam_expand < 1) {
+    return Status::InvalidArgument("beam parameters must be >= 1");
+  }
+  if (demonstration_weight < 0.0f) {
+    return Status::InvalidArgument("demonstration_weight must be >= 0");
+  }
+  return Status::OK();
+}
+
+CadrlRecommender::CadrlRecommender(const CadrlOptions& options,
+                                   std::string name)
+    : name_(std::move(name)), options_(options), rng_(options.seed) {}
+
+Status CadrlRecommender::Fit(const data::Dataset& dataset) {
+  CADRL_RETURN_IF_ERROR(options_.Validate());
+  if (dataset.users.empty()) {
+    return Status::InvalidArgument("dataset has no users");
+  }
+  dataset_ = &dataset;
+  const kg::KnowledgeGraph& graph = dataset.graph;
+  BuildIndexes(dataset);
+
+  // 1. TransE initialization (§IV-B).
+  transe_ = std::make_unique<embed::TransEModel>(
+      embed::TransEModel::Train(graph, options_.transe));
+
+  // 2. CGGNN high-order item representations. One train item per user (for
+  //    users with enough history) is held out of the BPR phase as the
+  //    validation set that drives score-mode selection below.
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> validation_pairs;
+  for (size_t u = 0; u < dataset.users.size(); ++u) {
+    if (dataset.train_items[u].size() >= 3) {
+      validation_pairs.emplace_back(dataset.users[u],
+                                    dataset.train_items[u].back());
+    }
+  }
+  cggnn_.reset();
+  if (options_.use_cggnn) {
+    cggnn_ = std::make_unique<Cggnn>(&graph, transe_.get(), options_.cggnn);
+    CADRL_RETURN_IF_ERROR(cggnn_->Train(dataset, &validation_pairs));
+  }
+
+  // 3. Frozen embedding store shared by agents/envs/ranker.
+  store_ = std::make_unique<EmbeddingStore>(&graph, transe_.get());
+  if (cggnn_ != nullptr) {
+    // Fine-tuned rows for every entity, then the GNN outputs for items.
+    for (kg::EntityId e = 0; e < graph.num_entities(); ++e) {
+      store_->SetEntityRow(e, cggnn_->EntityVector(e));
+    }
+    for (kg::EntityId item : graph.EntitiesOfType(kg::EntityType::kItem)) {
+      store_->SetItemRepresentation(item, cggnn_->Representation(item));
+    }
+    store_->RefreshCategoryVectors();
+    // Score-mode selection: pick the plausibility signal (raw translation,
+    // refined dot product, or their ensemble) that best ranks the held-out
+    // validation purchases. This adapts to how well the BPR fine-tune
+    // generalizes on the dataset at hand.
+    struct ModeCandidate {
+      EmbeddingStore::ScoreMode mode;
+      float translation_weight;
+    };
+    // Demand-fused user rows for the kDemandTranslation candidate.
+    for (size_t u = 0; u < dataset.users.size(); ++u) {
+      if (dataset.train_items[u].empty()) continue;
+      const kg::EntityId user = dataset.users[u];
+      std::vector<float> fused(transe_->EntityVec(user).begin(),
+                               transe_->EntityVec(user).end());
+      std::vector<float> demand(fused.size(), 0.0f);
+      for (kg::EntityId item : dataset.train_items[u]) {
+        const auto v = transe_->EntityVec(item);
+        for (size_t i = 0; i < demand.size(); ++i) demand[i] += v[i];
+      }
+      const float inv =
+          1.0f / static_cast<float>(dataset.train_items[u].size());
+      for (size_t i = 0; i < fused.size(); ++i) {
+        fused[i] = 0.5f * fused[i] + 0.5f * demand[i] * inv;
+      }
+      store_->SetDemandUserRow(user, fused);
+    }
+    const ModeCandidate candidates[] = {
+        {EmbeddingStore::ScoreMode::kRawTranslation, 0.0f},
+        {EmbeddingStore::ScoreMode::kDemandTranslation, 0.0f},
+        {EmbeddingStore::ScoreMode::kDotProduct, 0.0f},
+        {EmbeddingStore::ScoreMode::kEnsemble, 1.0f},
+        {EmbeddingStore::ScoreMode::kEnsemble, 2.0f},
+        {EmbeddingStore::ScoreMode::kEnsemble, 4.0f},
+    };
+    const auto& items = graph.EntitiesOfType(kg::EntityType::kItem);
+    double best_mrr = -1.0;
+    ModeCandidate best = candidates[0];
+    for (const ModeCandidate& candidate : candidates) {
+      store_->set_score_mode(candidate.mode);
+      store_->set_ensemble_translation_weight(candidate.translation_weight);
+      double mrr = 0.0;
+      for (const auto& [user, val_item] : validation_pairs) {
+        const float val_score = store_->ScoreUserEntity(user, val_item);
+        int rank = 1;
+        // Rank among a deterministic stride-sample of items.
+        for (size_t i = 0; i < items.size(); i += 3) {
+          if (items[i] != val_item &&
+              store_->ScoreUserEntity(user, items[i]) > val_score) {
+            ++rank;
+          }
+        }
+        mrr += 1.0 / rank;
+      }
+      if (mrr > best_mrr) {
+        best_mrr = mrr;
+        best = candidate;
+      }
+    }
+    store_->set_score_mode(best.mode);
+    store_->set_ensemble_translation_weight(best.translation_weight);
+  }
+
+  // UCPR-style demand memory (DESIGN.md §4): u <- (u + mean train items)/2.
+  if (options_.use_user_demand) {
+    const int d = store_->dim();
+    for (size_t u = 0; u < dataset.users.size(); ++u) {
+      if (dataset.train_items[u].empty()) continue;
+      std::vector<float> fused(store_->Entity(dataset.users[u]).begin(),
+                               store_->Entity(dataset.users[u]).end());
+      std::vector<float> demand(static_cast<size_t>(d), 0.0f);
+      for (kg::EntityId item : dataset.train_items[u]) {
+        const auto v = store_->Entity(item);
+        for (int i = 0; i < d; ++i) demand[static_cast<size_t>(i)] += v[static_cast<size_t>(i)];
+      }
+      const float inv =
+          1.0f / static_cast<float>(dataset.train_items[u].size());
+      for (int i = 0; i < d; ++i) {
+        fused[static_cast<size_t>(i)] =
+            0.5f * fused[static_cast<size_t>(i)] +
+            0.5f * demand[static_cast<size_t>(i)] * inv;
+      }
+      store_->SetEntityRow(dataset.users[u], fused);
+    }
+  }
+
+  // Soft-reward scale: mean |score| over observed train pairs.
+  {
+    double total = 0.0;
+    int64_t count = 0;
+    for (size_t u = 0; u < dataset.users.size(); ++u) {
+      for (kg::EntityId item : dataset.train_items[u]) {
+        total += std::abs(store_->ScoreUserEntity(dataset.users[u], item));
+        ++count;
+      }
+    }
+    score_scale_ =
+        count > 0 ? std::max(1e-3f, static_cast<float>(total / count)) : 1.0f;
+  }
+
+  // 4. Environments and shared policy networks.
+  BuildRuntime(dataset);
+
+  // 5. Dual-agent REINFORCE (§IV-C4).
+  ag::Adam optimizer(policy_->Parameters(), options_.lr);
+  rl::MovingBaseline entity_baseline, category_baseline;
+  epoch_rewards_.clear();
+  std::vector<kg::EntityId> order = dataset.users;
+  for (int epoch = 0; epoch < options_.episodes_per_user; ++epoch) {
+    rng_.Shuffle(&order);
+    double reward_sum = 0.0;
+    for (kg::EntityId user : order) {
+      Episode episode;
+      Rollout(user, &episode);
+      reward_sum += episode.terminal_entity_reward;
+      float total_entity_reward = 0.0f;
+      for (float r : episode.entity_trace.rewards) total_entity_reward += r;
+      std::vector<ag::Tensor> losses;
+      const ag::Tensor entity_loss = rl::ReinforceLoss(
+          episode.entity_trace, options_.gamma,
+          entity_baseline.Update(total_entity_reward),
+          options_.entropy_coef);
+      if (entity_loss.defined()) losses.push_back(entity_loss);
+      if (!episode.category_trace.log_probs.empty()) {
+        float total_category_reward = 0.0f;
+        for (float r : episode.category_trace.rewards) {
+          total_category_reward += r;
+        }
+        const ag::Tensor category_loss = rl::ReinforceLoss(
+            episode.category_trace, options_.gamma,
+            category_baseline.Update(total_category_reward),
+            options_.entropy_coef);
+        if (category_loss.defined()) losses.push_back(category_loss);
+      }
+      // ADAC-style demonstration imitation on a random train item.
+      if (options_.demonstration_weight > 0.0f) {
+        const auto it = train_sets_.find(user);
+        if (it != train_sets_.end() && !it->second.empty()) {
+          const int64_t idx = dataset_->UserIndex(user);
+          const auto& train = dataset.train_items[static_cast<size_t>(idx)];
+          const kg::EntityId target = train[static_cast<size_t>(
+              rng_.UniformInt(static_cast<int64_t>(train.size())))];
+          const auto demo = DemonstrationPath(user, target);
+          if (!demo.empty()) {
+            const ag::Tensor imitation = ImitationLoss(user, demo);
+            if (imitation.defined()) {
+              losses.push_back(ag::MulScalar(
+                  imitation, options_.demonstration_weight));
+            }
+          }
+        }
+      }
+      if (losses.empty()) continue;
+      optimizer.ZeroGrad();
+      ag::Backward(ag::AddN(losses));
+      optimizer.ClipGradNorm(options_.grad_clip);
+      optimizer.Step();
+    }
+    epoch_rewards_.push_back(
+        static_cast<float>(reward_sum / static_cast<double>(order.size())));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+kg::CategoryId CadrlRecommender::InitialCategory(kg::EntityId user,
+                                                 bool stochastic) {
+  const auto it = train_categories_.find(user);
+  if (it == train_categories_.end() || it->second.empty()) {
+    return kg::kInvalidCategory;
+  }
+  const auto& cats = it->second;
+  if (stochastic) {
+    return cats[static_cast<size_t>(
+        rng_.UniformInt(static_cast<int64_t>(cats.size())))];
+  }
+  kg::CategoryId best = cats[0];
+  float best_affinity = store_->UserCategoryAffinity(user, best);
+  for (kg::CategoryId c : cats) {
+    const float a = store_->UserCategoryAffinity(user, c);
+    if (a > best_affinity) {
+      best_affinity = a;
+      best = c;
+    }
+  }
+  return best;
+}
+
+float CadrlRecommender::TerminalEntityReward(kg::EntityId user,
+                                             kg::EntityId terminal) const {
+  if (options_.terminal_soft_reward) {
+    if (!dataset_->graph.IsItem(terminal)) return 0.0f;
+    // exp(score/scale) in (0,1]: PGPR's scaled scoring-function reward.
+    return std::exp(store_->ScoreUserEntity(user, terminal) / score_scale_);
+  }
+  const auto it = train_sets_.find(user);
+  return (it != train_sets_.end() && it->second.count(terminal) > 0) ? 1.0f
+                                                                     : 0.0f;
+}
+
+ag::Tensor CadrlRecommender::EntityEmbeddingTensor(kg::EntityId e) const {
+  return store_->EntityTensor(e);
+}
+
+std::vector<ag::Tensor> CadrlRecommender::EntityActionEmbeddings(
+    const std::vector<EntityAction>& actions) const {
+  std::vector<ag::Tensor> embs;
+  embs.reserve(actions.size());
+  for (const EntityAction& a : actions) {
+    embs.push_back(ag::Concat(
+        {store_->RelationTensor(a.relation), store_->EntityTensor(a.dst)}));
+  }
+  return embs;
+}
+
+std::vector<ag::Tensor> CadrlRecommender::CategoryActionEmbeddings(
+    const std::vector<kg::CategoryId>& actions) const {
+  std::vector<ag::Tensor> embs;
+  embs.reserve(actions.size());
+  for (kg::CategoryId c : actions) embs.push_back(store_->CategoryTensor(c));
+  return embs;
+}
+
+std::vector<float> CadrlRecommender::EntityDistribution(
+    const SharedPolicyNetworks::RolloutState& state,
+    const ag::Tensor& ent_emb, const ag::Tensor& rel_emb,
+    const ag::Tensor& condition,
+    const std::vector<ag::Tensor>& action_embs) const {
+  ag::NoGradGuard guard;
+  return ProbsOf(
+      policy_->EntityLogits(state, ent_emb, rel_emb, condition, action_embs));
+}
+
+void CadrlRecommender::BuildIndexes(const data::Dataset& dataset) {
+  const kg::KnowledgeGraph& graph = dataset.graph;
+  train_sets_.clear();
+  train_categories_.clear();
+  for (size_t u = 0; u < dataset.users.size(); ++u) {
+    const kg::EntityId user = dataset.users[u];
+    auto& set = train_sets_[user];
+    std::vector<kg::CategoryId> cats;
+    for (kg::EntityId item : dataset.train_items[u]) {
+      set.insert(item);
+      const kg::CategoryId c = graph.CategoryOf(item);
+      if (c != kg::kInvalidCategory &&
+          std::find(cats.begin(), cats.end(), c) == cats.end()) {
+        cats.push_back(c);
+      }
+    }
+    train_categories_[user] = std::move(cats);
+  }
+}
+
+void CadrlRecommender::BuildRuntime(const data::Dataset& dataset) {
+  entity_env_ = std::make_unique<EntityEnvironment>(
+      &dataset.graph, store_.get(), options_.max_entity_actions);
+  category_env_ = std::make_unique<CategoryEnvironment>(
+      &dataset.category_graph, store_.get(), options_.max_category_actions);
+  PolicyConfig policy_config;
+  policy_config.dim = store_->dim();
+  policy_config.hidden = options_.policy_hidden;
+  policy_config.share_history =
+      options_.share_history && options_.use_dual_agent;
+  policy_config.condition_on_category = options_.use_dual_agent;
+  policy_ = std::make_unique<SharedPolicyNetworks>(policy_config, &rng_);
+}
+
+Status CadrlRecommender::SaveModel(const std::string& path) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("call Fit() before SaveModel()");
+  }
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  out << "cadrl_model 1\n";
+  out << store_->dim() << ' '
+      << std::setprecision(std::numeric_limits<float>::max_digits10)
+      << score_scale_ << '\n';
+  CADRL_RETURN_IF_ERROR(store_->WriteTo(out));
+  const std::vector<ag::Tensor> params = policy_->Parameters();
+  out << params.size() << '\n';
+  for (const ag::Tensor& p : params) {
+    out << p.numel() << '\n'
+        << std::setprecision(std::numeric_limits<float>::max_digits10);
+    for (int64_t i = 0; i < p.numel(); ++i) out << p.data()[i] << ' ';
+    out << '\n';
+  }
+  if (!out.good()) return Status::IOError("model write failed: " + path);
+  return Status::OK();
+}
+
+Status CadrlRecommender::LoadModel(const data::Dataset& dataset,
+                                   const std::string& path) {
+  CADRL_RETURN_IF_ERROR(options_.Validate());
+  if (dataset.users.empty()) {
+    return Status::InvalidArgument("dataset has no users");
+  }
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "cadrl_model" || version != 1) {
+    return Status::Corruption("bad model header");
+  }
+  int dim = 0;
+  float scale = 0.0f;
+  in >> dim >> scale;
+  if (!in.good() || dim != options_.transe.dim) {
+    return Status::Corruption("model dim does not match options");
+  }
+  dataset_ = &dataset;
+  BuildIndexes(dataset);
+  // Untrained TransE provides shapes; the store tables are then replaced
+  // by the saved (trained) values.
+  transe_ = std::make_unique<embed::TransEModel>(
+      dataset.graph.num_entities(), dataset.graph.num_categories(),
+      options_.transe);
+  store_ = std::make_unique<EmbeddingStore>(&dataset.graph, transe_.get());
+  CADRL_RETURN_IF_ERROR(store_->ReadFrom(in));
+  score_scale_ = scale;
+  BuildRuntime(dataset);
+  size_t num_params = 0;
+  in >> num_params;
+  std::vector<ag::Tensor> params = policy_->Parameters();
+  if (!in.good() || num_params != params.size()) {
+    return Status::Corruption("policy parameter count mismatch");
+  }
+  for (ag::Tensor& p : params) {
+    int64_t numel = 0;
+    in >> numel;
+    if (!in.good() || numel != p.numel()) {
+      return Status::Corruption("policy parameter shape mismatch");
+    }
+    for (int64_t i = 0; i < numel; ++i) {
+      if (!(in >> p.data()[i])) {
+        return Status::Corruption("truncated policy parameters");
+      }
+    }
+  }
+  cggnn_.reset();
+  fitted_ = true;
+  return Status::OK();
+}
+
+void CadrlRecommender::Rollout(kg::EntityId user, Episode* episode) {
+  const bool dual = options_.use_dual_agent;
+  kg::EntityId entity = user;
+  kg::Relation last_rel = kg::Relation::kSelfLoop;
+  kg::CategoryId category =
+      dual ? InitialCategory(user, /*stochastic=*/true) : kg::kInvalidCategory;
+  const bool category_active = dual && category != kg::kInvalidCategory;
+
+  const ag::Tensor user_t = store_->EntityTensor(user);
+  ag::Tensor cat_t = category_active ? store_->CategoryTensor(category)
+                                     : store_->ZeroTensor();
+  ag::Tensor rel_t = store_->RelationTensor(kg::Relation::kSelfLoop);
+  ag::Tensor ent_t = store_->EntityTensor(entity);
+  SharedPolicyNetworks::RolloutState state =
+      policy_->InitialState(user_t, cat_t, rel_t, ent_t);
+
+  for (int l = 0; l < options_.max_path_length; ++l) {
+    // --- Category agent: pick the step's milestone (guidance). ---
+    kg::CategoryId next_category = category;
+    std::vector<float> category_probs;
+    std::vector<kg::CategoryId> cat_actions;
+    if (category_active) {
+      cat_actions = category_env_->ValidActions(user, category);
+      const std::vector<ag::Tensor> cat_embs =
+          CategoryActionEmbeddings(cat_actions);
+      const ag::Tensor cat_logits =
+          policy_->CategoryLogits(state, user_t, cat_t, cat_embs);
+      const ag::Tensor cat_log_probs = ag::LogSoftmax(cat_logits);
+      category_probs = ProbsOf(cat_logits);
+      std::vector<double> weights(category_probs.begin(),
+                                  category_probs.end());
+      const int64_t pick = rng_.SampleWeighted(weights);
+      next_category = cat_actions[static_cast<size_t>(pick)];
+      episode->category_trace.log_probs.push_back(
+          ag::Slice(cat_log_probs, pick, 1));
+      episode->category_trace.entropies.push_back(
+          ag::Neg(ag::Sum(ag::Mul(ag::Softmax(cat_logits), cat_log_probs))));
+      episode->category_trace.rewards.push_back(0.0f);
+    }
+
+    // --- Entity agent: conditioned on the category milestone. ---
+    const std::vector<EntityAction> ent_actions =
+        entity_env_->ValidActions(user, entity);
+    const std::vector<ag::Tensor> ent_embs =
+        EntityActionEmbeddings(ent_actions);
+    const ag::Tensor condition = category_active
+                                     ? store_->CategoryTensor(next_category)
+                                     : ag::Tensor();
+    const ag::Tensor ent_logits =
+        policy_->EntityLogits(state, ent_t, rel_t, condition, ent_embs);
+    const ag::Tensor ent_log_probs = ag::LogSoftmax(ent_logits);
+    const std::vector<float> conditioned_probs = ProbsOf(ent_logits);
+    std::vector<double> weights(conditioned_probs.begin(),
+                                conditioned_probs.end());
+    const int64_t pick = rng_.SampleWeighted(weights);
+    const EntityAction action = ent_actions[static_cast<size_t>(pick)];
+    episode->entity_trace.log_probs.push_back(
+        ag::Slice(ent_log_probs, pick, 1));
+    episode->entity_trace.entropies.push_back(
+        ag::Neg(ag::Sum(ag::Mul(ag::Softmax(ent_logits), ent_log_probs))));
+    episode->entity_trace.rewards.push_back(0.0f);
+
+    // --- Potential-based shaping against the sparse reward dilemma. ---
+    if (options_.potential_shaping > 0.0f) {
+      const float phi_next =
+          store_->ScoreUserEntity(user, action.dst) / score_scale_;
+      const float phi_cur =
+          store_->ScoreUserEntity(user, entity) / score_scale_;
+      episode->entity_trace.rewards.back() +=
+          options_.potential_shaping * (phi_next - phi_cur);
+    }
+
+    // --- Collaborative rewards (Eqs 17-21). ---
+    if (category_active && options_.use_partner_rewards) {
+      // Marginal p(a^e|s^e) = sum_a~ p(a^e|a~,s^e) p(a~|s^e), exactly over
+      // the pruned category action set.
+      std::vector<float> marginal(conditioned_probs.size(), 0.0f);
+      for (size_t x = 0; x < cat_actions.size(); ++x) {
+        const std::vector<float> p_x = EntityDistribution(
+            state, ent_t, rel_t, store_->CategoryTensor(cat_actions[x]),
+            ent_embs);
+        for (size_t i = 0; i < marginal.size(); ++i) {
+          marginal[i] += category_probs[x] * p_x[i];
+        }
+      }
+      const float r_pc =
+          CounterfactualPartnerReward(conditioned_probs, marginal);
+      episode->entity_trace.rewards.back() += options_.alpha_pc * r_pc;
+      const float r_pe = CosineConsistency(store_->Category(next_category),
+                                           store_->Entity(action.dst));
+      episode->category_trace.rewards.back() += options_.alpha_pe * r_pe;
+    }
+
+    // --- Transition + history update (Eqs 13-14). ---
+    category = next_category;
+    entity = action.dst;
+    last_rel = action.relation;
+    cat_t = category_active ? store_->CategoryTensor(category)
+                            : store_->ZeroTensor();
+    rel_t = store_->RelationTensor(last_rel);
+    ent_t = store_->EntityTensor(entity);
+    policy_->Advance(&state, user_t, cat_t, rel_t, ent_t);
+  }
+
+  // Terminal rewards.
+  const float terminal = TerminalEntityReward(user, entity);
+  episode->terminal_entity_reward = terminal;
+  if (!episode->entity_trace.rewards.empty()) {
+    episode->entity_trace.rewards.back() += terminal;
+  }
+  if (category_active && !episode->category_trace.rewards.empty()) {
+    const auto& cats = train_categories_[user];
+    if (std::find(cats.begin(), cats.end(), category) != cats.end()) {
+      episode->category_trace.rewards.back() += 1.0f;
+    }
+  }
+}
+
+std::vector<EntityAction> CadrlRecommender::DemonstrationPath(
+    kg::EntityId user, kg::EntityId item) const {
+  const kg::KnowledgeGraph& graph = dataset_->graph;
+  std::vector<int32_t> parent(static_cast<size_t>(graph.num_entities()), -2);
+  std::vector<kg::Relation> via(static_cast<size_t>(graph.num_entities()),
+                                kg::Relation::kSelfLoop);
+  parent[static_cast<size_t>(user)] = -1;
+  std::vector<kg::EntityId> frontier = {user};
+  bool found = (user == item);
+  for (int depth = 0; depth < options_.max_path_length && !found; ++depth) {
+    std::vector<kg::EntityId> next;
+    for (kg::EntityId e : frontier) {
+      for (const kg::Edge& edge : graph.Neighbors(e)) {
+        if (parent[static_cast<size_t>(edge.dst)] != -2) continue;
+        parent[static_cast<size_t>(edge.dst)] = e;
+        via[static_cast<size_t>(edge.dst)] = edge.relation;
+        if (edge.dst == item) {
+          found = true;
+          break;
+        }
+        next.push_back(edge.dst);
+      }
+      if (found) break;
+    }
+    frontier = std::move(next);
+  }
+  if (!found || user == item) return {};
+  std::vector<EntityAction> path;
+  for (kg::EntityId e = item; e != user;
+       e = static_cast<kg::EntityId>(parent[static_cast<size_t>(e)])) {
+    path.push_back({via[static_cast<size_t>(e)], e});
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ag::Tensor CadrlRecommender::ImitationLoss(
+    kg::EntityId user, const std::vector<EntityAction>& demo) {
+  const ag::Tensor user_t = store_->EntityTensor(user);
+  kg::EntityId entity = user;
+  kg::Relation last_rel = kg::Relation::kSelfLoop;
+  SharedPolicyNetworks::RolloutState state = policy_->InitialState(
+      user_t, store_->ZeroTensor(),
+      store_->RelationTensor(kg::Relation::kSelfLoop),
+      store_->EntityTensor(user));
+  std::vector<ag::Tensor> terms;
+  for (const EntityAction& target : demo) {
+    const std::vector<EntityAction> actions =
+        entity_env_->ValidActions(user, entity);
+    int64_t target_index = -1;
+    for (size_t i = 0; i < actions.size(); ++i) {
+      if (actions[i] == target) {
+        target_index = static_cast<int64_t>(i);
+        break;
+      }
+    }
+    if (target_index >= 0) {
+      const ag::Tensor logits = policy_->EntityLogits(
+          state, store_->EntityTensor(entity),
+          store_->RelationTensor(last_rel), ag::Tensor(),
+          EntityActionEmbeddings(actions));
+      terms.push_back(ag::Neg(
+          ag::Sum(ag::Slice(ag::LogSoftmax(logits), target_index, 1))));
+    }
+    policy_->Advance(&state, user_t, store_->ZeroTensor(),
+                     store_->RelationTensor(target.relation),
+                     store_->EntityTensor(target.dst));
+    entity = target.dst;
+    last_rel = target.relation;
+  }
+  if (terms.empty()) return ag::Tensor();
+  return ag::MulScalar(ag::AddN(terms),
+                       1.0f / static_cast<float>(terms.size()));
+}
+
+std::vector<eval::Recommendation> CadrlRecommender::Recommend(
+    kg::EntityId user, int k) {
+  CADRL_CHECK(fitted_) << "call Fit() before Recommend()";
+  CADRL_CHECK_GT(k, 0);
+  ag::NoGradGuard guard;
+  const bool dual = options_.use_dual_agent;
+
+  struct BeamElement {
+    kg::EntityId entity;
+    kg::Relation last_rel;
+    kg::CategoryId category;
+    SharedPolicyNetworks::RolloutState state;
+    double log_prob;
+    std::vector<eval::PathStep> steps;
+  };
+
+  const auto train_it = train_sets_.find(user);
+  const std::unordered_set<kg::EntityId> empty_set;
+  const std::unordered_set<kg::EntityId>& exclude =
+      train_it != train_sets_.end() ? train_it->second : empty_set;
+
+  const ag::Tensor user_t = store_->EntityTensor(user);
+  BeamElement root;
+  root.entity = user;
+  root.last_rel = kg::Relation::kSelfLoop;
+  root.category = dual ? InitialCategory(user, /*stochastic=*/false)
+                       : kg::kInvalidCategory;
+  const bool category_active = dual && root.category != kg::kInvalidCategory;
+  root.state = policy_->InitialState(
+      user_t,
+      category_active ? store_->CategoryTensor(root.category)
+                      : store_->ZeroTensor(),
+      store_->RelationTensor(kg::Relation::kSelfLoop),
+      store_->EntityTensor(user));
+  root.log_prob = 0.0;
+
+  std::vector<BeamElement> beam = {std::move(root)};
+  struct Candidate {
+    double score;
+    eval::RecommendationPath path;
+    double log_prob;
+  };
+  std::unordered_map<kg::EntityId, Candidate> candidates;
+  // Milestones visited by the category agent; items inside these
+  // categories receive the guidance bonus during ranking (§IV-C1: the
+  // category agent's milestone-like category-level guidance).
+  std::unordered_set<kg::CategoryId> milestones;
+  if (category_active) milestones.insert(beam[0].category);
+
+  for (int l = 0; l < options_.max_path_length; ++l) {
+    std::vector<BeamElement> next_beam;
+    for (BeamElement& elem : beam) {
+      // Category agent moves greedily, providing the milestone.
+      kg::CategoryId next_category = elem.category;
+      if (category_active) {
+        const auto cat_actions =
+            category_env_->ValidActions(user, elem.category);
+        const ag::Tensor cat_logits = policy_->CategoryLogits(
+            elem.state, user_t, store_->CategoryTensor(elem.category),
+            CategoryActionEmbeddings(cat_actions));
+        const std::vector<float> probs = ProbsOf(cat_logits);
+        const int64_t best = static_cast<int64_t>(std::distance(
+            probs.begin(), std::max_element(probs.begin(), probs.end())));
+        next_category = cat_actions[static_cast<size_t>(best)];
+        milestones.insert(next_category);
+      }
+
+      const std::vector<EntityAction> ent_actions =
+          entity_env_->ValidActions(user, elem.entity,
+                                    category_active ? &milestones : nullptr);
+      const ag::Tensor ent_logits = policy_->EntityLogits(
+          elem.state, store_->EntityTensor(elem.entity),
+          store_->RelationTensor(elem.last_rel),
+          category_active ? store_->CategoryTensor(next_category)
+                          : ag::Tensor(),
+          EntityActionEmbeddings(ent_actions));
+      const ag::Tensor log_probs_t = ag::LogSoftmax(ent_logits);
+      std::vector<std::pair<float, int64_t>> ranked;
+      ranked.reserve(ent_actions.size());
+      for (int64_t i = 0; i < log_probs_t.numel(); ++i) {
+        float key = log_probs_t.at(i);
+        if (options_.beam_guidance_weight > 0.0f) {
+          key += options_.beam_guidance_weight *
+                 store_->ScoreUserEntity(
+                     user, ent_actions[static_cast<size_t>(i)].dst) /
+                 score_scale_;
+        }
+        ranked.emplace_back(key, i);
+      }
+      const int64_t expand = std::min<int64_t>(
+          options_.beam_expand, static_cast<int64_t>(ranked.size()));
+      std::partial_sort(ranked.begin(), ranked.begin() + expand, ranked.end(),
+                        [](const auto& a, const auto& b) {
+                          if (a.first != b.first) return a.first > b.first;
+                          return a.second < b.second;
+                        });
+      // Candidate harvesting considers *every* item adjacent to this beam
+      // state (PGPR's terminal consideration), independent of the guided
+      // action filtering, so ranking coverage is decoupled from both the
+      // beam width and the milestone narrowing.
+      for (const kg::Edge& edge : dataset_->graph.Neighbors(elem.entity)) {
+        if (!dataset_->graph.IsItem(edge.dst)) continue;
+        if (exclude.count(edge.dst) > 0) continue;
+        const double log_prob = elem.log_prob;
+        double score =
+            options_.rank_score_weight *
+                static_cast<double>(
+                    store_->ScoreUserEntity(user, edge.dst)) +
+            options_.rank_path_weight * log_prob;
+        if (category_active) {
+          const kg::CategoryId item_cat =
+              dataset_->graph.CategoryOf(edge.dst);
+          if (item_cat != kg::kInvalidCategory &&
+              milestones.count(item_cat) > 0) {
+            score += options_.rank_category_weight;
+          }
+        }
+        auto it = candidates.find(edge.dst);
+        if (it == candidates.end() || score > it->second.score) {
+          eval::RecommendationPath path;
+          path.user = user;
+          path.steps = elem.steps;
+          path.steps.push_back({edge.relation, edge.dst});
+          candidates[edge.dst] = {score, std::move(path), log_prob};
+        }
+      }
+      for (int64_t i = 0; i < expand; ++i) {
+        const EntityAction action =
+            ent_actions[static_cast<size_t>(ranked[i].second)];
+        BeamElement child;
+        child.entity = action.dst;
+        child.last_rel = action.relation;
+        child.category = next_category;
+        child.log_prob =
+            elem.log_prob +
+            static_cast<double>(log_probs_t.at(ranked[i].second));
+        child.steps = elem.steps;
+        if (action.relation != kg::Relation::kSelfLoop) {
+          child.steps.push_back({action.relation, action.dst});
+        }
+        // Recurrent state advanced lazily, only for beam survivors.
+        child.state = elem.state;
+        next_beam.push_back(std::move(child));
+      }
+    }
+    std::sort(next_beam.begin(), next_beam.end(),
+              [](const BeamElement& a, const BeamElement& b) {
+                if (a.log_prob != b.log_prob) return a.log_prob > b.log_prob;
+                return a.entity < b.entity;
+              });
+    if (static_cast<int64_t>(next_beam.size()) > options_.beam_width) {
+      next_beam.resize(static_cast<size_t>(options_.beam_width));
+    }
+    for (BeamElement& child : next_beam) {
+      policy_->Advance(&child.state, user_t,
+                       category_active
+                           ? store_->CategoryTensor(child.category)
+                           : store_->ZeroTensor(),
+                       store_->RelationTensor(child.last_rel),
+                       store_->EntityTensor(child.entity));
+    }
+    beam = std::move(next_beam);
+    if (beam.empty()) break;
+  }
+
+  std::vector<std::pair<kg::EntityId, Candidate>> ranked(candidates.begin(),
+                                                         candidates.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.score != b.second.score) {
+      return a.second.score > b.second.score;
+    }
+    return a.first < b.first;
+  });
+  std::vector<eval::Recommendation> out;
+  out.reserve(static_cast<size_t>(k));
+  for (auto& [item, cand] : ranked) {
+    if (static_cast<int>(out.size()) >= k) break;
+    eval::Recommendation rec;
+    rec.item = item;
+    rec.score = cand.score;
+    rec.path = std::move(cand.path);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::vector<eval::RecommendationPath> CadrlRecommender::FindPaths(
+    kg::EntityId user, int max_paths) {
+  std::vector<eval::RecommendationPath> out;
+  for (eval::Recommendation& rec : Recommend(user, max_paths)) {
+    if (!rec.path.empty()) out.push_back(std::move(rec.path));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace cadrl

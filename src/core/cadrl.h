@@ -1,0 +1,194 @@
+#ifndef CADRL_CORE_CADRL_H_
+#define CADRL_CORE_CADRL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cggnn.h"
+#include "core/embedding_store.h"
+#include "core/environment.h"
+#include "core/policy.h"
+#include "data/dataset.h"
+#include "embed/transe.h"
+#include "eval/recommender.h"
+#include "rl/reinforce.h"
+#include "util/rng.h"
+
+namespace cadrl {
+namespace core {
+
+// Full configuration of the CADRL model (§IV) plus the ablation switches of
+// §V-E/F. Defaults follow the paper where the paper fixes a value (L=6,
+// |A^c|=10, |A^e|=50, k=3, m=2, Adam) and use CI-scale budgets elsewhere.
+struct CadrlOptions {
+  embed::TransEOptions transe;
+  CggnnOptions cggnn;
+
+  // --- Component switches (Table IV / Figs 3-4 ablations) ---
+  bool use_cggnn = true;         // off => "CADRL w/o CGGNN"
+  bool use_dual_agent = true;    // off => "CADRL w/o DARL" (single agent)
+  bool share_history = true;     // off => RSHI
+  bool use_partner_rewards = true;  // off => RCRM
+
+  // --- MDP geometry (§V-A3) ---
+  int max_path_length = 6;       // L
+  int max_entity_actions = 50;   // |A^e|
+  int max_category_actions = 10; // |A^c|
+
+  // --- Rewards (Eqs 20-21) ---
+  float alpha_pe = 0.4f;
+  float alpha_pc = 0.5f;
+  float gamma = 0.99f;
+  // PGPR-style scaled TransE terminal reward instead of the paper's binary
+  // indicator; used by the PGPR/UCPR baseline wrappers.
+  bool terminal_soft_reward = false;
+  // Potential-based reward shaping (Ng et al. 1999): each step adds
+  // weight * (phi(e_{l+1}) - phi(e_l)) with phi the normalized user-entity
+  // plausibility. Densifies the sparse terminal signal without changing
+  // the optimal policy; applied to every RL model equally.
+  float potential_shaping = 0.3f;
+  // ADAC-style demonstration imitation: weight of the cross-entropy of the
+  // policy on BFS shortest-path demonstrations (0 disables it).
+  float demonstration_weight = 0.0f;
+  // UCPR-style demand memory: fuses the mean train-item embedding into each
+  // user's row before training.
+  bool use_user_demand = false;
+
+  // --- Policy & training ---
+  int policy_hidden = 64;
+  int episodes_per_user = 5;
+  float lr = 2e-3f;
+  float entropy_coef = 0.05f;
+  float grad_clip = 5.0f;
+
+  // --- Inference ---
+  int beam_width = 20;
+  // Children expanded per beam element per step.
+  int beam_expand = 5;
+  // Beam expansion key = log pi(a) + beam_guidance_weight * normalized
+  // plausibility of the endpoint; keeps the search anchored to plausible
+  // regions (PGPR scores beam actions the same way).
+  float beam_guidance_weight = 1.0f;
+  // Candidate ranking: score = rank_score_weight * plausibility(u, item)
+  // + rank_path_weight * accumulated log pi(path)
+  // + rank_category_weight * cos(u, category(item)).
+  // Plausibility uses the CGGNN-refined representations (BPR-trained on the
+  // same quantity); the category term is the category agent's milestone
+  // guidance folded into ranking and is only active with the dual agent.
+  float rank_score_weight = 1.0f;
+  float rank_path_weight = 0.05f;
+  float rank_category_weight = 0.15f;
+
+  uint64_t seed = 11;
+
+  Status Validate() const;
+};
+
+// The CADRL recommender: TransE initialization -> CGGNN item refinement ->
+// dual-agent REINFORCE training -> beam-search inference with explanation
+// paths. Every model variant in the paper's ablations is an option switch.
+class CadrlRecommender : public eval::Recommender {
+ public:
+  explicit CadrlRecommender(const CadrlOptions& options,
+                            std::string name = "CADRL");
+
+  std::string name() const override { return name_; }
+  Status Fit(const data::Dataset& dataset) override;
+  std::vector<eval::Recommendation> Recommend(kg::EntityId user,
+                                              int k) override;
+  bool SupportsPaths() const override { return true; }
+  std::vector<eval::RecommendationPath> FindPaths(kg::EntityId user,
+                                                  int max_paths) override;
+
+  // Mean episode reward (entity agent) per training epoch; for tests.
+  const std::vector<float>& epoch_rewards() const { return epoch_rewards_; }
+
+  const CadrlOptions& options() const { return options_; }
+
+  // The fitted embedding store (null before Fit); exposes the selected
+  // score mode and the refined representations.
+  const EmbeddingStore* store() const { return store_.get(); }
+
+  // Persists the fitted inference state — embedding tables, scoring
+  // configuration and policy parameters — so a model can be reloaded
+  // without retraining. LoadModel must be called on a recommender
+  // constructed with the same options, against the same dataset.
+  Status SaveModel(const std::string& path) const;
+  Status LoadModel(const data::Dataset& dataset, const std::string& path);
+
+ private:
+  struct Episode {
+    rl::EpisodeTrace entity_trace;
+    rl::EpisodeTrace category_trace;
+    float terminal_entity_reward = 0.0f;
+  };
+
+  // Builds the per-user train indexes and the environments/policy from
+  // `dataset` (shared by Fit and LoadModel).
+  void BuildIndexes(const data::Dataset& dataset);
+  void BuildRuntime(const data::Dataset& dataset);
+
+  // Runs one training rollout for `user` and fills `episode`.
+  void Rollout(kg::EntityId user, Episode* episode);
+
+  // BFS shortest path user -> item (<= max_path_length hops); empty if
+  // unreachable. Used for ADAC-style demonstrations.
+  std::vector<EntityAction> DemonstrationPath(kg::EntityId user,
+                                              kg::EntityId item) const;
+
+  // Imitation cross-entropy of the policy along a demonstration (tape-built).
+  ag::Tensor ImitationLoss(kg::EntityId user,
+                           const std::vector<EntityAction>& demo);
+
+  // Initial category for an episode (category of a train item; the
+  // affinity-max one at inference, a random one during training).
+  kg::CategoryId InitialCategory(kg::EntityId user, bool stochastic);
+
+  // Entity-action distribution for the current step (no-grad helper used by
+  // the counterfactual partner reward).
+  std::vector<float> EntityDistribution(
+      const SharedPolicyNetworks::RolloutState& state,
+      const ag::Tensor& ent_emb, const ag::Tensor& rel_emb,
+      const ag::Tensor& condition,
+      const std::vector<ag::Tensor>& action_embs) const;
+
+  float TerminalEntityReward(kg::EntityId user, kg::EntityId terminal) const;
+
+  ag::Tensor EntityEmbeddingTensor(kg::EntityId e) const;
+  std::vector<ag::Tensor> EntityActionEmbeddings(
+      const std::vector<EntityAction>& actions) const;
+  std::vector<ag::Tensor> CategoryActionEmbeddings(
+      const std::vector<kg::CategoryId>& actions) const;
+
+  std::string name_;
+  CadrlOptions options_;
+  const data::Dataset* dataset_ = nullptr;
+  Rng rng_;
+
+  std::unique_ptr<embed::TransEModel> transe_;
+  std::unique_ptr<Cggnn> cggnn_;
+  std::unique_ptr<EmbeddingStore> store_;
+  std::unique_ptr<EntityEnvironment> entity_env_;
+  std::unique_ptr<CategoryEnvironment> category_env_;
+  std::unique_ptr<SharedPolicyNetworks> policy_;
+
+  // Per-user train-item sets for candidate exclusion.
+  std::unordered_map<kg::EntityId, std::unordered_set<kg::EntityId>>
+      train_sets_;
+  // Per-user train categories (targets of the category agent).
+  std::unordered_map<kg::EntityId, std::vector<kg::CategoryId>>
+      train_categories_;
+  // Best soft-reward normalizer (max |score|) for terminal_soft_reward.
+  float score_scale_ = 1.0f;
+
+  std::vector<float> epoch_rewards_;
+  bool fitted_ = false;
+};
+
+}  // namespace core
+}  // namespace cadrl
+
+#endif  // CADRL_CORE_CADRL_H_

@@ -1,0 +1,337 @@
+#include "core/cggnn.h"
+
+#include <algorithm>
+#include <set>
+
+#include "autograd/optimizer.h"
+#include "util/logging.h"
+
+namespace cadrl {
+namespace core {
+
+Status CggnnOptions::Validate() const {
+  if (ggnn_layers < 1 || cgan_layers < 1) {
+    return Status::InvalidArgument("layer counts must be >= 1");
+  }
+  if (neighbor_cap < 1) {
+    return Status::InvalidArgument("neighbor_cap must be >= 1");
+  }
+  if (delta < 0.0f || delta > 1.0f) {
+    return Status::InvalidArgument("delta must be in [0,1]");
+  }
+  if (lr <= 0.0f) return Status::InvalidArgument("lr must be positive");
+  if (epochs < 0 || pairs_per_epoch < 1) {
+    return Status::InvalidArgument("bad training budget");
+  }
+  return Status::OK();
+}
+
+Cggnn::Cggnn(const kg::KnowledgeGraph* graph,
+             const embed::TransEModel* transe, const CggnnOptions& options)
+    : graph_(graph), options_(options), dim_(transe->dim()) {
+  CADRL_CHECK(graph != nullptr);
+  CADRL_CHECK(transe != nullptr);
+  CADRL_CHECK(graph->finalized());
+  CADRL_CHECK_OK(options.Validate());
+  Rng rng(options.seed);
+
+  items_ = graph->EntitiesOfType(kg::EntityType::kItem);
+  item_index_.assign(static_cast<size_t>(graph->num_entities()), -1);
+  for (size_t pos = 0; pos < items_.size(); ++pos) {
+    item_index_[static_cast<size_t>(items_[pos])] =
+        static_cast<int64_t>(pos);
+  }
+
+  // The entity table starts at the TransE initialization and is fine-tuned
+  // by the BPR phase (the paper fixes the initialization but not the
+  // training; DESIGN.md §3.1). Relations stay frozen.
+  entity_table_ = RegisterParameter(
+      "entity_table",
+      ag::Tensor::FromVector(transe->EntityTable(),
+                             {graph->num_entities(), dim_}));
+  relation_table_ = ag::Tensor::FromVector(
+      transe->RelationTable(), {kg::kNumRelations, dim_});
+
+  // Sample a bounded neighborhood per item, excluding user neighbors
+  // (the paper propagates from e_j in V ∪ F ∪ B only).
+  neighbors_.resize(items_.size());
+  neighbor_categories_.resize(items_.size());
+  category_members_.assign(
+      static_cast<size_t>(graph->num_categories()), {});
+  for (size_t pos = 0; pos < items_.size(); ++pos) {
+    const kg::EntityId item = items_[pos];
+    std::vector<SampledNeighbor> all;
+    std::set<kg::CategoryId> cats;
+    const kg::CategoryId own = graph->CategoryOf(item);
+    if (own != kg::kInvalidCategory) {
+      cats.insert(own);
+      category_members_[static_cast<size_t>(own)].push_back(
+          static_cast<int64_t>(pos));
+    }
+    for (const kg::Edge& edge : graph->Neighbors(item)) {
+      if (graph->IsUser(edge.dst)) continue;
+      all.push_back(
+          {edge.relation, edge.dst, kg::IsInverse(edge.relation)});
+      if (graph->IsItem(edge.dst)) {
+        const kg::CategoryId c = graph->CategoryOf(edge.dst);
+        if (c != kg::kInvalidCategory) cats.insert(c);
+      }
+    }
+    if (static_cast<int64_t>(all.size()) > options.neighbor_cap) {
+      rng.Shuffle(&all);
+      all.resize(static_cast<size_t>(options.neighbor_cap));
+    }
+    neighbors_[pos] = std::move(all);
+    neighbor_categories_[pos].assign(cats.begin(), cats.end());
+  }
+
+  // Parameters. Eqs 1-2 and 4-8 carry no layer superscript in the paper,
+  // so those weights are shared across layers; Eq 3's W_in/W_out are
+  // per-layer.
+  w1_ = std::make_unique<ag::Linear>(4 * dim_, dim_, &rng, /*use_bias=*/false);
+  w2_ = std::make_unique<ag::Linear>(dim_, 1, &rng, /*use_bias=*/true);
+  RegisterModule(w1_.get());
+  RegisterModule(w2_.get());
+  for (int k = 0; k < options.ggnn_layers; ++k) {
+    w_in_.push_back(
+        std::make_unique<ag::Linear>(dim_, dim_, &rng, /*use_bias=*/false));
+    w_out_.push_back(
+        std::make_unique<ag::Linear>(dim_, dim_, &rng, /*use_bias=*/false));
+    RegisterModule(w_in_.back().get());
+    RegisterModule(w_out_.back().get());
+  }
+  auto make_square = [&] {
+    return std::make_unique<ag::Linear>(dim_, dim_, &rng, /*use_bias=*/false);
+  };
+  w_z1_ = make_square();
+  w_self_ = make_square();
+  w_v1_ = make_square();
+  w_v2_ = make_square();
+  w_vh1_ = make_square();
+  w_vh2_ = make_square();
+  RegisterModule(w_z1_.get());
+  RegisterModule(w_self_.get());
+  RegisterModule(w_v1_.get());
+  RegisterModule(w_v2_.get());
+  RegisterModule(w_vh1_.get());
+  RegisterModule(w_vh2_.get());
+  w_ic_ =
+      std::make_unique<ag::Linear>(2 * dim_, 1, &rng, /*use_bias=*/false);
+  RegisterModule(w_ic_.get());
+}
+
+int64_t Cggnn::ItemIndex(kg::EntityId e) const {
+  CADRL_CHECK_GE(e, 0);
+  CADRL_CHECK_LT(e, static_cast<int64_t>(item_index_.size()));
+  return item_index_[static_cast<size_t>(e)];
+}
+
+ag::Tensor Cggnn::EntityRow(kg::EntityId e,
+                            const std::vector<ag::Tensor>& item_reps) const {
+  const int64_t pos = item_index_[static_cast<size_t>(e)];
+  if (pos >= 0) return item_reps[static_cast<size_t>(pos)];
+  return ag::GatherRow(entity_table_, e);
+}
+
+ag::Tensor Cggnn::Propagate(int64_t item_pos, int layer,
+                            const std::vector<ag::Tensor>& prev) const {
+  const auto& neighborhood = neighbors_[static_cast<size_t>(item_pos)];
+  if (neighborhood.empty()) return ag::Tensor::Zeros({dim_});
+  const ag::Tensor self = prev[static_cast<size_t>(item_pos)];
+  const ag::Tensor purchase_rel = ag::GatherRow(
+      relation_table_, static_cast<int64_t>(kg::Relation::kPurchase));
+  std::vector<ag::Tensor> contributions;
+  contributions.reserve(neighborhood.size());
+  for (const SampledNeighbor& nb : neighborhood) {
+    const ag::Tensor h_e = EntityRow(nb.entity, prev);
+    const ag::Tensor h_r =
+        ag::GatherRow(relation_table_, static_cast<int64_t>(nb.relation));
+    // Eq 1: triplet representation with the purchase-relation injection.
+    const ag::Tensor t = ag::Sigmoid(
+        w1_->Forward(ag::Concat({self, h_e, h_r, purchase_rel})));
+    // Eq 2: semantic-strength attention.
+    const ag::Tensor alpha = ag::Sigmoid(w2_->Forward(t));
+    // Eq 3: directional message.
+    const ag::Linear& w = nb.incoming
+                              ? *w_in_[static_cast<size_t>(layer)]
+                              : *w_out_[static_cast<size_t>(layer)];
+    contributions.push_back(ag::Scale(w.Forward(ag::Mul(h_e, h_r)), alpha));
+  }
+  return ag::AddN(contributions);
+}
+
+ag::Tensor Cggnn::GatedFuse(const ag::Tensor& neighborhood,
+                            const ag::Tensor& self) const {
+  // Eq 4: update gate.
+  const ag::Tensor z = ag::Sigmoid(
+      ag::Add(w_z1_->Forward(neighborhood), w_self_->Forward(self)));
+  // Eq 5: reset gate.
+  const ag::Tensor reset = ag::Sigmoid(
+      ag::Add(w_v1_->Forward(neighborhood), w_v2_->Forward(self)));
+  // Eq 6: candidate state.
+  const ag::Tensor candidate = ag::Tanh(ag::Add(
+      w_vh1_->Forward(neighborhood), w_vh2_->Forward(ag::Mul(reset, self))));
+  // Eq 7: (1 - z) o self + z o candidate.
+  const ag::Tensor keep = ag::AddScalar(ag::Neg(z), 1.0f);
+  return ag::Add(ag::Mul(keep, self), ag::Mul(z, candidate));
+}
+
+std::vector<ag::Tensor> Cggnn::ComputeItemRepresentations() const {
+  std::vector<ag::Tensor> reps;
+  reps.reserve(items_.size());
+  for (kg::EntityId item : items_) {
+    reps.push_back(ag::GatherRow(entity_table_, item));
+  }
+  if (options_.use_ggnn) {
+    for (int k = 0; k < options_.ggnn_layers; ++k) {
+      std::vector<ag::Tensor> next(reps.size());
+      for (size_t pos = 0; pos < reps.size(); ++pos) {
+        const ag::Tensor n =
+            Propagate(static_cast<int64_t>(pos), k, reps);
+        next[pos] = GatedFuse(n, reps[pos]);
+      }
+      reps = std::move(next);
+    }
+  }
+  if (options_.use_cgan && graph_->num_categories() > 0) {
+    for (int m = 0; m < options_.cgan_layers; ++m) {
+      // Category representations: mean of member item representations
+      // (§IV-B2), recomputed per layer from the evolving item states.
+      std::vector<ag::Tensor> cat_reps(category_members_.size());
+      for (size_t c = 0; c < category_members_.size(); ++c) {
+        const auto& members = category_members_[c];
+        if (members.empty()) {
+          cat_reps[c] = ag::Tensor::Zeros({dim_});
+          continue;
+        }
+        std::vector<ag::Tensor> rows;
+        rows.reserve(members.size());
+        for (int64_t pos : members) {
+          rows.push_back(reps[static_cast<size_t>(pos)]);
+        }
+        cat_reps[c] = ag::MulScalar(ag::AddN(rows),
+                                    1.0f / static_cast<float>(rows.size()));
+      }
+      std::vector<ag::Tensor> next(reps.size());
+      for (size_t pos = 0; pos < reps.size(); ++pos) {
+        const auto& cats = neighbor_categories_[pos];
+        if (cats.empty()) {
+          next[pos] = reps[pos];
+          continue;
+        }
+        // Eqs 8-9: attention over neighboring categories.
+        std::vector<ag::Tensor> betas;
+        betas.reserve(cats.size());
+        for (kg::CategoryId c : cats) {
+          betas.push_back(ag::LeakyRelu(w_ic_->Forward(ag::Concat(
+              {reps[pos], cat_reps[static_cast<size_t>(c)]}))));
+        }
+        const ag::Tensor attention = ag::Softmax(ag::Concat(betas));
+        // Eq 10: category context.
+        std::vector<ag::Tensor> weighted;
+        weighted.reserve(cats.size());
+        for (size_t x = 0; x < cats.size(); ++x) {
+          weighted.push_back(
+              ag::Scale(cat_reps[static_cast<size_t>(cats[x])],
+                        ag::Slice(attention, static_cast<int64_t>(x), 1)));
+        }
+        const ag::Tensor context = ag::AddN(weighted);
+        // Eq 11: h = h~ + delta * h_c (applied per CGAN layer).
+        next[pos] =
+            ag::Add(reps[pos], ag::MulScalar(context, options_.delta));
+      }
+      reps = std::move(next);
+    }
+  }
+  return reps;
+}
+
+Status Cggnn::Train(
+    const data::Dataset& dataset,
+    const std::vector<std::pair<kg::EntityId, kg::EntityId>>* exclude) {
+  if (dataset.users.empty()) {
+    return Status::InvalidArgument("dataset has no users");
+  }
+  Rng rng(options_.seed ^ 0x51f0aa99ULL);
+  ag::Adam optimizer(Parameters(), options_.lr);
+  epoch_losses_.clear();
+
+  // Pre-collect (user, positive) pairs, minus the validation holdout.
+  std::set<std::pair<kg::EntityId, kg::EntityId>> excluded;
+  if (exclude != nullptr) excluded.insert(exclude->begin(), exclude->end());
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> pairs;
+  for (size_t u = 0; u < dataset.users.size(); ++u) {
+    for (kg::EntityId item : dataset.train_items[u]) {
+      if (excluded.count({dataset.users[u], item}) > 0) continue;
+      pairs.emplace_back(dataset.users[u], item);
+    }
+  }
+  if (pairs.empty()) return Status::InvalidArgument("no train interactions");
+
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    std::vector<ag::Tensor> reps = ComputeItemRepresentations();
+    std::vector<ag::Tensor> losses;
+    const int64_t budget = std::min<int64_t>(
+        options_.pairs_per_epoch, static_cast<int64_t>(pairs.size()));
+    for (int64_t b = 0; b < budget; ++b) {
+      const auto& [user, pos_item] = pairs[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(pairs.size())))];
+      const kg::EntityId neg_item = items_[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(items_.size())))];
+      if (neg_item == pos_item) continue;
+      const ag::Tensor u = ag::GatherRow(entity_table_, user);
+      // BPR on the dot-product preference score u . h_v; the inference
+      // stack scores refined representations the same way
+      // (EmbeddingStore::ScoreMode::kDotProduct).
+      const ag::Tensor diff =
+          ag::Sub(ag::Dot(u, reps[static_cast<size_t>(ItemIndex(pos_item))]),
+                  ag::Dot(u, reps[static_cast<size_t>(ItemIndex(neg_item))]));
+      // BPR: -log sigma(diff), computed stably as -log_softmax([diff,0])[0].
+      const ag::Tensor two = ag::Concat(
+          {ag::Reshape(diff, {1}), ag::Tensor::Zeros({1})});
+      losses.push_back(ag::Neg(ag::Slice(ag::LogSoftmax(two), 0, 1)));
+    }
+    if (losses.empty()) {
+      epoch_losses_.push_back(0.0f);
+      continue;
+    }
+    const ag::Tensor loss = ag::MulScalar(
+        ag::Sum(ag::Concat(losses)), 1.0f / static_cast<float>(losses.size()));
+    ag::Backward(loss);
+    optimizer.ClipGradNorm(options_.grad_clip);
+    optimizer.Step();
+    epoch_losses_.push_back(loss.item());
+  }
+  FinalizeRepresentations();
+  return Status::OK();
+}
+
+void Cggnn::FinalizeRepresentations() {
+  ag::NoGradGuard guard;
+  std::vector<ag::Tensor> reps = ComputeItemRepresentations();
+  final_reps_.assign(items_.size() * static_cast<size_t>(dim_), 0.0f);
+  for (size_t pos = 0; pos < reps.size(); ++pos) {
+    std::copy(reps[pos].data(), reps[pos].data() + dim_,
+              final_reps_.begin() + pos * static_cast<size_t>(dim_));
+  }
+}
+
+std::span<const float> Cggnn::EntityVector(kg::EntityId e) const {
+  CADRL_CHECK_GE(e, 0);
+  CADRL_CHECK_LT(e, entity_table_.rows());
+  return {entity_table_.data() + static_cast<int64_t>(e) * dim_,
+          static_cast<size_t>(dim_)};
+}
+
+std::span<const float> Cggnn::Representation(kg::EntityId item) const {
+  const int64_t pos = ItemIndex(item);
+  CADRL_CHECK_GE(pos, 0) << "entity " << item << " is not an item";
+  CADRL_CHECK(!final_reps_.empty())
+      << "call Train() or FinalizeRepresentations() first";
+  return {final_reps_.data() + pos * dim_, static_cast<size_t>(dim_)};
+}
+
+}  // namespace core
+}  // namespace cadrl

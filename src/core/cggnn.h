@@ -1,0 +1,132 @@
+#ifndef CADRL_CORE_CGGNN_H_
+#define CADRL_CORE_CGGNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/module.h"
+#include "data/dataset.h"
+#include "embed/transe.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cadrl {
+namespace core {
+
+struct CggnnOptions {
+  // k and m of §IV-B (paper: k=3, m=2 on all datasets).
+  int ggnn_layers = 3;
+  int cgan_layers = 2;
+  // Trade-off factor delta of Eq (11).
+  float delta = 0.4f;
+  // Max sampled neighbors per item per direction class.
+  int neighbor_cap = 10;
+  // BPR training of the GNN parameters (DESIGN.md §3.1).
+  int epochs = 20;
+  int pairs_per_epoch = 512;
+  float lr = 0.02f;
+  float grad_clip = 5.0f;
+  // Ablation switches: RGGNN removes the GGNN module, RCGAN removes the
+  // category attention (Fig 3).
+  bool use_ggnn = true;
+  bool use_cgan = true;
+  uint64_t seed = 5;
+
+  Status Validate() const;
+};
+
+// Category-aware Gated Graph Neural Network (§IV-B). Produces high-order
+// item representations from (1) an adaptive-propagation + gated-aggregation
+// GGNN over neighboring entities (Eqs 1-7) and (2) a category-aware graph
+// attention network over neighboring item-categories (Eqs 8-10), fused by
+// Eq 11. Non-item entities keep their TransE vectors, as in the paper.
+class Cggnn : public ag::Module {
+ public:
+  Cggnn(const kg::KnowledgeGraph* graph, const embed::TransEModel* transe,
+        const CggnnOptions& options);
+
+  // Differentiable forward pass: representations of *all* items, indexed by
+  // item position (graph->EntitiesOfType(kItem) order).
+  std::vector<ag::Tensor> ComputeItemRepresentations() const;
+
+  // Trains the GNN parameters with BPR over the dataset's train
+  // interactions, then caches the final representations. Pairs listed in
+  // `exclude` (e.g. a validation holdout) are skipped during training.
+  Status Train(const data::Dataset& dataset,
+               const std::vector<std::pair<kg::EntityId, kg::EntityId>>*
+                   exclude = nullptr);
+
+  // Final (detached) representation of an item; requires Train() (or
+  // FinalizeRepresentations) first.
+  std::span<const float> Representation(kg::EntityId item) const;
+
+  // Row of the BPR-fine-tuned entity table (e.g. refined user vectors;
+  // for items this is the layer-0 input, not the GNN output).
+  std::span<const float> EntityVector(kg::EntityId e) const;
+
+  // Runs a no-grad forward pass and caches the result; called by Train.
+  void FinalizeRepresentations();
+
+  // Mean BPR loss per epoch of the last Train call.
+  const std::vector<float>& epoch_losses() const { return epoch_losses_; }
+
+  int dim() const { return dim_; }
+  int64_t num_items() const {
+    return static_cast<int64_t>(items_.size());
+  }
+  // Item position for an item entity id (-1 if not an item).
+  int64_t ItemIndex(kg::EntityId e) const;
+
+ private:
+  struct SampledNeighbor {
+    kg::Relation relation;
+    kg::EntityId entity;
+    bool incoming;  // inverse-labeled edge => message from N_i(v_i)
+  };
+
+  // Eq 3 for one item given the previous layer's representations.
+  ag::Tensor Propagate(int64_t item_pos, int layer,
+                       const std::vector<ag::Tensor>& prev) const;
+  // Eqs 4-7.
+  ag::Tensor GatedFuse(const ag::Tensor& neighborhood,
+                       const ag::Tensor& self) const;
+  ag::Tensor EntityRow(kg::EntityId e,
+                       const std::vector<ag::Tensor>& item_reps) const;
+
+  const kg::KnowledgeGraph* graph_;
+  CggnnOptions options_;
+  int dim_;
+  std::vector<kg::EntityId> items_;
+  std::vector<int64_t> item_index_;  // entity id -> item position or -1
+
+  // Frozen TransE tables.
+  ag::Tensor entity_table_;
+  ag::Tensor relation_table_;
+
+  // Sampled neighborhood (deterministic given options.seed).
+  std::vector<std::vector<SampledNeighbor>> neighbors_;
+  // Neighboring categories per item (own category first).
+  std::vector<std::vector<kg::CategoryId>> neighbor_categories_;
+  // Items per category (positions, not entity ids).
+  std::vector<std::vector<int64_t>> category_members_;
+
+  // Parameters (shared across layers where the paper omits superscripts).
+  std::unique_ptr<ag::Linear> w1_;    // Eq 1: 4d -> d
+  std::unique_ptr<ag::Linear> w2_;    // Eq 2: d -> 1 (with bias b)
+  std::vector<std::unique_ptr<ag::Linear>> w_in_;   // Eq 3, per layer
+  std::vector<std::unique_ptr<ag::Linear>> w_out_;  // Eq 3, per layer
+  std::unique_ptr<ag::Linear> w_z1_, w_self_;       // Eq 4
+  std::unique_ptr<ag::Linear> w_v1_, w_v2_;         // Eq 5
+  std::unique_ptr<ag::Linear> w_vh1_, w_vh2_;       // Eq 6
+  std::unique_ptr<ag::Linear> w_ic_;                // Eq 8: 2d -> 1
+
+  std::vector<float> epoch_losses_;
+  // Cached final representations (num_items x dim), filled by
+  // FinalizeRepresentations().
+  std::vector<float> final_reps_;
+};
+
+}  // namespace core
+}  // namespace cadrl
+
+#endif  // CADRL_CORE_CGGNN_H_

@@ -1,0 +1,230 @@
+#include "core/embedding_store.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace core {
+
+EmbeddingStore::EmbeddingStore(const kg::KnowledgeGraph* graph,
+                               const embed::TransEModel* transe)
+    : graph_(graph), dim_(transe->dim()) {
+  CADRL_CHECK(graph != nullptr);
+  CADRL_CHECK(transe != nullptr);
+  CADRL_CHECK(graph->finalized());
+  entities_ = transe->EntityTable();
+  raw_entities_ = entities_;
+  relations_ = transe->RelationTable();
+  // Self-loop relation: zero vector (translation-neutral).
+  relations_.resize(relations_.size() + static_cast<size_t>(dim_), 0.0f);
+  categories_ = transe->CategoryTable();
+}
+
+void EmbeddingStore::SetItemRepresentation(kg::EntityId item,
+                                           std::span<const float> vec) {
+  CADRL_CHECK(graph_->IsItem(item));
+  SetEntityRow(item, vec);
+}
+
+void EmbeddingStore::SetEntityRow(kg::EntityId e, std::span<const float> vec) {
+  CADRL_CHECK_GE(e, 0);
+  CADRL_CHECK_LT(e, graph_->num_entities());
+  CADRL_CHECK_EQ(static_cast<int>(vec.size()), dim_);
+  std::copy(vec.begin(), vec.end(),
+            entities_.begin() + static_cast<int64_t>(e) * dim_);
+}
+
+void EmbeddingStore::SetDemandUserRow(kg::EntityId user,
+                                      std::span<const float> vec) {
+  CADRL_CHECK_GE(user, 0);
+  CADRL_CHECK_LT(user, graph_->num_entities());
+  CADRL_CHECK_EQ(static_cast<int>(vec.size()), dim_);
+  if (demand_entities_.empty()) demand_entities_ = raw_entities_;
+  std::copy(vec.begin(), vec.end(),
+            demand_entities_.begin() + static_cast<int64_t>(user) * dim_);
+}
+
+void EmbeddingStore::RefreshCategoryVectors() {
+  std::fill(categories_.begin(), categories_.end(), 0.0f);
+  for (kg::CategoryId c = 0; c < graph_->num_categories(); ++c) {
+    const auto& items = graph_->ItemsInCategory(c);
+    if (items.empty()) continue;
+    float* cat = categories_.data() + static_cast<int64_t>(c) * dim_;
+    for (kg::EntityId item : items) {
+      const float* v = entities_.data() + static_cast<int64_t>(item) * dim_;
+      for (int i = 0; i < dim_; ++i) cat[i] += v[i];
+    }
+    const float inv = 1.0f / static_cast<float>(items.size());
+    for (int i = 0; i < dim_; ++i) cat[i] *= inv;
+  }
+}
+
+std::span<const float> EmbeddingStore::Entity(kg::EntityId e) const {
+  CADRL_CHECK_GE(e, 0);
+  CADRL_CHECK_LT(e, graph_->num_entities());
+  return {entities_.data() + static_cast<int64_t>(e) * dim_,
+          static_cast<size_t>(dim_)};
+}
+
+std::span<const float> EmbeddingStore::RelationVec(kg::Relation r) const {
+  const int v = static_cast<int>(r);
+  CADRL_CHECK_GE(v, 0);
+  CADRL_CHECK_LE(v, kg::kNumRelations);  // kSelfLoop is the extra last row
+  return {relations_.data() + static_cast<int64_t>(v) * dim_,
+          static_cast<size_t>(dim_)};
+}
+
+std::span<const float> EmbeddingStore::Category(kg::CategoryId c) const {
+  CADRL_CHECK_GE(c, 0);
+  CADRL_CHECK_LT(c, graph_->num_categories());
+  return {categories_.data() + static_cast<int64_t>(c) * dim_,
+          static_cast<size_t>(dim_)};
+}
+
+ag::Tensor EmbeddingStore::SpanTensor(std::span<const float> v) const {
+  return ag::Tensor::FromVector(std::vector<float>(v.begin(), v.end()),
+                                {dim_});
+}
+
+ag::Tensor EmbeddingStore::EntityTensor(kg::EntityId e) const {
+  return SpanTensor(Entity(e));
+}
+
+ag::Tensor EmbeddingStore::RelationTensor(kg::Relation r) const {
+  return SpanTensor(RelationVec(r));
+}
+
+ag::Tensor EmbeddingStore::CategoryTensor(kg::CategoryId c) const {
+  return SpanTensor(Category(c));
+}
+
+float EmbeddingStore::ScoreUserEntity(kg::EntityId user,
+                                      kg::EntityId entity) const {
+  float dot = 0.0f;
+  if (score_mode_ == ScoreMode::kDotProduct ||
+      score_mode_ == ScoreMode::kEnsemble) {
+    const auto u = Entity(user);
+    const auto v = Entity(entity);
+    for (int i = 0; i < dim_; ++i) {
+      dot += u[static_cast<size_t>(i)] * v[static_cast<size_t>(i)];
+    }
+    if (score_mode_ == ScoreMode::kDotProduct) return dot;
+  }
+  // Translation term: kTranslation scores the current (possibly edited)
+  // rows; kEnsemble deliberately uses the untouched TransE rows so the two
+  // terms stay independent signals.
+  const std::vector<float>& table =
+      score_mode_ == ScoreMode::kTranslation
+          ? entities_
+          : (score_mode_ == ScoreMode::kDemandTranslation &&
+             !demand_entities_.empty())
+                ? demand_entities_
+                : raw_entities_;
+  const float* u = table.data() + static_cast<int64_t>(user) * dim_;
+  const float* v = table.data() + static_cast<int64_t>(entity) * dim_;
+  const auto r = RelationVec(kg::Relation::kPurchase);
+  float dist = 0.0f;
+  for (int i = 0; i < dim_; ++i) {
+    const float diff = u[i] + r[static_cast<size_t>(i)] - v[i];
+    dist += diff * diff;
+  }
+  if (score_mode_ == ScoreMode::kEnsemble) {
+    return dot - ensemble_translation_weight_ * dist;
+  }
+  return -dist;
+}
+
+namespace {
+
+void WriteTable(std::ostream& out, const std::vector<float>& table) {
+  // max_digits10 decimal digits round-trip IEEE floats exactly.
+  out << table.size() << '\n'
+      << std::setprecision(std::numeric_limits<float>::max_digits10);
+  for (float x : table) out << x << ' ';
+  out << '\n';
+}
+
+Status ReadTable(std::istream& in, size_t expected,
+                 std::vector<float>* table) {
+  size_t n = 0;
+  in >> n;
+  if (!in.good() || (expected != 0 && n != expected)) {
+    return Status::Corruption("table size mismatch");
+  }
+  table->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(in >> (*table)[i])) return Status::Corruption("truncated table");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EmbeddingStore::WriteTo(std::ostream& out) const {
+  out << "cadrl_store 1\n";
+  out << static_cast<int>(score_mode_) << ' '
+      << std::setprecision(std::numeric_limits<float>::max_digits10)
+      << ensemble_translation_weight_ << '\n';
+  WriteTable(out, entities_);
+  WriteTable(out, raw_entities_);
+  WriteTable(out, demand_entities_);  // may be empty
+  WriteTable(out, relations_);
+  WriteTable(out, categories_);
+  if (!out.good()) return Status::IOError("store write failed");
+  return Status::OK();
+}
+
+Status EmbeddingStore::ReadFrom(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "cadrl_store" || version != 1) {
+    return Status::Corruption("bad store header");
+  }
+  int mode = 0;
+  float weight = 0.0f;
+  in >> mode >> weight;
+  if (!in.good() || mode < 0 ||
+      mode > static_cast<int>(ScoreMode::kDemandTranslation)) {
+    return Status::Corruption("bad store mode");
+  }
+  const size_t entity_size =
+      static_cast<size_t>(graph_->num_entities()) * static_cast<size_t>(dim_);
+  CADRL_RETURN_IF_ERROR(ReadTable(in, entity_size, &entities_));
+  CADRL_RETURN_IF_ERROR(ReadTable(in, entity_size, &raw_entities_));
+  std::vector<float> demand;
+  CADRL_RETURN_IF_ERROR(ReadTable(in, 0, &demand));
+  if (!demand.empty() && demand.size() != entity_size) {
+    return Status::Corruption("bad demand table size");
+  }
+  demand_entities_ = std::move(demand);
+  CADRL_RETURN_IF_ERROR(ReadTable(
+      in, static_cast<size_t>(kg::kNumRelations + 1) * dim_, &relations_));
+  CADRL_RETURN_IF_ERROR(ReadTable(
+      in,
+      static_cast<size_t>(graph_->num_categories()) *
+          static_cast<size_t>(dim_),
+      &categories_));
+  score_mode_ = static_cast<ScoreMode>(mode);
+  ensemble_translation_weight_ = weight;
+  return Status::OK();
+}
+
+float EmbeddingStore::UserCategoryAffinity(kg::EntityId user,
+                                           kg::CategoryId c) const {
+  const auto u = Entity(user);
+  const auto cat = Category(c);
+  float dot = 0.0f;
+  for (int i = 0; i < dim_; ++i) {
+    dot += u[static_cast<size_t>(i)] * cat[static_cast<size_t>(i)];
+  }
+  return dot;
+}
+
+}  // namespace core
+}  // namespace cadrl

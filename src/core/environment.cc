@@ -1,0 +1,112 @@
+#include "core/environment.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace core {
+
+EntityEnvironment::EntityEnvironment(const kg::KnowledgeGraph* graph,
+                                     const EmbeddingStore* store,
+                                     int max_actions)
+    : graph_(graph), store_(store), max_actions_(max_actions) {
+  CADRL_CHECK(graph != nullptr);
+  CADRL_CHECK(store != nullptr);
+  CADRL_CHECK_GE(max_actions, 2) << "need room for self-loop + one move";
+}
+
+std::vector<EntityAction> EntityEnvironment::ValidActions(
+    kg::EntityId user, kg::EntityId current,
+    const std::unordered_set<kg::CategoryId>* milestone_categories) const {
+  std::vector<EntityAction> actions;
+  actions.push_back({kg::Relation::kSelfLoop, current});
+  const auto all_edges = graph_->Neighbors(current);
+  // Category-guided narrowing (§V-D): item endpoints must lie in a
+  // milestone category; attribute/user endpoints always pass.
+  std::vector<const kg::Edge*> edges;
+  edges.reserve(all_edges.size());
+  if (milestone_categories != nullptr && !milestone_categories->empty()) {
+    for (const kg::Edge& e : all_edges) {
+      if (graph_->IsItem(e.dst) &&
+          milestone_categories->count(graph_->CategoryOf(e.dst)) == 0) {
+        continue;
+      }
+      edges.push_back(&e);
+    }
+    if (edges.empty()) {
+      for (const kg::Edge& e : all_edges) edges.push_back(&e);
+    }
+  } else {
+    for (const kg::Edge& e : all_edges) edges.push_back(&e);
+  }
+  const int64_t budget = max_actions_ - 1;
+  if (static_cast<int64_t>(edges.size()) <= budget) {
+    for (const kg::Edge* e : edges) actions.push_back({e->relation, e->dst});
+    return actions;
+  }
+  // Prune: keep the edges whose endpoints best answer the user's purchase
+  // query. Deterministic tie-break on (relation, dst).
+  std::vector<std::pair<float, const kg::Edge*>> scored;
+  scored.reserve(edges.size());
+  for (const kg::Edge* e : edges) {
+    scored.emplace_back(store_->ScoreUserEntity(user, e->dst), e);
+  }
+  std::partial_sort(
+      scored.begin(), scored.begin() + budget, scored.end(),
+      [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        if (a.second->relation != b.second->relation) {
+          return static_cast<int>(a.second->relation) <
+                 static_cast<int>(b.second->relation);
+        }
+        return a.second->dst < b.second->dst;
+      });
+  for (int64_t i = 0; i < budget; ++i) {
+    actions.push_back({scored[static_cast<size_t>(i)].second->relation,
+                       scored[static_cast<size_t>(i)].second->dst});
+  }
+  return actions;
+}
+
+CategoryEnvironment::CategoryEnvironment(
+    const kg::CategoryGraph* category_graph, const EmbeddingStore* store,
+    int max_actions)
+    : category_graph_(category_graph),
+      store_(store),
+      max_actions_(max_actions) {
+  CADRL_CHECK(category_graph != nullptr);
+  CADRL_CHECK(store != nullptr);
+  CADRL_CHECK_GE(max_actions, 2);
+}
+
+std::vector<kg::CategoryId> CategoryEnvironment::ValidActions(
+    kg::EntityId user, kg::CategoryId current) const {
+  std::vector<kg::CategoryId> actions;
+  actions.push_back(current);  // stay (self-loop)
+  const auto neighbors = category_graph_->Neighbors(current);
+  const int64_t budget = max_actions_ - 1;
+  if (static_cast<int64_t>(neighbors.size()) <= budget) {
+    for (const kg::CategoryEdge& e : neighbors) actions.push_back(e.dst);
+    return actions;
+  }
+  // Neighbors arrive sorted by co-occurrence weight; among them prefer the
+  // categories most aligned with the user.
+  std::vector<std::pair<float, kg::CategoryId>> scored;
+  scored.reserve(neighbors.size());
+  for (const kg::CategoryEdge& e : neighbors) {
+    scored.emplace_back(store_->UserCategoryAffinity(user, e.dst), e.dst);
+  }
+  std::partial_sort(scored.begin(), scored.begin() + budget, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  for (int64_t i = 0; i < budget; ++i) {
+    actions.push_back(scored[static_cast<size_t>(i)].second);
+  }
+  return actions;
+}
+
+}  // namespace core
+}  // namespace cadrl

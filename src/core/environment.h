@@ -1,0 +1,76 @@
+#ifndef CADRL_CORE_ENVIRONMENT_H_
+#define CADRL_CORE_ENVIRONMENT_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/embedding_store.h"
+#include "kg/category_graph.h"
+#include "kg/graph.h"
+
+namespace cadrl {
+namespace core {
+
+// One entity-agent action (r', e') of A_l^e (§IV-C2). The self-loop action
+// is encoded as {kSelfLoop, current entity} and is always present, so both
+// agents can synchronize on a fixed horizon L.
+struct EntityAction {
+  kg::Relation relation;
+  kg::EntityId dst;
+
+  friend bool operator==(const EntityAction&, const EntityAction&) = default;
+};
+
+// The entity agent's MDP view of the KG: states are (user, current entity),
+// actions are pruned outgoing edges plus the self-loop. Pruning keeps the
+// max_actions-1 edges whose endpoints score highest under the TransE
+// translation query u + r_purchase (PGPR's strategy, DESIGN.md §3.4).
+class EntityEnvironment {
+ public:
+  EntityEnvironment(const kg::KnowledgeGraph* graph,
+                    const EmbeddingStore* store, int max_actions);
+
+  // Valid actions at `current` for an episode rooted at `user`. The
+  // self-loop is always element 0. Deterministic.
+  //
+  // If `milestone_categories` is non-null, item endpoints outside those
+  // categories are dropped before pruning — the category agent's guidance
+  // shrinking the entity action space from O(|E|) toward O(|E|/|C|), which
+  // is the efficiency mechanism of §V-D. Non-item endpoints always pass;
+  // if filtering removes every move, the unfiltered set is used instead.
+  std::vector<EntityAction> ValidActions(
+      kg::EntityId user, kg::EntityId current,
+      const std::unordered_set<kg::CategoryId>* milestone_categories =
+          nullptr) const;
+
+  int max_actions() const { return max_actions_; }
+
+ private:
+  const kg::KnowledgeGraph* graph_;
+  const EmbeddingStore* store_;
+  int max_actions_;
+};
+
+// The category agent's MDP view of G^c: states are (user, current
+// category), actions are the strongest-weighted neighbor categories plus
+// the stay-here self action (element 0).
+class CategoryEnvironment {
+ public:
+  CategoryEnvironment(const kg::CategoryGraph* category_graph,
+                      const EmbeddingStore* store, int max_actions);
+
+  std::vector<kg::CategoryId> ValidActions(kg::EntityId user,
+                                           kg::CategoryId current) const;
+
+  int max_actions() const { return max_actions_; }
+
+ private:
+  const kg::CategoryGraph* category_graph_;
+  const EmbeddingStore* store_;
+  int max_actions_;
+};
+
+}  // namespace core
+}  // namespace cadrl
+
+#endif  // CADRL_CORE_ENVIRONMENT_H_

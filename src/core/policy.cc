@@ -1,0 +1,97 @@
+#include "core/policy.h"
+
+#include "autograd/ops.h"
+#include "util/logging.h"
+
+namespace cadrl {
+namespace core {
+
+Status PolicyConfig::Validate() const {
+  if (dim < 2) return Status::InvalidArgument("dim must be >= 2");
+  if (hidden < 2) return Status::InvalidArgument("hidden must be >= 2");
+  return Status::OK();
+}
+
+SharedPolicyNetworks::SharedPolicyNetworks(const PolicyConfig& config,
+                                           Rng* rng)
+    : config_(config) {
+  CADRL_CHECK_OK(config.Validate());
+  const int d = config.dim;
+  const int h = config.hidden;
+  lstm_c_ = std::make_unique<ag::LstmCell>(2 * d, h, rng);
+  lstm_e_ = std::make_unique<ag::LstmCell>(3 * d, h, rng);
+  mix_c_ = std::make_unique<ag::Linear>(2 * h, h, rng, /*use_bias=*/false);
+  mix_e_ = std::make_unique<ag::Linear>(2 * h, h, rng, /*use_bias=*/false);
+  head1_c_ = std::make_unique<ag::Linear>(2 * d + h, h, rng);
+  head2_c_ = std::make_unique<ag::Linear>(h, d, rng);
+  head1_e_ = std::make_unique<ag::Linear>(3 * d + h, h, rng);
+  head2_e_ = std::make_unique<ag::Linear>(h, 2 * d, rng);
+  RegisterModule(lstm_c_.get());
+  RegisterModule(lstm_e_.get());
+  RegisterModule(mix_c_.get());
+  RegisterModule(mix_e_.get());
+  RegisterModule(head1_c_.get());
+  RegisterModule(head2_c_.get());
+  RegisterModule(head1_e_.get());
+  RegisterModule(head2_e_.get());
+}
+
+SharedPolicyNetworks::RolloutState SharedPolicyNetworks::InitialState(
+    const ag::Tensor& user, const ag::Tensor& cat0, const ag::Tensor& rel0,
+    const ag::Tensor& ent0) const {
+  RolloutState state;
+  state.cat =
+      lstm_c_->Forward(ag::Concat({user, cat0}), lstm_c_->InitialState());
+  state.ent = lstm_e_->Forward(ag::Concat({user, rel0, ent0}),
+                               lstm_e_->InitialState());
+  return state;
+}
+
+void SharedPolicyNetworks::Advance(RolloutState* state, const ag::Tensor& user,
+                                   const ag::Tensor& cat_emb,
+                                   const ag::Tensor& rel_emb,
+                                   const ag::Tensor& ent_emb) const {
+  CADRL_CHECK(state != nullptr);
+  ag::Tensor hidden_c = state->cat.h;
+  ag::Tensor hidden_e = state->ent.h;
+  if (config_.share_history) {
+    // Eqs 13-14: each agent's next hidden input fuses both histories.
+    hidden_c = mix_c_->Forward(ag::Concat({state->cat.h, state->ent.h}));
+    hidden_e = mix_e_->Forward(ag::Concat({state->ent.h, state->cat.h}));
+  }
+  state->cat = lstm_c_->Forward(ag::Concat({user, cat_emb}),
+                                {hidden_c, state->cat.c});
+  state->ent = lstm_e_->Forward(ag::Concat({user, rel_emb, ent_emb}),
+                                {hidden_e, state->ent.c});
+}
+
+ag::Tensor SharedPolicyNetworks::CategoryLogits(
+    const RolloutState& state, const ag::Tensor& user,
+    const ag::Tensor& current_cat,
+    const std::vector<ag::Tensor>& action_embs) const {
+  CADRL_CHECK(!action_embs.empty());
+  const ag::Tensor features =
+      ag::Concat({user, current_cat, state.cat.h});
+  const ag::Tensor hidden =
+      head2_c_->Forward(ag::Relu(head1_c_->Forward(features)));
+  return ag::MatMul(ag::StackRows(action_embs), hidden);
+}
+
+ag::Tensor SharedPolicyNetworks::EntityLogits(
+    const RolloutState& state, const ag::Tensor& current_ent,
+    const ag::Tensor& last_rel, const ag::Tensor& category_condition,
+    const std::vector<ag::Tensor>& action_embs) const {
+  CADRL_CHECK(!action_embs.empty());
+  ag::Tensor condition = category_condition;
+  if (!config_.condition_on_category || !condition.defined()) {
+    condition = ag::Tensor::Zeros({config_.dim});
+  }
+  const ag::Tensor features =
+      ag::Concat({current_ent, last_rel, condition, state.ent.h});
+  const ag::Tensor hidden =
+      head2_e_->Forward(ag::Relu(head1_e_->Forward(features)));
+  return ag::MatMul(ag::StackRows(action_embs), hidden);
+}
+
+}  // namespace core
+}  // namespace cadrl

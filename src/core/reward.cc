@@ -1,0 +1,41 @@
+#include "core/reward.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace core {
+
+float KlDivergence(const std::vector<float>& p, const std::vector<float>& q) {
+  CADRL_CHECK_EQ(p.size(), q.size());
+  float kl = 0.0f;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0f) continue;
+    kl += p[i] * (std::log(p[i]) - std::log(std::max(q[i], 1e-9f)));
+  }
+  return std::max(kl, 0.0f);
+}
+
+float CounterfactualPartnerReward(const std::vector<float>& conditioned,
+                                  const std::vector<float>& marginal) {
+  const float phi = KlDivergence(conditioned, marginal);
+  return 1.0f / (1.0f + std::exp(-phi));
+}
+
+float CosineConsistency(std::span<const float> a, std::span<const float> b) {
+  CADRL_CHECK_EQ(a.size(), b.size());
+  float dot = 0.0f, na = 0.0f, nb = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  const float denom =
+      std::max(std::sqrt(na) * std::sqrt(nb), 1e-8f);
+  return dot / denom;
+}
+
+}  // namespace core
+}  // namespace cadrl

@@ -1,0 +1,27 @@
+#ifndef CADRL_CORE_REWARD_H_
+#define CADRL_CORE_REWARD_H_
+
+#include <span>
+#include <vector>
+
+namespace cadrl {
+namespace core {
+
+// KL(p || q) over two discrete distributions of equal support. Entries of q
+// are floored at 1e-9 for stability. Non-negative.
+float KlDivergence(const std::vector<float>& p, const std::vector<float>& q);
+
+// Eqs 17-18: the causal-influence partner reward from the category agent to
+// the entity agent, R^{p_c} = sigmoid(KL(p(a^e|a^c,s^e) || p(a^e|s^e))).
+// In (0.5, 1) whenever the chosen category actually changed the entity
+// agent's distribution; 0.5 when it had no influence.
+float CounterfactualPartnerReward(const std::vector<float>& conditioned,
+                                  const std::vector<float>& marginal);
+
+// Eq 19: cosine path-consistency reward between the agents' state vectors.
+float CosineConsistency(std::span<const float> a, std::span<const float> b);
+
+}  // namespace core
+}  // namespace cadrl
+
+#endif  // CADRL_CORE_REWARD_H_

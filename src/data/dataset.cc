@@ -1,0 +1,48 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace cadrl {
+namespace data {
+
+int64_t Dataset::NumTrainInteractions() const {
+  int64_t n = 0;
+  for (const auto& v : train_items) n += static_cast<int64_t>(v.size());
+  return n;
+}
+
+int64_t Dataset::NumTestInteractions() const {
+  int64_t n = 0;
+  for (const auto& v : test_items) n += static_cast<int64_t>(v.size());
+  return n;
+}
+
+int64_t Dataset::UserIndex(kg::EntityId user) const {
+  for (size_t i = 0; i < users.size(); ++i) {
+    if (users[i] == user) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+bool Dataset::IsTrainInteraction(kg::EntityId user, kg::EntityId item) const {
+  const int64_t idx = UserIndex(user);
+  if (idx < 0) return false;
+  const auto& items = train_items[static_cast<size_t>(idx)];
+  return std::find(items.begin(), items.end(), item) != items.end();
+}
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.name = dataset.name;
+  stats.num_users = dataset.graph.CountOfType(kg::EntityType::kUser);
+  stats.num_items = dataset.graph.CountOfType(kg::EntityType::kItem);
+  stats.num_entities = dataset.graph.num_entities();
+  stats.num_interactions = dataset.NumInteractions();
+  stats.num_triples = dataset.graph.num_triples();
+  stats.num_categories = dataset.graph.num_categories();
+  stats.items_per_category = dataset.graph.MeanItemsPerCategory();
+  return stats;
+}
+
+}  // namespace data
+}  // namespace cadrl

@@ -1,0 +1,57 @@
+#ifndef CADRL_DATA_DATASET_H_
+#define CADRL_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/category_graph.h"
+#include "kg/graph.h"
+
+namespace cadrl {
+namespace data {
+
+// A recommendation benchmark instance: a finalized KG, its category graph,
+// and the 70/30 per-user interaction split used throughout the paper (§V-A).
+// Train interactions are materialized as Purchase edges in the KG; test
+// interactions are held out and never appear in the graph.
+struct Dataset {
+  std::string name;
+  kg::KnowledgeGraph graph;
+  kg::CategoryGraph category_graph;
+  // Parallel to `users`: the user's train / held-out test items.
+  std::vector<kg::EntityId> users;
+  std::vector<std::vector<kg::EntityId>> train_items;
+  std::vector<std::vector<kg::EntityId>> test_items;
+
+  int64_t num_users() const { return static_cast<int64_t>(users.size()); }
+  int64_t NumTrainInteractions() const;
+  int64_t NumTestInteractions() const;
+  int64_t NumInteractions() const {
+    return NumTrainInteractions() + NumTestInteractions();
+  }
+
+  // Index into `users` for a user entity id, or -1.
+  int64_t UserIndex(kg::EntityId user) const;
+
+  // True if (user, item) is a training purchase.
+  bool IsTrainInteraction(kg::EntityId user, kg::EntityId item) const;
+};
+
+// The Table II statistics row of a dataset.
+struct DatasetStats {
+  std::string name;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_entities = 0;
+  int64_t num_interactions = 0;
+  int64_t num_triples = 0;
+  int64_t num_categories = 0;
+  double items_per_category = 0.0;
+};
+
+DatasetStats ComputeStats(const Dataset& dataset);
+
+}  // namespace data
+}  // namespace cadrl
+
+#endif  // CADRL_DATA_DATASET_H_

@@ -1,0 +1,473 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace data {
+namespace {
+
+using kg::EntityId;
+using kg::EntityType;
+using kg::Relation;
+
+using Vec = std::vector<double>;
+
+Vec RandomUnitVector(int dim, Rng* rng) {
+  Vec v(static_cast<size_t>(dim));
+  double norm = 0.0;
+  for (double& x : v) {
+    x = rng->Gaussian();
+    norm += x * x;
+  }
+  norm = std::sqrt(std::max(norm, 1e-12));
+  for (double& x : v) x /= norm;
+  return v;
+}
+
+Vec AddNoise(const Vec& base, double noise, Rng* rng) {
+  Vec v = base;
+  double norm = 0.0;
+  for (double& x : v) {
+    x += noise * rng->Gaussian();
+    norm += x * x;
+  }
+  norm = std::sqrt(std::max(norm, 1e-12));
+  for (double& x : v) x /= norm;
+  return v;
+}
+
+double Dot(const Vec& a, const Vec& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+// Indices of the k most similar vectors to `anchor` among `pool`
+// (excluding `exclude`).
+std::vector<int64_t> TopKSimilar(const Vec& anchor,
+                                 const std::vector<Vec>& pool, int64_t k,
+                                 int64_t exclude) {
+  std::vector<std::pair<double, int64_t>> scored;
+  scored.reserve(pool.size());
+  for (int64_t i = 0; i < static_cast<int64_t>(pool.size()); ++i) {
+    if (i == exclude) continue;
+    scored.emplace_back(Dot(anchor, pool[static_cast<size_t>(i)]), i);
+  }
+  const int64_t take = std::min<int64_t>(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(take));
+  for (int64_t i = 0; i < take; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+}  // namespace
+
+SyntheticConfig SyntheticConfig::Tiny() {
+  SyntheticConfig c;
+  c.name = "tiny";
+  c.num_users = 24;
+  c.num_items = 60;
+  c.num_categories = 6;
+  c.num_brands = 10;
+  c.num_features = 16;
+  c.interactions_per_user = 8;
+  c.mentions_per_user = 2;
+  c.seed = 7;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::BeautySim() {
+  SyntheticConfig c;
+  c.name = "Beauty";
+  c.num_users = 150;
+  c.num_items = 600;
+  c.num_categories = 12;  // ~50 items / category, like the real Beauty
+  c.num_brands = 48;
+  c.num_features = 72;
+  c.interactions_per_user = 6;  // sparse regime (~1% density), as in Table II
+  c.seed = 101;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::CellPhonesSim() {
+  SyntheticConfig c;
+  c.name = "Cell_Phones";
+  c.num_users = 170;
+  c.num_items = 500;
+  c.num_categories = 10;  // ~50 items / category
+  c.num_brands = 40;
+  c.num_features = 64;
+  c.interactions_per_user = 6;
+  c.seed = 202;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::ClothingSim() {
+  SyntheticConfig c;
+  c.name = "Clothing";
+  c.num_users = 200;
+  c.num_items = 720;
+  c.num_categories = 36;  // ~20 items / category: the sparse-category regime
+  c.num_brands = 56;
+  c.num_features = 84;
+  c.interactions_per_user = 6;
+  c.seed = 303;
+  return c;
+}
+
+Status SyntheticConfig::Validate() const {
+  if (num_users <= 0 || num_items <= 0 || num_brands <= 0 ||
+      num_features <= 0) {
+    return Status::InvalidArgument("entity counts must be positive");
+  }
+  if (num_categories <= 1) {
+    return Status::InvalidArgument("need at least 2 categories");
+  }
+  if (num_categories > num_items) {
+    return Status::InvalidArgument("more categories than items");
+  }
+  if (latent_dim < 2) return Status::InvalidArgument("latent_dim too small");
+  if (categories_per_user < 1 || categories_per_user > num_categories) {
+    return Status::InvalidArgument("bad categories_per_user");
+  }
+  if (interactions_per_user < 4) {
+    return Status::InvalidArgument(
+        "interactions_per_user must be >= 4 so the 70/30 split leaves both "
+        "train and test items");
+  }
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    return Status::InvalidArgument("train_fraction must be in (0,1)");
+  }
+  if (in_category_prob < 0.0 || in_category_prob > 1.0 ||
+      cross_category_edge_prob < 0.0 || cross_category_edge_prob > 1.0) {
+    return Status::InvalidArgument("probabilities must be in [0,1]");
+  }
+  if (interest_evolution < 0.0) {
+    return Status::InvalidArgument("interest_evolution must be >= 0");
+  }
+  return Status::OK();
+}
+
+Status GenerateDataset(const SyntheticConfig& config, Dataset* dataset) {
+  CADRL_CHECK(dataset != nullptr);
+  CADRL_RETURN_IF_ERROR(config.Validate());
+  Rng rng(config.seed);
+  Dataset& out = *dataset;
+  out = Dataset();
+  out.name = config.name;
+  kg::KnowledgeGraph& graph = out.graph;
+
+  // --- 1. Latent world: category anchors and their relatedness ---
+  std::vector<Vec> category_latents;
+  category_latents.reserve(static_cast<size_t>(config.num_categories));
+  for (int64_t c = 0; c < config.num_categories; ++c) {
+    category_latents.push_back(RandomUnitVector(config.latent_dim, &rng));
+  }
+  // Related categories: the 2 nearest anchors of each category. Used both
+  // for user preference mixtures and cross-category item-item edges.
+  std::vector<std::vector<int64_t>> related_categories(
+      static_cast<size_t>(config.num_categories));
+  for (int64_t c = 0; c < config.num_categories; ++c) {
+    related_categories[static_cast<size_t>(c)] =
+        TopKSimilar(category_latents[static_cast<size_t>(c)], category_latents,
+                    2, c);
+  }
+
+  // --- 2. Entities ---
+  std::vector<EntityId> users, items, brands, features;
+  for (int64_t i = 0; i < config.num_users; ++i) {
+    users.push_back(graph.AddEntity(EntityType::kUser));
+  }
+  for (int64_t i = 0; i < config.num_items; ++i) {
+    items.push_back(graph.AddEntity(EntityType::kItem));
+  }
+  for (int64_t i = 0; i < config.num_brands; ++i) {
+    brands.push_back(graph.AddEntity(EntityType::kBrand));
+  }
+  for (int64_t i = 0; i < config.num_features; ++i) {
+    features.push_back(graph.AddEntity(EntityType::kFeature));
+  }
+
+  // Items: category assignment (round-robin guarantees every category is
+  // populated, then shuffled for irregularity) and latent anchors.
+  std::vector<kg::CategoryId> item_category(
+      static_cast<size_t>(config.num_items));
+  for (int64_t i = 0; i < config.num_items; ++i) {
+    item_category[static_cast<size_t>(i)] =
+        static_cast<kg::CategoryId>(i % config.num_categories);
+  }
+  rng.Shuffle(&item_category);
+  std::vector<Vec> item_latents(static_cast<size_t>(config.num_items));
+  for (int64_t i = 0; i < config.num_items; ++i) {
+    const auto cat = item_category[static_cast<size_t>(i)];
+    item_latents[static_cast<size_t>(i)] = AddNoise(
+        category_latents[static_cast<size_t>(cat)], config.item_noise, &rng);
+    graph.SetItemCategory(items[static_cast<size_t>(i)], cat);
+  }
+
+  // Brands and features get home categories; their latents sit near the
+  // home anchor so they carry category signal.
+  std::vector<int64_t> brand_home(static_cast<size_t>(config.num_brands));
+  std::vector<int64_t> feature_home(static_cast<size_t>(config.num_features));
+  for (int64_t b = 0; b < config.num_brands; ++b) {
+    brand_home[static_cast<size_t>(b)] = b % config.num_categories;
+  }
+  for (int64_t f = 0; f < config.num_features; ++f) {
+    feature_home[static_cast<size_t>(f)] = f % config.num_categories;
+  }
+
+  // --- 3. Item attribute edges: produced_by, described_by ---
+  // Items pick a brand from their own category's pool with high probability.
+  std::vector<std::vector<int64_t>> brands_of_category(
+      static_cast<size_t>(config.num_categories));
+  for (int64_t b = 0; b < config.num_brands; ++b) {
+    brands_of_category[static_cast<size_t>(brand_home[static_cast<size_t>(b)])]
+        .push_back(b);
+  }
+  std::vector<std::vector<int64_t>> features_of_category(
+      static_cast<size_t>(config.num_categories));
+  for (int64_t f = 0; f < config.num_features; ++f) {
+    features_of_category[static_cast<size_t>(
+                             feature_home[static_cast<size_t>(f)])]
+        .push_back(f);
+  }
+  auto pick_from_pool = [&](const std::vector<int64_t>& pool,
+                            int64_t fallback_n) {
+    if (!pool.empty() && rng.Bernoulli(0.8)) {
+      return pool[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(pool.size())))];
+    }
+    return rng.UniformInt(fallback_n);
+  };
+  std::vector<std::vector<int64_t>> item_features(
+      static_cast<size_t>(config.num_items));
+  for (int64_t i = 0; i < config.num_items; ++i) {
+    const auto cat = item_category[static_cast<size_t>(i)];
+    const int64_t b = pick_from_pool(
+        brands_of_category[static_cast<size_t>(cat)], config.num_brands);
+    graph.AddTriple(items[static_cast<size_t>(i)], Relation::kProducedBy,
+                    brands[static_cast<size_t>(b)]);
+    std::set<int64_t> chosen;
+    while (static_cast<int64_t>(chosen.size()) < config.features_per_item) {
+      chosen.insert(pick_from_pool(
+          features_of_category[static_cast<size_t>(cat)],
+          config.num_features));
+    }
+    for (int64_t f : chosen) {
+      graph.AddTriple(items[static_cast<size_t>(i)], Relation::kDescribedBy,
+                      features[static_cast<size_t>(f)]);
+      item_features[static_cast<size_t>(i)].push_back(f);
+    }
+  }
+
+  // --- 4. Item-item co-occurrence edges ---
+  // Each item links to similar items; with probability
+  // cross_category_edge_prob the link bridges to a *related* category,
+  // which is what creates informative >3-hop chains.
+  std::vector<std::vector<int64_t>> items_of_category(
+      static_cast<size_t>(config.num_categories));
+  for (int64_t i = 0; i < config.num_items; ++i) {
+    items_of_category[static_cast<size_t>(item_category[static_cast<size_t>(i)])]
+        .push_back(i);
+  }
+  const Relation kItemItemRelations[] = {
+      Relation::kAlsoBought, Relation::kAlsoViewed, Relation::kBoughtTogether};
+  for (int64_t i = 0; i < config.num_items; ++i) {
+    const auto cat = item_category[static_cast<size_t>(i)];
+    for (int64_t e = 0; e < config.item_item_edges_per_item; ++e) {
+      int64_t target_cat = cat;
+      Relation rel = Relation::kBoughtTogether;
+      if (rng.Bernoulli(config.cross_category_edge_prob)) {
+        const auto& rel_cats = related_categories[static_cast<size_t>(cat)];
+        target_cat = rel_cats[static_cast<size_t>(
+            rng.UniformInt(static_cast<int64_t>(rel_cats.size())))];
+        rel = kItemItemRelations[static_cast<size_t>(rng.UniformInt(2))];
+      } else {
+        rel = kItemItemRelations[static_cast<size_t>(rng.UniformInt(3))];
+      }
+      const auto& pool = items_of_category[static_cast<size_t>(target_cat)];
+      if (pool.empty()) continue;
+      // Choose the most similar of a small random candidate set, so edges
+      // follow the latent geometry without O(n^2) work.
+      int64_t best = -1;
+      double best_sim = -2.0;
+      for (int trial = 0; trial < 6; ++trial) {
+        const int64_t cand = pool[static_cast<size_t>(
+            rng.UniformInt(static_cast<int64_t>(pool.size())))];
+        if (cand == i) continue;
+        const double sim = Dot(item_latents[static_cast<size_t>(i)],
+                               item_latents[static_cast<size_t>(cand)]);
+        if (sim > best_sim) {
+          best_sim = sim;
+          best = cand;
+        }
+      }
+      if (best < 0) continue;
+      graph.AddTriple(items[static_cast<size_t>(i)], rel,
+                      items[static_cast<size_t>(best)]);
+    }
+  }
+
+  // --- 5. Users: preferences over related categories, then interactions ---
+  out.users = users;
+  out.train_items.resize(users.size());
+  out.test_items.resize(users.size());
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    // Preferred categories form a *chain* c0 -> c1 -> c2 ... where each
+    // stage is related to the previous one: the paper's "users' evolving
+    // interests across categories" (Challenge II). Later stages are
+    // progressively held out by the split below, so test items tend to sit
+    // one or two category hops beyond the training history.
+    std::vector<int64_t> prefs;
+    prefs.push_back(rng.UniformInt(config.num_categories));
+    while (static_cast<int64_t>(prefs.size()) < config.categories_per_user) {
+      const auto& rel_cats =
+          related_categories[static_cast<size_t>(prefs.back())];
+      int64_t next = -1;
+      for (int64_t r : rel_cats) {
+        if (std::find(prefs.begin(), prefs.end(), r) == prefs.end()) {
+          next = r;
+          break;
+        }
+      }
+      if (next < 0) next = rng.UniformInt(config.num_categories);
+      if (std::find(prefs.begin(), prefs.end(), next) == prefs.end()) {
+        prefs.push_back(next);
+      } else if (static_cast<int64_t>(prefs.size()) <
+                 config.num_categories) {
+        const int64_t extra = rng.UniformInt(config.num_categories);
+        if (std::find(prefs.begin(), prefs.end(), extra) == prefs.end()) {
+          prefs.push_back(extra);
+        }
+      } else {
+        break;
+      }
+    }
+    // User latent: normalized mixture of preferred category anchors.
+    Vec user_latent(static_cast<size_t>(config.latent_dim), 0.0);
+    for (int64_t c : prefs) {
+      for (int d = 0; d < config.latent_dim; ++d) {
+        user_latent[static_cast<size_t>(d)] +=
+            category_latents[static_cast<size_t>(c)][static_cast<size_t>(d)];
+      }
+    }
+    user_latent = AddNoise(user_latent, 0.2, &rng);
+
+    // Sample distinct purchased items by softmax over latent affinity,
+    // mostly within the preference chain. Each purchase remembers its
+    // *stage* (position in the chain); earlier stages are bought more.
+    std::map<int64_t, int64_t> bought;  // item -> stage
+    const int64_t target =
+        std::max<int64_t>(4, config.interactions_per_user +
+                                 rng.UniformInt(5) - 2);
+    std::vector<double> stage_weights;
+    for (size_t s = 0; s < prefs.size(); ++s) {
+      stage_weights.push_back(static_cast<double>(prefs.size() - s));
+    }
+    int guard = 0;
+    while (static_cast<int64_t>(bought.size()) < target && guard++ < 4000) {
+      int64_t cat;
+      int64_t stage;
+      if (rng.Bernoulli(config.in_category_prob)) {
+        stage = rng.SampleWeighted(stage_weights);
+        cat = prefs[static_cast<size_t>(stage)];
+      } else {
+        stage = static_cast<int64_t>(prefs.size()) / 2;  // neutral
+        cat = rng.UniformInt(config.num_categories);
+      }
+      const auto& pool = items_of_category[static_cast<size_t>(cat)];
+      if (pool.empty()) continue;
+      // Softmax choice within a candidate subset.
+      std::vector<double> weights;
+      std::vector<int64_t> cands;
+      for (int trial = 0; trial < 8; ++trial) {
+        const int64_t cand = pool[static_cast<size_t>(
+            rng.UniformInt(static_cast<int64_t>(pool.size())))];
+        cands.push_back(cand);
+        weights.push_back(
+            std::exp(config.softmax_temperature *
+                     Dot(user_latent, item_latents[static_cast<size_t>(cand)])));
+      }
+      const int64_t chosen =
+          cands[static_cast<size_t>(rng.SampleWeighted(weights))];
+      bought.emplace(chosen, stage);
+    }
+
+    // Interest-progressive 70/30 split: purchases are ordered by stage plus
+    // uniform noise (interest_evolution scales the stage term), the first
+    // 70% become training purchases (and KG edges). With evolution > 0 the
+    // held-out items concentrate in the later chain categories.
+    std::vector<std::pair<double, int64_t>> ordered;
+    for (const auto& [item, stage] : bought) {
+      ordered.emplace_back(config.interest_evolution *
+                                   static_cast<double>(stage) +
+                               rng.Uniform(),
+                           item);
+    }
+    std::sort(ordered.begin(), ordered.end());
+    std::vector<int64_t> shuffled;
+    for (const auto& [key, item] : ordered) shuffled.push_back(item);
+    const int64_t num_train = std::max<int64_t>(
+        1, std::min<int64_t>(
+               static_cast<int64_t>(shuffled.size()) - 1,
+               static_cast<int64_t>(std::llround(
+                   config.train_fraction *
+                   static_cast<double>(shuffled.size())))));
+    for (int64_t k = 0; k < static_cast<int64_t>(shuffled.size()); ++k) {
+      const EntityId item = items[static_cast<size_t>(shuffled[k])];
+      if (k < num_train) {
+        out.train_items[static_cast<size_t>(u)].push_back(item);
+        graph.AddTriple(users[static_cast<size_t>(u)], Relation::kPurchase,
+                        item);
+      } else {
+        out.test_items[static_cast<size_t>(u)].push_back(item);
+      }
+    }
+
+    // Mentions: features of purchased (train) items, plus exploration.
+    std::set<int64_t> mentioned;
+    for (int64_t m = 0; m < config.mentions_per_user; ++m) {
+      const auto& train = out.train_items[static_cast<size_t>(u)];
+      if (!train.empty() && rng.Bernoulli(0.7)) {
+        const EntityId item = train[static_cast<size_t>(
+            rng.UniformInt(static_cast<int64_t>(train.size())))];
+        const int64_t local = static_cast<int64_t>(item) - items[0];
+        const auto& feats = item_features[static_cast<size_t>(local)];
+        if (!feats.empty()) {
+          mentioned.insert(feats[static_cast<size_t>(
+              rng.UniformInt(static_cast<int64_t>(feats.size())))]);
+          continue;
+        }
+      }
+      mentioned.insert(rng.UniformInt(config.num_features));
+    }
+    for (int64_t f : mentioned) {
+      graph.AddTriple(users[static_cast<size_t>(u)], Relation::kMention,
+                      features[static_cast<size_t>(f)]);
+    }
+  }
+
+  graph.Finalize();
+  out.category_graph = kg::CategoryGraph::Build(graph);
+  return Status::OK();
+}
+
+Dataset MustGenerateDataset(const SyntheticConfig& config) {
+  Dataset dataset;
+  CADRL_CHECK_OK(GenerateDataset(config, &dataset));
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace cadrl

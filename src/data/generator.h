@@ -1,0 +1,79 @@
+#ifndef CADRL_DATA_GENERATOR_H_
+#define CADRL_DATA_GENERATOR_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cadrl {
+namespace data {
+
+// Configuration of the synthetic Amazon-like world (DESIGN.md §1). The
+// generator plants a latent-space ground truth — categories with latent
+// vectors, items/brands/features anchored to categories, users preferring a
+// handful of *related* categories — and then samples the KG schema of the
+// paper from it. The planted structure is what makes category-level
+// reasoning informative, mirroring the real datasets' behaviour.
+struct SyntheticConfig {
+  std::string name = "synthetic";
+  uint64_t seed = 1;
+
+  int64_t num_users = 120;
+  int64_t num_items = 240;
+  int64_t num_categories = 12;
+  int64_t num_brands = 30;
+  int64_t num_features = 48;
+
+  // Latent geometry.
+  int latent_dim = 16;
+  // Noise added to an item around its category anchor (smaller = items
+  // cluster tighter inside categories).
+  double item_noise = 0.45;
+  // How many related categories each user prefers.
+  int64_t categories_per_user = 3;
+
+  // Interaction sampling.
+  int64_t interactions_per_user = 10;  // mean; min 4 enforced
+  double in_category_prob = 0.8;       // purchase inside preferred categories
+  double softmax_temperature = 3.0;    // sharpness of item choice
+  double train_fraction = 0.7;         // the paper's 70/30 split
+  // Strength of the interest-progressive split: purchases are ordered by
+  // preference-chain stage plus uniform noise before splitting, so held-out
+  // items concentrate in the later (cross-category) stages — the paper's
+  // "evolving interests" workload. 0 recovers a uniformly random split.
+  double interest_evolution = 1.0;
+
+  // Schema sampling.
+  int64_t features_per_item = 3;
+  int64_t mentions_per_user = 4;
+  int64_t item_item_edges_per_item = 6;
+  // Probability that an item-item edge bridges to a *related* category
+  // rather than staying inside its own (creates the long cross-category
+  // chains that motivate the paper's Challenge II).
+  double cross_category_edge_prob = 0.5;
+
+  // Presets mirroring the relative shapes of the paper's three datasets
+  // (Table II; items-per-category densities from §V-C): Clothing has the
+  // most users/items and the sparsest categories, Beauty and Cell Phones
+  // have ~50 items per category.
+  static SyntheticConfig Tiny();          // fast unit-test world
+  static SyntheticConfig BeautySim();
+  static SyntheticConfig CellPhonesSim();
+  static SyntheticConfig ClothingSim();
+
+  Status Validate() const;
+};
+
+// Generates a dataset (KG + category graph + split). Dies on invalid
+// configs via CHECK in debug flows; returns Status for programmatic use.
+Status GenerateDataset(const SyntheticConfig& config, Dataset* dataset);
+
+// CHECK-failing convenience wrapper.
+Dataset MustGenerateDataset(const SyntheticConfig& config);
+
+}  // namespace data
+}  // namespace cadrl
+
+#endif  // CADRL_DATA_GENERATOR_H_

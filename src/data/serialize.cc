@@ -1,0 +1,150 @@
+#include "data/serialize.h"
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace data {
+namespace {
+
+constexpr char kMagic[] = "cadrl_dataset";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  const kg::KnowledgeGraph& graph = dataset.graph;
+  if (!graph.finalized()) {
+    return Status::FailedPrecondition("dataset graph is not finalized");
+  }
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "name " << (dataset.name.empty() ? "unnamed" : dataset.name) << '\n';
+  out << "entities " << graph.num_entities() << '\n';
+  for (kg::EntityId e = 0; e < graph.num_entities(); ++e) {
+    out << static_cast<int>(graph.TypeOf(e)) << ' '
+        << graph.CategoryOf(e) << '\n';
+  }
+  out << "triples " << graph.num_triples() << '\n';
+  for (kg::EntityId e = 0; e < graph.num_entities(); ++e) {
+    for (const kg::Edge& edge : graph.Neighbors(e)) {
+      if (kg::IsInverse(edge.relation)) continue;
+      out << e << ' ' << static_cast<int>(edge.relation) << ' ' << edge.dst
+          << '\n';
+    }
+  }
+  out << "users " << dataset.users.size() << '\n';
+  for (size_t u = 0; u < dataset.users.size(); ++u) {
+    out << dataset.users[u] << ' ' << dataset.train_items[u].size() << ' '
+        << dataset.test_items[u].size();
+    for (kg::EntityId item : dataset.train_items[u]) out << ' ' << item;
+    for (kg::EntityId item : dataset.test_items[u]) out << ' ' << item;
+    out << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadDataset(const std::string& path, Dataset* dataset) {
+  CADRL_CHECK(dataset != nullptr);
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::string magic, keyword;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != kMagic) return Status::Corruption("bad magic in " + path);
+  if (version != kVersion) return Status::Corruption("unsupported version");
+
+  Dataset out;
+  in >> keyword >> out.name;
+  if (keyword != "name") return Status::Corruption("expected 'name'");
+
+  int64_t num_entities = 0;
+  in >> keyword >> num_entities;
+  if (keyword != "entities" || num_entities < 0 || !in.good()) {
+    return Status::Corruption("expected 'entities <n>'");
+  }
+  std::vector<kg::CategoryId> categories(static_cast<size_t>(num_entities));
+  for (int64_t e = 0; e < num_entities; ++e) {
+    int type = -1;
+    kg::CategoryId category = kg::kInvalidCategory;
+    in >> type >> category;
+    if (!in.good() || type < 0 || type >= kg::kNumEntityTypes) {
+      return Status::Corruption("bad entity record");
+    }
+    const kg::EntityId id =
+        out.graph.AddEntity(static_cast<kg::EntityType>(type));
+    CADRL_CHECK_EQ(id, static_cast<kg::EntityId>(e));
+    categories[static_cast<size_t>(e)] = category;
+  }
+
+  int64_t num_triples = 0;
+  in >> keyword >> num_triples;
+  if (keyword != "triples" || num_triples < 0 || !in.good()) {
+    return Status::Corruption("expected 'triples <n>'");
+  }
+  for (int64_t t = 0; t < num_triples; ++t) {
+    int64_t src = 0, dst = 0;
+    int rel = -1;
+    in >> src >> rel >> dst;
+    if (!in.good() || src < 0 || src >= num_entities || dst < 0 ||
+        dst >= num_entities || rel < 0 || rel >= kg::kNumBaseRelations) {
+      return Status::Corruption("bad triple record");
+    }
+    out.graph.AddTriple(static_cast<kg::EntityId>(src),
+                        static_cast<kg::Relation>(rel),
+                        static_cast<kg::EntityId>(dst));
+  }
+  // Categories must be set before Finalize; only items may carry labels.
+  for (int64_t e = 0; e < num_entities; ++e) {
+    const kg::CategoryId c = categories[static_cast<size_t>(e)];
+    if (c == kg::kInvalidCategory) continue;
+    if (!out.graph.IsItem(static_cast<kg::EntityId>(e))) {
+      return Status::Corruption("category label on non-item entity");
+    }
+    out.graph.SetItemCategory(static_cast<kg::EntityId>(e), c);
+  }
+
+  int64_t num_users = 0;
+  in >> keyword >> num_users;
+  if (keyword != "users" || num_users < 0 || !in.good()) {
+    return Status::Corruption("expected 'users <n>'");
+  }
+  out.users.resize(static_cast<size_t>(num_users));
+  out.train_items.resize(static_cast<size_t>(num_users));
+  out.test_items.resize(static_cast<size_t>(num_users));
+  for (int64_t u = 0; u < num_users; ++u) {
+    int64_t id = 0, num_train = 0, num_test = 0;
+    in >> id >> num_train >> num_test;
+    if (!in.good() || id < 0 || id >= num_entities || num_train < 0 ||
+        num_test < 0) {
+      return Status::Corruption("bad user record");
+    }
+    out.users[static_cast<size_t>(u)] = static_cast<kg::EntityId>(id);
+    auto read_items = [&](int64_t count, std::vector<kg::EntityId>* items) {
+      for (int64_t k = 0; k < count; ++k) {
+        int64_t item = 0;
+        in >> item;
+        if (!in.good() || item < 0 || item >= num_entities) return false;
+        items->push_back(static_cast<kg::EntityId>(item));
+      }
+      return true;
+    };
+    if (!read_items(num_train, &out.train_items[static_cast<size_t>(u)]) ||
+        !read_items(num_test, &out.test_items[static_cast<size_t>(u)])) {
+      return Status::Corruption("bad interaction list");
+    }
+  }
+
+  out.graph.Finalize();
+  out.category_graph = kg::CategoryGraph::Build(out.graph);
+  *dataset = std::move(out);
+  return Status::OK();
+}
+
+}  // namespace data
+}  // namespace cadrl

@@ -1,0 +1,24 @@
+#ifndef CADRL_DATA_SERIALIZE_H_
+#define CADRL_DATA_SERIALIZE_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace cadrl {
+namespace data {
+
+// Writes the dataset (entities, categories, base-direction triples and the
+// train/test split) to a plain-text file. The category graph is not stored;
+// Load rebuilds it deterministically from the KG.
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+// Reads a dataset written by SaveDataset. Returns Corruption on any
+// structural inconsistency.
+Status LoadDataset(const std::string& path, Dataset* dataset);
+
+}  // namespace data
+}  // namespace cadrl
+
+#endif  // CADRL_DATA_SERIALIZE_H_

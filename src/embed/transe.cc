@@ -1,0 +1,217 @@
+#include "embed/transe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace embed {
+namespace {
+
+struct Triple {
+  kg::EntityId head;
+  kg::Relation rel;
+  kg::EntityId tail;
+};
+
+std::vector<Triple> CollectBaseTriples(const kg::KnowledgeGraph& graph) {
+  std::vector<Triple> out;
+  for (kg::EntityId e = 0; e < graph.num_entities(); ++e) {
+    for (const kg::Edge& edge : graph.Neighbors(e)) {
+      if (kg::IsInverse(edge.relation)) continue;
+      out.push_back({e, edge.relation, edge.dst});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status TransEOptions::Validate() const {
+  if (dim < 2) return Status::InvalidArgument("dim must be >= 2");
+  if (epochs < 0) return Status::InvalidArgument("epochs must be >= 0");
+  if (lr <= 0.0f) return Status::InvalidArgument("lr must be positive");
+  if (margin < 0.0f) return Status::InvalidArgument("margin must be >= 0");
+  if (negatives_per_triple < 1) {
+    return Status::InvalidArgument("need at least one negative per triple");
+  }
+  return Status::OK();
+}
+
+TransEModel::TransEModel(int64_t num_entities, int64_t num_categories,
+                         const TransEOptions& options)
+    : options_(options),
+      num_entities_(num_entities),
+      num_categories_(num_categories) {
+  CADRL_CHECK_OK(options.Validate());
+  Rng rng(options.seed);
+  const int64_t d = options.dim;
+  const float init = 6.0f / std::sqrt(static_cast<float>(d));
+  entities_.resize(static_cast<size_t>(num_entities * d));
+  for (float& x : entities_) {
+    x = static_cast<float>(rng.Uniform(-init, init));
+  }
+  relations_.resize(static_cast<size_t>(kg::kNumRelations) *
+                    static_cast<size_t>(d));
+  for (float& x : relations_) {
+    x = static_cast<float>(rng.Uniform(-init, init));
+  }
+  categories_.assign(static_cast<size_t>(num_categories * d), 0.0f);
+}
+
+std::span<const float> TransEModel::EntityVec(kg::EntityId e) const {
+  CADRL_CHECK_GE(e, 0);
+  CADRL_CHECK_LT(e, num_entities_);
+  return {entities_.data() + static_cast<int64_t>(e) * dim(),
+          static_cast<size_t>(dim())};
+}
+
+std::span<const float> TransEModel::RelationVec(kg::Relation r) const {
+  const int v = static_cast<int>(r);
+  CADRL_CHECK_GE(v, 0);
+  CADRL_CHECK_LT(v, kg::kNumRelations);
+  return {relations_.data() + static_cast<int64_t>(v) * dim(),
+          static_cast<size_t>(dim())};
+}
+
+std::span<const float> TransEModel::CategoryVec(kg::CategoryId c) const {
+  CADRL_CHECK_GE(c, 0);
+  CADRL_CHECK_LT(c, num_categories_);
+  return {categories_.data() + static_cast<int64_t>(c) * dim(),
+          static_cast<size_t>(dim())};
+}
+
+float TransEModel::ScoreTriple(kg::EntityId head, kg::Relation rel,
+                               kg::EntityId tail) const {
+  const auto h = EntityVec(head);
+  const auto r = RelationVec(rel);
+  const auto t = EntityVec(tail);
+  float dist = 0.0f;
+  for (int i = 0; i < dim(); ++i) {
+    const float diff = h[static_cast<size_t>(i)] + r[static_cast<size_t>(i)] -
+                       t[static_cast<size_t>(i)];
+    dist += diff * diff;
+  }
+  return -dist;
+}
+
+float TransEModel::ScorePath(kg::EntityId head,
+                             const std::vector<kg::Relation>& rels,
+                             kg::EntityId tail) const {
+  const auto h = EntityVec(head);
+  const auto t = EntityVec(tail);
+  float dist = 0.0f;
+  for (int i = 0; i < dim(); ++i) {
+    float x = h[static_cast<size_t>(i)];
+    for (kg::Relation r : rels) {
+      if (r == kg::Relation::kSelfLoop) continue;
+      x += RelationVec(r)[static_cast<size_t>(i)];
+    }
+    const float diff = x - t[static_cast<size_t>(i)];
+    dist += diff * diff;
+  }
+  return -dist;
+}
+
+void TransEModel::RefreshCategoryVectors(const kg::KnowledgeGraph& graph) {
+  CADRL_CHECK(graph.finalized());
+  CADRL_CHECK_EQ(graph.num_categories(), num_categories_);
+  const int64_t d = dim();
+  std::fill(categories_.begin(), categories_.end(), 0.0f);
+  for (kg::CategoryId c = 0; c < num_categories_; ++c) {
+    const auto& items = graph.ItemsInCategory(c);
+    if (items.empty()) continue;
+    float* cat = categories_.data() + static_cast<int64_t>(c) * d;
+    for (kg::EntityId item : items) {
+      const auto v = EntityVec(item);
+      for (int64_t i = 0; i < d; ++i) cat[i] += v[static_cast<size_t>(i)];
+    }
+    const float inv = 1.0f / static_cast<float>(items.size());
+    for (int64_t i = 0; i < d; ++i) cat[i] *= inv;
+  }
+}
+
+TransEModel TransEModel::Train(const kg::KnowledgeGraph& graph,
+                               const TransEOptions& options) {
+  CADRL_CHECK(graph.finalized());
+  TransEModel model(graph.num_entities(), graph.num_categories(), options);
+  Rng rng(options.seed ^ 0xabcdef12345ULL);
+  std::vector<Triple> triples = CollectBaseTriples(graph);
+  const int64_t d = options.dim;
+  const int64_t n = graph.num_entities();
+
+  auto sq_dist = [&](kg::EntityId h, kg::Relation r, kg::EntityId t) {
+    return -model.ScoreTriple(h, r, t);
+  };
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int64_t updates = 0;
+    rng.Shuffle(&triples);
+    for (const Triple& pos : triples) {
+      for (int k = 0; k < options.negatives_per_triple; ++k) {
+        // Corrupt head or tail uniformly, avoiding the trivial positive.
+        Triple neg = pos;
+        if (rng.Bernoulli(0.5)) {
+          neg.head = static_cast<kg::EntityId>(rng.UniformInt(n));
+        } else {
+          neg.tail = static_cast<kg::EntityId>(rng.UniformInt(n));
+        }
+        if (graph.HasEdge(neg.head, neg.rel, neg.tail)) continue;
+        const float pos_dist = sq_dist(pos.head, pos.rel, pos.tail);
+        const float neg_dist = sq_dist(neg.head, neg.rel, neg.tail);
+        const float loss = options.margin + pos_dist - neg_dist;
+        epoch_loss += std::max(0.0f, loss);
+        ++updates;
+        if (loss <= 0.0f) continue;
+        // Gradient of ||h+r-t||^2 is 2(h+r-t) w.r.t. h and r, -2(...) w.r.t
+        // t; positive triple pulled together, negative pushed apart.
+        const float step = options.lr;
+        float* ph = model.entities_.data() +
+                    static_cast<int64_t>(pos.head) * d;
+        float* pt = model.entities_.data() +
+                    static_cast<int64_t>(pos.tail) * d;
+        float* pr = model.relations_.data() +
+                    static_cast<int64_t>(pos.rel) * d;
+        float* nh = model.entities_.data() +
+                    static_cast<int64_t>(neg.head) * d;
+        float* nt = model.entities_.data() +
+                    static_cast<int64_t>(neg.tail) * d;
+        float* nr = model.relations_.data() +
+                    static_cast<int64_t>(neg.rel) * d;
+        for (int64_t i = 0; i < d; ++i) {
+          const float g_pos = 2.0f * (ph[i] + pr[i] - pt[i]);
+          ph[i] -= step * g_pos;
+          pr[i] -= step * g_pos;
+          pt[i] += step * g_pos;
+        }
+        for (int64_t i = 0; i < d; ++i) {
+          const float g_neg = 2.0f * (nh[i] + nr[i] - nt[i]);
+          // Negative distance enters the loss with a minus sign.
+          nh[i] += step * g_neg;
+          nr[i] += step * g_neg;
+          nt[i] -= step * g_neg;
+        }
+      }
+    }
+    if (options.normalize_entities) {
+      for (int64_t e = 0; e < n; ++e) {
+        float* v = model.entities_.data() + e * d;
+        float norm = 0.0f;
+        for (int64_t i = 0; i < d; ++i) norm += v[i] * v[i];
+        norm = std::sqrt(norm);
+        if (norm > 1.0f) {
+          for (int64_t i = 0; i < d; ++i) v[i] /= norm;
+        }
+      }
+    }
+    model.epoch_losses_.push_back(
+        updates > 0 ? static_cast<float>(epoch_loss / updates) : 0.0f);
+  }
+  model.RefreshCategoryVectors(graph);
+  return model;
+}
+
+}  // namespace embed
+}  // namespace cadrl

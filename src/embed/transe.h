@@ -1,0 +1,88 @@
+#ifndef CADRL_EMBED_TRANSE_H_
+#define CADRL_EMBED_TRANSE_H_
+
+#include <span>
+#include <vector>
+
+#include "kg/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cadrl {
+namespace embed {
+
+struct TransEOptions {
+  int dim = 32;
+  int epochs = 12;
+  float lr = 0.05f;
+  float margin = 1.0f;
+  // Negatives sampled per positive triple (head or tail corruption).
+  int negatives_per_triple = 1;
+  // Project entity vectors back onto the unit ball after each epoch.
+  bool normalize_entities = true;
+  uint64_t seed = 13;
+
+  Status Validate() const;
+};
+
+// TransE (Bordes et al. 2013): h + r ≈ t, trained with margin ranking over
+// corrupted triples. The paper initializes all entity, relation and category
+// representations from TransE (§IV-B); everything downstream (CGGNN, the
+// agents, several baselines) reads embeddings from this model.
+//
+// Training is hand-differentiated SGD (the loss is simple enough that the
+// autograd tape would only add overhead on the KG-sized embedding tables).
+class TransEModel {
+ public:
+  // Untrained model with small random embeddings.
+  TransEModel(int64_t num_entities, int64_t num_categories,
+              const TransEOptions& options);
+
+  // Trains on all base-direction triples of `graph` and derives category
+  // vectors as the mean embedding of each category's items (§IV-B2).
+  static TransEModel Train(const kg::KnowledgeGraph& graph,
+                           const TransEOptions& options);
+
+  int dim() const { return options_.dim; }
+  int64_t num_entities() const { return num_entities_; }
+  int64_t num_categories() const { return num_categories_; }
+
+  std::span<const float> EntityVec(kg::EntityId e) const;
+  std::span<const float> RelationVec(kg::Relation r) const;
+  std::span<const float> CategoryVec(kg::CategoryId c) const;
+
+  // Plausibility score of a triple: -||h + r - t||^2 (higher is better).
+  float ScoreTriple(kg::EntityId head, kg::Relation rel,
+                    kg::EntityId tail) const;
+
+  // Score of `tail` as the endpoint of a multi-hop translation h + r1 + ...
+  // + rk ≈ t — the HeteroEmbed/PGPR multi-hop scoring function.
+  float ScorePath(kg::EntityId head, const std::vector<kg::Relation>& rels,
+                  kg::EntityId tail) const;
+
+  // Mean margin-ranking loss of one epoch during the last Train call, in
+  // chronological order (exposed for convergence tests and logging).
+  const std::vector<float>& epoch_losses() const { return epoch_losses_; }
+
+  // Flattened row-major copies for seeding ag::Embedding tables.
+  std::vector<float> EntityTable() const { return entities_; }
+  std::vector<float> RelationTable() const { return relations_; }
+  std::vector<float> CategoryTable() const { return categories_; }
+
+  // Recomputes category vectors from the current entity table.
+  void RefreshCategoryVectors(const kg::KnowledgeGraph& graph);
+
+ private:
+  TransEOptions options_;
+  int64_t num_entities_;
+  int64_t num_categories_;
+  std::vector<float> entities_;    // num_entities x dim
+  std::vector<float> relations_;   // kNumRelations x dim
+  std::vector<float> categories_;  // num_categories x dim
+  std::vector<float> epoch_losses_;
+};
+
+}  // namespace embed
+}  // namespace cadrl
+
+#endif  // CADRL_EMBED_TRANSE_H_

@@ -1,0 +1,108 @@
+#include "eval/evaluator.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace cadrl {
+namespace eval {
+namespace {
+
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+MeanStd Summarize(const std::vector<double>& xs) {
+  MeanStd out;
+  if (xs.empty()) return out;
+  for (double x : xs) out.mean += x;
+  out.mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - out.mean) * (x - out.mean);
+  out.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  return out;
+}
+
+}  // namespace
+
+EvalResult EvaluateRecommender(Recommender* recommender,
+                               const data::Dataset& dataset, int k,
+                               int64_t max_users) {
+  CADRL_CHECK(recommender != nullptr);
+  EvalResult result;
+  result.model = recommender->name();
+  MetricValues sum;
+  for (size_t u = 0; u < dataset.users.size(); ++u) {
+    if (max_users > 0 && result.users_evaluated >= max_users) break;
+    const auto& relevant = dataset.test_items[u];
+    if (relevant.empty()) continue;
+    std::vector<Recommendation> recs =
+        recommender->Recommend(dataset.users[u], k);
+    std::vector<kg::EntityId> ranked;
+    ranked.reserve(recs.size());
+    for (const Recommendation& rec : recs) ranked.push_back(rec.item);
+    sum += ComputeTopK(ranked, relevant, k);
+    ++result.users_evaluated;
+  }
+  if (result.users_evaluated > 0) {
+    const MetricValues mean =
+        sum / static_cast<double>(result.users_evaluated);
+    result.ndcg = mean.ndcg * 100.0;
+    result.recall = mean.recall * 100.0;
+    result.hit_rate = mean.hit_rate * 100.0;
+    result.precision = mean.precision * 100.0;
+  }
+  return result;
+}
+
+TimingResult MeasureEfficiency(Recommender* recommender,
+                               const data::Dataset& dataset,
+                               int users_per_run, int paths_per_run,
+                               int repeats) {
+  CADRL_CHECK(recommender != nullptr);
+  CADRL_CHECK_GT(users_per_run, 0);
+  CADRL_CHECK_GT(paths_per_run, 0);
+  CADRL_CHECK_GT(repeats, 0);
+  TimingResult result;
+  result.model = recommender->name();
+  const int64_t num_users = dataset.num_users();
+  CADRL_CHECK_GT(num_users, 0);
+
+  std::vector<double> rec_times, find_times;
+  for (int rep = 0; rep < repeats; ++rep) {
+    Stopwatch sw;
+    for (int i = 0; i < users_per_run; ++i) {
+      const kg::EntityId user =
+          dataset.users[static_cast<size_t>(i % num_users)];
+      recommender->Recommend(user, 10);
+    }
+    // Normalize to seconds per 1000 users.
+    rec_times.push_back(sw.ElapsedSeconds() * 1000.0 / users_per_run);
+
+    sw.Restart();
+    int64_t produced = 0;
+    int user_cursor = 0;
+    while (produced < paths_per_run) {
+      const kg::EntityId user =
+          dataset.users[static_cast<size_t>(user_cursor++ % num_users)];
+      auto paths = recommender->FindPaths(user, 10);
+      // Count at least one per call so models without paths still terminate.
+      produced += std::max<int64_t>(1, static_cast<int64_t>(paths.size()));
+    }
+    // Normalize to seconds per 10000 paths.
+    find_times.push_back(sw.ElapsedSeconds() * 10000.0 /
+                         static_cast<double>(produced));
+  }
+  const MeanStd rec = Summarize(rec_times);
+  const MeanStd find = Summarize(find_times);
+  result.rec_per_1k_users_mean = rec.mean;
+  result.rec_per_1k_users_std = rec.stddev;
+  result.find_per_10k_paths_mean = find.mean;
+  result.find_per_10k_paths_std = find.stddev;
+  return result;
+}
+
+}  // namespace eval
+}  // namespace cadrl

@@ -1,0 +1,50 @@
+#ifndef CADRL_EVAL_EVALUATOR_H_
+#define CADRL_EVAL_EVALUATOR_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "eval/recommender.h"
+
+namespace cadrl {
+namespace eval {
+
+// Aggregated top-k metrics over all test users (means, reported as
+// percentages to mirror Table I).
+struct EvalResult {
+  std::string model;
+  double ndcg = 0.0;       // x100
+  double recall = 0.0;     // x100
+  double hit_rate = 0.0;   // x100
+  double precision = 0.0;  // x100
+  int64_t users_evaluated = 0;
+};
+
+// Runs `recommender` (already Fit) over every user with a non-empty test
+// set, computing top-k metrics against the held-out items. `max_users` > 0
+// caps evaluation to the first max_users users (benchmark budget control).
+EvalResult EvaluateRecommender(Recommender* recommender,
+                               const data::Dataset& dataset, int k = 10,
+                               int64_t max_users = 0);
+
+// The Table III efficiency protocol. Times are normalized to the paper's
+// units — seconds per 1k users recommended and per 10k paths generated —
+// with mean +/- stddev over `repeats` runs.
+struct TimingResult {
+  std::string model;
+  double rec_per_1k_users_mean = 0.0;
+  double rec_per_1k_users_std = 0.0;
+  double find_per_10k_paths_mean = 0.0;
+  double find_per_10k_paths_std = 0.0;
+};
+
+TimingResult MeasureEfficiency(Recommender* recommender,
+                               const data::Dataset& dataset,
+                               int users_per_run = 50,
+                               int paths_per_run = 500, int repeats = 3);
+
+}  // namespace eval
+}  // namespace cadrl
+
+#endif  // CADRL_EVAL_EVALUATOR_H_

@@ -1,0 +1,56 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace eval {
+
+MetricValues& MetricValues::operator+=(const MetricValues& other) {
+  ndcg += other.ndcg;
+  recall += other.recall;
+  hit_rate += other.hit_rate;
+  precision += other.precision;
+  return *this;
+}
+
+MetricValues MetricValues::operator/(double denom) const {
+  CADRL_CHECK_NE(denom, 0.0);
+  return {ndcg / denom, recall / denom, hit_rate / denom, precision / denom};
+}
+
+MetricValues ComputeTopK(const std::vector<kg::EntityId>& ranked,
+                         const std::vector<kg::EntityId>& relevant, int k) {
+  CADRL_CHECK_GT(k, 0);
+  MetricValues out;
+  if (relevant.empty()) return out;
+  const std::unordered_set<kg::EntityId> relevant_set(relevant.begin(),
+                                                      relevant.end());
+  const int considered = std::min<int>(k, static_cast<int>(ranked.size()));
+  int hits = 0;
+  double dcg = 0.0;
+  for (int i = 0; i < considered; ++i) {
+    if (relevant_set.count(ranked[static_cast<size_t>(i)]) > 0) {
+      ++hits;
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  double idcg = 0.0;
+  const int ideal =
+      std::min<int>(k, static_cast<int>(relevant_set.size()));
+  for (int i = 0; i < ideal; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  out.ndcg = idcg > 0.0 ? dcg / idcg : 0.0;
+  out.recall = static_cast<double>(hits) /
+               static_cast<double>(relevant_set.size());
+  out.hit_rate = hits > 0 ? 1.0 : 0.0;
+  out.precision = static_cast<double>(hits) / static_cast<double>(k);
+  return out;
+}
+
+}  // namespace eval
+}  // namespace cadrl

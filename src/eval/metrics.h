@@ -1,0 +1,33 @@
+#ifndef CADRL_EVAL_METRICS_H_
+#define CADRL_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "kg/types.h"
+
+namespace cadrl {
+namespace eval {
+
+// The four ranking metrics of Table I, as fractions in [0, 1]. The bench
+// harness multiplies by 100 to match the paper's percentage convention.
+struct MetricValues {
+  double ndcg = 0.0;
+  double recall = 0.0;
+  double hit_rate = 0.0;
+  double precision = 0.0;
+
+  MetricValues& operator+=(const MetricValues& other);
+  MetricValues operator/(double denom) const;
+};
+
+// Top-k metrics for one user. `ranked` is the model's recommendation list
+// (best first, may be shorter than k); `relevant` is the user's held-out
+// test set. NDCG uses binary gains with the ideal DCG over
+// min(k, |relevant|) positions.
+MetricValues ComputeTopK(const std::vector<kg::EntityId>& ranked,
+                         const std::vector<kg::EntityId>& relevant, int k);
+
+}  // namespace eval
+}  // namespace cadrl
+
+#endif  // CADRL_EVAL_METRICS_H_

@@ -1,0 +1,51 @@
+#include "eval/path_metrics.h"
+
+#include <set>
+
+namespace cadrl {
+namespace eval {
+
+PathQuality EvaluatePaths(const kg::KnowledgeGraph& graph,
+                          const std::vector<RecommendationPath>& paths) {
+  PathQuality q;
+  q.num_paths = static_cast<int64_t>(paths.size());
+  if (paths.empty()) return q;
+  std::set<kg::Relation> relations_used;
+  int64_t total_hops = 0;
+  int64_t long_paths = 0;
+  double category_sum = 0.0;
+  for (const RecommendationPath& path : paths) {
+    bool valid = path.user != kg::kInvalidEntity && !path.steps.empty();
+    kg::EntityId current = path.user;
+    std::set<kg::CategoryId> categories;
+    for (const PathStep& step : path.steps) {
+      if (valid && !graph.HasEdge(current, step.relation, step.entity)) {
+        valid = false;
+      }
+      current = step.entity;
+      relations_used.insert(step.relation);
+      if (graph.IsItem(step.entity)) {
+        const kg::CategoryId c = graph.CategoryOf(step.entity);
+        if (c != kg::kInvalidCategory) categories.insert(c);
+      }
+    }
+    if (valid) ++q.num_valid;
+    total_hops += static_cast<int64_t>(path.steps.size());
+    if (path.steps.size() > 3) ++long_paths;
+    category_sum += static_cast<double>(categories.size());
+  }
+  q.mean_length =
+      static_cast<double>(total_hops) / static_cast<double>(q.num_paths);
+  q.long_path_fraction =
+      static_cast<double>(long_paths) / static_cast<double>(q.num_paths);
+  q.relation_diversity = total_hops > 0
+                             ? static_cast<double>(relations_used.size()) /
+                                   static_cast<double>(kg::kNumRelations)
+                             : 0.0;
+  q.mean_categories_per_path =
+      category_sum / static_cast<double>(q.num_paths);
+  return q;
+}
+
+}  // namespace eval
+}  // namespace cadrl

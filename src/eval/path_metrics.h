@@ -1,0 +1,37 @@
+#ifndef CADRL_EVAL_PATH_METRICS_H_
+#define CADRL_EVAL_PATH_METRICS_H_
+
+#include <vector>
+
+#include "eval/recommender.h"
+#include "kg/graph.h"
+
+namespace cadrl {
+namespace eval {
+
+// Quantitative explainability metrics over a batch of recommendation paths
+// (the measurable side of the paper's RQ7 case study).
+struct PathQuality {
+  int64_t num_paths = 0;
+  // Paths whose every hop is an existing KG edge starting at the user.
+  int64_t num_valid = 0;
+  double mean_length = 0.0;
+  // Fraction of paths longer than 3 hops (the "beyond-myopic" share that
+  // single-agent 3-hop baselines cannot produce).
+  double long_path_fraction = 0.0;
+  // Distinct relation types used across all paths / total relation slots:
+  // higher = more diverse explanation vocabulary.
+  double relation_diversity = 0.0;
+  // Mean number of distinct item categories touched per path (cross-
+  // category reasoning, the category agent's contribution).
+  double mean_categories_per_path = 0.0;
+};
+
+// Validates and summarizes `paths` against `graph`.
+PathQuality EvaluatePaths(const kg::KnowledgeGraph& graph,
+                          const std::vector<RecommendationPath>& paths);
+
+}  // namespace eval
+}  // namespace cadrl
+
+#endif  // CADRL_EVAL_PATH_METRICS_H_

@@ -1,0 +1,36 @@
+#include "eval/recommender.h"
+
+#include <sstream>
+
+namespace cadrl {
+namespace eval {
+
+std::string FormatPath(const kg::KnowledgeGraph& graph,
+                       const RecommendationPath& path) {
+  std::ostringstream os;
+  auto entity_label = [&](kg::EntityId e) {
+    os << kg::EntityTypeName(graph.TypeOf(e)) << '#' << e;
+    if (graph.IsItem(e) && graph.CategoryOf(e) != kg::kInvalidCategory) {
+      os << "(cat" << graph.CategoryOf(e) << ')';
+    }
+  };
+  entity_label(path.user);
+  for (const PathStep& step : path.steps) {
+    os << " --" << kg::RelationName(step.relation) << "--> ";
+    entity_label(step.entity);
+  }
+  return os.str();
+}
+
+std::vector<RecommendationPath> Recommender::FindPaths(kg::EntityId user,
+                                                       int max_paths) {
+  std::vector<RecommendationPath> out;
+  for (const Recommendation& rec : Recommend(user, 10)) {
+    if (static_cast<int>(out.size()) >= max_paths) break;
+    if (!rec.path.empty()) out.push_back(rec.path);
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace cadrl

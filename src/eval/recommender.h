@@ -1,0 +1,74 @@
+#ifndef CADRL_EVAL_RECOMMENDER_H_
+#define CADRL_EVAL_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "kg/graph.h"
+#include "util/status.h"
+
+namespace cadrl {
+namespace eval {
+
+// One hop of a recommendation path: the relation taken and the entity
+// reached. A full path starts at the user and ends at the recommended item,
+// i.e. "u --r1--> e1 --r2--> ... --rL--> v" (§III, Problem statement).
+struct PathStep {
+  kg::Relation relation;
+  kg::EntityId entity;
+
+  friend bool operator==(const PathStep&, const PathStep&) = default;
+};
+
+struct RecommendationPath {
+  kg::EntityId user = kg::kInvalidEntity;
+  std::vector<PathStep> steps;
+
+  bool empty() const { return steps.empty(); }
+  // The terminal entity (the recommended item for complete paths).
+  kg::EntityId endpoint() const {
+    return steps.empty() ? user : steps.back().entity;
+  }
+};
+
+// Renders "user#3 --purchase--> item#17 --also_bought--> item#29".
+std::string FormatPath(const kg::KnowledgeGraph& graph,
+                       const RecommendationPath& path);
+
+struct Recommendation {
+  kg::EntityId item = kg::kInvalidEntity;
+  double score = 0.0;
+  // Explanation path; empty for models without explainability.
+  RecommendationPath path;
+};
+
+// The common interface every model in this repo implements — CADRL, its
+// ablations, and all 10 baselines — so the Table I/III/IV harnesses treat
+// them uniformly.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  virtual std::string name() const = 0;
+
+  // Trains the model. Must be called before Recommend.
+  virtual Status Fit(const data::Dataset& dataset) = 0;
+
+  // Top-k recommendations for `user`, best first. Items the user purchased
+  // in training must be excluded.
+  virtual std::vector<Recommendation> Recommend(kg::EntityId user, int k) = 0;
+
+  // Whether Recommend attaches non-empty explanation paths.
+  virtual bool SupportsPaths() const { return false; }
+
+  // Produces up to `max_paths` explanation paths for `user` (the Table III
+  // "path finding" workload). Default: the paths of a top-10 Recommend.
+  virtual std::vector<RecommendationPath> FindPaths(kg::EntityId user,
+                                                    int max_paths);
+};
+
+}  // namespace eval
+}  // namespace cadrl
+
+#endif  // CADRL_EVAL_RECOMMENDER_H_

@@ -1,0 +1,85 @@
+#include "kg/category_graph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace kg {
+
+CategoryGraph CategoryGraph::Build(const KnowledgeGraph& graph) {
+  CADRL_CHECK(graph.finalized());
+  const int64_t num_categories = graph.num_categories();
+  // Count cross-category relation instances. Only base-direction edges are
+  // counted so each KG triple contributes once; the category edge itself is
+  // stored symmetrically.
+  std::map<std::pair<CategoryId, CategoryId>, int64_t> weights;
+  for (EntityId e = 0; e < graph.num_entities(); ++e) {
+    if (!graph.IsItem(e)) continue;
+    const CategoryId src_cat = graph.CategoryOf(e);
+    if (src_cat == kInvalidCategory) continue;
+    for (const Edge& edge : graph.Neighbors(e)) {
+      if (IsInverse(edge.relation)) continue;
+      if (!graph.IsItem(edge.dst)) continue;
+      const CategoryId dst_cat = graph.CategoryOf(edge.dst);
+      if (dst_cat == kInvalidCategory || dst_cat == src_cat) continue;
+      ++weights[{src_cat, dst_cat}];
+      ++weights[{dst_cat, src_cat}];
+    }
+  }
+  CategoryGraph out;
+  out.offsets_.assign(static_cast<size_t>(num_categories) + 1, 0);
+  for (const auto& [key, w] : weights) {
+    ++out.offsets_[static_cast<size_t>(key.first) + 1];
+  }
+  for (int64_t c = 0; c < num_categories; ++c) {
+    out.offsets_[static_cast<size_t>(c) + 1] +=
+        out.offsets_[static_cast<size_t>(c)];
+  }
+  out.edges_.resize(weights.size());
+  {
+    std::vector<int64_t> cursor(out.offsets_.begin(), out.offsets_.end() - 1);
+    for (const auto& [key, w] : weights) {
+      out.edges_[static_cast<size_t>(cursor[static_cast<size_t>(key.first)]++)] =
+          CategoryEdge{key.second, w};
+    }
+  }
+  // Sort each adjacency run by descending weight (ties by id for
+  // determinism) so action pruning can truncate to the strongest links.
+  for (int64_t c = 0; c < num_categories; ++c) {
+    auto begin = out.edges_.begin() + out.offsets_[static_cast<size_t>(c)];
+    auto end = out.edges_.begin() + out.offsets_[static_cast<size_t>(c) + 1];
+    std::sort(begin, end, [](const CategoryEdge& a, const CategoryEdge& b) {
+      if (a.weight != b.weight) return a.weight > b.weight;
+      return a.dst < b.dst;
+    });
+  }
+  return out;
+}
+
+std::span<const CategoryEdge> CategoryGraph::Neighbors(CategoryId c) const {
+  CADRL_CHECK_GE(c, 0);
+  CADRL_CHECK_LT(c, num_categories());
+  const int64_t begin = offsets_[static_cast<size_t>(c)];
+  const int64_t end = offsets_[static_cast<size_t>(c) + 1];
+  return {edges_.data() + begin, static_cast<size_t>(end - begin)};
+}
+
+int64_t CategoryGraph::Degree(CategoryId c) const {
+  return static_cast<int64_t>(Neighbors(c).size());
+}
+
+bool CategoryGraph::Connected(CategoryId a, CategoryId b) const {
+  return EdgeWeight(a, b) > 0;
+}
+
+int64_t CategoryGraph::EdgeWeight(CategoryId a, CategoryId b) const {
+  for (const CategoryEdge& e : Neighbors(a)) {
+    if (e.dst == b) return e.weight;
+  }
+  return 0;
+}
+
+}  // namespace kg
+}  // namespace cadrl

@@ -1,0 +1,55 @@
+#ifndef CADRL_KG_CATEGORY_GRAPH_H_
+#define CADRL_KG_CATEGORY_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "kg/graph.h"
+#include "kg/types.h"
+
+namespace cadrl {
+namespace kg {
+
+// An edge of the category knowledge graph G^c with its co-occurrence weight
+// (number of KG relation instances connecting the two categories).
+struct CategoryEdge {
+  CategoryId dst;
+  int64_t weight;
+};
+
+// The category knowledge graph G^c of Definition 4: the dense virtual
+// mapping of G whose nodes are item categories. Two categories are connected
+// iff at least one relation links an entity of one to an entity of the
+// other. The category agent of DARL walks this graph.
+class CategoryGraph {
+ public:
+  // An empty graph; assign from Build() to populate.
+  CategoryGraph() = default;
+
+  // Builds G^c from a finalized KG. Every base-direction item-item edge
+  // (also_bought / also_viewed / bought_together and their kin) whose
+  // endpoints carry different category labels contributes weight 1 to the
+  // (symmetric) category edge.
+  static CategoryGraph Build(const KnowledgeGraph& graph);
+
+  int64_t num_categories() const {
+    return static_cast<int64_t>(offsets_.size()) - 1;
+  }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+
+  // Outgoing category edges sorted by descending weight.
+  std::span<const CategoryEdge> Neighbors(CategoryId c) const;
+  int64_t Degree(CategoryId c) const;
+  bool Connected(CategoryId a, CategoryId b) const;
+  // 0 if not connected.
+  int64_t EdgeWeight(CategoryId a, CategoryId b) const;
+
+ private:
+  std::vector<int64_t> offsets_;
+  std::vector<CategoryEdge> edges_;
+};
+
+}  // namespace kg
+}  // namespace cadrl
+
+#endif  // CADRL_KG_CATEGORY_GRAPH_H_

@@ -1,0 +1,139 @@
+#include "kg/graph.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace kg {
+
+EntityId KnowledgeGraph::AddEntity(EntityType type) {
+  CADRL_CHECK(!finalized_);
+  const EntityId id = static_cast<EntityId>(entity_types_.size());
+  entity_types_.push_back(type);
+  by_type_[static_cast<int>(type)].push_back(id);
+  categories_.push_back(kInvalidCategory);
+  return id;
+}
+
+void KnowledgeGraph::AddTriple(EntityId src, Relation relation, EntityId dst) {
+  CADRL_CHECK(!finalized_);
+  CADRL_CHECK(!IsInverse(relation))
+      << "AddTriple takes base relations; inverses are materialized "
+         "automatically";
+  CADRL_CHECK(relation != Relation::kSelfLoop);
+  CADRL_CHECK_GE(src, 0);
+  CADRL_CHECK_LT(src, num_entities());
+  CADRL_CHECK_GE(dst, 0);
+  CADRL_CHECK_LT(dst, num_entities());
+  pending_.emplace_back(src, relation, dst);
+  pending_.emplace_back(dst, InverseOf(relation), src);
+}
+
+void KnowledgeGraph::SetItemCategory(EntityId item, CategoryId category) {
+  CADRL_CHECK(!finalized_);
+  CADRL_CHECK(IsItem(item)) << "only items carry category labels";
+  CADRL_CHECK_GE(category, 0);
+  categories_[static_cast<size_t>(item)] = category;
+}
+
+void KnowledgeGraph::Finalize() {
+  CADRL_CHECK(!finalized_);
+  std::sort(pending_.begin(), pending_.end());
+  pending_.erase(std::unique(pending_.begin(), pending_.end()),
+                 pending_.end());
+  const int64_t n = num_entities();
+  offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (const auto& [src, rel, dst] : pending_) {
+    ++offsets_[static_cast<size_t>(src) + 1];
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    offsets_[static_cast<size_t>(i) + 1] += offsets_[static_cast<size_t>(i)];
+  }
+  edges_.resize(pending_.size());
+  {
+    std::vector<int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const auto& [src, rel, dst] : pending_) {
+      edges_[static_cast<size_t>(cursor[static_cast<size_t>(src)]++)] =
+          Edge{rel, dst};
+    }
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+
+  // Category index.
+  num_categories_ = 0;
+  for (CategoryId c : categories_) {
+    num_categories_ = std::max<int64_t>(num_categories_, c + 1);
+  }
+  items_in_category_.assign(static_cast<size_t>(num_categories_), {});
+  for (EntityId e = 0; e < n; ++e) {
+    const CategoryId c = categories_[static_cast<size_t>(e)];
+    if (c != kInvalidCategory) {
+      items_in_category_[static_cast<size_t>(c)].push_back(e);
+    }
+  }
+  finalized_ = true;
+}
+
+int64_t KnowledgeGraph::num_edges() const {
+  CADRL_CHECK(finalized_);
+  return static_cast<int64_t>(edges_.size());
+}
+
+EntityType KnowledgeGraph::TypeOf(EntityId e) const {
+  CADRL_CHECK_GE(e, 0);
+  CADRL_CHECK_LT(e, num_entities());
+  return entity_types_[static_cast<size_t>(e)];
+}
+
+std::span<const Edge> KnowledgeGraph::Neighbors(EntityId e) const {
+  CADRL_CHECK(finalized_);
+  CADRL_CHECK_GE(e, 0);
+  CADRL_CHECK_LT(e, num_entities());
+  const int64_t begin = offsets_[static_cast<size_t>(e)];
+  const int64_t end = offsets_[static_cast<size_t>(e) + 1];
+  return {edges_.data() + begin, static_cast<size_t>(end - begin)};
+}
+
+int64_t KnowledgeGraph::Degree(EntityId e) const {
+  return static_cast<int64_t>(Neighbors(e).size());
+}
+
+bool KnowledgeGraph::HasEdge(EntityId src, Relation relation,
+                             EntityId dst) const {
+  for (const Edge& edge : Neighbors(src)) {
+    if (edge.relation == relation && edge.dst == dst) return true;
+  }
+  return false;
+}
+
+const std::vector<EntityId>& KnowledgeGraph::EntitiesOfType(
+    EntityType type) const {
+  return by_type_[static_cast<int>(type)];
+}
+
+CategoryId KnowledgeGraph::CategoryOf(EntityId e) const {
+  CADRL_CHECK_GE(e, 0);
+  CADRL_CHECK_LT(e, num_entities());
+  return categories_[static_cast<size_t>(e)];
+}
+
+const std::vector<EntityId>& KnowledgeGraph::ItemsInCategory(
+    CategoryId c) const {
+  CADRL_CHECK(finalized_);
+  CADRL_CHECK_GE(c, 0);
+  CADRL_CHECK_LT(c, num_categories_);
+  return items_in_category_[static_cast<size_t>(c)];
+}
+
+double KnowledgeGraph::MeanItemsPerCategory() const {
+  CADRL_CHECK(finalized_);
+  if (num_categories_ == 0) return 0.0;
+  return static_cast<double>(CountOfType(EntityType::kItem)) /
+         static_cast<double>(num_categories_);
+}
+
+}  // namespace kg
+}  // namespace cadrl

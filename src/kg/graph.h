@@ -1,0 +1,98 @@
+#ifndef CADRL_KG_GRAPH_H_
+#define CADRL_KG_GRAPH_H_
+
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "kg/types.h"
+#include "util/status.h"
+
+namespace cadrl {
+namespace kg {
+
+// One outgoing edge of the adjacency structure.
+struct Edge {
+  Relation relation;
+  EntityId dst;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+// A typed multi-relational knowledge graph G = {E, R, T} (§III) with CSR
+// adjacency. Usage: AddEntity/AddTriple during construction, then Finalize()
+// exactly once; all queries require a finalized graph.
+//
+// AddTriple takes base-direction relations and materializes the inverse
+// triple automatically, so every (e_s, r, e_d) is reachable as
+// (e_d, r^{-1}, e_s) — the paper's reachability closure.
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+
+  // --- Construction ---
+  EntityId AddEntity(EntityType type);
+
+  // Adds (src, relation, dst) and its inverse. `relation` must be one of the
+  // 7 base relations. Duplicate triples are deduplicated at Finalize().
+  void AddTriple(EntityId src, Relation relation, EntityId dst);
+
+  // Assigns the (single) category label of an item (Amazon metadata, §V-A1).
+  void SetItemCategory(EntityId item, CategoryId category);
+
+  // Sorts, deduplicates and freezes the adjacency structure.
+  void Finalize();
+
+  // --- Queries (finalized graph only) ---
+  bool finalized() const { return finalized_; }
+  int64_t num_entities() const {
+    return static_cast<int64_t>(entity_types_.size());
+  }
+  // Directed edge count including materialized inverses.
+  int64_t num_edges() const;
+  // Unique base-direction triples |T| (i.e. num_edges()/2).
+  int64_t num_triples() const { return num_edges() / 2; }
+
+  EntityType TypeOf(EntityId e) const;
+  bool IsItem(EntityId e) const { return TypeOf(e) == EntityType::kItem; }
+  bool IsUser(EntityId e) const { return TypeOf(e) == EntityType::kUser; }
+
+  // All outgoing edges of `e` (base and inverse relations).
+  std::span<const Edge> Neighbors(EntityId e) const;
+  int64_t Degree(EntityId e) const;
+  bool HasEdge(EntityId src, Relation relation, EntityId dst) const;
+
+  // Entity ids of one type, in insertion order.
+  const std::vector<EntityId>& EntitiesOfType(EntityType type) const;
+  int64_t CountOfType(EntityType type) const {
+    return static_cast<int64_t>(EntitiesOfType(type).size());
+  }
+
+  // Category metadata. CategoryOf returns kInvalidCategory for non-items or
+  // unlabeled items.
+  CategoryId CategoryOf(EntityId e) const;
+  int64_t num_categories() const { return num_categories_; }
+  // Items carrying the given category label.
+  const std::vector<EntityId>& ItemsInCategory(CategoryId c) const;
+  // Mean number of items per category (the paper's RQ1 density statistic).
+  double MeanItemsPerCategory() const;
+
+ private:
+  bool finalized_ = false;
+  std::vector<EntityType> entity_types_;
+  std::vector<EntityId> by_type_[kNumEntityTypes];
+  // Pre-finalize edge buffer: (src, relation, dst) with inverses included.
+  std::vector<std::tuple<EntityId, Relation, EntityId>> pending_;
+  // CSR adjacency after Finalize().
+  std::vector<int64_t> offsets_;
+  std::vector<Edge> edges_;
+  // Per-entity category (kInvalidCategory unless an item with a label).
+  std::vector<CategoryId> categories_;
+  int64_t num_categories_ = 0;
+  std::vector<std::vector<EntityId>> items_in_category_;
+};
+
+}  // namespace kg
+}  // namespace cadrl
+
+#endif  // CADRL_KG_GRAPH_H_

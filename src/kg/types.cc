@@ -1,0 +1,46 @@
+#include "kg/types.h"
+
+#include <array>
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace kg {
+
+Relation InverseOf(Relation r) {
+  const int v = static_cast<int>(r);
+  CADRL_CHECK_GE(v, 0);
+  CADRL_CHECK_LT(v, kNumRelations);
+  return static_cast<Relation>(v < kNumBaseRelations ? v + kNumBaseRelations
+                                                     : v - kNumBaseRelations);
+}
+
+bool IsInverse(Relation r) {
+  const int v = static_cast<int>(r);
+  return v >= kNumBaseRelations && v < kNumRelations;
+}
+
+const std::string& RelationName(Relation r) {
+  static const std::array<std::string, kNumRelations + 1> kNames = {
+      "purchase",        "mention",         "described_by",
+      "produced_by",     "also_bought",     "also_viewed",
+      "bought_together", "purchase_of",     "mentioned_by",
+      "describes",       "produces",        "also_bought_of",
+      "also_viewed_of",  "bought_together_of", "self_loop"};
+  const int v = static_cast<int>(r);
+  CADRL_CHECK_GE(v, 0);
+  CADRL_CHECK_LE(v, kNumRelations);
+  return kNames[static_cast<size_t>(v)];
+}
+
+const std::string& EntityTypeName(EntityType t) {
+  static const std::array<std::string, kNumEntityTypes> kNames = {
+      "user", "item", "brand", "feature"};
+  const int v = static_cast<int>(t);
+  CADRL_CHECK_GE(v, 0);
+  CADRL_CHECK_LT(v, kNumEntityTypes);
+  return kNames[static_cast<size_t>(v)];
+}
+
+}  // namespace kg
+}  // namespace cadrl

@@ -1,0 +1,65 @@
+#ifndef CADRL_KG_TYPES_H_
+#define CADRL_KG_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cadrl {
+namespace kg {
+
+// Dense 0-based identifiers. Entities of all types share one id space;
+// categories live in their own space (the paper treats categories as
+// top-level ontology, not entities — Definition 4 / §V-A).
+using EntityId = int32_t;
+using CategoryId = int32_t;
+
+inline constexpr EntityId kInvalidEntity = -1;
+inline constexpr CategoryId kInvalidCategory = -1;
+
+// The four entity types of the Amazon KGs used in the paper (§V-A1).
+enum class EntityType : uint8_t {
+  kUser = 0,
+  kItem = 1,
+  kBrand = 2,
+  kFeature = 3,
+};
+
+inline constexpr int kNumEntityTypes = 4;
+
+// The 14 relation types: 7 base relations plus their inverses (§III).
+// kSelfLoop is the library's extra no-op relation backing the agents'
+// self-loop action; it is never stored in the graph.
+enum class Relation : int8_t {
+  kPurchase = 0,
+  kMention = 1,
+  kDescribedBy = 2,
+  kProducedBy = 3,
+  kAlsoBought = 4,
+  kAlsoViewed = 5,
+  kBoughtTogether = 6,
+  kPurchaseInv = 7,
+  kMentionInv = 8,
+  kDescribedByInv = 9,
+  kProducedByInv = 10,
+  kAlsoBoughtInv = 11,
+  kAlsoViewedInv = 12,
+  kBoughtTogetherInv = 13,
+  kSelfLoop = 14,
+};
+
+inline constexpr int kNumBaseRelations = 7;
+inline constexpr int kNumRelations = 14;  // excluding kSelfLoop
+
+// Returns the inverse relation (r^{-1} of the paper; involutive).
+Relation InverseOf(Relation r);
+
+// True for the 7 inverse-direction relations.
+bool IsInverse(Relation r);
+
+const std::string& RelationName(Relation r);
+const std::string& EntityTypeName(EntityType t);
+
+}  // namespace kg
+}  // namespace cadrl
+
+#endif  // CADRL_KG_TYPES_H_

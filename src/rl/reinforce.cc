@@ -1,0 +1,55 @@
+#include "rl/reinforce.h"
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace rl {
+
+std::vector<float> DiscountedReturns(const std::vector<float>& rewards,
+                                     float gamma) {
+  std::vector<float> returns(rewards.size());
+  float acc = 0.0f;
+  for (int64_t i = static_cast<int64_t>(rewards.size()) - 1; i >= 0; --i) {
+    acc = rewards[static_cast<size_t>(i)] + gamma * acc;
+    returns[static_cast<size_t>(i)] = acc;
+  }
+  return returns;
+}
+
+MovingBaseline::MovingBaseline(float momentum) : momentum_(momentum) {
+  CADRL_CHECK_GE(momentum, 0.0f);
+  CADRL_CHECK_LT(momentum, 1.0f);
+}
+
+float MovingBaseline::Update(float value) {
+  const float previous = initialized_ ? value_ : 0.0f;
+  if (!initialized_) {
+    value_ = value;
+    initialized_ = true;
+  } else {
+    value_ = momentum_ * value_ + (1.0f - momentum_) * value;
+  }
+  return previous;
+}
+
+ag::Tensor ReinforceLoss(const EpisodeTrace& trace, float gamma,
+                         float baseline, float entropy_coef) {
+  CADRL_CHECK_EQ(trace.log_probs.size(), trace.rewards.size());
+  if (trace.log_probs.empty()) return ag::Tensor();
+  const std::vector<float> returns = DiscountedReturns(trace.rewards, gamma);
+  std::vector<ag::Tensor> terms;
+  terms.reserve(trace.log_probs.size() + trace.entropies.size());
+  // Sum() normalizes every term to rank 0 regardless of how the caller
+  // produced its scalars (e.g. 1-element slices of a log-softmax).
+  for (size_t l = 0; l < trace.log_probs.size(); ++l) {
+    const float advantage = returns[l] - baseline;
+    terms.push_back(ag::MulScalar(ag::Sum(trace.log_probs[l]), -advantage));
+  }
+  for (const ag::Tensor& h : trace.entropies) {
+    terms.push_back(ag::MulScalar(ag::Sum(h), -entropy_coef));
+  }
+  return ag::AddN(terms);
+}
+
+}  // namespace rl
+}  // namespace cadrl

@@ -1,0 +1,58 @@
+#ifndef CADRL_RL_REINFORCE_H_
+#define CADRL_RL_REINFORCE_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/tensor.h"
+
+namespace cadrl {
+namespace rl {
+
+// Discounted returns G_l = sum_{t>=l} gamma^{t-l} r_t for one episode.
+std::vector<float> DiscountedReturns(const std::vector<float>& rewards,
+                                     float gamma);
+
+// Exponential moving-average reward baseline used to reduce the variance of
+// REINFORCE (Williams 1992), which the paper uses to update CADRL (§IV-C4).
+class MovingBaseline {
+ public:
+  explicit MovingBaseline(float momentum = 0.95f);
+
+  // Folds `value` into the running average and returns the *previous*
+  // baseline (so the current episode is not judged against itself).
+  float Update(float value);
+
+  float value() const { return value_; }
+
+ private:
+  float momentum_;
+  float value_ = 0.0f;
+  bool initialized_ = false;
+};
+
+// One agent's episode trace: per-step log pi(a_l | s_l) tensors (on the
+// tape), entropies, and scalar rewards. Accumulated during a rollout and
+// turned into a REINFORCE loss term afterwards.
+struct EpisodeTrace {
+  std::vector<ag::Tensor> log_probs;  // scalar tensors
+  std::vector<ag::Tensor> entropies;  // scalar tensors (optional, may be empty)
+  std::vector<float> rewards;
+
+  void Clear() {
+    log_probs.clear();
+    entropies.clear();
+    rewards.clear();
+  }
+};
+
+// The REINFORCE objective -sum_l log pi(a_l|s_l) * (G_l - baseline)
+// - entropy_coef * sum_l H_l, as a scalar tensor ready for Backward().
+// Returns an undefined tensor if the trace is empty.
+ag::Tensor ReinforceLoss(const EpisodeTrace& trace, float gamma,
+                         float baseline, float entropy_coef);
+
+}  // namespace rl
+}  // namespace cadrl
+
+#endif  // CADRL_RL_REINFORCE_H_

@@ -1,0 +1,58 @@
+#ifndef CADRL_UTIL_LOGGING_H_
+#define CADRL_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cadrl {
+namespace internal {
+
+// Accumulates a fatal message and aborts the process when destroyed.
+// Used by the CADRL_CHECK family; not part of the public API.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace cadrl
+
+// Invariant checks. These are enabled in all build types: the library's
+// correctness contracts are cheap relative to the numerical work they guard.
+#define CADRL_CHECK(cond)                                              \
+  if (!(cond))                                                         \
+  ::cadrl::internal::FatalLogMessage(__FILE__, __LINE__, #cond).stream()
+
+#define CADRL_CHECK_OP(a, b, op)                                       \
+  CADRL_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define CADRL_CHECK_EQ(a, b) CADRL_CHECK_OP(a, b, ==)
+#define CADRL_CHECK_NE(a, b) CADRL_CHECK_OP(a, b, !=)
+#define CADRL_CHECK_LT(a, b) CADRL_CHECK_OP(a, b, <)
+#define CADRL_CHECK_LE(a, b) CADRL_CHECK_OP(a, b, <=)
+#define CADRL_CHECK_GT(a, b) CADRL_CHECK_OP(a, b, >)
+#define CADRL_CHECK_GE(a, b) CADRL_CHECK_OP(a, b, >=)
+
+// Aborts on a non-OK status; for callers that cannot recover.
+#define CADRL_CHECK_OK(expr)                                           \
+  do {                                                                 \
+    ::cadrl::Status _st = (expr);                                      \
+    CADRL_CHECK(_st.ok()) << _st.ToString();                           \
+  } while (0)
+
+#endif  // CADRL_UTIL_LOGGING_H_

@@ -1,0 +1,65 @@
+#ifndef CADRL_UTIL_RNG_H_
+#define CADRL_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cadrl {
+
+// Deterministic pseudo-random number generator (xoshiro256**, seeded via
+// splitmix64). Every stochastic component in the library draws from an Rng
+// passed in by the caller, so whole experiments replay bit-identically from
+// a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  int64_t UniformInt(int64_t n);
+
+  // Standard normal via Box-Muller.
+  double Gaussian();
+
+  // Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Index in [0, weights.size()) drawn proportionally to the (non-negative)
+  // weights. If all weights are zero, draws uniformly.
+  int64_t SampleWeighted(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    CADRL_CHECK(v != nullptr);
+    for (int64_t i = static_cast<int64_t>(v->size()) - 1; i > 0; --i) {
+      int64_t j = UniformInt(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  // k distinct indices from [0, n), in arbitrary order. Requires k <= n.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace cadrl
+
+#endif  // CADRL_UTIL_RNG_H_

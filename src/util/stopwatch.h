@@ -1,0 +1,28 @@
+#ifndef CADRL_UTIL_STOPWATCH_H_
+#define CADRL_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cadrl {
+
+// Monotonic wall-clock timer used by the efficiency benchmarks (Table III).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cadrl
+
+#endif  // CADRL_UTIL_STOPWATCH_H_

@@ -1,0 +1,42 @@
+#ifndef CADRL_UTIL_TABLE_H_
+#define CADRL_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cadrl {
+
+// Builds aligned, plain-text tables in the format the benchmark harness uses
+// to mirror the paper's tables, and can export the same rows as CSV.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = "");
+
+  // Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> columns);
+
+  // Appends a data row; its width must match the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Fmt(double value, int precision = 3);
+
+  void Print(std::ostream& os) const;
+
+  // Writes the table (header + rows) as CSV to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cadrl
+
+#endif  // CADRL_UTIL_TABLE_H_

@@ -1,0 +1,212 @@
+// Property-style sweeps over the autograd engine: shape grids for the
+// linear-algebra ops, composition depth, optimizer convergence across
+// random problems, and LSTM sequence gradients.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "autograd/module.h"
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "grad_check.h"
+
+namespace cadrl {
+namespace ag {
+namespace {
+
+using ::cadrl::testing::ExpectGradientsMatch;
+
+// ---------- MatMul shape grid ----------
+
+class MatMulShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapeTest, ForwardMatchesNaive) {
+  auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 100 + k * 10 + n));
+  Tensor a = Tensor::Randn({m, k}, &rng, 1.0f);
+  Tensor b = Tensor::Randn({k, n}, &rng, 1.0f);
+  Tensor c = MatMul(a, b);
+  ASSERT_EQ(c.rows(), m);
+  ASSERT_EQ(c.cols(), n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float expected = 0.0f;
+      for (int x = 0; x < k; ++x) expected += a.at(i, x) * b.at(x, j);
+      EXPECT_NEAR(c.at(i, j), expected, 1e-4f);
+    }
+  }
+}
+
+TEST_P(MatMulShapeTest, GradientsMatchNumeric) {
+  auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 1000 + k * 100 + n));
+  Tensor a = Tensor::Randn({m, k}, &rng, 0.7f);
+  Tensor b = Tensor::Randn({k, n}, &rng, 0.7f);
+  ExpectGradientsMatch({a, b}, [&] { return Sum(Tanh(MatMul(a, b))); });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 4, 1),
+                      std::make_tuple(3, 2, 5), std::make_tuple(5, 5, 5),
+                      std::make_tuple(2, 7, 3)));
+
+// ---------- Concat arity sweep ----------
+
+class ConcatArityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConcatArityTest, GradientsRouteToEveryPart) {
+  const int parts = GetParam();
+  Rng rng(static_cast<uint64_t>(parts) + 71);
+  std::vector<Tensor> inputs;
+  for (int p = 0; p < parts; ++p) {
+    inputs.push_back(Tensor::Randn({2 + p % 3}, &rng, 1.0f));
+  }
+  ExpectGradientsMatch(inputs, [&] {
+    return Sum(Sigmoid(Concat(inputs)));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, ConcatArityTest, ::testing::Range(1, 6));
+
+// ---------- Deep composition ----------
+
+class DepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DepthTest, GradientSurvivesDeepChains) {
+  const int depth = GetParam();
+  Rng rng(static_cast<uint64_t>(depth) * 31 + 5);
+  Tensor x = Tensor::Randn({3}, &rng, 0.5f);
+  ExpectGradientsMatch(
+      {x},
+      [&] {
+        Tensor h = x;
+        for (int i = 0; i < depth; ++i) {
+          h = Tanh(AddScalar(MulScalar(h, 0.9f), 0.05f));
+        }
+        return Sum(h);
+      },
+      1e-2f, 5e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthTest, ::testing::Values(2, 5, 10, 20));
+
+// ---------- Softmax invariances ----------
+
+class SoftmaxInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxInvarianceTest, ShiftInvariant) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 17);
+  Tensor logits = Tensor::Randn({6}, &rng, 2.0f);
+  Tensor shifted = AddScalar(logits, 123.0f);
+  Tensor p1 = Softmax(logits);
+  Tensor p2 = Softmax(shifted);
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(p1.at(i), p2.at(i), 1e-5f);
+  }
+}
+
+TEST_P(SoftmaxInvarianceTest, EntropyBounds) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 37);
+  const int n = 5;
+  Tensor logits = Tensor::Randn({n}, &rng, 1.5f);
+  const Tensor p = Softmax(logits);
+  const Tensor lp = LogSoftmax(logits);
+  float entropy = 0.0f;
+  for (int64_t i = 0; i < n; ++i) entropy -= p.at(i) * lp.at(i);
+  EXPECT_GE(entropy, -1e-5f);
+  EXPECT_LE(entropy, std::log(static_cast<float>(n)) + 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftmaxInvarianceTest,
+                         ::testing::Range(0, 5));
+
+// ---------- Optimizer convergence sweep ----------
+
+class AdamConvergenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdamConvergenceTest, SolvesRandomLeastSquares) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 13 + 3);
+  // Minimize ||A w - b||^2 for a random well-conditioned 3x3 system.
+  Tensor a = Tensor::Randn({3, 3}, &rng, 1.0f);
+  for (int i = 0; i < 3; ++i) a.data()[i * 3 + i] += 2.0f;  // diag dominance
+  Tensor target = Tensor::Randn({3}, &rng, 1.0f);
+  Tensor w = Tensor::Zeros({3}, /*requires_grad=*/true);
+  Adam opt({w}, 0.05f);
+  float initial_loss = -1.0f;
+  float final_loss = 0.0f;
+  for (int iter = 0; iter < 800; ++iter) {
+    opt.ZeroGrad();
+    Tensor err = Sub(MatMul(a, w), target);
+    Tensor loss = Sum(Mul(err, err));
+    Backward(loss);
+    opt.Step();
+    if (iter == 0) initial_loss = loss.item();
+    final_loss = loss.item();
+  }
+  EXPECT_LT(final_loss, 0.02f * initial_loss)
+      << "seed " << GetParam() << ": " << initial_loss << " -> "
+      << final_loss;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdamConvergenceTest, ::testing::Range(0, 4));
+
+// ---------- LSTM sequence gradients ----------
+
+class LstmSequenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LstmSequenceTest, GradCheckOverSequence) {
+  const int steps = GetParam();
+  Rng rng(static_cast<uint64_t>(steps) * 7 + 11);
+  LstmCell cell(2, 3, &rng);
+  std::vector<Tensor> xs;
+  for (int t = 0; t < steps; ++t) {
+    xs.push_back(Tensor::Randn({2}, &rng, 0.8f));
+  }
+  ExpectGradientsMatch(
+      xs,
+      [&] {
+        auto state = cell.InitialState();
+        for (const Tensor& x : xs) state = cell.Forward(x, state);
+        return Sum(state.h);
+      },
+      1e-2f, 6e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, LstmSequenceTest,
+                         ::testing::Values(1, 2, 4));
+
+// ---------- Reshape / Scale ----------
+
+TEST(ReshapeTest, ValuePreservingAndDifferentiable) {
+  Rng rng(91);
+  Tensor a = Tensor::Randn({6}, &rng, 1.0f);
+  Tensor m = Reshape(a, {2, 3});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_FLOAT_EQ(m.at(1, 0), a.at(3));
+  ExpectGradientsMatch({a}, [&] {
+    return Sum(MatMul(Reshape(a, {2, 3}), Tensor::Full({3}, 1.0f)));
+  });
+}
+
+TEST(ScaleOpTest, GradChecksBothArguments) {
+  Rng rng(92);
+  Tensor v = Tensor::Randn({4}, &rng, 1.0f);
+  Tensor s = Tensor::Randn({1}, &rng, 1.0f);
+  ExpectGradientsMatch({v, s}, [&] { return Sum(Scale(v, s)); });
+}
+
+TEST(ScaleOpTest, MatchesMulScalar) {
+  Tensor v = Tensor::FromVector({1, 2, 3}, {3});
+  Tensor s = Tensor::FromVector({2.5f}, {1});
+  Tensor a = Scale(v, s);
+  Tensor b = MulScalar(v, 2.5f);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(a.at(i), b.at(i));
+}
+
+}  // namespace
+}  // namespace ag
+}  // namespace cadrl

@@ -1,0 +1,294 @@
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/cafe.h"
+#include "baselines/cke.h"
+#include "baselines/common.h"
+#include "baselines/deepconn.h"
+#include "baselines/heteroembed.h"
+#include "baselines/kgat.h"
+#include "baselines/ripplenet.h"
+#include "baselines/rl_baselines.h"
+#include "baselines/rule_mining.h"
+#include "baselines/rulerec.h"
+#include "data/generator.h"
+#include "eval/evaluator.h"
+
+namespace cadrl {
+namespace baselines {
+namespace {
+
+embed::TransEOptions FastTransE() {
+  embed::TransEOptions o;
+  o.dim = 12;
+  o.epochs = 4;
+  return o;
+}
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(
+        data::MustGenerateDataset(data::SyntheticConfig::Tiny()));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  // Common contract every baseline must satisfy.
+  static void CheckContract(eval::Recommender* model,
+                            const std::string& expected_name) {
+    EXPECT_EQ(model->name(), expected_name);
+    ASSERT_TRUE(model->Fit(*dataset_).ok());
+    const kg::EntityId user = dataset_->users[0];
+    auto recs = model->Recommend(user, 10);
+    ASSERT_FALSE(recs.empty()) << expected_name;
+    EXPECT_LE(recs.size(), 10u);
+    TrainIndex index(*dataset_);
+    std::set<kg::EntityId> seen;
+    for (size_t i = 0; i < recs.size(); ++i) {
+      EXPECT_TRUE(dataset_->graph.IsItem(recs[i].item)) << expected_name;
+      EXPECT_FALSE(index.IsTrainItem(user, recs[i].item))
+          << expected_name << " leaked a train item";
+      EXPECT_TRUE(std::isfinite(recs[i].score)) << expected_name;
+      EXPECT_TRUE(seen.insert(recs[i].item).second)
+          << expected_name << " returned duplicates";
+      if (i > 0) EXPECT_GE(recs[i - 1].score, recs[i].score) << expected_name;
+    }
+  }
+
+  static data::Dataset* dataset_;
+};
+
+data::Dataset* BaselineFixture::dataset_ = nullptr;
+
+// ---------- Contract tests, one per baseline ----------
+
+TEST_F(BaselineFixture, HeteroEmbedContract) {
+  HeteroEmbedOptions o;
+  o.transe = FastTransE();
+  HeteroEmbedRecommender model(o);
+  CheckContract(&model, "HeteroEmbed");
+  // Paths attached and valid.
+  auto recs = model.Recommend(dataset_->users[1], 5);
+  int with_paths = 0;
+  for (const auto& rec : recs) {
+    if (rec.path.empty()) continue;
+    ++with_paths;
+    kg::EntityId current = rec.path.user;
+    for (const auto& step : rec.path.steps) {
+      EXPECT_TRUE(
+          dataset_->graph.HasEdge(current, step.relation, step.entity));
+      current = step.entity;
+    }
+    EXPECT_EQ(current, rec.item);
+  }
+  EXPECT_GT(with_paths, 0);
+}
+
+TEST_F(BaselineFixture, CkeContract) {
+  CkeOptions o;
+  o.transe = FastTransE();
+  o.epochs = 6;
+  CkeRecommender model(o);
+  CheckContract(&model, "CKE");
+}
+
+TEST_F(BaselineFixture, KgatContract) {
+  KgatOptions o;
+  o.transe = FastTransE();
+  KgatRecommender model(o);
+  CheckContract(&model, "KGAT");
+}
+
+TEST_F(BaselineFixture, RippleNetContract) {
+  RippleNetOptions o;
+  o.transe = FastTransE();
+  RippleNetRecommender model(o);
+  CheckContract(&model, "RippleNet");
+}
+
+TEST_F(BaselineFixture, DeepConnContract) {
+  DeepConnOptions o;
+  o.epochs = 6;
+  DeepConnRecommender model(o);
+  CheckContract(&model, "DeepCoNN");
+}
+
+TEST_F(BaselineFixture, RuleRecContract) {
+  RuleRecOptions o;
+  o.mining_pairs = 30;
+  o.epochs = 8;
+  RuleRecRecommender model(o);
+  CheckContract(&model, "RuleRec");
+  EXPECT_FALSE(model.rules().empty());
+  EXPECT_EQ(model.rules().size(), model.rule_weights().size());
+  // The trivial single-hop purchase rule must have been excluded.
+  for (const Rule& rule : model.rules()) {
+    EXPECT_NE(rule, Rule{kg::Relation::kPurchase});
+  }
+}
+
+TEST_F(BaselineFixture, CafeContract) {
+  CafeOptions o;
+  o.transe = FastTransE();
+  CafeRecommender model(o);
+  CheckContract(&model, "CAFE");
+  EXPECT_FALSE(model.ProfileOf(dataset_->users[0]).empty());
+}
+
+TEST_F(BaselineFixture, RlBaselineFactoriesContract) {
+  RlBudget budget;
+  budget.dim = 12;
+  budget.transe_epochs = 3;
+  budget.cggnn_epochs = 2;
+  budget.episodes_per_user = 1;
+  budget.beam_width = 8;
+  budget.policy_hidden = 16;
+
+  struct Case {
+    std::unique_ptr<core::CadrlRecommender> model;
+    std::string name;
+  };
+  std::vector<Case> cases;
+  cases.push_back({MakePgpr(budget), "PGPR"});
+  cases.push_back({MakeAdac(budget), "ADAC"});
+  cases.push_back({MakeUcpr(budget), "UCPR"});
+  cases.push_back({MakeRemr(budget), "ReMR"});
+  cases.push_back({MakeInfer(budget), "INFER"});
+  cases.push_back({MakeCoger(budget), "CogER"});
+  for (auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    CheckContract(c.model.get(), c.name);
+  }
+}
+
+TEST_F(BaselineFixture, AblationFactoriesHaveExpectedSwitches) {
+  RlBudget budget;
+  auto wo_darl = MakeCadrlWithoutDarl(budget);
+  EXPECT_FALSE(wo_darl->options().use_dual_agent);
+  auto wo_cggnn = MakeCadrlWithoutCggnn(budget);
+  EXPECT_FALSE(wo_cggnn->options().use_cggnn);
+  auto rggnn = MakeRggnn(budget);
+  EXPECT_FALSE(rggnn->options().cggnn.use_ggnn);
+  EXPECT_TRUE(rggnn->options().cggnn.use_cgan);
+  auto rcgan = MakeRcgan(budget);
+  EXPECT_FALSE(rcgan->options().cggnn.use_cgan);
+  auto rshi = MakeRshi(budget);
+  EXPECT_FALSE(rshi->options().share_history);
+  EXPECT_TRUE(rshi->options().use_partner_rewards);
+  auto rcrm = MakeRcrm(budget);
+  EXPECT_FALSE(rcrm->options().use_partner_rewards);
+  EXPECT_TRUE(rcrm->options().share_history);
+}
+
+TEST_F(BaselineFixture, PaperHyperparametersPerDataset) {
+  RlBudget budget;
+  auto clothing = MakeCadrlForDataset(budget, "Clothing");
+  EXPECT_EQ(clothing->options().max_path_length, 7);
+  EXPECT_FLOAT_EQ(clothing->options().cggnn.delta, 0.3f);
+  auto beauty = MakeCadrlForDataset(budget, "Beauty");
+  EXPECT_EQ(beauty->options().max_path_length, 6);
+  EXPECT_FLOAT_EQ(beauty->options().alpha_pe, 0.6f);
+  auto phones = MakeCadrlForDataset(budget, "Cell_Phones");
+  EXPECT_EQ(phones->options().max_path_length, 6);
+  EXPECT_FLOAT_EQ(phones->options().alpha_pc, 0.5f);
+}
+
+// ---------- Rule mining ----------
+
+TEST(RuleMiningTest, FindsPlantedPattern) {
+  kg::KnowledgeGraph g;
+  const kg::EntityId u = g.AddEntity(kg::EntityType::kUser);
+  const kg::EntityId a = g.AddEntity(kg::EntityType::kItem);
+  const kg::EntityId b = g.AddEntity(kg::EntityType::kItem);
+  g.SetItemCategory(a, 0);
+  g.SetItemCategory(b, 0);
+  g.AddTriple(u, kg::Relation::kPurchase, a);
+  g.AddTriple(a, kg::Relation::kAlsoBought, b);
+  g.Finalize();
+  std::map<Rule, int64_t> counts;
+  CollectRulePatterns(g, u, b, 2, &counts, 1000);
+  const Rule expected = {kg::Relation::kPurchase, kg::Relation::kAlsoBought};
+  ASSERT_TRUE(counts.count(expected) > 0);
+  EXPECT_EQ(counts[expected], 1);
+}
+
+TEST(RuleMiningTest, CountRuleEndpointsFollowsRelations) {
+  kg::KnowledgeGraph g;
+  const kg::EntityId u = g.AddEntity(kg::EntityType::kUser);
+  const kg::EntityId a = g.AddEntity(kg::EntityType::kItem);
+  const kg::EntityId b = g.AddEntity(kg::EntityType::kItem);
+  const kg::EntityId c = g.AddEntity(kg::EntityType::kItem);
+  for (auto item : {a, b, c}) g.SetItemCategory(item, 0);
+  g.AddTriple(u, kg::Relation::kPurchase, a);
+  g.AddTriple(a, kg::Relation::kAlsoBought, b);
+  g.AddTriple(a, kg::Relation::kAlsoBought, c);
+  g.AddTriple(a, kg::Relation::kAlsoViewed, b);
+  g.Finalize();
+  auto counts = CountRuleEndpoints(
+      g, u, {kg::Relation::kPurchase, kg::Relation::kAlsoBought}, 1000);
+  EXPECT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[b], 1);
+  EXPECT_EQ(counts[c], 1);
+  EXPECT_EQ(counts.count(a), 0u);
+}
+
+TEST(RuleMiningTest, BudgetBoundsWork) {
+  kg::KnowledgeGraph g;
+  const kg::EntityId u = g.AddEntity(kg::EntityType::kUser);
+  const kg::EntityId a = g.AddEntity(kg::EntityType::kItem);
+  g.SetItemCategory(a, 0);
+  g.AddTriple(u, kg::Relation::kPurchase, a);
+  g.Finalize();
+  auto counts = CountRuleEndpoints(g, u, {kg::Relation::kPurchase}, 1);
+  EXPECT_TRUE(counts.empty()) << "budget of 1 expires before any expansion";
+}
+
+TEST(RuleMiningTest, RuleToStringRendersRelations) {
+  EXPECT_EQ(
+      RuleToString({kg::Relation::kPurchase, kg::Relation::kAlsoBought}),
+      "purchase > also_bought");
+}
+
+// ---------- Shared helpers ----------
+
+TEST_F(BaselineFixture, TrainIndexMatchesDataset) {
+  TrainIndex index(*dataset_);
+  const kg::EntityId user = dataset_->users[0];
+  for (kg::EntityId item : dataset_->train_items[0]) {
+    EXPECT_TRUE(index.IsTrainItem(user, item));
+  }
+  for (kg::EntityId item : dataset_->test_items[0]) {
+    EXPECT_FALSE(index.IsTrainItem(user, item));
+  }
+  EXPECT_EQ(index.TrainItems(user), dataset_->train_items[0]);
+  EXPECT_TRUE(index.TrainItems(-1).empty());
+}
+
+TEST_F(BaselineFixture, ShortestPathReachesTrainItemInOneHop) {
+  const kg::EntityId user = dataset_->users[0];
+  const kg::EntityId item = dataset_->train_items[0][0];
+  auto path = ShortestPath(dataset_->graph, user, item, 3);
+  ASSERT_EQ(path.steps.size(), 1u);
+  EXPECT_EQ(path.steps[0].relation, kg::Relation::kPurchase);
+  EXPECT_EQ(path.endpoint(), item);
+}
+
+TEST_F(BaselineFixture, ShortestPathUnreachableIsEmpty) {
+  kg::KnowledgeGraph g;
+  const kg::EntityId u = g.AddEntity(kg::EntityType::kUser);
+  const kg::EntityId v = g.AddEntity(kg::EntityType::kItem);
+  g.SetItemCategory(v, 0);
+  g.Finalize();
+  auto path = ShortestPath(g, u, v, 5);
+  EXPECT_TRUE(path.empty());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace cadrl

@@ -1,0 +1,237 @@
+// Behavioral tests of the CADRL training options added during calibration
+// (DESIGN.md §3.0): demonstrations, demand fusion, potential shaping, and
+// the validation-driven score-mode selection.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/rl_baselines.h"
+#include "core/cadrl.h"
+#include "data/generator.h"
+#include "eval/evaluator.h"
+
+namespace cadrl {
+namespace core {
+namespace {
+
+CadrlOptions TinyOptions() {
+  CadrlOptions o;
+  o.transe.dim = 12;
+  o.transe.epochs = 3;
+  o.cggnn.epochs = 3;
+  o.cggnn.pairs_per_epoch = 64;
+  o.policy_hidden = 16;
+  o.episodes_per_user = 1;
+  o.max_path_length = 4;
+  o.beam_width = 8;
+  o.beam_expand = 4;
+  o.seed = 23;
+  return o;
+}
+
+class BehaviorFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(
+        data::MustGenerateDataset(data::SyntheticConfig::Tiny()));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static data::Dataset* dataset_;
+};
+
+data::Dataset* BehaviorFixture::dataset_ = nullptr;
+
+TEST_F(BehaviorFixture, ScoreModeSelectionPicksAValidMode) {
+  CadrlOptions o = TinyOptions();
+  CadrlRecommender model(o);
+  ASSERT_TRUE(model.Fit(*dataset_).ok());
+  ASSERT_NE(model.store(), nullptr);
+  const auto mode = model.store()->score_mode();
+  EXPECT_TRUE(mode == EmbeddingStore::ScoreMode::kRawTranslation ||
+              mode == EmbeddingStore::ScoreMode::kDemandTranslation ||
+              mode == EmbeddingStore::ScoreMode::kDotProduct ||
+              mode == EmbeddingStore::ScoreMode::kEnsemble);
+}
+
+TEST_F(BehaviorFixture, WithoutCggnnStoreStaysTranslation) {
+  CadrlOptions o = TinyOptions();
+  o.use_cggnn = false;
+  CadrlRecommender model(o);
+  ASSERT_TRUE(model.Fit(*dataset_).ok());
+  EXPECT_EQ(model.store()->score_mode(),
+            EmbeddingStore::ScoreMode::kTranslation);
+}
+
+TEST_F(BehaviorFixture, DemonstrationWeightTrainsAndRecommends) {
+  CadrlOptions o = TinyOptions();
+  o.use_cggnn = false;
+  o.demonstration_weight = 0.5f;
+  CadrlRecommender model(o, "ADAC-like");
+  ASSERT_TRUE(model.Fit(*dataset_).ok());
+  EXPECT_FALSE(model.Recommend(dataset_->users[0], 5).empty());
+}
+
+TEST_F(BehaviorFixture, UserDemandChangesUserRows) {
+  CadrlOptions o = TinyOptions();
+  o.use_cggnn = false;
+  CadrlOptions with_demand = o;
+  with_demand.use_user_demand = true;
+  CadrlRecommender plain(o), fused(with_demand);
+  ASSERT_TRUE(plain.Fit(*dataset_).ok());
+  ASSERT_TRUE(fused.Fit(*dataset_).ok());
+  const kg::EntityId user = dataset_->users[0];
+  const auto a = plain.store()->Entity(user);
+  const auto b = fused.store()->Entity(user);
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > 1e-7f) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(BehaviorFixture, PotentialShapingOffStillTrains) {
+  CadrlOptions o = TinyOptions();
+  o.potential_shaping = 0.0f;
+  CadrlRecommender model(o);
+  ASSERT_TRUE(model.Fit(*dataset_).ok());
+  EXPECT_FALSE(model.Recommend(dataset_->users[1], 5).empty());
+}
+
+TEST_F(BehaviorFixture, ZeroEpisodesSkipsRlButStillRecommends) {
+  // With no policy training, inference still runs on the initialized
+  // policy (beam guidance carries the search).
+  CadrlOptions o = TinyOptions();
+  o.episodes_per_user = 0;
+  CadrlRecommender model(o);
+  ASSERT_TRUE(model.Fit(*dataset_).ok());
+  EXPECT_TRUE(model.epoch_rewards().empty());
+  EXPECT_FALSE(model.Recommend(dataset_->users[0], 5).empty());
+}
+
+TEST_F(BehaviorFixture, BeamGuidanceZeroStillWorks) {
+  CadrlOptions o = TinyOptions();
+  o.beam_guidance_weight = 0.0f;
+  CadrlRecommender model(o);
+  ASSERT_TRUE(model.Fit(*dataset_).ok());
+  EXPECT_FALSE(model.Recommend(dataset_->users[2], 5).empty());
+}
+
+TEST_F(BehaviorFixture, FitOnEmptyDatasetFails) {
+  data::Dataset empty;
+  empty.graph.Finalize();
+  CadrlRecommender model(TinyOptions());
+  EXPECT_TRUE(model.Fit(empty).IsInvalidArgument());
+}
+
+TEST_F(BehaviorFixture, SaveLoadRoundTripReproducesRecommendations) {
+  CadrlOptions o = TinyOptions();
+  CadrlRecommender trained(o);
+  ASSERT_TRUE(trained.Fit(*dataset_).ok());
+  const std::string path = ::testing::TempDir() + "/cadrl_model_rt.txt";
+  ASSERT_TRUE(trained.SaveModel(path).ok());
+
+  CadrlRecommender loaded(o);
+  ASSERT_TRUE(loaded.LoadModel(*dataset_, path).ok());
+  EXPECT_EQ(loaded.store()->score_mode(), trained.store()->score_mode());
+  for (kg::EntityId user : {dataset_->users[0], dataset_->users[3]}) {
+    auto a = trained.Recommend(user, 10);
+    auto b = loaded.Recommend(user, 10);
+    ASSERT_EQ(a.size(), b.size()) << "user " << user;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].item, b[i].item);
+      EXPECT_NEAR(a[i].score, b[i].score, 1e-6);
+      EXPECT_EQ(a[i].path.steps, b[i].path.steps);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(BehaviorFixture, SaveBeforeFitFails) {
+  CadrlRecommender model(TinyOptions());
+  EXPECT_TRUE(model.SaveModel(::testing::TempDir() + "/never.txt")
+                  .IsFailedPrecondition());
+}
+
+TEST_F(BehaviorFixture, LoadMissingModelIsIOError) {
+  CadrlRecommender model(TinyOptions());
+  EXPECT_TRUE(
+      model.LoadModel(*dataset_, "/nonexistent/model.txt").IsIOError());
+}
+
+TEST_F(BehaviorFixture, LoadWithMismatchedDimIsCorruption) {
+  CadrlOptions o = TinyOptions();
+  CadrlRecommender trained(o);
+  ASSERT_TRUE(trained.Fit(*dataset_).ok());
+  const std::string path = ::testing::TempDir() + "/cadrl_model_dim.txt";
+  ASSERT_TRUE(trained.SaveModel(path).ok());
+  CadrlOptions other = TinyOptions();
+  other.transe.dim = o.transe.dim + 4;
+  CadrlRecommender loaded(other);
+  EXPECT_TRUE(loaded.LoadModel(*dataset_, path).IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST_F(BehaviorFixture, LoadTruncatedModelIsCorruption) {
+  CadrlOptions o = TinyOptions();
+  CadrlRecommender trained(o);
+  ASSERT_TRUE(trained.Fit(*dataset_).ok());
+  const std::string path = ::testing::TempDir() + "/cadrl_model_trunc.txt";
+  ASSERT_TRUE(trained.SaveModel(path).ok());
+  {
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::trunc);
+    out << content.substr(0, content.size() / 2);
+  }
+  CadrlRecommender loaded(o);
+  EXPECT_FALSE(loaded.LoadModel(*dataset_, path).ok());
+  std::remove(path.c_str());
+}
+
+// Interest evolution: later train/test splits must actually differ in
+// category composition (the workload property Fig 5 depends on).
+TEST(InterestEvolutionTest, TestItemsSkewTowardLaterCategories) {
+  data::SyntheticConfig with = data::SyntheticConfig::Tiny();
+  with.interest_evolution = 1.5;
+  data::SyntheticConfig without = data::SyntheticConfig::Tiny();
+  without.interest_evolution = 0.0;
+  auto overlap = [](const data::Dataset& d) {
+    // Mean fraction of a user's test items whose category already appears
+    // among the user's train categories.
+    double total = 0.0;
+    int64_t users = 0;
+    for (size_t u = 0; u < d.users.size(); ++u) {
+      std::set<kg::CategoryId> train_cats;
+      for (auto item : d.train_items[u]) {
+        train_cats.insert(d.graph.CategoryOf(item));
+      }
+      if (d.test_items[u].empty()) continue;
+      int in = 0;
+      for (auto item : d.test_items[u]) {
+        in += train_cats.count(d.graph.CategoryOf(item)) > 0 ? 1 : 0;
+      }
+      total += static_cast<double>(in) /
+               static_cast<double>(d.test_items[u].size());
+      ++users;
+    }
+    return total / static_cast<double>(users);
+  };
+  const double evolving = overlap(data::MustGenerateDataset(with));
+  const double random_split = overlap(data::MustGenerateDataset(without));
+  EXPECT_LT(evolving, random_split)
+      << "with interest evolution, test items must more often leave the "
+         "training categories (evolving="
+      << evolving << ", random=" << random_split << ")";
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace cadrl

@@ -1,0 +1,235 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/cadrl.h"
+#include "data/generator.h"
+#include "eval/evaluator.h"
+
+namespace cadrl {
+namespace core {
+namespace {
+
+// Small, fast training budget shared by the integration tests.
+CadrlOptions FastOptions() {
+  CadrlOptions o;
+  o.transe.dim = 12;
+  o.transe.epochs = 4;
+  o.cggnn.ggnn_layers = 1;
+  o.cggnn.cgan_layers = 1;
+  o.cggnn.epochs = 4;
+  o.cggnn.pairs_per_epoch = 64;
+  o.policy_hidden = 24;
+  o.episodes_per_user = 3;
+  o.max_path_length = 4;
+  o.beam_width = 10;
+  o.beam_expand = 4;
+  o.seed = 17;
+  return o;
+}
+
+class CadrlIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(
+        data::MustGenerateDataset(data::SyntheticConfig::Tiny()));
+    model_ = new CadrlRecommender(FastOptions());
+    ASSERT_TRUE(model_->Fit(*dataset_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete dataset_;
+    model_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static data::Dataset* dataset_;
+  static CadrlRecommender* model_;
+};
+
+data::Dataset* CadrlIntegrationTest::dataset_ = nullptr;
+CadrlRecommender* CadrlIntegrationTest::model_ = nullptr;
+
+TEST_F(CadrlIntegrationTest, RecommendReturnsUnseenItems) {
+  const kg::EntityId user = dataset_->users[0];
+  auto recs = model_->Recommend(user, 10);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_LE(recs.size(), 10u);
+  std::set<kg::EntityId> train(dataset_->train_items[0].begin(),
+                               dataset_->train_items[0].end());
+  std::set<kg::EntityId> seen;
+  for (const auto& rec : recs) {
+    EXPECT_TRUE(dataset_->graph.IsItem(rec.item));
+    EXPECT_EQ(train.count(rec.item), 0u) << "train items must be excluded";
+    EXPECT_TRUE(seen.insert(rec.item).second) << "no duplicate items";
+  }
+}
+
+TEST_F(CadrlIntegrationTest, RecommendationsAreSortedByScore) {
+  auto recs = model_->Recommend(dataset_->users[1], 10);
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_GE(recs[i - 1].score, recs[i].score);
+  }
+}
+
+TEST_F(CadrlIntegrationTest, PathsAreValidKgWalks) {
+  const kg::EntityId user = dataset_->users[2];
+  auto recs = model_->Recommend(user, 5);
+  ASSERT_FALSE(recs.empty());
+  for (const auto& rec : recs) {
+    ASSERT_FALSE(rec.path.empty());
+    EXPECT_EQ(rec.path.user, user);
+    EXPECT_EQ(rec.path.endpoint(), rec.item);
+    kg::EntityId current = user;
+    for (const auto& step : rec.path.steps) {
+      ASSERT_NE(step.relation, kg::Relation::kSelfLoop)
+          << "output paths strip self-loops";
+      EXPECT_TRUE(
+          dataset_->graph.HasEdge(current, step.relation, step.entity))
+          << eval::FormatPath(dataset_->graph, rec.path);
+      current = step.entity;
+    }
+    EXPECT_LE(static_cast<int>(rec.path.steps.size()),
+              model_->options().max_path_length);
+  }
+}
+
+TEST_F(CadrlIntegrationTest, FindPathsReturnsPaths) {
+  auto paths = model_->FindPaths(dataset_->users[3], 5);
+  EXPECT_FALSE(paths.empty());
+  EXPECT_LE(paths.size(), 5u);
+  EXPECT_TRUE(model_->SupportsPaths());
+}
+
+TEST_F(CadrlIntegrationTest, DeterministicInference) {
+  auto a = model_->Recommend(dataset_->users[4], 5);
+  auto b = model_->Recommend(dataset_->users[4], 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+}
+
+TEST_F(CadrlIntegrationTest, TracksEpochRewards) {
+  EXPECT_EQ(model_->epoch_rewards().size(), 3u);
+  for (float r : model_->epoch_rewards()) {
+    EXPECT_GE(r, 0.0f);
+    EXPECT_TRUE(std::isfinite(r));
+  }
+}
+
+TEST_F(CadrlIntegrationTest, BeatsRandomRecommendations) {
+  // Evaluate CADRL against a random ranker on the same dataset.
+  eval::EvalResult cadrl_result =
+      eval::EvaluateRecommender(model_, *dataset_, 10);
+  EXPECT_GT(cadrl_result.users_evaluated, 0);
+
+  class RandomRecommender : public eval::Recommender {
+   public:
+    std::string name() const override { return "Random"; }
+    Status Fit(const data::Dataset& dataset) override {
+      dataset_ = &dataset;
+      return Status::OK();
+    }
+    std::vector<eval::Recommendation> Recommend(kg::EntityId user,
+                                                int k) override {
+      Rng rng(static_cast<uint64_t>(user) * 997 + 123);
+      const auto& items =
+          dataset_->graph.EntitiesOfType(kg::EntityType::kItem);
+      std::vector<eval::Recommendation> out;
+      auto sample = rng.SampleWithoutReplacement(
+          static_cast<int64_t>(items.size()), k);
+      for (int64_t idx : sample) {
+        out.push_back({items[static_cast<size_t>(idx)], 0.0, {}});
+      }
+      return out;
+    }
+    const data::Dataset* dataset_ = nullptr;
+  };
+  RandomRecommender random;
+  ASSERT_TRUE(random.Fit(*dataset_).ok());
+  eval::EvalResult random_result =
+      eval::EvaluateRecommender(&random, *dataset_, 10);
+  EXPECT_GT(cadrl_result.ndcg, random_result.ndcg)
+      << "CADRL " << cadrl_result.ndcg << " vs random " << random_result.ndcg;
+}
+
+// ---------- Ablation switches ----------
+
+TEST(CadrlAblationTest, SingleAgentVariantRunsWithoutCategoryTrace) {
+  data::Dataset dataset =
+      data::MustGenerateDataset(data::SyntheticConfig::Tiny());
+  CadrlOptions o = FastOptions();
+  o.use_dual_agent = false;
+  o.episodes_per_user = 1;
+  CadrlRecommender model(o, "CADRL w/o DARL");
+  ASSERT_TRUE(model.Fit(dataset).ok());
+  auto recs = model.Recommend(dataset.users[0], 5);
+  EXPECT_FALSE(recs.empty());
+  EXPECT_EQ(model.name(), "CADRL w/o DARL");
+}
+
+TEST(CadrlAblationTest, NoCggnnVariantRuns) {
+  data::Dataset dataset =
+      data::MustGenerateDataset(data::SyntheticConfig::Tiny());
+  CadrlOptions o = FastOptions();
+  o.use_cggnn = false;
+  o.episodes_per_user = 1;
+  CadrlRecommender model(o, "CADRL w/o CGGNN");
+  ASSERT_TRUE(model.Fit(dataset).ok());
+  EXPECT_FALSE(model.Recommend(dataset.users[0], 5).empty());
+}
+
+TEST(CadrlAblationTest, RshiAndRcrmVariantsRun) {
+  data::Dataset dataset =
+      data::MustGenerateDataset(data::SyntheticConfig::Tiny());
+  CadrlOptions o = FastOptions();
+  o.episodes_per_user = 1;
+  o.share_history = false;
+  CadrlRecommender rshi(o, "RSHI");
+  ASSERT_TRUE(rshi.Fit(dataset).ok());
+  EXPECT_FALSE(rshi.Recommend(dataset.users[0], 5).empty());
+
+  CadrlOptions o2 = FastOptions();
+  o2.episodes_per_user = 1;
+  o2.use_partner_rewards = false;
+  CadrlRecommender rcrm(o2, "RCRM");
+  ASSERT_TRUE(rcrm.Fit(dataset).ok());
+  EXPECT_FALSE(rcrm.Recommend(dataset.users[0], 5).empty());
+}
+
+TEST(CadrlOptionsTest, Validation) {
+  CadrlOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.max_path_length = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = CadrlOptions();
+  o.max_entity_actions = 1;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = CadrlOptions();
+  o.gamma = 0.0f;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = CadrlOptions();
+  o.beam_width = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(CadrlPathLengthTest, LongHorizonEpisodesWork) {
+  data::Dataset dataset =
+      data::MustGenerateDataset(data::SyntheticConfig::Tiny());
+  CadrlOptions o = FastOptions();
+  o.max_path_length = 7;
+  o.episodes_per_user = 1;
+  CadrlRecommender model(o);
+  ASSERT_TRUE(model.Fit(dataset).ok());
+  auto recs = model.Recommend(dataset.users[0], 5);
+  EXPECT_FALSE(recs.empty());
+  for (const auto& rec : recs) {
+    EXPECT_LE(static_cast<int>(rec.path.steps.size()), 7);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace cadrl

@@ -1,0 +1,443 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/cggnn.h"
+#include "core/embedding_store.h"
+#include "core/environment.h"
+#include "core/policy.h"
+#include "core/reward.h"
+#include "data/generator.h"
+
+namespace cadrl {
+namespace core {
+namespace {
+
+class CoreFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(
+        data::MustGenerateDataset(data::SyntheticConfig::Tiny()));
+    embed::TransEOptions topt;
+    topt.dim = 12;
+    topt.epochs = 4;
+    transe_ = new embed::TransEModel(
+        embed::TransEModel::Train(dataset_->graph, topt));
+    store_ = new EmbeddingStore(&dataset_->graph, transe_);
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    delete transe_;
+    delete dataset_;
+    store_ = nullptr;
+    transe_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static data::Dataset* dataset_;
+  static embed::TransEModel* transe_;
+  static EmbeddingStore* store_;
+};
+
+data::Dataset* CoreFixture::dataset_ = nullptr;
+embed::TransEModel* CoreFixture::transe_ = nullptr;
+EmbeddingStore* CoreFixture::store_ = nullptr;
+
+// ---------- EmbeddingStore ----------
+
+TEST_F(CoreFixture, StoreMirrorsTransE) {
+  EXPECT_EQ(store_->dim(), 12);
+  const auto a = store_->Entity(3);
+  const auto b = transe_->EntityVec(3);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_FLOAT_EQ(a[static_cast<size_t>(i)], b[static_cast<size_t>(i)]);
+  }
+}
+
+TEST_F(CoreFixture, SelfLoopRelationIsZero) {
+  const auto v = store_->RelationVec(kg::Relation::kSelfLoop);
+  for (float x : v) EXPECT_FLOAT_EQ(x, 0.0f);
+}
+
+TEST_F(CoreFixture, SetItemRepresentationOverridesRow) {
+  EmbeddingStore store(&dataset_->graph, transe_);
+  const kg::EntityId item =
+      dataset_->graph.EntitiesOfType(kg::EntityType::kItem)[0];
+  std::vector<float> vec(12, 0.5f);
+  store.SetItemRepresentation(item, vec);
+  for (float x : store.Entity(item)) EXPECT_FLOAT_EQ(x, 0.5f);
+  // Category refresh folds the new row into its category mean.
+  store.RefreshCategoryVectors();
+  const kg::CategoryId c = dataset_->graph.CategoryOf(item);
+  ASSERT_NE(c, kg::kInvalidCategory);
+  const auto cat = store.Category(c);
+  EXPECT_TRUE(std::isfinite(cat[0]));
+}
+
+TEST_F(CoreFixture, TensorsMatchSpans) {
+  const ag::Tensor t = store_->EntityTensor(5);
+  EXPECT_EQ(t.numel(), 12);
+  EXPECT_FALSE(t.requires_grad());
+  EXPECT_FLOAT_EQ(t.at(0), store_->Entity(5)[0]);
+}
+
+TEST_F(CoreFixture, ScoreUserEntityIsNonPositive) {
+  const kg::EntityId user = dataset_->users[0];
+  const kg::EntityId item = dataset_->train_items[0][0];
+  EXPECT_LE(store_->ScoreUserEntity(user, item), 0.0f);
+}
+
+TEST_F(CoreFixture, ScoreModesBehaveAsDocumented) {
+  EmbeddingStore store(&dataset_->graph, transe_);
+  const kg::EntityId user = dataset_->users[0];
+  const kg::EntityId item = dataset_->train_items[0][0];
+
+  // Default: translation, non-positive.
+  EXPECT_EQ(store.score_mode(), EmbeddingStore::ScoreMode::kTranslation);
+  const float translation = store.ScoreUserEntity(user, item);
+  EXPECT_LE(translation, 0.0f);
+
+  // Raw translation matches translation while rows are untouched.
+  store.set_score_mode(EmbeddingStore::ScoreMode::kRawTranslation);
+  EXPECT_FLOAT_EQ(store.ScoreUserEntity(user, item), translation);
+
+  // Dot product mode returns the inner product.
+  store.set_score_mode(EmbeddingStore::ScoreMode::kDotProduct);
+  const auto u = store.Entity(user);
+  const auto v = store.Entity(item);
+  float expected_dot = 0.0f;
+  for (int i = 0; i < store.dim(); ++i) {
+    expected_dot += u[static_cast<size_t>(i)] * v[static_cast<size_t>(i)];
+  }
+  EXPECT_NEAR(store.ScoreUserEntity(user, item), expected_dot, 1e-5f);
+
+  // Ensemble = dot - w * raw_distance.
+  store.set_score_mode(EmbeddingStore::ScoreMode::kEnsemble);
+  store.set_ensemble_translation_weight(2.0f);
+  EXPECT_NEAR(store.ScoreUserEntity(user, item),
+              expected_dot + 2.0f * translation, 1e-4f);
+}
+
+TEST_F(CoreFixture, RawTranslationIgnoresRowEdits) {
+  EmbeddingStore store(&dataset_->graph, transe_);
+  const kg::EntityId user = dataset_->users[0];
+  const kg::EntityId item = dataset_->train_items[0][0];
+  store.set_score_mode(EmbeddingStore::ScoreMode::kRawTranslation);
+  const float before = store.ScoreUserEntity(user, item);
+  std::vector<float> zeros(static_cast<size_t>(store.dim()), 0.0f);
+  store.SetEntityRow(item, zeros);
+  EXPECT_FLOAT_EQ(store.ScoreUserEntity(user, item), before)
+      << "raw translation must read the untouched TransE rows";
+  // ...while kTranslation sees the edit.
+  store.set_score_mode(EmbeddingStore::ScoreMode::kTranslation);
+  EXPECT_NE(store.ScoreUserEntity(user, item), before);
+}
+
+// ---------- Environments ----------
+
+TEST_F(CoreFixture, EntityActionsIncludeSelfLoopFirst) {
+  EntityEnvironment env(&dataset_->graph, store_, 50);
+  const kg::EntityId user = dataset_->users[0];
+  auto actions = env.ValidActions(user, user);
+  ASSERT_FALSE(actions.empty());
+  EXPECT_EQ(actions[0].relation, kg::Relation::kSelfLoop);
+  EXPECT_EQ(actions[0].dst, user);
+  EXPECT_LE(static_cast<int>(actions.size()), 50);
+}
+
+TEST_F(CoreFixture, EntityActionsMatchGraphEdges) {
+  EntityEnvironment env(&dataset_->graph, store_, 50);
+  const kg::EntityId user = dataset_->users[0];
+  auto actions = env.ValidActions(user, user);
+  for (size_t i = 1; i < actions.size(); ++i) {
+    EXPECT_TRUE(dataset_->graph.HasEdge(user, actions[i].relation,
+                                        actions[i].dst));
+  }
+}
+
+TEST_F(CoreFixture, EntityActionCapEnforced) {
+  EntityEnvironment env(&dataset_->graph, store_, 4);
+  // Pick a high-degree entity (an item).
+  kg::EntityId busiest = 0;
+  for (kg::EntityId e = 0; e < dataset_->graph.num_entities(); ++e) {
+    if (dataset_->graph.Degree(e) > dataset_->graph.Degree(busiest)) {
+      busiest = e;
+    }
+  }
+  ASSERT_GT(dataset_->graph.Degree(busiest), 4);
+  auto actions = env.ValidActions(dataset_->users[0], busiest);
+  EXPECT_EQ(actions.size(), 4u);
+  EXPECT_EQ(actions[0].relation, kg::Relation::kSelfLoop);
+}
+
+TEST_F(CoreFixture, EntityActionsDeterministic) {
+  EntityEnvironment env(&dataset_->graph, store_, 10);
+  const kg::EntityId user = dataset_->users[1];
+  auto a = env.ValidActions(user, user);
+  auto b = env.ValidActions(user, user);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(CoreFixture, CategoryActionsIncludeStayFirstAndCapped) {
+  CategoryEnvironment env(&dataset_->category_graph, store_, 3);
+  auto actions = env.ValidActions(dataset_->users[0], 0);
+  ASSERT_FALSE(actions.empty());
+  EXPECT_EQ(actions[0], 0);
+  EXPECT_LE(static_cast<int>(actions.size()), 3);
+}
+
+TEST_F(CoreFixture, CategoryActionsAreNeighbors) {
+  CategoryEnvironment env(&dataset_->category_graph, store_, 10);
+  auto actions = env.ValidActions(dataset_->users[0], 0);
+  for (size_t i = 1; i < actions.size(); ++i) {
+    EXPECT_TRUE(dataset_->category_graph.Connected(0, actions[i]));
+  }
+}
+
+// ---------- Rewards ----------
+
+TEST(RewardTest, KlOfIdenticalDistributionsIsZero) {
+  std::vector<float> p = {0.25f, 0.25f, 0.5f};
+  EXPECT_NEAR(KlDivergence(p, p), 0.0f, 1e-6f);
+}
+
+TEST(RewardTest, KlIsPositiveForDifferentDistributions) {
+  std::vector<float> p = {0.9f, 0.1f};
+  std::vector<float> q = {0.1f, 0.9f};
+  EXPECT_GT(KlDivergence(p, q), 0.5f);
+}
+
+TEST(RewardTest, KlHandlesZerosInQ) {
+  std::vector<float> p = {0.5f, 0.5f};
+  std::vector<float> q = {1.0f, 0.0f};
+  const float kl = KlDivergence(p, q);
+  EXPECT_TRUE(std::isfinite(kl));
+  EXPECT_GT(kl, 0.0f);
+}
+
+TEST(RewardTest, PartnerRewardRange) {
+  std::vector<float> p = {0.9f, 0.1f};
+  std::vector<float> q = {0.1f, 0.9f};
+  const float influential = CounterfactualPartnerReward(p, q);
+  const float neutral = CounterfactualPartnerReward(p, p);
+  EXPECT_NEAR(neutral, 0.5f, 1e-5f);
+  EXPECT_GT(influential, neutral);
+  EXPECT_LT(influential, 1.0f);
+}
+
+TEST(RewardTest, CosineConsistencyBounds) {
+  std::vector<float> a = {1.0f, 0.0f};
+  std::vector<float> b = {0.0f, 1.0f};
+  std::vector<float> c = {2.0f, 0.0f};
+  EXPECT_NEAR(CosineConsistency(a, c), 1.0f, 1e-5f);
+  EXPECT_NEAR(CosineConsistency(a, b), 0.0f, 1e-5f);
+  std::vector<float> zero = {0.0f, 0.0f};
+  EXPECT_TRUE(std::isfinite(CosineConsistency(a, zero)));
+}
+
+// ---------- Policy networks ----------
+
+TEST_F(CoreFixture, PolicyShapesAndDistributions) {
+  Rng rng(3);
+  PolicyConfig config;
+  config.dim = 12;
+  config.hidden = 16;
+  SharedPolicyNetworks policy(config, &rng);
+  const ag::Tensor user = store_->EntityTensor(dataset_->users[0]);
+  const ag::Tensor cat = store_->CategoryTensor(0);
+  const ag::Tensor rel = store_->RelationTensor(kg::Relation::kSelfLoop);
+  const ag::Tensor ent = user;
+  auto state = policy.InitialState(user, cat, rel, ent);
+  EXPECT_EQ(state.cat.h.numel(), 16);
+  EXPECT_EQ(state.ent.h.numel(), 16);
+
+  std::vector<ag::Tensor> cat_actions = {store_->CategoryTensor(0),
+                                         store_->CategoryTensor(1)};
+  const ag::Tensor cat_logits =
+      policy.CategoryLogits(state, user, cat, cat_actions);
+  EXPECT_EQ(cat_logits.numel(), 2);
+
+  std::vector<ag::Tensor> ent_actions;
+  for (int i = 0; i < 3; ++i) {
+    ent_actions.push_back(ag::Concat({rel, store_->EntityTensor(i)}));
+  }
+  const ag::Tensor ent_logits =
+      policy.EntityLogits(state, ent, rel, cat, ent_actions);
+  EXPECT_EQ(ent_logits.numel(), 3);
+  const ag::Tensor probs = ag::Softmax(ent_logits);
+  float total = 0.0f;
+  for (int64_t i = 0; i < 3; ++i) total += probs.at(i);
+  EXPECT_NEAR(total, 1.0f, 1e-5f);
+}
+
+TEST_F(CoreFixture, CategoryConditioningChangesEntityDistribution) {
+  Rng rng(4);
+  PolicyConfig config;
+  config.dim = 12;
+  config.hidden = 16;
+  SharedPolicyNetworks policy(config, &rng);
+  const ag::Tensor user = store_->EntityTensor(dataset_->users[0]);
+  const ag::Tensor rel = store_->RelationTensor(kg::Relation::kSelfLoop);
+  auto state = policy.InitialState(user, store_->CategoryTensor(0), rel, user);
+  std::vector<ag::Tensor> actions;
+  for (int i = 0; i < 4; ++i) {
+    actions.push_back(ag::Concat({rel, store_->EntityTensor(i)}));
+  }
+  const ag::Tensor l0 = policy.EntityLogits(state, user, rel,
+                                            store_->CategoryTensor(0), actions);
+  const ag::Tensor l1 = policy.EntityLogits(state, user, rel,
+                                            store_->CategoryTensor(1), actions);
+  bool differs = false;
+  for (int64_t i = 0; i < 4; ++i) {
+    if (std::abs(l0.at(i) - l1.at(i)) > 1e-6f) differs = true;
+  }
+  EXPECT_TRUE(differs)
+      << "entity head must depend on the category milestone";
+}
+
+TEST_F(CoreFixture, SharedHistoryCouplingMatters) {
+  Rng rng(5);
+  PolicyConfig with;
+  with.dim = 12;
+  with.hidden = 16;
+  with.share_history = true;
+  PolicyConfig without = with;
+  without.share_history = false;
+
+  auto run = [&](const PolicyConfig& cfg, Rng seed_rng) {
+    SharedPolicyNetworks policy(cfg, &seed_rng);
+    const ag::Tensor user = store_->EntityTensor(dataset_->users[0]);
+    const ag::Tensor rel = store_->RelationTensor(kg::Relation::kSelfLoop);
+    auto state =
+        policy.InitialState(user, store_->CategoryTensor(0), rel, user);
+    policy.Advance(&state, user, store_->CategoryTensor(1),
+                   store_->RelationTensor(kg::Relation::kPurchase),
+                   store_->EntityTensor(3));
+    return state;
+  };
+  auto a = run(with, Rng(42));
+  auto b = run(without, Rng(42));
+  bool differs = false;
+  for (int64_t i = 0; i < 16; ++i) {
+    if (std::abs(a.ent.h.at(i) - b.ent.h.at(i)) > 1e-7f) differs = true;
+  }
+  EXPECT_TRUE(differs) << "RSHI ablation must actually change the dynamics";
+}
+
+TEST(PolicyConfigTest, Validation) {
+  PolicyConfig c;
+  EXPECT_TRUE(c.Validate().ok());
+  c.dim = 1;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+}
+
+// ---------- CGGNN ----------
+
+TEST_F(CoreFixture, CggnnForwardShapes) {
+  CggnnOptions options;
+  options.ggnn_layers = 2;
+  options.cgan_layers = 1;
+  options.epochs = 0;
+  Cggnn cggnn(&dataset_->graph, transe_, options);
+  auto reps = cggnn.ComputeItemRepresentations();
+  EXPECT_EQ(static_cast<int64_t>(reps.size()),
+            dataset_->graph.CountOfType(kg::EntityType::kItem));
+  for (const auto& r : reps) {
+    EXPECT_EQ(r.numel(), 12);
+    for (int64_t i = 0; i < r.numel(); ++i) {
+      EXPECT_TRUE(std::isfinite(r.at(i)));
+    }
+  }
+}
+
+TEST_F(CoreFixture, CggnnAblationSwitchesChangeOutput) {
+  CggnnOptions base;
+  base.ggnn_layers = 1;
+  base.cgan_layers = 1;
+  base.epochs = 0;
+  Cggnn full(&dataset_->graph, transe_, base);
+
+  CggnnOptions no_ggnn = base;
+  no_ggnn.use_ggnn = false;
+  Cggnn rggnn(&dataset_->graph, transe_, no_ggnn);
+
+  CggnnOptions no_cgan = base;
+  no_cgan.use_cgan = false;
+  Cggnn rcgan(&dataset_->graph, transe_, no_cgan);
+
+  auto rep_full = full.ComputeItemRepresentations();
+  auto rep_rggnn = rggnn.ComputeItemRepresentations();
+  auto rep_rcgan = rcgan.ComputeItemRepresentations();
+
+  auto differs = [](const ag::Tensor& a, const ag::Tensor& b) {
+    for (int64_t i = 0; i < a.numel(); ++i) {
+      if (std::abs(a.at(i) - b.at(i)) > 1e-6f) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(differs(rep_full[0], rep_rggnn[0]));
+  EXPECT_TRUE(differs(rep_full[0], rep_rcgan[0]));
+}
+
+TEST_F(CoreFixture, CggnnWithBothModulesOffIsTransE) {
+  CggnnOptions options;
+  options.use_ggnn = false;
+  options.use_cgan = false;
+  options.epochs = 0;
+  Cggnn cggnn(&dataset_->graph, transe_, options);
+  auto reps = cggnn.ComputeItemRepresentations();
+  const kg::EntityId item0 =
+      dataset_->graph.EntitiesOfType(kg::EntityType::kItem)[0];
+  const auto expected = transe_->EntityVec(item0);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_FLOAT_EQ(reps[0].at(i), expected[static_cast<size_t>(i)]);
+  }
+}
+
+TEST_F(CoreFixture, CggnnBprTrainingReducesLoss) {
+  CggnnOptions options;
+  options.ggnn_layers = 1;
+  options.cgan_layers = 1;
+  options.epochs = 10;
+  options.pairs_per_epoch = 96;
+  options.lr = 0.02f;
+  Cggnn cggnn(&dataset_->graph, transe_, options);
+  ASSERT_TRUE(cggnn.Train(*dataset_).ok());
+  const auto& losses = cggnn.epoch_losses();
+  ASSERT_EQ(losses.size(), 10u);
+  // Compare the mean of the first and last thirds to smooth sampling noise.
+  float early = (losses[0] + losses[1] + losses[2]) / 3.0f;
+  float late = (losses[7] + losses[8] + losses[9]) / 3.0f;
+  EXPECT_LT(late, early);
+  // Representations are cached and finite.
+  const kg::EntityId item0 =
+      dataset_->graph.EntitiesOfType(kg::EntityType::kItem)[0];
+  for (float x : cggnn.Representation(item0)) {
+    EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+TEST_F(CoreFixture, CggnnItemIndexMapping) {
+  CggnnOptions options;
+  options.epochs = 0;
+  Cggnn cggnn(&dataset_->graph, transe_, options);
+  const auto& items = dataset_->graph.EntitiesOfType(kg::EntityType::kItem);
+  EXPECT_EQ(cggnn.ItemIndex(items[5]), 5);
+  EXPECT_EQ(cggnn.ItemIndex(dataset_->users[0]), -1);
+}
+
+TEST(CggnnOptionsTest, Validation) {
+  CggnnOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.delta = 1.5f;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = CggnnOptions();
+  o.ggnn_layers = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = CggnnOptions();
+  o.neighbor_cap = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace cadrl

@@ -1,0 +1,299 @@
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "data/serialize.h"
+
+namespace cadrl {
+namespace data {
+namespace {
+
+TEST(SyntheticConfigTest, PresetsValidate) {
+  EXPECT_TRUE(SyntheticConfig::Tiny().Validate().ok());
+  EXPECT_TRUE(SyntheticConfig::BeautySim().Validate().ok());
+  EXPECT_TRUE(SyntheticConfig::CellPhonesSim().Validate().ok());
+  EXPECT_TRUE(SyntheticConfig::ClothingSim().Validate().ok());
+}
+
+TEST(SyntheticConfigTest, InvalidConfigsRejected) {
+  SyntheticConfig c = SyntheticConfig::Tiny();
+  c.num_users = 0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+
+  c = SyntheticConfig::Tiny();
+  c.num_categories = 1;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+
+  c = SyntheticConfig::Tiny();
+  c.num_categories = c.num_items + 1;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+
+  c = SyntheticConfig::Tiny();
+  c.interactions_per_user = 2;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+
+  c = SyntheticConfig::Tiny();
+  c.train_fraction = 1.0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+
+  c = SyntheticConfig::Tiny();
+  c.in_category_prob = 1.5;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+}
+
+TEST(GeneratorTest, InvalidConfigReturnsError) {
+  SyntheticConfig c = SyntheticConfig::Tiny();
+  c.num_users = -1;
+  Dataset d;
+  EXPECT_TRUE(GenerateDataset(c, &d).IsInvalidArgument());
+}
+
+class GeneratedDatasetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(MustGenerateDataset(SyntheticConfig::Tiny()));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static Dataset* dataset_;
+};
+
+Dataset* GeneratedDatasetTest::dataset_ = nullptr;
+
+TEST_F(GeneratedDatasetTest, EntityCountsMatchConfig) {
+  const SyntheticConfig c = SyntheticConfig::Tiny();
+  const auto& g = dataset_->graph;
+  EXPECT_EQ(g.CountOfType(kg::EntityType::kUser), c.num_users);
+  EXPECT_EQ(g.CountOfType(kg::EntityType::kItem), c.num_items);
+  EXPECT_EQ(g.CountOfType(kg::EntityType::kBrand), c.num_brands);
+  EXPECT_EQ(g.CountOfType(kg::EntityType::kFeature), c.num_features);
+  EXPECT_EQ(g.num_entities(),
+            c.num_users + c.num_items + c.num_brands + c.num_features);
+}
+
+TEST_F(GeneratedDatasetTest, EveryUserHasTrainAndTestItems) {
+  for (size_t u = 0; u < dataset_->users.size(); ++u) {
+    EXPECT_FALSE(dataset_->train_items[u].empty()) << "user " << u;
+    EXPECT_FALSE(dataset_->test_items[u].empty()) << "user " << u;
+  }
+}
+
+TEST_F(GeneratedDatasetTest, SplitRatioIsApproximately70_30) {
+  const double train = static_cast<double>(dataset_->NumTrainInteractions());
+  const double total = static_cast<double>(dataset_->NumInteractions());
+  EXPECT_NEAR(train / total, 0.7, 0.08);
+}
+
+TEST_F(GeneratedDatasetTest, TrainAndTestAreDisjointPerUser) {
+  for (size_t u = 0; u < dataset_->users.size(); ++u) {
+    std::set<kg::EntityId> train(dataset_->train_items[u].begin(),
+                                 dataset_->train_items[u].end());
+    for (kg::EntityId item : dataset_->test_items[u]) {
+      EXPECT_EQ(train.count(item), 0u);
+    }
+  }
+}
+
+TEST_F(GeneratedDatasetTest, TrainPurchasesAreInGraphTestAreNot) {
+  const auto& g = dataset_->graph;
+  for (size_t u = 0; u < dataset_->users.size(); ++u) {
+    const kg::EntityId user = dataset_->users[u];
+    for (kg::EntityId item : dataset_->train_items[u]) {
+      EXPECT_TRUE(g.HasEdge(user, kg::Relation::kPurchase, item));
+    }
+    for (kg::EntityId item : dataset_->test_items[u]) {
+      EXPECT_FALSE(g.HasEdge(user, kg::Relation::kPurchase, item))
+          << "test interactions must be held out of the KG";
+    }
+  }
+}
+
+TEST_F(GeneratedDatasetTest, AllItemsHaveCategories) {
+  const auto& g = dataset_->graph;
+  for (kg::EntityId item : g.EntitiesOfType(kg::EntityType::kItem)) {
+    EXPECT_NE(g.CategoryOf(item), kg::kInvalidCategory);
+  }
+  EXPECT_EQ(g.num_categories(), SyntheticConfig::Tiny().num_categories);
+}
+
+TEST_F(GeneratedDatasetTest, EveryCategoryIsPopulated) {
+  const auto& g = dataset_->graph;
+  for (kg::CategoryId c = 0; c < g.num_categories(); ++c) {
+    EXPECT_FALSE(g.ItemsInCategory(c).empty()) << "category " << c;
+  }
+}
+
+TEST_F(GeneratedDatasetTest, ItemsHaveBrandAndFeatureEdges) {
+  const auto& g = dataset_->graph;
+  for (kg::EntityId item : g.EntitiesOfType(kg::EntityType::kItem)) {
+    bool has_brand = false, has_feature = false;
+    for (const kg::Edge& e : g.Neighbors(item)) {
+      if (e.relation == kg::Relation::kProducedBy) has_brand = true;
+      if (e.relation == kg::Relation::kDescribedBy) has_feature = true;
+    }
+    EXPECT_TRUE(has_brand) << "item " << item;
+    EXPECT_TRUE(has_feature) << "item " << item;
+  }
+}
+
+TEST_F(GeneratedDatasetTest, CategoryGraphIsNonTrivial) {
+  EXPECT_GT(dataset_->category_graph.num_edges(), 0);
+  EXPECT_EQ(dataset_->category_graph.num_categories(),
+            dataset_->graph.num_categories());
+}
+
+TEST_F(GeneratedDatasetTest, UserIndexAndTrainLookup) {
+  const kg::EntityId user = dataset_->users[3];
+  EXPECT_EQ(dataset_->UserIndex(user), 3);
+  EXPECT_EQ(dataset_->UserIndex(-5), -1);
+  const kg::EntityId item = dataset_->train_items[3][0];
+  EXPECT_TRUE(dataset_->IsTrainInteraction(user, item));
+  EXPECT_FALSE(dataset_->IsTrainInteraction(user, dataset_->test_items[3][0]));
+}
+
+TEST_F(GeneratedDatasetTest, StatsMatchDataset) {
+  DatasetStats stats = ComputeStats(*dataset_);
+  EXPECT_EQ(stats.num_users, dataset_->num_users());
+  EXPECT_EQ(stats.num_entities, dataset_->graph.num_entities());
+  EXPECT_EQ(stats.num_interactions, dataset_->NumInteractions());
+  EXPECT_GT(stats.num_triples, stats.num_interactions * 7 / 10 - 1)
+      << "triples include at least the train purchases";
+  EXPECT_GT(stats.items_per_category, 0.0);
+}
+
+TEST(GeneratorDeterminismTest, SameSeedSameDataset) {
+  Dataset a = MustGenerateDataset(SyntheticConfig::Tiny());
+  Dataset b = MustGenerateDataset(SyntheticConfig::Tiny());
+  EXPECT_EQ(a.graph.num_triples(), b.graph.num_triples());
+  EXPECT_EQ(a.NumInteractions(), b.NumInteractions());
+  ASSERT_EQ(a.users.size(), b.users.size());
+  for (size_t u = 0; u < a.users.size(); ++u) {
+    EXPECT_EQ(a.train_items[u], b.train_items[u]);
+    EXPECT_EQ(a.test_items[u], b.test_items[u]);
+  }
+}
+
+TEST(GeneratorDeterminismTest, DifferentSeedsDiffer) {
+  SyntheticConfig c1 = SyntheticConfig::Tiny();
+  SyntheticConfig c2 = SyntheticConfig::Tiny();
+  c2.seed = c1.seed + 1;
+  Dataset a = MustGenerateDataset(c1);
+  Dataset b = MustGenerateDataset(c2);
+  bool any_diff = a.graph.num_triples() != b.graph.num_triples();
+  for (size_t u = 0; !any_diff && u < a.users.size(); ++u) {
+    any_diff = a.train_items[u] != b.train_items[u];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+class GeneratorSweepTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(GeneratorSweepTest, InvariantsHoldAcrossSizes) {
+  auto [users, items] = GetParam();
+  SyntheticConfig c = SyntheticConfig::Tiny();
+  c.num_users = users;
+  c.num_items = items;
+  c.seed = static_cast<uint64_t>(users * 1000 + items);
+  Dataset d = MustGenerateDataset(c);
+  EXPECT_EQ(d.num_users(), users);
+  EXPECT_GT(d.graph.num_triples(), 0);
+  for (size_t u = 0; u < d.users.size(); ++u) {
+    EXPECT_FALSE(d.train_items[u].empty());
+    EXPECT_FALSE(d.test_items[u].empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GeneratorSweepTest,
+    ::testing::Values(std::make_tuple<int64_t, int64_t>(8, 30),
+                      std::make_tuple<int64_t, int64_t>(16, 60),
+                      std::make_tuple<int64_t, int64_t>(40, 120),
+                      std::make_tuple<int64_t, int64_t>(64, 200)));
+
+TEST(PresetShapeTest, ClothingHasSparserCategoriesThanBeauty) {
+  Dataset beauty = MustGenerateDataset(SyntheticConfig::BeautySim());
+  Dataset clothing = MustGenerateDataset(SyntheticConfig::ClothingSim());
+  EXPECT_LT(clothing.graph.MeanItemsPerCategory(),
+            beauty.graph.MeanItemsPerCategory())
+      << "the paper's density contrast (19.3 vs 50.6 items/category) must "
+         "be preserved";
+  EXPECT_GT(clothing.num_users(), beauty.num_users());
+}
+
+// ---------- Serialization ----------
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  Dataset original = MustGenerateDataset(SyntheticConfig::Tiny());
+  const std::string path = ::testing::TempDir() + "/cadrl_dataset_rt.txt";
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  Dataset loaded;
+  ASSERT_TRUE(LoadDataset(path, &loaded).ok());
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.graph.num_entities(), original.graph.num_entities());
+  EXPECT_EQ(loaded.graph.num_triples(), original.graph.num_triples());
+  EXPECT_EQ(loaded.graph.num_categories(), original.graph.num_categories());
+  ASSERT_EQ(loaded.users.size(), original.users.size());
+  for (size_t u = 0; u < original.users.size(); ++u) {
+    EXPECT_EQ(loaded.users[u], original.users[u]);
+    EXPECT_EQ(loaded.train_items[u], original.train_items[u]);
+    EXPECT_EQ(loaded.test_items[u], original.test_items[u]);
+  }
+  for (kg::EntityId e = 0; e < original.graph.num_entities(); ++e) {
+    EXPECT_EQ(loaded.graph.TypeOf(e), original.graph.TypeOf(e));
+    EXPECT_EQ(loaded.graph.CategoryOf(e), original.graph.CategoryOf(e));
+    EXPECT_EQ(loaded.graph.Degree(e), original.graph.Degree(e));
+  }
+  EXPECT_EQ(loaded.category_graph.num_edges(),
+            original.category_graph.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadMissingFileIsIOError) {
+  Dataset d;
+  EXPECT_TRUE(LoadDataset("/nonexistent/never.txt", &d).IsIOError());
+}
+
+TEST(SerializeTest, LoadGarbageIsCorruption) {
+  const std::string path = ::testing::TempDir() + "/cadrl_garbage.txt";
+  {
+    std::ofstream out(path);
+    out << "not_a_dataset 99\n";
+  }
+  Dataset d;
+  EXPECT_TRUE(LoadDataset(path, &d).IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, SaveUnfinalizedGraphFails) {
+  Dataset d;
+  EXPECT_TRUE(
+      SaveDataset(d, ::testing::TempDir() + "/x.txt").IsFailedPrecondition());
+}
+
+TEST(SerializeTest, TruncatedFileIsCorruption) {
+  Dataset original = MustGenerateDataset(SyntheticConfig::Tiny());
+  const std::string path = ::testing::TempDir() + "/cadrl_trunc.txt";
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  // Truncate to the first 200 bytes.
+  {
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::trunc);
+    out << content.substr(0, 200);
+  }
+  Dataset d;
+  EXPECT_FALSE(LoadDataset(path, &d).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace cadrl

@@ -1,0 +1,125 @@
+// Property sweeps over the MDP environments: action caps, self-loop
+// invariants and determinism across entity types and cap sizes.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/embedding_store.h"
+#include "core/environment.h"
+#include "data/generator.h"
+#include "embed/transe.h"
+
+namespace cadrl {
+namespace core {
+namespace {
+
+class EnvSweepFixture : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(
+        data::MustGenerateDataset(data::SyntheticConfig::Tiny()));
+    embed::TransEOptions options;
+    options.dim = 8;
+    options.epochs = 2;
+    transe_ = new embed::TransEModel(
+        embed::TransEModel::Train(dataset_->graph, options));
+    store_ = new EmbeddingStore(&dataset_->graph, transe_);
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    delete transe_;
+    delete dataset_;
+    store_ = nullptr;
+    transe_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static data::Dataset* dataset_;
+  static embed::TransEModel* transe_;
+  static EmbeddingStore* store_;
+};
+
+data::Dataset* EnvSweepFixture::dataset_ = nullptr;
+embed::TransEModel* EnvSweepFixture::transe_ = nullptr;
+EmbeddingStore* EnvSweepFixture::store_ = nullptr;
+
+TEST_P(EnvSweepFixture, EntityActionInvariantsAcrossCaps) {
+  const int cap = GetParam();
+  EntityEnvironment env(&dataset_->graph, store_, cap);
+  const kg::EntityId user = dataset_->users[0];
+  for (kg::EntityId e = 0; e < dataset_->graph.num_entities(); e += 7) {
+    const auto actions = env.ValidActions(user, e);
+    ASSERT_FALSE(actions.empty());
+    // Self-loop first, cap respected, all moves are real edges, no
+    // duplicate actions.
+    EXPECT_EQ(actions[0].relation, kg::Relation::kSelfLoop);
+    EXPECT_EQ(actions[0].dst, e);
+    EXPECT_LE(static_cast<int>(actions.size()), cap);
+    std::set<std::pair<int, kg::EntityId>> seen;
+    for (size_t i = 1; i < actions.size(); ++i) {
+      EXPECT_TRUE(dataset_->graph.HasEdge(e, actions[i].relation,
+                                          actions[i].dst));
+      EXPECT_TRUE(seen.insert({static_cast<int>(actions[i].relation),
+                               actions[i].dst})
+                      .second);
+    }
+    // When the degree fits the budget, nothing may be dropped.
+    if (dataset_->graph.Degree(e) <= cap - 1) {
+      EXPECT_EQ(static_cast<int64_t>(actions.size()) - 1,
+                dataset_->graph.Degree(e));
+    }
+  }
+}
+
+TEST_P(EnvSweepFixture, CategoryActionInvariantsAcrossCaps) {
+  const int cap = GetParam();
+  CategoryEnvironment env(&dataset_->category_graph, store_, cap);
+  const kg::EntityId user = dataset_->users[1];
+  for (kg::CategoryId c = 0; c < dataset_->category_graph.num_categories();
+       ++c) {
+    const auto actions = env.ValidActions(user, c);
+    ASSERT_FALSE(actions.empty());
+    EXPECT_EQ(actions[0], c) << "stay action first";
+    EXPECT_LE(static_cast<int>(actions.size()), cap);
+    for (size_t i = 1; i < actions.size(); ++i) {
+      EXPECT_TRUE(dataset_->category_graph.Connected(c, actions[i]));
+    }
+  }
+}
+
+TEST_P(EnvSweepFixture, PruningPrefersHigherScoredEndpoints) {
+  const int cap = GetParam();
+  EntityEnvironment env(&dataset_->graph, store_, cap);
+  const kg::EntityId user = dataset_->users[2];
+  // Find an entity whose degree exceeds the budget so pruning engages.
+  for (kg::EntityId e = 0; e < dataset_->graph.num_entities(); ++e) {
+    if (dataset_->graph.Degree(e) <= cap - 1) continue;
+    const auto actions = env.ValidActions(user, e);
+    ASSERT_EQ(static_cast<int>(actions.size()), cap);
+    // Every kept endpoint must score at least as high as the worst scored
+    // dropped endpoint.
+    float min_kept = 1e30f;
+    std::set<std::pair<int, kg::EntityId>> kept;
+    for (size_t i = 1; i < actions.size(); ++i) {
+      min_kept = std::min(min_kept,
+                          store_->ScoreUserEntity(user, actions[i].dst));
+      kept.insert({static_cast<int>(actions[i].relation), actions[i].dst});
+    }
+    for (const kg::Edge& edge : dataset_->graph.Neighbors(e)) {
+      if (kept.count({static_cast<int>(edge.relation), edge.dst}) > 0) {
+        continue;
+      }
+      EXPECT_LE(store_->ScoreUserEntity(user, edge.dst), min_kept + 1e-5f);
+    }
+    return;  // one high-degree entity suffices
+  }
+  GTEST_SKIP() << "no entity exceeds cap " << cap;
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, EnvSweepFixture,
+                         ::testing::Values(2, 3, 5, 10, 25));
+
+}  // namespace
+}  // namespace core
+}  // namespace cadrl

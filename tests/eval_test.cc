@@ -1,0 +1,282 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "eval/recommender.h"
+#include "rl/reinforce.h"
+
+namespace cadrl {
+namespace eval {
+namespace {
+
+// ---------- Metrics ----------
+
+TEST(MetricsTest, PerfectRankingScoresOne) {
+  std::vector<kg::EntityId> ranked = {1, 2, 3};
+  std::vector<kg::EntityId> relevant = {1, 2, 3};
+  MetricValues m = ComputeTopK(ranked, relevant, 10);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.hit_rate, 1.0);
+  EXPECT_NEAR(m.precision, 0.3, 1e-9);
+}
+
+TEST(MetricsTest, NoHitsScoresZero) {
+  MetricValues m = ComputeTopK({4, 5, 6}, {1, 2, 3}, 10);
+  EXPECT_DOUBLE_EQ(m.ndcg, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.hit_rate, 0.0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+}
+
+TEST(MetricsTest, HandComputedNdcg) {
+  // One relevant item at rank 3 (0-indexed position 2): DCG = 1/log2(4).
+  // IDCG (1 relevant) = 1/log2(2) = 1.
+  MetricValues m = ComputeTopK({9, 8, 1}, {1}, 10);
+  EXPECT_NEAR(m.ndcg, 1.0 / std::log2(4.0), 1e-9);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.hit_rate, 1.0);
+}
+
+TEST(MetricsTest, EarlierHitsScoreHigherNdcg) {
+  MetricValues early = ComputeTopK({1, 9, 8}, {1}, 10);
+  MetricValues late = ComputeTopK({9, 8, 1}, {1}, 10);
+  EXPECT_GT(early.ndcg, late.ndcg);
+}
+
+TEST(MetricsTest, TruncatesAtK) {
+  // Relevant item is at position 4, beyond k=3.
+  MetricValues m = ComputeTopK({9, 8, 7, 1}, {1}, 3);
+  EXPECT_DOUBLE_EQ(m.hit_rate, 0.0);
+}
+
+TEST(MetricsTest, EmptyRelevantGivesZeros) {
+  MetricValues m = ComputeTopK({1, 2}, {}, 10);
+  EXPECT_DOUBLE_EQ(m.ndcg, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+}
+
+TEST(MetricsTest, EmptyRankedGivesZeros) {
+  MetricValues m = ComputeTopK({}, {1, 2}, 10);
+  EXPECT_DOUBLE_EQ(m.ndcg, 0.0);
+  EXPECT_DOUBLE_EQ(m.hit_rate, 0.0);
+}
+
+TEST(MetricsTest, IdcgUsesMinOfKAndRelevantCount) {
+  // 2 relevant, both ranked first: NDCG must be exactly 1.
+  MetricValues m = ComputeTopK({1, 2, 9}, {1, 2}, 10);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0);
+}
+
+TEST(MetricsTest, AccumulateAndDivide) {
+  MetricValues a{1.0, 1.0, 1.0, 1.0};
+  MetricValues b{0.0, 0.0, 0.0, 0.0};
+  b += a;
+  b += a;
+  MetricValues mean = b / 2.0;
+  EXPECT_DOUBLE_EQ(mean.ndcg, 1.0);
+}
+
+class MetricsMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricsMonotoneTest, AddingAHitNeverDecreasesMetrics) {
+  const int pos = GetParam();
+  std::vector<kg::EntityId> without = {10, 11, 12, 13, 14};
+  std::vector<kg::EntityId> with = without;
+  with[static_cast<size_t>(pos)] = 1;  // make position pos a hit
+  std::vector<kg::EntityId> relevant = {1, 2};
+  MetricValues a = ComputeTopK(without, relevant, 5);
+  MetricValues b = ComputeTopK(with, relevant, 5);
+  EXPECT_GE(b.ndcg, a.ndcg);
+  EXPECT_GE(b.recall, a.recall);
+  EXPECT_GE(b.hit_rate, a.hit_rate);
+  EXPECT_GE(b.precision, a.precision);
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, MetricsMonotoneTest,
+                         ::testing::Range(0, 5));
+
+// ---------- FormatPath ----------
+
+TEST(FormatPathTest, RendersEntitiesAndRelations) {
+  kg::KnowledgeGraph g;
+  kg::EntityId u = g.AddEntity(kg::EntityType::kUser);
+  kg::EntityId v = g.AddEntity(kg::EntityType::kItem);
+  g.SetItemCategory(v, 2);
+  g.AddTriple(u, kg::Relation::kPurchase, v);
+  g.Finalize();
+  RecommendationPath path;
+  path.user = u;
+  path.steps = {{kg::Relation::kPurchase, v}};
+  const std::string s = FormatPath(g, path);
+  EXPECT_NE(s.find("user#0"), std::string::npos);
+  EXPECT_NE(s.find("--purchase-->"), std::string::npos);
+  EXPECT_NE(s.find("item#1(cat2)"), std::string::npos);
+}
+
+TEST(PathTest, EndpointSemantics) {
+  RecommendationPath p;
+  p.user = 7;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.endpoint(), 7);
+  p.steps.push_back({kg::Relation::kPurchase, 9});
+  EXPECT_EQ(p.endpoint(), 9);
+}
+
+// ---------- Evaluator ----------
+
+// Oracle: always recommends the user's test items first.
+class OracleRecommender : public Recommender {
+ public:
+  std::string name() const override { return "Oracle"; }
+  Status Fit(const data::Dataset& dataset) override {
+    dataset_ = &dataset;
+    return Status::OK();
+  }
+  std::vector<Recommendation> Recommend(kg::EntityId user, int k) override {
+    std::vector<Recommendation> out;
+    const int64_t idx = dataset_->UserIndex(user);
+    if (idx < 0) return out;
+    for (kg::EntityId item : dataset_->test_items[static_cast<size_t>(idx)]) {
+      if (static_cast<int>(out.size()) >= k) break;
+      out.push_back({item, 1.0, {}});
+    }
+    return out;
+  }
+
+ private:
+  const data::Dataset* dataset_ = nullptr;
+};
+
+TEST(EvaluatorTest, OracleGetsPerfectNdcgAndHr) {
+  data::Dataset dataset =
+      data::MustGenerateDataset(data::SyntheticConfig::Tiny());
+  OracleRecommender oracle;
+  ASSERT_TRUE(oracle.Fit(dataset).ok());
+  EvalResult r = EvaluateRecommender(&oracle, dataset, 10);
+  EXPECT_EQ(r.users_evaluated, dataset.num_users());
+  EXPECT_NEAR(r.ndcg, 100.0, 1e-6);
+  EXPECT_NEAR(r.hit_rate, 100.0, 1e-6);
+  EXPECT_GT(r.recall, 99.0);
+}
+
+TEST(EvaluatorTest, EmptyRecommenderGetsZero) {
+  data::Dataset dataset =
+      data::MustGenerateDataset(data::SyntheticConfig::Tiny());
+  class EmptyRecommender : public Recommender {
+   public:
+    std::string name() const override { return "Empty"; }
+    Status Fit(const data::Dataset&) override { return Status::OK(); }
+    std::vector<Recommendation> Recommend(kg::EntityId, int) override {
+      return {};
+    }
+  };
+  EmptyRecommender empty;
+  EvalResult r = EvaluateRecommender(&empty, dataset, 10);
+  EXPECT_DOUBLE_EQ(r.ndcg, 0.0);
+  EXPECT_DOUBLE_EQ(r.hit_rate, 0.0);
+}
+
+TEST(EvaluatorTest, MeasureEfficiencyProducesPositiveTimes) {
+  data::Dataset dataset =
+      data::MustGenerateDataset(data::SyntheticConfig::Tiny());
+  OracleRecommender oracle;
+  ASSERT_TRUE(oracle.Fit(dataset).ok());
+  TimingResult t = MeasureEfficiency(&oracle, dataset, /*users_per_run=*/10,
+                                     /*paths_per_run=*/10, /*repeats=*/2);
+  EXPECT_EQ(t.model, "Oracle");
+  EXPECT_GE(t.rec_per_1k_users_mean, 0.0);
+  EXPECT_GE(t.find_per_10k_paths_mean, 0.0);
+  EXPECT_GE(t.rec_per_1k_users_std, 0.0);
+}
+
+}  // namespace
+}  // namespace eval
+
+namespace rl {
+namespace {
+
+TEST(DiscountedReturnsTest, HandComputed) {
+  auto g = DiscountedReturns({1.0f, 0.0f, 2.0f}, 0.5f);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_FLOAT_EQ(g[2], 2.0f);
+  EXPECT_FLOAT_EQ(g[1], 1.0f);
+  EXPECT_FLOAT_EQ(g[0], 1.5f);
+}
+
+TEST(DiscountedReturnsTest, GammaOneIsSuffixSum) {
+  auto g = DiscountedReturns({1.0f, 1.0f, 1.0f}, 1.0f);
+  EXPECT_FLOAT_EQ(g[0], 3.0f);
+  EXPECT_FLOAT_EQ(g[2], 1.0f);
+}
+
+TEST(DiscountedReturnsTest, EmptyInput) {
+  EXPECT_TRUE(DiscountedReturns({}, 0.9f).empty());
+}
+
+TEST(MovingBaselineTest, ReturnsPreviousValueAndConverges) {
+  MovingBaseline b(0.5f);
+  EXPECT_FLOAT_EQ(b.Update(10.0f), 0.0f);  // first call: previous is 0
+  EXPECT_FLOAT_EQ(b.value(), 10.0f);
+  EXPECT_FLOAT_EQ(b.Update(0.0f), 10.0f);
+  EXPECT_FLOAT_EQ(b.value(), 5.0f);
+}
+
+TEST(ReinforceLossTest, EmptyTraceGivesUndefined) {
+  EpisodeTrace trace;
+  EXPECT_FALSE(ReinforceLoss(trace, 0.99f, 0.0f, 0.0f).defined());
+}
+
+TEST(ReinforceLossTest, GradientPushesUpRewardedAction) {
+  // A 2-action softmax policy; action 0 is always rewarded. After a
+  // REINFORCE step on the loss, logit 0 must increase.
+  ag::Tensor logits =
+      ag::Tensor::FromVector({0.0f, 0.0f}, {2}, /*requires_grad=*/true);
+  EpisodeTrace trace;
+  trace.log_probs.push_back(ag::Slice(ag::LogSoftmax(logits), 0, 1));
+  trace.rewards.push_back(1.0f);
+  ag::Tensor loss = ReinforceLoss(trace, 0.99f, 0.0f, 0.0f);
+  ASSERT_TRUE(loss.defined());
+  logits.ZeroGrad();
+  ag::Backward(loss);
+  EXPECT_LT(logits.grad()[0], 0.0f)
+      << "negative gradient on the rewarded logit => gradient descent "
+         "raises it";
+  EXPECT_GT(logits.grad()[1], 0.0f);
+}
+
+TEST(ReinforceLossTest, BaselineSubtractionFlipsSign) {
+  ag::Tensor logits =
+      ag::Tensor::FromVector({0.0f, 0.0f}, {2}, /*requires_grad=*/true);
+  EpisodeTrace trace;
+  trace.log_probs.push_back(ag::Slice(ag::LogSoftmax(logits), 0, 1));
+  trace.rewards.push_back(1.0f);
+  // Baseline above the return: the advantage is negative.
+  ag::Tensor loss = ReinforceLoss(trace, 0.99f, 2.0f, 0.0f);
+  logits.ZeroGrad();
+  ag::Backward(loss);
+  EXPECT_GT(logits.grad()[0], 0.0f);
+}
+
+TEST(ReinforceLossTest, EntropyBonusFlattensDistribution) {
+  ag::Tensor logits =
+      ag::Tensor::FromVector({2.0f, 0.0f}, {2}, /*requires_grad=*/true);
+  EpisodeTrace trace;
+  trace.log_probs.push_back(ag::Slice(ag::LogSoftmax(logits), 0, 1));
+  trace.rewards.push_back(0.0f);  // no reward: only the entropy term acts
+  trace.entropies.push_back(
+      ag::Neg(ag::Sum(ag::Mul(ag::Softmax(logits), ag::LogSoftmax(logits)))));
+  ag::Tensor loss = ReinforceLoss(trace, 0.99f, 0.0f, 0.5f);
+  logits.ZeroGrad();
+  ag::Backward(loss);
+  // Entropy ascent pushes the dominant logit down.
+  EXPECT_GT(logits.grad()[0], 0.0f);
+  EXPECT_LT(logits.grad()[1], 0.0f);
+}
+
+}  // namespace
+}  // namespace rl
+}  // namespace cadrl

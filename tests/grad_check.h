@@ -1,0 +1,50 @@
+#ifndef CADRL_TESTS_GRAD_CHECK_H_
+#define CADRL_TESTS_GRAD_CHECK_H_
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/tensor.h"
+
+namespace cadrl {
+namespace testing {
+
+// Verifies the analytic gradient of `loss_fn` w.r.t. every element of each
+// input against a central-difference numerical estimate. `loss_fn` must
+// rebuild the graph from the (mutated) inputs and return a scalar Tensor.
+inline void ExpectGradientsMatch(std::vector<ag::Tensor> inputs,
+                                 const std::function<ag::Tensor()>& loss_fn,
+                                 float eps = 1e-3f, float tol = 2e-2f) {
+  for (auto& in : inputs) in.set_requires_grad(true);
+  ag::Tensor loss = loss_fn();
+  for (auto& in : inputs) in.ZeroGrad();
+  loss.ZeroGrad();
+  ag::Backward(loss);
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    ag::Tensor& in = inputs[k];
+    std::vector<float> analytic(in.grad(), in.grad() + in.numel());
+    for (int64_t i = 0; i < in.numel(); ++i) {
+      const float saved = in.data()[i];
+      in.data()[i] = saved + eps;
+      const float up = loss_fn().item();
+      in.data()[i] = saved - eps;
+      const float down = loss_fn().item();
+      in.data()[i] = saved;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float diff = std::abs(numeric - analytic[static_cast<size_t>(i)]);
+      const float scale =
+          std::max(1.0f, std::max(std::abs(numeric),
+                                  std::abs(analytic[static_cast<size_t>(i)])));
+      EXPECT_LE(diff / scale, tol)
+          << "input " << k << " element " << i << ": analytic "
+          << analytic[static_cast<size_t>(i)] << " vs numeric " << numeric;
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace cadrl
+
+#endif  // CADRL_TESTS_GRAD_CHECK_H_

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "kg/category_graph.h"
+#include "kg/graph.h"
+#include "kg/types.h"
+
+namespace cadrl {
+namespace kg {
+namespace {
+
+TEST(RelationTest, InverseIsInvolutive) {
+  for (int r = 0; r < kNumRelations; ++r) {
+    const Relation rel = static_cast<Relation>(r);
+    EXPECT_EQ(InverseOf(InverseOf(rel)), rel);
+    EXPECT_NE(InverseOf(rel), rel);
+  }
+}
+
+TEST(RelationTest, IsInversePartitionsRelations) {
+  int base = 0, inverse = 0;
+  for (int r = 0; r < kNumRelations; ++r) {
+    IsInverse(static_cast<Relation>(r)) ? ++inverse : ++base;
+  }
+  EXPECT_EQ(base, kNumBaseRelations);
+  EXPECT_EQ(inverse, kNumBaseRelations);
+}
+
+TEST(RelationTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (int r = 0; r <= kNumRelations; ++r) {
+    names.insert(RelationName(static_cast<Relation>(r)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumRelations + 1));
+}
+
+TEST(EntityTypeTest, Names) {
+  EXPECT_EQ(EntityTypeName(EntityType::kUser), "user");
+  EXPECT_EQ(EntityTypeName(EntityType::kItem), "item");
+  EXPECT_EQ(EntityTypeName(EntityType::kBrand), "brand");
+  EXPECT_EQ(EntityTypeName(EntityType::kFeature), "feature");
+}
+
+class GraphTest : public ::testing::Test {
+ protected:
+  // user -purchase-> item0 -also_bought-> item1 -produced_by-> brand
+  void SetUp() override {
+    user_ = g_.AddEntity(EntityType::kUser);
+    item0_ = g_.AddEntity(EntityType::kItem);
+    item1_ = g_.AddEntity(EntityType::kItem);
+    brand_ = g_.AddEntity(EntityType::kBrand);
+    g_.SetItemCategory(item0_, 0);
+    g_.SetItemCategory(item1_, 1);
+    g_.AddTriple(user_, Relation::kPurchase, item0_);
+    g_.AddTriple(item0_, Relation::kAlsoBought, item1_);
+    g_.AddTriple(item1_, Relation::kProducedBy, brand_);
+    g_.Finalize();
+  }
+
+  KnowledgeGraph g_;
+  EntityId user_, item0_, item1_, brand_;
+};
+
+TEST_F(GraphTest, CountsAndTypes) {
+  EXPECT_EQ(g_.num_entities(), 4);
+  EXPECT_EQ(g_.num_triples(), 3);
+  EXPECT_EQ(g_.num_edges(), 6);
+  EXPECT_EQ(g_.TypeOf(user_), EntityType::kUser);
+  EXPECT_TRUE(g_.IsItem(item0_));
+  EXPECT_FALSE(g_.IsItem(brand_));
+  EXPECT_EQ(g_.CountOfType(EntityType::kItem), 2);
+}
+
+TEST_F(GraphTest, InverseEdgesMaterialized) {
+  EXPECT_TRUE(g_.HasEdge(user_, Relation::kPurchase, item0_));
+  EXPECT_TRUE(g_.HasEdge(item0_, Relation::kPurchaseInv, user_));
+  EXPECT_TRUE(g_.HasEdge(item1_, Relation::kAlsoBoughtInv, item0_));
+  EXPECT_TRUE(g_.HasEdge(brand_, Relation::kProducedByInv, item1_));
+  EXPECT_FALSE(g_.HasEdge(user_, Relation::kPurchase, item1_));
+}
+
+TEST_F(GraphTest, NeighborsAndDegree) {
+  EXPECT_EQ(g_.Degree(user_), 1);
+  EXPECT_EQ(g_.Degree(item0_), 2);  // purchase_inv + also_bought
+  EXPECT_EQ(g_.Degree(item1_), 2);  // also_bought_inv + produced_by
+  auto span = g_.Neighbors(item0_);
+  EXPECT_EQ(span.size(), 2u);
+}
+
+TEST_F(GraphTest, CategoryQueries) {
+  EXPECT_EQ(g_.CategoryOf(item0_), 0);
+  EXPECT_EQ(g_.CategoryOf(item1_), 1);
+  EXPECT_EQ(g_.CategoryOf(user_), kInvalidCategory);
+  EXPECT_EQ(g_.num_categories(), 2);
+  EXPECT_EQ(g_.ItemsInCategory(0).size(), 1u);
+  EXPECT_EQ(g_.ItemsInCategory(0)[0], item0_);
+  EXPECT_DOUBLE_EQ(g_.MeanItemsPerCategory(), 1.0);
+}
+
+TEST_F(GraphTest, EntitiesOfTypeInsertionOrder) {
+  const auto& items = g_.EntitiesOfType(EntityType::kItem);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0], item0_);
+  EXPECT_EQ(items[1], item1_);
+}
+
+TEST(GraphDuplicateTest, DuplicateTriplesAreDeduplicated) {
+  KnowledgeGraph g;
+  EntityId a = g.AddEntity(EntityType::kItem);
+  EntityId b = g.AddEntity(EntityType::kItem);
+  g.AddTriple(a, Relation::kAlsoBought, b);
+  g.AddTriple(a, Relation::kAlsoBought, b);
+  g.Finalize();
+  EXPECT_EQ(g.num_triples(), 1);
+  EXPECT_EQ(g.Degree(a), 1);
+}
+
+TEST(GraphParallelRelationsTest, TwoRelationsBetweenSamePairKept) {
+  KnowledgeGraph g;
+  EntityId a = g.AddEntity(EntityType::kItem);
+  EntityId b = g.AddEntity(EntityType::kItem);
+  g.AddTriple(a, Relation::kAlsoBought, b);
+  g.AddTriple(a, Relation::kAlsoViewed, b);
+  g.Finalize();
+  EXPECT_EQ(g.num_triples(), 2);
+  EXPECT_TRUE(g.HasEdge(a, Relation::kAlsoBought, b));
+  EXPECT_TRUE(g.HasEdge(a, Relation::kAlsoViewed, b));
+}
+
+TEST(GraphEmptyTest, EmptyGraphFinalizes) {
+  KnowledgeGraph g;
+  g.Finalize();
+  EXPECT_EQ(g.num_entities(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.num_categories(), 0);
+}
+
+TEST(GraphIsolatedTest, IsolatedEntityHasNoNeighbors) {
+  KnowledgeGraph g;
+  EntityId a = g.AddEntity(EntityType::kUser);
+  g.Finalize();
+  EXPECT_EQ(g.Degree(a), 0);
+  EXPECT_TRUE(g.Neighbors(a).empty());
+}
+
+// ---------- Category graph (Definition 4) ----------
+
+class CategoryGraphTest : public ::testing::Test {
+ protected:
+  // Categories: 0 {i0, i1}, 1 {i2}, 2 {i3} (isolated).
+  // Cross edges: i0 -also_bought-> i2 (0-1), i1 -bought_together-> i0 (same
+  // category: not a category edge), i0 -also_viewed-> i2 (0-1 again).
+  void SetUp() override {
+    for (int k = 0; k < 4; ++k) {
+      items_[k] = g_.AddEntity(EntityType::kItem);
+    }
+    g_.SetItemCategory(items_[0], 0);
+    g_.SetItemCategory(items_[1], 0);
+    g_.SetItemCategory(items_[2], 1);
+    g_.SetItemCategory(items_[3], 2);
+    g_.AddTriple(items_[0], Relation::kAlsoBought, items_[2]);
+    g_.AddTriple(items_[1], Relation::kBoughtTogether, items_[0]);
+    g_.AddTriple(items_[0], Relation::kAlsoViewed, items_[2]);
+    g_.Finalize();
+    cg_ = std::make_unique<CategoryGraph>(CategoryGraph::Build(g_));
+  }
+
+  KnowledgeGraph g_;
+  EntityId items_[4];
+  std::unique_ptr<CategoryGraph> cg_;
+};
+
+TEST_F(CategoryGraphTest, CrossCategoryEdgesOnly) {
+  EXPECT_EQ(cg_->num_categories(), 3);
+  EXPECT_TRUE(cg_->Connected(0, 1));
+  EXPECT_TRUE(cg_->Connected(1, 0)) << "category edges are symmetric";
+  EXPECT_FALSE(cg_->Connected(0, 2));
+  EXPECT_FALSE(cg_->Connected(0, 0)) << "no self edges";
+}
+
+TEST_F(CategoryGraphTest, WeightsCountRelationInstances) {
+  EXPECT_EQ(cg_->EdgeWeight(0, 1), 2);  // also_bought + also_viewed
+  EXPECT_EQ(cg_->EdgeWeight(1, 0), 2);
+  EXPECT_EQ(cg_->EdgeWeight(0, 2), 0);
+}
+
+TEST_F(CategoryGraphTest, DegreesAndIsolation) {
+  EXPECT_EQ(cg_->Degree(0), 1);
+  EXPECT_EQ(cg_->Degree(1), 1);
+  EXPECT_EQ(cg_->Degree(2), 0);
+}
+
+TEST(CategoryGraphSortTest, NeighborsSortedByWeightDescending) {
+  KnowledgeGraph g;
+  EntityId a = g.AddEntity(EntityType::kItem);   // cat 0
+  EntityId b = g.AddEntity(EntityType::kItem);   // cat 1
+  EntityId c = g.AddEntity(EntityType::kItem);   // cat 2
+  EntityId a2 = g.AddEntity(EntityType::kItem);  // cat 0
+  g.SetItemCategory(a, 0);
+  g.SetItemCategory(b, 1);
+  g.SetItemCategory(c, 2);
+  g.SetItemCategory(a2, 0);
+  // cat0-cat2 twice, cat0-cat1 once.
+  g.AddTriple(a, Relation::kAlsoBought, c);
+  g.AddTriple(a2, Relation::kAlsoViewed, c);
+  g.AddTriple(a, Relation::kAlsoBought, b);
+  g.Finalize();
+  CategoryGraph cg = CategoryGraph::Build(g);
+  auto neighbors = cg.Neighbors(0);
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[0].dst, 2);
+  EXPECT_EQ(neighbors[0].weight, 2);
+  EXPECT_EQ(neighbors[1].dst, 1);
+}
+
+TEST(CategoryGraphUserEdgeTest, UserItemEdgesDoNotCreateCategoryEdges) {
+  KnowledgeGraph g;
+  EntityId u = g.AddEntity(EntityType::kUser);
+  EntityId a = g.AddEntity(EntityType::kItem);
+  EntityId b = g.AddEntity(EntityType::kItem);
+  g.SetItemCategory(a, 0);
+  g.SetItemCategory(b, 1);
+  g.AddTriple(u, Relation::kPurchase, a);
+  g.AddTriple(u, Relation::kPurchase, b);
+  g.Finalize();
+  CategoryGraph cg = CategoryGraph::Build(g);
+  EXPECT_FALSE(cg.Connected(0, 1));
+}
+
+}  // namespace
+}  // namespace kg
+}  // namespace cadrl

@@ -1,0 +1,233 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/module.h"
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "grad_check.h"
+
+namespace cadrl {
+namespace ag {
+namespace {
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  Linear layer(3, 2, &rng);
+  Tensor x = Tensor::FromVector({1, 0, 0}, {3});
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.rank(), 1);
+  EXPECT_EQ(y.numel(), 2);
+  EXPECT_EQ(layer.Parameters().size(), 2u);  // weight + bias
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(1);
+  Linear layer(3, 2, &rng, /*use_bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+  Tensor zero = Tensor::Zeros({3});
+  Tensor y = layer.Forward(zero);
+  EXPECT_FLOAT_EQ(y.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.0f);
+}
+
+TEST(LinearTest, MatchesManualMatVec) {
+  Rng rng(2);
+  Linear layer(2, 2, &rng, /*use_bias=*/false);
+  Tensor x = Tensor::FromVector({1, 2}, {2});
+  Tensor y = layer.Forward(x);
+  const Tensor& w = layer.weight();
+  EXPECT_NEAR(y.at(0), w.at(0, 0) * 1 + w.at(0, 1) * 2, 1e-5f);
+  EXPECT_NEAR(y.at(1), w.at(1, 0) * 1 + w.at(1, 1) * 2, 1e-5f);
+}
+
+TEST(LinearTest, GradientsFlowToParameters) {
+  Rng rng(3);
+  Linear layer(3, 2, &rng);
+  Tensor x = Tensor::FromVector({0.5f, -1.0f, 2.0f}, {3});
+  Tensor loss = Sum(layer.Forward(x));
+  Backward(loss);
+  auto params = layer.Parameters();
+  bool any_nonzero = false;
+  for (const Tensor& p : params) {
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      if (p.grad()[i] != 0.0f) any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(EmbeddingTest, RowLookup) {
+  Rng rng(4);
+  Embedding emb(5, 3, &rng);
+  Tensor r2 = emb.Row(2);
+  EXPECT_EQ(r2.numel(), 3);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(r2.at(i), emb.table().at(2, i));
+  }
+}
+
+TEST(EmbeddingTest, FromPretrainedRows) {
+  std::vector<float> rows = {1, 2, 3, 4, 5, 6};
+  Embedding emb(2, 3, rows, /*trainable=*/false);
+  EXPECT_FLOAT_EQ(emb.Row(1).at(0), 4.0f);
+  EXPECT_TRUE(emb.Parameters().empty());
+  Embedding trainable(2, 3, rows, /*trainable=*/true);
+  EXPECT_EQ(trainable.Parameters().size(), 1u);
+}
+
+TEST(EmbeddingTest, GradAccumulatesOnlyInTouchedRows) {
+  Rng rng(5);
+  Embedding emb(4, 2, &rng);
+  Tensor loss = Sum(emb.Row(1));
+  Backward(loss);
+  const Tensor& t = emb.table();
+  const float* g = t.grad();
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[2], 1.0f);  // row 1
+  EXPECT_FLOAT_EQ(g[3], 1.0f);
+  EXPECT_FLOAT_EQ(g[6], 0.0f);
+}
+
+TEST(LstmCellTest, StateShapesAndBounds) {
+  Rng rng(6);
+  LstmCell cell(4, 3, &rng);
+  auto state = cell.InitialState();
+  EXPECT_EQ(state.h.numel(), 3);
+  EXPECT_EQ(state.c.numel(), 3);
+  Tensor x = Tensor::Randn({4}, &rng, 1.0f);
+  auto next = cell.Forward(x, state);
+  EXPECT_EQ(next.h.numel(), 3);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_GE(next.h.at(i), -1.0f);
+    EXPECT_LE(next.h.at(i), 1.0f);
+  }
+}
+
+TEST(LstmCellTest, StatePropagatesInformation) {
+  Rng rng(7);
+  LstmCell cell(2, 3, &rng);
+  Tensor x1 = Tensor::FromVector({1.0f, -1.0f}, {2});
+  Tensor x2 = Tensor::FromVector({0.0f, 0.0f}, {2});
+  auto s0 = cell.InitialState();
+  auto s1 = cell.Forward(x1, s0);
+  auto s2a = cell.Forward(x2, s1);
+  auto s2b = cell.Forward(x2, s0);
+  // Same input, different histories -> different hidden states.
+  bool differs = false;
+  for (int64_t i = 0; i < 3; ++i) {
+    if (std::abs(s2a.h.at(i) - s2b.h.at(i)) > 1e-6f) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(LstmCellTest, GradCheckThroughTwoSteps) {
+  Rng rng(8);
+  LstmCell cell(2, 2, &rng);
+  Tensor x = Tensor::Randn({2}, &rng, 1.0f);
+  auto params = cell.Parameters();
+  ASSERT_EQ(params.size(), 3u);
+  cadrl::testing::ExpectGradientsMatch(
+      {x},
+      [&] {
+        auto s = cell.Forward(x, cell.InitialState());
+        s = cell.Forward(x, s);
+        return Sum(s.h);
+      },
+      1e-2f, 5e-2f);
+}
+
+TEST(ModuleTest, ParametersFlattenSubmodules) {
+  Rng rng(9);
+  struct Net : Module {
+    Net(Rng* rng) : l1(2, 3, rng), l2(3, 1, rng) {
+      RegisterModule(&l1);
+      RegisterModule(&l2);
+    }
+    Linear l1, l2;
+  };
+  Net net(&rng);
+  EXPECT_EQ(net.Parameters().size(), 4u);
+}
+
+TEST(GlorotTest, StddevIsReasonable) {
+  EXPECT_NEAR(GlorotStddev(100, 100), std::sqrt(2.0f / 200.0f), 1e-6f);
+  EXPECT_GT(GlorotStddev(1, 1), GlorotStddev(100, 100));
+}
+
+// ---------- Optimizers ----------
+
+TEST(SgdTest, StepMovesAgainstGradient) {
+  Tensor w = Tensor::FromVector({1.0f}, {1}, /*requires_grad=*/true);
+  Sgd opt({w}, /*lr=*/0.1f);
+  Tensor loss = Sum(Mul(w, w));  // d/dw = 2w = 2
+  opt.ZeroGrad();
+  Backward(loss);
+  opt.Step();
+  EXPECT_NEAR(w.at(0), 0.8f, 1e-6f);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Tensor w = Tensor::FromVector({1.0f}, {1}, /*requires_grad=*/true);
+  Sgd opt({w}, /*lr=*/0.1f, /*weight_decay=*/1.0f);
+  opt.ZeroGrad();  // zero gradient; only decay acts
+  opt.Step();
+  EXPECT_NEAR(w.at(0), 0.9f, 1e-6f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Rng rng(10);
+  Tensor w = Tensor::FromVector({5.0f, -3.0f}, {2}, /*requires_grad=*/true);
+  Adam opt({w}, /*lr=*/0.1f);
+  for (int iter = 0; iter < 300; ++iter) {
+    opt.ZeroGrad();
+    Tensor loss = Sum(Mul(w, w));
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(w.at(0), 0.0f, 1e-2f);
+  EXPECT_NEAR(w.at(1), 0.0f, 1e-2f);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesLargeGradients) {
+  Tensor w = Tensor::FromVector({0.0f}, {1}, /*requires_grad=*/true);
+  Sgd opt({w}, 0.1f);
+  opt.ZeroGrad();
+  w.grad()[0] = 30.0f;
+  const float pre = opt.ClipGradNorm(3.0f);
+  EXPECT_NEAR(pre, 30.0f, 1e-4f);
+  EXPECT_NEAR(w.grad()[0], 3.0f, 1e-4f);
+}
+
+TEST(OptimizerTest, ClipGradNormLeavesSmallGradients) {
+  Tensor w = Tensor::FromVector({0.0f}, {1}, /*requires_grad=*/true);
+  Sgd opt({w}, 0.1f);
+  opt.ZeroGrad();
+  w.grad()[0] = 0.5f;
+  opt.ClipGradNorm(3.0f);
+  EXPECT_NEAR(w.grad()[0], 0.5f, 1e-6f);
+}
+
+TEST(OptimizerTest, SgdLearnsLinearRegression) {
+  // Fit y = 2x + 1 with a Linear layer; a miniature end-to-end sanity check
+  // of the whole autograd stack.
+  Rng rng(11);
+  Linear layer(1, 1, &rng);
+  Sgd opt(layer.Parameters(), 0.05f);
+  for (int iter = 0; iter < 500; ++iter) {
+    const float xv = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    const float yv = 2.0f * xv + 1.0f;
+    Tensor x = Tensor::FromVector({xv}, {1});
+    Tensor err = Sub(layer.Forward(x), Tensor::FromVector({yv}, {1}));
+    Tensor loss = Sum(Mul(err, err));
+    opt.ZeroGrad();
+    Backward(loss);
+    opt.Step();
+  }
+  Tensor test = Tensor::FromVector({0.5f}, {1});
+  EXPECT_NEAR(layer.Forward(test).at(0), 2.0f, 0.1f);
+}
+
+}  // namespace
+}  // namespace ag
+}  // namespace cadrl

@@ -1,0 +1,285 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/tensor.h"
+#include "grad_check.h"
+
+namespace cadrl {
+namespace ag {
+namespace {
+
+using ::cadrl::testing::ExpectGradientsMatch;
+
+Tensor RandomTensor(std::vector<int64_t> shape, Rng* rng, float scale = 1.0f) {
+  return Tensor::Randn(std::move(shape), rng, scale);
+}
+
+// ---------- Forward value tests ----------
+
+TEST(OpsForward, AddSubMul) {
+  Tensor a = Tensor::FromVector({1, 2, 3}, {3});
+  Tensor b = Tensor::FromVector({4, 5, 6}, {3});
+  EXPECT_FLOAT_EQ(Add(a, b).at(2), 9.0f);
+  EXPECT_FLOAT_EQ(Sub(a, b).at(0), -3.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b).at(1), 10.0f);
+}
+
+TEST(OpsForward, AddN) {
+  Tensor a = Tensor::FromVector({1, 1}, {2});
+  Tensor b = Tensor::FromVector({2, 2}, {2});
+  Tensor c = Tensor::FromVector({3, 3}, {2});
+  Tensor s = AddN({a, b, c});
+  EXPECT_FLOAT_EQ(s.at(0), 6.0f);
+}
+
+TEST(OpsForward, ScalarOps) {
+  Tensor a = Tensor::FromVector({2, -2}, {2});
+  EXPECT_FLOAT_EQ(MulScalar(a, 3.0f).at(0), 6.0f);
+  EXPECT_FLOAT_EQ(AddScalar(a, 1.0f).at(1), -1.0f);
+  EXPECT_FLOAT_EQ(Neg(a).at(0), -2.0f);
+}
+
+TEST(OpsForward, Activations) {
+  Tensor a = Tensor::FromVector({0.0f, 2.0f, -2.0f}, {3});
+  EXPECT_FLOAT_EQ(Sigmoid(a).at(0), 0.5f);
+  EXPECT_NEAR(Tanh(a).at(1), std::tanh(2.0f), 1e-6f);
+  EXPECT_FLOAT_EQ(Relu(a).at(2), 0.0f);
+  EXPECT_FLOAT_EQ(Relu(a).at(1), 2.0f);
+  EXPECT_FLOAT_EQ(LeakyRelu(a, 0.1f).at(2), -0.2f);
+}
+
+TEST(OpsForward, SigmoidExtremeValuesAreStable) {
+  Tensor a = Tensor::FromVector({100.0f, -100.0f}, {2});
+  Tensor s = Sigmoid(a);
+  EXPECT_NEAR(s.at(0), 1.0f, 1e-6f);
+  EXPECT_NEAR(s.at(1), 0.0f, 1e-6f);
+  EXPECT_FALSE(std::isnan(s.at(0)));
+  EXPECT_FALSE(std::isnan(s.at(1)));
+}
+
+TEST(OpsForward, ExpLog) {
+  Tensor a = Tensor::FromVector({1.0f}, {1});
+  EXPECT_NEAR(Exp(a).at(0), std::exp(1.0f), 1e-5f);
+  EXPECT_NEAR(Log(Exp(a)).at(0), 1.0f, 1e-5f);
+}
+
+TEST(OpsForward, MatVec) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4}, {2, 2});
+  Tensor x = Tensor::FromVector({1, 1}, {2});
+  Tensor y = MatMul(a, x);
+  EXPECT_EQ(y.rank(), 1);
+  EXPECT_FLOAT_EQ(y.at(0), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 7.0f);
+}
+
+TEST(OpsForward, MatMat) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4}, {2, 2});
+  Tensor b = Tensor::FromVector({1, 0, 0, 1}, {2, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 4.0f);
+}
+
+TEST(OpsForward, DotSumMean) {
+  Tensor a = Tensor::FromVector({1, 2, 3}, {3});
+  Tensor b = Tensor::FromVector({4, 5, 6}, {3});
+  EXPECT_FLOAT_EQ(Dot(a, b).item(), 32.0f);
+  EXPECT_FLOAT_EQ(Sum(a).item(), 6.0f);
+  EXPECT_FLOAT_EQ(Mean(a).item(), 2.0f);
+}
+
+TEST(OpsForward, ConcatSlice) {
+  Tensor a = Tensor::FromVector({1, 2}, {2});
+  Tensor b = Tensor::FromVector({3}, {1});
+  Tensor c = Concat({a, b});
+  EXPECT_EQ(c.numel(), 3);
+  EXPECT_FLOAT_EQ(c.at(2), 3.0f);
+  Tensor s = Slice(c, 1, 2);
+  EXPECT_FLOAT_EQ(s.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(s.at(1), 3.0f);
+}
+
+TEST(OpsForward, StackRowsAndGather) {
+  Tensor r0 = Tensor::FromVector({1, 2}, {2});
+  Tensor r1 = Tensor::FromVector({3, 4}, {2});
+  Tensor m = StackRows({r0, r1});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_FLOAT_EQ(m.at(1, 0), 3.0f);
+  Tensor g = GatherRow(m, 1);
+  EXPECT_FLOAT_EQ(g.at(1), 4.0f);
+}
+
+TEST(OpsForward, SoftmaxIsDistribution) {
+  Tensor logits = Tensor::FromVector({1.0f, 2.0f, 3.0f}, {3});
+  Tensor p = Softmax(logits);
+  float total = 0.0f;
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_GT(p.at(i), 0.0f);
+    total += p.at(i);
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-5f);
+  EXPECT_GT(p.at(2), p.at(1));
+}
+
+TEST(OpsForward, SoftmaxStableForLargeLogits) {
+  Tensor logits = Tensor::FromVector({1000.0f, 1000.0f}, {2});
+  Tensor p = Softmax(logits);
+  EXPECT_NEAR(p.at(0), 0.5f, 1e-5f);
+}
+
+TEST(OpsForward, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor logits = Tensor::FromVector({0.5f, -1.0f, 2.0f}, {3});
+  Tensor lp = LogSoftmax(logits);
+  Tensor p = Softmax(logits);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(lp.at(i), std::log(p.at(i)), 1e-5f);
+  }
+}
+
+TEST(OpsForward, CosineSimilarityIdenticalAndOpposite) {
+  Tensor a = Tensor::FromVector({1, 2, 3}, {3});
+  Tensor b = Tensor::FromVector({-1, -2, -3}, {3});
+  EXPECT_NEAR(CosineSimilarity(a, a).item(), 1.0f, 1e-5f);
+  EXPECT_NEAR(CosineSimilarity(a, b).item(), -1.0f, 1e-5f);
+}
+
+TEST(OpsForward, CosineSimilarityOrthogonal) {
+  Tensor a = Tensor::FromVector({1, 0}, {2});
+  Tensor b = Tensor::FromVector({0, 1}, {2});
+  EXPECT_NEAR(CosineSimilarity(a, b).item(), 0.0f, 1e-5f);
+}
+
+TEST(OpsForward, CosineSimilarityZeroVectorIsFinite) {
+  Tensor a = Tensor::FromVector({0, 0}, {2});
+  Tensor b = Tensor::FromVector({1, 1}, {2});
+  const float c = CosineSimilarity(a, b).item();
+  EXPECT_FALSE(std::isnan(c));
+}
+
+// ---------- Gradient property tests ----------
+
+class UnaryGradTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnaryGradTest, Sigmoid) {
+  Rng rng(100 + GetParam());
+  Tensor a = RandomTensor({4}, &rng);
+  ExpectGradientsMatch({a}, [&] { return Sum(Sigmoid(a)); });
+}
+
+TEST_P(UnaryGradTest, Tanh) {
+  Rng rng(200 + GetParam());
+  Tensor a = RandomTensor({4}, &rng);
+  ExpectGradientsMatch({a}, [&] { return Sum(Tanh(a)); });
+}
+
+TEST_P(UnaryGradTest, LeakyRelu) {
+  Rng rng(300 + GetParam());
+  Tensor a = RandomTensor({5}, &rng);
+  ExpectGradientsMatch({a}, [&] { return Sum(LeakyRelu(a, 0.1f)); });
+}
+
+TEST_P(UnaryGradTest, Exp) {
+  Rng rng(400 + GetParam());
+  Tensor a = RandomTensor({4}, &rng, 0.5f);
+  ExpectGradientsMatch({a}, [&] { return Sum(Exp(a)); });
+}
+
+TEST_P(UnaryGradTest, Softmax) {
+  Rng rng(500 + GetParam());
+  Tensor a = RandomTensor({6}, &rng);
+  Tensor w = RandomTensor({6}, &rng);  // weight so grads are non-trivial
+  ExpectGradientsMatch({a}, [&] { return Dot(Softmax(a), w.Detach()); });
+}
+
+TEST_P(UnaryGradTest, LogSoftmax) {
+  Rng rng(600 + GetParam());
+  Tensor a = RandomTensor({6}, &rng);
+  ExpectGradientsMatch({a},
+                       [&] { return Sum(Slice(LogSoftmax(a), 2, 1)); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnaryGradTest, ::testing::Range(0, 4));
+
+class BinaryGradTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinaryGradTest, AddSubMul) {
+  Rng rng(700 + GetParam());
+  Tensor a = RandomTensor({4}, &rng);
+  Tensor b = RandomTensor({4}, &rng);
+  ExpectGradientsMatch({a, b},
+                       [&] { return Sum(Mul(Add(a, b), Sub(a, b))); });
+}
+
+TEST_P(BinaryGradTest, Dot) {
+  Rng rng(800 + GetParam());
+  Tensor a = RandomTensor({5}, &rng);
+  Tensor b = RandomTensor({5}, &rng);
+  ExpectGradientsMatch({a, b}, [&] { return Dot(a, b); });
+}
+
+TEST_P(BinaryGradTest, MatVec) {
+  Rng rng(900 + GetParam());
+  Tensor a = RandomTensor({3, 4}, &rng);
+  Tensor x = RandomTensor({4}, &rng);
+  ExpectGradientsMatch({a, x}, [&] { return Sum(MatMul(a, x)); });
+}
+
+TEST_P(BinaryGradTest, MatMat) {
+  Rng rng(1000 + GetParam());
+  Tensor a = RandomTensor({2, 3}, &rng);
+  Tensor b = RandomTensor({3, 2}, &rng);
+  ExpectGradientsMatch({a, b}, [&] { return Sum(MatMul(a, b)); });
+}
+
+TEST_P(BinaryGradTest, CosineSimilarity) {
+  Rng rng(1100 + GetParam());
+  Tensor a = RandomTensor({4}, &rng);
+  Tensor b = RandomTensor({4}, &rng);
+  ExpectGradientsMatch({a, b}, [&] { return CosineSimilarity(a, b); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryGradTest, ::testing::Range(0, 4));
+
+TEST(ShapeGradTest, ConcatSliceStackGather) {
+  Rng rng(1234);
+  Tensor a = RandomTensor({3}, &rng);
+  Tensor b = RandomTensor({3}, &rng);
+  ExpectGradientsMatch({a, b}, [&] {
+    Tensor cat = Concat({a, b});
+    Tensor mat = StackRows({Slice(cat, 0, 3), Slice(cat, 3, 3)});
+    return Sum(Mul(GatherRow(mat, 0), GatherRow(mat, 1)));
+  });
+}
+
+TEST(ShapeGradTest, AddN) {
+  Rng rng(4321);
+  Tensor a = RandomTensor({3}, &rng);
+  Tensor b = RandomTensor({3}, &rng);
+  Tensor c = RandomTensor({3}, &rng);
+  ExpectGradientsMatch({a, b, c}, [&] { return Sum(Mul(AddN({a, b, c}), a)); });
+}
+
+TEST(CompositeGradTest, MlpLikeComposition) {
+  Rng rng(999);
+  Tensor w1 = RandomTensor({4, 3}, &rng, 0.5f);
+  Tensor w2 = RandomTensor({1, 4}, &rng, 0.5f);
+  Tensor x = RandomTensor({3}, &rng);
+  ExpectGradientsMatch({w1, w2, x}, [&] {
+    return Sum(MatMul(w2, Tanh(MatMul(w1, x))));
+  });
+}
+
+TEST(CompositeGradTest, LogOfSoftmaxSlicePolicyGradientShape) {
+  // The exact expression used for REINFORCE log-probs.
+  Rng rng(777);
+  Tensor logits = RandomTensor({5}, &rng);
+  ExpectGradientsMatch({logits}, [&] {
+    return MulScalar(Sum(Slice(LogSoftmax(logits), 3, 1)), -1.5f);
+  });
+}
+
+}  // namespace
+}  // namespace ag
+}  // namespace cadrl

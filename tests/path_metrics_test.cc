@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "eval/path_metrics.h"
+
+namespace cadrl {
+namespace eval {
+namespace {
+
+class PathMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    user_ = g_.AddEntity(kg::EntityType::kUser);
+    a_ = g_.AddEntity(kg::EntityType::kItem);
+    b_ = g_.AddEntity(kg::EntityType::kItem);
+    c_ = g_.AddEntity(kg::EntityType::kItem);
+    d_ = g_.AddEntity(kg::EntityType::kItem);
+    e_ = g_.AddEntity(kg::EntityType::kItem);
+    g_.SetItemCategory(a_, 0);
+    g_.SetItemCategory(b_, 1);
+    g_.SetItemCategory(c_, 1);
+    g_.SetItemCategory(d_, 2);
+    g_.SetItemCategory(e_, 2);
+    g_.AddTriple(user_, kg::Relation::kPurchase, a_);
+    g_.AddTriple(a_, kg::Relation::kAlsoBought, b_);
+    g_.AddTriple(b_, kg::Relation::kBoughtTogether, c_);
+    g_.AddTriple(c_, kg::Relation::kAlsoViewed, d_);
+    g_.AddTriple(d_, kg::Relation::kAlsoBought, e_);
+    g_.Finalize();
+  }
+
+  RecommendationPath MakePath(std::vector<PathStep> steps) {
+    RecommendationPath p;
+    p.user = user_;
+    p.steps = std::move(steps);
+    return p;
+  }
+
+  kg::KnowledgeGraph g_;
+  kg::EntityId user_, a_, b_, c_, d_, e_;
+};
+
+TEST_F(PathMetricsTest, EmptyBatch) {
+  PathQuality q = EvaluatePaths(g_, {});
+  EXPECT_EQ(q.num_paths, 0);
+  EXPECT_EQ(q.num_valid, 0);
+  EXPECT_DOUBLE_EQ(q.mean_length, 0.0);
+}
+
+TEST_F(PathMetricsTest, ValidPathCountsAndLength) {
+  auto path = MakePath({{kg::Relation::kPurchase, a_},
+                        {kg::Relation::kAlsoBought, b_}});
+  PathQuality q = EvaluatePaths(g_, {path});
+  EXPECT_EQ(q.num_paths, 1);
+  EXPECT_EQ(q.num_valid, 1);
+  EXPECT_DOUBLE_EQ(q.mean_length, 2.0);
+  EXPECT_DOUBLE_EQ(q.long_path_fraction, 0.0);
+}
+
+TEST_F(PathMetricsTest, InvalidHopDetected) {
+  // user -> b is not an edge.
+  auto bogus = MakePath({{kg::Relation::kPurchase, b_}});
+  PathQuality q = EvaluatePaths(g_, {bogus});
+  EXPECT_EQ(q.num_valid, 0);
+}
+
+TEST_F(PathMetricsTest, LongPathFractionAndCategories) {
+  auto long_path = MakePath({{kg::Relation::kPurchase, a_},
+                             {kg::Relation::kAlsoBought, b_},
+                             {kg::Relation::kBoughtTogether, c_},
+                             {kg::Relation::kAlsoViewed, d_},
+                             {kg::Relation::kAlsoBought, e_}});
+  auto short_path = MakePath({{kg::Relation::kPurchase, a_}});
+  PathQuality q = EvaluatePaths(g_, {long_path, short_path});
+  EXPECT_EQ(q.num_valid, 2);
+  EXPECT_DOUBLE_EQ(q.mean_length, 3.0);
+  EXPECT_DOUBLE_EQ(q.long_path_fraction, 0.5);
+  // Long path touches categories {0,1,2}; short touches {0}.
+  EXPECT_DOUBLE_EQ(q.mean_categories_per_path, 2.0);
+}
+
+TEST_F(PathMetricsTest, RelationDiversity) {
+  auto p1 = MakePath({{kg::Relation::kPurchase, a_}});
+  PathQuality q1 = EvaluatePaths(g_, {p1});
+  EXPECT_NEAR(q1.relation_diversity, 1.0 / kg::kNumRelations, 1e-9);
+  auto p2 = MakePath({{kg::Relation::kPurchase, a_},
+                      {kg::Relation::kAlsoBought, b_},
+                      {kg::Relation::kBoughtTogether, c_}});
+  PathQuality q2 = EvaluatePaths(g_, {p1, p2});
+  EXPECT_NEAR(q2.relation_diversity, 3.0 / kg::kNumRelations, 1e-9);
+}
+
+TEST_F(PathMetricsTest, EmptyStepsPathIsInvalid) {
+  RecommendationPath p;
+  p.user = user_;
+  PathQuality q = EvaluatePaths(g_, {p});
+  EXPECT_EQ(q.num_paths, 1);
+  EXPECT_EQ(q.num_valid, 0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace cadrl

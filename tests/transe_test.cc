@@ -1,0 +1,158 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "embed/transe.h"
+
+namespace cadrl {
+namespace embed {
+namespace {
+
+TEST(TransEOptionsTest, Validation) {
+  TransEOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.dim = 1;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = TransEOptions();
+  o.lr = 0.0f;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = TransEOptions();
+  o.negatives_per_triple = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+class TransETest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(
+        data::MustGenerateDataset(data::SyntheticConfig::Tiny()));
+    TransEOptions options;
+    options.dim = 16;
+    options.epochs = 8;
+    model_ = new TransEModel(TransEModel::Train(dataset_->graph, options));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete dataset_;
+    model_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static data::Dataset* dataset_;
+  static TransEModel* model_;
+};
+
+data::Dataset* TransETest::dataset_ = nullptr;
+TransEModel* TransETest::model_ = nullptr;
+
+TEST_F(TransETest, DimensionsMatch) {
+  EXPECT_EQ(model_->dim(), 16);
+  EXPECT_EQ(model_->num_entities(), dataset_->graph.num_entities());
+  EXPECT_EQ(model_->num_categories(), dataset_->graph.num_categories());
+  EXPECT_EQ(model_->EntityVec(0).size(), 16u);
+  EXPECT_EQ(model_->RelationVec(kg::Relation::kPurchase).size(), 16u);
+}
+
+TEST_F(TransETest, LossDecreasesOverTraining) {
+  const auto& losses = model_->epoch_losses();
+  ASSERT_GE(losses.size(), 4u);
+  EXPECT_LT(losses.back(), losses.front())
+      << "margin loss should decrease from " << losses.front() << " to "
+      << losses.back();
+}
+
+TEST_F(TransETest, PositiveTriplesScoreAboveCorrupted) {
+  const auto& g = dataset_->graph;
+  Rng rng(99);
+  int wins = 0, total = 0;
+  for (kg::EntityId e = 0; e < g.num_entities(); ++e) {
+    for (const kg::Edge& edge : g.Neighbors(e)) {
+      if (kg::IsInverse(edge.relation)) continue;
+      const kg::EntityId corrupt =
+          static_cast<kg::EntityId>(rng.UniformInt(g.num_entities()));
+      if (g.HasEdge(e, edge.relation, corrupt)) continue;
+      ++total;
+      if (model_->ScoreTriple(e, edge.relation, edge.dst) >
+          model_->ScoreTriple(e, edge.relation, corrupt)) {
+        ++wins;
+      }
+    }
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GT(static_cast<double>(wins) / total, 0.75)
+      << "trained TransE should rank " << wins << "/" << total
+      << " positives above corruptions";
+}
+
+TEST_F(TransETest, ScoresAreFiniteAndNonPositive) {
+  EXPECT_LE(model_->ScoreTriple(0, kg::Relation::kPurchase, 1), 0.0f);
+  EXPECT_TRUE(std::isfinite(model_->ScoreTriple(0, kg::Relation::kPurchase, 1)));
+}
+
+TEST_F(TransETest, EntityNormsBoundedAfterNormalization) {
+  for (kg::EntityId e = 0; e < dataset_->graph.num_entities(); ++e) {
+    const auto v = model_->EntityVec(e);
+    float norm = 0.0f;
+    for (float x : v) norm += x * x;
+    EXPECT_LE(std::sqrt(norm), 1.0f + 1e-4f);
+  }
+}
+
+TEST_F(TransETest, CategoryVectorIsMeanOfItemVectors) {
+  const auto& g = dataset_->graph;
+  const kg::CategoryId c = 0;
+  const auto& items = g.ItemsInCategory(c);
+  ASSERT_FALSE(items.empty());
+  std::vector<float> mean(16, 0.0f);
+  for (kg::EntityId item : items) {
+    const auto v = model_->EntityVec(item);
+    for (int i = 0; i < 16; ++i) mean[static_cast<size_t>(i)] += v[static_cast<size_t>(i)];
+  }
+  for (float& x : mean) x /= static_cast<float>(items.size());
+  const auto cat = model_->CategoryVec(c);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_NEAR(cat[static_cast<size_t>(i)], mean[static_cast<size_t>(i)],
+                1e-5f);
+  }
+}
+
+TEST_F(TransETest, PathScoreMatchesSingleHopForOneRelation) {
+  const float single = model_->ScoreTriple(0, kg::Relation::kPurchase, 1);
+  const float path =
+      model_->ScorePath(0, {kg::Relation::kPurchase}, 1);
+  EXPECT_NEAR(single, path, 1e-4f);
+}
+
+TEST_F(TransETest, SelfLoopRelationIgnoredInPathScore) {
+  const float without =
+      model_->ScorePath(0, {kg::Relation::kPurchase}, 1);
+  const float with_loop = model_->ScorePath(
+      0, {kg::Relation::kPurchase, kg::Relation::kSelfLoop}, 1);
+  EXPECT_NEAR(without, with_loop, 1e-5f);
+}
+
+TEST(TransEDeterminismTest, SameSeedSameEmbeddings) {
+  data::Dataset d = data::MustGenerateDataset(data::SyntheticConfig::Tiny());
+  TransEOptions o;
+  o.dim = 8;
+  o.epochs = 2;
+  TransEModel a = TransEModel::Train(d.graph, o);
+  TransEModel b = TransEModel::Train(d.graph, o);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(a.EntityVec(5)[static_cast<size_t>(i)],
+                    b.EntityVec(5)[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(TransEUntrainedTest, ZeroEpochsKeepsRandomInit) {
+  data::Dataset d = data::MustGenerateDataset(data::SyntheticConfig::Tiny());
+  TransEOptions o;
+  o.dim = 8;
+  o.epochs = 0;
+  TransEModel m = TransEModel::Train(d.graph, o);
+  EXPECT_TRUE(m.epoch_losses().empty());
+}
+
+}  // namespace
+}  // namespace embed
+}  // namespace cadrl

@@ -3,13 +3,15 @@
 // recommendations for one user.
 //
 //   cadrl_cli generate <beauty|cellphones|clothing|tiny> <path>
-//   cadrl_cli eval <dataset-path>
-//   cadrl_cli train <dataset-path> <model-path>
+//   cadrl_cli eval <dataset-path> [--checkpoint_dir <dir>] [--resume]
+//   cadrl_cli train <dataset-path> <model-path> [--checkpoint_dir <dir>]
+//              [--resume]
 //   cadrl_cli recommend <dataset-path> <user-entity-id> [k] [model-path]
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/cadrl.h"
 #include "data/generator.h"
@@ -25,11 +27,42 @@ int Usage() {
   std::cerr
       << "usage:\n"
          "  cadrl_cli generate <beauty|cellphones|clothing|tiny> <path>\n"
-         "  cadrl_cli eval <dataset-path>\n"
-         "  cadrl_cli train <dataset-path> <model-path>\n"
+         "  cadrl_cli eval <dataset-path> [--checkpoint_dir <dir>] "
+         "[--resume]\n"
+         "  cadrl_cli train <dataset-path> <model-path> "
+         "[--checkpoint_dir <dir>] [--resume]\n"
          "  cadrl_cli recommend <dataset-path> <user-entity-id> [k] "
-         "[model-path]\n";
+         "[model-path]\n"
+         "\n"
+         "  --checkpoint_dir <dir>  write epoch checkpoints during training\n"
+         "  --resume                restart from the latest valid checkpoint"
+         " in --checkpoint_dir\n";
   return 2;
+}
+
+// Removes --checkpoint_dir <dir> / --resume from `args` and fills `ckpt`.
+// Returns false on a malformed flag.
+bool ParseCheckpointFlags(std::vector<std::string>* args,
+                          CheckpointOptions* ckpt) {
+  ckpt->resume = false;
+  std::vector<std::string> rest;
+  for (size_t i = 0; i < args->size(); ++i) {
+    const std::string& a = (*args)[i];
+    if (a == "--checkpoint_dir") {
+      if (i + 1 >= args->size()) return false;
+      ckpt->dir = (*args)[++i];
+    } else if (a == "--resume") {
+      ckpt->resume = true;
+    } else {
+      rest.push_back(a);
+    }
+  }
+  if (ckpt->resume && ckpt->dir.empty()) {
+    std::cerr << "--resume requires --checkpoint_dir\n";
+    return false;
+  }
+  *args = std::move(rest);
+  return true;
 }
 
 core::CadrlOptions DefaultOptions(const std::string& dataset_name) {
@@ -74,8 +107,8 @@ int Generate(const std::string& preset, const std::string& path) {
   return 0;
 }
 
-int TrainModel(const std::string& path, core::CadrlRecommender** out,
-               data::Dataset* dataset) {
+int TrainModel(const std::string& path, const CheckpointOptions& ckpt,
+               core::CadrlRecommender** out, data::Dataset* dataset) {
   Status status = data::LoadDataset(path, dataset);
   if (!status.ok()) {
     std::cerr << "error loading " << path << ": " << status.ToString()
@@ -86,7 +119,11 @@ int TrainModel(const std::string& path, core::CadrlRecommender** out,
       new core::CadrlRecommender(DefaultOptions(dataset->name));
   std::cout << "training CADRL on '" << dataset->name << "' ("
             << dataset->num_users() << " users)...\n";
-  status = model->Fit(*dataset);
+  if (ckpt.enabled()) {
+    std::cout << "checkpointing to " << ckpt.dir
+              << (ckpt.resume ? " (resuming if possible)" : "") << "\n";
+  }
+  status = model->Fit(*dataset, ckpt);
   if (!status.ok()) {
     std::cerr << "error training: " << status.ToString() << "\n";
     delete model;
@@ -96,10 +133,10 @@ int TrainModel(const std::string& path, core::CadrlRecommender** out,
   return 0;
 }
 
-int Eval(const std::string& path) {
+int Eval(const std::string& path, const CheckpointOptions& ckpt) {
   data::Dataset dataset;
   core::CadrlRecommender* model = nullptr;
-  if (int rc = TrainModel(path, &model, &dataset); rc != 0) return rc;
+  if (int rc = TrainModel(path, ckpt, &model, &dataset); rc != 0) return rc;
   const eval::EvalResult r = eval::EvaluateRecommender(model, dataset, 10);
   std::cout << "NDCG@10 " << r.ndcg << "%  Recall@10 " << r.recall
             << "%  HR@10 " << r.hit_rate << "%  Prec@10 " << r.precision
@@ -108,10 +145,13 @@ int Eval(const std::string& path) {
   return 0;
 }
 
-int Train(const std::string& dataset_path, const std::string& model_path) {
+int Train(const std::string& dataset_path, const std::string& model_path,
+          const CheckpointOptions& ckpt) {
   data::Dataset dataset;
   core::CadrlRecommender* model = nullptr;
-  if (int rc = TrainModel(dataset_path, &model, &dataset); rc != 0) return rc;
+  if (int rc = TrainModel(dataset_path, ckpt, &model, &dataset); rc != 0) {
+    return rc;
+  }
   const Status status = model->SaveModel(model_path);
   delete model;
   if (!status.ok()) {
@@ -137,7 +177,8 @@ int Recommend(const std::string& path, const std::string& user_arg, int k,
       delete model;
       return 1;
     }
-  } else if (int rc = TrainModel(path, &model, &dataset); rc != 0) {
+  } else if (int rc = TrainModel(path, CheckpointOptions(), &model, &dataset);
+             rc != 0) {
     return rc;
   }
   const kg::EntityId user =
@@ -168,12 +209,20 @@ int Recommend(const std::string& path, const std::string& user_arg, int k,
 int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string command = argv[1];
-  if (command == "generate" && argc == 4) return Generate(argv[2], argv[3]);
-  if (command == "eval" && argc == 3) return Eval(argv[2]);
-  if (command == "train" && argc == 4) return Train(argv[2], argv[3]);
-  if (command == "recommend" && argc >= 4 && argc <= 6) {
-    return Recommend(argv[2], argv[3], argc >= 5 ? std::atoi(argv[4]) : 5,
-                     argc == 6 ? argv[5] : "");
+  std::vector<std::string> args(argv + 2, argv + argc);
+  cadrl::CheckpointOptions ckpt;
+  if (!ParseCheckpointFlags(&args, &ckpt)) return Usage();
+  if (command == "generate" && args.size() == 2) {
+    return Generate(args[0], args[1]);
+  }
+  if (command == "eval" && args.size() == 1) return Eval(args[0], ckpt);
+  if (command == "train" && args.size() == 2) {
+    return Train(args[0], args[1], ckpt);
+  }
+  if (command == "recommend" && args.size() >= 2 && args.size() <= 4) {
+    return Recommend(args[0], args[1],
+                     args.size() >= 3 ? std::atoi(args[2].c_str()) : 5,
+                     args.size() == 4 ? args[3] : "");
   }
   return Usage();
 }

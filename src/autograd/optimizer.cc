@@ -1,6 +1,10 @@
 #include "autograd/optimizer.h"
 
 #include <cmath>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
 
 namespace cadrl {
 namespace ag {
@@ -88,6 +92,49 @@ void Adam::Step() {
       data[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
     }
   }
+}
+
+void Adam::WriteState(std::ostream& out) const {
+  out << "adam " << step_count_ << ' ' << m_.size() << '\n'
+      << std::setprecision(std::numeric_limits<float>::max_digits10);
+  for (size_t k = 0; k < m_.size(); ++k) {
+    out << m_[k].size() << '\n';
+    for (float x : m_[k]) out << x << ' ';
+    out << '\n';
+    for (float x : v_[k]) out << x << ' ';
+    out << '\n';
+  }
+}
+
+Status Adam::ReadState(std::istream& in) {
+  std::string tag;
+  int64_t step_count = 0;
+  size_t num_slots = 0;
+  in >> tag >> step_count >> num_slots;
+  if (in.fail() || tag != "adam" || step_count < 0 ||
+      num_slots != m_.size()) {
+    return Status::Corruption("adam state header mismatch");
+  }
+  std::vector<std::vector<float>> m(m_.size()), v(v_.size());
+  for (size_t k = 0; k < m_.size(); ++k) {
+    size_t numel = 0;
+    in >> numel;
+    if (in.fail() || numel != m_[k].size()) {
+      return Status::Corruption("adam moment shape mismatch");
+    }
+    m[k].resize(numel);
+    v[k].resize(numel);
+    for (size_t i = 0; i < numel; ++i) {
+      if (!(in >> m[k][i])) return Status::Corruption("truncated adam state");
+    }
+    for (size_t i = 0; i < numel; ++i) {
+      if (!(in >> v[k][i])) return Status::Corruption("truncated adam state");
+    }
+  }
+  step_count_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::OK();
 }
 
 }  // namespace ag

@@ -1,9 +1,11 @@
 #ifndef CADRL_AUTOGRAD_OPTIMIZER_H_
 #define CADRL_AUTOGRAD_OPTIMIZER_H_
 
+#include <iosfwd>
 #include <vector>
 
 #include "autograd/tensor.h"
+#include "util/status.h"
 
 namespace cadrl {
 namespace ag {
@@ -51,6 +53,13 @@ class Adam : public Optimizer {
 
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
+
+  // Serializes/restores the step count and moment estimates (text, exact
+  // float round-trip) so a checkpointed training run resumes with identical
+  // update dynamics. ReadState validates shapes against this optimizer's
+  // parameter list and returns Corruption on mismatch.
+  void WriteState(std::ostream& out) const;
+  Status ReadState(std::istream& in);
 
  private:
   float lr_;

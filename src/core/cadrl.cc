@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <iomanip>
 #include <limits>
+#include <sstream>
 
 #include "autograd/ops.h"
-#include "autograd/optimizer.h"
 #include "core/reward.h"
+#include "util/failpoint.h"
+#include "util/io.h"
 #include "util/logging.h"
 
 namespace cadrl {
@@ -20,6 +21,15 @@ std::vector<float> ProbsOf(const ag::Tensor& logits) {
   ag::NoGradGuard guard;
   const ag::Tensor p = ag::Softmax(logits);
   return std::vector<float>(p.data(), p.data() + p.numel());
+}
+
+bool AllParamsFinite(const std::vector<ag::Tensor>& params) {
+  for (const ag::Tensor& p : params) {
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      if (!std::isfinite(p.data()[i])) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -56,7 +66,13 @@ CadrlRecommender::CadrlRecommender(const CadrlOptions& options,
     : name_(std::move(name)), options_(options), rng_(options.seed) {}
 
 Status CadrlRecommender::Fit(const data::Dataset& dataset) {
+  return Fit(dataset, CheckpointOptions());
+}
+
+Status CadrlRecommender::Fit(const data::Dataset& dataset,
+                             const CheckpointOptions& ckpt) {
   CADRL_RETURN_IF_ERROR(options_.Validate());
+  CADRL_RETURN_IF_ERROR(ckpt.Validate());
   if (dataset.users.empty()) {
     return Status::InvalidArgument("dataset has no users");
   }
@@ -64,9 +80,12 @@ Status CadrlRecommender::Fit(const data::Dataset& dataset) {
   const kg::KnowledgeGraph& graph = dataset.graph;
   BuildIndexes(dataset);
 
-  // 1. TransE initialization (§IV-B).
+  // 1. TransE initialization (§IV-B), checkpointed into the same directory
+  //    (prefix "transe") so a resumed run skips completed embedding epochs.
   transe_ = std::make_unique<embed::TransEModel>(
-      embed::TransEModel::Train(graph, options_.transe));
+      graph.num_entities(), graph.num_categories(), options_.transe);
+  CADRL_RETURN_IF_ERROR(
+      embed::TransEModel::Train(graph, options_.transe, ckpt, transe_.get()));
 
   // 2. CGGNN high-order item representations. One train item per user (for
   //    users with enough history) is held out of the BPR phase as the
@@ -197,14 +216,42 @@ Status CadrlRecommender::Fit(const data::Dataset& dataset) {
   // 4. Environments and shared policy networks.
   BuildRuntime(dataset);
 
-  // 5. Dual-agent REINFORCE (§IV-C4).
+  // 5. Dual-agent REINFORCE (§IV-C4), with epoch-granular checkpointing,
+  //    resume, and divergence rollback.
   ag::Adam optimizer(policy_->Parameters(), options_.lr);
   rl::MovingBaseline entity_baseline, category_baseline;
   epoch_rewards_.clear();
-  std::vector<kg::EntityId> order = dataset.users;
-  for (int epoch = 0; epoch < options_.episodes_per_user; ++epoch) {
+
+  std::unique_ptr<CheckpointStore> ckpt_store;
+  int start_epoch = 0;
+  if (ckpt.enabled()) {
+    ckpt_store = std::make_unique<CheckpointStore>(ckpt.dir, "fit");
+    CADRL_RETURN_IF_ERROR(ckpt_store->Init());
+    if (ckpt.resume) {
+      int found_epoch = 0;
+      std::string payload;
+      const Status latest = ckpt_store->LoadLatest(&found_epoch, &payload);
+      if (latest.ok()) {
+        CADRL_RETURN_IF_ERROR(
+            RestoreTrainerState(payload, &start_epoch, &optimizer,
+                                &entity_baseline, &category_baseline));
+      } else if (!latest.IsNotFound()) {
+        return latest;
+      }
+    }
+  }
+
+  std::string last_good = SerializeTrainerState(
+      start_epoch, optimizer, entity_baseline, category_baseline);
+  int retries = 0;
+  int epoch = start_epoch;
+  while (epoch < options_.episodes_per_user) {
+    // Fresh shuffle of the canonical user order each epoch, so the epoch's
+    // work depends only on the RNG state at its start (resume invariant).
+    std::vector<kg::EntityId> order = dataset.users;
     rng_.Shuffle(&order);
     double reward_sum = 0.0;
+    bool diverged = false;
     for (kg::EntityId user : order) {
       Episode episode;
       Rollout(user, &episode);
@@ -247,13 +294,57 @@ Status CadrlRecommender::Fit(const data::Dataset& dataset) {
         }
       }
       if (losses.empty()) continue;
+      const ag::Tensor total_loss = ag::AddN(losses);
+      if (!std::isfinite(total_loss.data()[0])) {
+        diverged = true;
+        break;
+      }
       optimizer.ZeroGrad();
-      ag::Backward(ag::AddN(losses));
+      ag::Backward(total_loss);
       optimizer.ClipGradNorm(options_.grad_clip);
       optimizer.Step();
     }
+    if (CADRL_FAILPOINT("cadrl/fit-diverge")) diverged = true;
+    if (!diverged) {
+      diverged = !std::isfinite(reward_sum) ||
+                 !AllParamsFinite(policy_->Parameters());
+    }
+    if (diverged) {
+      if (retries >= ckpt.max_divergence_retries) {
+        return Status::Internal(
+                   "training diverged at epoch " + std::to_string(epoch) +
+                   " after " + std::to_string(retries) + " rollback retries")
+            .WithDetail(std::string(Status::kTrainingDivergenceDetail));
+      }
+      ++retries;
+      int rollback_epoch = 0;
+      CADRL_RETURN_IF_ERROR(
+          RestoreTrainerState(last_good, &rollback_epoch, &optimizer,
+                              &entity_baseline, &category_baseline));
+      epoch = rollback_epoch;
+      // Deterministic jitter so the retry explores a different trajectory
+      // (replaying the restored RNG would reproduce the same blow-up).
+      rng_ = Rng(options_.seed ^
+                 (0x9e3779b97f4a7c15ULL *
+                  static_cast<uint64_t>(epoch * 1000 + retries)));
+      continue;
+    }
     epoch_rewards_.push_back(
         static_cast<float>(reward_sum / static_cast<double>(order.size())));
+    ++epoch;
+    retries = 0;
+    last_good = SerializeTrainerState(epoch, optimizer, entity_baseline,
+                                      category_baseline);
+    if (ckpt_store != nullptr &&
+        (epoch % ckpt.every_n_epochs == 0 ||
+         epoch == options_.episodes_per_user)) {
+      CADRL_RETURN_IF_ERROR(
+          ckpt_store->Write(epoch, last_good, ckpt.keep_last));
+      if (CADRL_FAILPOINT("cadrl/fit-kill")) {
+        return Status::IOError("simulated crash after training epoch " +
+                               std::to_string(epoch));
+      }
+    }
   }
   fitted_ = true;
   return Status::OK();
@@ -361,18 +452,11 @@ void CadrlRecommender::BuildRuntime(const data::Dataset& dataset) {
   policy_ = std::make_unique<SharedPolicyNetworks>(policy_config, &rng_);
 }
 
-Status CadrlRecommender::SaveModel(const std::string& path) const {
-  if (!fitted_) {
-    return Status::FailedPrecondition("call Fit() before SaveModel()");
-  }
-  std::ofstream out(path);
-  if (!out.is_open()) return Status::IOError("cannot open " + path);
-  out << "cadrl_model 1\n";
-  out << store_->dim() << ' '
-      << std::setprecision(std::numeric_limits<float>::max_digits10)
-      << score_scale_ << '\n';
-  CADRL_RETURN_IF_ERROR(store_->WriteTo(out));
-  const std::vector<ag::Tensor> params = policy_->Parameters();
+namespace {
+
+// Writes the policy parameter tensors as "<count>\n" then per tensor
+// "<numel>\n<values...>\n" (exact float round-trip).
+void WriteParams(std::ostream& out, const std::vector<ag::Tensor>& params) {
   out << params.size() << '\n';
   for (const ag::Tensor& p : params) {
     out << p.numel() << '\n'
@@ -380,8 +464,123 @@ Status CadrlRecommender::SaveModel(const std::string& path) const {
     for (int64_t i = 0; i < p.numel(); ++i) out << p.data()[i] << ' ';
     out << '\n';
   }
-  if (!out.good()) return Status::IOError("model write failed: " + path);
+}
+
+// Reads parameter values written by WriteParams into `params`, validating
+// the count and every per-tensor numel against the constructed policy
+// BEFORE reading any floats, so a corrupted or truncated tail can never
+// read past the stream or into the wrong tensor.
+Status ReadParams(std::istream& in, std::vector<ag::Tensor>* params) {
+  int64_t num_params = -1;
+  in >> num_params;
+  if (in.fail() || num_params < 0 ||
+      num_params != static_cast<int64_t>(params->size())) {
+    return Status::Corruption("policy parameter count mismatch");
+  }
+  for (ag::Tensor& p : *params) {
+    int64_t numel = -1;
+    in >> numel;
+    if (in.fail() || numel != p.numel()) {
+      return Status::Corruption("policy parameter shape mismatch");
+    }
+    for (int64_t i = 0; i < numel; ++i) {
+      if (!(in >> p.data()[i])) {
+        return Status::Corruption("truncated policy parameters");
+      }
+    }
+  }
   return Status::OK();
+}
+
+}  // namespace
+
+std::string CadrlRecommender::SerializeTrainerState(
+    int epochs_done, const ag::Adam& optimizer,
+    const rl::MovingBaseline& entity_baseline,
+    const rl::MovingBaseline& category_baseline) const {
+  std::ostringstream out;
+  out << "cadrl_fit_ckpt 1\n";
+  out << epochs_done << ' ' << options_.seed << '\n';
+  rng_.WriteState(out);
+  out << std::setprecision(std::numeric_limits<float>::max_digits10);
+  out << "rewards " << epoch_rewards_.size();
+  for (float r : epoch_rewards_) out << ' ' << r;
+  out << '\n';
+  out << "baselines " << entity_baseline.value() << ' '
+      << (entity_baseline.initialized() ? 1 : 0) << ' '
+      << category_baseline.value() << ' '
+      << (category_baseline.initialized() ? 1 : 0) << '\n';
+  optimizer.WriteState(out);
+  WriteParams(out, policy_->Parameters());
+  return out.str();
+}
+
+Status CadrlRecommender::RestoreTrainerState(
+    const std::string& payload, int* epochs_done, ag::Adam* optimizer,
+    rl::MovingBaseline* entity_baseline,
+    rl::MovingBaseline* category_baseline) {
+  CADRL_CHECK(epochs_done != nullptr);
+  std::istringstream in(payload);
+  std::string magic, keyword;
+  int version = 0;
+  in >> magic >> version;
+  if (in.fail() || magic != "cadrl_fit_ckpt" || version != 1) {
+    return Status::Corruption("bad fit checkpoint header");
+  }
+  int done = -1;
+  uint64_t seed = 0;
+  in >> done >> seed;
+  if (in.fail() || done < 0) {
+    return Status::Corruption("bad fit checkpoint epoch record");
+  }
+  if (seed != options_.seed) {
+    return Status::FailedPrecondition(
+        "checkpoint was written with a different seed; resuming would not "
+        "be deterministic");
+  }
+  CADRL_RETURN_IF_ERROR(rng_.ReadState(in));
+  int64_t num_rewards = -1;
+  in >> keyword >> num_rewards;
+  if (in.fail() || keyword != "rewards" || num_rewards != done) {
+    return Status::Corruption("fit checkpoint reward history mismatch");
+  }
+  std::vector<float> rewards(static_cast<size_t>(num_rewards));
+  for (float& r : rewards) {
+    if (!(in >> r)) {
+      return Status::Corruption("truncated fit checkpoint rewards");
+    }
+  }
+  float e_value = 0.0f, c_value = 0.0f;
+  int e_init = 0, c_init = 0;
+  in >> keyword >> e_value >> e_init >> c_value >> c_init;
+  if (in.fail() || keyword != "baselines") {
+    return Status::Corruption("bad fit checkpoint baselines");
+  }
+  CADRL_RETURN_IF_ERROR(optimizer->ReadState(in));
+  std::vector<ag::Tensor> params = policy_->Parameters();
+  CADRL_RETURN_IF_ERROR(ReadParams(in, &params));
+  epoch_rewards_ = std::move(rewards);
+  entity_baseline->Restore(e_value, e_init == 1);
+  category_baseline->Restore(c_value, c_init == 1);
+  *epochs_done = done;
+  return Status::OK();
+}
+
+Status CadrlRecommender::SaveModel(const std::string& path) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("call Fit() before SaveModel()");
+  }
+  // Serialize to memory, then write atomically with a CRC footer: a crash
+  // or I/O fault mid-save leaves any previous model at `path` intact.
+  std::ostringstream out;
+  out << "cadrl_model 1\n";
+  out << store_->dim() << ' '
+      << std::setprecision(std::numeric_limits<float>::max_digits10)
+      << score_scale_ << '\n';
+  CADRL_RETURN_IF_ERROR(store_->WriteTo(out));
+  WriteParams(out, policy_->Parameters());
+  if (!out.good()) return Status::IOError("model serialization failed");
+  return WriteFileAtomic(path, out.str());
 }
 
 Status CadrlRecommender::LoadModel(const data::Dataset& dataset,
@@ -390,8 +589,9 @@ Status CadrlRecommender::LoadModel(const data::Dataset& dataset,
   if (dataset.users.empty()) {
     return Status::InvalidArgument("dataset has no users");
   }
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::string payload;
+  CADRL_RETURN_IF_ERROR(ReadFileVerified(path, &payload));
+  std::istringstream in(payload);
   std::string magic;
   int version = 0;
   in >> magic >> version;
@@ -415,24 +615,8 @@ Status CadrlRecommender::LoadModel(const data::Dataset& dataset,
   CADRL_RETURN_IF_ERROR(store_->ReadFrom(in));
   score_scale_ = scale;
   BuildRuntime(dataset);
-  size_t num_params = 0;
-  in >> num_params;
   std::vector<ag::Tensor> params = policy_->Parameters();
-  if (!in.good() || num_params != params.size()) {
-    return Status::Corruption("policy parameter count mismatch");
-  }
-  for (ag::Tensor& p : params) {
-    int64_t numel = 0;
-    in >> numel;
-    if (!in.good() || numel != p.numel()) {
-      return Status::Corruption("policy parameter shape mismatch");
-    }
-    for (int64_t i = 0; i < numel; ++i) {
-      if (!(in >> p.data()[i])) {
-        return Status::Corruption("truncated policy parameters");
-      }
-    }
-  }
+  CADRL_RETURN_IF_ERROR(ReadParams(in, &params));
   cggnn_.reset();
   fitted_ = true;
   return Status::OK();

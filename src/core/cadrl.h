@@ -12,9 +12,11 @@
 #include "core/environment.h"
 #include "core/policy.h"
 #include "data/dataset.h"
+#include "autograd/optimizer.h"
 #include "embed/transe.h"
 #include "eval/recommender.h"
 #include "rl/reinforce.h"
+#include "util/checkpoint.h"
 #include "util/rng.h"
 
 namespace cadrl {
@@ -97,6 +99,19 @@ class CadrlRecommender : public eval::Recommender {
 
   std::string name() const override { return name_; }
   Status Fit(const data::Dataset& dataset) override;
+
+  // Checkpointed training: writes an epoch-granular checkpoint of the full
+  // trainer state (policy parameters, Adam moments, baselines, RNG, epoch
+  // rewards) into `ckpt.dir` and, when `ckpt.resume` is set, restarts from
+  // the latest valid one, skipping completed epochs. The pre-RL stages
+  // (TransE — itself checkpointed into the same dir — CGGNN, embedding
+  // store) are recomputed deterministically, so a resumed run finishes
+  // bit-identical to an uninterrupted run with the same seed. Non-finite
+  // losses, rewards or parameters trigger a rollback to the last good epoch
+  // (deterministically re-randomized); when ckpt.max_divergence_retries
+  // consecutive rollbacks fail, Fit returns an Internal status carrying
+  // Status::kTrainingDivergenceDetail instead of aborting.
+  Status Fit(const data::Dataset& dataset, const CheckpointOptions& ckpt);
   std::vector<eval::Recommendation> Recommend(kg::EntityId user,
                                               int k) override;
   bool SupportsPaths() const override { return true; }
@@ -130,6 +145,19 @@ class CadrlRecommender : public eval::Recommender {
   // `dataset` (shared by Fit and LoadModel).
   void BuildIndexes(const data::Dataset& dataset);
   void BuildRuntime(const data::Dataset& dataset);
+
+  // Full RL-trainer state after `epochs_done` epochs as a checkpoint
+  // payload; RestoreTrainerState is the exact inverse (returns Corruption/
+  // FailedPrecondition when the payload does not match the current policy
+  // shapes or seed).
+  std::string SerializeTrainerState(
+      int epochs_done, const ag::Adam& optimizer,
+      const rl::MovingBaseline& entity_baseline,
+      const rl::MovingBaseline& category_baseline) const;
+  Status RestoreTrainerState(const std::string& payload, int* epochs_done,
+                             ag::Adam* optimizer,
+                             rl::MovingBaseline* entity_baseline,
+                             rl::MovingBaseline* category_baseline);
 
   // Runs one training rollout for `user` and fills `episode`.
   void Rollout(kg::EntityId user, Episode* episode);

@@ -149,16 +149,23 @@ void WriteTable(std::ostream& out, const std::vector<float>& table) {
   out << '\n';
 }
 
-Status ReadTable(std::istream& in, size_t expected,
+// Reads a table written by WriteTable. The declared size must equal
+// `expected` (or 0 when `allow_empty` — the optional demand table), so a
+// corrupted length can never drive an unbounded allocation or shift the
+// read frame of the tables that follow.
+Status ReadTable(std::istream& in, size_t expected, bool allow_empty,
                  std::vector<float>* table) {
-  size_t n = 0;
+  int64_t n = -1;
   in >> n;
-  if (!in.good() || (expected != 0 && n != expected)) {
+  if (in.fail() || n < 0 ||
+      !(static_cast<size_t>(n) == expected || (allow_empty && n == 0))) {
     return Status::Corruption("table size mismatch");
   }
-  table->resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (!(in >> (*table)[i])) return Status::Corruption("truncated table");
+  table->resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    if (!(in >> (*table)[static_cast<size_t>(i)])) {
+      return Status::Corruption("truncated table");
+    }
   }
   return Status::OK();
 }
@@ -195,21 +202,22 @@ Status EmbeddingStore::ReadFrom(std::istream& in) {
   }
   const size_t entity_size =
       static_cast<size_t>(graph_->num_entities()) * static_cast<size_t>(dim_);
-  CADRL_RETURN_IF_ERROR(ReadTable(in, entity_size, &entities_));
-  CADRL_RETURN_IF_ERROR(ReadTable(in, entity_size, &raw_entities_));
+  CADRL_RETURN_IF_ERROR(
+      ReadTable(in, entity_size, /*allow_empty=*/false, &entities_));
+  CADRL_RETURN_IF_ERROR(
+      ReadTable(in, entity_size, /*allow_empty=*/false, &raw_entities_));
   std::vector<float> demand;
-  CADRL_RETURN_IF_ERROR(ReadTable(in, 0, &demand));
-  if (!demand.empty() && demand.size() != entity_size) {
-    return Status::Corruption("bad demand table size");
-  }
+  CADRL_RETURN_IF_ERROR(
+      ReadTable(in, entity_size, /*allow_empty=*/true, &demand));
   demand_entities_ = std::move(demand);
-  CADRL_RETURN_IF_ERROR(ReadTable(
-      in, static_cast<size_t>(kg::kNumRelations + 1) * dim_, &relations_));
-  CADRL_RETURN_IF_ERROR(ReadTable(
-      in,
-      static_cast<size_t>(graph_->num_categories()) *
-          static_cast<size_t>(dim_),
-      &categories_));
+  CADRL_RETURN_IF_ERROR(
+      ReadTable(in, static_cast<size_t>(kg::kNumRelations + 1) * dim_,
+                /*allow_empty=*/false, &relations_));
+  CADRL_RETURN_IF_ERROR(
+      ReadTable(in,
+                static_cast<size_t>(graph_->num_categories()) *
+                    static_cast<size_t>(dim_),
+                /*allow_empty=*/false, &categories_));
   score_mode_ = static_cast<ScoreMode>(mode);
   ensemble_translation_weight_ = weight;
   return Status::OK();

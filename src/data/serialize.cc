@@ -1,9 +1,10 @@
 #include "data/serialize.h"
 
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "util/io.h"
 #include "util/logging.h"
 
 namespace cadrl {
@@ -20,8 +21,11 @@ Status SaveDataset(const Dataset& dataset, const std::string& path) {
   if (!graph.finalized()) {
     return Status::FailedPrecondition("dataset graph is not finalized");
   }
-  std::ofstream out(path);
-  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  // Serialize to memory first, then write atomically with a CRC footer:
+  // a crash or full disk mid-save leaves any previous file at `path`
+  // intact, and every buffered-write failure (including at close) surfaces
+  // as IOError instead of a silently torn file.
+  std::ostringstream out;
   out << kMagic << ' ' << kVersion << '\n';
   out << "name " << (dataset.name.empty() ? "unnamed" : dataset.name) << '\n';
   out << "entities " << graph.num_entities() << '\n';
@@ -45,14 +49,15 @@ Status SaveDataset(const Dataset& dataset, const std::string& path) {
     for (kg::EntityId item : dataset.test_items[u]) out << ' ' << item;
     out << '\n';
   }
-  if (!out.good()) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  if (!out.good()) return Status::IOError("serialization failed: " + path);
+  return WriteFileAtomic(path, out.str());
 }
 
 Status LoadDataset(const std::string& path, Dataset* dataset) {
   CADRL_CHECK(dataset != nullptr);
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::string payload;
+  CADRL_RETURN_IF_ERROR(ReadFileVerified(path, &payload));
+  std::istringstream in(payload);
   std::string magic, keyword;
   int version = 0;
   in >> magic >> version;

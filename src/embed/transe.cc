@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iomanip>
+#include <limits>
+#include <memory>
+#include <sstream>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace cadrl {
@@ -14,6 +19,35 @@ struct Triple {
   kg::Relation rel;
   kg::EntityId tail;
 };
+
+void WriteFloats(std::ostream& out, const std::vector<float>& v) {
+  out << v.size() << '\n'
+      << std::setprecision(std::numeric_limits<float>::max_digits10);
+  for (float x : v) out << x << ' ';
+  out << '\n';
+}
+
+Status ReadFloats(std::istream& in, size_t expected, std::vector<float>* v) {
+  size_t n = 0;
+  in >> n;
+  if (in.fail() || n != expected) {
+    return Status::Corruption("transe snapshot table size mismatch");
+  }
+  v->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(in >> (*v)[i])) {
+      return Status::Corruption("truncated transe snapshot table");
+    }
+  }
+  return Status::OK();
+}
+
+bool AllFinite(const std::vector<float>& v) {
+  for (float x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
 
 std::vector<Triple> CollectBaseTriples(const kg::KnowledgeGraph& graph) {
   std::vector<Triple> out;
@@ -132,22 +166,118 @@ void TransEModel::RefreshCategoryVectors(const kg::KnowledgeGraph& graph) {
   }
 }
 
+std::string TransEModel::SerializeSnapshot(int epochs_done,
+                                           const Rng& rng) const {
+  std::ostringstream out;
+  out << "cadrl_transe_ckpt 1\n";
+  out << epochs_done << ' ' << dim() << ' ' << num_entities_ << ' '
+      << num_categories_ << '\n';
+  rng.WriteState(out);
+  WriteFloats(out, epoch_losses_);
+  WriteFloats(out, entities_);
+  WriteFloats(out, relations_);
+  return out.str();
+}
+
+Status TransEModel::RestoreSnapshot(const std::string& payload, Rng* rng,
+                                    int* epochs_done) {
+  CADRL_CHECK(rng != nullptr);
+  CADRL_CHECK(epochs_done != nullptr);
+  std::istringstream in(payload);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (in.fail() || magic != "cadrl_transe_ckpt" || version != 1) {
+    return Status::Corruption("bad transe snapshot header");
+  }
+  int done = 0, dim_in = 0;
+  int64_t entities_in = 0, categories_in = 0;
+  in >> done >> dim_in >> entities_in >> categories_in;
+  if (in.fail() || done < 0) {
+    return Status::Corruption("bad transe snapshot epoch record");
+  }
+  if (dim_in != dim() || entities_in != num_entities_ ||
+      categories_in != num_categories_) {
+    return Status::Corruption(
+        "transe snapshot shape does not match the current graph/options");
+  }
+  CADRL_RETURN_IF_ERROR(rng->ReadState(in));
+  std::vector<float> losses, entities, relations;
+  losses.resize(static_cast<size_t>(done));
+  {
+    // Losses: one value per completed epoch.
+    size_t n = 0;
+    in >> n;
+    if (in.fail() || n != static_cast<size_t>(done)) {
+      return Status::Corruption("transe snapshot loss count mismatch");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!(in >> losses[i])) {
+        return Status::Corruption("truncated transe snapshot losses");
+      }
+    }
+  }
+  CADRL_RETURN_IF_ERROR(ReadFloats(in, entities_.size(), &entities));
+  CADRL_RETURN_IF_ERROR(ReadFloats(in, relations_.size(), &relations));
+  epoch_losses_ = std::move(losses);
+  entities_ = std::move(entities);
+  relations_ = std::move(relations);
+  *epochs_done = done;
+  return Status::OK();
+}
+
 TransEModel TransEModel::Train(const kg::KnowledgeGraph& graph,
                                const TransEOptions& options) {
+  TransEModel model(graph.num_entities(), graph.num_categories(), options);
+  CADRL_CHECK_OK(Train(graph, options, CheckpointOptions(), &model));
+  return model;
+}
+
+Status TransEModel::Train(const kg::KnowledgeGraph& graph,
+                          const TransEOptions& options,
+                          const CheckpointOptions& ckpt, TransEModel* out) {
+  CADRL_CHECK(out != nullptr);
   CADRL_CHECK(graph.finalized());
+  CADRL_RETURN_IF_ERROR(options.Validate());
+  CADRL_RETURN_IF_ERROR(ckpt.Validate());
   TransEModel model(graph.num_entities(), graph.num_categories(), options);
   Rng rng(options.seed ^ 0xabcdef12345ULL);
-  std::vector<Triple> triples = CollectBaseTriples(graph);
+  const std::vector<Triple> base_triples = CollectBaseTriples(graph);
   const int64_t d = options.dim;
   const int64_t n = graph.num_entities();
+
+  std::unique_ptr<CheckpointStore> store;
+  int start_epoch = 0;
+  if (ckpt.enabled()) {
+    store = std::make_unique<CheckpointStore>(ckpt.dir, "transe");
+    CADRL_RETURN_IF_ERROR(store->Init());
+    if (ckpt.resume) {
+      int found_epoch = 0;
+      std::string payload;
+      const Status latest = store->LoadLatest(&found_epoch, &payload);
+      if (latest.ok()) {
+        CADRL_RETURN_IF_ERROR(
+            model.RestoreSnapshot(payload, &rng, &start_epoch));
+      } else if (!latest.IsNotFound()) {
+        return latest;
+      }
+    }
+  }
 
   auto sq_dist = [&](kg::EntityId h, kg::Relation r, kg::EntityId t) {
     return -model.ScoreTriple(h, r, t);
   };
 
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  std::string last_good = model.SerializeSnapshot(start_epoch, rng);
+  int retries = 0;
+  int epoch = start_epoch;
+  while (epoch < options.epochs) {
     double epoch_loss = 0.0;
     int64_t updates = 0;
+    // The visit order is a fresh shuffle of the canonical triple order each
+    // epoch (not a shuffle-of-a-shuffle), so an epoch's work depends only
+    // on the RNG state at its start — the property checkpoint resume needs.
+    std::vector<Triple> triples = base_triples;
     rng.Shuffle(&triples);
     for (const Triple& pos : triples) {
       for (int k = 0; k < options.negatives_per_triple; ++k) {
@@ -206,11 +336,49 @@ TransEModel TransEModel::Train(const kg::KnowledgeGraph& graph,
         }
       }
     }
+    // Divergence guard: a non-finite loss or embedding rolls the trainer
+    // back to the last good epoch and re-randomizes the trajectory.
+    bool diverged = !std::isfinite(epoch_loss) ||
+                    !AllFinite(model.entities_) ||
+                    !AllFinite(model.relations_);
+    if (CADRL_FAILPOINT("transe/diverge")) diverged = true;
+    if (diverged) {
+      if (retries >= ckpt.max_divergence_retries) {
+        return Status::Internal(
+                   "transe training diverged at epoch " +
+                   std::to_string(epoch) + " after " +
+                   std::to_string(retries) + " rollback retries")
+            .WithDetail(std::string(Status::kTrainingDivergenceDetail));
+      }
+      ++retries;
+      int rollback_epoch = 0;
+      CADRL_RETURN_IF_ERROR(
+          model.RestoreSnapshot(last_good, &rng, &rollback_epoch));
+      epoch = rollback_epoch;
+      // Deterministic jitter so the retry explores a different trajectory
+      // (replaying the restored RNG would reproduce the same blow-up).
+      rng = Rng(options.seed ^ 0xabcdef12345ULL ^
+                (0x9e3779b97f4a7c15ULL *
+                 static_cast<uint64_t>(epoch * 1000 + retries)));
+      continue;
+    }
     model.epoch_losses_.push_back(
         updates > 0 ? static_cast<float>(epoch_loss / updates) : 0.0f);
+    ++epoch;
+    retries = 0;
+    last_good = model.SerializeSnapshot(epoch, rng);
+    if (store != nullptr &&
+        (epoch % ckpt.every_n_epochs == 0 || epoch == options.epochs)) {
+      CADRL_RETURN_IF_ERROR(store->Write(epoch, last_good, ckpt.keep_last));
+      if (CADRL_FAILPOINT("transe/kill")) {
+        return Status::IOError("simulated crash after transe epoch " +
+                               std::to_string(epoch));
+      }
+    }
   }
   model.RefreshCategoryVectors(graph);
-  return model;
+  *out = std::move(model);
+  return Status::OK();
 }
 
 }  // namespace embed

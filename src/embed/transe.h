@@ -2,9 +2,11 @@
 #define CADRL_EMBED_TRANSE_H_
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "kg/graph.h"
+#include "util/checkpoint.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -43,6 +45,17 @@ class TransEModel {
   static TransEModel Train(const kg::KnowledgeGraph& graph,
                            const TransEOptions& options);
 
+  // Checkpointed variant: trains `*out` (an untrained model constructed
+  // with the same shapes/options), writing an epoch-granular checkpoint
+  // into `ckpt.dir` (prefix "transe") and resuming from the latest valid
+  // one when present. A resumed run is bit-identical to an uninterrupted
+  // run with the same seed. Non-finite epoch losses or embeddings roll the
+  // tables back to the last good epoch (deterministically re-randomized),
+  // up to ckpt.max_divergence_retries times.
+  static Status Train(const kg::KnowledgeGraph& graph,
+                      const TransEOptions& options,
+                      const CheckpointOptions& ckpt, TransEModel* out);
+
   int dim() const { return options_.dim; }
   int64_t num_entities() const { return num_entities_; }
   int64_t num_categories() const { return num_categories_; }
@@ -73,6 +86,13 @@ class TransEModel {
   void RefreshCategoryVectors(const kg::KnowledgeGraph& graph);
 
  private:
+  // Full trainer state after `epochs_done` epochs (tables, losses, RNG) as
+  // a checkpoint payload; RestoreSnapshot is its exact inverse and returns
+  // Corruption when the payload does not match this model's shapes.
+  std::string SerializeSnapshot(int epochs_done, const Rng& rng) const;
+  Status RestoreSnapshot(const std::string& payload, Rng* rng,
+                         int* epochs_done);
+
   TransEOptions options_;
   int64_t num_entities_;
   int64_t num_categories_;

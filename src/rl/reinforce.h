@@ -24,6 +24,13 @@ class MovingBaseline {
   float Update(float value);
 
   float value() const { return value_; }
+  bool initialized() const { return initialized_; }
+
+  // Restores a snapshotted (value, initialized) pair for checkpointing.
+  void Restore(float value, bool initialized) {
+    value_ = value;
+    initialized_ = initialized;
+  }
 
  private:
   float momentum_;

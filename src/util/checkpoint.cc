@@ -1,0 +1,123 @@
+#include "util/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "util/io.h"
+#include "util/logging.h"
+
+namespace cadrl {
+namespace fs = std::filesystem;
+namespace {
+
+constexpr char kSuffix[] = ".ckpt";
+
+// Parses the epoch out of "<prefix>-<epoch>.ckpt"; -1 if `name` does not
+// match this store's naming scheme.
+int EpochOfFilename(const std::string& name, const std::string& prefix) {
+  const std::string head = prefix + "-";
+  if (name.size() <= head.size() + sizeof(kSuffix) - 1) return -1;
+  if (name.compare(0, head.size(), head) != 0) return -1;
+  if (name.compare(name.size() - (sizeof(kSuffix) - 1), sizeof(kSuffix) - 1,
+                   kSuffix) != 0) {
+    return -1;
+  }
+  const std::string digits = name.substr(
+      head.size(), name.size() - head.size() - (sizeof(kSuffix) - 1));
+  if (digits.empty()) return -1;
+  int epoch = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return -1;
+    if (epoch > 1000000) return -1;  // implausible epoch count
+    epoch = epoch * 10 + (c - '0');
+  }
+  return epoch;
+}
+
+// All checkpoints with this prefix, newest epoch first.
+std::vector<std::pair<int, fs::path>> ListCheckpoints(
+    const std::string& dir, const std::string& prefix) {
+  std::vector<std::pair<int, fs::path>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const int epoch = EpochOfFilename(entry.path().filename().string(),
+                                      prefix);
+    if (epoch >= 0) found.emplace_back(epoch, entry.path());
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return found;
+}
+
+}  // namespace
+
+Status CheckpointOptions::Validate() const {
+  if (every_n_epochs < 1) {
+    return Status::InvalidArgument("every_n_epochs must be >= 1");
+  }
+  if (keep_last < 1) {
+    return Status::InvalidArgument("keep_last must be >= 1");
+  }
+  if (max_divergence_retries < 0) {
+    return Status::InvalidArgument("max_divergence_retries must be >= 0");
+  }
+  return Status::OK();
+}
+
+CheckpointStore::CheckpointStore(std::string dir, std::string prefix)
+    : dir_(std::move(dir)), prefix_(std::move(prefix)) {
+  CADRL_CHECK(!dir_.empty());
+  CADRL_CHECK(!prefix_.empty());
+}
+
+Status CheckpointStore::Init() const {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint dir " + dir_ + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+std::string CheckpointStore::PathFor(int epoch) const {
+  CADRL_CHECK_GE(epoch, 0);
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s-%06d%s", prefix_.c_str(), epoch,
+                kSuffix);
+  return dir_ + "/" + name;
+}
+
+Status CheckpointStore::Write(int epoch, std::string_view payload,
+                              int keep_last) const {
+  CADRL_CHECK_GE(keep_last, 1);
+  CADRL_RETURN_IF_ERROR(WriteFileAtomic(PathFor(epoch), payload));
+  // Prune older checkpoints beyond keep_last; best effort — a leftover
+  // stale checkpoint is harmless (resume picks the newest valid one).
+  const auto existing = ListCheckpoints(dir_, prefix_);
+  for (size_t i = static_cast<size_t>(keep_last); i < existing.size(); ++i) {
+    std::error_code ec;
+    fs::remove(existing[i].second, ec);
+  }
+  return Status::OK();
+}
+
+Status CheckpointStore::LoadLatest(int* epoch, std::string* payload) const {
+  CADRL_CHECK(epoch != nullptr);
+  CADRL_CHECK(payload != nullptr);
+  for (const auto& [found_epoch, path] : ListCheckpoints(dir_, prefix_)) {
+    if (ReadFileVerified(path.string(), payload).ok()) {
+      *epoch = found_epoch;
+      return Status::OK();
+    }
+    // Corrupt or torn (e.g. crash mid-write): fall through to an older one.
+  }
+  return Status::NotFound("no valid checkpoint with prefix '" + prefix_ +
+                          "' in " + dir_);
+}
+
+}  // namespace cadrl

@@ -1,0 +1,70 @@
+#ifndef CADRL_UTIL_CHECKPOINT_H_
+#define CADRL_UTIL_CHECKPOINT_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace cadrl {
+
+// Epoch-granular checkpoint/resume configuration shared by the trainers
+// (TransEModel::Train, CadrlRecommender::Fit). With an empty `dir`,
+// checkpointing and resume are disabled and training behaves as before.
+//
+// Checkpoints serialize the full trainer state (RNG included), so a resumed
+// run continues bit-identically to an uninterrupted run with the same seed.
+struct CheckpointOptions {
+  // Directory receiving checkpoint files; empty disables checkpointing.
+  // Created (recursively) on first use.
+  std::string dir;
+  // Write a checkpoint after every n-th completed epoch (the final epoch is
+  // always checkpointed so finished stages resume instantly).
+  int every_n_epochs = 1;
+  // Number of most-recent checkpoints to retain per trainer.
+  int keep_last = 2;
+  // Resume from the latest valid checkpoint in `dir` when one exists;
+  // otherwise start fresh (and overwrite old checkpoints as training
+  // progresses).
+  bool resume = true;
+  // How many times a divergence guard (non-finite loss/reward/parameters)
+  // may roll training back to the last good state before Fit gives up with
+  // Status::kTrainingDivergenceDetail. The retry re-randomizes the
+  // trajectory deterministically, so a transient numerical blow-up does not
+  // end the run. Applies per successfully completed epoch.
+  int max_divergence_retries = 2;
+
+  bool enabled() const { return !dir.empty(); }
+
+  Status Validate() const;
+};
+
+// Names, writes, prunes and scans one trainer's checkpoint files inside a
+// directory: `<dir>/<prefix>-<epoch>.ckpt`, written atomically with a CRC
+// footer (util/io.h). Several trainers may share a directory as long as
+// their prefixes differ (Fit uses "fit", TransE uses "transe").
+class CheckpointStore {
+ public:
+  CheckpointStore(std::string dir, std::string prefix);
+
+  // Creates the directory (and parents) if missing.
+  Status Init() const;
+
+  std::string PathFor(int epoch) const;
+
+  // Atomically writes the checkpoint for `epoch`, then removes all but the
+  // `keep_last` newest checkpoints with this store's prefix.
+  Status Write(int epoch, std::string_view payload, int keep_last) const;
+
+  // Loads the newest checkpoint whose CRC footer validates, skipping
+  // corrupt or torn files. NotFound when no valid checkpoint exists.
+  Status LoadLatest(int* epoch, std::string* payload) const;
+
+ private:
+  std::string dir_;
+  std::string prefix_;
+};
+
+}  // namespace cadrl
+
+#endif  // CADRL_UTIL_CHECKPOINT_H_

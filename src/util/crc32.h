@@ -1,0 +1,23 @@
+#ifndef CADRL_UTIL_CRC32_H_
+#define CADRL_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cadrl {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `n` bytes at
+// `data`, continuing from `seed` (pass the previous return value to
+// checksum a stream incrementally; 0 starts a fresh checksum). This is the
+// same checksum used by zlib/gzip, so values can be cross-checked with
+// external tools.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace cadrl
+
+#endif  // CADRL_UTIL_CRC32_H_

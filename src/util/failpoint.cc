@@ -1,0 +1,46 @@
+#include "util/failpoint.h"
+
+namespace cadrl {
+
+Failpoints& Failpoints::Instance() {
+  static Failpoints* instance = new Failpoints();
+  return *instance;
+}
+
+void Failpoints::Arm(const std::string& name, int count, int skip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[name] = Arming{skip, count, 0};
+}
+
+void Failpoints::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.erase(name);
+}
+
+void Failpoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+}
+
+bool Failpoints::Hit(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = armed_.find(name);
+  if (it == armed_.end()) return false;
+  Arming& a = it->second;
+  if (a.skip > 0) {
+    --a.skip;
+    return false;
+  }
+  if (a.remaining == 0) return false;
+  if (a.remaining > 0) --a.remaining;
+  ++a.fired;
+  return true;
+}
+
+int Failpoints::fire_count(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = armed_.find(name);
+  return it == armed_.end() ? 0 : it->second.fired;
+}
+
+}  // namespace cadrl

@@ -1,0 +1,70 @@
+#ifndef CADRL_UTIL_FAILPOINT_H_
+#define CADRL_UTIL_FAILPOINT_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace cadrl {
+
+// A registry of named failure-injection points. Production code places
+// `CADRL_FAILPOINT("subsystem/event")` at a spot where a fault can occur
+// (a short write, ENOSPC, a crash between steps); the call is a cheap map
+// lookup returning false unless a test armed that name. Tests arm a point
+// with an optional skip count ("fire on the 3rd hit") and a trigger budget
+// ("fire twice, then fall through"), run the workload, and assert that the
+// failure surfaced as a Status instead of a torn artifact or an abort.
+//
+// The registry is process-global and thread-safe; arming is test-only and
+// never persisted.
+class Failpoints {
+ public:
+  static Failpoints& Instance();
+
+  // Arms `name`: after `skip` non-firing hits, the next `count` hits fire.
+  // `count < 0` fires on every hit (after `skip`) until Disarm.
+  void Arm(const std::string& name, int count = 1, int skip = 0);
+
+  void Disarm(const std::string& name);
+  void DisarmAll();
+
+  // True if `name` is armed and this hit should fail; consumes one trigger.
+  bool Hit(const std::string& name);
+
+  // Number of times `name` has fired since it was last armed.
+  int fire_count(const std::string& name) const;
+
+ private:
+  struct Arming {
+    int skip = 0;
+    int remaining = 0;  // negative = unlimited
+    int fired = 0;
+  };
+
+  Failpoints() = default;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Arming> armed_;
+};
+
+// Arms a failpoint for the current scope (test helper).
+class ScopedFailpoint {
+ public:
+  explicit ScopedFailpoint(std::string name, int count = 1, int skip = 0)
+      : name_(std::move(name)) {
+    Failpoints::Instance().Arm(name_, count, skip);
+  }
+  ~ScopedFailpoint() { Failpoints::Instance().Disarm(name_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+#define CADRL_FAILPOINT(name) (::cadrl::Failpoints::Instance().Hit(name))
+
+}  // namespace cadrl
+
+#endif  // CADRL_UTIL_FAILPOINT_H_

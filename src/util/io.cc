@@ -1,0 +1,163 @@
+#include "util/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace cadrl {
+namespace {
+
+constexpr char kFooterTag[] = "cadrl_footer";
+constexpr int kFooterVersion = 1;
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+// Best-effort fsync of the directory containing `path`, so the rename
+// itself is durable. Failure is ignored: the data file is already synced
+// and a lost rename only reverts to the previous (intact) artifact.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::string MakeDurabilityFooter(std::string_view payload) {
+  std::ostringstream footer;
+  footer << kFooterTag << ' ' << kFooterVersion << ' ' << payload.size()
+         << ' ' << Crc32(payload) << '\n';
+  return footer.str();
+}
+
+Status VerifyAndStripFooter(std::string* contents) {
+  CADRL_CHECK(contents != nullptr);
+  // The last occurrence of the tag is the real footer whenever one exists;
+  // a tag inside the payload can only be found when the footer itself is
+  // missing, and then the size/CRC checks below reject the parse.
+  const size_t pos = contents->rfind(kFooterTag);
+  if (pos == std::string::npos) {
+    return Status::Corruption("missing durability footer");
+  }
+  std::istringstream in(contents->substr(pos));
+  std::string tag;
+  int version = 0;
+  uint64_t size = 0;
+  uint32_t crc = 0;
+  in >> tag >> version >> size >> crc;
+  if (in.fail() || tag != kFooterTag) {
+    return Status::Corruption("malformed durability footer");
+  }
+  std::string trailing;
+  in >> trailing;
+  if (!trailing.empty()) {
+    return Status::Corruption("trailing bytes after durability footer");
+  }
+  if (version != kFooterVersion) {
+    return Status::Corruption("unsupported durability footer version");
+  }
+  if (size != pos) {
+    return Status::Corruption("durability footer length mismatch (truncated "
+                              "or partially written file)");
+  }
+  const uint32_t actual = Crc32(std::string_view(contents->data(), pos));
+  if (actual != crc) {
+    return Status::Corruption("checksum mismatch (corrupted file)");
+  }
+  contents->resize(pos);
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view payload) {
+  const std::string tmp = path + ".tmp";
+  std::string blob(payload);
+  blob += MakeDurabilityFooter(payload);
+
+  if (CADRL_FAILPOINT("io/open")) {
+    return Status::IOError("cannot open " + tmp + " (injected)");
+  }
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError(Errno("cannot open " + tmp));
+
+  Status status;
+  size_t limit = blob.size();
+  if (CADRL_FAILPOINT("io/enospc")) {
+    status = Status::IOError("write failed: " + tmp +
+                             ": no space left on device (injected ENOSPC)");
+  } else if (CADRL_FAILPOINT("io/short-write")) {
+    limit = blob.size() / 2;
+  }
+  size_t written = 0;
+  while (status.ok() && written < limit) {
+    const ssize_t n = ::write(fd, blob.data() + written, limit - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status = Status::IOError(Errno("write failed: " + tmp));
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (status.ok() && limit < blob.size()) {
+    status = Status::IOError("short write: " + tmp + " (injected)");
+  }
+  if (status.ok() && CADRL_FAILPOINT("io/fsync")) {
+    status = Status::IOError("fsync failed: " + tmp + " (injected)");
+  }
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::IOError(Errno("fsync failed: " + tmp));
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::IOError(Errno("close failed: " + tmp));
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());  // never leave a torn temp behind a live failure
+    return status;
+  }
+  if (CADRL_FAILPOINT("io/crash-before-rename")) {
+    // Simulated process death between the durable temp write and the
+    // rename: the temp file stays on disk, the final path is untouched.
+    return Status::IOError("simulated crash before rename of " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rename_status =
+        Status::IOError(Errno("rename failed: " + tmp + " -> " + path));
+    ::unlink(tmp.c_str());
+    return rename_status;
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+Status ReadFileRaw(const std::string& path, std::string* contents) {
+  CADRL_CHECK(contents != nullptr);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  *contents = buffer.str();
+  return Status::OK();
+}
+
+Status ReadFileVerified(const std::string& path, std::string* payload) {
+  CADRL_RETURN_IF_ERROR(ReadFileRaw(path, payload));
+  return VerifyAndStripFooter(payload).Annotate(path);
+}
+
+}  // namespace cadrl

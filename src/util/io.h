@@ -1,0 +1,48 @@
+#ifndef CADRL_UTIL_IO_H_
+#define CADRL_UTIL_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace cadrl {
+
+// Crash-safe file persistence. Writers append a versioned footer carrying a
+// CRC-32 of the payload, write the whole blob to `<path>.tmp`, fsync it, and
+// atomically rename it over `path` (then fsync the parent directory). A
+// crash or I/O fault at any point leaves the previous artifact at `path`
+// intact; readers verify the footer and return Status::Corruption for
+// truncated or bit-flipped files instead of parsing garbage.
+//
+// Fault injection (tests): the write path honors the failpoints
+//   io/open                open of the temp file fails
+//   io/enospc              the write fails as if the disk were full
+//   io/short-write         only a prefix of the blob reaches the temp file
+//   io/fsync               fsync of the temp file fails
+//   io/crash-before-rename everything is written and synced, but the
+//                          process "dies" before the rename (temp file is
+//                          left behind, the final path is untouched)
+// On any injected or real failure before the rename the final path is never
+// modified; the temp file is removed except in the simulated-crash case.
+
+// The footer appended by WriteFileAtomic: "cadrl_footer 1 <size> <crc>\n".
+std::string MakeDurabilityFooter(std::string_view payload);
+
+// Validates that `contents` ends with a well-formed footer whose size and
+// CRC match the preceding payload, then strips the footer in place.
+Status VerifyAndStripFooter(std::string* contents);
+
+// Atomically replaces `path` with `payload` + footer (tmp, fsync, rename).
+Status WriteFileAtomic(const std::string& path, std::string_view payload);
+
+// Reads all of `path` without interpreting it.
+Status ReadFileRaw(const std::string& path, std::string* contents);
+
+// Reads `path`, verifies the durability footer, and returns the payload
+// with the footer stripped.
+Status ReadFileVerified(const std::string& path, std::string* payload);
+
+}  // namespace cadrl
+
+#endif  // CADRL_UTIL_IO_H_

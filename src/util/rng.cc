@@ -1,7 +1,10 @@
 #include "util/rng.h"
 
+#include <bit>
 #include <cmath>
+#include <istream>
 #include <numeric>
+#include <ostream>
 
 namespace cadrl {
 namespace {
@@ -91,6 +94,30 @@ int64_t Rng::SampleWeighted(const std::vector<double>& weights) {
     if (target <= 0.0) return static_cast<int64_t>(i);
   }
   return static_cast<int64_t>(weights.size()) - 1;
+}
+
+void Rng::WriteState(std::ostream& out) const {
+  out << "rng";
+  for (uint64_t s : state_) out << ' ' << s;
+  // The cached Gaussian is stored as raw bits so the restore is exact.
+  out << ' ' << (has_cached_gaussian_ ? 1 : 0) << ' '
+      << std::bit_cast<uint64_t>(cached_gaussian_) << '\n';
+}
+
+Status Rng::ReadState(std::istream& in) {
+  std::string tag;
+  uint64_t words[4] = {0, 0, 0, 0};
+  int has_cached = 0;
+  uint64_t cached_bits = 0;
+  in >> tag >> words[0] >> words[1] >> words[2] >> words[3] >> has_cached >>
+      cached_bits;
+  if (in.fail() || tag != "rng" || (has_cached != 0 && has_cached != 1)) {
+    return Status::Corruption("bad rng state record");
+  }
+  for (int i = 0; i < 4; ++i) state_[i] = words[i];
+  has_cached_gaussian_ = has_cached == 1;
+  cached_gaussian_ = std::bit_cast<double>(cached_bits);
+  return Status::OK();
 }
 
 std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {

@@ -2,9 +2,11 @@
 #define CADRL_UTIL_RNG_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace cadrl {
 
@@ -53,6 +55,12 @@ class Rng {
 
   // k distinct indices from [0, n), in arbitrary order. Requires k <= n.
   std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  // Snapshot/restore of the complete generator state (state words plus the
+  // Box-Muller cache) as text, for checkpointing. A restored generator
+  // continues the exact sequence the snapshotted one would have produced.
+  void WriteState(std::ostream& out) const;
+  Status ReadState(std::istream& in);
 
  private:
   uint64_t state_[4];

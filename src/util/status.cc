@@ -32,6 +32,11 @@ std::string Status::ToString() const {
     out += ": ";
     out += message_;
   }
+  if (!detail_.empty()) {
+    out += " [";
+    out += detail_;
+    out += "]";
+  }
   return out;
 }
 

@@ -2,6 +2,7 @@
 #define CADRL_UTIL_STATUS_H_
 
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace cadrl {
@@ -56,6 +57,36 @@ class Status {
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  // Machine-readable refinement of the code, e.g. kTrainingDivergenceDetail
+  // on the Internal status returned when training rollback retries are
+  // exhausted. Empty for most statuses.
+  const std::string& detail() const { return detail_; }
+
+  // Detail tag carried by statuses caused by non-finite losses/rewards/
+  // parameters during training (divergence guards).
+  static constexpr std::string_view kTrainingDivergenceDetail =
+      "training-divergence";
+
+  bool IsTrainingDivergence() const {
+    return detail_ == kTrainingDivergenceDetail;
+  }
+
+  // Returns a copy of this status carrying `detail` (no-op when ok).
+  Status WithDetail(std::string detail) const {
+    Status s = *this;
+    if (!s.ok()) s.detail_ = std::move(detail);
+    return s;
+  }
+
+  // Returns a copy with `suffix` appended to the message ("msg: suffix");
+  // code and detail are preserved. No-op when ok.
+  Status Annotate(const std::string& suffix) const {
+    if (ok()) return *this;
+    Status s = *this;
+    s.message_ = s.message_.empty() ? suffix : s.message_ + ": " + suffix;
+    return s;
+  }
+
   // Human-readable representation, e.g. "InvalidArgument: bad dimension".
   std::string ToString() const;
 
@@ -64,6 +95,7 @@ class Status {
 
   Code code_;
   std::string message_;
+  std::string detail_;
 };
 
 // Propagates a non-OK status to the caller. Usable only in functions that

@@ -1,0 +1,350 @@
+// Crash-safety and checkpoint/resume tests: interrupted training resumes
+// bit-identically, armed failpoints surface as Status (never aborts or torn
+// files), and divergence guards roll back instead of crashing.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cadrl.h"
+#include "data/generator.h"
+#include "embed/transe.h"
+#include "util/checkpoint.h"
+#include "util/failpoint.h"
+#include "util/io.h"
+
+namespace cadrl {
+namespace core {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh per-test scratch directory.
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/cadrl_ckpt_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void FlipByteAt(const std::string& path, int64_t offset_from_end) {
+  std::string contents = ReadAll(path);
+  ASSERT_GT(static_cast<int64_t>(contents.size()), offset_from_end);
+  const size_t pos = contents.size() - 1 - offset_from_end;
+  contents[pos] = static_cast<char>(contents[pos] ^ 0x5a);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+}
+
+// Checkpointing small enough that every test variant trains in well under a
+// second: no CGGNN, tiny TransE, four RL epochs.
+CadrlOptions TinyOptions() {
+  CadrlOptions o;
+  o.use_cggnn = false;
+  o.transe.dim = 8;
+  o.transe.epochs = 4;
+  o.policy_hidden = 16;
+  o.episodes_per_user = 4;
+  o.max_path_length = 4;
+  o.beam_width = 6;
+  o.beam_expand = 3;
+  o.seed = 29;
+  return o;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::Instance().DisarmAll(); }
+  void TearDown() override { Failpoints::Instance().DisarmAll(); }
+
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(
+        data::MustGenerateDataset(data::SyntheticConfig::Tiny()));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static data::Dataset* dataset_;
+};
+
+data::Dataset* CheckpointTest::dataset_ = nullptr;
+
+// --- CheckpointStore -------------------------------------------------------
+
+TEST_F(CheckpointTest, StoreWritesPrunesAndLoadsLatest) {
+  const std::string dir = ScratchDir("store");
+  CheckpointStore store(dir, "fit");
+  ASSERT_TRUE(store.Init().ok());
+  for (int epoch = 1; epoch <= 4; ++epoch) {
+    ASSERT_TRUE(
+        store.Write(epoch, "payload-" + std::to_string(epoch), 2).ok());
+  }
+  // keep_last=2: only the two newest files survive.
+  EXPECT_FALSE(fs::exists(store.PathFor(1)));
+  EXPECT_FALSE(fs::exists(store.PathFor(2)));
+  EXPECT_TRUE(fs::exists(store.PathFor(3)));
+  EXPECT_TRUE(fs::exists(store.PathFor(4)));
+
+  int epoch = 0;
+  std::string payload;
+  ASSERT_TRUE(store.LoadLatest(&epoch, &payload).ok());
+  EXPECT_EQ(epoch, 4);
+  EXPECT_EQ(payload, "payload-4");
+  fs::remove_all(dir);
+}
+
+TEST_F(CheckpointTest, StoreSkipsCorruptCheckpoints) {
+  const std::string dir = ScratchDir("store_corrupt");
+  CheckpointStore store(dir, "fit");
+  ASSERT_TRUE(store.Init().ok());
+  ASSERT_TRUE(store.Write(1, "good", 5).ok());
+  ASSERT_TRUE(store.Write(2, "torn", 5).ok());
+  FlipByteAt(store.PathFor(2), 2);  // inside the footer CRC
+
+  int epoch = 0;
+  std::string payload;
+  ASSERT_TRUE(store.LoadLatest(&epoch, &payload).ok());
+  EXPECT_EQ(epoch, 1);
+  EXPECT_EQ(payload, "good");
+
+  FlipByteAt(store.PathFor(1), 2);
+  EXPECT_TRUE(store.LoadLatest(&epoch, &payload).IsNotFound());
+  fs::remove_all(dir);
+}
+
+TEST_F(CheckpointTest, StoreEmptyDirIsNotFound) {
+  const std::string dir = ScratchDir("store_empty");
+  CheckpointStore store(dir, "fit");
+  int epoch = 0;
+  std::string payload;
+  EXPECT_TRUE(store.LoadLatest(&epoch, &payload).IsNotFound());
+}
+
+TEST_F(CheckpointTest, OptionsValidateRejectsBadValues) {
+  CheckpointOptions ckpt;
+  ckpt.dir = ScratchDir("opts");
+  ckpt.every_n_epochs = 0;
+  EXPECT_FALSE(ckpt.Validate().ok());
+  ckpt.every_n_epochs = 1;
+  ckpt.keep_last = 0;
+  EXPECT_FALSE(ckpt.Validate().ok());
+  ckpt.keep_last = 1;
+  ckpt.max_divergence_retries = -1;
+  EXPECT_FALSE(ckpt.Validate().ok());
+  ckpt.max_divergence_retries = 0;
+  EXPECT_TRUE(ckpt.Validate().ok());
+}
+
+// --- TransE resume ---------------------------------------------------------
+
+TEST_F(CheckpointTest, TransEKillAndResumeIsBitIdentical) {
+  const CadrlOptions opts = TinyOptions();
+
+  CheckpointOptions ckpt_a;
+  ckpt_a.dir = ScratchDir("transe_a");
+  embed::TransEModel uninterrupted(dataset_->graph.num_entities(),
+                                   dataset_->graph.num_categories(),
+                                   opts.transe);
+  ASSERT_TRUE(embed::TransEModel::Train(dataset_->graph, opts.transe, ckpt_a,
+                                        &uninterrupted)
+                  .ok());
+
+  // Kill the trainer right after its 2nd completed epoch...
+  CheckpointOptions ckpt_b;
+  ckpt_b.dir = ScratchDir("transe_b");
+  embed::TransEModel killed(dataset_->graph.num_entities(),
+                            dataset_->graph.num_categories(), opts.transe);
+  {
+    ScopedFailpoint kill("transe/kill", /*count=*/1, /*skip=*/1);
+    EXPECT_TRUE(embed::TransEModel::Train(dataset_->graph, opts.transe,
+                                          ckpt_b, &killed)
+                    .IsIOError());
+  }
+
+  // ...then resume: the finished model must match the uninterrupted run
+  // bit for bit.
+  embed::TransEModel resumed(dataset_->graph.num_entities(),
+                             dataset_->graph.num_categories(), opts.transe);
+  ASSERT_TRUE(embed::TransEModel::Train(dataset_->graph, opts.transe, ckpt_b,
+                                        &resumed)
+                  .ok());
+  EXPECT_EQ(resumed.EntityTable(), uninterrupted.EntityTable());
+  EXPECT_EQ(resumed.RelationTable(), uninterrupted.RelationTable());
+  EXPECT_EQ(resumed.CategoryTable(), uninterrupted.CategoryTable());
+  EXPECT_EQ(resumed.epoch_losses(), uninterrupted.epoch_losses());
+  fs::remove_all(ckpt_a.dir);
+  fs::remove_all(ckpt_b.dir);
+}
+
+TEST_F(CheckpointTest, TransEDivergenceRollsBackAndRecovers) {
+  CheckpointOptions ckpt;
+  ckpt.dir = ScratchDir("transe_div");
+  const CadrlOptions opts = TinyOptions();
+  embed::TransEModel model(dataset_->graph.num_entities(),
+                           dataset_->graph.num_categories(), opts.transe);
+  ScopedFailpoint diverge("transe/diverge", /*count=*/1);
+  ASSERT_TRUE(
+      embed::TransEModel::Train(dataset_->graph, opts.transe, ckpt, &model)
+          .ok());
+  EXPECT_EQ(model.epoch_losses().size(),
+            static_cast<size_t>(opts.transe.epochs));
+  fs::remove_all(ckpt.dir);
+}
+
+// --- Fit: checkpointing, kill, resume --------------------------------------
+
+TEST_F(CheckpointTest, CheckpointedFitMatchesPlainFit) {
+  CadrlRecommender plain(TinyOptions());
+  ASSERT_TRUE(plain.Fit(*dataset_).ok());
+
+  CheckpointOptions ckpt;
+  ckpt.dir = ScratchDir("fit_plain");
+  CadrlRecommender checkpointed(TinyOptions());
+  ASSERT_TRUE(checkpointed.Fit(*dataset_, ckpt).ok());
+  EXPECT_EQ(checkpointed.epoch_rewards(), plain.epoch_rewards());
+  fs::remove_all(ckpt.dir);
+}
+
+TEST_F(CheckpointTest, FitKillAndResumeIsBitIdentical) {
+  const std::string model_a = ::testing::TempDir() + "/cadrl_ckpt_model_a";
+  const std::string model_b = ::testing::TempDir() + "/cadrl_ckpt_model_b";
+
+  CheckpointOptions ckpt_a;
+  ckpt_a.dir = ScratchDir("fit_a");
+  CadrlRecommender uninterrupted(TinyOptions());
+  ASSERT_TRUE(uninterrupted.Fit(*dataset_, ckpt_a).ok());
+  ASSERT_TRUE(uninterrupted.SaveModel(model_a).ok());
+
+  // Kill training right after RL epoch 2 (skip=1 skips the epoch-1 hit).
+  CheckpointOptions ckpt_b;
+  ckpt_b.dir = ScratchDir("fit_b");
+  {
+    ScopedFailpoint kill("cadrl/fit-kill", /*count=*/1, /*skip=*/1);
+    CadrlRecommender killed(TinyOptions());
+    EXPECT_TRUE(killed.Fit(*dataset_, ckpt_b).IsIOError());
+  }
+
+  // A fresh process resumes from ckpt_b and must land on the same rewards
+  // and the same saved model, byte for byte.
+  CadrlRecommender resumed(TinyOptions());
+  ASSERT_TRUE(resumed.Fit(*dataset_, ckpt_b).ok());
+  ASSERT_TRUE(resumed.SaveModel(model_b).ok());
+
+  EXPECT_EQ(resumed.epoch_rewards(), uninterrupted.epoch_rewards());
+  EXPECT_EQ(ReadAll(model_b), ReadAll(model_a));
+
+  std::remove(model_a.c_str());
+  std::remove(model_b.c_str());
+  fs::remove_all(ckpt_a.dir);
+  fs::remove_all(ckpt_b.dir);
+}
+
+TEST_F(CheckpointTest, FitResumeFromFinishedRunSkipsTraining) {
+  CheckpointOptions ckpt;
+  ckpt.dir = ScratchDir("fit_done");
+  CadrlRecommender first(TinyOptions());
+  ASSERT_TRUE(first.Fit(*dataset_, ckpt).ok());
+
+  // All epochs are checkpointed, so a second Fit resumes past the last
+  // epoch and reproduces the same reward history.
+  CadrlRecommender second(TinyOptions());
+  ASSERT_TRUE(second.Fit(*dataset_, ckpt).ok());
+  EXPECT_EQ(second.epoch_rewards(), first.epoch_rewards());
+  fs::remove_all(ckpt.dir);
+}
+
+TEST_F(CheckpointTest, FitRejectsCheckpointFromDifferentSeed) {
+  CheckpointOptions ckpt;
+  ckpt.dir = ScratchDir("fit_seed");
+  CadrlRecommender first(TinyOptions());
+  ASSERT_TRUE(first.Fit(*dataset_, ckpt).ok());
+
+  CadrlOptions other = TinyOptions();
+  other.seed = 31;
+  CadrlRecommender second(other);
+  EXPECT_TRUE(second.Fit(*dataset_, ckpt).IsFailedPrecondition());
+  fs::remove_all(ckpt.dir);
+}
+
+// --- Fit: divergence guard -------------------------------------------------
+
+TEST_F(CheckpointTest, FitDivergenceRollsBackAndRecovers) {
+  ScopedFailpoint diverge("cadrl/fit-diverge", /*count=*/1);
+  CadrlRecommender model(TinyOptions());
+  ASSERT_TRUE(model.Fit(*dataset_).ok());
+  EXPECT_EQ(model.epoch_rewards().size(),
+            static_cast<size_t>(TinyOptions().episodes_per_user));
+}
+
+TEST_F(CheckpointTest, FitPersistentDivergenceReturnsStatusNotAbort) {
+  ScopedFailpoint diverge("cadrl/fit-diverge", /*count=*/-1);
+  CadrlRecommender model(TinyOptions());
+  const Status status = model.Fit(*dataset_);
+  ASSERT_TRUE(status.IsInternal());
+  EXPECT_TRUE(status.IsTrainingDivergence());
+}
+
+// --- Model persistence under faults ----------------------------------------
+
+TEST_F(CheckpointTest, CorruptedModelFileIsCorruptionNotCrash) {
+  const std::string path = ::testing::TempDir() + "/cadrl_ckpt_model_corrupt";
+  CadrlRecommender model(TinyOptions());
+  ASSERT_TRUE(model.Fit(*dataset_).ok());
+  ASSERT_TRUE(model.SaveModel(path).ok());
+
+  // Bit flip in the payload body.
+  FlipByteAt(path, 200);
+  CadrlRecommender reloaded(TinyOptions());
+  EXPECT_TRUE(reloaded.LoadModel(*dataset_, path).IsCorruption());
+
+  // Truncation (footer gone entirely).
+  ASSERT_TRUE(model.SaveModel(path).ok());
+  const std::string full = ReadAll(path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << full.substr(0, full.size() / 2);
+  }
+  EXPECT_TRUE(reloaded.LoadModel(*dataset_, path).IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, SaveModelCrashBeforeRenamePreservesPrevious) {
+  const std::string path = ::testing::TempDir() + "/cadrl_ckpt_model_crash";
+  CadrlRecommender model(TinyOptions());
+  ASSERT_TRUE(model.Fit(*dataset_).ok());
+  ASSERT_TRUE(model.SaveModel(path).ok());
+  const std::string before = ReadAll(path);
+
+  {
+    ScopedFailpoint crash("io/crash-before-rename");
+    EXPECT_TRUE(model.SaveModel(path).IsIOError());
+  }
+  // The previous artifact is untouched and still loads.
+  EXPECT_EQ(ReadAll(path), before);
+  CadrlRecommender reloaded(TinyOptions());
+  EXPECT_TRUE(reloaded.LoadModel(*dataset_, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, SaveModelDiskFullIsIOError) {
+  const std::string path = ::testing::TempDir() + "/cadrl_ckpt_model_enospc";
+  CadrlRecommender model(TinyOptions());
+  ASSERT_TRUE(model.Fit(*dataset_).ok());
+  ScopedFailpoint enospc("io/enospc");
+  EXPECT_TRUE(model.SaveModel(path).IsIOError());
+  EXPECT_FALSE(fs::exists(path));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace cadrl

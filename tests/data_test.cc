@@ -7,6 +7,7 @@
 #include "data/dataset.h"
 #include "data/generator.h"
 #include "data/serialize.h"
+#include "util/failpoint.h"
 
 namespace cadrl {
 namespace data {
@@ -292,6 +293,62 @@ TEST(SerializeTest, TruncatedFileIsCorruption) {
   Dataset d;
   EXPECT_FALSE(LoadDataset(path, &d).ok());
   std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ByteFlipIsCorruption) {
+  Dataset original = MustGenerateDataset(SyntheticConfig::Tiny());
+  const std::string path = ::testing::TempDir() + "/cadrl_bitflip.txt";
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    content[content.size() / 2] ^= 0x10;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+  Dataset d;
+  EXPECT_TRUE(LoadDataset(path, &d).IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, DiskFullIsIOErrorAndLeavesNoFile) {
+  Dataset original = MustGenerateDataset(SyntheticConfig::Tiny());
+  const std::string path = ::testing::TempDir() + "/cadrl_enospc.txt";
+  std::remove(path.c_str());
+  ScopedFailpoint enospc("io/enospc");
+  EXPECT_TRUE(SaveDataset(original, path).IsIOError());
+  EXPECT_FALSE(std::ifstream(path).is_open());
+}
+
+TEST(SerializeTest, ShortWriteNeverTearsPreviousFile) {
+  Dataset original = MustGenerateDataset(SyntheticConfig::Tiny());
+  const std::string path = ::testing::TempDir() + "/cadrl_shortwrite.txt";
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  {
+    ScopedFailpoint short_write("io/short-write");
+    EXPECT_TRUE(SaveDataset(original, path).IsIOError());
+  }
+  // The previous artifact still loads cleanly.
+  Dataset d;
+  EXPECT_TRUE(LoadDataset(path, &d).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CrashBeforeRenamePreservesPreviousDataset) {
+  Dataset original = MustGenerateDataset(SyntheticConfig::Tiny());
+  const std::string path = ::testing::TempDir() + "/cadrl_crashsafe.txt";
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  {
+    ScopedFailpoint crash("io/crash-before-rename");
+    EXPECT_TRUE(SaveDataset(original, path).IsIOError());
+  }
+  Dataset d;
+  ASSERT_TRUE(LoadDataset(path, &d).ok());
+  EXPECT_EQ(d.graph.num_entities(), original.graph.num_entities());
+  EXPECT_EQ(d.users.size(), original.users.size());
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());  // the simulated crash leaves it
 }
 
 }  // namespace

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "util/crc32.h"
+#include "util/failpoint.h"
+#include "util/io.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -211,6 +214,160 @@ TEST(TablePrinterTest, WriteCsvToBadPathFails) {
   table.SetHeader({"a"});
   Status s = table.WriteCsv("/nonexistent_dir_xyz/file.csv");
   EXPECT_TRUE(s.IsIOError());
+}
+
+TEST(StatusTest, WithDetailMarksTrainingDivergence) {
+  const Status plain = Status::Internal("diverged");
+  EXPECT_FALSE(plain.IsTrainingDivergence());
+  const Status tagged =
+      plain.WithDetail(std::string(Status::kTrainingDivergenceDetail));
+  EXPECT_TRUE(tagged.IsInternal());
+  EXPECT_TRUE(tagged.IsTrainingDivergence());
+  EXPECT_EQ(tagged.ToString(), "Internal: diverged [training-divergence]");
+  // WithDetail on OK is a no-op.
+  EXPECT_FALSE(Status::OK().WithDetail("x").IsTrainingDivergence());
+}
+
+TEST(StatusTest, AnnotatePreservesCodeAndDetail) {
+  const Status s = Status::Corruption("checksum mismatch")
+                       .WithDetail("d")
+                       .Annotate("/tmp/file");
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.message(), "checksum mismatch: /tmp/file");
+  EXPECT_EQ(s.detail(), "d");
+  EXPECT_TRUE(Status::OK().Annotate("x").ok());
+}
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // The standard CRC-32 (IEEE 802.3 / zlib) check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  // Incremental computation chains through the seed.
+  const uint32_t whole = Crc32("hello world");
+  const uint32_t partial =
+      Crc32(std::string_view(" world"), Crc32("hello"));
+  EXPECT_EQ(partial, whole);
+}
+
+TEST(FailpointTest, ArmSkipCountSemantics) {
+  Failpoints& fp = Failpoints::Instance();
+  fp.DisarmAll();
+  EXPECT_FALSE(fp.Hit("util_test/unarmed"));
+
+  fp.Arm("util_test/p", /*count=*/2, /*skip=*/1);
+  EXPECT_FALSE(fp.Hit("util_test/p"));  // skipped
+  EXPECT_TRUE(fp.Hit("util_test/p"));
+  EXPECT_TRUE(fp.Hit("util_test/p"));
+  EXPECT_FALSE(fp.Hit("util_test/p"));  // budget exhausted
+  EXPECT_EQ(fp.fire_count("util_test/p"), 2);
+  fp.DisarmAll();
+  EXPECT_FALSE(fp.Hit("util_test/p"));
+}
+
+TEST(FailpointTest, UnlimitedCountFiresUntilDisarm) {
+  {
+    ScopedFailpoint scoped("util_test/unlimited", /*count=*/-1);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_TRUE(CADRL_FAILPOINT("util_test/unlimited"));
+    }
+  }
+  EXPECT_FALSE(CADRL_FAILPOINT("util_test/unlimited"));
+}
+
+TEST(AtomicIoTest, FooterRoundTrip) {
+  const std::string payload = "some payload\nwith lines\n";
+  std::string contents = payload + MakeDurabilityFooter(payload);
+  ASSERT_TRUE(VerifyAndStripFooter(&contents).ok());
+  EXPECT_EQ(contents, payload);
+}
+
+TEST(AtomicIoTest, FooterDetectsTampering) {
+  const std::string payload = "some payload\n";
+  // Flipped payload byte -> checksum mismatch.
+  std::string flipped = payload + MakeDurabilityFooter(payload);
+  flipped[0] ^= 0x01;
+  EXPECT_TRUE(VerifyAndStripFooter(&flipped).IsCorruption());
+  // Truncated payload -> length mismatch.
+  std::string truncated =
+      payload.substr(1) + MakeDurabilityFooter(payload);
+  EXPECT_TRUE(VerifyAndStripFooter(&truncated).IsCorruption());
+  // No footer at all.
+  std::string bare = payload;
+  EXPECT_TRUE(VerifyAndStripFooter(&bare).IsCorruption());
+  // Trailing garbage after the footer.
+  std::string trailing = payload + MakeDurabilityFooter(payload) + "x";
+  EXPECT_TRUE(VerifyAndStripFooter(&trailing).IsCorruption());
+}
+
+TEST(AtomicIoTest, WriteReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cadrl_atomic_rt.txt";
+  const std::string payload = "line one\nline two\n";
+  ASSERT_TRUE(WriteFileAtomic(path, payload).ok());
+  std::string raw;
+  ASSERT_TRUE(ReadFileRaw(path, &raw).ok());
+  EXPECT_EQ(raw, payload + MakeDurabilityFooter(payload));
+  std::string verified;
+  ASSERT_TRUE(ReadFileVerified(path, &verified).ok());
+  EXPECT_EQ(verified, payload);
+  // No temp file left behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").is_open());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicIoTest, ReadMissingFileIsIOError) {
+  std::string payload;
+  EXPECT_TRUE(ReadFileVerified("/nonexistent/never.bin", &payload)
+                  .IsIOError());
+}
+
+TEST(AtomicIoTest, InjectedFaultsSurfaceAsIOError) {
+  const std::string path = ::testing::TempDir() + "/cadrl_atomic_fault.txt";
+  const std::string payload = "payload\n";
+  for (const char* point :
+       {"io/open", "io/enospc", "io/short-write", "io/fsync"}) {
+    ScopedFailpoint fault(point);
+    EXPECT_TRUE(WriteFileAtomic(path, payload).IsIOError()) << point;
+    // Neither the final file nor the temp file may exist afterwards.
+    EXPECT_FALSE(std::ifstream(path).is_open()) << point;
+    EXPECT_FALSE(std::ifstream(path + ".tmp").is_open()) << point;
+  }
+}
+
+TEST(AtomicIoTest, CrashBeforeRenameLeavesTempNotFinal) {
+  const std::string path = ::testing::TempDir() + "/cadrl_atomic_crash.txt";
+  std::remove(path.c_str());
+  {
+    ScopedFailpoint crash("io/crash-before-rename");
+    EXPECT_TRUE(WriteFileAtomic(path, "payload\n").IsIOError());
+  }
+  EXPECT_FALSE(std::ifstream(path).is_open());
+  // The fully synced temp file is left behind, like a real crash would.
+  EXPECT_TRUE(std::ifstream(path + ".tmp").is_open());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(RngTest, StateRoundTripContinuesIdentically) {
+  Rng original(7);
+  // Advance past a Box-Muller draw so the cached-gaussian flag is exercised.
+  (void)original.Gaussian();
+  (void)original.NextUint64();
+
+  std::ostringstream out;
+  original.WriteState(out);
+  Rng restored(99);  // different seed; state must be fully overwritten
+  std::istringstream in(out.str());
+  ASSERT_TRUE(restored.ReadState(in).ok());
+
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(restored.NextUint64(), original.NextUint64());
+    EXPECT_EQ(restored.Gaussian(), original.Gaussian());
+  }
+}
+
+TEST(RngTest, ReadStateRejectsGarbage) {
+  Rng rng(1);
+  std::istringstream bad("not_an_rng 1 2 3\n");
+  EXPECT_FALSE(rng.ReadState(bad).ok());
 }
 
 }  // namespace

@@ -26,11 +26,14 @@ namespace bench {
 
 // One training/evaluation budget shared by every bench binary so tables are
 // comparable. CADRL_BENCH_FAST=1 in the environment shrinks everything for
-// smoke runs.
+// smoke runs; CADRL_THREADS=N sets the worker-thread count used for
+// training and parallel evaluation/serving (0 = one per hardware thread).
+// Threads never change results — only wall-clock.
 struct BenchConfig {
   baselines::RlBudget budget;
   embed::TransEOptions transe;
   int eval_users = 0;  // 0 = every user
+  int threads = 1;
 
   static BenchConfig FromEnv() {
     BenchConfig c;
@@ -50,6 +53,13 @@ struct BenchConfig {
       c.budget.beam_width = 8;
       c.transe.epochs = 3;
       c.eval_users = 20;
+    }
+    const char* threads = std::getenv("CADRL_THREADS");
+    if (threads != nullptr && *threads != '\0') {
+      c.threads = std::atoi(threads);
+      if (c.threads < 0) c.threads = 1;
+      c.budget.threads = c.threads;
+      c.transe.threads = c.threads;
     }
     return c;
   }

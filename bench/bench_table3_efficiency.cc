@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -83,7 +84,7 @@ void Run() {
       }
       const eval::TimingResult t = eval::MeasureEfficiency(
           model.get(), dataset, /*users_per_run=*/30, /*paths_per_run=*/120,
-          /*repeats=*/3);
+          /*repeats=*/3, config.threads);
       rows[entry.name].push_back(
           TablePrinter::Fmt(t.rec_per_1k_users_mean, 3) + " +/- " +
           TablePrinter::Fmt(t.rec_per_1k_users_std, 3));
@@ -98,6 +99,81 @@ void Run() {
     table.AddRow(rows[entry.name]);
   }
   table.Print(std::cout);
+}
+
+// Wall-clock scaling of the parallel substrate: trains and serves CADRL on
+// BeautySim at threads=1 and threads=N (N from CADRL_THREADS, default 4)
+// and reports throughput — trajectories/s for training, users/s and
+// paths/s for inference — plus the training speedup. Both runs must agree
+// bit for bit (the determinism contract), which is checked here too; the
+// speedup itself only materializes on multi-core hardware.
+void RunParallelScaling() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  const int par = (config.threads == 0 || config.threads > 1)
+                      ? config.threads
+                      : 4;
+  data::Dataset dataset = MakeDatasetByName("Beauty");
+
+  struct ScalingRow {
+    int threads = 1;
+    double train_s = 0.0;
+    double traj_per_s = 0.0;
+    double users_per_s = 0.0;
+    double paths_per_s = 0.0;
+    std::vector<float> rewards;
+  };
+  std::vector<ScalingRow> runs;
+  for (const int threads : {1, par}) {
+    BenchConfig c = config;
+    c.threads = threads;
+    c.budget.threads = threads;
+    c.transe.threads = threads;
+    auto model = baselines::MakeCadrlForDataset(c.budget, "Beauty");
+
+    ScalingRow row;
+    row.threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    CADRL_CHECK_OK(model->Fit(dataset));
+    const auto t1 = std::chrono::steady_clock::now();
+    row.train_s = std::chrono::duration<double>(t1 - t0).count();
+    const double trajectories =
+        static_cast<double>(dataset.num_users()) *
+        model->options().episodes_per_user;
+    row.traj_per_s = trajectories / row.train_s;
+    row.rewards = model->epoch_rewards();
+
+    const eval::TimingResult t = eval::MeasureEfficiency(
+        model.get(), dataset, /*users_per_run=*/30, /*paths_per_run=*/120,
+        /*repeats=*/3, threads);
+    row.users_per_s = 1000.0 / t.rec_per_1k_users_mean;
+    row.paths_per_s = 10000.0 / t.find_per_10k_paths_mean;
+    runs.push_back(std::move(row));
+    std::cerr << "scaling / threads=" << threads << " done" << std::endl;
+  }
+
+  TablePrinter table("Parallel scaling: CADRL on Beauty, wall-clock and "
+                     "throughput at 1 vs " + std::to_string(par) +
+                     " threads (identical results by construction)");
+  table.SetHeader({"Threads", "Train(s)", "Traj/s", "Rec users/s",
+                   "Find paths/s", "Train speedup"});
+  for (const ScalingRow& row : runs) {
+    table.AddRow({std::to_string(row.threads),
+                  TablePrinter::Fmt(row.train_s, 2),
+                  TablePrinter::Fmt(row.traj_per_s, 1),
+                  TablePrinter::Fmt(row.users_per_s, 1),
+                  TablePrinter::Fmt(row.paths_per_s, 1),
+                  TablePrinter::Fmt(runs.front().train_s / row.train_s, 2) +
+                      "x"});
+  }
+  table.Print(std::cout);
+  if (runs.back().rewards != runs.front().rewards) {
+    std::cerr << "ERROR: thread-count invariance violated — reward "
+                 "histories differ between threads=1 and threads="
+              << par << "\n";
+  } else {
+    std::cout << "determinism check: reward histories identical across "
+                 "thread counts\n";
+  }
 }
 
 // A google-benchmark microbenchmark of the per-user inference step, the
@@ -126,6 +202,7 @@ BENCHMARK(BM_CadrlRecommendUser)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   cadrl::bench::Run();
+  cadrl::bench::RunParallelScaling();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

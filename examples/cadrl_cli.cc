@@ -4,8 +4,9 @@
 //
 //   cadrl_cli generate <beauty|cellphones|clothing|tiny> <path>
 //   cadrl_cli eval <dataset-path> [--checkpoint_dir <dir>] [--resume]
+//              [--threads N]
 //   cadrl_cli train <dataset-path> <model-path> [--checkpoint_dir <dir>]
-//              [--resume]
+//              [--resume] [--threads N]
 //   cadrl_cli recommend <dataset-path> <user-entity-id> [k] [model-path]
 
 #include <cstdlib>
@@ -28,23 +29,29 @@ int Usage() {
       << "usage:\n"
          "  cadrl_cli generate <beauty|cellphones|clothing|tiny> <path>\n"
          "  cadrl_cli eval <dataset-path> [--checkpoint_dir <dir>] "
-         "[--resume]\n"
+         "[--resume] [--threads N]\n"
          "  cadrl_cli train <dataset-path> <model-path> "
-         "[--checkpoint_dir <dir>] [--resume]\n"
+         "[--checkpoint_dir <dir>] [--resume] [--threads N]\n"
          "  cadrl_cli recommend <dataset-path> <user-entity-id> [k] "
          "[model-path]\n"
          "\n"
          "  --checkpoint_dir <dir>  write epoch checkpoints during training\n"
          "  --resume                restart from the latest valid checkpoint"
-         " in --checkpoint_dir\n";
+         " in --checkpoint_dir\n"
+         "  --threads N             worker threads for training and"
+         " evaluation\n"
+         "                          (0 = one per hardware thread; results"
+         " are\n"
+         "                          identical for every N)\n";
   return 2;
 }
 
-// Removes --checkpoint_dir <dir> / --resume from `args` and fills `ckpt`.
-// Returns false on a malformed flag.
-bool ParseCheckpointFlags(std::vector<std::string>* args,
-                          CheckpointOptions* ckpt) {
+// Removes --checkpoint_dir <dir> / --resume / --threads N from `args` and
+// fills `ckpt` / `threads`. Returns false on a malformed flag.
+bool ParseCommonFlags(std::vector<std::string>* args, CheckpointOptions* ckpt,
+                      int* threads) {
   ckpt->resume = false;
+  *threads = 1;
   std::vector<std::string> rest;
   for (size_t i = 0; i < args->size(); ++i) {
     const std::string& a = (*args)[i];
@@ -53,6 +60,15 @@ bool ParseCheckpointFlags(std::vector<std::string>* args,
       ckpt->dir = (*args)[++i];
     } else if (a == "--resume") {
       ckpt->resume = true;
+    } else if (a == "--threads") {
+      if (i + 1 >= args->size()) return false;
+      char* end = nullptr;
+      const long v = std::strtol((*args)[++i].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || v < 0) {
+        std::cerr << "--threads expects a non-negative integer\n";
+        return false;
+      }
+      *threads = static_cast<int>(v);
     } else {
       rest.push_back(a);
     }
@@ -65,8 +81,13 @@ bool ParseCheckpointFlags(std::vector<std::string>* args,
   return true;
 }
 
-core::CadrlOptions DefaultOptions(const std::string& dataset_name) {
+core::CadrlOptions DefaultOptions(const std::string& dataset_name,
+                                  int threads = 1) {
   core::CadrlOptions o;
+  // One knob drives every parallel stage; results are identical for any
+  // value (see DESIGN.md "Concurrency model").
+  o.threads = threads;
+  o.transe.threads = threads;
   o.transe.dim = 24;
   o.transe.epochs = 8;
   o.cggnn.epochs = 12;
@@ -108,7 +129,8 @@ int Generate(const std::string& preset, const std::string& path) {
 }
 
 int TrainModel(const std::string& path, const CheckpointOptions& ckpt,
-               core::CadrlRecommender** out, data::Dataset* dataset) {
+               int threads, core::CadrlRecommender** out,
+               data::Dataset* dataset) {
   Status status = data::LoadDataset(path, dataset);
   if (!status.ok()) {
     std::cerr << "error loading " << path << ": " << status.ToString()
@@ -116,7 +138,7 @@ int TrainModel(const std::string& path, const CheckpointOptions& ckpt,
     return 1;
   }
   auto* model =
-      new core::CadrlRecommender(DefaultOptions(dataset->name));
+      new core::CadrlRecommender(DefaultOptions(dataset->name, threads));
   std::cout << "training CADRL on '" << dataset->name << "' ("
             << dataset->num_users() << " users)...\n";
   if (ckpt.enabled()) {
@@ -133,11 +155,15 @@ int TrainModel(const std::string& path, const CheckpointOptions& ckpt,
   return 0;
 }
 
-int Eval(const std::string& path, const CheckpointOptions& ckpt) {
+int Eval(const std::string& path, const CheckpointOptions& ckpt,
+         int threads) {
   data::Dataset dataset;
   core::CadrlRecommender* model = nullptr;
-  if (int rc = TrainModel(path, ckpt, &model, &dataset); rc != 0) return rc;
-  const eval::EvalResult r = eval::EvaluateRecommender(model, dataset, 10);
+  if (int rc = TrainModel(path, ckpt, threads, &model, &dataset); rc != 0) {
+    return rc;
+  }
+  const eval::EvalResult r =
+      eval::EvaluateRecommender(model, dataset, 10, 0, threads);
   std::cout << "NDCG@10 " << r.ndcg << "%  Recall@10 " << r.recall
             << "%  HR@10 " << r.hit_rate << "%  Prec@10 " << r.precision
             << "%  (" << r.users_evaluated << " users)\n";
@@ -146,10 +172,11 @@ int Eval(const std::string& path, const CheckpointOptions& ckpt) {
 }
 
 int Train(const std::string& dataset_path, const std::string& model_path,
-          const CheckpointOptions& ckpt) {
+          const CheckpointOptions& ckpt, int threads) {
   data::Dataset dataset;
   core::CadrlRecommender* model = nullptr;
-  if (int rc = TrainModel(dataset_path, ckpt, &model, &dataset); rc != 0) {
+  if (int rc = TrainModel(dataset_path, ckpt, threads, &model, &dataset);
+      rc != 0) {
     return rc;
   }
   const Status status = model->SaveModel(model_path);
@@ -177,7 +204,8 @@ int Recommend(const std::string& path, const std::string& user_arg, int k,
       delete model;
       return 1;
     }
-  } else if (int rc = TrainModel(path, CheckpointOptions(), &model, &dataset);
+  } else if (int rc = TrainModel(path, CheckpointOptions(), /*threads=*/1,
+                                 &model, &dataset);
              rc != 0) {
     return rc;
   }
@@ -211,13 +239,16 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
   cadrl::CheckpointOptions ckpt;
-  if (!ParseCheckpointFlags(&args, &ckpt)) return Usage();
+  int threads = 1;
+  if (!ParseCommonFlags(&args, &ckpt, &threads)) return Usage();
   if (command == "generate" && args.size() == 2) {
     return Generate(args[0], args[1]);
   }
-  if (command == "eval" && args.size() == 1) return Eval(args[0], ckpt);
+  if (command == "eval" && args.size() == 1) {
+    return Eval(args[0], ckpt, threads);
+  }
   if (command == "train" && args.size() == 2) {
-    return Train(args[0], args[1], ckpt);
+    return Train(args[0], args[1], ckpt, threads);
   }
   if (command == "recommend" && args.size() >= 2 && args.size() <= 4) {
     return Recommend(args[0], args[1],

@@ -13,6 +13,8 @@ core::CadrlOptions BaseRlOptions(const RlBudget& budget) {
   o.episodes_per_user = budget.episodes_per_user;
   o.beam_width = budget.beam_width;
   o.policy_hidden = budget.policy_hidden;
+  o.threads = budget.threads;
+  o.transe.threads = budget.threads;
   o.seed = budget.seed;
   return o;
 }

@@ -18,6 +18,10 @@ struct RlBudget {
   int episodes_per_user = 4;
   int beam_width = 20;
   int policy_hidden = 48;
+  // Worker threads for TransE batches and RL rollouts (0 = one per
+  // hardware thread). A pure speed knob: results are bit-identical for
+  // every value.
+  int threads = 1;
   uint64_t seed = 7;
 };
 

@@ -11,6 +11,7 @@
 #include "util/failpoint.h"
 #include "util/io.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace cadrl {
 namespace core {
@@ -51,6 +52,12 @@ Status CadrlOptions::Validate() const {
   }
   if (policy_hidden < 2 || episodes_per_user < 0 || lr <= 0.0f) {
     return Status::InvalidArgument("bad training configuration");
+  }
+  if (rollout_batch < 1) {
+    return Status::InvalidArgument("rollout_batch must be >= 1");
+  }
+  if (threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0 (0 = auto)");
   }
   if (beam_width < 1 || beam_expand < 1) {
     return Status::InvalidArgument("beam parameters must be >= 1");
@@ -243,6 +250,7 @@ Status CadrlRecommender::Fit(const data::Dataset& dataset,
 
   std::string last_good = SerializeTrainerState(
       start_epoch, optimizer, entity_baseline, category_baseline);
+  ThreadPool pool(ThreadPool::ClampThreads(options_.threads));
   int retries = 0;
   int epoch = start_epoch;
   while (epoch < options_.episodes_per_user) {
@@ -250,51 +258,87 @@ Status CadrlRecommender::Fit(const data::Dataset& dataset,
     // work depends only on the RNG state at its start (resume invariant).
     std::vector<kg::EntityId> order = dataset.users;
     rng_.Shuffle(&order);
+    // Episode randomness forks off the post-shuffle state, keyed by the
+    // episode's position in the shuffled order (never by worker identity),
+    // so the epoch is bit-identical for any thread count (DESIGN.md §9).
+    const Rng epoch_rng = rng_;
     double reward_sum = 0.0;
     bool diverged = false;
-    for (kg::EntityId user : order) {
+    // One parallel rollout + imitation tape per episode; losses/baselines
+    // are reduced sequentially in episode order below.
+    struct EpisodeWork {
       Episode episode;
-      Rollout(user, &episode);
-      reward_sum += episode.terminal_entity_reward;
-      float total_entity_reward = 0.0f;
-      for (float r : episode.entity_trace.rewards) total_entity_reward += r;
-      std::vector<ag::Tensor> losses;
-      const ag::Tensor entity_loss = rl::ReinforceLoss(
-          episode.entity_trace, options_.gamma,
-          entity_baseline.Update(total_entity_reward),
-          options_.entropy_coef);
-      if (entity_loss.defined()) losses.push_back(entity_loss);
-      if (!episode.category_trace.log_probs.empty()) {
-        float total_category_reward = 0.0f;
-        for (float r : episode.category_trace.rewards) {
-          total_category_reward += r;
-        }
-        const ag::Tensor category_loss = rl::ReinforceLoss(
-            episode.category_trace, options_.gamma,
-            category_baseline.Update(total_category_reward),
-            options_.entropy_coef);
-        if (category_loss.defined()) losses.push_back(category_loss);
-      }
-      // ADAC-style demonstration imitation on a random train item.
-      if (options_.demonstration_weight > 0.0f) {
-        const auto it = train_sets_.find(user);
-        if (it != train_sets_.end() && !it->second.empty()) {
-          const int64_t idx = dataset_->UserIndex(user);
-          const auto& train = dataset.train_items[static_cast<size_t>(idx)];
-          const kg::EntityId target = train[static_cast<size_t>(
-              rng_.UniformInt(static_cast<int64_t>(train.size())))];
-          const auto demo = DemonstrationPath(user, target);
-          if (!demo.empty()) {
-            const ag::Tensor imitation = ImitationLoss(user, demo);
-            if (imitation.defined()) {
-              losses.push_back(ag::MulScalar(
-                  imitation, options_.demonstration_weight));
+      ag::Tensor imitation;
+    };
+    const int64_t num_episodes = static_cast<int64_t>(order.size());
+    const int64_t batch = options_.rollout_batch;
+    for (int64_t b0 = 0; b0 < num_episodes && !diverged; b0 += batch) {
+      const int64_t b1 = std::min(num_episodes, b0 + batch);
+      std::vector<EpisodeWork> work(static_cast<size_t>(b1 - b0));
+      // Parallel phase: rollouts against the policy frozen at batch start
+      // (forward passes only build per-episode tapes; no parameter or
+      // gradient writes happen here).
+      CADRL_RETURN_IF_ERROR(pool.ParallelFor(
+          b0, b1, /*grain=*/1, [&](int64_t e) {
+            EpisodeWork& w = work[static_cast<size_t>(e - b0)];
+            const kg::EntityId user = order[static_cast<size_t>(e)];
+            Rng episode_stream = epoch_rng.Fork(static_cast<uint64_t>(e));
+            Rollout(user, &episode_stream, &w.episode);
+            // ADAC-style demonstration imitation on a random train item.
+            if (options_.demonstration_weight > 0.0f) {
+              const auto it = train_sets_.find(user);
+              if (it != train_sets_.end() && !it->second.empty()) {
+                const int64_t idx = dataset_->UserIndex(user);
+                const auto& train =
+                    dataset.train_items[static_cast<size_t>(idx)];
+                const kg::EntityId target =
+                    train[static_cast<size_t>(episode_stream.UniformInt(
+                        static_cast<int64_t>(train.size())))];
+                const auto demo = DemonstrationPath(user, target);
+                if (!demo.empty()) w.imitation = ImitationLoss(user, demo);
+              }
             }
-          }
+            return Status::OK();
+          }));
+      // Reduction in episode order: baseline updates, reward accumulation
+      // and the loss sum see episodes in the shuffled order regardless of
+      // which thread collected them.
+      std::vector<ag::Tensor> batch_losses;
+      for (EpisodeWork& w : work) {
+        const Episode& episode = w.episode;
+        reward_sum += episode.terminal_entity_reward;
+        float total_entity_reward = 0.0f;
+        for (float r : episode.entity_trace.rewards) {
+          total_entity_reward += r;
         }
+        std::vector<ag::Tensor> losses;
+        const ag::Tensor entity_loss = rl::ReinforceLoss(
+            episode.entity_trace, options_.gamma,
+            entity_baseline.Update(total_entity_reward),
+            options_.entropy_coef);
+        if (entity_loss.defined()) losses.push_back(entity_loss);
+        if (!episode.category_trace.log_probs.empty()) {
+          float total_category_reward = 0.0f;
+          for (float r : episode.category_trace.rewards) {
+            total_category_reward += r;
+          }
+          const ag::Tensor category_loss = rl::ReinforceLoss(
+              episode.category_trace, options_.gamma,
+              category_baseline.Update(total_category_reward),
+              options_.entropy_coef);
+          if (category_loss.defined()) losses.push_back(category_loss);
+        }
+        if (w.imitation.defined()) {
+          losses.push_back(
+              ag::MulScalar(w.imitation, options_.demonstration_weight));
+        }
+        if (losses.empty()) continue;
+        batch_losses.push_back(ag::AddN(losses));
       }
-      if (losses.empty()) continue;
-      const ag::Tensor total_loss = ag::AddN(losses);
+      if (batch_losses.empty()) continue;
+      const ag::Tensor total_loss = ag::MulScalar(
+          ag::AddN(batch_losses),
+          1.0f / static_cast<float>(batch_losses.size()));
       if (!std::isfinite(total_loss.data()[0])) {
         diverged = true;
         break;
@@ -351,15 +395,17 @@ Status CadrlRecommender::Fit(const data::Dataset& dataset,
 }
 
 kg::CategoryId CadrlRecommender::InitialCategory(kg::EntityId user,
-                                                 bool stochastic) {
+                                                 bool stochastic,
+                                                 Rng* rng) const {
   const auto it = train_categories_.find(user);
   if (it == train_categories_.end() || it->second.empty()) {
     return kg::kInvalidCategory;
   }
   const auto& cats = it->second;
   if (stochastic) {
+    CADRL_CHECK(rng != nullptr);
     return cats[static_cast<size_t>(
-        rng_.UniformInt(static_cast<int64_t>(cats.size())))];
+        rng->UniformInt(static_cast<int64_t>(cats.size())))];
   }
   kg::CategoryId best = cats[0];
   float best_affinity = store_->UserCategoryAffinity(user, best);
@@ -622,12 +668,14 @@ Status CadrlRecommender::LoadModel(const data::Dataset& dataset,
   return Status::OK();
 }
 
-void CadrlRecommender::Rollout(kg::EntityId user, Episode* episode) {
+void CadrlRecommender::Rollout(kg::EntityId user, Rng* rng,
+                               Episode* episode) {
   const bool dual = options_.use_dual_agent;
   kg::EntityId entity = user;
   kg::Relation last_rel = kg::Relation::kSelfLoop;
   kg::CategoryId category =
-      dual ? InitialCategory(user, /*stochastic=*/true) : kg::kInvalidCategory;
+      dual ? InitialCategory(user, /*stochastic=*/true, rng)
+           : kg::kInvalidCategory;
   const bool category_active = dual && category != kg::kInvalidCategory;
 
   const ag::Tensor user_t = store_->EntityTensor(user);
@@ -653,7 +701,7 @@ void CadrlRecommender::Rollout(kg::EntityId user, Episode* episode) {
       category_probs = ProbsOf(cat_logits);
       std::vector<double> weights(category_probs.begin(),
                                   category_probs.end());
-      const int64_t pick = rng_.SampleWeighted(weights);
+      const int64_t pick = rng->SampleWeighted(weights);
       next_category = cat_actions[static_cast<size_t>(pick)];
       episode->category_trace.log_probs.push_back(
           ag::Slice(cat_log_probs, pick, 1));
@@ -676,7 +724,7 @@ void CadrlRecommender::Rollout(kg::EntityId user, Episode* episode) {
     const std::vector<float> conditioned_probs = ProbsOf(ent_logits);
     std::vector<double> weights(conditioned_probs.begin(),
                                 conditioned_probs.end());
-    const int64_t pick = rng_.SampleWeighted(weights);
+    const int64_t pick = rng->SampleWeighted(weights);
     const EntityAction action = ent_actions[static_cast<size_t>(pick)];
     episode->entity_trace.log_probs.push_back(
         ag::Slice(ent_log_probs, pick, 1));
@@ -733,8 +781,12 @@ void CadrlRecommender::Rollout(kg::EntityId user, Episode* episode) {
     episode->entity_trace.rewards.back() += terminal;
   }
   if (category_active && !episode->category_trace.rewards.empty()) {
-    const auto& cats = train_categories_[user];
-    if (std::find(cats.begin(), cats.end(), category) != cats.end()) {
+    // find(), not operator[]: rollouts run concurrently and must never
+    // mutate the shared map.
+    const auto it = train_categories_.find(user);
+    if (it != train_categories_.end() &&
+        std::find(it->second.begin(), it->second.end(), category) !=
+            it->second.end()) {
       episode->category_trace.rewards.back() += 1.0f;
     }
   }
@@ -840,8 +892,9 @@ std::vector<eval::Recommendation> CadrlRecommender::Recommend(
   BeamElement root;
   root.entity = user;
   root.last_rel = kg::Relation::kSelfLoop;
-  root.category = dual ? InitialCategory(user, /*stochastic=*/false)
-                       : kg::kInvalidCategory;
+  root.category = dual
+                      ? InitialCategory(user, /*stochastic=*/false, nullptr)
+                      : kg::kInvalidCategory;
   const bool category_active = dual && root.category != kg::kInvalidCategory;
   root.state = policy_->InitialState(
       user_t,

@@ -65,6 +65,18 @@ struct CadrlOptions {
   float lr = 2e-3f;
   float entropy_coef = 0.05f;
   float grad_clip = 5.0f;
+  // Episodes per REINFORCE minibatch: rollouts for one batch are collected
+  // against the policy frozen at the batch start (in parallel when
+  // threads > 1, each episode on its own Rng::Fork stream keyed by the
+  // episode's position in the epoch's shuffled user order), losses are
+  // reduced in episode order, and one optimizer step is taken per batch.
+  // Results depend on rollout_batch but are bit-identical for every thread
+  // count.
+  int rollout_batch = 2;
+  // Worker threads for rollout collection (and, via transe.threads in the
+  // CLI, embedding training); 0 means one per hardware thread, 1 runs
+  // inline.
+  int threads = 1;
 
   // --- Inference ---
   int beam_width = 20;
@@ -115,6 +127,11 @@ class CadrlRecommender : public eval::Recommender {
   std::vector<eval::Recommendation> Recommend(kg::EntityId user,
                                               int k) override;
   bool SupportsPaths() const override { return true; }
+  // Inference reads only frozen state (embedding store, policy weights,
+  // per-user indexes) and the beam search keeps all scratch on the stack,
+  // so concurrent Recommend/FindPaths calls on one fitted model are safe;
+  // cadrl_stress_test exercises this under ThreadSanitizer.
+  bool SupportsConcurrentInference() const override { return true; }
   std::vector<eval::RecommendationPath> FindPaths(kg::EntityId user,
                                                   int max_paths) override;
 
@@ -159,8 +176,10 @@ class CadrlRecommender : public eval::Recommender {
                              rl::MovingBaseline* entity_baseline,
                              rl::MovingBaseline* category_baseline);
 
-  // Runs one training rollout for `user` and fills `episode`.
-  void Rollout(kg::EntityId user, Episode* episode);
+  // Runs one training rollout for `user`, drawing every stochastic choice
+  // from `rng` (an Rng::Fork stream owned by the caller, so rollouts for
+  // different episodes can run on different threads), and fills `episode`.
+  void Rollout(kg::EntityId user, Rng* rng, Episode* episode);
 
   // BFS shortest path user -> item (<= max_path_length hops); empty if
   // unreachable. Used for ADAC-style demonstrations.
@@ -172,8 +191,10 @@ class CadrlRecommender : public eval::Recommender {
                            const std::vector<EntityAction>& demo);
 
   // Initial category for an episode (category of a train item; the
-  // affinity-max one at inference, a random one during training).
-  kg::CategoryId InitialCategory(kg::EntityId user, bool stochastic);
+  // affinity-max one at inference, a random one — drawn from `rng` — during
+  // training). `rng` may be null when stochastic is false.
+  kg::CategoryId InitialCategory(kg::EntityId user, bool stochastic,
+                                 Rng* rng) const;
 
   // Entity-action distribution for the current step (no-grad helper used by
   // the counterfactual partner reward).

@@ -9,6 +9,7 @@
 
 #include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace cadrl {
 namespace embed {
@@ -69,6 +70,12 @@ Status TransEOptions::Validate() const {
   if (margin < 0.0f) return Status::InvalidArgument("margin must be >= 0");
   if (negatives_per_triple < 1) {
     return Status::InvalidArgument("need at least one negative per triple");
+  }
+  if (batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0 (0 = auto)");
   }
   return Status::OK();
 }
@@ -268,6 +275,21 @@ Status TransEModel::Train(const kg::KnowledgeGraph& graph,
     return -model.ScoreTriple(h, r, t);
   };
 
+  // One negative-sample outcome: skipped (the corruption was a real edge),
+  // zero-loss, or an update with gradients computed on the batch-frozen
+  // tables.
+  struct NegUpdate {
+    Triple neg{0, kg::Relation::kSelfLoop, 0};
+    bool skipped = false;
+    bool apply = false;
+    float loss = 0.0f;
+    std::vector<float> g_pos, g_neg;
+  };
+  struct TripleWork {
+    std::vector<NegUpdate> negs;
+  };
+
+  ThreadPool pool(ThreadPool::ClampThreads(options.threads));
   std::string last_good = model.SerializeSnapshot(start_epoch, rng);
   int retries = 0;
   int epoch = start_epoch;
@@ -279,49 +301,102 @@ Status TransEModel::Train(const kg::KnowledgeGraph& graph,
     // on the RNG state at its start — the property checkpoint resume needs.
     std::vector<Triple> triples = base_triples;
     rng.Shuffle(&triples);
-    for (const Triple& pos : triples) {
-      for (int k = 0; k < options.negatives_per_triple; ++k) {
-        // Corrupt head or tail uniformly, avoiding the trivial positive.
-        Triple neg = pos;
-        if (rng.Bernoulli(0.5)) {
-          neg.head = static_cast<kg::EntityId>(rng.UniformInt(n));
-        } else {
-          neg.tail = static_cast<kg::EntityId>(rng.UniformInt(n));
-        }
-        if (graph.HasEdge(neg.head, neg.rel, neg.tail)) continue;
+    // Every triple's negatives come from a stream forked off the
+    // post-shuffle state, keyed by the triple's position in the shuffled
+    // order — never by which worker ran it — so the epoch is bit-identical
+    // for any thread count (DESIGN.md §9).
+    const Rng epoch_rng = rng;
+    const int64_t total = static_cast<int64_t>(triples.size());
+    const int64_t batch = options.batch_size;
+    for (int64_t b0 = 0; b0 < total; b0 += batch) {
+      const int64_t b1 = std::min(total, b0 + batch);
+      std::vector<TripleWork> work(static_cast<size_t>(b1 - b0));
+      // Parallel phase: sampling and gradients against the tables frozen
+      // at batch start (no writes until the reduction below).
+      const Status st = pool.ParallelFor(b0, b1, /*grain=*/8, [&](int64_t t) {
+        TripleWork& w = work[static_cast<size_t>(t - b0)];
+        const Triple& pos = triples[static_cast<size_t>(t)];
+        Rng tr = epoch_rng.Fork(static_cast<uint64_t>(t));
         const float pos_dist = sq_dist(pos.head, pos.rel, pos.tail);
-        const float neg_dist = sq_dist(neg.head, neg.rel, neg.tail);
-        const float loss = options.margin + pos_dist - neg_dist;
-        epoch_loss += std::max(0.0f, loss);
-        ++updates;
-        if (loss <= 0.0f) continue;
-        // Gradient of ||h+r-t||^2 is 2(h+r-t) w.r.t. h and r, -2(...) w.r.t
-        // t; positive triple pulled together, negative pushed apart.
-        const float step = options.lr;
-        float* ph = model.entities_.data() +
-                    static_cast<int64_t>(pos.head) * d;
-        float* pt = model.entities_.data() +
-                    static_cast<int64_t>(pos.tail) * d;
-        float* pr = model.relations_.data() +
-                    static_cast<int64_t>(pos.rel) * d;
-        float* nh = model.entities_.data() +
-                    static_cast<int64_t>(neg.head) * d;
-        float* nt = model.entities_.data() +
-                    static_cast<int64_t>(neg.tail) * d;
-        float* nr = model.relations_.data() +
-                    static_cast<int64_t>(neg.rel) * d;
-        for (int64_t i = 0; i < d; ++i) {
-          const float g_pos = 2.0f * (ph[i] + pr[i] - pt[i]);
-          ph[i] -= step * g_pos;
-          pr[i] -= step * g_pos;
-          pt[i] += step * g_pos;
+        w.negs.resize(static_cast<size_t>(options.negatives_per_triple));
+        for (NegUpdate& u : w.negs) {
+          // Corrupt head or tail uniformly, avoiding the trivial positive.
+          u.neg = pos;
+          if (tr.Bernoulli(0.5)) {
+            u.neg.head = static_cast<kg::EntityId>(tr.UniformInt(n));
+          } else {
+            u.neg.tail = static_cast<kg::EntityId>(tr.UniformInt(n));
+          }
+          if (graph.HasEdge(u.neg.head, u.neg.rel, u.neg.tail)) {
+            u.skipped = true;
+            continue;
+          }
+          const float neg_dist = sq_dist(u.neg.head, u.neg.rel, u.neg.tail);
+          const float loss = options.margin + pos_dist - neg_dist;
+          u.loss = std::max(0.0f, loss);
+          if (loss <= 0.0f) continue;
+          u.apply = true;
+          // Gradient of ||h+r-t||^2 is 2(h+r-t) w.r.t. h and r, -2(...)
+          // w.r.t. t; positive triple pulled together, negative pushed
+          // apart.
+          const float* ph =
+              model.entities_.data() + static_cast<int64_t>(pos.head) * d;
+          const float* pt =
+              model.entities_.data() + static_cast<int64_t>(pos.tail) * d;
+          const float* pr =
+              model.relations_.data() + static_cast<int64_t>(pos.rel) * d;
+          const float* nh =
+              model.entities_.data() + static_cast<int64_t>(u.neg.head) * d;
+          const float* nt =
+              model.entities_.data() + static_cast<int64_t>(u.neg.tail) * d;
+          const float* nr =
+              model.relations_.data() + static_cast<int64_t>(u.neg.rel) * d;
+          u.g_pos.resize(static_cast<size_t>(d));
+          u.g_neg.resize(static_cast<size_t>(d));
+          for (int64_t i = 0; i < d; ++i) {
+            u.g_pos[static_cast<size_t>(i)] = 2.0f * (ph[i] + pr[i] - pt[i]);
+            u.g_neg[static_cast<size_t>(i)] = 2.0f * (nh[i] + nr[i] - nt[i]);
+          }
         }
-        for (int64_t i = 0; i < d; ++i) {
-          const float g_neg = 2.0f * (nh[i] + nr[i] - nt[i]);
-          // Negative distance enters the loss with a minus sign.
-          nh[i] += step * g_neg;
-          nr[i] += step * g_neg;
-          nt[i] -= step * g_neg;
+        return Status::OK();
+      });
+      CADRL_RETURN_IF_ERROR(st);
+      // Reduction in logical-index order: the float accumulation into the
+      // tables and into epoch_loss happens in the same order regardless of
+      // thread count.
+      const float step = options.lr;
+      for (int64_t t = b0; t < b1; ++t) {
+        const Triple& pos = triples[static_cast<size_t>(t)];
+        for (NegUpdate& u : work[static_cast<size_t>(t - b0)].negs) {
+          if (u.skipped) continue;
+          epoch_loss += u.loss;
+          ++updates;
+          if (!u.apply) continue;
+          float* ph =
+              model.entities_.data() + static_cast<int64_t>(pos.head) * d;
+          float* pt =
+              model.entities_.data() + static_cast<int64_t>(pos.tail) * d;
+          float* pr =
+              model.relations_.data() + static_cast<int64_t>(pos.rel) * d;
+          float* nh =
+              model.entities_.data() + static_cast<int64_t>(u.neg.head) * d;
+          float* nt =
+              model.entities_.data() + static_cast<int64_t>(u.neg.tail) * d;
+          float* nr =
+              model.relations_.data() + static_cast<int64_t>(u.neg.rel) * d;
+          for (int64_t i = 0; i < d; ++i) {
+            const float g_pos = u.g_pos[static_cast<size_t>(i)];
+            ph[i] -= step * g_pos;
+            pr[i] -= step * g_pos;
+            pt[i] += step * g_pos;
+          }
+          for (int64_t i = 0; i < d; ++i) {
+            const float g_neg = u.g_neg[static_cast<size_t>(i)];
+            // Negative distance enters the loss with a minus sign.
+            nh[i] += step * g_neg;
+            nr[i] += step * g_neg;
+            nt[i] -= step * g_neg;
+          }
         }
       }
     }

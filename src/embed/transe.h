@@ -22,6 +22,16 @@ struct TransEOptions {
   int negatives_per_triple = 1;
   // Project entity vectors back onto the unit ball after each epoch.
   bool normalize_entities = true;
+  // Triples per SGD minibatch. Negative sampling and gradients for one
+  // batch are computed against the tables frozen at the batch start (in
+  // parallel when threads > 1, each triple on its own Rng::Fork stream
+  // keyed by the triple's position in the epoch's shuffled order) and then
+  // applied in triple order — the result depends on batch_size but is
+  // bit-identical for every thread count.
+  int batch_size = 16;
+  // Worker threads for in-batch negative sampling/gradients; 0 means one
+  // per hardware thread, 1 runs inline.
+  int threads = 1;
   uint64_t seed = 13;
 
   Status Validate() const;

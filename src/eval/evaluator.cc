@@ -1,9 +1,11 @@
 #include "eval/evaluator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace cadrl {
 namespace eval {
@@ -25,42 +27,69 @@ MeanStd Summarize(const std::vector<double>& xs) {
   return out;
 }
 
+// Thread count actually usable against `recommender`: models without
+// concurrent-inference support are always driven sequentially.
+int UsableThreads(const Recommender* recommender, int threads) {
+  threads = ThreadPool::ClampThreads(threads);
+  return recommender->SupportsConcurrentInference() ? threads : 1;
+}
+
 }  // namespace
 
 EvalResult EvaluateRecommender(Recommender* recommender,
                                const data::Dataset& dataset, int k,
-                               int64_t max_users) {
+                               int64_t max_users, int threads) {
   CADRL_CHECK(recommender != nullptr);
   EvalResult result;
   result.model = recommender->name();
-  MetricValues sum;
+
+  // Eligible users up front (the sequential loop's visit order), so the
+  // parallel path can index work items and reduce in that same order.
+  std::vector<size_t> eligible;
   for (size_t u = 0; u < dataset.users.size(); ++u) {
-    if (max_users > 0 && result.users_evaluated >= max_users) break;
-    const auto& relevant = dataset.test_items[u];
-    if (relevant.empty()) continue;
-    std::vector<Recommendation> recs =
-        recommender->Recommend(dataset.users[u], k);
-    std::vector<kg::EntityId> ranked;
-    ranked.reserve(recs.size());
-    for (const Recommendation& rec : recs) ranked.push_back(rec.item);
-    sum += ComputeTopK(ranked, relevant, k);
-    ++result.users_evaluated;
+    if (max_users > 0 &&
+        static_cast<int64_t>(eligible.size()) >= max_users) {
+      break;
+    }
+    if (!dataset.test_items[u].empty()) eligible.push_back(u);
   }
-  if (result.users_evaluated > 0) {
-    const MetricValues mean =
-        sum / static_cast<double>(result.users_evaluated);
-    result.ndcg = mean.ndcg * 100.0;
-    result.recall = mean.recall * 100.0;
-    result.hit_rate = mean.hit_rate * 100.0;
-    result.precision = mean.precision * 100.0;
-  }
+  result.users_evaluated = static_cast<int64_t>(eligible.size());
+  if (eligible.empty()) return result;
+
+  std::vector<MetricValues> per_user(eligible.size());
+  ThreadPool pool(UsableThreads(recommender, threads));
+  const Status status = pool.ParallelFor(
+      0, static_cast<int64_t>(eligible.size()), /*grain=*/1,
+      [&](int64_t i) {
+        const size_t u = eligible[static_cast<size_t>(i)];
+        std::vector<Recommendation> recs =
+            recommender->Recommend(dataset.users[u], k);
+        std::vector<kg::EntityId> ranked;
+        ranked.reserve(recs.size());
+        for (const Recommendation& rec : recs) ranked.push_back(rec.item);
+        per_user[static_cast<size_t>(i)] =
+            ComputeTopK(ranked, dataset.test_items[u], k);
+        return Status::OK();
+      });
+  CADRL_CHECK_OK(status);
+
+  // Reduce in user order: bit-identical to the sequential sum for any
+  // thread count.
+  MetricValues sum;
+  for (const MetricValues& m : per_user) sum += m;
+  const MetricValues mean =
+      sum / static_cast<double>(result.users_evaluated);
+  result.ndcg = mean.ndcg * 100.0;
+  result.recall = mean.recall * 100.0;
+  result.hit_rate = mean.hit_rate * 100.0;
+  result.precision = mean.precision * 100.0;
   return result;
 }
 
 TimingResult MeasureEfficiency(Recommender* recommender,
                                const data::Dataset& dataset,
                                int users_per_run, int paths_per_run,
-                               int repeats) {
+                               int repeats, int threads) {
   CADRL_CHECK(recommender != nullptr);
   CADRL_CHECK_GT(users_per_run, 0);
   CADRL_CHECK_GT(paths_per_run, 0);
@@ -69,27 +98,43 @@ TimingResult MeasureEfficiency(Recommender* recommender,
   result.model = recommender->name();
   const int64_t num_users = dataset.num_users();
   CADRL_CHECK_GT(num_users, 0);
+  ThreadPool pool(UsableThreads(recommender, threads));
 
   std::vector<double> rec_times, find_times;
   for (int rep = 0; rep < repeats; ++rep) {
     Stopwatch sw;
-    for (int i = 0; i < users_per_run; ++i) {
-      const kg::EntityId user =
-          dataset.users[static_cast<size_t>(i % num_users)];
-      recommender->Recommend(user, 10);
-    }
+    CADRL_CHECK_OK(pool.ParallelFor(0, users_per_run, /*grain=*/1,
+                                    [&](int64_t i) {
+                                      recommender->Recommend(
+                                          dataset.users[static_cast<size_t>(
+                                              i % num_users)],
+                                          10);
+                                      return Status::OK();
+                                    }));
     // Normalize to seconds per 1000 users.
     rec_times.push_back(sw.ElapsedSeconds() * 1000.0 / users_per_run);
 
     sw.Restart();
     int64_t produced = 0;
-    int user_cursor = 0;
+    int64_t user_cursor = 0;
     while (produced < paths_per_run) {
-      const kg::EntityId user =
-          dataset.users[static_cast<size_t>(user_cursor++ % num_users)];
-      auto paths = recommender->FindPaths(user, 10);
-      // Count at least one per call so models without paths still terminate.
-      produced += std::max<int64_t>(1, static_cast<int64_t>(paths.size()));
+      // One wave of pool-width calls; per-call counts are summed in call
+      // order so `produced` does not depend on scheduling.
+      const int64_t wave = pool.threads();
+      std::vector<int64_t> counts(static_cast<size_t>(wave), 0);
+      CADRL_CHECK_OK(pool.ParallelFor(
+          0, wave, /*grain=*/1, [&](int64_t i) {
+            const kg::EntityId user = dataset.users[static_cast<size_t>(
+                (user_cursor + i) % num_users)];
+            auto paths = recommender->FindPaths(user, 10);
+            // Count at least one per call so models without paths still
+            // terminate.
+            counts[static_cast<size_t>(i)] =
+                std::max<int64_t>(1, static_cast<int64_t>(paths.size()));
+            return Status::OK();
+          }));
+      user_cursor += wave;
+      for (int64_t c : counts) produced += c;
     }
     // Normalize to seconds per 10000 paths.
     find_times.push_back(sw.ElapsedSeconds() * 10000.0 /

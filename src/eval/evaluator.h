@@ -24,9 +24,13 @@ struct EvalResult {
 // Runs `recommender` (already Fit) over every user with a non-empty test
 // set, computing top-k metrics against the held-out items. `max_users` > 0
 // caps evaluation to the first max_users users (benchmark budget control).
+// `threads` > 1 evaluates users in parallel when the recommender supports
+// concurrent inference; per-user metrics are reduced in user order, so the
+// result is bit-identical for every thread count (and to the sequential
+// path).
 EvalResult EvaluateRecommender(Recommender* recommender,
                                const data::Dataset& dataset, int k = 10,
-                               int64_t max_users = 0);
+                               int64_t max_users = 0, int threads = 1);
 
 // The Table III efficiency protocol. Times are normalized to the paper's
 // units — seconds per 1k users recommended and per 10k paths generated —
@@ -39,10 +43,14 @@ struct TimingResult {
   double find_per_10k_paths_std = 0.0;
 };
 
+// `threads` > 1 issues the Recommend/FindPaths workload from a thread pool
+// (concurrent-inference models only), measuring aggregate throughput the
+// way a parallel serving tier would.
 TimingResult MeasureEfficiency(Recommender* recommender,
                                const data::Dataset& dataset,
                                int users_per_run = 50,
-                               int paths_per_run = 500, int repeats = 3);
+                               int paths_per_run = 500, int repeats = 3,
+                               int threads = 1);
 
 }  // namespace eval
 }  // namespace cadrl

@@ -62,6 +62,12 @@ class Recommender {
   // Whether Recommend attaches non-empty explanation paths.
   virtual bool SupportsPaths() const { return false; }
 
+  // Whether Recommend/FindPaths may be called concurrently from multiple
+  // threads on one fitted model. Models that keep no mutable inference
+  // state opt in; the parallel evaluator falls back to sequential calls for
+  // everything else.
+  virtual bool SupportsConcurrentInference() const { return false; }
+
   // Produces up to `max_paths` explanation paths for `user` (the Table III
   // "path finding" workload). Default: the paths of a top-10 Recommend.
   virtual std::vector<RecommendationPath> FindPaths(kg::EntityId user,

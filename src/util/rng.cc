@@ -120,6 +120,21 @@ Status Rng::ReadState(std::istream& in) {
   return Status::OK();
 }
 
+Rng Rng::Fork(uint64_t stream_id) const {
+  // Fold (state words, keyed stream id) through a splitmix64 chain. Each
+  // absorbed word perturbs the chain state before the next splitmix step, so
+  // the result depends on every input word and on their order. The chain is
+  // seeded with a domain-separation constant so Fork(id) never coincides
+  // with the plain Rng(seed) expansion of any of the state words.
+  uint64_t chain = 0x43f6a8885a308d31ULL;
+  for (uint64_t word : state_) {
+    uint64_t s = chain ^ word;
+    chain = SplitMix64(&s);
+  }
+  uint64_t s = chain ^ (stream_id * 0x9e3779b97f4a7c15ULL);
+  return Rng(SplitMix64(&s));
+}
+
 std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
   CADRL_CHECK_GE(n, k);
   CADRL_CHECK_GE(k, 0);

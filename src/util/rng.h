@@ -56,6 +56,19 @@ class Rng {
   // k distinct indices from [0, n), in arbitrary order. Requires k <= n.
   std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
 
+  // Derives an independent child generator keyed by `stream_id`, without
+  // consuming any draws from (or otherwise mutating) this generator.
+  //
+  // Derivation invariant (covered by known-answer tests, do not change
+  // without versioning checkpoint formats): the four parent state words and
+  // stream_id * GOLDEN_GAMMA are folded, in order, into a splitmix64 chain
+  // whose initial state is the domain-separation constant 0x43f6a8885a308d31;
+  // the final splitmix64 output seeds an ordinary Rng(seed). Distinct
+  // stream_ids therefore give decorrelated streams, and a work item that
+  // forks by its *logical index* draws the same sequence no matter which
+  // thread runs it. The child starts with an empty Box-Muller cache.
+  Rng Fork(uint64_t stream_id) const;
+
   // Snapshot/restore of the complete generator state (state words plus the
   // Box-Muller cache) as text, for checkpointing. A restored generator
   // continues the exact sequence the snapshotted one would have produced.

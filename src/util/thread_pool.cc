@@ -1,0 +1,184 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <utility>
+
+namespace cadrl {
+namespace {
+
+// Depth of ParallelFor frames on this thread (caller dispatch or worker
+// chunk execution). Non-zero means a nested call must run inline.
+thread_local int tl_parallel_depth = 0;
+
+constexpr int64_t kNoFailure = std::numeric_limits<int64_t>::max();
+
+}  // namespace
+
+// Shared state of one ParallelFor call. Lives on the caller's stack; the
+// caller does not return until every worker has checked out, so workers
+// never touch a dead batch.
+struct ThreadPool::Batch {
+  int64_t end = 0;
+  int64_t grain = 1;
+  const std::function<Status(int64_t)>* fn = nullptr;
+
+  // Next unclaimed index; chunks are [claim, claim + grain).
+  std::atomic<int64_t> next{0};
+
+  // Lowest failing index wins; exactly one of error/exception is set when
+  // failure_index != kNoFailure.
+  std::mutex failure_mu;
+  int64_t failure_index = kNoFailure;
+  Status error;
+  std::exception_ptr exception;
+
+  // Workers that still have to check out of this batch.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int pending = 0;
+
+  void RecordFailure(int64_t index, Status status, std::exception_ptr eptr) {
+    std::lock_guard<std::mutex> lock(failure_mu);
+    if (index < failure_index) {
+      failure_index = index;
+      error = std::move(status);
+      exception = std::move(eptr);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+  workers_.reserve(threads_ - 1);
+  for (int i = 0; i < threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  // Drain: taking dispatch_mu_ waits out any in-flight ParallelFor.
+  std::lock_guard<std::mutex> dispatch_lock(dispatch_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::ClampThreads(int threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return std::max(1, threads);
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      batch = batch_;
+    }
+    RunChunks(batch);
+    {
+      std::lock_guard<std::mutex> lock(batch->done_mu);
+      if (--batch->pending == 0) batch->done_cv.notify_one();
+    }
+  }
+}
+
+void ThreadPool::RunChunks(Batch* batch) {
+  ++tl_parallel_depth;
+  for (;;) {
+    const int64_t start =
+        batch->next.fetch_add(batch->grain, std::memory_order_relaxed);
+    if (start >= batch->end) break;
+    const int64_t stop = std::min(batch->end, start + batch->grain);
+    for (int64_t i = start; i < stop; ++i) {
+      try {
+        Status s = (*batch->fn)(i);
+        if (!s.ok()) batch->RecordFailure(i, std::move(s), nullptr);
+      } catch (...) {
+        batch->RecordFailure(i, Status(), std::current_exception());
+      }
+    }
+  }
+  --tl_parallel_depth;
+}
+
+Status ThreadPool::RunInline(int64_t begin, int64_t end,
+                             const std::function<Status(int64_t)>& fn) {
+  // Same semantics as the parallel path: every index runs, the lowest
+  // failing index wins (= the first one, since we walk in order).
+  int64_t failure_index = kNoFailure;
+  Status error;
+  std::exception_ptr exception;
+  ++tl_parallel_depth;
+  for (int64_t i = begin; i < end; ++i) {
+    try {
+      Status s = fn(i);
+      if (!s.ok() && i < failure_index) {
+        failure_index = i;
+        error = std::move(s);
+      }
+    } catch (...) {
+      if (i < failure_index) {
+        failure_index = i;
+        exception = std::current_exception();
+      }
+    }
+  }
+  --tl_parallel_depth;
+  if (exception) std::rethrow_exception(exception);
+  return failure_index == kNoFailure ? Status::OK() : error;
+}
+
+Status ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                               const std::function<Status(int64_t)>& fn) {
+  if (end <= begin) return Status::OK();
+  grain = std::max<int64_t>(1, grain);
+  if (workers_.empty() || tl_parallel_depth > 0 || end - begin <= grain) {
+    return RunInline(begin, end, fn);
+  }
+
+  std::lock_guard<std::mutex> dispatch_lock(dispatch_mu_);
+  Batch batch;
+  batch.end = end;
+  batch.grain = grain;
+  batch.fn = &fn;
+  batch.next.store(begin, std::memory_order_relaxed);
+  batch.pending = static_cast<int>(workers_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  RunChunks(&batch);
+
+  {
+    std::unique_lock<std::mutex> lock(batch.done_mu);
+    batch.done_cv.wait(lock, [&] { return batch.pending == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = nullptr;
+  }
+  if (batch.failure_index != kNoFailure) {
+    if (batch.exception) std::rethrow_exception(batch.exception);
+    return batch.error;
+  }
+  return Status::OK();
+}
+
+}  // namespace cadrl

@@ -1,0 +1,86 @@
+#ifndef CADRL_UTIL_THREAD_POOL_H_
+#define CADRL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cadrl {
+
+// Fixed-size worker pool for deterministic data parallelism.
+//
+// The one entry point is ParallelFor(begin, end, grain, fn), which runs
+// fn(i) for every i in [begin, end) across the pool's threads and the
+// calling thread. Work is handed out in contiguous chunks of `grain`
+// indices from a shared atomic cursor, so which thread runs which index is
+// scheduling-dependent — callers MUST NOT encode thread identity into
+// results. The determinism contract lives one level up: every work item
+// derives its randomness from its logical index (Rng::Fork(i)) and all
+// reductions happen in index order, so outputs are bit-identical for any
+// thread count (see DESIGN.md §9).
+//
+// Error semantics are deterministic by construction: every index runs even
+// after a failure, and the failure with the LOWEST index wins — a non-OK
+// Status is returned, an exception is rethrown on the calling thread. This
+// matches inline execution exactly, so threads=1 and threads=N agree on
+// which error surfaces.
+//
+// A pool of `threads` <= 1 owns no worker threads and runs everything
+// inline. Nested ParallelFor calls (fn itself calling ParallelFor on any
+// pool) also run inline, which keeps the pool deadlock-free.
+class ThreadPool {
+ public:
+  // Spawns max(0, threads - 1) workers; the caller participates in every
+  // ParallelFor, so `threads` is the total parallelism.
+  explicit ThreadPool(int threads);
+
+  // Drains: blocks until in-flight ParallelFor calls finish, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total parallelism (workers + caller), >= 1.
+  int threads() const { return threads_; }
+
+  // Runs fn(i) for every i in [begin, end), in chunks of `grain` (clamped
+  // to >= 1). Blocks until all indices ran. Returns the lowest-index non-OK
+  // Status, or rethrows the lowest-index exception.
+  Status ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<Status(int64_t)>& fn);
+
+  // Maps a --threads style request to a usable count: 0 means "one per
+  // hardware thread", anything else is clamped to >= 1.
+  static int ClampThreads(int threads);
+
+ private:
+  struct Batch;
+
+  void WorkerLoop();
+  static void RunChunks(Batch* batch);
+  static Status RunInline(int64_t begin, int64_t end,
+                          const std::function<Status(int64_t)>& fn);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  // Serializes concurrent ParallelFor callers (one batch at a time).
+  std::mutex dispatch_mu_;
+
+  // Guards batch_/generation_/shutdown_; work_cv_ wakes workers when a new
+  // generation is published or the pool shuts down.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  Batch* batch_ = nullptr;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace cadrl
+
+#endif  // CADRL_UTIL_THREAD_POOL_H_

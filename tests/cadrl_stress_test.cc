@@ -1,0 +1,136 @@
+// Stress/race harness for concurrent read-only inference: many threads
+// hammer Recommend/FindPaths on ONE fitted CadrlRecommender and the results
+// must match a sequential baseline exactly. Built as its own binary
+// (ctest labels "stress"/"tsan") so the ThreadSanitizer job can run just
+// this target: any hidden mutable inference state — a lazy cache, a shared
+// scratch buffer, an unguarded counter — shows up either as a TSan report
+// or as a result mismatch.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cadrl.h"
+#include "data/generator.h"
+#include "eval/evaluator.h"
+
+namespace cadrl {
+namespace {
+
+core::CadrlOptions StressOptions() {
+  core::CadrlOptions o;
+  o.transe.dim = 8;
+  o.transe.epochs = 4;
+  o.use_cggnn = false;
+  o.episodes_per_user = 2;
+  o.policy_hidden = 16;
+  o.seed = 77;
+  return o;
+}
+
+class CadrlStressTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset();
+    ASSERT_TRUE(
+        data::GenerateDataset(data::SyntheticConfig::Tiny(), dataset_).ok());
+    model_ = new core::CadrlRecommender(StressOptions());
+    ASSERT_TRUE(model_->Fit(*dataset_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static data::Dataset* dataset_;
+  static core::CadrlRecommender* model_;
+};
+
+data::Dataset* CadrlStressTest::dataset_ = nullptr;
+core::CadrlRecommender* CadrlStressTest::model_ = nullptr;
+
+void ExpectSameRecommendations(
+    const std::vector<eval::Recommendation>& expected,
+    const std::vector<eval::Recommendation>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].item, actual[i].item);
+    EXPECT_EQ(expected[i].score, actual[i].score);
+    EXPECT_EQ(expected[i].path.steps, actual[i].path.steps);
+  }
+}
+
+TEST_F(CadrlStressTest, ConcurrentRecommendMatchesSequential) {
+  ASSERT_TRUE(model_->SupportsConcurrentInference());
+  // Sequential baseline per user.
+  std::vector<std::vector<eval::Recommendation>> baseline;
+  baseline.reserve(dataset_->users.size());
+  for (kg::EntityId user : dataset_->users) {
+    baseline.push_back(model_->Recommend(user, 10));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  // Every thread walks all users from a different starting offset, so the
+  // same user is frequently being recommended by several threads at once.
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t u = 0; u < dataset_->users.size(); ++u) {
+          const size_t idx =
+              (u + static_cast<size_t>(t) * 3) % dataset_->users.size();
+          const auto recs = model_->Recommend(dataset_->users[idx], 10);
+          ExpectSameRecommendations(baseline[idx], recs);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+TEST_F(CadrlStressTest, ConcurrentFindPathsMatchesSequential) {
+  std::vector<std::vector<eval::RecommendationPath>> baseline;
+  baseline.reserve(dataset_->users.size());
+  for (kg::EntityId user : dataset_->users) {
+    baseline.push_back(model_->FindPaths(user, 5));
+  }
+
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t u = 0; u < dataset_->users.size(); ++u) {
+        const size_t idx =
+            (u + static_cast<size_t>(t)) % dataset_->users.size();
+        const auto paths = model_->FindPaths(dataset_->users[idx], 5);
+        ASSERT_EQ(baseline[idx].size(), paths.size());
+        for (size_t p = 0; p < paths.size(); ++p) {
+          EXPECT_EQ(baseline[idx][p].steps, paths[p].steps);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+TEST_F(CadrlStressTest, ParallelEvaluationMatchesSequential) {
+  const eval::EvalResult sequential =
+      eval::EvaluateRecommender(model_, *dataset_, 10, 0, /*threads=*/1);
+  const eval::EvalResult parallel =
+      eval::EvaluateRecommender(model_, *dataset_, 10, 0, /*threads=*/4);
+  EXPECT_EQ(sequential.users_evaluated, parallel.users_evaluated);
+  EXPECT_EQ(sequential.ndcg, parallel.ndcg);
+  EXPECT_EQ(sequential.recall, parallel.recall);
+  EXPECT_EQ(sequential.hit_rate, parallel.hit_rate);
+  EXPECT_EQ(sequential.precision, parallel.precision);
+}
+
+}  // namespace
+}  // namespace cadrl

@@ -249,6 +249,85 @@ TEST_F(CheckpointTest, FitKillAndResumeIsBitIdentical) {
   fs::remove_all(ckpt_b.dir);
 }
 
+TEST_F(CheckpointTest, FitKillAndResumeUnderThreadsIsBitIdentical) {
+  // Same kill-and-resume contract with the parallel rollout path: the
+  // uninterrupted reference runs single-threaded, the killed and resumed
+  // runs use 4 worker threads (for both TransE batches and RL rollouts).
+  // Equality therefore proves thread-count invariance AND resume
+  // correctness in one shot — a checkpoint written mid-run by a threaded
+  // trainer must replay to the sequential result, byte for byte.
+  const std::string model_a = ::testing::TempDir() + "/cadrl_ckpt_mt_a";
+  const std::string model_b = ::testing::TempDir() + "/cadrl_ckpt_mt_b";
+
+  CheckpointOptions ckpt_a;
+  ckpt_a.dir = ScratchDir("fit_mt_a");
+  CadrlRecommender uninterrupted(TinyOptions());
+  ASSERT_TRUE(uninterrupted.Fit(*dataset_, ckpt_a).ok());
+  ASSERT_TRUE(uninterrupted.SaveModel(model_a).ok());
+
+  CadrlOptions threaded = TinyOptions();
+  threaded.threads = 4;
+  threaded.transe.threads = 4;
+
+  CheckpointOptions ckpt_b;
+  ckpt_b.dir = ScratchDir("fit_mt_b");
+  {
+    ScopedFailpoint kill("cadrl/fit-kill", /*count=*/1, /*skip=*/1);
+    CadrlRecommender killed(threaded);
+    EXPECT_TRUE(killed.Fit(*dataset_, ckpt_b).IsIOError());
+  }
+
+  CadrlRecommender resumed(threaded);
+  ASSERT_TRUE(resumed.Fit(*dataset_, ckpt_b).ok());
+  ASSERT_TRUE(resumed.SaveModel(model_b).ok());
+
+  EXPECT_EQ(resumed.epoch_rewards(), uninterrupted.epoch_rewards());
+  EXPECT_EQ(ReadAll(model_b), ReadAll(model_a));
+
+  std::remove(model_a.c_str());
+  std::remove(model_b.c_str());
+  fs::remove_all(ckpt_a.dir);
+  fs::remove_all(ckpt_b.dir);
+}
+
+TEST_F(CheckpointTest, TransEKillAndResumeUnderThreadsIsBitIdentical) {
+  // TransE analogue: reference at threads=1, kill + resume at threads=4.
+  CadrlOptions opts = TinyOptions();
+
+  CheckpointOptions ckpt_a;
+  ckpt_a.dir = ScratchDir("transe_mt_a");
+  embed::TransEModel uninterrupted(dataset_->graph.num_entities(),
+                                   dataset_->graph.num_categories(),
+                                   opts.transe);
+  ASSERT_TRUE(embed::TransEModel::Train(dataset_->graph, opts.transe, ckpt_a,
+                                        &uninterrupted)
+                  .ok());
+
+  opts.transe.threads = 4;
+  CheckpointOptions ckpt_b;
+  ckpt_b.dir = ScratchDir("transe_mt_b");
+  embed::TransEModel killed(dataset_->graph.num_entities(),
+                            dataset_->graph.num_categories(), opts.transe);
+  {
+    ScopedFailpoint kill("transe/kill", /*count=*/1, /*skip=*/1);
+    EXPECT_TRUE(embed::TransEModel::Train(dataset_->graph, opts.transe,
+                                          ckpt_b, &killed)
+                    .IsIOError());
+  }
+
+  embed::TransEModel resumed(dataset_->graph.num_entities(),
+                             dataset_->graph.num_categories(), opts.transe);
+  ASSERT_TRUE(embed::TransEModel::Train(dataset_->graph, opts.transe, ckpt_b,
+                                        &resumed)
+                  .ok());
+  EXPECT_EQ(resumed.EntityTable(), uninterrupted.EntityTable());
+  EXPECT_EQ(resumed.RelationTable(), uninterrupted.RelationTable());
+  EXPECT_EQ(resumed.CategoryTable(), uninterrupted.CategoryTable());
+  EXPECT_EQ(resumed.epoch_losses(), uninterrupted.epoch_losses());
+  fs::remove_all(ckpt_a.dir);
+  fs::remove_all(ckpt_b.dir);
+}
+
 TEST_F(CheckpointTest, FitResumeFromFinishedRunSkipsTraining) {
   CheckpointOptions ckpt;
   ckpt.dir = ScratchDir("fit_done");

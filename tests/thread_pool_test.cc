@@ -1,0 +1,211 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cadrl {
+namespace {
+
+TEST(ThreadPoolTest, ClampThreadsMapsZeroToHardwareAndNegativesToOne) {
+  EXPECT_GE(ThreadPool::ClampThreads(0), 1);
+  EXPECT_EQ(ThreadPool::ClampThreads(-3), 1);
+  EXPECT_EQ(ThreadPool::ClampThreads(1), 1);
+  EXPECT_EQ(ThreadPool::ClampThreads(7), 7);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnceUnderRandomizedGrains) {
+  Rng rng(2024);
+  for (int round = 0; round < 40; ++round) {
+    const int threads = static_cast<int>(rng.UniformInt(6)) + 1;
+    const int64_t begin = rng.UniformInt(50);
+    const int64_t end = begin + rng.UniformInt(500);
+    const int64_t grain = rng.UniformInt(64) + 1;
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> visits(
+        static_cast<size_t>(std::max<int64_t>(1, end - begin)));
+    const Status status =
+        pool.ParallelFor(begin, end, grain, [&](int64_t i) {
+          visits[static_cast<size_t>(i - begin)].fetch_add(1);
+          return Status::OK();
+        });
+    ASSERT_TRUE(status.ok());
+    for (int64_t i = 0; i < end - begin; ++i) {
+      EXPECT_EQ(visits[static_cast<size_t>(i)].load(), 1)
+          << "threads=" << threads << " range=[" << begin << "," << end
+          << ") grain=" << grain << " index=" << begin + i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndReversedRangesAreNoOps) {
+  ThreadPool pool(4);
+  int calls = 0;
+  EXPECT_TRUE(pool.ParallelFor(5, 5, 1, [&](int64_t) {
+                    ++calls;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_TRUE(pool.ParallelFor(9, 3, 1, [&](int64_t) {
+                    ++calls;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, LowestIndexErrorWinsDeterministically) {
+  // Several indices fail; whichever thread reports last, the surfaced
+  // Status must be the lowest failing index's — on every repetition and
+  // for every thread count.
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    for (int round = 0; round < 20; ++round) {
+      const Status status = pool.ParallelFor(0, 200, 3, [](int64_t i) {
+        if (i == 23 || i == 24 || i == 150) {
+          return Status::Internal("fail at " + std::to_string(i));
+        }
+        return Status::OK();
+      });
+      ASSERT_FALSE(status.ok());
+      EXPECT_EQ(status.message(), "fail at 23") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, AllIndicesStillRunAfterAnError) {
+  // Error propagation must not skip work: a failing index never suppresses
+  // later indices (that would make "which indices ran" scheduling-
+  // dependent).
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  const Status status = pool.ParallelFor(0, 100, 1, [&](int64_t i) {
+    ran.fetch_add(1);
+    return i == 0 ? Status::Internal("early failure") : Status::OK();
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateWithoutDeadlock) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_THROW(
+        {
+          (void)pool.ParallelFor(0, 64, 2, [](int64_t i) {
+            if (i == 17) throw std::runtime_error("boom");
+            return Status::OK();
+          });
+        },
+        std::runtime_error);
+    // The pool survives and keeps scheduling work.
+    std::atomic<int> ran{0};
+    ASSERT_TRUE(pool.ParallelFor(0, 32, 1, [&](int64_t) {
+                      ran.fetch_add(1);
+                      return Status::OK();
+                    })
+                    .ok());
+    EXPECT_EQ(ran.load(), 32);
+  }
+}
+
+TEST(ThreadPoolTest, LowestIndexWinsAcrossErrorKinds) {
+  ThreadPool pool(4);
+  // Status at 3 beats exception at 50.
+  const Status status = pool.ParallelFor(0, 64, 1, [](int64_t i) {
+    if (i == 50) throw std::runtime_error("later exception");
+    if (i == 3) return Status::Internal("earlier status");
+    return Status::OK();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "earlier status");
+  // Exception at 2 beats Status at 40.
+  EXPECT_THROW(
+      {
+        (void)pool.ParallelFor(0, 64, 1, [](int64_t i) {
+          if (i == 2) throw std::runtime_error("earlier exception");
+          if (i == 40) return Status::Internal("later status");
+          return Status::OK();
+        });
+      },
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> inner_visits(64);
+  const Status status = pool.ParallelFor(0, 8, 1, [&](int64_t outer) {
+    // A nested call on the same (busy) pool must degrade to inline
+    // execution instead of deadlocking on the pool's own workers.
+    return pool.ParallelFor(outer * 8, (outer + 1) * 8, 1, [&](int64_t i) {
+      inner_visits[static_cast<size_t>(i)].fetch_add(1);
+      return Status::OK();
+    });
+  });
+  ASSERT_TRUE(status.ok());
+  for (auto& v : inner_visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineOnCallerThread) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool all_on_caller = true;
+  ASSERT_TRUE(pool.ParallelFor(0, 32, 4, [&](int64_t) {
+                    if (std::this_thread::get_id() != caller) {
+                      all_on_caller = false;
+                    }
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_TRUE(all_on_caller);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsCleanly) {
+  // Construct, use, and destroy pools repeatedly — including immediately
+  // after dispatching work and without ever dispatching any.
+  for (int round = 0; round < 25; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    ASSERT_TRUE(pool.ParallelFor(0, 256, 1, [&](int64_t) {
+                      ran.fetch_add(1);
+                      return Status::OK();
+                    })
+                    .ok());
+    EXPECT_EQ(ran.load(), 256);
+  }
+  for (int round = 0; round < 25; ++round) {
+    ThreadPool idle(3);  // destroyed without work
+  }
+}
+
+TEST(ThreadPoolTest, ResultsAreIdenticalForAnyThreadCount) {
+  // The determinism contract in practice: per-index work keyed by logical
+  // index, reduced in index order, gives bit-identical output for 1, 2 and
+  // 8 threads.
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    const Rng base(31337);
+    std::vector<uint64_t> out(128);
+    EXPECT_TRUE(pool.ParallelFor(0, 128, 5, [&](int64_t i) {
+                      Rng stream = base.Fork(static_cast<uint64_t>(i));
+                      out[static_cast<size_t>(i)] = stream.NextUint64();
+                      return Status::OK();
+                    })
+                    .ok());
+    uint64_t digest = 0xcbf29ce484222325ULL;
+    for (uint64_t v : out) digest = (digest ^ v) * 0x100000001b3ULL;
+    return digest;
+  };
+  const uint64_t d1 = run(1);
+  EXPECT_EQ(d1, run(2));
+  EXPECT_EQ(d1, run(8));
+}
+
+}  // namespace
+}  // namespace cadrl

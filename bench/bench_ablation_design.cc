@@ -6,12 +6,14 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace cadrl {
 namespace bench {
 namespace {
 
 void Run() {
+  BenchJson json("ablation_design");
   const BenchConfig config = BenchConfig::FromEnv();
   data::Dataset dataset = MakeDatasetByName("Beauty");
 
@@ -53,6 +55,7 @@ void Run() {
     std::cerr << v.name << ": " << Pct(r.ndcg) << std::endl;
   }
   table.Print(std::cout);
+  json.AddTable(table);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace cadrl {
 namespace bench {
@@ -37,6 +38,7 @@ void Run() {
        }},
   };
 
+  BenchJson json("fig3");
   for (const std::string& dataset_name : {"Beauty", "Cell_Phones"}) {
     data::Dataset dataset = MakeDatasetByName(dataset_name);
     TablePrinter table("Fig 3 (" + dataset_name +
@@ -55,6 +57,7 @@ void Run() {
       std::cerr << dataset_name << " / " << v.name << " done" << std::endl;
     }
     table.Print(std::cout);
+    json.AddTable(table, BenchJson::Slug(dataset_name) + "/");
     std::cout << std::endl;
   }
 }

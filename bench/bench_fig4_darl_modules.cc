@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace cadrl {
 namespace bench {
@@ -36,6 +37,7 @@ void Run() {
        }},
   };
 
+  BenchJson json("fig4");
   for (const std::string& dataset_name : {"Beauty", "Cell_Phones"}) {
     data::Dataset dataset = MakeDatasetByName(dataset_name);
     TablePrinter table("Fig 4 (" + dataset_name +
@@ -54,6 +56,7 @@ void Run() {
       std::cerr << dataset_name << " / " << v.name << " done" << std::endl;
     }
     table.Print(std::cout);
+    json.AddTable(table, BenchJson::Slug(dataset_name) + "/");
     std::cout << std::endl;
   }
 }

@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace cadrl {
 namespace bench {
@@ -24,6 +25,7 @@ void Run() {
   const int eval_cap = 100;
   const std::vector<int> lengths = {1, 2, 3, 4, 5, 6, 7, 8};
 
+  BenchJson json("fig5");
   for (const std::string& dataset_name : DatasetNames()) {
     data::Dataset dataset = MakeDatasetByName(dataset_name);
     TablePrinter table("Fig 5 (" + dataset_name +
@@ -81,6 +83,7 @@ void Run() {
       table.AddRow(row);
     }
     table.Print(std::cout);
+    json.AddTable(table, BenchJson::Slug(dataset_name) + "/");
     std::cout << std::endl;
   }
 }

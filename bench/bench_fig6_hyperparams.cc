@@ -6,12 +6,14 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace cadrl {
 namespace bench {
 namespace {
 
-void RunSweep(const BenchConfig& config, const std::string& title,
+void RunSweep(BenchJson& json, const std::string& prefix,
+              const BenchConfig& config, const std::string& title,
               const std::vector<float>& values,
               const std::function<void(core::CadrlOptions*, float)>& apply) {
   TablePrinter table(title);
@@ -39,6 +41,7 @@ void RunSweep(const BenchConfig& config, const std::string& title,
     table.AddRow(row);
   }
   table.Print(std::cout);
+  json.AddTable(table, prefix);
   std::cout << std::endl;
 }
 
@@ -46,12 +49,14 @@ void Run() {
   BenchConfig config = BenchConfig::FromEnv();
   config.budget.episodes_per_user = std::max(1, config.budget.episodes_per_user - 3);
   const std::vector<float> grid = {0.1f, 0.3f, 0.5f, 0.7f, 0.9f};
-  RunSweep(config, "Fig 6(a): NDCG (%) vs trade-off factor delta", grid,
+  BenchJson json("fig6");
+  RunSweep(json, "delta/", config,
+           "Fig 6(a): NDCG (%) vs trade-off factor delta", grid,
            [](core::CadrlOptions* o, float v) { o->cggnn.delta = v; });
-  RunSweep(config, "Fig 6(b): NDCG (%) vs reward discount factor alpha_pe",
-           grid, [](core::CadrlOptions* o, float v) { o->alpha_pe = v; });
-  RunSweep(config, "Fig 6(c): NDCG (%) vs reward discount factor alpha_pc",
-           grid, [](core::CadrlOptions* o, float v) { o->alpha_pc = v; });
+  RunSweep(json, "alpha_pe/", config,
+           "Fig 6(b): NDCG (%) vs reward discount factor alpha_pe", grid, [](core::CadrlOptions* o, float v) { o->alpha_pe = v; });
+  RunSweep(json, "alpha_pc/", config,
+           "Fig 6(c): NDCG (%) vs reward discount factor alpha_pc", grid, [](core::CadrlOptions* o, float v) { o->alpha_pc = v; });
 }
 
 }  // namespace

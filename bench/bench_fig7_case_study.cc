@@ -9,6 +9,7 @@
 #include <set>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "eval/path_metrics.h"
 
 namespace cadrl {
@@ -30,6 +31,7 @@ std::string CategoryLane(const data::Dataset& dataset,
 }
 
 void Run() {
+  BenchJson json("fig7");
   const BenchConfig config = BenchConfig::FromEnv();
   data::Dataset dataset = MakeDatasetByName("Beauty");
   auto cadrl_model = baselines::MakeCadrlForDataset(config.budget, "Beauty");
@@ -112,6 +114,7 @@ void Run() {
     hist.AddRow({std::to_string(hops), std::to_string(count)});
   }
   hist.Print(std::cout);
+  json.AddTable(hist, "hops/");
 
   TablePrinter quality("Explanation path quality (RQ7)");
   quality.SetHeader({"Model", "Paths", "Valid%", "MeanLen", ">3 hops %",
@@ -132,6 +135,7 @@ void Run() {
          TablePrinter::Fmt(q.mean_categories_per_path, 2)});
   }
   quality.Print(std::cout);
+  json.AddTable(quality, "quality/");
 }
 
 }  // namespace

@@ -1,0 +1,128 @@
+#ifndef CADRL_BENCH_BENCH_JSON_H_
+#define CADRL_BENCH_BENCH_JSON_H_
+
+// Machine-readable benchmark output. Every bench_* binary owns a BenchJson
+// named after its table ("table3", "fig5", ...); when the environment
+// variable CADRL_BENCH_JSON is set the collected metrics are written as
+// BENCH_<name>.json (a flat {"metric": value} object) into the directory it
+// names ("1" or an empty value mean the current directory). This gives the
+// repo a perf trajectory that scripts can diff across commits without
+// scraping the human-format tables.
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace cadrl {
+namespace bench {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  ~BenchJson() {
+    if (enabled() && !written_) {
+      const Status status = Write();
+      if (!status.ok()) {
+        std::cerr << "BENCH_" << name_ << ".json: " << status.ToString()
+                  << "\n";
+      }
+    }
+  }
+
+  static bool enabled() { return std::getenv("CADRL_BENCH_JSON") != nullptr; }
+
+  void Set(const std::string& metric, double value) {
+    metrics_[metric] = value;
+  }
+
+  // Ingests every numeric-leading cell of `table` as a metric named
+  // "<prefix><header>/<first column of the row>" (slug-cased). Cells like
+  // "0.123 +/- 0.045" record their leading number; non-numeric cells ("-")
+  // are skipped.
+  void AddTable(const TablePrinter& table, const std::string& prefix = "") {
+    const auto& header = table.header();
+    for (const auto& row : table.rows()) {
+      if (row.empty()) continue;
+      for (size_t c = 1; c < row.size() && c < header.size(); ++c) {
+        double value = 0.0;
+        if (!LeadingNumber(row[c], &value)) continue;
+        Set(prefix + Slug(header[c]) + "/" + Slug(row[0]), value);
+      }
+    }
+  }
+
+  // Lowercases and maps everything but [a-z0-9._-] to '_' so metric names
+  // stay shell- and JSON-pointer-friendly. Public so bench binaries can
+  // slug dataset names into AddTable prefixes.
+  static std::string Slug(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+      const unsigned char u = static_cast<unsigned char>(ch);
+      if (std::isalnum(u)) {
+        out.push_back(static_cast<char>(std::tolower(u)));
+      } else if (ch == '.' || ch == '-' || ch == '_') {
+        out.push_back(ch);
+      } else if (!out.empty() && out.back() != '_') {
+        out.push_back('_');
+      }
+    }
+    while (!out.empty() && out.back() == '_') out.pop_back();
+    return out;
+  }
+
+  // Writes BENCH_<name>.json into the CADRL_BENCH_JSON directory. Metrics
+  // are emitted in sorted key order so the file diffs cleanly.
+  Status Write() {
+    written_ = true;
+    std::string dir = std::getenv("CADRL_BENCH_JSON");
+    if (dir == "1" || dir.empty()) dir = ".";
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out.is_open()) {
+      return Status::IOError("cannot open for writing: " + path);
+    }
+    out.precision(std::numeric_limits<double>::max_digits10);
+    out << "{\n";
+    bool first = true;
+    for (const auto& [metric, value] : metrics_) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "  \"" << metric << "\": " << value;
+    }
+    out << "\n}\n";
+    if (!out.good()) return Status::IOError("write failed: " + path);
+    std::cerr << "wrote " << path << " (" << metrics_.size() << " metrics)\n";
+    return Status::OK();
+  }
+
+ private:
+  static bool LeadingNumber(const std::string& cell, double* value) {
+    const char* s = cell.c_str();
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s) return false;
+    *value = v;
+    return true;
+  }
+
+  std::string name_;
+  std::map<std::string, double> metrics_;
+  bool written_ = false;
+};
+
+}  // namespace bench
+}  // namespace cadrl
+
+#endif  // CADRL_BENCH_BENCH_JSON_H_

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "util/stopwatch.h"
 
 namespace cadrl {
@@ -14,6 +15,7 @@ namespace bench {
 namespace {
 
 void Run() {
+  BenchJson json("table1");
   const BenchConfig config = BenchConfig::FromEnv();
   std::map<std::string, std::map<std::string, eval::EvalResult>> results;
 
@@ -85,6 +87,7 @@ void Run() {
   }
   table.AddRow(improv);
   table.Print(std::cout);
+  json.AddTable(table);
 }
 
 }  // namespace

@@ -5,12 +5,14 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace cadrl {
 namespace bench {
 namespace {
 
 void Run() {
+  BenchJson json("table2");
   TablePrinter table("Table II: Statistics of the experimental datasets");
   table.SetHeader({"Dataset", "#Users", "#Items", "#Entities",
                    "#Interactions", "#Triplets", "#Categories",
@@ -27,6 +29,7 @@ void Run() {
                   TablePrinter::Fmt(stats.items_per_category, 2)});
   }
   table.Print(std::cout);
+  json.AddTable(table, "stats/");
   std::cout << "\nCategory-graph shape (Definition 4):\n";
   TablePrinter cg("");
   cg.SetHeader({"Dataset", "#CategoryEdges", "MeanDegree"});
@@ -40,6 +43,7 @@ void Run() {
                    2)});
   }
   cg.Print(std::cout);
+  json.AddTable(cg, "catgraph/");
 }
 
 }  // namespace

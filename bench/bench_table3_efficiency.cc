@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace cadrl {
 namespace bench {
@@ -57,7 +58,7 @@ std::vector<Table3Entry> Table3Models() {
   };
 }
 
-void Run() {
+void Run(BenchJson& json) {
   const BenchConfig config = BenchConfig::FromEnv();
   TablePrinter table(
       "Table III: Computational cost (s). Rec normalized per 1k users, "
@@ -99,6 +100,7 @@ void Run() {
     table.AddRow(rows[entry.name]);
   }
   table.Print(std::cout);
+  json.AddTable(table);
 }
 
 // Wall-clock scaling of the parallel substrate: trains and serves CADRL on
@@ -107,7 +109,7 @@ void Run() {
 // paths/s for inference — plus the training speedup. Both runs must agree
 // bit for bit (the determinism contract), which is checked here too; the
 // speedup itself only materializes on multi-core hardware.
-void RunParallelScaling() {
+void RunParallelScaling(BenchJson& json) {
   const BenchConfig config = BenchConfig::FromEnv();
   const int par = (config.threads == 0 || config.threads > 1)
                       ? config.threads
@@ -148,6 +150,11 @@ void RunParallelScaling() {
     row.users_per_s = 1000.0 / t.rec_per_1k_users_mean;
     row.paths_per_s = 10000.0 / t.find_per_10k_paths_mean;
     runs.push_back(std::move(row));
+    const std::string key = "scaling/t" + std::to_string(threads);
+    json.Set(key + "/train_s", runs.back().train_s);
+    json.Set(key + "/traj_per_s", runs.back().traj_per_s);
+    json.Set(key + "/rec_users_per_s", runs.back().users_per_s);
+    json.Set(key + "/find_paths_per_s", runs.back().paths_per_s);
     std::cerr << "scaling / threads=" << threads << " done" << std::endl;
   }
 
@@ -201,8 +208,9 @@ BENCHMARK(BM_CadrlRecommendUser)->Unit(benchmark::kMillisecond);
 }  // namespace cadrl
 
 int main(int argc, char** argv) {
-  cadrl::bench::Run();
-  cadrl::bench::RunParallelScaling();
+  cadrl::bench::BenchJson json("table3");
+  cadrl::bench::Run(json);
+  cadrl::bench::RunParallelScaling(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

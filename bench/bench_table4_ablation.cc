@@ -7,12 +7,14 @@
 #include <map>
 
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace cadrl {
 namespace bench {
 namespace {
 
 void Run() {
+  BenchJson json("table4");
   const BenchConfig config = BenchConfig::FromEnv();
   struct Variant {
     std::string name;
@@ -67,6 +69,7 @@ void Run() {
   }
   for (const Variant& v : variants) table.AddRow(rows[v.name]);
   table.Print(std::cout);
+  json.AddTable(table);
 }
 
 }  // namespace

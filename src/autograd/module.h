@@ -58,6 +58,8 @@ class Linear : public Module {
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
   const Tensor& weight() const { return weight_; }
+  // Undefined when constructed with use_bias = false.
+  const Tensor& bias() const { return bias_; }
 
  private:
   int64_t in_features_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/kernels.h"
+
 namespace cadrl {
 namespace ag {
 namespace {
@@ -113,7 +115,7 @@ Tensor AddN(const std::vector<Tensor>& inputs) {
   parents.reserve(inputs.size());
   for (const Tensor& t : inputs) {
     CADRL_CHECK(t.shape() == inputs[0].shape()) << "AddN shape mismatch";
-    for (size_t i = 0; i < n; ++i) out->data[i] += t.data()[i];
+    kernels::Axpy(static_cast<int>(n), 1.0f, t.data(), out->data.data());
     parents.push_back(t.impl());
   }
   TensorImpl* o = out.get();
@@ -124,6 +126,33 @@ Tensor AddN(const std::vector<Tensor>& inputs) {
       if (!p->requires_grad) continue;
       p->EnsureGrad();
       for (size_t i = 0; i < n; ++i) p->grad[i] += o->grad[i];
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor MeanRows(const std::vector<Tensor>& inputs) {
+  CADRL_CHECK(!inputs.empty());
+  auto out = NewImpl(inputs[0].shape());
+  const size_t n = out->data.size();
+  const float inv = 1.0f / static_cast<float>(inputs.size());
+  std::vector<ImplPtr> parents;
+  parents.reserve(inputs.size());
+  for (const Tensor& t : inputs) {
+    CADRL_CHECK(t.shape() == inputs[0].shape()) << "MeanRows shape mismatch";
+    kernels::Axpy(static_cast<int>(n), 1.0f, t.data(), out->data.data());
+    parents.push_back(t.impl());
+  }
+  for (size_t i = 0; i < n; ++i) out->data[i] *= inv;
+  TensorImpl* o = out.get();
+  auto ps = parents;
+  Track(out, std::move(parents), [o, ps, n, inv] {
+    o->EnsureGrad();
+    for (const auto& p : ps) {
+      if (!p->requires_grad) continue;
+      p->EnsureGrad();
+      kernels::Axpy(static_cast<int>(n), inv, o->grad.data(),
+                    p->grad.data());
     }
   });
   return MakeFromImpl(out);
@@ -296,31 +325,25 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   if (b.rank() == 1) {
     CADRL_CHECK_EQ(b.numel(), k);
     auto out = NewImpl({m});
-    for (int64_t i = 0; i < m; ++i) {
-      float acc = 0.0f;
-      const float* arow = a.data() + i * k;
-      for (int64_t j = 0; j < k; ++j) acc += arow[j] * b.data()[j];
-      out->data[static_cast<size_t>(i)] = acc;
-    }
+    kernels::Gemv(a.data(), static_cast<int>(m), static_cast<int>(k),
+                  b.data(), out->data.data());
     ImplPtr pa = a.impl(), pb = b.impl();
     TensorImpl* o = out.get();
     Track(out, {pa, pb}, [o, pa, pb, m, k] {
       o->EnsureGrad();
       if (pa->requires_grad) {
+        // dA += g y^T (rank-1 update).
         pa->EnsureGrad();
-        for (int64_t i = 0; i < m; ++i) {
-          const float g = o->grad[static_cast<size_t>(i)];
-          float* arow = pa->grad.data() + i * k;
-          for (int64_t j = 0; j < k; ++j) arow[j] += g * pb->data[j];
-        }
+        kernels::GerAcc(static_cast<int>(m), static_cast<int>(k),
+                        o->grad.data(), pb->data.data(), pa->grad.data());
       }
       if (pb->requires_grad) {
+        // db += A^T g. The kernel hoists each A row pointer once instead
+        // of re-deriving pa->data.data() per element.
         pb->EnsureGrad();
-        for (int64_t i = 0; i < m; ++i) {
-          const float g = o->grad[static_cast<size_t>(i)];
-          const float* arow = pa->data.data() + i * k;
-          for (int64_t j = 0; j < k; ++j) pb->grad[j] += g * arow[j];
-        }
+        kernels::GemvTAcc(pa->data.data(), static_cast<int>(m),
+                          static_cast<int>(k), o->grad.data(),
+                          pb->grad.data());
       }
     });
     return MakeFromImpl(out);
@@ -329,45 +352,25 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   CADRL_CHECK_EQ(b.rows(), k);
   const int64_t p = b.cols();
   auto out = NewImpl({m, p});
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* orow = out->data.data() + i * p;
-    for (int64_t j = 0; j < k; ++j) {
-      const float av = arow[j];
-      const float* brow = b.data() + j * p;
-      for (int64_t c = 0; c < p; ++c) orow[c] += av * brow[c];
-    }
-  }
+  kernels::GemmAcc(a.data(), b.data(), out->data.data(), static_cast<int>(m),
+                   static_cast<int>(k), static_cast<int>(p));
   ImplPtr pa = a.impl(), pb = b.impl();
   TensorImpl* o = out.get();
   Track(out, {pa, pb}, [o, pa, pb, m, k, p] {
     o->EnsureGrad();
     if (pa->requires_grad) {
+      // dA += dC * B^T
       pa->EnsureGrad();
-      // dA = dC * B^T
-      for (int64_t i = 0; i < m; ++i) {
-        const float* grow = o->grad.data() + i * p;
-        float* arow = pa->grad.data() + i * k;
-        for (int64_t j = 0; j < k; ++j) {
-          const float* brow = pb->data.data() + j * p;
-          float acc = 0.0f;
-          for (int64_t c = 0; c < p; ++c) acc += grow[c] * brow[c];
-          arow[j] += acc;
-        }
-      }
+      kernels::GemmNTAcc(o->grad.data(), pb->data.data(), pa->grad.data(),
+                         static_cast<int>(m), static_cast<int>(k),
+                         static_cast<int>(p));
     }
     if (pb->requires_grad) {
+      // dB += A^T * dC
       pb->EnsureGrad();
-      // dB = A^T * dC
-      for (int64_t i = 0; i < m; ++i) {
-        const float* arow = pa->data.data() + i * k;
-        const float* grow = o->grad.data() + i * p;
-        for (int64_t j = 0; j < k; ++j) {
-          float* brow = pb->grad.data() + j * p;
-          const float av = arow[j];
-          for (int64_t c = 0; c < p; ++c) brow[c] += av * grow[c];
-        }
-      }
+      kernels::GemmTNAcc(pa->data.data(), o->grad.data(), pb->grad.data(),
+                         static_cast<int>(m), static_cast<int>(k),
+                         static_cast<int>(p));
     }
   });
   return MakeFromImpl(out);
@@ -379,9 +382,7 @@ Tensor Dot(const Tensor& a, const Tensor& b) {
   CADRL_CHECK_EQ(a.numel(), b.numel());
   const size_t n = static_cast<size_t>(a.numel());
   auto out = NewImpl({});
-  float acc = 0.0f;
-  for (size_t i = 0; i < n; ++i) acc += a.data()[i] * b.data()[i];
-  out->data[0] = acc;
+  out->data[0] = kernels::Dot(a.data(), b.data(), static_cast<int>(n));
   ImplPtr pa = a.impl(), pb = b.impl();
   TensorImpl* o = out.get();
   Track(out, {pa, pb}, [o, pa, pb, n] {
@@ -389,11 +390,125 @@ Tensor Dot(const Tensor& a, const Tensor& b) {
     const float g = o->grad[0];
     if (pa->requires_grad) {
       pa->EnsureGrad();
-      for (size_t i = 0; i < n; ++i) pa->grad[i] += g * pb->data[i];
+      kernels::Axpy(static_cast<int>(n), g, pb->data.data(),
+                    pa->grad.data());
     }
     if (pb->requires_grad) {
       pb->EnsureGrad();
-      for (size_t i = 0; i < n; ++i) pb->grad[i] += g * pa->data[i];
+      kernels::Axpy(static_cast<int>(n), g, pa->data.data(),
+                    pb->grad.data());
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor MatMulNT(const Tensor& x, const Tensor& w) {
+  CADRL_CHECK_EQ(x.rank(), 2);
+  CADRL_CHECK_EQ(w.rank(), 2);
+  const int64_t n = x.rows(), k = x.cols(), m = w.rows();
+  CADRL_CHECK_EQ(w.cols(), k);
+  auto out = NewImpl({n, m});
+  kernels::GemmNTAcc(x.data(), w.data(), out->data.data(),
+                     static_cast<int>(n), static_cast<int>(m),
+                     static_cast<int>(k));
+  ImplPtr px = x.impl(), pw = w.impl();
+  TensorImpl* o = out.get();
+  Track(out, {px, pw}, [o, px, pw, n, k, m] {
+    o->EnsureGrad();
+    if (px->requires_grad) {
+      // dX += dC * W
+      px->EnsureGrad();
+      kernels::GemmAcc(o->grad.data(), pw->data.data(), px->grad.data(),
+                       static_cast<int>(n), static_cast<int>(m),
+                       static_cast<int>(k));
+    }
+    if (pw->requires_grad) {
+      // dW += dC^T * X
+      pw->EnsureGrad();
+      kernels::GemmTNAcc(o->grad.data(), px->data.data(), pw->grad.data(),
+                         static_cast<int>(n), static_cast<int>(m),
+                         static_cast<int>(k));
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor RowScale(const Tensor& m, const Tensor& s) {
+  CADRL_CHECK_EQ(m.rank(), 2);
+  CADRL_CHECK_EQ(s.rank(), 1);
+  const int64_t rows = m.rows(), d = m.cols();
+  CADRL_CHECK_EQ(s.numel(), rows);
+  auto out = NewImpl({rows, d});
+  for (int64_t i = 0; i < rows; ++i) {
+    const float sv = s.data()[i];
+    const float* src = m.data() + i * d;
+    float* dst = out->data.data() + i * d;
+    for (int64_t j = 0; j < d; ++j) dst[j] = src[j] * sv;
+  }
+  ImplPtr pm = m.impl(), ps = s.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pm, ps}, [o, pm, ps, rows, d] {
+    o->EnsureGrad();
+    if (pm->requires_grad) {
+      pm->EnsureGrad();
+      for (int64_t i = 0; i < rows; ++i) {
+        kernels::Axpy(static_cast<int>(d), ps->data[static_cast<size_t>(i)],
+                      o->grad.data() + i * d, pm->grad.data() + i * d);
+      }
+    }
+    if (ps->requires_grad) {
+      ps->EnsureGrad();
+      for (int64_t i = 0; i < rows; ++i) {
+        ps->grad[static_cast<size_t>(i)] += kernels::Dot(
+            o->grad.data() + i * d, pm->data.data() + i * d,
+            static_cast<int>(d));
+      }
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor SumRows(const Tensor& m) {
+  CADRL_CHECK_EQ(m.rank(), 2);
+  const int64_t rows = m.rows(), d = m.cols();
+  auto out = NewImpl({d});
+  for (int64_t i = 0; i < rows; ++i) {
+    kernels::Axpy(static_cast<int>(d), 1.0f, m.data() + i * d,
+                  out->data.data());
+  }
+  ImplPtr pm = m.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pm}, [o, pm, rows, d] {
+    o->EnsureGrad();
+    pm->EnsureGrad();
+    for (int64_t i = 0; i < rows; ++i) {
+      kernels::Axpy(static_cast<int>(d), 1.0f, o->grad.data(),
+                    pm->grad.data() + i * d);
+    }
+  });
+  return MakeFromImpl(out);
+}
+
+Tensor Shift(const Tensor& a, const Tensor& s) {
+  CADRL_CHECK_EQ(s.numel(), 1);
+  auto out = NewImpl(a.shape());
+  const size_t n = out->data.size();
+  const float sv = s.data()[0];
+  for (size_t i = 0; i < n; ++i) out->data[i] = a.data()[i] + sv;
+  ImplPtr pa = a.impl(), ps = s.impl();
+  TensorImpl* o = out.get();
+  Track(out, {pa, ps}, [o, pa, ps, n] {
+    o->EnsureGrad();
+    if (pa->requires_grad) {
+      pa->EnsureGrad();
+      kernels::Axpy(static_cast<int>(n), 1.0f, o->grad.data(),
+                    pa->grad.data());
+    }
+    if (ps->requires_grad) {
+      ps->EnsureGrad();
+      float acc = 0.0f;
+      for (size_t i = 0; i < n; ++i) acc += o->grad[i];
+      ps->grad[0] += acc;
     }
   });
   return MakeFromImpl(out);

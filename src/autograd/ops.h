@@ -20,6 +20,11 @@ Tensor Mul(const Tensor& a, const Tensor& b);
 // Sum of n >= 1 equal-shaped tensors.
 Tensor AddN(const std::vector<Tensor>& inputs);
 
+// Mean of n >= 1 equal-shaped tensors, fused so the aggregation builds one
+// tape node instead of AddN + MulScalar. Bit-identical to
+// MulScalar(AddN(inputs), 1.0f / inputs.size()).
+Tensor MeanRows(const std::vector<Tensor>& inputs);
+
 // --- Scalar-argument ---
 Tensor MulScalar(const Tensor& a, float c);
 Tensor AddScalar(const Tensor& a, float c);
@@ -43,6 +48,25 @@ Tensor Scale(const Tensor& a, const Tensor& s);
 Tensor MatMul(const Tensor& a, const Tensor& b);
 // Inner product of two rank-1 tensors -> scalar.
 Tensor Dot(const Tensor& a, const Tensor& b);
+
+// x (n x k) times w^T for w (m x k) -> (n x m). Row i equals
+// MatMul(w, row_i of x) bit for bit: each element is a kernel Dot in the
+// documented 8-lane order, and per-element products commute exactly. The
+// batched form of applying one Linear to n stacked inputs.
+Tensor MatMulNT(const Tensor& x, const Tensor& w);
+
+// Scales row i of m (n x d) by s[i] for rank-1 s (n); the batched form of
+// Scale() across stacked rows.
+Tensor RowScale(const Tensor& m, const Tensor& s);
+
+// Column sums of m (n x d) -> (d), accumulated over rows in ascending
+// order — bit-identical to AddN of the n rows.
+Tensor SumRows(const Tensor& m);
+
+// Adds a differentiable scalar `s` (rank 0 or 1-element rank-1) to every
+// element of `a`; the tensor-valued AddScalar (e.g. a 1-wide bias
+// broadcast over a batch of logits).
+Tensor Shift(const Tensor& a, const Tensor& s);
 
 // --- Reductions ---
 Tensor Sum(const Tensor& a);   // -> scalar

@@ -22,6 +22,11 @@ struct TensorImpl {
   // Propagates this node's grad into its parents' grads. Null for leaves.
   std::function<void()> backward_fn;
   std::vector<std::shared_ptr<TensorImpl>> parents;
+  // Last Backward() traversal that visited this node. Comparing against a
+  // process-wide epoch replaces a per-call hash set in the hot tape walk;
+  // safe for concurrent Backward() calls because disjoint graphs never
+  // share nodes and each call draws a unique epoch.
+  uint64_t visit_mark = 0;
 
   void EnsureGrad() {
     if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);

@@ -156,6 +156,13 @@ Status CadrlRecommender::Fit(const data::Dataset& dataset,
         {EmbeddingStore::ScoreMode::kEnsemble, 4.0f},
     };
     const auto& items = graph.EntitiesOfType(kg::EntityType::kItem);
+    // Deterministic stride-sample of items, scored as one batch per user.
+    std::vector<kg::EntityId> sampled_items;
+    sampled_items.reserve(items.size() / 3 + 1);
+    for (size_t i = 0; i < items.size(); i += 3) {
+      sampled_items.push_back(items[i]);
+    }
+    std::vector<float> sampled_scores(sampled_items.size());
     double best_mrr = -1.0;
     ModeCandidate best = candidates[0];
     for (const ModeCandidate& candidate : candidates) {
@@ -164,11 +171,11 @@ Status CadrlRecommender::Fit(const data::Dataset& dataset,
       double mrr = 0.0;
       for (const auto& [user, val_item] : validation_pairs) {
         const float val_score = store_->ScoreUserEntity(user, val_item);
+        store_->ScoreUserEntities(user, sampled_items, sampled_scores);
         int rank = 1;
-        // Rank among a deterministic stride-sample of items.
-        for (size_t i = 0; i < items.size(); i += 3) {
-          if (items[i] != val_item &&
-              store_->ScoreUserEntity(user, items[i]) > val_score) {
+        for (size_t i = 0; i < sampled_items.size(); ++i) {
+          if (sampled_items[i] != val_item &&
+              sampled_scores[i] > val_score) {
             ++rank;
           }
         }
@@ -206,13 +213,18 @@ Status CadrlRecommender::Fit(const data::Dataset& dataset,
     }
   }
 
-  // Soft-reward scale: mean |score| over observed train pairs.
+  // Soft-reward scale: mean |score| over observed train pairs, scored one
+  // batch per user.
   {
     double total = 0.0;
     int64_t count = 0;
+    std::vector<float> user_scores;
     for (size_t u = 0; u < dataset.users.size(); ++u) {
-      for (kg::EntityId item : dataset.train_items[u]) {
-        total += std::abs(store_->ScoreUserEntity(dataset.users[u], item));
+      user_scores.resize(dataset.train_items[u].size());
+      store_->ScoreUserEntities(dataset.users[u], dataset.train_items[u],
+                                user_scores);
+      for (const float s : user_scores) {
+        total += std::abs(s);
         ++count;
       }
     }
@@ -435,33 +447,36 @@ ag::Tensor CadrlRecommender::EntityEmbeddingTensor(kg::EntityId e) const {
   return store_->EntityTensor(e);
 }
 
-std::vector<ag::Tensor> CadrlRecommender::EntityActionEmbeddings(
+ag::Tensor CadrlRecommender::EntityActionMatrix(
     const std::vector<EntityAction>& actions) const {
-  std::vector<ag::Tensor> embs;
-  embs.reserve(actions.size());
+  const int d = store_->dim();
+  std::vector<float> rows(actions.size() * static_cast<size_t>(2 * d));
+  float* dst = rows.data();
   for (const EntityAction& a : actions) {
-    embs.push_back(ag::Concat(
-        {store_->RelationTensor(a.relation), store_->EntityTensor(a.dst)}));
+    const auto rel = store_->RelationVec(a.relation);
+    const auto ent = store_->Entity(a.dst);
+    std::copy(rel.begin(), rel.end(), dst);
+    std::copy(ent.begin(), ent.end(), dst + d);
+    dst += 2 * d;
   }
-  return embs;
+  return ag::Tensor::FromVector(std::move(rows),
+                                {static_cast<int64_t>(actions.size()),
+                                 static_cast<int64_t>(2 * d)});
 }
 
-std::vector<ag::Tensor> CadrlRecommender::CategoryActionEmbeddings(
+ag::Tensor CadrlRecommender::CategoryActionMatrix(
     const std::vector<kg::CategoryId>& actions) const {
-  std::vector<ag::Tensor> embs;
-  embs.reserve(actions.size());
-  for (kg::CategoryId c : actions) embs.push_back(store_->CategoryTensor(c));
-  return embs;
-}
-
-std::vector<float> CadrlRecommender::EntityDistribution(
-    const SharedPolicyNetworks::RolloutState& state,
-    const ag::Tensor& ent_emb, const ag::Tensor& rel_emb,
-    const ag::Tensor& condition,
-    const std::vector<ag::Tensor>& action_embs) const {
-  ag::NoGradGuard guard;
-  return ProbsOf(
-      policy_->EntityLogits(state, ent_emb, rel_emb, condition, action_embs));
+  const int d = store_->dim();
+  std::vector<float> rows(actions.size() * static_cast<size_t>(d));
+  float* dst = rows.data();
+  for (kg::CategoryId c : actions) {
+    const auto cat = store_->Category(c);
+    std::copy(cat.begin(), cat.end(), dst);
+    dst += d;
+  }
+  return ag::Tensor::FromVector(std::move(rows),
+                                {static_cast<int64_t>(actions.size()),
+                                 static_cast<int64_t>(d)});
 }
 
 void CadrlRecommender::BuildIndexes(const data::Dataset& dataset) {
@@ -677,6 +692,9 @@ void CadrlRecommender::Rollout(kg::EntityId user, Rng* rng,
       dual ? InitialCategory(user, /*stochastic=*/true, rng)
            : kg::kInvalidCategory;
   const bool category_active = dual && category != kg::kInvalidCategory;
+  // Scores this rollout computes (action pruning, potential shaping) are
+  // cached per entity — beam-free but steps revisit neighborhoods.
+  UserScoreMemo score_memo(store_.get(), user);
 
   const ag::Tensor user_t = store_->EntityTensor(user);
   ag::Tensor cat_t = category_active ? store_->CategoryTensor(category)
@@ -693,10 +711,8 @@ void CadrlRecommender::Rollout(kg::EntityId user, Rng* rng,
     std::vector<kg::CategoryId> cat_actions;
     if (category_active) {
       cat_actions = category_env_->ValidActions(user, category);
-      const std::vector<ag::Tensor> cat_embs =
-          CategoryActionEmbeddings(cat_actions);
-      const ag::Tensor cat_logits =
-          policy_->CategoryLogits(state, user_t, cat_t, cat_embs);
+      const ag::Tensor cat_logits = policy_->CategoryLogits(
+          state, user_t, cat_t, CategoryActionMatrix(cat_actions));
       const ag::Tensor cat_log_probs = ag::LogSoftmax(cat_logits);
       category_probs = ProbsOf(cat_logits);
       std::vector<double> weights(category_probs.begin(),
@@ -711,15 +727,14 @@ void CadrlRecommender::Rollout(kg::EntityId user, Rng* rng,
     }
 
     // --- Entity agent: conditioned on the category milestone. ---
-    const std::vector<EntityAction> ent_actions =
-        entity_env_->ValidActions(user, entity);
-    const std::vector<ag::Tensor> ent_embs =
-        EntityActionEmbeddings(ent_actions);
+    const std::vector<EntityAction> ent_actions = entity_env_->ValidActions(
+        user, entity, /*milestone_categories=*/nullptr, &score_memo);
+    const ag::Tensor ent_mat = EntityActionMatrix(ent_actions);
     const ag::Tensor condition = category_active
                                      ? store_->CategoryTensor(next_category)
                                      : ag::Tensor();
     const ag::Tensor ent_logits =
-        policy_->EntityLogits(state, ent_t, rel_t, condition, ent_embs);
+        policy_->EntityLogits(state, ent_t, rel_t, condition, ent_mat);
     const ag::Tensor ent_log_probs = ag::LogSoftmax(ent_logits);
     const std::vector<float> conditioned_probs = ProbsOf(ent_logits);
     std::vector<double> weights(conditioned_probs.begin(),
@@ -734,10 +749,8 @@ void CadrlRecommender::Rollout(kg::EntityId user, Rng* rng,
 
     // --- Potential-based shaping against the sparse reward dilemma. ---
     if (options_.potential_shaping > 0.0f) {
-      const float phi_next =
-          store_->ScoreUserEntity(user, action.dst) / score_scale_;
-      const float phi_cur =
-          store_->ScoreUserEntity(user, entity) / score_scale_;
+      const float phi_next = score_memo.Score(action.dst) / score_scale_;
+      const float phi_cur = score_memo.Score(entity) / score_scale_;
       episode->entity_trace.rewards.back() +=
           options_.potential_shaping * (phi_next - phi_cur);
     }
@@ -745,12 +758,19 @@ void CadrlRecommender::Rollout(kg::EntityId user, Rng* rng,
     // --- Collaborative rewards (Eqs 17-21). ---
     if (category_active && options_.use_partner_rewards) {
       // Marginal p(a^e|s^e) = sum_a~ p(a^e|a~,s^e) p(a~|s^e), exactly over
-      // the pruned category action set.
+      // the pruned category action set. All K conditional distributions
+      // come from one batched no-grad forward.
+      std::vector<std::span<const float>> conditions;
+      conditions.reserve(cat_actions.size());
+      for (const kg::CategoryId c : cat_actions) {
+        conditions.push_back(store_->Category(c));
+      }
+      std::vector<float> cond_probs;
+      policy_->EntityProbsBatch(state, ent_t, rel_t, conditions, ent_mat,
+                                &cond_probs);
       std::vector<float> marginal(conditioned_probs.size(), 0.0f);
       for (size_t x = 0; x < cat_actions.size(); ++x) {
-        const std::vector<float> p_x = EntityDistribution(
-            state, ent_t, rel_t, store_->CategoryTensor(cat_actions[x]),
-            ent_embs);
+        const float* p_x = cond_probs.data() + x * marginal.size();
         for (size_t i = 0; i < marginal.size(); ++i) {
           marginal[i] += category_probs[x] * p_x[i];
         }
@@ -852,7 +872,7 @@ ag::Tensor CadrlRecommender::ImitationLoss(
       const ag::Tensor logits = policy_->EntityLogits(
           state, store_->EntityTensor(entity),
           store_->RelationTensor(last_rel), ag::Tensor(),
-          EntityActionEmbeddings(actions));
+          EntityActionMatrix(actions));
       terms.push_back(ag::Neg(
           ag::Sum(ag::Slice(ag::LogSoftmax(logits), target_index, 1))));
     }
@@ -887,6 +907,10 @@ std::vector<eval::Recommendation> CadrlRecommender::Recommend(
   const std::unordered_set<kg::EntityId> empty_set;
   const std::unordered_set<kg::EntityId>& exclude =
       train_it != train_sets_.end() ? train_it->second : empty_set;
+
+  // One score cache for the whole beam search: branches revisit the same
+  // entities constantly (shared prefixes, overlapping neighborhoods).
+  UserScoreMemo score_memo(store_.get(), user);
 
   const ag::Tensor user_t = store_->EntityTensor(user);
   BeamElement root;
@@ -927,7 +951,7 @@ std::vector<eval::Recommendation> CadrlRecommender::Recommend(
             category_env_->ValidActions(user, elem.category);
         const ag::Tensor cat_logits = policy_->CategoryLogits(
             elem.state, user_t, store_->CategoryTensor(elem.category),
-            CategoryActionEmbeddings(cat_actions));
+            CategoryActionMatrix(cat_actions));
         const std::vector<float> probs = ProbsOf(cat_logits);
         const int64_t best = static_cast<int64_t>(std::distance(
             probs.begin(), std::max_element(probs.begin(), probs.end())));
@@ -937,23 +961,30 @@ std::vector<eval::Recommendation> CadrlRecommender::Recommend(
 
       const std::vector<EntityAction> ent_actions =
           entity_env_->ValidActions(user, elem.entity,
-                                    category_active ? &milestones : nullptr);
+                                    category_active ? &milestones : nullptr,
+                                    &score_memo);
       const ag::Tensor ent_logits = policy_->EntityLogits(
           elem.state, store_->EntityTensor(elem.entity),
           store_->RelationTensor(elem.last_rel),
           category_active ? store_->CategoryTensor(next_category)
                           : ag::Tensor(),
-          EntityActionEmbeddings(ent_actions));
+          EntityActionMatrix(ent_actions));
       const ag::Tensor log_probs_t = ag::LogSoftmax(ent_logits);
+      std::vector<float> guidance;
+      if (options_.beam_guidance_weight > 0.0f) {
+        std::vector<kg::EntityId> dsts;
+        dsts.reserve(ent_actions.size());
+        for (const EntityAction& a : ent_actions) dsts.push_back(a.dst);
+        guidance.resize(dsts.size());
+        score_memo.ScoreBatch(dsts, guidance);
+      }
       std::vector<std::pair<float, int64_t>> ranked;
       ranked.reserve(ent_actions.size());
       for (int64_t i = 0; i < log_probs_t.numel(); ++i) {
         float key = log_probs_t.at(i);
         if (options_.beam_guidance_weight > 0.0f) {
           key += options_.beam_guidance_weight *
-                 store_->ScoreUserEntity(
-                     user, ent_actions[static_cast<size_t>(i)].dst) /
-                 score_scale_;
+                 guidance[static_cast<size_t>(i)] / score_scale_;
         }
         ranked.emplace_back(key, i);
       }
@@ -967,15 +998,24 @@ std::vector<eval::Recommendation> CadrlRecommender::Recommend(
       // Candidate harvesting considers *every* item adjacent to this beam
       // state (PGPR's terminal consideration), independent of the guided
       // action filtering, so ranking coverage is decoupled from both the
-      // beam width and the milestone narrowing.
+      // beam width and the milestone narrowing. Item endpoints are scored
+      // in one batch through the beam-wide memo.
+      std::vector<const kg::Edge*> item_edges;
+      std::vector<kg::EntityId> item_ids;
       for (const kg::Edge& edge : dataset_->graph.Neighbors(elem.entity)) {
         if (!dataset_->graph.IsItem(edge.dst)) continue;
         if (exclude.count(edge.dst) > 0) continue;
+        item_edges.push_back(&edge);
+        item_ids.push_back(edge.dst);
+      }
+      std::vector<float> item_scores(item_ids.size());
+      score_memo.ScoreBatch(item_ids, item_scores);
+      for (size_t ei = 0; ei < item_edges.size(); ++ei) {
+        const kg::Edge& edge = *item_edges[ei];
         const double log_prob = elem.log_prob;
         double score =
             options_.rank_score_weight *
-                static_cast<double>(
-                    store_->ScoreUserEntity(user, edge.dst)) +
+                static_cast<double>(item_scores[ei]) +
             options_.rank_path_weight * log_prob;
         if (category_active) {
           const kg::CategoryId item_cat =

@@ -196,21 +196,18 @@ class CadrlRecommender : public eval::Recommender {
   kg::CategoryId InitialCategory(kg::EntityId user, bool stochastic,
                                  Rng* rng) const;
 
-  // Entity-action distribution for the current step (no-grad helper used by
-  // the counterfactual partner reward).
-  std::vector<float> EntityDistribution(
-      const SharedPolicyNetworks::RolloutState& state,
-      const ag::Tensor& ent_emb, const ag::Tensor& rel_emb,
-      const ag::Tensor& condition,
-      const std::vector<ag::Tensor>& action_embs) const;
-
   float TerminalEntityReward(kg::EntityId user, kg::EntityId terminal) const;
 
   ag::Tensor EntityEmbeddingTensor(kg::EntityId e) const;
-  std::vector<ag::Tensor> EntityActionEmbeddings(
-      const std::vector<EntityAction>& actions) const;
-  std::vector<ag::Tensor> CategoryActionEmbeddings(
-      const std::vector<kg::CategoryId>& actions) const;
+
+  // Stacked action-embedding matrices (no-grad constant leaves) for the
+  // batched policy forward: one contiguous gather from the store tables
+  // instead of per-action Concat/StackRows tensors. Row i holds the same
+  // values the per-action embedding tensors would.
+  ag::Tensor EntityActionMatrix(
+      const std::vector<EntityAction>& actions) const;  // (n x 2d)
+  ag::Tensor CategoryActionMatrix(
+      const std::vector<kg::CategoryId>& actions) const;  // (n x d)
 
   std::string name_;
   CadrlOptions options_;

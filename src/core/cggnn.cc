@@ -81,6 +81,12 @@ Cggnn::Cggnn(const kg::KnowledgeGraph* graph,
       rng.Shuffle(&all);
       all.resize(static_cast<size_t>(options.neighbor_cap));
     }
+    // Incoming neighbors first (stable within each class) so Propagate can
+    // route each direction class through its weight as one GEMM.
+    const auto mid = std::stable_partition(
+        all.begin(), all.end(),
+        [](const SampledNeighbor& nb) { return nb.incoming; });
+    incoming_count_.push_back(mid - all.begin());
     neighbors_[pos] = std::move(all);
     neighbor_categories_[pos].assign(cats.begin(), cats.end());
   }
@@ -140,40 +146,65 @@ ag::Tensor Cggnn::Propagate(int64_t item_pos, int layer,
   const ag::Tensor self = prev[static_cast<size_t>(item_pos)];
   const ag::Tensor purchase_rel = ag::GatherRow(
       relation_table_, static_cast<int64_t>(kg::Relation::kPurchase));
-  std::vector<ag::Tensor> contributions;
-  contributions.reserve(neighborhood.size());
+  const int64_t n = static_cast<int64_t>(neighborhood.size());
+  const int64_t split = incoming_count_[static_cast<size_t>(item_pos)];
+  std::vector<ag::Tensor> feat_rows;
+  std::vector<ag::Tensor> msg_rows;
+  feat_rows.reserve(neighborhood.size());
+  msg_rows.reserve(neighborhood.size());
   for (const SampledNeighbor& nb : neighborhood) {
     const ag::Tensor h_e = EntityRow(nb.entity, prev);
     const ag::Tensor h_r =
         ag::GatherRow(relation_table_, static_cast<int64_t>(nb.relation));
-    // Eq 1: triplet representation with the purchase-relation injection.
-    const ag::Tensor t = ag::Sigmoid(
-        w1_->Forward(ag::Concat({self, h_e, h_r, purchase_rel})));
-    // Eq 2: semantic-strength attention.
-    const ag::Tensor alpha = ag::Sigmoid(w2_->Forward(t));
-    // Eq 3: directional message.
-    const ag::Linear& w = nb.incoming
-                              ? *w_in_[static_cast<size_t>(layer)]
-                              : *w_out_[static_cast<size_t>(layer)];
-    contributions.push_back(ag::Scale(w.Forward(ag::Mul(h_e, h_r)), alpha));
+    // Eq 1 input: triplet row with the purchase-relation injection.
+    feat_rows.push_back(ag::Concat({self, h_e, h_r, purchase_rel}));
+    msg_rows.push_back(ag::Mul(h_e, h_r));
   }
-  return ag::AddN(contributions);
+  // Eqs 1-2 for the whole neighborhood: one GEMM through W1, one through
+  // W2 (+ bias broadcast). Row i matches the historical per-neighbor
+  // Linear forwards bit for bit (MatMulNT's per-row contract).
+  const ag::Tensor t =
+      ag::Sigmoid(ag::MatMulNT(ag::StackRows(feat_rows), w1_->weight()));
+  const ag::Tensor alpha = ag::Sigmoid(
+      ag::Shift(ag::Reshape(ag::MatMulNT(t, w2_->weight()), {n}),
+                w2_->bias()));
+  // Eq 3: each direction class through its weight in one GEMM, rows
+  // attention-scaled and summed into the aggregate contribution.
+  std::vector<ag::Tensor> parts;
+  if (split > 0) {
+    const ag::Tensor m_in = ag::MatMulNT(
+        ag::StackRows({msg_rows.begin(), msg_rows.begin() + split}),
+        w_in_[static_cast<size_t>(layer)]->weight());
+    parts.push_back(
+        ag::SumRows(ag::RowScale(m_in, ag::Slice(alpha, 0, split))));
+  }
+  if (split < n) {
+    const ag::Tensor m_out = ag::MatMulNT(
+        ag::StackRows({msg_rows.begin() + split, msg_rows.end()}),
+        w_out_[static_cast<size_t>(layer)]->weight());
+    parts.push_back(
+        ag::SumRows(ag::RowScale(m_out, ag::Slice(alpha, split, n - split))));
+  }
+  return parts.size() == 1 ? parts[0] : ag::Add(parts[0], parts[1]);
 }
 
-ag::Tensor Cggnn::GatedFuse(const ag::Tensor& neighborhood,
-                            const ag::Tensor& self) const {
+ag::Tensor Cggnn::GatedFuseRows(const ag::Tensor& neighborhoods,
+                                const ag::Tensor& selves) const {
   // Eq 4: update gate.
-  const ag::Tensor z = ag::Sigmoid(
-      ag::Add(w_z1_->Forward(neighborhood), w_self_->Forward(self)));
+  const ag::Tensor z =
+      ag::Sigmoid(ag::Add(ag::MatMulNT(neighborhoods, w_z1_->weight()),
+                          ag::MatMulNT(selves, w_self_->weight())));
   // Eq 5: reset gate.
-  const ag::Tensor reset = ag::Sigmoid(
-      ag::Add(w_v1_->Forward(neighborhood), w_v2_->Forward(self)));
+  const ag::Tensor reset =
+      ag::Sigmoid(ag::Add(ag::MatMulNT(neighborhoods, w_v1_->weight()),
+                          ag::MatMulNT(selves, w_v2_->weight())));
   // Eq 6: candidate state.
-  const ag::Tensor candidate = ag::Tanh(ag::Add(
-      w_vh1_->Forward(neighborhood), w_vh2_->Forward(ag::Mul(reset, self))));
+  const ag::Tensor candidate = ag::Tanh(
+      ag::Add(ag::MatMulNT(neighborhoods, w_vh1_->weight()),
+              ag::MatMulNT(ag::Mul(reset, selves), w_vh2_->weight())));
   // Eq 7: (1 - z) o self + z o candidate.
   const ag::Tensor keep = ag::AddScalar(ag::Neg(z), 1.0f);
-  return ag::Add(ag::Mul(keep, self), ag::Mul(z, candidate));
+  return ag::Add(ag::Mul(keep, selves), ag::Mul(z, candidate));
 }
 
 std::vector<ag::Tensor> Cggnn::ComputeItemRepresentations() const {
@@ -184,11 +215,17 @@ std::vector<ag::Tensor> Cggnn::ComputeItemRepresentations() const {
   }
   if (options_.use_ggnn) {
     for (int k = 0; k < options_.ggnn_layers; ++k) {
+      std::vector<ag::Tensor> contributions(reps.size());
+      for (size_t pos = 0; pos < reps.size(); ++pos) {
+        contributions[pos] = Propagate(static_cast<int64_t>(pos), k, reps);
+      }
+      // Eqs 4-7 across every item at once; the next layer's per-item rows
+      // are views into the fused matrix.
+      const ag::Tensor fused = GatedFuseRows(ag::StackRows(contributions),
+                                             ag::StackRows(reps));
       std::vector<ag::Tensor> next(reps.size());
       for (size_t pos = 0; pos < reps.size(); ++pos) {
-        const ag::Tensor n =
-            Propagate(static_cast<int64_t>(pos), k, reps);
-        next[pos] = GatedFuse(n, reps[pos]);
+        next[pos] = ag::GatherRow(fused, static_cast<int64_t>(pos));
       }
       reps = std::move(next);
     }
@@ -209,8 +246,7 @@ std::vector<ag::Tensor> Cggnn::ComputeItemRepresentations() const {
         for (int64_t pos : members) {
           rows.push_back(reps[static_cast<size_t>(pos)]);
         }
-        cat_reps[c] = ag::MulScalar(ag::AddN(rows),
-                                    1.0f / static_cast<float>(rows.size()));
+        cat_reps[c] = ag::MeanRows(rows);
       }
       std::vector<ag::Tensor> next(reps.size());
       for (size_t pos = 0; pos < reps.size(); ++pos) {

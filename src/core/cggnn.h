@@ -84,12 +84,18 @@ class Cggnn : public ag::Module {
     bool incoming;  // inverse-labeled edge => message from N_i(v_i)
   };
 
-  // Eq 3 for one item given the previous layer's representations.
+  // Eq 3 for one item given the previous layer's representations. The
+  // neighborhood is processed as stacked matrices: Eqs 1-2 are one GEMM +
+  // one GEMV over all sampled neighbors, and each direction class sends
+  // its messages through its weight in a single GEMM (the constructor
+  // stable-partitions neighbors_ so incoming neighbors come first).
   ag::Tensor Propagate(int64_t item_pos, int layer,
                        const std::vector<ag::Tensor>& prev) const;
-  // Eqs 4-7.
-  ag::Tensor GatedFuse(const ag::Tensor& neighborhood,
-                       const ag::Tensor& self) const;
+  // Eqs 4-7 for all items at once: `neighborhoods` and `selves` stack one
+  // row per item, and every gate is one GEMM over the whole item set. Row
+  // i equals the historical per-item fuse of (neighborhood_i, self_i).
+  ag::Tensor GatedFuseRows(const ag::Tensor& neighborhoods,
+                           const ag::Tensor& selves) const;
   ag::Tensor EntityRow(kg::EntityId e,
                        const std::vector<ag::Tensor>& item_reps) const;
 
@@ -103,8 +109,10 @@ class Cggnn : public ag::Module {
   ag::Tensor entity_table_;
   ag::Tensor relation_table_;
 
-  // Sampled neighborhood (deterministic given options.seed).
+  // Sampled neighborhood (deterministic given options.seed), incoming
+  // neighbors first; incoming_count_[pos] is the split point.
   std::vector<std::vector<SampledNeighbor>> neighbors_;
+  std::vector<int64_t> incoming_count_;
   // Neighboring categories per item (own category first).
   std::vector<std::vector<kg::CategoryId>> neighbor_categories_;
   // Items per category (positions, not entity ids).

@@ -6,10 +6,33 @@
 #include <istream>
 #include <ostream>
 
+#include "util/kernels.h"
 #include "util/logging.h"
 
 namespace cadrl {
 namespace core {
+
+namespace {
+
+// Per-thread gather buffer for batched scoring: candidate rows are packed
+// contiguously so one fused kernel call scores the whole action set.
+std::vector<float>& ScratchRows() {
+  static thread_local std::vector<float> scratch;
+  return scratch;
+}
+
+void GatherRows(const std::vector<float>& table, int dim,
+                std::span<const kg::EntityId> ids, std::vector<float>* out) {
+  out->resize(ids.size() * static_cast<size_t>(dim));
+  float* dst = out->data();
+  for (const kg::EntityId id : ids) {
+    const float* src = table.data() + static_cast<int64_t>(id) * dim;
+    std::copy(src, src + dim, dst);
+    dst += dim;
+  }
+}
+
+}  // namespace
 
 EmbeddingStore::EmbeddingStore(const kg::KnowledgeGraph* graph,
                                const embed::TransEModel* transe)
@@ -56,8 +79,9 @@ void EmbeddingStore::RefreshCategoryVectors() {
     if (items.empty()) continue;
     float* cat = categories_.data() + static_cast<int64_t>(c) * dim_;
     for (kg::EntityId item : items) {
-      const float* v = entities_.data() + static_cast<int64_t>(item) * dim_;
-      for (int i = 0; i < dim_; ++i) cat[i] += v[i];
+      kernels::Axpy(dim_, 1.0f,
+                    entities_.data() + static_cast<int64_t>(item) * dim_,
+                    cat);
     }
     const float inv = 1.0f / static_cast<float>(items.size());
     for (int i = 0; i < dim_; ++i) cat[i] *= inv;
@@ -108,11 +132,7 @@ float EmbeddingStore::ScoreUserEntity(kg::EntityId user,
   float dot = 0.0f;
   if (score_mode_ == ScoreMode::kDotProduct ||
       score_mode_ == ScoreMode::kEnsemble) {
-    const auto u = Entity(user);
-    const auto v = Entity(entity);
-    for (int i = 0; i < dim_; ++i) {
-      dot += u[static_cast<size_t>(i)] * v[static_cast<size_t>(i)];
-    }
+    dot = kernels::Dot(Entity(user).data(), Entity(entity).data(), dim_);
     if (score_mode_ == ScoreMode::kDotProduct) return dot;
   }
   // Translation term: kTranslation scores the current (possibly edited)
@@ -127,16 +147,53 @@ float EmbeddingStore::ScoreUserEntity(kg::EntityId user,
                 : raw_entities_;
   const float* u = table.data() + static_cast<int64_t>(user) * dim_;
   const float* v = table.data() + static_cast<int64_t>(entity) * dim_;
-  const auto r = RelationVec(kg::Relation::kPurchase);
-  float dist = 0.0f;
-  for (int i = 0; i < dim_; ++i) {
-    const float diff = u[i] + r[static_cast<size_t>(i)] - v[i];
-    dist += diff * diff;
-  }
+  float neg_dist = 0.0f;
+  kernels::NegSqDistRows(v, /*num=*/1, dim_, u,
+                         RelationVec(kg::Relation::kPurchase).data(),
+                         &neg_dist);
   if (score_mode_ == ScoreMode::kEnsemble) {
-    return dot - ensemble_translation_weight_ * dist;
+    return dot + ensemble_translation_weight_ * neg_dist;
   }
-  return -dist;
+  return neg_dist;
+}
+
+void EmbeddingStore::ScoreUserEntities(kg::EntityId user,
+                                       std::span<const kg::EntityId> entities,
+                                       std::span<float> out) const {
+  CADRL_CHECK_EQ(entities.size(), out.size());
+  if (entities.empty()) return;
+  const int num = static_cast<int>(entities.size());
+  std::vector<float>& scratch = ScratchRows();
+  if (score_mode_ == ScoreMode::kDotProduct ||
+      score_mode_ == ScoreMode::kEnsemble) {
+    GatherRows(entities_, dim_, entities, &scratch);
+    kernels::Gemv(scratch.data(), num, dim_, Entity(user).data(),
+                  out.data());
+    if (score_mode_ == ScoreMode::kDotProduct) return;
+  }
+  const std::vector<float>& table =
+      score_mode_ == ScoreMode::kTranslation
+          ? entities_
+          : (score_mode_ == ScoreMode::kDemandTranslation &&
+             !demand_entities_.empty())
+                ? demand_entities_
+                : raw_entities_;
+  const float* u = table.data() + static_cast<int64_t>(user) * dim_;
+  const float* r = RelationVec(kg::Relation::kPurchase).data();
+  GatherRows(table, dim_, entities, &scratch);
+  if (score_mode_ == ScoreMode::kEnsemble) {
+    // out already holds the dots; add the weighted translation term the
+    // same way the scalar path does (dot + w * neg_dist).
+    static thread_local std::vector<float> neg_dist;
+    neg_dist.resize(entities.size());
+    kernels::NegSqDistRows(scratch.data(), num, dim_, u, r, neg_dist.data());
+    for (int i = 0; i < num; ++i) {
+      out[static_cast<size_t>(i)] +=
+          ensemble_translation_weight_ * neg_dist[static_cast<size_t>(i)];
+    }
+    return;
+  }
+  kernels::NegSqDistRows(scratch.data(), num, dim_, u, r, out.data());
 }
 
 namespace {
@@ -225,13 +282,40 @@ Status EmbeddingStore::ReadFrom(std::istream& in) {
 
 float EmbeddingStore::UserCategoryAffinity(kg::EntityId user,
                                            kg::CategoryId c) const {
-  const auto u = Entity(user);
-  const auto cat = Category(c);
-  float dot = 0.0f;
-  for (int i = 0; i < dim_; ++i) {
-    dot += u[static_cast<size_t>(i)] * cat[static_cast<size_t>(i)];
+  return kernels::Dot(Entity(user).data(), Category(c).data(), dim_);
+}
+
+float UserScoreMemo::Score(kg::EntityId entity) {
+  CADRL_CHECK(mode_ == store_->score_mode())
+      << "UserScoreMemo used across a score-mode switch";
+  const auto [it, inserted] = cache_.try_emplace(entity, 0.0f);
+  if (inserted) it->second = store_->ScoreUserEntity(user_, entity);
+  return it->second;
+}
+
+void UserScoreMemo::ScoreBatch(std::span<const kg::EntityId> entities,
+                               std::span<float> out) {
+  CADRL_CHECK(mode_ == store_->score_mode())
+      << "UserScoreMemo used across a score-mode switch";
+  CADRL_CHECK_EQ(entities.size(), out.size());
+  miss_ids_.clear();
+  miss_pos_.clear();
+  for (size_t i = 0; i < entities.size(); ++i) {
+    const auto it = cache_.find(entities[i]);
+    if (it != cache_.end()) {
+      out[i] = it->second;
+    } else {
+      miss_ids_.push_back(entities[i]);
+      miss_pos_.push_back(i);
+    }
   }
-  return dot;
+  if (miss_ids_.empty()) return;
+  miss_scores_.resize(miss_ids_.size());
+  store_->ScoreUserEntities(user_, miss_ids_, miss_scores_);
+  for (size_t i = 0; i < miss_ids_.size(); ++i) {
+    cache_.emplace(miss_ids_[i], miss_scores_[i]);
+    out[miss_pos_[i]] = miss_scores_[i];
+  }
 }
 
 }  // namespace core

@@ -18,7 +18,8 @@ EntityEnvironment::EntityEnvironment(const kg::KnowledgeGraph* graph,
 
 std::vector<EntityAction> EntityEnvironment::ValidActions(
     kg::EntityId user, kg::EntityId current,
-    const std::unordered_set<kg::CategoryId>* milestone_categories) const {
+    const std::unordered_set<kg::CategoryId>* milestone_categories,
+    UserScoreMemo* memo) const {
   std::vector<EntityAction> actions;
   actions.push_back({kg::Relation::kSelfLoop, current});
   const auto all_edges = graph_->Neighbors(current);
@@ -46,11 +47,20 @@ std::vector<EntityAction> EntityEnvironment::ValidActions(
     return actions;
   }
   // Prune: keep the edges whose endpoints best answer the user's purchase
-  // query. Deterministic tie-break on (relation, dst).
+  // query, scored as one batch. Deterministic tie-break on (relation, dst).
+  std::vector<kg::EntityId> endpoints;
+  endpoints.reserve(edges.size());
+  for (const kg::Edge* e : edges) endpoints.push_back(e->dst);
+  std::vector<float> scores(endpoints.size());
+  if (memo != nullptr) {
+    memo->ScoreBatch(endpoints, scores);
+  } else {
+    store_->ScoreUserEntities(user, endpoints, scores);
+  }
   std::vector<std::pair<float, const kg::Edge*>> scored;
   scored.reserve(edges.size());
-  for (const kg::Edge* e : edges) {
-    scored.emplace_back(store_->ScoreUserEntity(user, e->dst), e);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    scored.emplace_back(scores[i], edges[i]);
   }
   std::partial_sort(
       scored.begin(), scored.begin() + budget, scored.end(),

@@ -38,10 +38,15 @@ class EntityEnvironment {
   // shrinking the entity action space from O(|E|) toward O(|E|/|C|), which
   // is the efficiency mechanism of §V-D. Non-item endpoints always pass;
   // if filtering removes every move, the unfiltered set is used instead.
+  //
+  // Candidate endpoints are scored in one batched ScoreUserEntities call;
+  // when `memo` is non-null (a per-rollout/per-beam cache for this user)
+  // already-scored entities are served from it instead of re-scored.
   std::vector<EntityAction> ValidActions(
       kg::EntityId user, kg::EntityId current,
       const std::unordered_set<kg::CategoryId>* milestone_categories =
-          nullptr) const;
+          nullptr,
+      UserScoreMemo* memo = nullptr) const;
 
   int max_actions() const { return max_actions_; }
 

@@ -1,6 +1,10 @@
 #include "core/policy.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "autograd/ops.h"
+#include "util/kernels.h"
 #include "util/logging.h"
 
 namespace cadrl {
@@ -70,11 +74,19 @@ ag::Tensor SharedPolicyNetworks::CategoryLogits(
     const ag::Tensor& current_cat,
     const std::vector<ag::Tensor>& action_embs) const {
   CADRL_CHECK(!action_embs.empty());
+  return CategoryLogits(state, user, current_cat,
+                        ag::StackRows(action_embs));
+}
+
+ag::Tensor SharedPolicyNetworks::CategoryLogits(
+    const RolloutState& state, const ag::Tensor& user,
+    const ag::Tensor& current_cat, const ag::Tensor& action_matrix) const {
+  CADRL_CHECK_EQ(action_matrix.rank(), 2);
   const ag::Tensor features =
       ag::Concat({user, current_cat, state.cat.h});
   const ag::Tensor hidden =
       head2_c_->Forward(ag::Relu(head1_c_->Forward(features)));
-  return ag::MatMul(ag::StackRows(action_embs), hidden);
+  return ag::MatMul(action_matrix, hidden);
 }
 
 ag::Tensor SharedPolicyNetworks::EntityLogits(
@@ -82,6 +94,15 @@ ag::Tensor SharedPolicyNetworks::EntityLogits(
     const ag::Tensor& last_rel, const ag::Tensor& category_condition,
     const std::vector<ag::Tensor>& action_embs) const {
   CADRL_CHECK(!action_embs.empty());
+  return EntityLogits(state, current_ent, last_rel, category_condition,
+                      ag::StackRows(action_embs));
+}
+
+ag::Tensor SharedPolicyNetworks::EntityLogits(
+    const RolloutState& state, const ag::Tensor& current_ent,
+    const ag::Tensor& last_rel, const ag::Tensor& category_condition,
+    const ag::Tensor& action_matrix) const {
+  CADRL_CHECK_EQ(action_matrix.rank(), 2);
   ag::Tensor condition = category_condition;
   if (!config_.condition_on_category || !condition.defined()) {
     condition = ag::Tensor::Zeros({config_.dim});
@@ -90,7 +111,83 @@ ag::Tensor SharedPolicyNetworks::EntityLogits(
       ag::Concat({current_ent, last_rel, condition, state.ent.h});
   const ag::Tensor hidden =
       head2_e_->Forward(ag::Relu(head1_e_->Forward(features)));
-  return ag::MatMul(ag::StackRows(action_embs), hidden);
+  return ag::MatMul(action_matrix, hidden);
+}
+
+void SharedPolicyNetworks::EntityProbsBatch(
+    const RolloutState& state, const ag::Tensor& current_ent,
+    const ag::Tensor& last_rel,
+    const std::vector<std::span<const float>>& conditions,
+    const ag::Tensor& action_matrix, std::vector<float>* probs) const {
+  CADRL_CHECK(probs != nullptr);
+  CADRL_CHECK_EQ(action_matrix.rank(), 2);
+  const int d = config_.dim;
+  const int h = config_.hidden;
+  const int in1 = 3 * d + h;  // entity head input width
+  const int out2 = 2 * d;     // entity head output width
+  const int num_cond = static_cast<int>(conditions.size());
+  const int num_actions = static_cast<int>(action_matrix.rows());
+  CADRL_CHECK_EQ(action_matrix.cols(), out2);
+
+  // Feature rows [ent ; rel ; condition_k ; h_e]: only the condition block
+  // differs across rows. condition_on_category=false mirrors the tape
+  // path's zero condition.
+  static thread_local std::vector<float> features;
+  features.assign(static_cast<size_t>(num_cond) * in1, 0.0f);
+  for (int row = 0; row < num_cond; ++row) {
+    float* f = features.data() + static_cast<size_t>(row) * in1;
+    std::copy(current_ent.data(), current_ent.data() + d, f);
+    std::copy(last_rel.data(), last_rel.data() + d, f + d);
+    if (config_.condition_on_category) {
+      const std::span<const float>& c = conditions[static_cast<size_t>(row)];
+      CADRL_CHECK_EQ(static_cast<int>(c.size()), d);
+      std::copy(c.begin(), c.end(), f + 2 * d);
+    }
+    std::copy(state.ent.h.data(), state.ent.h.data() + h, f + 3 * d);
+  }
+
+  // Head stack as three GEMMs. Each output element is the same kernel Dot
+  // the tape path computes (Linear::Forward is a row-dot GEMV), so every
+  // row stays bit-identical to the per-condition forward.
+  static thread_local std::vector<float> h1, h2;
+  h1.assign(static_cast<size_t>(num_cond) * h, 0.0f);
+  kernels::GemmNTAcc(features.data(), head1_e_->weight().data(), h1.data(),
+                     num_cond, h, in1);
+  const float* b1 = head1_e_->bias().data();
+  for (int row = 0; row < num_cond; ++row) {
+    float* out = h1.data() + static_cast<size_t>(row) * h;
+    for (int i = 0; i < h; ++i) {
+      out[i] += b1[i];
+      out[i] = std::max(0.0f, out[i]);  // mirror ag::Relu
+    }
+  }
+  h2.assign(static_cast<size_t>(num_cond) * out2, 0.0f);
+  kernels::GemmNTAcc(h1.data(), head2_e_->weight().data(), h2.data(),
+                     num_cond, out2, h);
+  const float* b2 = head2_e_->bias().data();
+  for (int row = 0; row < num_cond; ++row) {
+    float* out = h2.data() + static_cast<size_t>(row) * out2;
+    for (int i = 0; i < out2; ++i) out[i] += b2[i];
+  }
+  probs->assign(static_cast<size_t>(num_cond) * num_actions, 0.0f);
+  kernels::GemmNTAcc(h2.data(), action_matrix.data(), probs->data(),
+                     num_cond, num_actions, out2);
+
+  // Per-row softmax in exactly ag::Softmax's order (sequential max scan,
+  // sequential denominator, then divide).
+  for (int row = 0; row < num_cond; ++row) {
+    float* p = probs->data() + static_cast<size_t>(row) * num_actions;
+    float max_logit = p[0];
+    for (int i = 1; i < num_actions; ++i) {
+      max_logit = std::max(max_logit, p[i]);
+    }
+    float denom = 0.0f;
+    for (int i = 0; i < num_actions; ++i) {
+      p[i] = std::exp(p[i] - max_logit);
+      denom += p[i];
+    }
+    for (int i = 0; i < num_actions; ++i) p[i] /= denom;
+  }
 }
 
 }  // namespace core

@@ -2,6 +2,7 @@
 #define CADRL_CORE_POLICY_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "autograd/module.h"
@@ -62,12 +63,42 @@ class SharedPolicyNetworks : public ag::Module {
                             const ag::Tensor& current_cat,
                             const std::vector<ag::Tensor>& action_embs) const;
 
+  // Same scores against a pre-stacked (num_actions x d) action matrix —
+  // the batched form callers should prefer; it skips the per-action
+  // tensor construction and scores the whole action set in one kernel
+  // call. Bit-identical to the vector overload.
+  ag::Tensor CategoryLogits(const RolloutState& state, const ag::Tensor& user,
+                            const ag::Tensor& current_cat,
+                            const ag::Tensor& action_matrix) const;
+
   // Eq 16 (+ category conditioning): scores of the entity actions.
   ag::Tensor EntityLogits(const RolloutState& state,
                           const ag::Tensor& current_ent,
                           const ag::Tensor& last_rel,
                           const ag::Tensor& category_condition,
                           const std::vector<ag::Tensor>& action_embs) const;
+
+  // Batched form against a pre-stacked (num_actions x 2d) action matrix;
+  // bit-identical to the vector overload.
+  ag::Tensor EntityLogits(const RolloutState& state,
+                          const ag::Tensor& current_ent,
+                          const ag::Tensor& last_rel,
+                          const ag::Tensor& category_condition,
+                          const ag::Tensor& action_matrix) const;
+
+  // No-grad fast path for the counterfactual partner reward: entity-action
+  // probabilities for `conditions.size()` category conditions at once,
+  // written row-major (conditions.size() x action rows) into *probs. Runs
+  // the whole head stack as three kernel GEMMs instead of K tape
+  // forwards; row k is bit-identical to
+  // ProbsOf(EntityLogits(state, current_ent, last_rel, condition_k,
+  // action_matrix)).
+  void EntityProbsBatch(const RolloutState& state,
+                        const ag::Tensor& current_ent,
+                        const ag::Tensor& last_rel,
+                        const std::vector<std::span<const float>>& conditions,
+                        const ag::Tensor& action_matrix,
+                        std::vector<float>* probs) const;
 
   const PolicyConfig& config() const { return config_; }
 

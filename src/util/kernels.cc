@@ -1,0 +1,310 @@
+#include "util/kernels.h"
+
+#include <cstdlib>
+#include <iostream>
+
+// Both backends implement the identical summation order documented in the
+// header; the blocked backend only adds `#pragma omp simd` (a no-op unless
+// the build enables -fopenmp-simd), __restrict qualification and fixed
+// cache blocks, none of which may reorder a floating-point reduction.
+// Any change here that alters the order of additions for *either* backend
+// breaks the cross-backend and thread-count bit-identity contracts —
+// tests/kernels_test.cc and tests/thread_invariance_test.cc enforce both.
+
+#if defined(_MSC_VER)
+#define CADRL_RESTRICT __restrict
+#else
+#define CADRL_RESTRICT __restrict__
+#endif
+
+namespace cadrl {
+namespace kernels {
+namespace {
+
+constexpr int kLanes = 8;
+
+// Fixed cache blocks for GemmAcc. Values are perf-only: per-element sums
+// still accumulate in ascending k regardless of the block sizes, so they
+// may be retuned without re-baselining anything.
+constexpr int kBlockM = 32;
+constexpr int kBlockK = 128;
+
+inline float Fold(const float s[kLanes]) {
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+Backend DefaultBackend() {
+#ifdef CADRL_KERNELS_DEFAULT_SCALAR
+  return Backend::kScalar;
+#else
+  return Backend::kBlocked;
+#endif
+}
+
+Backend BackendFromEnv() {
+  const char* env = std::getenv("CADRL_KERNELS");
+  if (env == nullptr || env[0] == '\0') return DefaultBackend();
+  const std::string value(env);
+  if (value == "scalar") return Backend::kScalar;
+  if (value == "blocked") return Backend::kBlocked;
+  std::cerr << "CADRL_KERNELS: unknown backend \"" << value << "\", using "
+            << BackendName(DefaultBackend()) << "\n";
+  return DefaultBackend();
+}
+
+Backend& BackendRef() {
+  static Backend backend = BackendFromEnv();
+  return backend;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar backend: the reference for the documented order.
+// ---------------------------------------------------------------------------
+
+float DotScalar(const float* x, const float* y, int n) {
+  float s[kLanes] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+  int i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (int l = 0; l < kLanes; ++l) s[l] += x[i + l] * y[i + l];
+  }
+  for (int l = 0; i < n; ++i, ++l) s[l] += x[i] * y[i];
+  return Fold(s);
+}
+
+void AxpyScalar(int n, float alpha, const float* x, float* y) {
+  for (int i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void GemmAccScalar(const float* a, const float* b, float* c, int m, int k,
+                   int p) {
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = a[i * k + kk];
+      const float* b_row = b + kk * p;
+      float* c_row = c + i * p;
+      for (int j = 0; j < p; ++j) c_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+void NegSqDistRowsScalar(const float* rows, int num, int d, const float* u,
+                         const float* r, float* out) {
+  for (int i = 0; i < num; ++i) {
+    const float* row = rows + static_cast<long>(i) * d;
+    float s[kLanes] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+    int j = 0;
+    for (; j + kLanes <= d; j += kLanes) {
+      for (int l = 0; l < kLanes; ++l) {
+        const float diff = (u[j + l] + r[j + l]) - row[j + l];
+        s[l] += diff * diff;
+      }
+    }
+    for (int l = 0; j < d; ++j, ++l) {
+      const float diff = (u[j] + r[j]) - row[j];
+      s[l] += diff * diff;
+    }
+    out[i] = -Fold(s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked backend: identical arithmetic order, annotated for SIMD.
+// ---------------------------------------------------------------------------
+
+float DotBlocked(const float* CADRL_RESTRICT x, const float* CADRL_RESTRICT y,
+                 int n) {
+  float s[kLanes] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+  int i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+#pragma omp simd
+    for (int l = 0; l < kLanes; ++l) s[l] += x[i + l] * y[i + l];
+  }
+  for (int l = 0; i < n; ++i, ++l) s[l] += x[i] * y[i];
+  return Fold(s);
+}
+
+void AxpyBlocked(int n, float alpha, const float* CADRL_RESTRICT x,
+                 float* CADRL_RESTRICT y) {
+#pragma omp simd
+  for (int i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void GemmAccBlocked(const float* CADRL_RESTRICT a,
+                    const float* CADRL_RESTRICT b, float* CADRL_RESTRICT c,
+                    int m, int k, int p) {
+  for (int i0 = 0; i0 < m; i0 += kBlockM) {
+    const int i1 = i0 + kBlockM < m ? i0 + kBlockM : m;
+    for (int k0 = 0; k0 < k; k0 += kBlockK) {
+      const int k1 = k0 + kBlockK < k ? k0 + kBlockK : k;
+      for (int i = i0; i < i1; ++i) {
+        float* CADRL_RESTRICT c_row = c + static_cast<long>(i) * p;
+        for (int kk = k0; kk < k1; ++kk) {
+          const float aik = a[static_cast<long>(i) * k + kk];
+          const float* CADRL_RESTRICT b_row = b + static_cast<long>(kk) * p;
+#pragma omp simd
+          for (int j = 0; j < p; ++j) c_row[j] += aik * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+void NegSqDistRowsBlocked(const float* CADRL_RESTRICT rows, int num, int d,
+                          const float* CADRL_RESTRICT u,
+                          const float* CADRL_RESTRICT r,
+                          float* CADRL_RESTRICT out) {
+  for (int i = 0; i < num; ++i) {
+    const float* CADRL_RESTRICT row = rows + static_cast<long>(i) * d;
+    float s[kLanes] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+    int j = 0;
+    for (; j + kLanes <= d; j += kLanes) {
+#pragma omp simd
+      for (int l = 0; l < kLanes; ++l) {
+        const float diff = (u[j + l] + r[j + l]) - row[j + l];
+        s[l] += diff * diff;
+      }
+    }
+    for (int l = 0; j < d; ++j, ++l) {
+      const float diff = (u[j] + r[j]) - row[j];
+      s[l] += diff * diff;
+    }
+    out[i] = -Fold(s);
+  }
+}
+
+}  // namespace
+
+Backend ActiveBackend() { return BackendRef(); }
+
+void SetBackend(Backend backend) { BackendRef() = backend; }
+
+const char* BackendName(Backend backend) {
+  return backend == Backend::kScalar ? "scalar" : "blocked";
+}
+
+float Dot(const float* x, const float* y, int n) {
+  return ActiveBackend() == Backend::kScalar ? DotScalar(x, y, n)
+                                             : DotBlocked(x, y, n);
+}
+
+void Axpy(int n, float alpha, const float* x, float* y) {
+  if (ActiveBackend() == Backend::kScalar) {
+    AxpyScalar(n, alpha, x, y);
+  } else {
+    AxpyBlocked(n, alpha, x, y);
+  }
+}
+
+void Gemv(const float* a, int m, int n, const float* x, float* y) {
+  if (ActiveBackend() == Backend::kScalar) {
+    for (int i = 0; i < m; ++i) {
+      y[i] = DotScalar(a + static_cast<long>(i) * n, x, n);
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      y[i] = DotBlocked(a + static_cast<long>(i) * n, x, n);
+    }
+  }
+}
+
+void GemvAcc(const float* a, int m, int n, const float* x, float* y) {
+  if (ActiveBackend() == Backend::kScalar) {
+    for (int i = 0; i < m; ++i) {
+      y[i] += DotScalar(a + static_cast<long>(i) * n, x, n);
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      y[i] += DotBlocked(a + static_cast<long>(i) * n, x, n);
+    }
+  }
+}
+
+void GemvTAcc(const float* a, int m, int n, const float* x, float* y) {
+  // Ascending-i Axpy rows: the same accumulation order for y[j] as the
+  // historical i-outer/j-inner backward loops.
+  if (ActiveBackend() == Backend::kScalar) {
+    for (int i = 0; i < m; ++i) {
+      AxpyScalar(n, x[i], a + static_cast<long>(i) * n, y);
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      AxpyBlocked(n, x[i], a + static_cast<long>(i) * n, y);
+    }
+  }
+}
+
+void GerAcc(int m, int n, const float* x, const float* y, float* a) {
+  if (ActiveBackend() == Backend::kScalar) {
+    for (int i = 0; i < m; ++i) {
+      AxpyScalar(n, x[i], y, a + static_cast<long>(i) * n);
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      AxpyBlocked(n, x[i], y, a + static_cast<long>(i) * n);
+    }
+  }
+}
+
+void GemmAcc(const float* a, const float* b, float* c, int m, int k, int p) {
+  if (ActiveBackend() == Backend::kScalar) {
+    GemmAccScalar(a, b, c, m, k, p);
+  } else {
+    GemmAccBlocked(a, b, c, m, k, p);
+  }
+}
+
+void GemmNTAcc(const float* a, const float* b, float* c, int m, int n,
+               int k) {
+  if (ActiveBackend() == Backend::kScalar) {
+    for (int i = 0; i < m; ++i) {
+      const float* a_row = a + static_cast<long>(i) * k;
+      float* c_row = c + static_cast<long>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        c_row[j] += DotScalar(a_row, b + static_cast<long>(j) * k, k);
+      }
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      const float* a_row = a + static_cast<long>(i) * k;
+      float* c_row = c + static_cast<long>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        c_row[j] += DotBlocked(a_row, b + static_cast<long>(j) * k, k);
+      }
+    }
+  }
+}
+
+void GemmTNAcc(const float* a, const float* b, float* c, int m, int k,
+               int p) {
+  // dB-style product: ascending-i Axpy rows, matching the historical
+  // i-outer dB = A^T dC loop.
+  if (ActiveBackend() == Backend::kScalar) {
+    for (int i = 0; i < m; ++i) {
+      const float* a_row = a + static_cast<long>(i) * k;
+      const float* b_row = b + static_cast<long>(i) * p;
+      for (int j = 0; j < k; ++j) {
+        AxpyScalar(p, a_row[j], b_row, c + static_cast<long>(j) * p);
+      }
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      const float* a_row = a + static_cast<long>(i) * k;
+      const float* b_row = b + static_cast<long>(i) * p;
+      for (int j = 0; j < k; ++j) {
+        AxpyBlocked(p, a_row[j], b_row, c + static_cast<long>(j) * p);
+      }
+    }
+  }
+}
+
+void NegSqDistRows(const float* rows, int num, int d, const float* u,
+                   const float* r, float* out) {
+  if (ActiveBackend() == Backend::kScalar) {
+    NegSqDistRowsScalar(rows, num, d, u, r, out);
+  } else {
+    NegSqDistRowsBlocked(rows, num, d, u, r, out);
+  }
+}
+
+}  // namespace kernels
+}  // namespace cadrl

@@ -1,0 +1,92 @@
+#ifndef CADRL_UTIL_KERNELS_H_
+#define CADRL_UTIL_KERNELS_H_
+
+#include <string>
+
+// Dense f32 kernels for the CADRL hot path (autograd MatMul, CGGNN
+// aggregation, embedding scoring). Two backends share one *documented*
+// floating-point summation order, so switching backends never changes a
+// single bit of any result:
+//
+//   Every reduction of n terms runs 8 interleaved partial sums,
+//   s[l] += t[i*8+l], with the ragged tail (n % 8 terms) folded into lanes
+//   0..r-1 one term each, and the lanes combined as
+//   ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)).
+//
+// kScalar implements that order with plain loops; kBlocked implements the
+// exact same order with `#pragma omp simd`, __restrict and fixed
+// cache-block sizes. Fixed lane count + fixed block sizes mean results are
+// also independent of thread count, preserving the PR 2 determinism
+// contract. The backend toggle (CADRL_KERNELS=scalar|blocked, or
+// SetBackend) therefore exists purely for bisection and sanitizer runs.
+//
+// Accumulating kernels (…Acc) add into the output; plain kernels overwrite.
+// All matrices are row-major and dense. Pointers must not alias unless a
+// kernel documents otherwise.
+
+namespace cadrl {
+namespace kernels {
+
+enum class Backend {
+  kScalar,   // plain loops, reference implementation
+  kBlocked,  // simd pragmas + cache blocking; bit-identical to kScalar
+};
+
+// The process-wide backend. Initialized once from the CADRL_KERNELS
+// environment variable ("scalar" or "blocked"); unset/unknown values fall
+// back to the compile-time default (kBlocked unless the build defines
+// CADRL_KERNELS_DEFAULT_SCALAR).
+Backend ActiveBackend();
+
+// Overrides the active backend (tests and benchmarks only; not
+// synchronized against concurrent kernel calls).
+void SetBackend(Backend backend);
+
+const char* BackendName(Backend backend);
+
+// dot(x, y) over n elements in the documented 8-lane order.
+float Dot(const float* x, const float* y, int n);
+
+// y += alpha * x over n elements (element-wise; no reduction).
+void Axpy(int n, float alpha, const float* x, float* y);
+
+// y[i] = dot(A row i, x) for A (m x n) row-major: one fused
+// matrix-vector product per call instead of m separate Dot calls.
+void Gemv(const float* a, int m, int n, const float* x, float* y);
+
+// y[i] += dot(A row i, x).
+void GemvAcc(const float* a, int m, int n, const float* x, float* y);
+
+// y += A^T x for A (m x n): y[j] += sum_i x[i] * A[i][j], accumulated
+// row-by-row in ascending i (each row is an Axpy), matching the
+// historical i-outer/j-inner backward loops bit for bit.
+void GemvTAcc(const float* a, int m, int n, const float* x, float* y);
+
+// Rank-1 update A[i][j] += x[i] * y[j] for A (m x n).
+void GerAcc(int m, int n, const float* x, const float* y, float* a);
+
+// C += A * B for A (m x k), B (k x p), C (m x p). Per element of C the
+// k terms accumulate in ascending order (i/k/j loop nest with fixed
+// cache blocks), matching the historical ikj forward loop bit for bit.
+void GemmAcc(const float* a, const float* b, float* c, int m, int k, int p);
+
+// C[i][j] += dot(A row i, B row j) for A (m x k), B (n x k), C (m x n):
+// C += A * B^T, each element a Dot in the documented 8-lane order. Used
+// for dA = dC * B^T and for batched action scoring (scores = X * W^T).
+void GemmNTAcc(const float* a, const float* b, float* c, int m, int n, int k);
+
+// C += A^T * B for A (m x k), B (m x p), C (k x p): C[j][:] += A[i][j] *
+// B[i][:], accumulated in ascending i (Axpy rows), matching the
+// historical dB = A^T dC loop bit for bit.
+void GemmTNAcc(const float* a, const float* b, float* c, int m, int k, int p);
+
+// out[i] = -||(u + r) - rows[i]||^2 for `num` packed rows of width d:
+// the fused TransE-style translation score, reduced in the documented
+// 8-lane order.
+void NegSqDistRows(const float* rows, int num, int d, const float* u,
+                   const float* r, float* out);
+
+}  // namespace kernels
+}  // namespace cadrl
+
+#endif  // CADRL_UTIL_KERNELS_H_

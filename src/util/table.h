@@ -31,6 +31,11 @@ class TablePrinter {
 
   int num_rows() const { return static_cast<int>(rows_.size()); }
 
+  // Raw cell access, used by the benchmark JSON exporter.
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::string title_;
   std::vector<std::string> header_;

@@ -20,6 +20,7 @@
 #include "data/generator.h"
 #include "embed/transe.h"
 #include "eval/evaluator.h"
+#include "util/kernels.h"
 
 namespace cadrl {
 namespace {
@@ -129,6 +130,82 @@ TEST_F(ThreadInvarianceTest, CadrlFitIsThreadCountInvariant) {
 
   std::remove(model_seq.c_str());
   std::remove(model_par.c_str());
+}
+
+TEST_F(ThreadInvarianceTest, FullPipelineWithKernelsIsThreadCountInvariant) {
+  // The full stack — TransE, CGGNN (batched GEMM propagation), dual-agent
+  // RL with batched action scoring — every stage routed through the kernel
+  // layer. Fixed 8-lane reductions and fixed block sizes mean the kernels
+  // contribute no thread- or shape-dependent summation order, so the
+  // serialized models must still match byte for byte.
+  const std::string model_seq =
+      ::testing::TempDir() + "/cadrl_kinv_model_seq";
+  const std::string model_par =
+      ::testing::TempDir() + "/cadrl_kinv_model_par";
+
+  core::CadrlOptions opts = BaseOptions();
+  opts.use_cggnn = true;
+  opts.cggnn.epochs = 3;
+  opts.cggnn.pairs_per_epoch = 64;
+
+  opts.threads = 1;
+  opts.transe.threads = 1;
+  core::CadrlRecommender sequential(opts);
+  ASSERT_TRUE(sequential.Fit(*dataset_).ok());
+  ASSERT_TRUE(sequential.SaveModel(model_seq).ok());
+
+  opts.threads = 4;
+  opts.transe.threads = 4;
+  core::CadrlRecommender parallel(opts);
+  ASSERT_TRUE(parallel.Fit(*dataset_).ok());
+  ASSERT_TRUE(parallel.SaveModel(model_par).ok());
+
+  EXPECT_EQ(parallel.epoch_rewards(), sequential.epoch_rewards());
+  EXPECT_EQ(ReadAll(model_par), ReadAll(model_seq));
+
+  const eval::EvalResult eval_seq =
+      eval::EvaluateRecommender(&sequential, *dataset_, 10);
+  const eval::EvalResult eval_par =
+      eval::EvaluateRecommender(&parallel, *dataset_, 10, 0, /*threads=*/4);
+  EXPECT_EQ(eval_par.ndcg, eval_seq.ndcg);
+  EXPECT_EQ(eval_par.recall, eval_seq.recall);
+
+  std::remove(model_seq.c_str());
+  std::remove(model_par.c_str());
+}
+
+TEST_F(ThreadInvarianceTest, KernelBackendsProduceIdenticalModels) {
+  // The backend toggle is pure implementation choice: a full fit under the
+  // scalar fallback must serialize the exact bytes of a blocked-backend
+  // fit (the cross-backend half of the kernel determinism contract; the
+  // per-kernel half lives in kernels_test.cc).
+  const std::string model_scalar =
+      ::testing::TempDir() + "/cadrl_kb_model_scalar";
+  const std::string model_blocked =
+      ::testing::TempDir() + "/cadrl_kb_model_blocked";
+
+  core::CadrlOptions opts = BaseOptions();
+  opts.use_cggnn = true;
+  opts.cggnn.epochs = 2;
+  opts.cggnn.pairs_per_epoch = 64;
+
+  const kernels::Backend saved = kernels::ActiveBackend();
+  kernels::SetBackend(kernels::Backend::kScalar);
+  core::CadrlRecommender scalar_fit(opts);
+  ASSERT_TRUE(scalar_fit.Fit(*dataset_).ok());
+  ASSERT_TRUE(scalar_fit.SaveModel(model_scalar).ok());
+
+  kernels::SetBackend(kernels::Backend::kBlocked);
+  core::CadrlRecommender blocked_fit(opts);
+  ASSERT_TRUE(blocked_fit.Fit(*dataset_).ok());
+  ASSERT_TRUE(blocked_fit.SaveModel(model_blocked).ok());
+  kernels::SetBackend(saved);
+
+  EXPECT_EQ(scalar_fit.epoch_rewards(), blocked_fit.epoch_rewards());
+  EXPECT_EQ(ReadAll(model_scalar), ReadAll(model_blocked));
+
+  std::remove(model_scalar.c_str());
+  std::remove(model_blocked.c_str());
 }
 
 TEST_F(ThreadInvarianceTest, RolloutBatchIsPartOfTheAlgorithm) {

@@ -6,13 +6,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <future>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <thread>
 
 #include "bench_common.h"
 #include "bench_json.h"
+#include "serve/recommend_service.h"
+#include "util/failpoint.h"
 
 namespace cadrl {
 namespace bench {
@@ -183,6 +188,105 @@ void RunParallelScaling(BenchJson& json) {
   }
 }
 
+double PercentileMs(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  std::sort(sorted->begin(), sorted->end());
+  const size_t idx = std::min(
+      sorted->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted->size())));
+  return (*sorted)[idx];
+}
+
+// Serving-layer latency percentiles (DESIGN.md §11): replays a synthetic
+// request stream against a RecommendService wrapping CADRL on Beauty, once
+// fault-free and once with 10% injected scoring faults, and reports
+// p50/p95/p99 end-to-end latency per degradation level. The chaotic run
+// shows what graceful degradation costs (retry + fallback) and what it
+// buys (the degraded levels answer orders of magnitude faster than a
+// failing full search would take to exhaust its retries).
+void RunServeLatency(BenchJson& json) {
+  const BenchConfig config = BenchConfig::FromEnv();
+  data::Dataset dataset = MakeDatasetByName("Beauty");
+  auto model = baselines::MakeCadrlForDataset(config.budget, "Beauty");
+  CADRL_CHECK_OK(model->Fit(dataset));
+
+  TablePrinter table(
+      "Serving latency: CADRL on Beauty behind RecommendService (4 workers, "
+      "4 clients, 1s deadline), end-to-end ms per degradation level");
+  table.SetHeader({"Scenario/Level", "n", "p50(ms)", "p95(ms)", "p99(ms)"});
+
+  struct Scenario {
+    std::string name;
+    double fail_p;
+  };
+  for (const Scenario& scenario :
+       {Scenario{"clean", 0.0}, Scenario{"chaos10", 0.1}}) {
+    Failpoints::Instance().DisarmAll();
+    if (scenario.fail_p > 0.0) {
+      Failpoints::Instance().ArmWithProbability("cadrl/score",
+                                                scenario.fail_p, /*seed=*/17);
+    }
+    serve::ServeOptions options;
+    options.threads = 4;
+    options.queue_capacity = 256;
+    // Generous deadline: the clean scenario measures the pipeline itself
+    // (queue + full search), not deadline-driven degradation; the chaotic
+    // one isolates what injected faults + the breaker do to the mix.
+    options.default_timeout = std::chrono::milliseconds{1000};
+    serve::RecommendService service(model.get(), dataset, options);
+    CADRL_CHECK_OK(service.Start());
+
+    constexpr int kClients = 4;
+    constexpr int kRequests = 120;
+    std::vector<std::vector<double>> latencies(4);
+    std::vector<std::vector<serve::ServeResponse>> responses(kClients);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<std::future<serve::ServeResponse>> futures;
+        for (int i = c; i < kRequests; i += kClients) {
+          serve::ServeRequest req;
+          req.id = static_cast<uint64_t>(i) + 1;
+          req.user =
+              dataset.users[static_cast<size_t>(i) % dataset.users.size()];
+          futures.push_back(service.Submit(req));
+        }
+        responses[c].reserve(futures.size());
+        for (auto& f : futures) responses[c].push_back(f.get());
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    service.Stop();
+    Failpoints::Instance().DisarmAll();
+    for (const auto& per_client : responses) {
+      for (const auto& resp : per_client) {
+        latencies[static_cast<size_t>(resp.level)].push_back(
+            resp.latency_ms);
+      }
+    }
+    for (int level = 0; level < 4; ++level) {
+      auto& lat = latencies[static_cast<size_t>(level)];
+      if (lat.empty()) continue;
+      const char* level_name = serve::DegradationLevelName(
+          static_cast<serve::DegradationLevel>(level));
+      const double p50 = PercentileMs(&lat, 0.50);
+      const double p95 = PercentileMs(&lat, 0.95);
+      const double p99 = PercentileMs(&lat, 0.99);
+      table.AddRow({scenario.name + "/" + level_name,
+                    std::to_string(lat.size()), TablePrinter::Fmt(p50, 3),
+                    TablePrinter::Fmt(p95, 3), TablePrinter::Fmt(p99, 3)});
+      const std::string key =
+          "serve/" + scenario.name + "/" + level_name;
+      json.Set(key + "/n", static_cast<double>(lat.size()));
+      json.Set(key + "/p50_ms", p50);
+      json.Set(key + "/p95_ms", p95);
+      json.Set(key + "/p99_ms", p99);
+    }
+    std::cerr << "serve / " << scenario.name << " done" << std::endl;
+  }
+  table.Print(std::cout);
+}
+
 // A google-benchmark microbenchmark of the per-user inference step, the
 // operation Table III normalizes: registered so `--benchmark_filter` users
 // can drill into single-model latencies.
@@ -211,6 +315,7 @@ int main(int argc, char** argv) {
   cadrl::bench::BenchJson json("table3");
   cadrl::bench::Run(json);
   cadrl::bench::RunParallelScaling(json);
+  cadrl::bench::RunServeLatency(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,6 +1,7 @@
 // Command-line front end for the library: generate datasets to disk, train
-// and evaluate CADRL on a saved dataset, or produce explained
-// recommendations for one user.
+// and evaluate CADRL on a saved dataset, produce explained recommendations
+// for one user, or drive the deadline-aware serving layer under a synthetic
+// (optionally chaotic) request stream.
 //
 //   cadrl_cli generate <beauty|cellphones|clothing|tiny> <path>
 //   cadrl_cli eval <dataset-path> [--checkpoint_dir <dir>] [--resume]
@@ -8,10 +9,18 @@
 //   cadrl_cli train <dataset-path> <model-path> [--checkpoint_dir <dir>]
 //              [--resume] [--threads N]
 //   cadrl_cli recommend <dataset-path> <user-entity-id> [k] [model-path]
+//   cadrl_cli serve <dataset-path> [model-path] [--threads N]
+//              [--requests N] [--timeout_ms N] [--fail_p P]
+//              [--latency_us N] [--latency_p P] [--seed S]
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <future>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/cadrl.h"
@@ -19,6 +28,8 @@
 #include "data/serialize.h"
 #include "eval/evaluator.h"
 #include "eval/path_metrics.h"
+#include "serve/recommend_service.h"
+#include "util/failpoint.h"
 
 namespace {
 
@@ -34,20 +45,37 @@ int Usage() {
          "[--checkpoint_dir <dir>] [--resume] [--threads N]\n"
          "  cadrl_cli recommend <dataset-path> <user-entity-id> [k] "
          "[model-path]\n"
+         "  cadrl_cli serve <dataset-path> [model-path] [--threads N] "
+         "[--requests N]\n"
+         "             [--timeout_ms N] [--fail_p P] [--latency_us N] "
+         "[--latency_p P] [--seed S]\n"
          "\n"
          "  --checkpoint_dir <dir>  write epoch checkpoints during training\n"
          "  --resume                restart from the latest valid checkpoint"
          " in --checkpoint_dir\n"
-         "  --threads N             worker threads for training and"
-         " evaluation\n"
-         "                          (0 = one per hardware thread; results"
-         " are\n"
-         "                          identical for every N)\n";
+         "  --threads N             worker threads for training, evaluation"
+         " and serving\n"
+         "                          (0 = one per hardware thread; training/"
+         "eval results\n"
+         "                          are identical for every N)\n"
+         "  --requests N            serve: synthetic requests to replay"
+         " (default 200)\n"
+         "  --timeout_ms N          serve: per-request deadline in ms"
+         " (default 250)\n"
+         "  --fail_p P              serve: probabilistic fault injection on"
+         " scoring\n"
+         "  --latency_us N          serve: injected scoring delay in"
+         " microseconds\n"
+         "  --latency_p P           serve: probability of the injected delay"
+         " (default 1)\n"
+         "  --seed S                serve: seed for the service and the"
+         " injected chaos\n";
   return 2;
 }
 
 // Removes --checkpoint_dir <dir> / --resume / --threads N from `args` and
-// fills `ckpt` / `threads`. Returns false on a malformed flag.
+// fills `ckpt` / `threads`. Returns false on a malformed flag. Unknown
+// arguments are kept for the command-specific parsers.
 bool ParseCommonFlags(std::vector<std::string>* args, CheckpointOptions* ckpt,
                       int* threads) {
   ckpt->resume = false;
@@ -129,7 +157,7 @@ int Generate(const std::string& preset, const std::string& path) {
 }
 
 int TrainModel(const std::string& path, const CheckpointOptions& ckpt,
-               int threads, core::CadrlRecommender** out,
+               int threads, std::unique_ptr<core::CadrlRecommender>* out,
                data::Dataset* dataset) {
   Status status = data::LoadDataset(path, dataset);
   if (!status.ok()) {
@@ -137,8 +165,8 @@ int TrainModel(const std::string& path, const CheckpointOptions& ckpt,
               << "\n";
     return 1;
   }
-  auto* model =
-      new core::CadrlRecommender(DefaultOptions(dataset->name, threads));
+  auto model = std::make_unique<core::CadrlRecommender>(
+      DefaultOptions(dataset->name, threads));
   std::cout << "training CADRL on '" << dataset->name << "' ("
             << dataset->num_users() << " users)...\n";
   if (ckpt.enabled()) {
@@ -148,39 +176,59 @@ int TrainModel(const std::string& path, const CheckpointOptions& ckpt,
   status = model->Fit(*dataset, ckpt);
   if (!status.ok()) {
     std::cerr << "error training: " << status.ToString() << "\n";
-    delete model;
     return 1;
   }
-  *out = model;
+  *out = std::move(model);
+  return 0;
+}
+
+// Loads `model_path` when given, otherwise trains from scratch.
+int LoadOrTrainModel(const std::string& dataset_path,
+                     const std::string& model_path, int threads,
+                     std::unique_ptr<core::CadrlRecommender>* out,
+                     data::Dataset* dataset) {
+  if (model_path.empty()) {
+    return TrainModel(dataset_path, CheckpointOptions(), threads, out,
+                      dataset);
+  }
+  Status status = data::LoadDataset(dataset_path, dataset);
+  if (status.ok()) {
+    *out = std::make_unique<core::CadrlRecommender>(
+        DefaultOptions(dataset->name, threads));
+    status = (*out)->LoadModel(*dataset, model_path);
+  }
+  if (!status.ok()) {
+    std::cerr << "error loading model: " << status.ToString() << "\n";
+    out->reset();
+    return 1;
+  }
   return 0;
 }
 
 int Eval(const std::string& path, const CheckpointOptions& ckpt,
          int threads) {
   data::Dataset dataset;
-  core::CadrlRecommender* model = nullptr;
+  std::unique_ptr<core::CadrlRecommender> model;
   if (int rc = TrainModel(path, ckpt, threads, &model, &dataset); rc != 0) {
     return rc;
   }
   const eval::EvalResult r =
-      eval::EvaluateRecommender(model, dataset, 10, 0, threads);
+      eval::EvaluateRecommender(model.get(), dataset, 10, 0, threads);
   std::cout << "NDCG@10 " << r.ndcg << "%  Recall@10 " << r.recall
             << "%  HR@10 " << r.hit_rate << "%  Prec@10 " << r.precision
             << "%  (" << r.users_evaluated << " users)\n";
-  delete model;
   return 0;
 }
 
 int Train(const std::string& dataset_path, const std::string& model_path,
           const CheckpointOptions& ckpt, int threads) {
   data::Dataset dataset;
-  core::CadrlRecommender* model = nullptr;
+  std::unique_ptr<core::CadrlRecommender> model;
   if (int rc = TrainModel(dataset_path, ckpt, threads, &model, &dataset);
       rc != 0) {
     return rc;
   }
   const Status status = model->SaveModel(model_path);
-  delete model;
   if (!status.ok()) {
     std::cerr << "error saving: " << status.ToString() << "\n";
     return 1;
@@ -192,21 +240,10 @@ int Train(const std::string& dataset_path, const std::string& model_path,
 int Recommend(const std::string& path, const std::string& user_arg, int k,
               const std::string& model_path) {
   data::Dataset dataset;
-  core::CadrlRecommender* model = nullptr;
-  if (!model_path.empty()) {
-    Status status = data::LoadDataset(path, &dataset);
-    if (status.ok()) {
-      model = new core::CadrlRecommender(DefaultOptions(dataset.name));
-      status = model->LoadModel(dataset, model_path);
-    }
-    if (!status.ok()) {
-      std::cerr << "error loading model: " << status.ToString() << "\n";
-      delete model;
-      return 1;
-    }
-  } else if (int rc = TrainModel(path, CheckpointOptions(), /*threads=*/1,
-                                 &model, &dataset);
-             rc != 0) {
+  std::unique_ptr<core::CadrlRecommender> model;
+  if (int rc = LoadOrTrainModel(path, model_path, /*threads=*/1, &model,
+                                &dataset);
+      rc != 0) {
     return rc;
   }
   const kg::EntityId user =
@@ -214,7 +251,6 @@ int Recommend(const std::string& path, const std::string& user_arg, int k,
   if (dataset.UserIndex(user) < 0) {
     std::cerr << "entity " << user << " is not a user of this dataset; "
               << "valid ids start at " << dataset.users.front() << "\n";
-    delete model;
     return 1;
   }
   std::vector<eval::RecommendationPath> paths;
@@ -228,7 +264,156 @@ int Recommend(const std::string& path, const std::string& user_arg, int k,
   std::cout << "paths: " << q.num_valid << "/" << q.num_paths
             << " valid, mean length "
             << static_cast<int>(q.mean_length * 100) / 100.0 << "\n";
-  delete model;
+  return 0;
+}
+
+struct ServeFlags {
+  int requests = 200;
+  int timeout_ms = 250;
+  double fail_p = 0.0;
+  int latency_us = 0;
+  double latency_p = 1.0;
+  uint64_t seed = 11;
+};
+
+bool ParseServeFlags(std::vector<std::string>* args, ServeFlags* flags) {
+  std::vector<std::string> rest;
+  auto next_value = [&](size_t* i) -> const char* {
+    return *i + 1 < args->size() ? (*args)[++*i].c_str() : nullptr;
+  };
+  for (size_t i = 0; i < args->size(); ++i) {
+    const std::string& a = (*args)[i];
+    const char* v = nullptr;
+    if (a == "--requests" && (v = next_value(&i))) {
+      flags->requests = std::atoi(v);
+    } else if (a == "--timeout_ms" && (v = next_value(&i))) {
+      flags->timeout_ms = std::atoi(v);
+    } else if (a == "--fail_p" && (v = next_value(&i))) {
+      flags->fail_p = std::atof(v);
+    } else if (a == "--latency_us" && (v = next_value(&i))) {
+      flags->latency_us = std::atoi(v);
+    } else if (a == "--latency_p" && (v = next_value(&i))) {
+      flags->latency_p = std::atof(v);
+    } else if (a == "--seed" && (v = next_value(&i))) {
+      flags->seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (a.rfind("--", 0) == 0) {
+      std::cerr << "unknown or incomplete flag: " << a << "\n";
+      return false;
+    } else {
+      rest.push_back(a);
+    }
+  }
+  if (flags->requests < 1 || flags->fail_p < 0.0 || flags->fail_p > 1.0 ||
+      flags->latency_p < 0.0 || flags->latency_p > 1.0 ||
+      flags->latency_us < 0) {
+    std::cerr << "serve flag out of range\n";
+    return false;
+  }
+  *args = std::move(rest);
+  return true;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+// Replays a synthetic request stream (4 client threads, users round-robin)
+// against a RecommendService, optionally with injected faults/latency, and
+// prints the degradation mix plus per-level latency percentiles.
+int Serve(const std::string& dataset_path, const std::string& model_path,
+          int threads, const ServeFlags& flags) {
+  data::Dataset dataset;
+  std::unique_ptr<core::CadrlRecommender> model;
+  if (int rc = LoadOrTrainModel(dataset_path, model_path, threads, &model,
+                                &dataset);
+      rc != 0) {
+    return rc;
+  }
+
+  Failpoints::Instance().DisarmAll();
+  if (flags.fail_p > 0.0) {
+    Failpoints::Instance().ArmWithProbability("cadrl/score", flags.fail_p,
+                                              flags.seed);
+  }
+  if (flags.latency_us > 0) {
+    Failpoints::Instance().ArmLatency(
+        "cadrl/score", std::chrono::microseconds{flags.latency_us},
+        flags.latency_p, flags.seed + 1);
+  }
+
+  serve::ServeOptions options;
+  options.threads = threads;
+  options.default_timeout = std::chrono::milliseconds{flags.timeout_ms};
+  options.seed = flags.seed;
+  serve::RecommendService service(model.get(), dataset, options);
+  if (const Status s = service.Start(); !s.ok()) {
+    std::cerr << "error starting service: " << s.ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "serving " << flags.requests << " requests ("
+            << options.threads << " workers, " << flags.timeout_ms
+            << "ms deadline";
+  if (flags.fail_p > 0.0) std::cout << ", fault p=" << flags.fail_p;
+  if (flags.latency_us > 0) {
+    std::cout << ", +" << flags.latency_us << "us latency p="
+              << flags.latency_p;
+  }
+  std::cout << ")...\n";
+
+  constexpr int kClients = 4;
+  std::vector<std::vector<serve::ServeResponse>> responses(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::future<serve::ServeResponse>> futures;
+      for (int i = c; i < flags.requests; i += kClients) {
+        serve::ServeRequest req;
+        req.id = static_cast<uint64_t>(i) + 1;
+        req.user =
+            dataset.users[static_cast<size_t>(i) % dataset.users.size()];
+        futures.push_back(service.Submit(req));
+      }
+      responses[c].reserve(futures.size());
+      for (auto& f : futures) responses[c].push_back(f.get());
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  service.Stop();
+  Failpoints::Instance().DisarmAll();
+
+  // Latencies per degradation level, then the percentile table.
+  std::vector<std::vector<double>> latencies(4);
+  for (const auto& per_client : responses) {
+    for (const auto& resp : per_client) {
+      latencies[static_cast<size_t>(resp.level)].push_back(resp.latency_ms);
+    }
+  }
+  const serve::RecommendService::Stats stats = service.stats();
+  std::cout << "served " << stats.requests << " requests: " << stats.full
+            << " full, " << stats.cached << " cached, " << stats.popularity
+            << " popularity, " << stats.failed << " failed; "
+            << stats.load_shed << " shed, " << stats.retries << " retries, "
+            << stats.breaker_rejections << " breaker rejections\n"
+            << "breaker trips: primary "
+            << service.primary_breaker().trips() << ", cache "
+            << service.cache_breaker().trips() << "\n";
+  for (int level = 0; level < 4; ++level) {
+    auto& lat = latencies[static_cast<size_t>(level)];
+    if (lat.empty()) continue;
+    std::sort(lat.begin(), lat.end());
+    std::cout << "  " << serve::DegradationLevelName(
+                             static_cast<serve::DegradationLevel>(level))
+              << ": n=" << lat.size() << "  p50 "
+              << Percentile(lat, 0.50) << "ms  p95 "
+              << Percentile(lat, 0.95) << "ms  p99 "
+              << Percentile(lat, 0.99) << "ms\n";
+  }
   return 0;
 }
 
@@ -254,6 +439,12 @@ int main(int argc, char** argv) {
     return Recommend(args[0], args[1],
                      args.size() >= 3 ? std::atoi(args[2].c_str()) : 5,
                      args.size() == 4 ? args[3] : "");
+  }
+  if (command == "serve") {
+    ServeFlags flags;
+    if (!ParseServeFlags(&args, &flags)) return Usage();
+    if (args.empty() || args.size() > 2) return Usage();
+    return Serve(args[0], args.size() == 2 ? args[1] : "", threads, flags);
   }
   return Usage();
 }

@@ -889,8 +889,42 @@ ag::Tensor CadrlRecommender::ImitationLoss(
 
 std::vector<eval::Recommendation> CadrlRecommender::Recommend(
     kg::EntityId user, int k) {
+  // With no context there is no deadline, no cancellation and no failpoint
+  // evaluation, so the internal search cannot fail.
+  std::vector<eval::Recommendation> out;
+  const Status status = RecommendWithContext(user, k, nullptr, &out);
+  CADRL_CHECK(status.ok()) << status.ToString();
+  return out;
+}
+
+Status CadrlRecommender::Recommend(kg::EntityId user, int k,
+                                   const RequestContext& ctx,
+                                   std::vector<eval::Recommendation>* out) {
+  return RecommendWithContext(user, k, &ctx, out);
+}
+
+Status CadrlRecommender::FindPaths(kg::EntityId user, int max_paths,
+                                   const RequestContext& ctx,
+                                   std::vector<eval::RecommendationPath>* out) {
+  out->clear();
+  CADRL_RETURN_IF_ERROR(ctx.Check());
+  if (CADRL_FAILPOINT("cadrl/find-paths")) {
+    return Status::Internal("injected fault in path finding");
+  }
+  std::vector<eval::Recommendation> recs;
+  CADRL_RETURN_IF_ERROR(RecommendWithContext(user, max_paths, &ctx, &recs));
+  for (eval::Recommendation& rec : recs) {
+    if (!rec.path.empty()) out->push_back(std::move(rec.path));
+  }
+  return Status::OK();
+}
+
+Status CadrlRecommender::RecommendWithContext(
+    kg::EntityId user, int k, const RequestContext* ctx,
+    std::vector<eval::Recommendation>* out) {
   CADRL_CHECK(fitted_) << "call Fit() before Recommend()";
   CADRL_CHECK_GT(k, 0);
+  out->clear();
   ag::NoGradGuard guard;
   const bool dual = options_.use_dual_agent;
 
@@ -942,8 +976,20 @@ std::vector<eval::Recommendation> CadrlRecommender::Recommend(
   if (category_active) milestones.insert(beam[0].category);
 
   for (int l = 0; l < options_.max_path_length; ++l) {
+    // Hop boundary: the natural cancellation point of the search. Partial
+    // beams are abandoned — a degraded answer comes from the serving
+    // layer's fallback chain, not from a half-expanded beam.
+    if (ctx != nullptr) CADRL_RETURN_IF_ERROR(ctx->Check());
     std::vector<BeamElement> next_beam;
     for (BeamElement& elem : beam) {
+      if (ctx != nullptr) {
+        CADRL_RETURN_IF_ERROR(ctx->Check());
+        // Chaos surface for the scoring hot path: latency injection makes
+        // this expansion slow, fault injection makes the request fail.
+        if (CADRL_FAILPOINT("cadrl/score")) {
+          return Status::Internal("injected fault in beam scoring");
+        }
+      }
       // Category agent moves greedily, providing the milestone.
       kg::CategoryId next_category = elem.category;
       if (category_active) {
@@ -1081,17 +1127,16 @@ std::vector<eval::Recommendation> CadrlRecommender::Recommend(
     }
     return a.first < b.first;
   });
-  std::vector<eval::Recommendation> out;
-  out.reserve(static_cast<size_t>(k));
+  out->reserve(static_cast<size_t>(k));
   for (auto& [item, cand] : ranked) {
-    if (static_cast<int>(out.size()) >= k) break;
+    if (static_cast<int>(out->size()) >= k) break;
     eval::Recommendation rec;
     rec.item = item;
     rec.score = cand.score;
     rec.path = std::move(cand.path);
-    out.push_back(std::move(rec));
+    out->push_back(std::move(rec));
   }
-  return out;
+  return Status::OK();
 }
 
 std::vector<eval::RecommendationPath> CadrlRecommender::FindPaths(

@@ -135,6 +135,20 @@ class CadrlRecommender : public eval::Recommender {
   std::vector<eval::RecommendationPath> FindPaths(kg::EntityId user,
                                                   int max_paths) override;
 
+  // Deadline/cancellation-aware inference for the serving layer: the beam
+  // search checks `ctx` at every hop boundary and per expanded beam
+  // element, so an expired deadline or a Cancel() stops in-flight work
+  // within one policy forward instead of one full search. The "cadrl/score"
+  // and "cadrl/find-paths" failpoints (latency or fault injection) are
+  // evaluated only on this path — the blocking Recommend/FindPaths above
+  // stay byte-identical to their pre-serving behavior for evaluation and
+  // benchmarks.
+  Status Recommend(kg::EntityId user, int k, const RequestContext& ctx,
+                   std::vector<eval::Recommendation>* out) override;
+  Status FindPaths(kg::EntityId user, int max_paths,
+                   const RequestContext& ctx,
+                   std::vector<eval::RecommendationPath>* out) override;
+
   // Mean episode reward (entity agent) per training epoch; for tests.
   const std::vector<float>& epoch_rewards() const { return epoch_rewards_; }
 
@@ -157,6 +171,13 @@ class CadrlRecommender : public eval::Recommender {
     rl::EpisodeTrace category_trace;
     float terminal_entity_reward = 0.0f;
   };
+
+  // Beam-search core shared by the blocking and deadline-aware entry
+  // points. `ctx == nullptr` (the blocking path) skips every deadline
+  // check and failpoint, preserving the exact legacy behavior.
+  Status RecommendWithContext(kg::EntityId user, int k,
+                              const RequestContext* ctx,
+                              std::vector<eval::Recommendation>* out);
 
   // Builds the per-user train indexes and the environments/policy from
   // `dataset` (shared by Fit and LoadModel).

@@ -32,5 +32,21 @@ std::vector<RecommendationPath> Recommender::FindPaths(kg::EntityId user,
   return out;
 }
 
+Status Recommender::Recommend(kg::EntityId user, int k,
+                              const RequestContext& ctx,
+                              std::vector<Recommendation>* out) {
+  CADRL_RETURN_IF_ERROR(ctx.Check());
+  *out = Recommend(user, k);
+  return Status::OK();
+}
+
+Status Recommender::FindPaths(kg::EntityId user, int max_paths,
+                              const RequestContext& ctx,
+                              std::vector<RecommendationPath>* out) {
+  CADRL_RETURN_IF_ERROR(ctx.Check());
+  *out = FindPaths(user, max_paths);
+  return Status::OK();
+}
+
 }  // namespace eval
 }  // namespace cadrl

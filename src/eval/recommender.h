@@ -6,6 +6,7 @@
 
 #include "data/dataset.h"
 #include "kg/graph.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace cadrl {
@@ -72,6 +73,20 @@ class Recommender {
   // "path finding" workload). Default: the paths of a top-10 Recommend.
   virtual std::vector<RecommendationPath> FindPaths(kg::EntityId user,
                                                     int max_paths);
+
+  // Deadline/cancellation-aware inference, the entry points the serving
+  // layer (serve::RecommendService) calls. A non-OK return (typically
+  // kDeadlineExceeded or kCancelled from `ctx`, or an injected fault) means
+  // `out` holds no usable result. The base implementation checks `ctx`
+  // once, then delegates to the blocking call — models that override it
+  // (CADRL) also check at hop boundaries inside the search so in-flight
+  // work stops promptly; models that don't may overrun an expired deadline
+  // by one full call.
+  virtual Status Recommend(kg::EntityId user, int k, const RequestContext& ctx,
+                           std::vector<Recommendation>* out);
+  virtual Status FindPaths(kg::EntityId user, int max_paths,
+                           const RequestContext& ctx,
+                           std::vector<RecommendationPath>* out);
 };
 
 }  // namespace eval

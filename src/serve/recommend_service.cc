@@ -1,0 +1,382 @@
+#include "serve/recommend_service.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace cadrl {
+namespace serve {
+
+namespace {
+
+// Primary-stage failures worth retrying: transient faults of the model or
+// its dependencies. Deadline/cancellation are the request's own verdicts and
+// InvalidArgument/NotFound will not change on retry.
+bool Retryable(const Status& status) {
+  return status.IsInternal() || status.IsIOError();
+}
+
+}  // namespace
+
+const char* DegradationLevelName(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kFull:
+      return "full";
+    case DegradationLevel::kCached:
+      return "cached";
+    case DegradationLevel::kPopularity:
+      return "popularity";
+    case DegradationLevel::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+Status ServeOptions::Validate() const {
+  if (threads < 0) return Status::InvalidArgument("threads must be >= 0");
+  if (queue_capacity < 1) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
+  }
+  if (backoff_base.count() < 0) {
+    return Status::InvalidArgument("backoff_base must be >= 0");
+  }
+  if (top_k < 1) return Status::InvalidArgument("top_k must be >= 1");
+  return Status::OK();
+}
+
+RecommendService::RecommendService(eval::Recommender* model,
+                                   const data::Dataset& dataset,
+                                   const ServeOptions& options)
+    : model_(model), options_(options), base_rng_(options.seed) {
+  CADRL_CHECK(model_ != nullptr);
+  CADRL_CHECK(options_.Validate().ok());
+
+  // Popularity index: train-interaction counts, normalized to (0, 1].
+  // std::map keeps the count aggregation id-ordered so the sort tie-break
+  // (count desc, id asc) is stable by construction.
+  std::map<kg::EntityId, int64_t> counts;
+  for (size_t i = 0; i < dataset.users.size(); ++i) {
+    const kg::EntityId user = dataset.users[i];
+    users_.insert(user);
+    auto& train = train_sets_[user];
+    for (kg::EntityId item : dataset.train_items[i]) {
+      train.insert(item);
+      ++counts[item];
+    }
+  }
+  int64_t max_count = 1;
+  for (const auto& [item, count] : counts) max_count = std::max(max_count, count);
+  popular_.reserve(counts.size());
+  for (const auto& [item, count] : counts) {
+    popular_.emplace_back(item, static_cast<double>(count) /
+                                    static_cast<double>(max_count));
+  }
+  std::stable_sort(popular_.begin(), popular_.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second != b.second) return a.second > b.second;
+                     return a.first < b.first;
+                   });
+
+  primary_breaker_ = std::make_unique<CircuitBreaker>(
+      options_.breaker_failure_threshold, options_.breaker_cooldown,
+      options_.breaker_time_source);
+  cache_breaker_ = std::make_unique<CircuitBreaker>(
+      options_.breaker_failure_threshold, options_.breaker_cooldown,
+      options_.breaker_time_source);
+}
+
+RecommendService::~RecommendService() { Stop(); }
+
+Status RecommendService::Start() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (started_) return Status::FailedPrecondition("service already started");
+  if (stopping_) return Status::FailedPrecondition("service already stopped");
+  started_ = true;
+  const int workers = ThreadPool::ClampThreads(options_.threads);
+  pool_ = std::make_unique<ThreadPool>(workers);
+  // The dispatcher parks one ParallelFor whose indices are the long-lived
+  // worker loops; each loop drains the queue until Stop(). ParallelFor's
+  // chunk cursor only hands a thread its next index after the previous one
+  // returned, which happens only at shutdown — so exactly `workers` loops
+  // run concurrently.
+  dispatcher_ = std::thread([this, workers] {
+    pool_
+        ->ParallelFor(0, workers, 1,
+                      [this](int64_t) {
+                        WorkerLoop();
+                        return Status::OK();
+                      })
+        .ok();
+  });
+  return Status::OK();
+}
+
+void RecommendService::Stop() {
+  std::deque<Pending> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  pool_.reset();
+  {
+    // Workers drain the queue before exiting, so this is normally empty; it
+    // is non-empty only when Start() was never called.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    leftovers.swap(queue_);
+  }
+  for (Pending& p : leftovers) {
+    p.promise.set_value(Process(p.request, p.ctx, p.accepted_at,
+                                Status::Cancelled("service stopped")));
+  }
+}
+
+RequestContext RecommendService::MakeContext(const ServeRequest& req) const {
+  if (req.timeout.count() < 0) return RequestContext();  // unbounded
+  const auto timeout = req.timeout.count() == 0
+                           ? std::chrono::duration_cast<std::chrono::microseconds>(
+                                 options_.default_timeout)
+                           : req.timeout;
+  return RequestContext::WithTimeout(timeout);
+}
+
+std::future<ServeResponse> RecommendService::Submit(ServeRequest req) {
+  if (req.k <= 0) req.k = options_.top_k;
+  const auto accepted_at = RequestContext::Clock::now();
+
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> future = promise.get_future();
+  Status admission = Status::OK();
+  RequestContext ctx;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (req.id == 0) req.id = next_id_++;
+    ctx = MakeContext(req);
+    if (!started_ || stopping_) {
+      admission = Status::FailedPrecondition("service not running");
+    } else if (static_cast<int>(queue_.size()) >= options_.queue_capacity) {
+      admission = Status::ResourceExhausted("admission queue full");
+    } else {
+      queue_.push_back(Pending{req, ctx, accepted_at, std::move(promise)});
+    }
+  }
+  if (admission.ok()) {
+    queue_cv_.notify_one();
+    return future;
+  }
+  // Load shed / not running: answer inline on the caller's thread from the
+  // degraded ladder so the future always resolves.
+  promise.set_value(Process(req, ctx, accepted_at, admission));
+  return future;
+}
+
+ServeResponse RecommendService::Recommend(kg::EntityId user, int k,
+                                          std::chrono::microseconds timeout) {
+  ServeRequest req;
+  req.user = user;
+  req.k = k;
+  req.timeout = timeout;
+  return Submit(req).get();
+}
+
+void RecommendService::WorkerLoop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    pending.promise.set_value(Process(pending.request, pending.ctx,
+                                      pending.accepted_at, Status::OK()));
+  }
+}
+
+ServeResponse RecommendService::Process(
+    const ServeRequest& req, const RequestContext& ctx,
+    RequestContext::Clock::time_point accepted_at, const Status& admission) {
+  // Everything stochastic about this request — injected-fault decisions and
+  // backoff jitter — keys off the request id, never the worker thread.
+  ScopedFailpointToken token(req.id);
+  Rng rng = base_rng_.Fork(req.id);
+
+  ServeResponse resp;
+  resp.request_id = req.id;
+  resp.load_shed = admission.IsResourceExhausted();
+
+  if (users_.find(req.user) == users_.end()) {
+    resp.level = DegradationLevel::kFailed;
+    resp.status = Status::InvalidArgument("unknown user");
+    resp.primary_status = resp.status;
+    FinishResponse(accepted_at, &resp);
+    return resp;
+  }
+
+  bool served = false;
+  if (admission.ok()) {
+    if (primary_breaker_->Allow()) {
+      resp.primary_status = TryPrimary(req, ctx, &rng, &resp);
+      if (resp.primary_status.ok()) {
+        primary_breaker_->RecordSuccess();
+        {
+          std::lock_guard<std::mutex> lock(cache_mu_);
+          last_good_[req.user] = resp.recs;
+        }
+        resp.level = DegradationLevel::kFull;
+        resp.status = Status::OK();
+        served = true;
+      } else {
+        primary_breaker_->RecordFailure();
+      }
+    } else {
+      resp.primary_status =
+          Status::ResourceExhausted("primary stage circuit breaker open");
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.breaker_rejections;
+    }
+  } else {
+    resp.primary_status = admission;
+  }
+
+  if (!served && cache_breaker_->Allow()) {
+    if (CADRL_FAILPOINT("serve/cache-lookup")) {
+      cache_breaker_->RecordFailure();
+    } else if (TryCache(req.user, &resp.recs)) {
+      cache_breaker_->RecordSuccess();
+      resp.level = DegradationLevel::kCached;
+      served = true;
+    } else {
+      // A miss is a healthy answer from the cache dependency.
+      cache_breaker_->RecordSuccess();
+    }
+  }
+
+  if (!served) {
+    // Ladder floor: pure in-memory lookup, cannot fail.
+    resp.recs = PopularityFor(req.user, req.k);
+    resp.level = DegradationLevel::kPopularity;
+    served = true;
+  }
+
+  if (resp.level != DegradationLevel::kFull) {
+    // A degraded answer is still a terminal answer; only the admission
+    // verdict (load shed / service stopped) overrides OK so callers can
+    // meter overload.
+    resp.status = admission.ok() ? Status::OK() : admission;
+  }
+  FinishResponse(accepted_at, &resp);
+  return resp;
+}
+
+Status RecommendService::TryPrimary(const ServeRequest& req,
+                                    const RequestContext& ctx, Rng* rng,
+                                    ServeResponse* resp) {
+  Status status;
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    resp->attempts = attempt;
+    if (attempt > 1) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.retries;
+    }
+    status = ctx.Check();
+    if (status.ok()) {
+      resp->recs.clear();
+      status = model_->Recommend(req.user, req.k, ctx, &resp->recs);
+    }
+    if (status.ok() && resp->recs.empty()) {
+      status = Status::NotFound("model returned no candidates");
+    }
+    if (status.ok()) return status;
+    if (!Retryable(status) || attempt == options_.max_attempts) return status;
+
+    // Exponential backoff with jitter in [0.5, 1.0) of the nominal delay,
+    // drawn from the request's own stream. Never sleep past the deadline —
+    // give up immediately instead of burning the fallback stages' budget.
+    const double jitter = 0.5 + 0.5 * rng->Uniform();
+    const auto nominal = options_.backoff_base * (int64_t{1} << (attempt - 1));
+    const auto delay = std::chrono::microseconds(
+        static_cast<int64_t>(static_cast<double>(nominal.count()) * jitter));
+    if (ctx.has_deadline() && delay >= ctx.remaining()) {
+      return Status::DeadlineExceeded("no deadline budget left for retry")
+          .Annotate(status.ToString());
+    }
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  }
+  return status;
+}
+
+bool RecommendService::TryCache(kg::EntityId user,
+                                std::vector<eval::Recommendation>* out) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = last_good_.find(user);
+  if (it == last_good_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+std::vector<eval::Recommendation> RecommendService::PopularityFor(
+    kg::EntityId user, int k) const {
+  std::vector<eval::Recommendation> recs;
+  recs.reserve(static_cast<size_t>(std::max(k, 0)));
+  const auto train_it = train_sets_.find(user);
+  for (const auto& [item, score] : popular_) {
+    if (static_cast<int>(recs.size()) >= k) break;
+    if (train_it != train_sets_.end() &&
+        train_it->second.find(item) != train_it->second.end()) {
+      continue;
+    }
+    eval::Recommendation rec;
+    rec.item = item;
+    rec.score = score;
+    rec.path.user = user;  // no explanation path at this level
+    recs.push_back(std::move(rec));
+  }
+  return recs;
+}
+
+void RecommendService::FinishResponse(
+    RequestContext::Clock::time_point accepted_at, ServeResponse* resp) {
+  resp->latency_ms =
+      std::chrono::duration<double, std::milli>(
+          RequestContext::Clock::now() - accepted_at)
+          .count();
+  RecordResponse(*resp);
+}
+
+void RecommendService::RecordResponse(const ServeResponse& resp) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.requests;
+  switch (resp.level) {
+    case DegradationLevel::kFull:
+      ++stats_.full;
+      break;
+    case DegradationLevel::kCached:
+      ++stats_.cached;
+      break;
+    case DegradationLevel::kPopularity:
+      ++stats_.popularity;
+      break;
+    case DegradationLevel::kFailed:
+      ++stats_.failed;
+      break;
+  }
+  if (resp.load_shed) ++stats_.load_shed;
+}
+
+RecommendService::Stats RecommendService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace cadrl

@@ -1,0 +1,225 @@
+#ifndef CADRL_SERVE_RECOMMEND_SERVICE_H_
+#define CADRL_SERVE_RECOMMEND_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/recommender.h"
+#include "serve/circuit_breaker.h"
+#include "util/deadline.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace cadrl {
+namespace serve {
+
+// How much of the full CADRL answer a response preserves. Levels are
+// ordered: every fallback step moves strictly down the ladder and the
+// ladder's floor (popularity) cannot fail, so every admitted request gets a
+// terminal answer.
+enum class DegradationLevel {
+  kFull = 0,        // CADRL beam search with explanation paths
+  kCached = 1,      // last successful full answer for this user
+  kPopularity = 2,  // global popularity ranking, no paths
+  kFailed = 3,      // no answer (invalid request)
+};
+
+const char* DegradationLevelName(DegradationLevel level);
+
+struct ServeRequest {
+  // Fault-domain / RNG stream id. 0 auto-assigns a fresh id; chaos tests
+  // pass explicit ids so each request's injected-fault pattern and backoff
+  // jitter replay identically across runs regardless of thread scheduling.
+  uint64_t id = 0;
+  kg::EntityId user = kg::kInvalidEntity;
+  int k = 0;  // <= 0 uses ServeOptions::top_k
+  // Deadline budget measured from Submit (queue wait counts). Zero uses
+  // ServeOptions::default_timeout; negative means no deadline.
+  std::chrono::microseconds timeout{0};
+};
+
+struct ServeResponse {
+  uint64_t request_id = 0;
+  // Terminal status of the request. OK whenever `recs` holds a usable
+  // (possibly degraded) answer; kResourceExhausted when the request was
+  // load-shed at admission (a degraded answer is still attached); an error
+  // only when even the ladder floor was unreachable (kFailed).
+  Status status;
+  // Outcome of the full-CADRL stage — why degradation happened. OK at
+  // kFull; kDeadlineExceeded / kCancelled / kInternal / kResourceExhausted
+  // ("circuit breaker open") otherwise.
+  Status primary_status;
+  DegradationLevel level = DegradationLevel::kFailed;
+  std::vector<eval::Recommendation> recs;
+  int attempts = 0;      // primary-stage tries (0 when the stage was skipped)
+  bool load_shed = false;
+  double latency_ms = 0.0;  // Submit -> response, queue wait included
+};
+
+struct ServeOptions {
+  // Serving workers (total parallelism of the underlying util/thread_pool;
+  // 0 = one per hardware thread).
+  int threads = 4;
+  // Bounded admission queue; Submit beyond this load-sheds.
+  int queue_capacity = 64;
+  // Total tries of the full-CADRL stage per request (1 = no retry).
+  int max_attempts = 3;
+  // Backoff before retry attempt a is base * 2^(a-1), scaled by a jitter
+  // factor in [0.5, 1.0) drawn from the request's forked RNG stream —
+  // deterministic per (seed, request id). Never sleeps past the deadline.
+  std::chrono::microseconds backoff_base{500};
+  // Deadline for requests that don't carry their own.
+  std::chrono::milliseconds default_timeout{250};
+  // Consecutive full-stage failures that trip the primary circuit breaker;
+  // <= 0 disables both breakers (used by the chaos determinism suite).
+  int breaker_failure_threshold = 5;
+  // Open -> half-open probe delay.
+  std::chrono::milliseconds breaker_cooldown{100};
+  // Default k for requests with k <= 0.
+  int top_k = 10;
+  // Seed of the service RNG; request streams fork off it by request id.
+  uint64_t seed = 11;
+  // Injectable time source for the breakers (tests); null = steady clock.
+  CircuitBreaker::TimeSource breaker_time_source;
+
+  Status Validate() const;
+};
+
+// Deadline-aware serving front end over any eval::Recommender
+// (DESIGN.md §11): bounded admission queue with load shedding, per-request
+// retries with seeded exponential backoff + jitter, cooperative
+// cancellation through RequestContext, and a graceful-degradation fallback
+// chain (full -> cached last-good -> popularity) guarded by per-stage
+// circuit breakers.
+//
+// Determinism contract: a request's degradation decision is a pure
+// function of (service seed, request id) whenever the decision is driven
+// by injected faults rather than wall-clock deadline crossings and the
+// breakers are disabled — each request processes on one worker with its
+// failpoint thread-token set to its id and its RNG forked by its id, so
+// thread interleaving cannot leak into the decision. The chaos suite locks
+// this in byte for byte.
+class RecommendService {
+ public:
+  // `model` must already be Fit and outlive the service; `dataset` is only
+  // read during construction (popularity index, user/train-item sets).
+  RecommendService(eval::Recommender* model, const data::Dataset& dataset,
+                   const ServeOptions& options);
+  ~RecommendService();  // Stop()s if still running
+
+  RecommendService(const RecommendService&) = delete;
+  RecommendService& operator=(const RecommendService&) = delete;
+
+  // Spawns the serving workers. Must be called once before Submit.
+  Status Start();
+
+  // Drains the queue (every admitted request still gets its terminal
+  // answer), then joins the workers. Idempotent.
+  void Stop();
+
+  // Admits `req` into the bounded queue and returns a future for its
+  // terminal response. When the queue is full (or the service is not
+  // running) the request is answered inline on the caller's thread from
+  // the degraded ladder — load shedding never leaves a future unresolved.
+  std::future<ServeResponse> Submit(ServeRequest req);
+
+  // Blocking convenience wrapper.
+  ServeResponse Recommend(kg::EntityId user, int k = 0,
+                          std::chrono::microseconds timeout =
+                              std::chrono::microseconds{0});
+
+  struct Stats {
+    int64_t requests = 0;
+    int64_t full = 0;
+    int64_t cached = 0;
+    int64_t popularity = 0;
+    int64_t failed = 0;
+    int64_t load_shed = 0;
+    int64_t retries = 0;             // extra primary attempts beyond the first
+    int64_t breaker_rejections = 0;  // primary attempts skipped: breaker open
+  };
+  Stats stats() const;
+
+  const CircuitBreaker& primary_breaker() const { return *primary_breaker_; }
+  const CircuitBreaker& cache_breaker() const { return *cache_breaker_; }
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    ServeRequest request;
+    RequestContext ctx;
+    RequestContext::Clock::time_point accepted_at;
+    std::promise<ServeResponse> promise;
+  };
+
+  // Builds `ctx` for a request (deadline starts at admission time).
+  RequestContext MakeContext(const ServeRequest& req) const;
+
+  // Runs one request to its terminal answer. A non-OK `admission` skips
+  // the primary stage (load shed / service stopped) and is surfaced as the
+  // response status.
+  ServeResponse Process(const ServeRequest& req, const RequestContext& ctx,
+                        RequestContext::Clock::time_point accepted_at,
+                        const Status& admission);
+
+  // Ladder stages.
+  Status TryPrimary(const ServeRequest& req, const RequestContext& ctx,
+                    Rng* rng, ServeResponse* resp);
+  bool TryCache(kg::EntityId user, std::vector<eval::Recommendation>* out);
+  std::vector<eval::Recommendation> PopularityFor(kg::EntityId user,
+                                                  int k) const;
+
+  void WorkerLoop();
+  // Stamps the latency and folds the response into the stats.
+  void FinishResponse(RequestContext::Clock::time_point accepted_at,
+                     ServeResponse* resp);
+  void RecordResponse(const ServeResponse& resp);
+
+  eval::Recommender* const model_;
+  const ServeOptions options_;
+  const Rng base_rng_;
+
+  std::unordered_set<kg::EntityId> users_;
+  std::unordered_map<kg::EntityId, std::unordered_set<kg::EntityId>>
+      train_sets_;
+  // Items sorted by train-interaction count desc (ties: id asc), with the
+  // count normalized to (0, 1] as the fallback score.
+  std::vector<std::pair<kg::EntityId, double>> popular_;
+
+  std::unique_ptr<CircuitBreaker> primary_breaker_;
+  std::unique_ptr<CircuitBreaker> cache_breaker_;
+
+  mutable std::mutex cache_mu_;
+  std::unordered_map<kg::EntityId, std::vector<eval::Recommendation>>
+      last_good_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  uint64_t next_id_ = 1;
+  bool started_ = false;
+  bool stopping_ = false;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread dispatcher_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace cadrl
+
+#endif  // CADRL_SERVE_RECOMMEND_SERVICE_H_

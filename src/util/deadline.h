@@ -1,0 +1,81 @@
+#ifndef CADRL_UTIL_DEADLINE_H_
+#define CADRL_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "util/status.h"
+
+namespace cadrl {
+
+// Per-request deadline + cancellation token threaded through the inference
+// pipeline (serve::RecommendService -> CadrlRecommender::Recommend). The
+// deadline is a monotonic-clock time point, so wall-clock adjustments never
+// shorten or extend a request's budget. Copies share one cancellation flag:
+// the service can hand a copy to a worker and later Cancel() its own copy
+// to stop the in-flight work.
+//
+// Cooperative contract: long-running inference checks `Check()` at natural
+// boundaries (beam-search hops, rollout steps) and returns the resulting
+// kDeadlineExceeded / kCancelled status promptly instead of finishing the
+// request. A default-constructed context has no deadline and never expires,
+// so non-serving callers pay only an atomic load per check.
+class RequestContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RequestContext() : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  // Context expiring `timeout` from now. A non-positive timeout is already
+  // expired (useful to force the degraded path in tests).
+  static RequestContext WithTimeout(Clock::duration timeout) {
+    return WithDeadline(Clock::now() + timeout);
+  }
+
+  static RequestContext WithDeadline(Clock::time_point deadline) {
+    RequestContext ctx;
+    ctx.deadline_ = deadline;
+    ctx.has_deadline_ = true;
+    return ctx;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  // Time left before the deadline; Clock::duration::max() when unbounded,
+  // never negative.
+  Clock::duration remaining() const {
+    if (!has_deadline_) return Clock::duration::max();
+    const Clock::time_point now = Clock::now();
+    return now >= deadline_ ? Clock::duration::zero() : deadline_ - now;
+  }
+
+  bool expired() const { return has_deadline_ && Clock::now() >= deadline_; }
+
+  // Flags every copy of this context as cancelled; in-flight work observes
+  // it at its next Check().
+  void Cancel() { cancelled_->store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_->load(std::memory_order_relaxed);
+  }
+
+  // OK while the request may keep running; kCancelled wins over
+  // kDeadlineExceeded when both hold (cancellation is the caller's explicit
+  // decision).
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("request cancelled");
+    if (expired()) return Status::DeadlineExceeded("request deadline passed");
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+}  // namespace cadrl
+
+#endif  // CADRL_UTIL_DEADLINE_H_

@@ -1,6 +1,8 @@
 #ifndef CADRL_UTIL_FAILPOINT_H_
 #define CADRL_UTIL_FAILPOINT_H_
 
+#include <chrono>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -15,6 +17,16 @@ namespace cadrl {
 // ("fire twice, then fall through"), run the workload, and assert that the
 // failure surfaced as a Status instead of a torn artifact or an abort.
 //
+// Beyond the deterministic count mode, chaos tests can arm a point
+// probabilistically (`ArmWithProbability`) and/or with latency injection
+// (`ArmLatency`, modelling a slow-not-dead dependency: the hit sleeps, then
+// falls through or fires as usual). Both draw their per-hit decision from a
+// seeded splitmix64 hash of (seed, thread token, per-token hit index) — no
+// global RNG state — so a given request replays the same fault pattern on
+// every run regardless of how requests interleave across threads. The
+// thread token defaults to 0; serving code scopes it to the request id via
+// ScopedFailpointToken (see serve::RecommendService).
+//
 // The registry is process-global and thread-safe; arming is test-only and
 // never persisted.
 class Failpoints {
@@ -25,19 +37,53 @@ class Failpoints {
   // `count < 0` fires on every hit (after `skip`) until Disarm.
   void Arm(const std::string& name, int count = 1, int skip = 0);
 
+  // Arms `name` probabilistically: each hit fires with probability `p`,
+  // decided by hash(seed, thread token, per-token hit index). Replaces any
+  // count-mode arming of the same name.
+  void ArmWithProbability(const std::string& name, double p, uint64_t seed);
+
+  // Arms latency injection on `name`: each hit sleeps `delay` with
+  // probability `p` (decided like ArmWithProbability, independent stream),
+  // then proceeds to the normal fire decision. Latency arming is orthogonal
+  // to Arm/ArmWithProbability — a point can be slow, failing, or both.
+  void ArmLatency(const std::string& name, std::chrono::microseconds delay,
+                  double p = 1.0, uint64_t seed = 0);
+
   void Disarm(const std::string& name);
   void DisarmAll();
 
-  // True if `name` is armed and this hit should fail; consumes one trigger.
+  // True if `name` is armed and this hit should fail; consumes one trigger
+  // (count mode) or one per-token draw (probability mode). Sleeps first
+  // when a latency arming fires; the sleep happens outside the registry
+  // lock, so concurrent hits are never serialized by an injected delay.
   bool Hit(const std::string& name);
 
   // Number of times `name` has fired since it was last armed.
   int fire_count(const std::string& name) const;
 
+  // Thread-local fault-domain token folded into probabilistic decisions.
+  // Serving code sets it to the request id so each request sees a fault
+  // pattern that is a pure function of (seed, request id), independent of
+  // thread scheduling. Defaults to 0.
+  static void SetThreadToken(uint64_t token);
+  static uint64_t thread_token();
+
  private:
   struct Arming {
+    // Count mode (probability < 0).
     int skip = 0;
     int remaining = 0;  // negative = unlimited
+    // Probability mode (probability >= 0).
+    double probability = -1.0;
+    uint64_t seed = 0;
+    std::unordered_map<uint64_t, uint64_t> hits_by_token;
+    int fired = 0;
+  };
+  struct LatencyArming {
+    std::chrono::microseconds delay{0};
+    double probability = 1.0;
+    uint64_t seed = 0;
+    std::unordered_map<uint64_t, uint64_t> hits_by_token;
     int fired = 0;
   };
 
@@ -45,6 +91,7 @@ class Failpoints {
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Arming> armed_;
+  std::unordered_map<std::string, LatencyArming> latency_;
 };
 
 // Arms a failpoint for the current scope (test helper).
@@ -61,6 +108,23 @@ class ScopedFailpoint {
 
  private:
   std::string name_;
+};
+
+// Sets the thread-local fault-domain token for the current scope, restoring
+// the previous token on exit.
+class ScopedFailpointToken {
+ public:
+  explicit ScopedFailpointToken(uint64_t token)
+      : previous_(Failpoints::thread_token()) {
+    Failpoints::SetThreadToken(token);
+  }
+  ~ScopedFailpointToken() { Failpoints::SetThreadToken(previous_); }
+
+  ScopedFailpointToken(const ScopedFailpointToken&) = delete;
+  ScopedFailpointToken& operator=(const ScopedFailpointToken&) = delete;
+
+ private:
+  uint64_t previous_;
 };
 
 #define CADRL_FAILPOINT(name) (::cadrl::Failpoints::Instance().Hit(name))

@@ -20,6 +20,12 @@ class Status {
     kCorruption = 4,
     kFailedPrecondition = 5,
     kInternal = 6,
+    // Serving-pipeline terminal codes (src/serve/): a request ran out of
+    // deadline budget, was cancelled by its caller, or was shed because a
+    // bounded resource (admission queue, circuit budget) is exhausted.
+    kDeadlineExceeded = 7,
+    kCancelled = 8,
+    kResourceExhausted = 9,
   };
 
   Status() : code_(Code::kOk) {}
@@ -43,6 +49,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -53,6 +68,13 @@ class Status {
     return code_ == Code::kFailedPrecondition;
   }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -6,6 +6,7 @@
 // scratch buffer, an unguarded counter — shows up either as a TSan report
 // or as a result mismatch.
 
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "core/cadrl.h"
 #include "data/generator.h"
 #include "eval/evaluator.h"
+#include "serve/recommend_service.h"
 
 namespace cadrl {
 namespace {
@@ -118,6 +120,57 @@ TEST_F(CadrlStressTest, ConcurrentFindPathsMatchesSequential) {
     });
   }
   for (std::thread& t : threads) t.join();
+}
+
+// Fault-free serving under concurrent clients: every response is a kFull
+// answer identical to the direct Recommend baseline. Runs under the same
+// TSan label as the rest of this binary, so races inside RecommendService
+// (queue, cache, breakers, stats) surface here.
+TEST_F(CadrlStressTest, RecommendServiceMatchesDirectInference) {
+  serve::ServeOptions options;
+  options.threads = 4;
+  options.queue_capacity = 128;
+  options.top_k = 10;
+  serve::RecommendService service(model_, *dataset_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  std::vector<std::vector<eval::Recommendation>> baseline;
+  baseline.reserve(dataset_->users.size());
+  for (kg::EntityId user : dataset_->users) {
+    baseline.push_back(model_->Recommend(user, 10));
+  }
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<std::future<serve::ServeResponse>> futures;
+      std::vector<size_t> indices;
+      for (size_t u = 0; u < dataset_->users.size(); ++u) {
+        const size_t idx =
+            (u + static_cast<size_t>(t) * 5) % dataset_->users.size();
+        serve::ServeRequest req;
+        req.user = dataset_->users[idx];
+        req.k = 10;
+        req.timeout = std::chrono::microseconds{-1};  // no deadline
+        futures.push_back(service.Submit(req));
+        indices.push_back(idx);
+      }
+      for (size_t i = 0; i < futures.size(); ++i) {
+        const serve::ServeResponse resp = futures[i].get();
+        ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+        EXPECT_EQ(resp.level, serve::DegradationLevel::kFull);
+        ExpectSameRecommendations(baseline[indices[i]], resp.recs);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  service.Stop();
+
+  const serve::RecommendService::Stats stats = service.stats();
+  EXPECT_EQ(stats.full, stats.requests);
+  EXPECT_EQ(stats.load_shed, 0);
 }
 
 TEST_F(CadrlStressTest, ParallelEvaluationMatchesSequential) {

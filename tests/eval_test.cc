@@ -117,6 +117,34 @@ TEST(FormatPathTest, RendersEntitiesAndRelations) {
   EXPECT_NE(s.find("item#1(cat2)"), std::string::npos);
 }
 
+TEST(FormatPathTest, EmptyPathRendersJustTheUser) {
+  // Degraded serving responses (cached/popularity levels) carry path-less
+  // recommendations; formatting them must not crash or invent hops.
+  kg::KnowledgeGraph g;
+  kg::EntityId u = g.AddEntity(kg::EntityType::kUser);
+  g.Finalize();
+  RecommendationPath path;
+  path.user = u;
+  const std::string s = FormatPath(g, path);
+  EXPECT_EQ(s, "user#0");
+}
+
+TEST(FormatPathTest, PathlessRecommendationFormatsByItsUserField) {
+  kg::KnowledgeGraph g;
+  kg::EntityId u = g.AddEntity(kg::EntityType::kUser);
+  kg::EntityId v = g.AddEntity(kg::EntityType::kItem);
+  g.Finalize();
+  Recommendation rec;
+  rec.item = v;
+  rec.score = 0.5;
+  rec.path.user = u;  // no steps: popularity-level answer
+  EXPECT_TRUE(rec.path.empty());
+  EXPECT_EQ(rec.path.endpoint(), u);
+  const std::string s = FormatPath(g, rec.path);
+  EXPECT_NE(s.find("user#0"), std::string::npos);
+  EXPECT_EQ(s.find("-->"), std::string::npos);
+}
+
 TEST(PathTest, EndpointSemantics) {
   RecommendationPath p;
   p.user = 7;

@@ -1,0 +1,364 @@
+// Chaos harness for the serving layer (ctest labels "chaos"/"tsan"): arms
+// probabilistic fault + latency injection on the scoring and path-finding
+// failpoints, hammers one RecommendService from >= 4 concurrent client
+// threads, and asserts the robustness contract of DESIGN.md §11:
+//
+//   1. no crash, no hang — every submitted request resolves to a terminal
+//      answer within its deadline plus a bounded grace period;
+//   2. degradation decisions are byte-deterministic for a fixed seed: with
+//      the breakers disabled, request id -> (level, status, attempts, items,
+//      scores) is identical across independent runs regardless of thread
+//      interleaving;
+//   3. circuit-breaker transitions match a golden trace when driven by a
+//      manual clock.
+//
+// Built as its own binary so the ThreadSanitizer job can run exactly this
+// workload (`ctest -L tsan`); any unguarded shared state in the service
+// shows up as a TSan report or a determinism mismatch.
+
+#include <chrono>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cadrl.h"
+#include "data/generator.h"
+#include "serve/recommend_service.h"
+#include "util/failpoint.h"
+
+namespace cadrl {
+namespace {
+
+using serve::CircuitBreaker;
+using serve::DegradationLevel;
+using serve::RecommendService;
+using serve::ServeOptions;
+using serve::ServeRequest;
+using serve::ServeResponse;
+
+constexpr auto kNoDeadline = std::chrono::microseconds{-1};
+
+core::CadrlOptions ChaosModelOptions() {
+  core::CadrlOptions o;
+  o.transe.dim = 8;
+  o.transe.epochs = 4;
+  o.use_cggnn = false;
+  o.episodes_per_user = 2;
+  o.policy_hidden = 16;
+  o.seed = 77;
+  return o;
+}
+
+class ServeChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset();
+    ASSERT_TRUE(
+        data::GenerateDataset(data::SyntheticConfig::Tiny(), dataset_).ok());
+    model_ = new core::CadrlRecommender(ChaosModelOptions());
+    ASSERT_TRUE(model_->Fit(*dataset_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  void SetUp() override { Failpoints::Instance().DisarmAll(); }
+  void TearDown() override { Failpoints::Instance().DisarmAll(); }
+
+  static data::Dataset* dataset_;
+  static core::CadrlRecommender* model_;
+};
+
+data::Dataset* ServeChaosTest::dataset_ = nullptr;
+core::CadrlRecommender* ServeChaosTest::model_ = nullptr;
+
+// --- 1. Liveness under chaos -------------------------------------------
+
+TEST_F(ServeChaosTest, EveryRequestResolvesUnderFaultsAndLatency) {
+  // 10% injected faults on both inference failpoints plus 30% latency
+  // injection on scoring — the ISSUE's acceptance workload.
+  Failpoints::Instance().ArmWithProbability("cadrl/score", 0.1, /*seed=*/17);
+  Failpoints::Instance().ArmWithProbability("cadrl/find-paths", 0.1,
+                                            /*seed=*/18);
+  Failpoints::Instance().ArmLatency(
+      "cadrl/score", std::chrono::microseconds{200}, /*p=*/0.3, /*seed=*/19);
+
+  ServeOptions options;
+  options.threads = 4;
+  options.queue_capacity = 256;  // liveness test: no shedding wanted
+  options.max_attempts = 3;
+  options.backoff_base = std::chrono::microseconds{100};
+  options.default_timeout = std::chrono::milliseconds{500};
+  options.breaker_failure_threshold = 4;
+  options.breaker_cooldown = std::chrono::milliseconds{20};
+  RecommendService service(model_, *dataset_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 24;
+  std::vector<std::vector<std::future<ServeResponse>>> futures(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      futures[c].reserve(kRequestsPerClient);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        ServeRequest req;
+        req.id = static_cast<uint64_t>(c) * 1000 + static_cast<uint64_t>(i) +
+                 1;
+        req.user =
+            dataset_->users[(static_cast<size_t>(c) * 7 + i) %
+                            dataset_->users.size()];
+        req.k = 5;
+        futures[c].push_back(service.Submit(req));
+        // Path finding rides the same chaos: the deadline-aware FindPaths
+        // must return a terminal status, never crash or hang.
+        if (i % 6 == 0) {
+          std::vector<eval::RecommendationPath> paths;
+          const Status s = model_->FindPaths(
+              req.user, 3,
+              RequestContext::WithTimeout(std::chrono::milliseconds{500}),
+              &paths);
+          EXPECT_TRUE(s.ok() || s.IsInternal() || s.IsDeadlineExceeded())
+              << s.ToString();
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Deadline (500ms) + generous grace for queueing/retries on a loaded CI
+  // machine. wait_for instead of get(): a hang must fail the test, not
+  // wedge it.
+  const auto grace = std::chrono::seconds{30};
+  for (auto& per_client : futures) {
+    for (auto& f : per_client) {
+      ASSERT_EQ(f.wait_for(grace), std::future_status::ready)
+          << "request did not resolve within deadline + grace";
+      const ServeResponse resp = f.get();
+      // Terminal answer: a valid user never gets kFailed, degraded answers
+      // still carry recommendations.
+      EXPECT_NE(resp.level, DegradationLevel::kFailed);
+      EXPECT_FALSE(resp.recs.empty());
+      EXPECT_TRUE(resp.status.ok() || resp.status.IsResourceExhausted())
+          << resp.status.ToString();
+      EXPECT_GE(resp.attempts, 0);
+      EXPECT_LE(resp.attempts, options.max_attempts);
+    }
+  }
+  service.Stop();
+  const RecommendService::Stats stats = service.stats();
+  EXPECT_EQ(stats.requests, kClients * kRequestsPerClient);
+  EXPECT_EQ(stats.full + stats.cached + stats.popularity,
+            stats.requests);  // nobody failed
+}
+
+// --- 2. Byte-deterministic degradation decisions -----------------------
+
+struct DecisionKey {
+  int level;
+  int status_code;
+  int primary_code;
+  int attempts;
+  std::vector<kg::EntityId> items;
+  std::vector<double> scores;
+
+  bool operator==(const DecisionKey& other) const {
+    return level == other.level && status_code == other.status_code &&
+           primary_code == other.primary_code &&
+           attempts == other.attempts && items == other.items &&
+           scores == other.scores;
+  }
+};
+
+// One full chaos run: warm the cache fault-free, then arm probabilistic
+// faults on the primary and cache stages and replay the same request ids
+// from 4 client threads. Returns id -> decision.
+std::map<uint64_t, DecisionKey> RunDeterministicChaos(
+    core::CadrlRecommender* model, const data::Dataset& dataset) {
+  Failpoints::Instance().DisarmAll();
+
+  ServeOptions options;
+  options.threads = 4;
+  options.queue_capacity = 1024;        // no shedding: admission is
+                                        // timing-dependent by design
+  options.max_attempts = 3;
+  options.backoff_base = std::chrono::microseconds{0};  // no sleeps
+  options.breaker_failure_threshold = 0;  // breakers off: no cross-request
+                                          // ordering effects
+  options.seed = 11;
+  options.top_k = 5;
+  RecommendService service(model, dataset, options);
+  EXPECT_TRUE(service.Start().ok());
+
+  // Deterministic warm-up: every user's last-good cache entry is its full
+  // answer, so a later cache hit is independent of which faulted requests
+  // ran first.
+  for (kg::EntityId user : dataset.users) {
+    const ServeResponse resp = service.Recommend(user, 5, kNoDeadline);
+    EXPECT_EQ(resp.level, DegradationLevel::kFull);
+  }
+
+  // 30% primary faults, 50% cache faults: all three ladder levels appear.
+  Failpoints::Instance().ArmWithProbability("cadrl/score", 0.3, /*seed=*/9);
+  Failpoints::Instance().ArmWithProbability("serve/cache-lookup", 0.5,
+                                            /*seed=*/10);
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 16;
+  std::vector<std::vector<std::future<ServeResponse>>> futures(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      futures[c].reserve(kRequestsPerClient);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        ServeRequest req;
+        // Explicit ids: the request's fault pattern and jitter stream are
+        // a pure function of (service seed, id), not of scheduling.
+        req.id = static_cast<uint64_t>(c) * 100 + static_cast<uint64_t>(i) +
+                 1;
+        req.user = dataset.users[(static_cast<size_t>(c) + 3 * i) %
+                                 dataset.users.size()];
+        req.k = 5;
+        req.timeout = kNoDeadline;  // wall clock never drives decisions
+        futures[c].push_back(service.Submit(req));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  std::map<uint64_t, DecisionKey> decisions;
+  for (auto& per_client : futures) {
+    for (auto& f : per_client) {
+      const ServeResponse resp = f.get();
+      DecisionKey key;
+      key.level = static_cast<int>(resp.level);
+      key.status_code = static_cast<int>(resp.status.code());
+      key.primary_code = static_cast<int>(resp.primary_status.code());
+      key.attempts = resp.attempts;
+      for (const auto& rec : resp.recs) {
+        key.items.push_back(rec.item);
+        key.scores.push_back(rec.score);
+      }
+      decisions[resp.request_id] = key;
+    }
+  }
+  service.Stop();
+  Failpoints::Instance().DisarmAll();
+  return decisions;
+}
+
+TEST_F(ServeChaosTest, DegradationDecisionsAreByteDeterministic) {
+  const auto first = RunDeterministicChaos(model_, *dataset_);
+  const auto second = RunDeterministicChaos(model_, *dataset_);
+  ASSERT_EQ(first.size(), second.size());
+  int degraded = 0;
+  for (const auto& [id, key] : first) {
+    auto it = second.find(id);
+    ASSERT_NE(it, second.end()) << "request id " << id << " missing";
+    EXPECT_TRUE(key == it->second)
+        << "decision for request id " << id << " differs between runs";
+    if (key.level != static_cast<int>(DegradationLevel::kFull)) ++degraded;
+  }
+  // The chaos must actually bite: with 30% primary faults and 3 attempts,
+  // a visible fraction of requests degrades.
+  EXPECT_GT(degraded, 0);
+}
+
+// --- 3. Load shedding under a slow dependency --------------------------
+
+TEST_F(ServeChaosTest, BurstAgainstSlowModelShedsButAnswersEverything) {
+  // Always-on latency injection: the model is slow-not-dead, so a burst
+  // overruns the 2-slot queue and most requests shed to the fast ladder.
+  Failpoints::Instance().ArmLatency("cadrl/score",
+                                    std::chrono::microseconds{2000});
+
+  ServeOptions options;
+  options.threads = 1;
+  options.queue_capacity = 2;
+  options.max_attempts = 1;
+  options.breaker_failure_threshold = 0;
+  RecommendService service(model_, *dataset_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  constexpr int kBurst = 16;
+  std::vector<std::future<ServeResponse>> futures;
+  futures.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    ServeRequest req;
+    req.user = dataset_->users[static_cast<size_t>(i) %
+                               dataset_->users.size()];
+    req.k = 5;
+    req.timeout = kNoDeadline;
+    futures.push_back(service.Submit(req));
+  }
+  int shed = 0;
+  for (auto& f : futures) {
+    const ServeResponse resp = f.get();
+    EXPECT_FALSE(resp.recs.empty());
+    if (resp.load_shed) {
+      ++shed;
+      EXPECT_TRUE(resp.status.IsResourceExhausted());
+      EXPECT_NE(resp.level, DegradationLevel::kFull);
+    }
+  }
+  // 16 instant submits against 1 worker stuck >= 2ms per request and 2
+  // queue slots: the burst must shed.
+  EXPECT_GT(shed, 0);
+  EXPECT_EQ(service.stats().load_shed, shed);
+  service.Stop();
+}
+
+// --- 4. Breaker transitions match the golden trace ----------------------
+
+TEST_F(ServeChaosTest, BreakerTransitionsMatchGoldenTrace) {
+  CircuitBreaker::Clock::time_point now{};
+  ServeOptions options;
+  options.threads = 1;
+  options.max_attempts = 1;
+  options.breaker_failure_threshold = 2;
+  options.breaker_cooldown = std::chrono::milliseconds{10};
+  options.breaker_time_source = [&now] { return now; };
+  RecommendService service(model_, *dataset_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  const kg::EntityId user = dataset_->users[0];
+  // Two consecutive primary failures trip the breaker ...
+  Failpoints::Instance().Arm("cadrl/score", /*count=*/-1);
+  service.Recommend(user, 5, kNoDeadline);
+  service.Recommend(user, 5, kNoDeadline);
+  EXPECT_EQ(service.primary_breaker().state(), CircuitBreaker::State::kOpen);
+  // ... open rejects while the cooldown runs ...
+  const ServeResponse rejected = service.Recommend(user, 5, kNoDeadline);
+  EXPECT_EQ(rejected.attempts, 0);
+  EXPECT_TRUE(rejected.primary_status.IsResourceExhausted());
+  // ... after the cooldown a half-open probe runs and fails -> open ...
+  now += std::chrono::milliseconds{10};
+  service.Recommend(user, 5, kNoDeadline);
+  // ... and once the fault clears, the next probe closes the breaker.
+  now += std::chrono::milliseconds{10};
+  Failpoints::Instance().DisarmAll();
+  const ServeResponse recovered = service.Recommend(user, 5, kNoDeadline);
+  EXPECT_EQ(recovered.level, DegradationLevel::kFull);
+  EXPECT_EQ(service.primary_breaker().state(),
+            CircuitBreaker::State::kClosed);
+
+  const std::vector<std::string> golden = {
+      "closed->open",     "open->half_open", "half_open->open",
+      "open->half_open",  "half_open->closed"};
+  EXPECT_EQ(service.primary_breaker().transitions(), golden);
+  EXPECT_EQ(service.primary_breaker().trips(), 2);
+  service.Stop();
+}
+
+}  // namespace
+}  // namespace cadrl

@@ -1,0 +1,480 @@
+// Unit tests of the serving layer (DESIGN.md §11): RequestContext deadline/
+// cancellation semantics, deadline-aware inference entry points, the
+// CircuitBreaker state machine (driven by a manual clock), and the
+// RecommendService degradation ladder. The concurrent/chaotic behavior is
+// covered by serve_chaos_test (its own binary, ctest labels chaos/tsan).
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cadrl.h"
+#include "data/generator.h"
+#include "serve/circuit_breaker.h"
+#include "serve/recommend_service.h"
+#include "util/deadline.h"
+#include "util/failpoint.h"
+
+namespace cadrl {
+namespace {
+
+using serve::CircuitBreaker;
+using serve::DegradationLevel;
+using serve::RecommendService;
+using serve::ServeOptions;
+using serve::ServeRequest;
+using serve::ServeResponse;
+
+constexpr auto kNoDeadline = std::chrono::microseconds{-1};
+
+// ---------- RequestContext ----------
+
+TEST(RequestContextTest, DefaultHasNoDeadlineAndNeverExpires) {
+  RequestContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.expired());
+  EXPECT_EQ(ctx.remaining(), RequestContext::Clock::duration::max());
+  EXPECT_TRUE(ctx.Check().ok());
+}
+
+TEST(RequestContextTest, NonPositiveTimeoutIsAlreadyExpired) {
+  RequestContext ctx = RequestContext::WithTimeout(std::chrono::seconds{0});
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_TRUE(ctx.expired());
+  EXPECT_EQ(ctx.remaining(), RequestContext::Clock::duration::zero());
+  EXPECT_TRUE(ctx.Check().IsDeadlineExceeded());
+}
+
+TEST(RequestContextTest, GenerousTimeoutIsNotExpired) {
+  RequestContext ctx = RequestContext::WithTimeout(std::chrono::hours{1});
+  EXPECT_FALSE(ctx.expired());
+  EXPECT_GT(ctx.remaining(), std::chrono::minutes{30});
+  EXPECT_TRUE(ctx.Check().ok());
+}
+
+TEST(RequestContextTest, CancelPropagatesToCopies) {
+  RequestContext ctx;
+  RequestContext copy = ctx;
+  EXPECT_FALSE(copy.cancelled());
+  ctx.Cancel();
+  EXPECT_TRUE(copy.cancelled());
+  EXPECT_TRUE(copy.Check().IsCancelled());
+}
+
+TEST(RequestContextTest, CancellationWinsOverExpiredDeadline) {
+  RequestContext ctx = RequestContext::WithTimeout(std::chrono::seconds{0});
+  ctx.Cancel();
+  EXPECT_TRUE(ctx.Check().IsCancelled());
+}
+
+// ---------- CircuitBreaker ----------
+
+class ManualClock {
+ public:
+  CircuitBreaker::TimeSource source() {
+    return [this] { return now_; };
+  }
+  void Advance(CircuitBreaker::Clock::duration d) { now_ += d; }
+
+ private:
+  CircuitBreaker::Clock::time_point now_{};
+};
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresAndRecovers) {
+  ManualClock clock;
+  CircuitBreaker breaker(/*failure_threshold=*/2,
+                         std::chrono::milliseconds{10}, clock.source());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+
+  // Open rejects until the cooldown elapses.
+  EXPECT_FALSE(breaker.Allow());
+  clock.Advance(std::chrono::milliseconds{9});
+  EXPECT_FALSE(breaker.Allow());
+  clock.Advance(std::chrono::milliseconds{1});
+  EXPECT_TRUE(breaker.Allow());  // the half-open probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  // Only one probe in flight.
+  EXPECT_FALSE(breaker.Allow());
+
+  // Probe fails -> open again; next cooldown, probe succeeds -> closed.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2);
+  clock.Advance(std::chrono::milliseconds{10});
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+
+  const std::vector<std::string> golden = {
+      "closed->open",     "open->half_open", "half_open->open",
+      "open->half_open",  "half_open->closed"};
+  EXPECT_EQ(breaker.transitions(), golden);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveFailureCount) {
+  CircuitBreaker breaker(/*failure_threshold=*/3, std::chrono::seconds{1});
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreakerTest, NonPositiveThresholdDisablesBreaker) {
+  CircuitBreaker breaker(/*failure_threshold=*/0, std::chrono::seconds{0});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(breaker.Allow());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0);
+  EXPECT_TRUE(breaker.transitions().empty());
+}
+
+// ---------- Deadline-aware inference + RecommendService ----------
+
+core::CadrlOptions ServeModelOptions() {
+  core::CadrlOptions o;
+  o.transe.dim = 8;
+  o.transe.epochs = 4;
+  o.use_cggnn = false;
+  o.episodes_per_user = 2;
+  o.policy_hidden = 16;
+  o.seed = 77;
+  return o;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Failpoints::Instance().DisarmAll();
+    dataset_ = new data::Dataset();
+    ASSERT_TRUE(
+        data::GenerateDataset(data::SyntheticConfig::Tiny(), dataset_).ok());
+    model_ = new core::CadrlRecommender(ServeModelOptions());
+    ASSERT_TRUE(model_->Fit(*dataset_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  void TearDown() override { Failpoints::Instance().DisarmAll(); }
+
+  // Options tuned for fast, deterministic unit tests: no breakers, no
+  // backoff sleeps, single worker.
+  static ServeOptions UnitOptions() {
+    ServeOptions o;
+    o.threads = 1;
+    o.max_attempts = 2;
+    o.backoff_base = std::chrono::microseconds{0};
+    o.breaker_failure_threshold = 0;
+    o.top_k = 5;
+    return o;
+  }
+
+  static data::Dataset* dataset_;
+  static core::CadrlRecommender* model_;
+};
+
+data::Dataset* ServeTest::dataset_ = nullptr;
+core::CadrlRecommender* ServeTest::model_ = nullptr;
+
+TEST_F(ServeTest, ContextualRecommendMatchesBlockingCall) {
+  const kg::EntityId user = dataset_->users[0];
+  const auto blocking = model_->Recommend(user, 5);
+  std::vector<eval::Recommendation> contextual;
+  ASSERT_TRUE(
+      model_->Recommend(user, 5, RequestContext(), &contextual).ok());
+  ASSERT_EQ(blocking.size(), contextual.size());
+  for (size_t i = 0; i < blocking.size(); ++i) {
+    EXPECT_EQ(blocking[i].item, contextual[i].item);
+    EXPECT_EQ(blocking[i].score, contextual[i].score);
+    EXPECT_EQ(blocking[i].path.steps, contextual[i].path.steps);
+  }
+}
+
+TEST_F(ServeTest, ExpiredDeadlineStopsInference) {
+  const kg::EntityId user = dataset_->users[0];
+  std::vector<eval::Recommendation> out;
+  const Status s = model_->Recommend(
+      user, 5, RequestContext::WithTimeout(std::chrono::seconds{0}), &out);
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+}
+
+TEST_F(ServeTest, CancelledContextStopsInference) {
+  const kg::EntityId user = dataset_->users[0];
+  RequestContext ctx;
+  ctx.Cancel();
+  std::vector<eval::RecommendationPath> paths;
+  const Status s = model_->FindPaths(user, 5, ctx, &paths);
+  EXPECT_TRUE(s.IsCancelled()) << s.ToString();
+}
+
+TEST_F(ServeTest, ContextualFindPathsMatchesBlockingCall) {
+  const kg::EntityId user = dataset_->users[1];
+  const auto blocking = model_->FindPaths(user, 5);
+  std::vector<eval::RecommendationPath> contextual;
+  ASSERT_TRUE(
+      model_->FindPaths(user, 5, RequestContext(), &contextual).ok());
+  ASSERT_EQ(blocking.size(), contextual.size());
+  for (size_t i = 0; i < blocking.size(); ++i) {
+    EXPECT_EQ(blocking[i].steps, contextual[i].steps);
+  }
+}
+
+TEST_F(ServeTest, InjectedScoringFaultSurfacesAsInternal) {
+  const kg::EntityId user = dataset_->users[0];
+  ScopedFailpoint fault("cadrl/score", /*count=*/-1);
+  std::vector<eval::Recommendation> out;
+  const Status s = model_->Recommend(user, 5, RequestContext(), &out);
+  EXPECT_TRUE(s.IsInternal()) << s.ToString();
+  // The blocking call never evaluates failpoints.
+  EXPECT_FALSE(model_->Recommend(user, 5).empty());
+}
+
+// Default base-class implementation: one upfront ctx check, then the
+// blocking call.
+class BlockingOnlyRecommender : public eval::Recommender {
+ public:
+  using eval::Recommender::Recommend;  // keep the contextual overload visible
+  std::string name() const override { return "BlockingOnly"; }
+  Status Fit(const data::Dataset&) override { return Status::OK(); }
+  std::vector<eval::Recommendation> Recommend(kg::EntityId, int k) override {
+    std::vector<eval::Recommendation> out;
+    for (int i = 0; i < k; ++i) out.push_back({static_cast<kg::EntityId>(i),
+                                               1.0 - 0.1 * i,
+                                               {}});
+    return out;
+  }
+};
+
+TEST(RecommenderBaseTest, DefaultContextualEntryPointsDelegate) {
+  BlockingOnlyRecommender model;
+  std::vector<eval::Recommendation> recs;
+  ASSERT_TRUE(model.Recommend(3, 4, RequestContext(), &recs).ok());
+  EXPECT_EQ(recs.size(), 4u);
+
+  const Status expired = model.Recommend(
+      3, 4, RequestContext::WithTimeout(std::chrono::seconds{0}), &recs);
+  EXPECT_TRUE(expired.IsDeadlineExceeded());
+
+  std::vector<eval::RecommendationPath> paths;
+  ASSERT_TRUE(model.FindPaths(3, 4, RequestContext(), &paths).ok());
+  RequestContext cancelled;
+  cancelled.Cancel();
+  EXPECT_TRUE(model.FindPaths(3, 4, cancelled, &paths).IsCancelled());
+}
+
+TEST_F(ServeTest, HappyPathServesFullAnswers) {
+  RecommendService service(model_, *dataset_, UnitOptions());
+  ASSERT_TRUE(service.Start().ok());
+
+  const kg::EntityId user = dataset_->users[0];
+  const auto expected = model_->Recommend(user, 5);
+  const ServeResponse resp = service.Recommend(user, 5, kNoDeadline);
+  EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_TRUE(resp.primary_status.ok());
+  EXPECT_EQ(resp.level, DegradationLevel::kFull);
+  EXPECT_EQ(resp.attempts, 1);
+  EXPECT_FALSE(resp.load_shed);
+  ASSERT_EQ(resp.recs.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(resp.recs[i].item, expected[i].item);
+    EXPECT_EQ(resp.recs[i].score, expected[i].score);
+  }
+  service.Stop();
+  const RecommendService::Stats stats = service.stats();
+  EXPECT_EQ(stats.requests, 1);
+  EXPECT_EQ(stats.full, 1);
+}
+
+TEST_F(ServeTest, PersistentFaultFallsBackToPopularity) {
+  RecommendService service(model_, *dataset_, UnitOptions());
+  ASSERT_TRUE(service.Start().ok());
+  ScopedFailpoint fault("cadrl/score", /*count=*/-1);
+
+  const kg::EntityId user = dataset_->users[0];
+  const ServeResponse resp = service.Recommend(user, 5, kNoDeadline);
+  // Degraded but terminal: the request still gets an answer.
+  EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_TRUE(resp.primary_status.IsInternal());
+  EXPECT_EQ(resp.level, DegradationLevel::kPopularity);
+  EXPECT_EQ(resp.attempts, 2);  // max_attempts
+  ASSERT_FALSE(resp.recs.empty());
+  // Popularity excludes the user's train items and attaches no paths.
+  const int64_t idx = dataset_->UserIndex(user);
+  ASSERT_GE(idx, 0);
+  for (const auto& rec : resp.recs) {
+    EXPECT_TRUE(rec.path.steps.empty());
+    for (kg::EntityId train :
+         dataset_->train_items[static_cast<size_t>(idx)]) {
+      EXPECT_NE(rec.item, train);
+    }
+  }
+  EXPECT_EQ(service.stats().retries, 1);
+}
+
+TEST_F(ServeTest, WarmCacheServesLastGoodAnswer) {
+  RecommendService service(model_, *dataset_, UnitOptions());
+  ASSERT_TRUE(service.Start().ok());
+
+  const kg::EntityId user = dataset_->users[0];
+  const ServeResponse full = service.Recommend(user, 5, kNoDeadline);
+  ASSERT_EQ(full.level, DegradationLevel::kFull);
+
+  ScopedFailpoint fault("cadrl/score", /*count=*/-1);
+  const ServeResponse degraded = service.Recommend(user, 5, kNoDeadline);
+  EXPECT_TRUE(degraded.status.ok());
+  EXPECT_EQ(degraded.level, DegradationLevel::kCached);
+  ASSERT_EQ(degraded.recs.size(), full.recs.size());
+  for (size_t i = 0; i < full.recs.size(); ++i) {
+    EXPECT_EQ(degraded.recs[i].item, full.recs[i].item);
+    EXPECT_EQ(degraded.recs[i].score, full.recs[i].score);
+  }
+}
+
+TEST_F(ServeTest, CacheFaultFallsThroughToPopularity) {
+  RecommendService service(model_, *dataset_, UnitOptions());
+  ASSERT_TRUE(service.Start().ok());
+
+  const kg::EntityId user = dataset_->users[0];
+  ASSERT_EQ(service.Recommend(user, 5, kNoDeadline).level,
+            DegradationLevel::kFull);
+
+  ScopedFailpoint primary("cadrl/score", /*count=*/-1);
+  ScopedFailpoint cache("serve/cache-lookup", /*count=*/-1);
+  const ServeResponse resp = service.Recommend(user, 5, kNoDeadline);
+  EXPECT_TRUE(resp.status.ok());
+  EXPECT_EQ(resp.level, DegradationLevel::kPopularity);
+}
+
+TEST_F(ServeTest, UnknownUserFailsTerminally) {
+  RecommendService service(model_, *dataset_, UnitOptions());
+  ASSERT_TRUE(service.Start().ok());
+  const ServeResponse resp =
+      service.Recommend(kg::kInvalidEntity, 5, kNoDeadline);
+  EXPECT_TRUE(resp.status.IsInvalidArgument());
+  EXPECT_EQ(resp.level, DegradationLevel::kFailed);
+  EXPECT_TRUE(resp.recs.empty());
+  EXPECT_EQ(service.stats().failed, 1);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineDegradesInsteadOfFailing) {
+  RecommendService service(model_, *dataset_, UnitOptions());
+  ASSERT_TRUE(service.Start().ok());
+  const kg::EntityId user = dataset_->users[0];
+  // 1us budget: expired by the time the worker dequeues it.
+  const ServeResponse resp =
+      service.Recommend(user, 5, std::chrono::microseconds{1});
+  EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_TRUE(resp.primary_status.IsDeadlineExceeded())
+      << resp.primary_status.ToString();
+  EXPECT_NE(resp.level, DegradationLevel::kFull);
+  EXPECT_NE(resp.level, DegradationLevel::kFailed);
+  EXPECT_FALSE(resp.recs.empty());
+}
+
+TEST_F(ServeTest, PrimaryBreakerShortCircuitsAfterConsecutiveFailures) {
+  ServeOptions options = UnitOptions();
+  options.max_attempts = 1;
+  options.breaker_failure_threshold = 2;
+  options.breaker_cooldown = std::chrono::hours{1};  // never half-opens here
+  RecommendService service(model_, *dataset_, options);
+  ASSERT_TRUE(service.Start().ok());
+  ScopedFailpoint fault("cadrl/score", /*count=*/-1);
+
+  const kg::EntityId user = dataset_->users[0];
+  EXPECT_TRUE(
+      service.Recommend(user, 5, kNoDeadline).primary_status.IsInternal());
+  EXPECT_TRUE(
+      service.Recommend(user, 5, kNoDeadline).primary_status.IsInternal());
+  EXPECT_EQ(service.primary_breaker().state(), CircuitBreaker::State::kOpen);
+
+  // Breaker open: the primary stage is skipped entirely (attempts == 0).
+  const ServeResponse rejected = service.Recommend(user, 5, kNoDeadline);
+  EXPECT_EQ(rejected.attempts, 0);
+  EXPECT_TRUE(rejected.primary_status.IsResourceExhausted());
+  EXPECT_EQ(rejected.level, DegradationLevel::kPopularity);
+  EXPECT_EQ(service.stats().breaker_rejections, 1);
+}
+
+TEST_F(ServeTest, SubmitWithoutStartAnswersInline) {
+  RecommendService service(model_, *dataset_, UnitOptions());
+  const kg::EntityId user = dataset_->users[0];
+  ServeRequest req;
+  req.user = user;
+  req.timeout = kNoDeadline;
+  ServeResponse resp = service.Submit(req).get();
+  EXPECT_TRUE(resp.primary_status.IsFailedPrecondition());
+  EXPECT_EQ(resp.level, DegradationLevel::kPopularity);
+  EXPECT_TRUE(resp.status.IsFailedPrecondition());
+  EXPECT_FALSE(resp.recs.empty());
+}
+
+TEST_F(ServeTest, StopIsIdempotentAndServiceRejectsAfterStop) {
+  RecommendService service(model_, *dataset_, UnitOptions());
+  ASSERT_TRUE(service.Start().ok());
+  service.Stop();
+  service.Stop();
+  const ServeResponse resp =
+      service.Recommend(dataset_->users[0], 5, kNoDeadline);
+  EXPECT_TRUE(resp.status.IsFailedPrecondition());
+  EXPECT_FALSE(resp.recs.empty());  // still a degraded terminal answer
+}
+
+TEST_F(ServeTest, AutoAssignedRequestIdsAreUniqueAndNonZero) {
+  RecommendService service(model_, *dataset_, UnitOptions());
+  ASSERT_TRUE(service.Start().ok());
+  ServeRequest req;
+  req.user = dataset_->users[0];
+  req.timeout = kNoDeadline;
+  const ServeResponse a = service.Submit(req).get();
+  const ServeResponse b = service.Submit(req).get();
+  EXPECT_NE(a.request_id, 0u);
+  EXPECT_NE(b.request_id, 0u);
+  EXPECT_NE(a.request_id, b.request_id);
+}
+
+TEST_F(ServeTest, ValidateRejectsBadOptions) {
+  ServeOptions o;
+  o.queue_capacity = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = ServeOptions();
+  o.max_attempts = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = ServeOptions();
+  o.top_k = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  EXPECT_TRUE(ServeOptions().Validate().ok());
+}
+
+TEST(DegradationLevelTest, Names) {
+  EXPECT_STREQ(serve::DegradationLevelName(DegradationLevel::kFull), "full");
+  EXPECT_STREQ(serve::DegradationLevelName(DegradationLevel::kCached),
+               "cached");
+  EXPECT_STREQ(serve::DegradationLevelName(DegradationLevel::kPopularity),
+               "popularity");
+  EXPECT_STREQ(serve::DegradationLevelName(DegradationLevel::kFailed),
+               "failed");
+}
+
+}  // namespace
+}  // namespace cadrl

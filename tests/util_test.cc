@@ -1,9 +1,11 @@
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -492,6 +494,154 @@ TEST(FailpointTest, ConcurrentArmDisarmHitDoesNotRace) {
   fp.DisarmAll();
   EXPECT_FALSE(fp.Hit("util_test/churn0"));
   EXPECT_FALSE(fp.Hit("util_test/churn1"));
+}
+
+TEST(StatusTest, ServingCodesRoundTrip) {
+  const Status deadline = Status::DeadlineExceeded("over budget");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_TRUE(deadline.IsDeadlineExceeded());
+  EXPECT_EQ(deadline.code(), Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: over budget");
+
+  const Status cancelled = Status::Cancelled("caller gave up");
+  EXPECT_TRUE(cancelled.IsCancelled());
+  EXPECT_EQ(cancelled.code(), Status::Code::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: caller gave up");
+
+  const Status exhausted = Status::ResourceExhausted("queue full");
+  EXPECT_TRUE(exhausted.IsResourceExhausted());
+  EXPECT_EQ(exhausted.code(), Status::Code::kResourceExhausted);
+  EXPECT_EQ(exhausted.ToString(), "ResourceExhausted: queue full");
+
+  // The new codes are distinct from each other and from the old ones.
+  EXPECT_FALSE(deadline.IsCancelled());
+  EXPECT_FALSE(deadline.IsResourceExhausted());
+  EXPECT_FALSE(deadline.IsInternal());
+  EXPECT_FALSE(cancelled.IsDeadlineExceeded());
+  EXPECT_FALSE(exhausted.IsCancelled());
+  // Annotate/WithDetail preserve the serving codes like any other.
+  EXPECT_TRUE(deadline.Annotate("while scoring").IsDeadlineExceeded());
+  EXPECT_TRUE(exhausted.WithDetail("shed").IsResourceExhausted());
+}
+
+TEST(FailpointTest, ProbabilisticArmingIsDeterministicPerToken) {
+  Failpoints& fp = Failpoints::Instance();
+  fp.DisarmAll();
+
+  // Record the fire pattern of token 7 over 64 hits.
+  auto pattern_for = [&fp](uint64_t token) {
+    std::vector<bool> pattern;
+    ScopedFailpointToken scoped(token);
+    for (int i = 0; i < 64; ++i) {
+      pattern.push_back(fp.Hit("util_test/prob"));
+    }
+    return pattern;
+  };
+
+  fp.ArmWithProbability("util_test/prob", 0.5, /*seed=*/42);
+  const auto first = pattern_for(7);
+  // Re-arming resets the per-token hit counters: the same (seed, token)
+  // replays the identical pattern.
+  fp.ArmWithProbability("util_test/prob", 0.5, /*seed=*/42);
+  const auto replay = pattern_for(7);
+  EXPECT_EQ(first, replay);
+
+  // A different token draws an independent stream.
+  fp.ArmWithProbability("util_test/prob", 0.5, /*seed=*/42);
+  const auto other = pattern_for(8);
+  EXPECT_NE(first, other);
+
+  // A different seed also changes the pattern.
+  fp.ArmWithProbability("util_test/prob", 0.5, /*seed=*/43);
+  EXPECT_NE(first, pattern_for(7));
+  fp.DisarmAll();
+}
+
+TEST(FailpointTest, ProbabilityZeroNeverFiresProbabilityOneAlwaysFires) {
+  Failpoints& fp = Failpoints::Instance();
+  fp.DisarmAll();
+  fp.ArmWithProbability("util_test/never", 0.0, /*seed=*/1);
+  fp.ArmWithProbability("util_test/always", 1.0, /*seed=*/1);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(fp.Hit("util_test/never"));
+    EXPECT_TRUE(fp.Hit("util_test/always"));
+  }
+  EXPECT_EQ(fp.fire_count("util_test/never"), 0);
+  EXPECT_EQ(fp.fire_count("util_test/always"), 32);
+  fp.DisarmAll();
+}
+
+TEST(FailpointTest, ProbabilisticFireRateIsRoughlyP) {
+  Failpoints& fp = Failpoints::Instance();
+  fp.DisarmAll();
+  fp.ArmWithProbability("util_test/rate", 0.1, /*seed=*/11);
+  int fired = 0;
+  constexpr int kHits = 2000;
+  for (int i = 0; i < kHits; ++i) {
+    if (fp.Hit("util_test/rate")) ++fired;
+  }
+  // 10% +- a generous tolerance (the draw is a fixed hash sequence, so the
+  // bound is deterministic, not flaky).
+  EXPECT_GT(fired, kHits / 20);   // > 5%
+  EXPECT_LT(fired, kHits * 3 / 20);  // < 15%
+  fp.DisarmAll();
+}
+
+TEST(FailpointTest, LatencyArmingSleepsWithoutFiring) {
+  Failpoints& fp = Failpoints::Instance();
+  fp.DisarmAll();
+  fp.ArmLatency("util_test/slow", std::chrono::microseconds{2000});
+  const auto start = std::chrono::steady_clock::now();
+  // Latency-only arming delays the hit but never fails it.
+  EXPECT_FALSE(fp.Hit("util_test/slow"));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::microseconds{2000});
+  EXPECT_EQ(fp.fire_count("util_test/slow"), 1);  // latency injections
+  fp.DisarmAll();
+}
+
+TEST(FailpointTest, LatencyAndFaultArmingCompose) {
+  Failpoints& fp = Failpoints::Instance();
+  fp.DisarmAll();
+  fp.ArmLatency("util_test/both", std::chrono::microseconds{500});
+  fp.Arm("util_test/both", /*count=*/1);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(fp.Hit("util_test/both"));  // slow AND failing
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::microseconds{500});
+  EXPECT_FALSE(fp.Hit("util_test/both"));  // fault budget spent, still slow
+  fp.DisarmAll();
+}
+
+TEST(FailpointTest, ScopedTokenRestoresPreviousToken) {
+  EXPECT_EQ(Failpoints::thread_token(), 0u);
+  {
+    ScopedFailpointToken outer(5);
+    EXPECT_EQ(Failpoints::thread_token(), 5u);
+    {
+      ScopedFailpointToken inner(9);
+      EXPECT_EQ(Failpoints::thread_token(), 9u);
+    }
+    EXPECT_EQ(Failpoints::thread_token(), 5u);
+  }
+  EXPECT_EQ(Failpoints::thread_token(), 0u);
+}
+
+TEST(FailpointTest, CountModeIsTokenIndependent) {
+  // Arm/skip/count semantics predate tokens and must ignore them: the
+  // budget is global, not per token.
+  Failpoints& fp = Failpoints::Instance();
+  fp.DisarmAll();
+  fp.Arm("util_test/global", /*count=*/1);
+  {
+    ScopedFailpointToken token(123);
+    EXPECT_TRUE(fp.Hit("util_test/global"));
+  }
+  {
+    ScopedFailpointToken token(456);
+    EXPECT_FALSE(fp.Hit("util_test/global"));  // budget already spent
+  }
+  fp.DisarmAll();
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "bench_common.h"
 #include "bench_json.h"
 #include "serve/recommend_service.h"
+#include "util/alloc_stats.h"
 #include "util/failpoint.h"
 
 namespace cadrl {
@@ -188,6 +189,76 @@ void RunParallelScaling(BenchJson& json) {
   }
 }
 
+// Compiled snapshot vs autograd tape on the same trained model (DESIGN.md
+// §12): Recommend/FindPaths throughput for both inference back ends —
+// byte-identical answers by the golden-test contract — plus the number of
+// ag::TensorImpl allocations one Recommend performs. The compiled column
+// must read 0.0: serving steady state never touches the tensor graph.
+void RunCompiledVsTape(BenchJson& json) {
+  const BenchConfig config = BenchConfig::FromEnv();
+  data::Dataset dataset = MakeDatasetByName("Beauty");
+  auto model = baselines::MakeCadrlForDataset(config.budget, "Beauty");
+  CADRL_CHECK_OK(model->Fit(dataset));
+
+  struct ModeRow {
+    std::string name;
+    double users_per_s = 0.0;
+    double paths_per_s = 0.0;
+    double allocs_per_rec = 0.0;
+  };
+  std::vector<ModeRow> rows;
+  for (const bool compiled : {true, false}) {
+    model->set_use_compiled_inference(compiled);
+    ModeRow row;
+    row.name = compiled ? "compiled" : "tape";
+
+    const eval::TimingResult t = eval::MeasureEfficiency(
+        model.get(), dataset, /*users_per_run=*/30, /*paths_per_run=*/120,
+        /*repeats=*/3, config.threads);
+    row.users_per_s = 1000.0 / t.rec_per_1k_users_mean;
+    row.paths_per_s = 10000.0 / t.find_per_10k_paths_mean;
+
+    // Tensor-graph allocations per Recommend, averaged over a warm pass.
+    constexpr int kAllocProbeUsers = 20;
+    model->Recommend(dataset.users[0], 10);  // warm-up
+    util::TensorAllocScope scope;
+    for (int i = 0; i < kAllocProbeUsers; ++i) {
+      model->Recommend(
+          dataset.users[static_cast<size_t>(i) % dataset.users.size()], 10);
+    }
+    row.allocs_per_rec =
+        static_cast<double>(scope.delta()) / kAllocProbeUsers;
+
+    const std::string key = "compiled_vs_tape/" + row.name;
+    json.Set(key + "/rec_users_per_s", row.users_per_s);
+    json.Set(key + "/find_paths_per_s", row.paths_per_s);
+    json.Set(key + "/allocs_per_recommend", row.allocs_per_rec);
+    rows.push_back(std::move(row));
+    std::cerr << "compiled_vs_tape / " << rows.back().name << " done"
+              << std::endl;
+  }
+  model->set_use_compiled_inference(true);
+  json.Set("compiled_vs_tape/rec_speedup",
+           rows[0].users_per_s / rows[1].users_per_s);
+  json.Set("compiled_vs_tape/find_speedup",
+           rows[0].paths_per_s / rows[1].paths_per_s);
+
+  TablePrinter table(
+      "Compiled inference vs autograd tape: CADRL on Beauty, identical "
+      "answers, throughput + ag::TensorImpl allocations per Recommend");
+  table.SetHeader({"Backend", "Rec users/s", "Find paths/s",
+                   "Allocs/Recommend", "Rec speedup"});
+  for (const ModeRow& row : rows) {
+    table.AddRow({row.name, TablePrinter::Fmt(row.users_per_s, 1),
+                  TablePrinter::Fmt(row.paths_per_s, 1),
+                  TablePrinter::Fmt(row.allocs_per_rec, 1),
+                  TablePrinter::Fmt(row.users_per_s / rows[1].users_per_s,
+                                    2) +
+                      "x"});
+  }
+  table.Print(std::cout);
+}
+
 double PercentileMs(std::vector<double>* sorted, double p) {
   if (sorted->empty()) return 0.0;
   std::sort(sorted->begin(), sorted->end());
@@ -315,6 +386,7 @@ int main(int argc, char** argv) {
   cadrl::bench::BenchJson json("table3");
   cadrl::bench::Run(json);
   cadrl::bench::RunParallelScaling(json);
+  cadrl::bench::RunCompiledVsTape(json);
   cadrl::bench::RunServeLatency(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -12,8 +12,10 @@
 //   cadrl_cli serve <dataset-path> [model-path] [--threads N]
 //              [--requests N] [--timeout_ms N] [--fail_p P]
 //              [--latency_us N] [--latency_p P] [--seed S]
+//              [--reload_from <model-path>] [--reload_every_ms N]
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <future>
@@ -69,7 +71,16 @@ int Usage() {
          "  --latency_p P           serve: probability of the injected delay"
          " (default 1)\n"
          "  --seed S                serve: seed for the service and the"
-         " injected chaos\n";
+         " injected chaos\n"
+         "  --reload_from <path>    serve: hot-swap the serving model from"
+         " this checkpoint\n"
+         "                          while the request stream runs (e.g. a"
+         " file a trainer\n"
+         "                          republishes); in-flight requests finish"
+         " on the old model\n"
+         "  --reload_every_ms N     serve: reload period in ms (default 200;"
+         " needs\n"
+         "                          --reload_from)\n";
   return 2;
 }
 
@@ -274,6 +285,8 @@ struct ServeFlags {
   int latency_us = 0;
   double latency_p = 1.0;
   uint64_t seed = 11;
+  std::string reload_from;
+  int reload_every_ms = 200;
 };
 
 bool ParseServeFlags(std::vector<std::string>* args, ServeFlags* flags) {
@@ -296,6 +309,10 @@ bool ParseServeFlags(std::vector<std::string>* args, ServeFlags* flags) {
       flags->latency_p = std::atof(v);
     } else if (a == "--seed" && (v = next_value(&i))) {
       flags->seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (a == "--reload_from" && (v = next_value(&i))) {
+      flags->reload_from = v;
+    } else if (a == "--reload_every_ms" && (v = next_value(&i))) {
+      flags->reload_every_ms = std::atoi(v);
     } else if (a.rfind("--", 0) == 0) {
       std::cerr << "unknown or incomplete flag: " << a << "\n";
       return false;
@@ -305,7 +322,7 @@ bool ParseServeFlags(std::vector<std::string>* args, ServeFlags* flags) {
   }
   if (flags->requests < 1 || flags->fail_p < 0.0 || flags->fail_p > 1.0 ||
       flags->latency_p < 0.0 || flags->latency_p > 1.0 ||
-      flags->latency_us < 0) {
+      flags->latency_us < 0 || flags->reload_every_ms < 1) {
     std::cerr << "serve flag out of range\n";
     return false;
   }
@@ -363,7 +380,30 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
     std::cout << ", +" << flags.latency_us << "us latency p="
               << flags.latency_p;
   }
+  if (!flags.reload_from.empty()) {
+    std::cout << ", reloading " << flags.reload_from << " every "
+              << flags.reload_every_ms << "ms";
+  }
   std::cout << ")...\n";
+
+  // Live model reload: while the request stream replays, a publisher
+  // thread hot-swaps the serving snapshot from --reload_from — the
+  // checkpoint a trainer would republish in production. Failures (e.g. the
+  // file does not exist yet) leave the current snapshot serving.
+  std::atomic<bool> reloads_done{false};
+  int64_t reload_failures = 0;
+  std::thread reloader;
+  if (!flags.reload_from.empty()) {
+    reloader = std::thread([&] {
+      while (!reloads_done.load(std::memory_order_relaxed)) {
+        if (!service.ReloadFromCheckpoint(flags.reload_from).ok()) {
+          ++reload_failures;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds{flags.reload_every_ms});
+      }
+    });
+  }
 
   constexpr int kClients = 4;
   std::vector<std::vector<serve::ServeResponse>> responses(kClients);
@@ -384,6 +424,10 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
     });
   }
   for (std::thread& t : clients) t.join();
+  if (reloader.joinable()) {
+    reloads_done.store(true, std::memory_order_relaxed);
+    reloader.join();
+  }
   service.Stop();
   Failpoints::Instance().DisarmAll();
 
@@ -403,6 +447,10 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
             << "breaker trips: primary "
             << service.primary_breaker().trips() << ", cache "
             << service.cache_breaker().trips() << "\n";
+  if (!flags.reload_from.empty()) {
+    std::cout << "model reloads: " << stats.reloads << " succeeded, "
+              << reload_failures << " failed\n";
+  }
   for (int level = 0; level < 4; ++level) {
     auto& lat = latencies[static_cast<size_t>(level)];
     if (lat.empty()) continue;

@@ -108,6 +108,9 @@ class LstmCell : public Module {
 
   int64_t input_size() const { return input_size_; }
   int64_t hidden_size() const { return hidden_size_; }
+  const Tensor& w_input() const { return w_input_; }
+  const Tensor& w_hidden() const { return w_hidden_; }
+  const Tensor& bias() const { return bias_; }
 
  private:
   int64_t input_size_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/elemwise.h"
 #include "util/kernels.h"
 
 namespace cadrl {
@@ -48,7 +49,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   auto out = NewImpl(a.shape());
   const size_t n = out->data.size();
-  for (size_t i = 0; i < n; ++i) out->data[i] = a.data()[i] + b.data()[i];
+  elemwise::AddVec(a.data(), b.data(), out->data.data(), n);
   ImplPtr pa = a.impl(), pb = b.impl();
   TensorImpl* o = out.get();
   Track(out, {pa, pb}, [o, pa, pb, n] {
@@ -69,7 +70,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   auto out = NewImpl(a.shape());
   const size_t n = out->data.size();
-  for (size_t i = 0; i < n; ++i) out->data[i] = a.data()[i] - b.data()[i];
+  elemwise::SubVec(a.data(), b.data(), out->data.data(), n);
   ImplPtr pa = a.impl(), pb = b.impl();
   TensorImpl* o = out.get();
   Track(out, {pa, pb}, [o, pa, pb, n] {
@@ -90,7 +91,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   auto out = NewImpl(a.shape());
   const size_t n = out->data.size();
-  for (size_t i = 0; i < n; ++i) out->data[i] = a.data()[i] * b.data()[i];
+  elemwise::MulVec(a.data(), b.data(), out->data.data(), n);
   ImplPtr pa = a.impl(), pb = b.impl();
   TensorImpl* o = out.get();
   Track(out, {pa, pb}, [o, pa, pb, n] {
@@ -161,7 +162,7 @@ Tensor MeanRows(const std::vector<Tensor>& inputs) {
 Tensor MulScalar(const Tensor& a, float c) {
   auto out = NewImpl(a.shape());
   const size_t n = out->data.size();
-  for (size_t i = 0; i < n; ++i) out->data[i] = a.data()[i] * c;
+  elemwise::MulScalarVec(a.data(), c, out->data.data(), n);
   ImplPtr pa = a.impl();
   TensorImpl* o = out.get();
   Track(out, {pa}, [o, pa, c, n] {
@@ -175,7 +176,7 @@ Tensor MulScalar(const Tensor& a, float c) {
 Tensor AddScalar(const Tensor& a, float c) {
   auto out = NewImpl(a.shape());
   const size_t n = out->data.size();
-  for (size_t i = 0; i < n; ++i) out->data[i] = a.data()[i] + c;
+  elemwise::AddScalarVec(a.data(), c, out->data.data(), n);
   ImplPtr pa = a.impl();
   TensorImpl* o = out.get();
   Track(out, {pa}, [o, pa, n] {
@@ -193,7 +194,7 @@ Tensor Scale(const Tensor& a, const Tensor& s) {
   auto out = NewImpl(a.shape());
   const size_t n = out->data.size();
   const float sv = s.data()[0];
-  for (size_t i = 0; i < n; ++i) out->data[i] = a.data()[i] * sv;
+  elemwise::MulScalarVec(a.data(), sv, out->data.data(), n);
   ImplPtr pa = a.impl(), ps = s.impl();
   TensorImpl* o = out.get();
   Track(out, {pa, ps}, [o, pa, ps, n] {
@@ -216,12 +217,7 @@ Tensor Scale(const Tensor& a, const Tensor& s) {
 Tensor Sigmoid(const Tensor& a) {
   auto out = NewImpl(a.shape());
   const size_t n = out->data.size();
-  for (size_t i = 0; i < n; ++i) {
-    const float x = a.data()[i];
-    // Branch for numerical stability on large |x|.
-    out->data[i] = x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
-                             : std::exp(x) / (1.0f + std::exp(x));
-  }
+  elemwise::SigmoidVec(a.data(), out->data.data(), n);
   ImplPtr pa = a.impl();
   TensorImpl* o = out.get();
   Track(out, {pa}, [o, pa, n] {
@@ -238,7 +234,7 @@ Tensor Sigmoid(const Tensor& a) {
 Tensor Tanh(const Tensor& a) {
   auto out = NewImpl(a.shape());
   const size_t n = out->data.size();
-  for (size_t i = 0; i < n; ++i) out->data[i] = std::tanh(a.data()[i]);
+  elemwise::TanhVec(a.data(), out->data.data(), n);
   ImplPtr pa = a.impl();
   TensorImpl* o = out.get();
   Track(out, {pa}, [o, pa, n] {
@@ -255,7 +251,7 @@ Tensor Tanh(const Tensor& a) {
 Tensor Relu(const Tensor& a) {
   auto out = NewImpl(a.shape());
   const size_t n = out->data.size();
-  for (size_t i = 0; i < n; ++i) out->data[i] = std::max(0.0f, a.data()[i]);
+  elemwise::ReluVec(a.data(), out->data.data(), n);
   ImplPtr pa = a.impl();
   TensorImpl* o = out.get();
   Track(out, {pa}, [o, pa, n] {
@@ -271,10 +267,7 @@ Tensor Relu(const Tensor& a) {
 Tensor LeakyRelu(const Tensor& a, float negative_slope) {
   auto out = NewImpl(a.shape());
   const size_t n = out->data.size();
-  for (size_t i = 0; i < n; ++i) {
-    const float x = a.data()[i];
-    out->data[i] = x > 0.0f ? x : negative_slope * x;
-  }
+  elemwise::LeakyReluVec(a.data(), negative_slope, out->data.data(), n);
   ImplPtr pa = a.impl();
   TensorImpl* o = out.get();
   Track(out, {pa}, [o, pa, n, negative_slope] {
@@ -291,7 +284,7 @@ Tensor LeakyRelu(const Tensor& a, float negative_slope) {
 Tensor Exp(const Tensor& a) {
   auto out = NewImpl(a.shape());
   const size_t n = out->data.size();
-  for (size_t i = 0; i < n; ++i) out->data[i] = std::exp(a.data()[i]);
+  elemwise::ExpVec(a.data(), out->data.data(), n);
   ImplPtr pa = a.impl();
   TensorImpl* o = out.get();
   Track(out, {pa}, [o, pa, n] {
@@ -439,12 +432,7 @@ Tensor RowScale(const Tensor& m, const Tensor& s) {
   const int64_t rows = m.rows(), d = m.cols();
   CADRL_CHECK_EQ(s.numel(), rows);
   auto out = NewImpl({rows, d});
-  for (int64_t i = 0; i < rows; ++i) {
-    const float sv = s.data()[i];
-    const float* src = m.data() + i * d;
-    float* dst = out->data.data() + i * d;
-    for (int64_t j = 0; j < d; ++j) dst[j] = src[j] * sv;
-  }
+  elemwise::RowScaleMat(m.data(), s.data(), out->data.data(), rows, d);
   ImplPtr pm = m.impl(), ps = s.impl();
   TensorImpl* o = out.get();
   Track(out, {pm, ps}, [o, pm, ps, rows, d] {
@@ -472,10 +460,7 @@ Tensor SumRows(const Tensor& m) {
   CADRL_CHECK_EQ(m.rank(), 2);
   const int64_t rows = m.rows(), d = m.cols();
   auto out = NewImpl({d});
-  for (int64_t i = 0; i < rows; ++i) {
-    kernels::Axpy(static_cast<int>(d), 1.0f, m.data() + i * d,
-                  out->data.data());
-  }
+  elemwise::SumRowsAcc(m.data(), out->data.data(), rows, d);
   ImplPtr pm = m.impl();
   TensorImpl* o = out.get();
   Track(out, {pm}, [o, pm, rows, d] {
@@ -494,7 +479,7 @@ Tensor Shift(const Tensor& a, const Tensor& s) {
   auto out = NewImpl(a.shape());
   const size_t n = out->data.size();
   const float sv = s.data()[0];
-  for (size_t i = 0; i < n; ++i) out->data[i] = a.data()[i] + sv;
+  elemwise::AddScalarVec(a.data(), sv, out->data.data(), n);
   ImplPtr pa = a.impl(), ps = s.impl();
   TensorImpl* o = out.get();
   Track(out, {pa, ps}, [o, pa, ps, n] {
@@ -656,16 +641,7 @@ Tensor Softmax(const Tensor& logits) {
   CADRL_CHECK_EQ(logits.rank(), 1);
   const int64_t n = logits.numel();
   auto out = NewImpl({n});
-  float max_logit = logits.data()[0];
-  for (int64_t i = 1; i < n; ++i) {
-    max_logit = std::max(max_logit, logits.data()[i]);
-  }
-  float denom = 0.0f;
-  for (int64_t i = 0; i < n; ++i) {
-    out->data[static_cast<size_t>(i)] = std::exp(logits.data()[i] - max_logit);
-    denom += out->data[static_cast<size_t>(i)];
-  }
-  for (int64_t i = 0; i < n; ++i) out->data[static_cast<size_t>(i)] /= denom;
+  elemwise::SoftmaxVec(logits.data(), out->data.data(), n);
   ImplPtr pl = logits.impl();
   TensorImpl* o = out.get();
   Track(out, {pl}, [o, pl, n] {
@@ -688,18 +664,7 @@ Tensor LogSoftmax(const Tensor& logits) {
   CADRL_CHECK_EQ(logits.rank(), 1);
   const int64_t n = logits.numel();
   auto out = NewImpl({n});
-  float max_logit = logits.data()[0];
-  for (int64_t i = 1; i < n; ++i) {
-    max_logit = std::max(max_logit, logits.data()[i]);
-  }
-  float denom = 0.0f;
-  for (int64_t i = 0; i < n; ++i) {
-    denom += std::exp(logits.data()[i] - max_logit);
-  }
-  const float log_denom = std::log(denom) + max_logit;
-  for (int64_t i = 0; i < n; ++i) {
-    out->data[static_cast<size_t>(i)] = logits.data()[i] - log_denom;
-  }
+  elemwise::LogSoftmaxVec(logits.data(), out->data.data(), n);
   ImplPtr pl = logits.impl();
   TensorImpl* o = out.get();
   Track(out, {pl}, [o, pl, n] {

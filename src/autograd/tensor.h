@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "util/alloc_stats.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -15,6 +16,8 @@ namespace ag {
 // Shared storage + tape node behind a Tensor handle. Not used directly by
 // clients; exposed so op implementations (ops.cc) can build the graph.
 struct TensorImpl {
+  TensorImpl() { util::NoteTensorAlloc(); }
+
   std::vector<int64_t> shape;  // rank 0 (scalar), 1 (vector) or 2 (matrix)
   std::vector<float> data;
   std::vector<float> grad;  // allocated lazily; same length as data

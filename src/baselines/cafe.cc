@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "autograd/tensor.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -81,6 +82,8 @@ std::vector<eval::Recommendation> CafeRecommender::Recommend(
     kg::EntityId user, int k) {
   CADRL_CHECK(transe_ != nullptr) << "call Fit() first";
   CADRL_CHECK_GT(k, 0);
+  // Inference must never grow the autograd tape.
+  ag::NoGradGuard guard;
   const kg::KnowledgeGraph& graph = dataset_->graph;
 
   struct Candidate {

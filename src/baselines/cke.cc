@@ -98,6 +98,8 @@ double CkeRecommender::Score(kg::EntityId user, kg::EntityId item) const {
 std::vector<eval::Recommendation> CkeRecommender::Recommend(
     kg::EntityId user, int k) {
   CADRL_CHECK(transe_ != nullptr) << "call Fit() first";
+  // Inference must never grow the autograd tape.
+  ag::NoGradGuard guard;
   return RankAllItems(*dataset_, *index_, user, k,
                       [&](kg::EntityId item) { return Score(user, item); });
 }

@@ -1,5 +1,6 @@
 #include "baselines/heteroembed.h"
 
+#include "autograd/tensor.h"
 #include "util/logging.h"
 
 namespace cadrl {
@@ -21,6 +22,8 @@ Status HeteroEmbedRecommender::Fit(const data::Dataset& dataset) {
 std::vector<eval::Recommendation> HeteroEmbedRecommender::Recommend(
     kg::EntityId user, int k) {
   CADRL_CHECK(transe_ != nullptr) << "call Fit() first";
+  // Inference must never grow the autograd tape.
+  ag::NoGradGuard guard;
   auto recs = RankAllItems(
       *dataset_, *index_, user, k, [&](kg::EntityId item) {
         return transe_->ScoreTriple(user, kg::Relation::kPurchase, item);

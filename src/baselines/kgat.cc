@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "autograd/tensor.h"
 #include "util/logging.h"
 
 namespace cadrl {
@@ -82,6 +83,8 @@ Status KgatRecommender::Fit(const data::Dataset& dataset) {
 std::vector<eval::Recommendation> KgatRecommender::Recommend(
     kg::EntityId user, int k) {
   CADRL_CHECK(!refined_.empty()) << "call Fit() first";
+  // Inference must never grow the autograd tape.
+  ag::NoGradGuard guard;
   const float* u = refined_.data() + static_cast<int64_t>(user) * dim_;
   return RankAllItems(*dataset_, *index_, user, k, [&](kg::EntityId item) {
     const float* v = refined_.data() + static_cast<int64_t>(item) * dim_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "autograd/tensor.h"
 #include "util/logging.h"
 
 namespace cadrl {
@@ -102,6 +103,8 @@ double RippleNetRecommender::Score(kg::EntityId user,
 std::vector<eval::Recommendation> RippleNetRecommender::Recommend(
     kg::EntityId user, int k) {
   CADRL_CHECK(transe_ != nullptr) << "call Fit() first";
+  // Inference must never grow the autograd tape.
+  ag::NoGradGuard guard;
   return RankAllItems(*dataset_, *index_, user, k,
                       [&](kg::EntityId item) { return Score(user, item); });
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "autograd/tensor.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -119,6 +120,8 @@ RuleRecRecommender::UserRuleCounts(kg::EntityId user) const {
 std::vector<eval::Recommendation> RuleRecRecommender::Recommend(
     kg::EntityId user, int k) {
   CADRL_CHECK(!rules_.empty()) << "call Fit() first";
+  // Inference must never grow the autograd tape.
+  ag::NoGradGuard guard;
   const auto counts = UserRuleCounts(user);
   return RankAllItems(*dataset_, *index_, user, k, [&](kg::EntityId item) {
     double z = bias_;

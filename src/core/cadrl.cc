@@ -8,6 +8,7 @@
 
 #include "autograd/ops.h"
 #include "core/reward.h"
+#include "util/elemwise.h"
 #include "util/failpoint.h"
 #include "util/io.h"
 #include "util/logging.h"
@@ -402,6 +403,10 @@ Status CadrlRecommender::Fit(const data::Dataset& dataset,
       }
     }
   }
+  // Freeze the fitted state into the serving snapshot: training mutated
+  // the live policy/store for the last time above, so the compiled copy is
+  // byte-identical to what the tape path would read.
+  PublishSnapshot(infer::CompiledModel::Build(*store_, *policy_, score_scale_));
   fitted_ = true;
   return Status::OK();
 }
@@ -419,10 +424,20 @@ kg::CategoryId CadrlRecommender::InitialCategory(kg::EntityId user,
     return cats[static_cast<size_t>(
         rng->UniformInt(static_cast<int64_t>(cats.size())))];
   }
+  return GreedyInitialCategory(store_->View(), user);
+}
+
+kg::CategoryId CadrlRecommender::GreedyInitialCategory(
+    const infer::ScoringView& view, kg::EntityId user) const {
+  const auto it = train_categories_.find(user);
+  if (it == train_categories_.end() || it->second.empty()) {
+    return kg::kInvalidCategory;
+  }
+  const auto& cats = it->second;
   kg::CategoryId best = cats[0];
-  float best_affinity = store_->UserCategoryAffinity(user, best);
+  float best_affinity = infer::UserCategoryAffinity(view, user, best);
   for (kg::CategoryId c : cats) {
-    const float a = store_->UserCategoryAffinity(user, c);
+    const float a = infer::UserCategoryAffinity(view, user, c);
     if (a > best_affinity) {
       best_affinity = a;
       best = c;
@@ -504,13 +519,29 @@ void CadrlRecommender::BuildRuntime(const data::Dataset& dataset) {
       &dataset.graph, store_.get(), options_.max_entity_actions);
   category_env_ = std::make_unique<CategoryEnvironment>(
       &dataset.category_graph, store_.get(), options_.max_category_actions);
+  policy_ = std::make_unique<SharedPolicyNetworks>(MakePolicyConfig(), &rng_);
+}
+
+PolicyConfig CadrlRecommender::MakePolicyConfig() const {
   PolicyConfig policy_config;
   policy_config.dim = store_->dim();
   policy_config.hidden = options_.policy_hidden;
   policy_config.share_history =
       options_.share_history && options_.use_dual_agent;
   policy_config.condition_on_category = options_.use_dual_agent;
-  policy_ = std::make_unique<SharedPolicyNetworks>(policy_config, &rng_);
+  return policy_config;
+}
+
+std::shared_ptr<const infer::CompiledModel> CadrlRecommender::AcquireSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return compiled_;
+}
+
+void CadrlRecommender::PublishSnapshot(
+    std::shared_ptr<const infer::CompiledModel> snapshot) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  compiled_ = std::move(snapshot);
 }
 
 namespace {
@@ -679,7 +710,41 @@ Status CadrlRecommender::LoadModel(const data::Dataset& dataset,
   std::vector<ag::Tensor> params = policy_->Parameters();
   CADRL_RETURN_IF_ERROR(ReadParams(in, &params));
   cggnn_.reset();
+  PublishSnapshot(infer::CompiledModel::Build(*store_, *policy_, score_scale_));
   fitted_ = true;
+  return Status::OK();
+}
+
+Status CadrlRecommender::ReloadFromCheckpoint(const std::string& path) {
+  if (!fitted_ || dataset_ == nullptr || transe_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ReloadFromCheckpoint requires a fitted or loaded model");
+  }
+  std::string payload;
+  CADRL_RETURN_IF_ERROR(ReadFileVerified(path, &payload));
+  std::istringstream in(payload);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "cadrl_model" || version != 1) {
+    return Status::Corruption("bad model header");
+  }
+  int dim = 0;
+  float scale = 0.0f;
+  in >> dim >> scale;
+  if (!in.good() || dim != options_.transe.dim) {
+    return Status::Corruption("model dim does not match options");
+  }
+  // Parse into side tables — the live store/policy (and any snapshot
+  // in-flight requests already acquired) are never touched. Only after the
+  // whole checkpoint validates is the new snapshot compiled and published.
+  EmbeddingStore next_store(&dataset_->graph, transe_.get());
+  CADRL_RETURN_IF_ERROR(next_store.ReadFrom(in));
+  Rng scratch_rng(options_.seed);
+  SharedPolicyNetworks next_policy(MakePolicyConfig(), &scratch_rng);
+  std::vector<ag::Tensor> params = next_policy.Parameters();
+  CADRL_RETURN_IF_ERROR(ReadParams(in, &params));
+  PublishSnapshot(infer::CompiledModel::Build(next_store, next_policy, scale));
   return Status::OK();
 }
 
@@ -919,20 +984,197 @@ Status CadrlRecommender::FindPaths(kg::EntityId user, int max_paths,
   return Status::OK();
 }
 
+// Tape-path policy forwards for the beam search: the legacy autograd
+// composition over fresh constant-leaf tensors, wrapped behind the driver
+// interface BeamSearch expects. Kept as the golden reference the compiled
+// driver is byte-compared against.
+struct CadrlRecommender::TapeBeamDriver {
+  using State = SharedPolicyNetworks::RolloutState;
+
+  explicit TapeBeamDriver(const CadrlRecommender& r) : rec(r) {}
+
+  State InitialState(kg::EntityId user, kg::CategoryId category) {
+    user_t = rec.store_->EntityTensor(user);
+    return rec.policy_->InitialState(
+        user_t,
+        category != kg::kInvalidCategory ? rec.store_->CategoryTensor(category)
+                                         : rec.store_->ZeroTensor(),
+        rec.store_->RelationTensor(kg::Relation::kSelfLoop),
+        rec.store_->EntityTensor(user));
+  }
+
+  kg::CategoryId PickCategory(const State& state, kg::CategoryId current,
+                              const std::vector<kg::CategoryId>& actions) {
+    const ag::Tensor logits = rec.policy_->CategoryLogits(
+        state, user_t, rec.store_->CategoryTensor(current),
+        rec.CategoryActionMatrix(actions));
+    const std::vector<float> probs = ProbsOf(logits);
+    const int64_t best = static_cast<int64_t>(std::distance(
+        probs.begin(), std::max_element(probs.begin(), probs.end())));
+    return actions[static_cast<size_t>(best)];
+  }
+
+  void EntityLogProbs(const State& state, kg::EntityId entity,
+                      kg::Relation last_rel, kg::CategoryId condition,
+                      const std::vector<EntityAction>& actions,
+                      std::vector<float>* out) {
+    const ag::Tensor logits = rec.policy_->EntityLogits(
+        state, rec.store_->EntityTensor(entity),
+        rec.store_->RelationTensor(last_rel),
+        condition != kg::kInvalidCategory
+            ? rec.store_->CategoryTensor(condition)
+            : ag::Tensor(),
+        rec.EntityActionMatrix(actions));
+    const ag::Tensor log_probs = ag::LogSoftmax(logits);
+    out->assign(log_probs.data(), log_probs.data() + log_probs.numel());
+  }
+
+  void Advance(State* state, kg::EntityId user, kg::CategoryId category,
+               kg::Relation last_rel, kg::EntityId entity) {
+    (void)user;  // the user tensor is cached from InitialState
+    rec.policy_->Advance(
+        state, user_t,
+        category != kg::kInvalidCategory ? rec.store_->CategoryTensor(category)
+                                         : rec.store_->ZeroTensor(),
+        rec.store_->RelationTensor(last_rel), rec.store_->EntityTensor(entity));
+  }
+
+  const CadrlRecommender& rec;
+  ag::Tensor user_t;
+};
+
+// Compiled-path policy forwards: the same four steps over a frozen
+// CompiledModel snapshot through infer/policy_forward, allocating no tensor
+// graph nodes. Steady state reuses the scratch buffers below, so a warmed
+// driver performs zero heap allocation per forward.
+struct CadrlRecommender::CompiledBeamDriver {
+  using State = infer::RawPolicyState;
+
+  explicit CompiledBeamDriver(const infer::CompiledModel& m)
+      : sv(m.scoring()),
+        pv(m.policy()),
+        zeros(static_cast<size_t>(sv.dim), 0.0f) {}
+
+  std::span<const float> Ent(kg::EntityId e) const {
+    return {sv.EntityRow(e), static_cast<size_t>(sv.dim)};
+  }
+  std::span<const float> Rel(kg::Relation r) const {
+    return {sv.RelationRow(r), static_cast<size_t>(sv.dim)};
+  }
+  std::span<const float> Cat(kg::CategoryId c) const {
+    return {sv.CategoryRow(c), static_cast<size_t>(sv.dim)};
+  }
+  std::span<const float> Zero() const {
+    return {zeros.data(), zeros.size()};
+  }
+
+  State InitialState(kg::EntityId user, kg::CategoryId category) {
+    user_ = user;
+    State state;
+    infer::InitialStateRaw(
+        pv, Ent(user),
+        category != kg::kInvalidCategory ? Cat(category) : Zero(),
+        Rel(kg::Relation::kSelfLoop), Ent(user), &scratch, &state);
+    return state;
+  }
+
+  kg::CategoryId PickCategory(const State& state, kg::CategoryId current,
+                              const std::vector<kg::CategoryId>& actions) {
+    const int d = sv.dim;
+    const int n = static_cast<int>(actions.size());
+    action_rows.resize(static_cast<size_t>(n) * d);
+    for (int i = 0; i < n; ++i) {
+      const float* row = sv.CategoryRow(actions[static_cast<size_t>(i)]);
+      std::copy(row, row + d, action_rows.data() + static_cast<size_t>(i) * d);
+    }
+    logits.resize(static_cast<size_t>(n));
+    infer::CategoryLogitsRaw(pv, state, Ent(user_), Cat(current),
+                             action_rows.data(), n, &scratch, logits.data());
+    probs.resize(static_cast<size_t>(n));
+    elemwise::SoftmaxVec(logits.data(), probs.data(), static_cast<size_t>(n));
+    const int64_t best = static_cast<int64_t>(std::distance(
+        probs.begin(), std::max_element(probs.begin(), probs.end())));
+    return actions[static_cast<size_t>(best)];
+  }
+
+  void EntityLogProbs(const State& state, kg::EntityId entity,
+                      kg::Relation last_rel, kg::CategoryId condition,
+                      const std::vector<EntityAction>& actions,
+                      std::vector<float>* out) {
+    const int d = sv.dim;
+    const int n = static_cast<int>(actions.size());
+    action_rows.resize(static_cast<size_t>(n) * 2 * d);
+    float* dst = action_rows.data();
+    for (const EntityAction& a : actions) {
+      const float* rel = sv.RelationRow(a.relation);
+      const float* ent = sv.EntityRow(a.dst);
+      std::copy(rel, rel + d, dst);
+      std::copy(ent, ent + d, dst + d);
+      dst += 2 * d;
+    }
+    logits.resize(static_cast<size_t>(n));
+    infer::EntityLogitsRaw(pv, state, Ent(entity), Rel(last_rel),
+                           condition != kg::kInvalidCategory
+                               ? Cat(condition)
+                               : std::span<const float>(),
+                           action_rows.data(), n, &scratch, logits.data());
+    out->resize(static_cast<size_t>(n));
+    elemwise::LogSoftmaxVec(logits.data(), out->data(),
+                            static_cast<size_t>(n));
+  }
+
+  void Advance(State* state, kg::EntityId user, kg::CategoryId category,
+               kg::Relation last_rel, kg::EntityId entity) {
+    (void)user;
+    infer::AdvanceRaw(pv, state, Ent(user_),
+                      category != kg::kInvalidCategory ? Cat(category) : Zero(),
+                      Rel(last_rel), Ent(entity), &scratch);
+  }
+
+  const infer::ScoringView& sv;
+  const infer::PolicyParamsView& pv;
+  infer::PolicyScratch scratch;
+  std::vector<float> zeros;
+  std::vector<float> action_rows, logits, probs;
+  kg::EntityId user_ = kg::kInvalidEntity;
+};
+
 Status CadrlRecommender::RecommendWithContext(
     kg::EntityId user, int k, const RequestContext* ctx,
     std::vector<eval::Recommendation>* out) {
   CADRL_CHECK(fitted_) << "call Fit() before Recommend()";
   CADRL_CHECK_GT(k, 0);
   out->clear();
+  if (use_compiled_) {
+    // RCU read side: the shared_ptr copy keeps this snapshot alive for the
+    // whole request even if a ReloadFromCheckpoint publishes a new one
+    // mid-search.
+    const std::shared_ptr<const infer::CompiledModel> snapshot =
+        AcquireSnapshot();
+    if (snapshot != nullptr) {
+      CompiledBeamDriver driver(*snapshot);
+      return BeamSearch(driver, user, k, ctx, snapshot->scoring(),
+                        snapshot->score_scale(), out);
+    }
+  }
   ag::NoGradGuard guard;
+  TapeBeamDriver driver(*this);
+  return BeamSearch(driver, user, k, ctx, store_->View(), score_scale_, out);
+}
+
+template <typename Driver>
+Status CadrlRecommender::BeamSearch(Driver& drv, kg::EntityId user, int k,
+                                    const RequestContext* ctx,
+                                    const infer::ScoringView& view,
+                                    float score_scale,
+                                    std::vector<eval::Recommendation>* out) {
   const bool dual = options_.use_dual_agent;
 
   struct BeamElement {
     kg::EntityId entity;
     kg::Relation last_rel;
     kg::CategoryId category;
-    SharedPolicyNetworks::RolloutState state;
+    typename Driver::State state;
     double log_prob;
     std::vector<eval::PathStep> steps;
   };
@@ -944,22 +1186,17 @@ Status CadrlRecommender::RecommendWithContext(
 
   // One score cache for the whole beam search: branches revisit the same
   // entities constantly (shared prefixes, overlapping neighborhoods).
-  UserScoreMemo score_memo(store_.get(), user);
+  UserScoreMemo score_memo(view, user);
 
-  const ag::Tensor user_t = store_->EntityTensor(user);
   BeamElement root;
   root.entity = user;
   root.last_rel = kg::Relation::kSelfLoop;
-  root.category = dual
-                      ? InitialCategory(user, /*stochastic=*/false, nullptr)
-                      : kg::kInvalidCategory;
+  root.category =
+      dual ? GreedyInitialCategory(view, user) : kg::kInvalidCategory;
   const bool category_active = dual && root.category != kg::kInvalidCategory;
-  root.state = policy_->InitialState(
-      user_t,
-      category_active ? store_->CategoryTensor(root.category)
-                      : store_->ZeroTensor(),
-      store_->RelationTensor(kg::Relation::kSelfLoop),
-      store_->EntityTensor(user));
+  root.state =
+      drv.InitialState(user, category_active ? root.category
+                                             : kg::kInvalidCategory);
   root.log_prob = 0.0;
 
   std::vector<BeamElement> beam = {std::move(root)};
@@ -994,14 +1231,9 @@ Status CadrlRecommender::RecommendWithContext(
       kg::CategoryId next_category = elem.category;
       if (category_active) {
         const auto cat_actions =
-            category_env_->ValidActions(user, elem.category);
-        const ag::Tensor cat_logits = policy_->CategoryLogits(
-            elem.state, user_t, store_->CategoryTensor(elem.category),
-            CategoryActionMatrix(cat_actions));
-        const std::vector<float> probs = ProbsOf(cat_logits);
-        const int64_t best = static_cast<int64_t>(std::distance(
-            probs.begin(), std::max_element(probs.begin(), probs.end())));
-        next_category = cat_actions[static_cast<size_t>(best)];
+            category_env_->ValidActions(user, elem.category, &view);
+        next_category = drv.PickCategory(elem.state, elem.category,
+                                         cat_actions);
         milestones.insert(next_category);
       }
 
@@ -1009,13 +1241,11 @@ Status CadrlRecommender::RecommendWithContext(
           entity_env_->ValidActions(user, elem.entity,
                                     category_active ? &milestones : nullptr,
                                     &score_memo);
-      const ag::Tensor ent_logits = policy_->EntityLogits(
-          elem.state, store_->EntityTensor(elem.entity),
-          store_->RelationTensor(elem.last_rel),
-          category_active ? store_->CategoryTensor(next_category)
-                          : ag::Tensor(),
-          EntityActionMatrix(ent_actions));
-      const ag::Tensor log_probs_t = ag::LogSoftmax(ent_logits);
+      std::vector<float> log_probs;
+      drv.EntityLogProbs(elem.state, elem.entity, elem.last_rel,
+                         category_active ? next_category
+                                         : kg::kInvalidCategory,
+                         ent_actions, &log_probs);
       std::vector<float> guidance;
       if (options_.beam_guidance_weight > 0.0f) {
         std::vector<kg::EntityId> dsts;
@@ -1026,11 +1256,11 @@ Status CadrlRecommender::RecommendWithContext(
       }
       std::vector<std::pair<float, int64_t>> ranked;
       ranked.reserve(ent_actions.size());
-      for (int64_t i = 0; i < log_probs_t.numel(); ++i) {
-        float key = log_probs_t.at(i);
+      for (int64_t i = 0; i < static_cast<int64_t>(log_probs.size()); ++i) {
+        float key = log_probs[static_cast<size_t>(i)];
         if (options_.beam_guidance_weight > 0.0f) {
           key += options_.beam_guidance_weight *
-                 guidance[static_cast<size_t>(i)] / score_scale_;
+                 guidance[static_cast<size_t>(i)] / score_scale;
         }
         ranked.emplace_back(key, i);
       }
@@ -1089,7 +1319,8 @@ Status CadrlRecommender::RecommendWithContext(
         child.category = next_category;
         child.log_prob =
             elem.log_prob +
-            static_cast<double>(log_probs_t.at(ranked[i].second));
+            static_cast<double>(
+                log_probs[static_cast<size_t>(ranked[i].second)]);
         child.steps = elem.steps;
         if (action.relation != kg::Relation::kSelfLoop) {
           child.steps.push_back({action.relation, action.dst});
@@ -1108,12 +1339,9 @@ Status CadrlRecommender::RecommendWithContext(
       next_beam.resize(static_cast<size_t>(options_.beam_width));
     }
     for (BeamElement& child : next_beam) {
-      policy_->Advance(&child.state, user_t,
-                       category_active
-                           ? store_->CategoryTensor(child.category)
-                           : store_->ZeroTensor(),
-                       store_->RelationTensor(child.last_rel),
-                       store_->EntityTensor(child.entity));
+      drv.Advance(&child.state, user,
+                  category_active ? child.category : kg::kInvalidCategory,
+                  child.last_rel, child.entity);
     }
     beam = std::move(next_beam);
     if (beam.empty()) break;

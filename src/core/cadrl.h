@@ -2,6 +2,7 @@
 #define CADRL_CORE_CADRL_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -15,6 +16,7 @@
 #include "autograd/optimizer.h"
 #include "embed/transe.h"
 #include "eval/recommender.h"
+#include "infer/compiled_model.h"
 #include "rl/reinforce.h"
 #include "util/checkpoint.h"
 #include "util/rng.h"
@@ -127,10 +129,12 @@ class CadrlRecommender : public eval::Recommender {
   std::vector<eval::Recommendation> Recommend(kg::EntityId user,
                                               int k) override;
   bool SupportsPaths() const override { return true; }
-  // Inference reads only frozen state (embedding store, policy weights,
-  // per-user indexes) and the beam search keeps all scratch on the stack,
-  // so concurrent Recommend/FindPaths calls on one fitted model are safe;
-  // cadrl_stress_test exercises this under ThreadSanitizer.
+  // Inference reads only frozen state (by default an immutable compiled
+  // snapshot acquired per request, otherwise the embedding store + policy
+  // weights) and the beam search keeps all scratch on the stack, so
+  // concurrent Recommend/FindPaths calls on one fitted model are safe;
+  // cadrl_stress_test and serve_chaos_test exercise this under
+  // ThreadSanitizer, including snapshot hot-swaps mid-load.
   bool SupportsConcurrentInference() const override { return true; }
   std::vector<eval::RecommendationPath> FindPaths(kg::EntityId user,
                                                   int max_paths) override;
@@ -165,6 +169,28 @@ class CadrlRecommender : public eval::Recommender {
   Status SaveModel(const std::string& path) const;
   Status LoadModel(const data::Dataset& dataset, const std::string& path);
 
+  // Hot-swaps the serving snapshot to the model persisted at `path`
+  // (written by SaveModel) without touching the live training state:
+  // the checkpoint is parsed into side tables, compiled, and published
+  // with an atomic shared_ptr swap. In-flight Recommend/FindPaths calls
+  // finish on the snapshot they acquired at entry (RCU-style); calls that
+  // start after the publish see the new model. Requires a fitted (or
+  // loaded) recommender against the same dataset/options.
+  Status ReloadFromCheckpoint(const std::string& path) override;
+
+  // Compiled (tape-free) inference is the default; switching it off routes
+  // Recommend/FindPaths through the legacy autograd forwards. Golden tests
+  // flip this toggle to prove both paths are byte-identical.
+  void set_use_compiled_inference(bool on) { use_compiled_ = on; }
+  bool use_compiled_inference() const { return use_compiled_; }
+
+  // The currently published inference snapshot (null before Fit/LoadModel
+  // or when compiled inference is disabled at publish time); for tests and
+  // benchmarks.
+  std::shared_ptr<const infer::CompiledModel> CurrentSnapshot() const {
+    return AcquireSnapshot();
+  }
+
  private:
   struct Episode {
     rl::EpisodeTrace entity_trace;
@@ -174,10 +200,33 @@ class CadrlRecommender : public eval::Recommender {
 
   // Beam-search core shared by the blocking and deadline-aware entry
   // points. `ctx == nullptr` (the blocking path) skips every deadline
-  // check and failpoint, preserving the exact legacy behavior.
+  // check and failpoint, preserving the exact legacy behavior. Dispatches
+  // to the compiled snapshot when one is published (and the toggle is on),
+  // else to the tape forwards.
   Status RecommendWithContext(kg::EntityId user, int k,
                               const RequestContext* ctx,
                               std::vector<eval::Recommendation>* out);
+
+  // The beam-search control flow, written once and instantiated for both
+  // inference backends: `Driver` supplies the four policy forwards
+  // (initial state, category pick, entity log-probs, state advance) over
+  // either ag tensors (TapeBeamDriver) or raw snapshot buffers
+  // (CompiledBeamDriver). `view`/`score_scale` come from the same backend
+  // as the driver, so one request never mixes live and snapshot tables.
+  struct TapeBeamDriver;
+  struct CompiledBeamDriver;
+  template <typename Driver>
+  Status BeamSearch(Driver& drv, kg::EntityId user, int k,
+                    const RequestContext* ctx, const infer::ScoringView& view,
+                    float score_scale, std::vector<eval::Recommendation>* out);
+
+  // RCU-style snapshot handle: readers copy the shared_ptr under the mutex
+  // and keep the model alive for the whole request; PublishSnapshot swaps
+  // the pointer so later readers see the new model.
+  std::shared_ptr<const infer::CompiledModel> AcquireSnapshot() const;
+  void PublishSnapshot(std::shared_ptr<const infer::CompiledModel> snapshot);
+
+  PolicyConfig MakePolicyConfig() const;
 
   // Builds the per-user train indexes and the environments/policy from
   // `dataset` (shared by Fit and LoadModel).
@@ -216,6 +265,10 @@ class CadrlRecommender : public eval::Recommender {
   // training). `rng` may be null when stochastic is false.
   kg::CategoryId InitialCategory(kg::EntityId user, bool stochastic,
                                  Rng* rng) const;
+  // The deterministic affinity-max branch of InitialCategory over an
+  // explicit scoring view (live store or compiled snapshot).
+  kg::CategoryId GreedyInitialCategory(const infer::ScoringView& view,
+                                       kg::EntityId user) const;
 
   float TerminalEntityReward(kg::EntityId user, kg::EntityId terminal) const;
 
@@ -250,6 +303,11 @@ class CadrlRecommender : public eval::Recommender {
       train_categories_;
   // Best soft-reward normalizer (max |score|) for terminal_soft_reward.
   float score_scale_ = 1.0f;
+
+  // Published inference snapshot (see AcquireSnapshot/PublishSnapshot).
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const infer::CompiledModel> compiled_;
+  bool use_compiled_ = true;
 
   std::vector<float> epoch_rewards_;
   bool fitted_ = false;

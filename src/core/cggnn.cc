@@ -124,6 +124,62 @@ Cggnn::Cggnn(const kg::KnowledgeGraph* graph,
   w_ic_ =
       std::make_unique<ag::Linear>(2 * dim_, 1, &rng, /*use_bias=*/false);
   RegisterModule(w_ic_.get());
+
+  // Flatten the sampled structure for the tape-free forward.
+  nb_offsets_.assign(1, 0);
+  cat_offsets_.assign(1, 0);
+  for (size_t pos = 0; pos < items_.size(); ++pos) {
+    for (const SampledNeighbor& nb : neighbors_[pos]) {
+      nb_relations_flat_.push_back(nb.relation);
+      nb_entities_flat_.push_back(nb.entity);
+    }
+    nb_offsets_.push_back(static_cast<int64_t>(nb_entities_flat_.size()));
+    cats_flat_.insert(cats_flat_.end(), neighbor_categories_[pos].begin(),
+                      neighbor_categories_[pos].end());
+    cat_offsets_.push_back(static_cast<int64_t>(cats_flat_.size()));
+  }
+  member_offsets_.assign(1, 0);
+  for (const auto& members : category_members_) {
+    members_flat_.insert(members_flat_.end(), members.begin(), members.end());
+    member_offsets_.push_back(static_cast<int64_t>(members_flat_.size()));
+  }
+}
+
+infer::CggnnView Cggnn::ForwardView() const {
+  infer::CggnnView v;
+  v.dim = dim_;
+  v.ggnn_layers = options_.ggnn_layers;
+  v.cgan_layers = options_.cgan_layers;
+  v.use_ggnn = options_.use_ggnn;
+  v.use_cgan = options_.use_cgan;
+  v.delta = options_.delta;
+  v.entity_table = entity_table_.data();
+  v.relation_table = relation_table_.data();
+  v.items = items_.data();
+  v.num_items = static_cast<int64_t>(items_.size());
+  v.item_index = item_index_.data();
+  v.num_categories = graph_->num_categories();
+  v.nb_offsets = nb_offsets_.data();
+  v.nb_relations = nb_relations_flat_.data();
+  v.nb_entities = nb_entities_flat_.data();
+  v.incoming_count = incoming_count_.data();
+  v.cat_offsets = cat_offsets_.data();
+  v.cat_ids = cats_flat_.data();
+  v.member_offsets = member_offsets_.data();
+  v.member_pos = members_flat_.data();
+  v.w1 = w1_->weight().data();
+  v.w2_w = w2_->weight().data();
+  v.w2_b = w2_->bias().data();
+  for (const auto& w : w_in_) v.w_in.push_back(w->weight().data());
+  for (const auto& w : w_out_) v.w_out.push_back(w->weight().data());
+  v.w_z1 = w_z1_->weight().data();
+  v.w_self = w_self_->weight().data();
+  v.w_v1 = w_v1_->weight().data();
+  v.w_v2 = w_v2_->weight().data();
+  v.w_vh1 = w_vh1_->weight().data();
+  v.w_vh2 = w_vh2_->weight().data();
+  v.w_ic = w_ic_->weight().data();
+  return v;
 }
 
 int64_t Cggnn::ItemIndex(kg::EntityId e) const {
@@ -345,13 +401,10 @@ Status Cggnn::Train(
 }
 
 void Cggnn::FinalizeRepresentations() {
-  ag::NoGradGuard guard;
-  std::vector<ag::Tensor> reps = ComputeItemRepresentations();
-  final_reps_.assign(items_.size() * static_cast<size_t>(dim_), 0.0f);
-  for (size_t pos = 0; pos < reps.size(); ++pos) {
-    std::copy(reps[pos].data(), reps[pos].data() + dim_,
-              final_reps_.begin() + pos * static_cast<size_t>(dim_));
-  }
+  // Tape-free compiled forward: no graph nodes, byte-identical to the
+  // autograd ComputeItemRepresentations (golden-locked in
+  // tests/compiled_inference_test.cc).
+  infer::CggnnForward(ForwardView(), &final_reps_);
 }
 
 std::span<const float> Cggnn::EntityVector(kg::EntityId e) const {

@@ -7,6 +7,7 @@
 #include "autograd/module.h"
 #include "data/dataset.h"
 #include "embed/transe.h"
+#include "infer/cggnn_forward.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -64,8 +65,13 @@ class Cggnn : public ag::Module {
   // for items this is the layer-0 input, not the GNN output).
   std::span<const float> EntityVector(kg::EntityId e) const;
 
-  // Runs a no-grad forward pass and caches the result; called by Train.
+  // Caches the final representations via the tape-free compiled forward
+  // (byte-identical to the autograd pass); called by Train.
   void FinalizeRepresentations();
+
+  // Raw-buffer view of the graph structure + parameters for
+  // infer::CggnnForward. Borrows this module's tensors and index arrays.
+  infer::CggnnView ForwardView() const;
 
   // Mean BPR loss per epoch of the last Train call.
   const std::vector<float>& epoch_losses() const { return epoch_losses_; }
@@ -117,6 +123,16 @@ class Cggnn : public ag::Module {
   std::vector<std::vector<kg::CategoryId>> neighbor_categories_;
   // Items per category (positions, not entity ids).
   std::vector<std::vector<int64_t>> category_members_;
+
+  // The same structure flattened into offset + flat-id arrays for the
+  // tape-free forward (built once in the constructor).
+  std::vector<int64_t> nb_offsets_;
+  std::vector<kg::Relation> nb_relations_flat_;
+  std::vector<kg::EntityId> nb_entities_flat_;
+  std::vector<int64_t> cat_offsets_;
+  std::vector<kg::CategoryId> cats_flat_;
+  std::vector<int64_t> member_offsets_;
+  std::vector<int64_t> members_flat_;
 
   // Parameters (shared across layers where the paper omits superscripts).
   std::unique_ptr<ag::Linear> w1_;    // Eq 1: 4d -> d

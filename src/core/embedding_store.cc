@@ -12,28 +12,6 @@
 namespace cadrl {
 namespace core {
 
-namespace {
-
-// Per-thread gather buffer for batched scoring: candidate rows are packed
-// contiguously so one fused kernel call scores the whole action set.
-std::vector<float>& ScratchRows() {
-  static thread_local std::vector<float> scratch;
-  return scratch;
-}
-
-void GatherRows(const std::vector<float>& table, int dim,
-                std::span<const kg::EntityId> ids, std::vector<float>* out) {
-  out->resize(ids.size() * static_cast<size_t>(dim));
-  float* dst = out->data();
-  for (const kg::EntityId id : ids) {
-    const float* src = table.data() + static_cast<int64_t>(id) * dim;
-    std::copy(src, src + dim, dst);
-    dst += dim;
-  }
-}
-
-}  // namespace
-
 EmbeddingStore::EmbeddingStore(const kg::KnowledgeGraph* graph,
                                const embed::TransEModel* transe)
     : graph_(graph), dim_(transe->dim()) {
@@ -127,73 +105,31 @@ ag::Tensor EmbeddingStore::CategoryTensor(kg::CategoryId c) const {
   return SpanTensor(Category(c));
 }
 
+infer::ScoringView EmbeddingStore::View() const {
+  infer::ScoringView view;
+  view.dim = dim_;
+  view.mode = score_mode_;
+  view.ensemble_weight = ensemble_translation_weight_;
+  view.entities = entities_.data();
+  view.raw_entities = raw_entities_.data();
+  view.demand_entities =
+      demand_entities_.empty() ? nullptr : demand_entities_.data();
+  view.relations = relations_.data();
+  view.categories = categories_.data();
+  view.num_entities = graph_->num_entities();
+  view.num_categories = graph_->num_categories();
+  return view;
+}
+
 float EmbeddingStore::ScoreUserEntity(kg::EntityId user,
                                       kg::EntityId entity) const {
-  float dot = 0.0f;
-  if (score_mode_ == ScoreMode::kDotProduct ||
-      score_mode_ == ScoreMode::kEnsemble) {
-    dot = kernels::Dot(Entity(user).data(), Entity(entity).data(), dim_);
-    if (score_mode_ == ScoreMode::kDotProduct) return dot;
-  }
-  // Translation term: kTranslation scores the current (possibly edited)
-  // rows; kEnsemble deliberately uses the untouched TransE rows so the two
-  // terms stay independent signals.
-  const std::vector<float>& table =
-      score_mode_ == ScoreMode::kTranslation
-          ? entities_
-          : (score_mode_ == ScoreMode::kDemandTranslation &&
-             !demand_entities_.empty())
-                ? demand_entities_
-                : raw_entities_;
-  const float* u = table.data() + static_cast<int64_t>(user) * dim_;
-  const float* v = table.data() + static_cast<int64_t>(entity) * dim_;
-  float neg_dist = 0.0f;
-  kernels::NegSqDistRows(v, /*num=*/1, dim_, u,
-                         RelationVec(kg::Relation::kPurchase).data(),
-                         &neg_dist);
-  if (score_mode_ == ScoreMode::kEnsemble) {
-    return dot + ensemble_translation_weight_ * neg_dist;
-  }
-  return neg_dist;
+  return infer::ScoreUserEntity(View(), user, entity);
 }
 
 void EmbeddingStore::ScoreUserEntities(kg::EntityId user,
                                        std::span<const kg::EntityId> entities,
                                        std::span<float> out) const {
-  CADRL_CHECK_EQ(entities.size(), out.size());
-  if (entities.empty()) return;
-  const int num = static_cast<int>(entities.size());
-  std::vector<float>& scratch = ScratchRows();
-  if (score_mode_ == ScoreMode::kDotProduct ||
-      score_mode_ == ScoreMode::kEnsemble) {
-    GatherRows(entities_, dim_, entities, &scratch);
-    kernels::Gemv(scratch.data(), num, dim_, Entity(user).data(),
-                  out.data());
-    if (score_mode_ == ScoreMode::kDotProduct) return;
-  }
-  const std::vector<float>& table =
-      score_mode_ == ScoreMode::kTranslation
-          ? entities_
-          : (score_mode_ == ScoreMode::kDemandTranslation &&
-             !demand_entities_.empty())
-                ? demand_entities_
-                : raw_entities_;
-  const float* u = table.data() + static_cast<int64_t>(user) * dim_;
-  const float* r = RelationVec(kg::Relation::kPurchase).data();
-  GatherRows(table, dim_, entities, &scratch);
-  if (score_mode_ == ScoreMode::kEnsemble) {
-    // out already holds the dots; add the weighted translation term the
-    // same way the scalar path does (dot + w * neg_dist).
-    static thread_local std::vector<float> neg_dist;
-    neg_dist.resize(entities.size());
-    kernels::NegSqDistRows(scratch.data(), num, dim_, u, r, neg_dist.data());
-    for (int i = 0; i < num; ++i) {
-      out[static_cast<size_t>(i)] +=
-          ensemble_translation_weight_ * neg_dist[static_cast<size_t>(i)];
-    }
-    return;
-  }
-  kernels::NegSqDistRows(scratch.data(), num, dim_, u, r, out.data());
+  infer::ScoreUserEntities(View(), user, entities, out);
 }
 
 namespace {
@@ -282,21 +218,25 @@ Status EmbeddingStore::ReadFrom(std::istream& in) {
 
 float EmbeddingStore::UserCategoryAffinity(kg::EntityId user,
                                            kg::CategoryId c) const {
-  return kernels::Dot(Entity(user).data(), Category(c).data(), dim_);
+  return infer::UserCategoryAffinity(View(), user, c);
 }
 
 float UserScoreMemo::Score(kg::EntityId entity) {
-  CADRL_CHECK(mode_ == store_->score_mode())
-      << "UserScoreMemo used across a score-mode switch";
+  if (store_ != nullptr) {
+    CADRL_CHECK(mode_ == store_->score_mode())
+        << "UserScoreMemo used across a score-mode switch";
+  }
   const auto [it, inserted] = cache_.try_emplace(entity, 0.0f);
-  if (inserted) it->second = store_->ScoreUserEntity(user_, entity);
+  if (inserted) it->second = infer::ScoreUserEntity(view_, user_, entity);
   return it->second;
 }
 
 void UserScoreMemo::ScoreBatch(std::span<const kg::EntityId> entities,
                                std::span<float> out) {
-  CADRL_CHECK(mode_ == store_->score_mode())
-      << "UserScoreMemo used across a score-mode switch";
+  if (store_ != nullptr) {
+    CADRL_CHECK(mode_ == store_->score_mode())
+        << "UserScoreMemo used across a score-mode switch";
+  }
   CADRL_CHECK_EQ(entities.size(), out.size());
   miss_ids_.clear();
   miss_pos_.clear();
@@ -311,7 +251,7 @@ void UserScoreMemo::ScoreBatch(std::span<const kg::EntityId> entities,
   }
   if (miss_ids_.empty()) return;
   miss_scores_.resize(miss_ids_.size());
-  store_->ScoreUserEntities(user_, miss_ids_, miss_scores_);
+  infer::ScoreUserEntities(view_, user_, miss_ids_, miss_scores_);
   for (size_t i = 0; i < miss_ids_.size(); ++i) {
     cache_.emplace(miss_ids_[i], miss_scores_[i]);
     out[miss_pos_[i]] = miss_scores_[i];

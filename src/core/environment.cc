@@ -91,7 +91,8 @@ CategoryEnvironment::CategoryEnvironment(
 }
 
 std::vector<kg::CategoryId> CategoryEnvironment::ValidActions(
-    kg::EntityId user, kg::CategoryId current) const {
+    kg::EntityId user, kg::CategoryId current,
+    const infer::ScoringView* view) const {
   std::vector<kg::CategoryId> actions;
   actions.push_back(current);  // stay (self-loop)
   const auto neighbors = category_graph_->Neighbors(current);
@@ -105,7 +106,10 @@ std::vector<kg::CategoryId> CategoryEnvironment::ValidActions(
   std::vector<std::pair<float, kg::CategoryId>> scored;
   scored.reserve(neighbors.size());
   for (const kg::CategoryEdge& e : neighbors) {
-    scored.emplace_back(store_->UserCategoryAffinity(user, e.dst), e.dst);
+    const float affinity =
+        view != nullptr ? infer::UserCategoryAffinity(*view, user, e.dst)
+                        : store_->UserCategoryAffinity(user, e.dst);
+    scored.emplace_back(affinity, e.dst);
   }
   std::partial_sort(scored.begin(), scored.begin() + budget, scored.end(),
                     [](const auto& a, const auto& b) {

@@ -64,8 +64,12 @@ class CategoryEnvironment {
   CategoryEnvironment(const kg::CategoryGraph* category_graph,
                       const EmbeddingStore* store, int max_actions);
 
-  std::vector<kg::CategoryId> ValidActions(kg::EntityId user,
-                                           kg::CategoryId current) const;
+  // When `view` is non-null, user->category affinities are read from that
+  // scoring view (a frozen inference snapshot) instead of the live store;
+  // the pruning logic is identical either way.
+  std::vector<kg::CategoryId> ValidActions(
+      kg::EntityId user, kg::CategoryId current,
+      const infer::ScoringView* view = nullptr) const;
 
   int max_actions() const { return max_actions_; }
 

@@ -123,71 +123,54 @@ void SharedPolicyNetworks::EntityProbsBatch(
   CADRL_CHECK_EQ(action_matrix.rank(), 2);
   const int d = config_.dim;
   const int h = config_.hidden;
-  const int in1 = 3 * d + h;  // entity head input width
-  const int out2 = 2 * d;     // entity head output width
-  const int num_cond = static_cast<int>(conditions.size());
-  const int num_actions = static_cast<int>(action_matrix.rows());
-  CADRL_CHECK_EQ(action_matrix.cols(), out2);
+  CADRL_CHECK_EQ(action_matrix.cols(), 2 * d);
+  infer::EntityProbsBatchRaw(
+      ParamsView(),
+      std::span<const float>(state.ent.h.data(), static_cast<size_t>(h)),
+      std::span<const float>(current_ent.data(), static_cast<size_t>(d)),
+      std::span<const float>(last_rel.data(), static_cast<size_t>(d)),
+      conditions, action_matrix.data(),
+      static_cast<int>(action_matrix.rows()), probs);
+}
 
-  // Feature rows [ent ; rel ; condition_k ; h_e]: only the condition block
-  // differs across rows. condition_on_category=false mirrors the tape
-  // path's zero condition.
-  static thread_local std::vector<float> features;
-  features.assign(static_cast<size_t>(num_cond) * in1, 0.0f);
-  for (int row = 0; row < num_cond; ++row) {
-    float* f = features.data() + static_cast<size_t>(row) * in1;
-    std::copy(current_ent.data(), current_ent.data() + d, f);
-    std::copy(last_rel.data(), last_rel.data() + d, f + d);
-    if (config_.condition_on_category) {
-      const std::span<const float>& c = conditions[static_cast<size_t>(row)];
-      CADRL_CHECK_EQ(static_cast<int>(c.size()), d);
-      std::copy(c.begin(), c.end(), f + 2 * d);
-    }
-    std::copy(state.ent.h.data(), state.ent.h.data() + h, f + 3 * d);
-  }
+namespace {
 
-  // Head stack as three GEMMs. Each output element is the same kernel Dot
-  // the tape path computes (Linear::Forward is a row-dot GEMV), so every
-  // row stays bit-identical to the per-condition forward.
-  static thread_local std::vector<float> h1, h2;
-  h1.assign(static_cast<size_t>(num_cond) * h, 0.0f);
-  kernels::GemmNTAcc(features.data(), head1_e_->weight().data(), h1.data(),
-                     num_cond, h, in1);
-  const float* b1 = head1_e_->bias().data();
-  for (int row = 0; row < num_cond; ++row) {
-    float* out = h1.data() + static_cast<size_t>(row) * h;
-    for (int i = 0; i < h; ++i) {
-      out[i] += b1[i];
-      out[i] = std::max(0.0f, out[i]);  // mirror ag::Relu
-    }
-  }
-  h2.assign(static_cast<size_t>(num_cond) * out2, 0.0f);
-  kernels::GemmNTAcc(h1.data(), head2_e_->weight().data(), h2.data(),
-                     num_cond, out2, h);
-  const float* b2 = head2_e_->bias().data();
-  for (int row = 0; row < num_cond; ++row) {
-    float* out = h2.data() + static_cast<size_t>(row) * out2;
-    for (int i = 0; i < out2; ++i) out[i] += b2[i];
-  }
-  probs->assign(static_cast<size_t>(num_cond) * num_actions, 0.0f);
-  kernels::GemmNTAcc(h2.data(), action_matrix.data(), probs->data(),
-                     num_cond, num_actions, out2);
+infer::LinearView ViewOf(const ag::Linear& layer) {
+  infer::LinearView v;
+  v.weight = layer.weight().data();
+  v.bias = layer.bias().defined() ? layer.bias().data() : nullptr;
+  v.in = static_cast<int>(layer.in_features());
+  v.out = static_cast<int>(layer.out_features());
+  return v;
+}
 
-  // Per-row softmax in exactly ag::Softmax's order (sequential max scan,
-  // sequential denominator, then divide).
-  for (int row = 0; row < num_cond; ++row) {
-    float* p = probs->data() + static_cast<size_t>(row) * num_actions;
-    float max_logit = p[0];
-    for (int i = 1; i < num_actions; ++i) {
-      max_logit = std::max(max_logit, p[i]);
-    }
-    float denom = 0.0f;
-    for (int i = 0; i < num_actions; ++i) {
-      p[i] = std::exp(p[i] - max_logit);
-      denom += p[i];
-    }
-    for (int i = 0; i < num_actions; ++i) p[i] /= denom;
-  }
+infer::LstmView ViewOf(const ag::LstmCell& cell) {
+  infer::LstmView v;
+  v.w_input = cell.w_input().data();
+  v.w_hidden = cell.w_hidden().data();
+  v.bias = cell.bias().data();
+  v.in = static_cast<int>(cell.input_size());
+  v.hidden = static_cast<int>(cell.hidden_size());
+  return v;
+}
+
+}  // namespace
+
+infer::PolicyParamsView SharedPolicyNetworks::ParamsView() const {
+  infer::PolicyParamsView view;
+  view.dim = config_.dim;
+  view.hidden = config_.hidden;
+  view.share_history = config_.share_history;
+  view.condition_on_category = config_.condition_on_category;
+  view.lstm_c = ViewOf(*lstm_c_);
+  view.lstm_e = ViewOf(*lstm_e_);
+  view.mix_c = ViewOf(*mix_c_);
+  view.mix_e = ViewOf(*mix_e_);
+  view.head1_c = ViewOf(*head1_c_);
+  view.head2_c = ViewOf(*head2_c_);
+  view.head1_e = ViewOf(*head1_e_);
+  view.head2_e = ViewOf(*head2_e_);
+  return view;
 }
 
 }  // namespace core

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "autograd/module.h"
+#include "infer/policy_forward.h"
 #include "util/status.h"
 
 namespace cadrl {
@@ -101,6 +102,13 @@ class SharedPolicyNetworks : public ag::Module {
                         std::vector<float>* probs) const;
 
   const PolicyConfig& config() const { return config_; }
+
+  // Raw-buffer view of all parameters + config for the tape-free forwards
+  // in infer/ (same layout CompiledModel::Build copies into its arena).
+  // The view borrows this module's tensors — invalidated by optimizer
+  // steps only in value, never in shape, so it may be captured once per
+  // inference call.
+  infer::PolicyParamsView ParamsView() const;
 
  private:
   PolicyConfig config_;

@@ -48,5 +48,11 @@ Status Recommender::FindPaths(kg::EntityId user, int max_paths,
   return Status::OK();
 }
 
+Status Recommender::ReloadFromCheckpoint(const std::string& path) {
+  (void)path;
+  return Status::FailedPrecondition(name() +
+                                    " does not support live model reload");
+}
+
 }  // namespace eval
 }  // namespace cadrl

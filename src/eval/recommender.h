@@ -87,6 +87,14 @@ class Recommender {
   virtual Status FindPaths(kg::EntityId user, int max_paths,
                            const RequestContext& ctx,
                            std::vector<RecommendationPath>* out);
+
+  // Atomically swaps the model's serving state to the one persisted at
+  // `path` (e.g. a checkpoint a trainer just published) without pausing
+  // in-flight inference: requests already running finish on the state they
+  // started with, requests admitted after the call see the new one. Models
+  // that keep no swappable snapshot return kFailedPrecondition (the
+  // default) and keep serving their fitted state.
+  virtual Status ReloadFromCheckpoint(const std::string& path);
 };
 
 }  // namespace eval

@@ -1,0 +1,246 @@
+#include "infer/cggnn_forward.h"
+
+#include <algorithm>
+
+#include "util/elemwise.h"
+#include "util/kernels.h"
+#include "util/logging.h"
+
+namespace cadrl {
+namespace infer {
+
+namespace {
+
+// Row of the evolving representations for any entity: items read their
+// current row, other entities their frozen table row (Cggnn::EntityRow).
+const float* EntityRowOf(const CggnnView& v, const std::vector<float>& reps,
+                         kg::EntityId e) {
+  const int64_t pos = v.item_index[static_cast<size_t>(e)];
+  if (pos >= 0) return reps.data() + pos * v.dim;
+  return v.entity_table + static_cast<int64_t>(e) * v.dim;
+}
+
+// Eq 3 for one item (Cggnn::Propagate mirrored op-for-op): writes the
+// aggregated neighborhood contribution row into `out` (length d).
+void PropagateRaw(const CggnnView& v, int64_t item_pos, int layer,
+                  const std::vector<float>& reps, float* out) {
+  const int d = v.dim;
+  const int64_t begin = v.nb_offsets[item_pos];
+  const int64_t n = v.nb_offsets[item_pos + 1] - begin;
+  if (n == 0) {
+    std::fill(out, out + d, 0.0f);
+    return;
+  }
+  const float* self = reps.data() + item_pos * d;
+  const float* purchase_rel =
+      v.relation_table +
+      static_cast<int64_t>(kg::Relation::kPurchase) * d;
+  const int64_t split = v.incoming_count[item_pos];
+
+  // Stacked feature rows [self ; h_e ; h_r ; purchase] and message rows
+  // h_e * h_r (ag::Concat is a copy; ag::Mul is one loop per row).
+  static thread_local std::vector<float> feats, msgs;
+  feats.resize(static_cast<size_t>(n) * 4 * d);
+  msgs.resize(static_cast<size_t>(n) * d);
+  for (int64_t i = 0; i < n; ++i) {
+    const kg::EntityId e = v.nb_entities[begin + i];
+    const float* h_e = EntityRowOf(v, reps, e);
+    const float* h_r =
+        v.relation_table +
+        static_cast<int64_t>(v.nb_relations[begin + i]) * d;
+    float* f = feats.data() + static_cast<size_t>(i) * 4 * d;
+    std::copy(self, self + d, f);
+    std::copy(h_e, h_e + d, f + d);
+    std::copy(h_r, h_r + d, f + 2 * d);
+    std::copy(purchase_rel, purchase_rel + d, f + 3 * d);
+    elemwise::MulVec(h_e, h_r, msgs.data() + static_cast<size_t>(i) * d,
+                     static_cast<size_t>(d));
+  }
+
+  // Eqs 1-2: t = sigmoid(F W1^T); alpha = sigmoid(t W2^T + b).
+  static thread_local std::vector<float> t, alpha;
+  t.assign(static_cast<size_t>(n) * d, 0.0f);
+  kernels::GemmNTAcc(feats.data(), v.w1, t.data(), static_cast<int>(n), d,
+                     4 * d);
+  elemwise::SigmoidVec(t.data(), t.data(), static_cast<size_t>(n) * d);
+  alpha.assign(static_cast<size_t>(n), 0.0f);
+  kernels::GemmNTAcc(t.data(), v.w2_w, alpha.data(), static_cast<int>(n), 1,
+                     d);
+  elemwise::AddScalarVec(alpha.data(), v.w2_b[0], alpha.data(),
+                         static_cast<size_t>(n));
+  elemwise::SigmoidVec(alpha.data(), alpha.data(), static_cast<size_t>(n));
+
+  // Eq 3: each direction class through its weight in one GEMM, rows
+  // attention-scaled and summed.
+  static thread_local std::vector<float> m_dir, part1, part2;
+  int parts = 0;
+  if (split > 0) {
+    m_dir.assign(static_cast<size_t>(split) * d, 0.0f);
+    kernels::GemmNTAcc(msgs.data(), v.w_in[static_cast<size_t>(layer)],
+                       m_dir.data(), static_cast<int>(split), d, d);
+    elemwise::RowScaleMat(m_dir.data(), alpha.data(), m_dir.data(), split, d);
+    part1.assign(static_cast<size_t>(d), 0.0f);
+    elemwise::SumRowsAcc(m_dir.data(), part1.data(), split, d);
+    ++parts;
+  }
+  if (split < n) {
+    const int64_t rest = n - split;
+    m_dir.assign(static_cast<size_t>(rest) * d, 0.0f);
+    kernels::GemmNTAcc(msgs.data() + static_cast<size_t>(split) * d,
+                       v.w_out[static_cast<size_t>(layer)], m_dir.data(),
+                       static_cast<int>(rest), d, d);
+    elemwise::RowScaleMat(m_dir.data(), alpha.data() + split, m_dir.data(),
+                          rest, d);
+    std::vector<float>& part = parts == 0 ? part1 : part2;
+    part.assign(static_cast<size_t>(d), 0.0f);
+    elemwise::SumRowsAcc(m_dir.data(), part.data(), rest, d);
+    ++parts;
+  }
+  if (parts == 1) {
+    std::copy(part1.begin(), part1.end(), out);
+  } else {
+    elemwise::AddVec(part1.data(), part2.data(), out,
+                     static_cast<size_t>(d));
+  }
+}
+
+// Eqs 4-7 over all items at once (Cggnn::GatedFuseRows): N = stacked
+// contributions, S = stacked current reps; writes the fused matrix into
+// `out` (num_items x d). `out` must not alias N or S.
+void GatedFuseRaw(const CggnnView& v, const std::vector<float>& N,
+                  const std::vector<float>& S, std::vector<float>* out) {
+  const int d = v.dim;
+  const int m = static_cast<int>(v.num_items);
+  const size_t md = static_cast<size_t>(m) * d;
+  static thread_local std::vector<float> g1, g2, z, reset, rs, cand, keep, ta,
+      tb;
+  // Eq 4: z = sigmoid(N Wz1^T + S Wself^T).
+  g1.assign(md, 0.0f);
+  kernels::GemmNTAcc(N.data(), v.w_z1, g1.data(), m, d, d);
+  g2.assign(md, 0.0f);
+  kernels::GemmNTAcc(S.data(), v.w_self, g2.data(), m, d, d);
+  z.resize(md);
+  elemwise::AddVec(g1.data(), g2.data(), z.data(), md);
+  elemwise::SigmoidVec(z.data(), z.data(), md);
+  // Eq 5: reset gate.
+  g1.assign(md, 0.0f);
+  kernels::GemmNTAcc(N.data(), v.w_v1, g1.data(), m, d, d);
+  g2.assign(md, 0.0f);
+  kernels::GemmNTAcc(S.data(), v.w_v2, g2.data(), m, d, d);
+  reset.resize(md);
+  elemwise::AddVec(g1.data(), g2.data(), reset.data(), md);
+  elemwise::SigmoidVec(reset.data(), reset.data(), md);
+  // Eq 6: candidate = tanh(N Wvh1^T + (reset o S) Wvh2^T).
+  g1.assign(md, 0.0f);
+  kernels::GemmNTAcc(N.data(), v.w_vh1, g1.data(), m, d, d);
+  rs.resize(md);
+  elemwise::MulVec(reset.data(), S.data(), rs.data(), md);
+  g2.assign(md, 0.0f);
+  kernels::GemmNTAcc(rs.data(), v.w_vh2, g2.data(), m, d, d);
+  cand.resize(md);
+  elemwise::AddVec(g1.data(), g2.data(), cand.data(), md);
+  elemwise::TanhVec(cand.data(), cand.data(), md);
+  // Eq 7: (1 - z) o S + z o candidate.
+  keep.resize(md);
+  elemwise::MulScalarVec(z.data(), -1.0f, keep.data(), md);
+  elemwise::AddScalarVec(keep.data(), 1.0f, keep.data(), md);
+  ta.resize(md);
+  elemwise::MulVec(keep.data(), S.data(), ta.data(), md);
+  tb.resize(md);
+  elemwise::MulVec(z.data(), cand.data(), tb.data(), md);
+  out->resize(md);
+  elemwise::AddVec(ta.data(), tb.data(), out->data(), md);
+}
+
+}  // namespace
+
+void CggnnForward(const CggnnView& v, std::vector<float>* out) {
+  CADRL_CHECK(out != nullptr);
+  const int d = v.dim;
+  const int64_t m = v.num_items;
+  std::vector<float> reps(static_cast<size_t>(m) * d);
+  for (int64_t pos = 0; pos < m; ++pos) {
+    const float* src = v.entity_table + static_cast<int64_t>(v.items[pos]) * d;
+    std::copy(src, src + d, reps.data() + pos * d);
+  }
+  if (v.use_ggnn) {
+    std::vector<float> contributions(static_cast<size_t>(m) * d);
+    std::vector<float> fused;
+    for (int k = 0; k < v.ggnn_layers; ++k) {
+      for (int64_t pos = 0; pos < m; ++pos) {
+        PropagateRaw(v, pos, k, reps, contributions.data() + pos * d);
+      }
+      GatedFuseRaw(v, contributions, reps, &fused);
+      std::swap(reps, fused);
+    }
+  }
+  if (v.use_cgan && v.num_categories > 0) {
+    std::vector<float> cat_reps(static_cast<size_t>(v.num_categories) * d);
+    std::vector<float> next(static_cast<size_t>(m) * d);
+    std::vector<float> concat2(static_cast<size_t>(2) * d);
+    std::vector<float> betas, attention, wrow(static_cast<size_t>(d)),
+        ctx(static_cast<size_t>(d)), scaled(static_cast<size_t>(d));
+    for (int layer = 0; layer < v.cgan_layers; ++layer) {
+      // Category representations: mean of member item rows (ag::MeanRows:
+      // ascending Axpy accumulation then scale by 1/count).
+      for (int64_t c = 0; c < v.num_categories; ++c) {
+        float* crow = cat_reps.data() + c * d;
+        std::fill(crow, crow + d, 0.0f);
+        const int64_t mb = v.member_offsets[c];
+        const int64_t me = v.member_offsets[c + 1];
+        if (me == mb) continue;
+        for (int64_t i = mb; i < me; ++i) {
+          kernels::Axpy(d, 1.0f, reps.data() + v.member_pos[i] * d, crow);
+        }
+        const float inv = 1.0f / static_cast<float>(me - mb);
+        for (int i = 0; i < d; ++i) crow[i] *= inv;
+      }
+      for (int64_t pos = 0; pos < m; ++pos) {
+        const float* self = reps.data() + pos * d;
+        float* dst = next.data() + pos * d;
+        const int64_t cb = v.cat_offsets[pos];
+        const int64_t ce = v.cat_offsets[pos + 1];
+        if (ce == cb) {
+          std::copy(self, self + d, dst);
+          continue;
+        }
+        const int64_t ncats = ce - cb;
+        // Eqs 8-9: attention over neighboring categories. Each beta is the
+        // bias-free 1-row Linear over [self ; cat] through LeakyRelu.
+        betas.resize(static_cast<size_t>(ncats));
+        for (int64_t x = 0; x < ncats; ++x) {
+          const float* crow =
+              cat_reps.data() +
+              static_cast<int64_t>(v.cat_ids[cb + x]) * d;
+          std::copy(self, self + d, concat2.data());
+          std::copy(crow, crow + d, concat2.data() + d);
+          float b = 0.0f;
+          kernels::Gemv(v.w_ic, 1, 2 * d, concat2.data(), &b);
+          betas[static_cast<size_t>(x)] = b > 0.0f ? b : 0.01f * b;
+        }
+        attention.resize(static_cast<size_t>(ncats));
+        elemwise::SoftmaxVec(betas.data(), attention.data(), ncats);
+        // Eq 10: context = sum_x attention_x * cat_rep_x (ag::Scale rows
+        // accumulated in order through ag::AddN's unit Axpy).
+        std::fill(ctx.begin(), ctx.end(), 0.0f);
+        for (int64_t x = 0; x < ncats; ++x) {
+          const float* crow =
+              cat_reps.data() +
+              static_cast<int64_t>(v.cat_ids[cb + x]) * d;
+          elemwise::MulScalarVec(crow, attention[static_cast<size_t>(x)],
+                                 wrow.data(), static_cast<size_t>(d));
+          kernels::Axpy(d, 1.0f, wrow.data(), ctx.data());
+        }
+        // Eq 11: h = h~ + delta * context.
+        elemwise::MulScalarVec(ctx.data(), v.delta, scaled.data(),
+                               static_cast<size_t>(d));
+        elemwise::AddVec(self, scaled.data(), dst, static_cast<size_t>(d));
+      }
+      std::swap(reps, next);
+    }
+  }
+  *out = std::move(reps);
+}
+
+}  // namespace infer
+}  // namespace cadrl

@@ -1,0 +1,71 @@
+#ifndef CADRL_INFER_CGGNN_FORWARD_H_
+#define CADRL_INFER_CGGNN_FORWARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/graph.h"
+
+// Tape-free forward pass of the Category-aware GGNN (core::Cggnn,
+// Eqs 1-11). The graph structure comes in pre-flattened (offsets + flat
+// id arrays) and the parameters as raw pointers, so the forward touches no
+// ag::Tensor at all; every op mirrors the autograd composition one loop /
+// kernel call at a time and the output is byte-identical to
+// Cggnn::ComputeItemRepresentations (locked by a golden test).
+// Cggnn::FinalizeRepresentations is a thin caller of CggnnForward.
+namespace cadrl {
+namespace infer {
+
+// Non-owning view of everything the CGGNN forward needs. All arrays must
+// outlive the view.
+struct CggnnView {
+  int dim = 0;
+  int ggnn_layers = 0;
+  int cgan_layers = 0;
+  bool use_ggnn = true;
+  bool use_cgan = true;
+  float delta = 0.4f;
+
+  const float* entity_table = nullptr;    // num_entities x dim
+  const float* relation_table = nullptr;  // kNumRelations x dim
+
+  const kg::EntityId* items = nullptr;  // num_items item entity ids
+  int64_t num_items = 0;
+  const int64_t* item_index = nullptr;  // entity id -> item pos or -1
+  int64_t num_categories = 0;           // 0 disables the CGAN stage
+
+  // Sampled neighborhoods, flattened: item pos -> [nb_offsets[pos],
+  // nb_offsets[pos+1]) into the flat arrays; incoming neighbors first with
+  // incoming_count[pos] the split point (same invariant as Cggnn).
+  const int64_t* nb_offsets = nullptr;          // num_items + 1
+  const kg::Relation* nb_relations = nullptr;   // flat
+  const kg::EntityId* nb_entities = nullptr;    // flat
+  const int64_t* incoming_count = nullptr;      // num_items
+
+  // Neighboring categories per item and member item positions per
+  // category, flattened the same way.
+  const int64_t* cat_offsets = nullptr;      // num_items + 1
+  const kg::CategoryId* cat_ids = nullptr;   // flat
+  const int64_t* member_offsets = nullptr;   // num_categories + 1
+  const int64_t* member_pos = nullptr;       // flat item positions
+
+  // Weights (ag::Linear (out, in) row-major).
+  const float* w1 = nullptr;     // (d, 4d), Eq 1
+  const float* w2_w = nullptr;   // (1, d), Eq 2
+  const float* w2_b = nullptr;   // (1)
+  std::vector<const float*> w_in;   // per GGNN layer, (d, d)
+  std::vector<const float*> w_out;  // per GGNN layer, (d, d)
+  const float* w_z1 = nullptr, *w_self = nullptr;  // Eq 4
+  const float* w_v1 = nullptr, *w_v2 = nullptr;    // Eq 5
+  const float* w_vh1 = nullptr, *w_vh2 = nullptr;  // Eq 6
+  const float* w_ic = nullptr;   // (1, 2d), Eq 8
+};
+
+// Computes all item representations (num_items x dim, row-major) into
+// *out. Byte-identical to stacking Cggnn::ComputeItemRepresentations.
+void CggnnForward(const CggnnView& view, std::vector<float>* out);
+
+}  // namespace infer
+}  // namespace cadrl
+
+#endif  // CADRL_INFER_CGGNN_FORWARD_H_

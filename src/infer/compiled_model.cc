@@ -1,0 +1,114 @@
+#include "infer/compiled_model.h"
+
+#include <algorithm>
+
+#include "core/embedding_store.h"
+#include "core/policy.h"
+#include "kg/graph.h"
+#include "util/logging.h"
+
+namespace cadrl {
+namespace infer {
+
+namespace {
+
+// Appends `n` floats from `src` to the arena and returns the offset of the
+// copied block. The arena is pre-reserved by Build, so pointers handed out
+// after all copies stay stable.
+size_t Append(std::vector<float>* arena, const float* src, size_t n) {
+  const size_t off = arena->size();
+  arena->insert(arena->end(), src, src + n);
+  return off;
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledModel> CompiledModel::Build(
+    const core::EmbeddingStore& store,
+    const core::SharedPolicyNetworks& policy, float score_scale) {
+  const ScoringView sv = store.View();
+  const PolicyParamsView pv = policy.ParamsView();
+  const size_t dim = static_cast<size_t>(sv.dim);
+  const size_t ent_n = static_cast<size_t>(sv.num_entities) * dim;
+  const size_t rel_n = static_cast<size_t>(kg::kNumRelations + 1) * dim;
+  const size_t cat_n = static_cast<size_t>(sv.num_categories) * dim;
+
+  auto model = std::shared_ptr<CompiledModel>(new CompiledModel());
+  std::vector<float>& arena = model->arena_;
+
+  auto linear_size = [](const LinearView& l) {
+    return static_cast<size_t>(l.in) * l.out +
+           (l.bias != nullptr ? static_cast<size_t>(l.out) : 0);
+  };
+  auto lstm_size = [](const LstmView& l) {
+    return static_cast<size_t>(4) * l.hidden * (l.in + l.hidden + 1);
+  };
+  size_t total = ent_n * 2 + rel_n + cat_n;
+  if (sv.demand_entities != nullptr) total += ent_n;
+  total += lstm_size(pv.lstm_c) + lstm_size(pv.lstm_e);
+  for (const LinearView* l : {&pv.mix_c, &pv.mix_e, &pv.head1_c, &pv.head2_c,
+                              &pv.head1_e, &pv.head2_e}) {
+    total += linear_size(*l);
+  }
+  arena.reserve(total);
+
+  // --- Scoring tables ---
+  ScoringView& s = model->scoring_;
+  s = sv;  // copies dims, mode, ensemble weight
+  const size_t ent_off = Append(&arena, sv.entities, ent_n);
+  const size_t raw_off = Append(&arena, sv.raw_entities, ent_n);
+  size_t demand_off = 0;
+  const bool has_demand = sv.demand_entities != nullptr;
+  if (has_demand) demand_off = Append(&arena, sv.demand_entities, ent_n);
+  const size_t rel_off = Append(&arena, sv.relations, rel_n);
+  const size_t cat_off = Append(&arena, sv.categories, cat_n);
+
+  // --- Policy parameters ---
+  PolicyParamsView& p = model->policy_;
+  p = pv;  // copies dims + flags
+  auto copy_linear = [&](const LinearView& src, LinearView* dst) {
+    dst->in = src.in;
+    dst->out = src.out;
+    const size_t w_off = Append(
+        &arena, src.weight, static_cast<size_t>(src.in) * src.out);
+    size_t b_off = 0;
+    if (src.bias != nullptr) {
+      b_off = Append(&arena, src.bias, static_cast<size_t>(src.out));
+    }
+    // The arena was reserved to its exact final size, so data() is stable.
+    dst->weight = arena.data() + w_off;
+    dst->bias = src.bias != nullptr ? arena.data() + b_off : nullptr;
+  };
+  auto copy_lstm = [&](const LstmView& src, LstmView* dst) {
+    dst->in = src.in;
+    dst->hidden = src.hidden;
+    const size_t h4 = static_cast<size_t>(4) * src.hidden;
+    const size_t wi = Append(&arena, src.w_input, h4 * src.in);
+    const size_t wh = Append(&arena, src.w_hidden, h4 * src.hidden);
+    const size_t b = Append(&arena, src.bias, h4);
+    dst->w_input = arena.data() + wi;
+    dst->w_hidden = arena.data() + wh;
+    dst->bias = arena.data() + b;
+  };
+  copy_lstm(pv.lstm_c, &p.lstm_c);
+  copy_lstm(pv.lstm_e, &p.lstm_e);
+  copy_linear(pv.mix_c, &p.mix_c);
+  copy_linear(pv.mix_e, &p.mix_e);
+  copy_linear(pv.head1_c, &p.head1_c);
+  copy_linear(pv.head2_c, &p.head2_c);
+  copy_linear(pv.head1_e, &p.head1_e);
+  copy_linear(pv.head2_e, &p.head2_e);
+
+  CADRL_CHECK_EQ(arena.size(), total) << "arena size mismatch";
+  s.entities = arena.data() + ent_off;
+  s.raw_entities = arena.data() + raw_off;
+  s.demand_entities = has_demand ? arena.data() + demand_off : nullptr;
+  s.relations = arena.data() + rel_off;
+  s.categories = arena.data() + cat_off;
+
+  model->score_scale_ = score_scale;
+  return model;
+}
+
+}  // namespace infer
+}  // namespace cadrl

@@ -1,0 +1,60 @@
+#ifndef CADRL_INFER_COMPILED_MODEL_H_
+#define CADRL_INFER_COMPILED_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "infer/policy_forward.h"
+#include "infer/scoring.h"
+
+namespace cadrl {
+namespace core {
+class EmbeddingStore;
+class SharedPolicyNetworks;
+}  // namespace core
+
+namespace infer {
+
+// A frozen, tape-free inference snapshot: every parameter the serving path
+// needs — the embedding tables and both agents' policy parameters —
+// flattened out of ag::Tensor into one contiguous immutable arena, plus
+// the views the compiled forwards (scoring.h / policy_forward.h) read.
+// Instances are immutable after Build and shared by std::shared_ptr, which
+// is what makes RCU-style hot swap safe: a reader that grabbed the pointer
+// keeps a complete consistent model alive for the whole request while a
+// writer publishes a new snapshot (DESIGN.md §12).
+//
+// CGGNN weights are deliberately NOT part of the serving arena: the GNN
+// runs at train/load time and its outputs are already baked into the
+// store's item rows, which Build copies. The compiled CGGNN forward
+// (cggnn_forward.h) exists for that bake step, not for per-request work.
+class CompiledModel {
+ public:
+  CompiledModel(const CompiledModel&) = delete;
+  CompiledModel& operator=(const CompiledModel&) = delete;
+
+  // Deep-copies all tables and parameters out of the live store/policy
+  // into the arena. The sources may be mutated or destroyed afterwards.
+  static std::shared_ptr<const CompiledModel> Build(
+      const core::EmbeddingStore& store,
+      const core::SharedPolicyNetworks& policy, float score_scale);
+
+  const ScoringView& scoring() const { return scoring_; }
+  const PolicyParamsView& policy() const { return policy_; }
+  float score_scale() const { return score_scale_; }
+  // Total parameter floats held by the arena (bench/diagnostics).
+  size_t arena_size() const { return arena_.size(); }
+
+ private:
+  CompiledModel() = default;
+
+  std::vector<float> arena_;  // single allocation; views point into it
+  ScoringView scoring_;
+  PolicyParamsView policy_;
+  float score_scale_ = 1.0f;
+};
+
+}  // namespace infer
+}  // namespace cadrl
+
+#endif  // CADRL_INFER_COMPILED_MODEL_H_

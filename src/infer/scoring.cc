@@ -1,0 +1,104 @@
+#include "infer/scoring.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/kernels.h"
+#include "util/logging.h"
+
+namespace cadrl {
+namespace infer {
+
+namespace {
+
+// Per-thread gather buffer for batched scoring: candidate rows are packed
+// contiguously so one fused kernel call scores the whole action set.
+std::vector<float>& ScratchRows() {
+  static thread_local std::vector<float> scratch;
+  return scratch;
+}
+
+void GatherRows(const float* table, int dim,
+                std::span<const kg::EntityId> ids, std::vector<float>* out) {
+  out->resize(ids.size() * static_cast<size_t>(dim));
+  float* dst = out->data();
+  for (const kg::EntityId id : ids) {
+    const float* src = table + static_cast<int64_t>(id) * dim;
+    std::copy(src, src + dim, dst);
+    dst += dim;
+  }
+}
+
+// Translation term table selection: kTranslation scores the current
+// (possibly edited) rows; kEnsemble deliberately uses the untouched TransE
+// rows so the two terms stay independent signals.
+const float* TranslationTable(const ScoringView& view) {
+  if (view.mode == ScoreMode::kTranslation) return view.entities;
+  if (view.mode == ScoreMode::kDemandTranslation &&
+      view.demand_entities != nullptr) {
+    return view.demand_entities;
+  }
+  return view.raw_entities;
+}
+
+}  // namespace
+
+float ScoreUserEntity(const ScoringView& view, kg::EntityId user,
+                      kg::EntityId entity) {
+  float dot = 0.0f;
+  if (view.mode == ScoreMode::kDotProduct || view.mode == ScoreMode::kEnsemble) {
+    dot = kernels::Dot(view.EntityRow(user), view.EntityRow(entity), view.dim);
+    if (view.mode == ScoreMode::kDotProduct) return dot;
+  }
+  const float* table = TranslationTable(view);
+  const float* u = table + static_cast<int64_t>(user) * view.dim;
+  const float* v = table + static_cast<int64_t>(entity) * view.dim;
+  float neg_dist = 0.0f;
+  kernels::NegSqDistRows(v, /*num=*/1, view.dim, u,
+                         view.RelationRow(kg::Relation::kPurchase), &neg_dist);
+  if (view.mode == ScoreMode::kEnsemble) {
+    return dot + view.ensemble_weight * neg_dist;
+  }
+  return neg_dist;
+}
+
+void ScoreUserEntities(const ScoringView& view, kg::EntityId user,
+                       std::span<const kg::EntityId> entities,
+                       std::span<float> out) {
+  CADRL_CHECK_EQ(entities.size(), out.size());
+  if (entities.empty()) return;
+  const int num = static_cast<int>(entities.size());
+  std::vector<float>& scratch = ScratchRows();
+  if (view.mode == ScoreMode::kDotProduct || view.mode == ScoreMode::kEnsemble) {
+    GatherRows(view.entities, view.dim, entities, &scratch);
+    kernels::Gemv(scratch.data(), num, view.dim, view.EntityRow(user),
+                  out.data());
+    if (view.mode == ScoreMode::kDotProduct) return;
+  }
+  const float* table = TranslationTable(view);
+  const float* u = table + static_cast<int64_t>(user) * view.dim;
+  const float* r = view.RelationRow(kg::Relation::kPurchase);
+  GatherRows(table, view.dim, entities, &scratch);
+  if (view.mode == ScoreMode::kEnsemble) {
+    // out already holds the dots; add the weighted translation term the
+    // same way the scalar path does (dot + w * neg_dist).
+    static thread_local std::vector<float> neg_dist;
+    neg_dist.resize(entities.size());
+    kernels::NegSqDistRows(scratch.data(), num, view.dim, u, r,
+                           neg_dist.data());
+    for (int i = 0; i < num; ++i) {
+      out[static_cast<size_t>(i)] +=
+          view.ensemble_weight * neg_dist[static_cast<size_t>(i)];
+    }
+    return;
+  }
+  kernels::NegSqDistRows(scratch.data(), num, view.dim, u, r, out.data());
+}
+
+float UserCategoryAffinity(const ScoringView& view, kg::EntityId user,
+                           kg::CategoryId c) {
+  return kernels::Dot(view.EntityRow(user), view.CategoryRow(c), view.dim);
+}
+
+}  // namespace infer
+}  // namespace cadrl

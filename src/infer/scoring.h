@@ -1,0 +1,74 @@
+#ifndef CADRL_INFER_SCORING_H_
+#define CADRL_INFER_SCORING_H_
+
+#include <cstdint>
+#include <span>
+
+#include "kg/graph.h"
+
+// Tape-free embedding scoring: the single implementation of user->entity
+// plausibility and user->category affinity, parameterized over a raw-buffer
+// view of the embedding tables. core::EmbeddingStore and the compiled
+// inference snapshot (infer::CompiledModel) are both thin callers of these
+// free functions, so the formulas exist exactly once and byte-identity
+// between the training-side store and the serving-side snapshot is
+// structural, not coincidental.
+namespace cadrl {
+namespace infer {
+
+// Mirrors core::EmbeddingStore::ScoreMode (the store aliases this enum, so
+// the serialized integer values are shared by construction).
+enum class ScoreMode {
+  kTranslation,      // -||u + r_p - v||^2 over current (editable) rows
+  kDotProduct,       // u . v over current rows (CGGNN BPR objective)
+  kEnsemble,         // dot - w * raw translation distance
+  kRawTranslation,   // translation over the untouched TransE rows
+  kDemandTranslation // raw translation with demand-fused user rows
+};
+
+// Non-owning view over the embedding tables a scoring call needs. All
+// pointers must outlive the view; `demand_entities` may be null (absent
+// demand table — falls back to the raw rows like the store does).
+struct ScoringView {
+  int dim = 0;
+  ScoreMode mode = ScoreMode::kTranslation;
+  float ensemble_weight = 0.5f;
+  const float* entities = nullptr;        // num_entities x dim
+  const float* raw_entities = nullptr;    // num_entities x dim
+  const float* demand_entities = nullptr; // num_entities x dim or null
+  const float* relations = nullptr;  // (kNumRelations + 1) x dim; last = loop
+  const float* categories = nullptr;      // num_categories x dim
+  int64_t num_entities = 0;
+  int64_t num_categories = 0;
+
+  const float* EntityRow(kg::EntityId e) const {
+    return entities + static_cast<int64_t>(e) * dim;
+  }
+  const float* RelationRow(kg::Relation r) const {
+    return relations + static_cast<int64_t>(r) * dim;
+  }
+  const float* CategoryRow(kg::CategoryId c) const {
+    return categories + static_cast<int64_t>(c) * dim;
+  }
+};
+
+// TransE-style user->entity plausibility under the view's score mode.
+// Bit-identical to the batched form below for every mode.
+float ScoreUserEntity(const ScoringView& view, kg::EntityId user,
+                      kg::EntityId entity);
+
+// Batched ScoreUserEntity: gathers the candidate rows into a per-thread
+// scratch buffer and scores the whole set with one fused kernel call per
+// term. out[i] == ScoreUserEntity(view, user, entities[i]) bit-for-bit.
+void ScoreUserEntities(const ScoringView& view, kg::EntityId user,
+                       std::span<const kg::EntityId> entities,
+                       std::span<float> out);
+
+// Dot-product similarity of user and category vectors (category pruning).
+float UserCategoryAffinity(const ScoringView& view, kg::EntityId user,
+                           kg::CategoryId c);
+
+}  // namespace infer
+}  // namespace cadrl
+
+#endif  // CADRL_INFER_SCORING_H_

@@ -187,6 +187,15 @@ ServeResponse RecommendService::Recommend(kg::EntityId user, int k,
   return Submit(req).get();
 }
 
+Status RecommendService::ReloadFromCheckpoint(const std::string& path) {
+  const Status status = model_->ReloadFromCheckpoint(path);
+  if (status.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.reloads;
+  }
+  return status;
+}
+
 void RecommendService::WorkerLoop() {
   for (;;) {
     Pending pending;

@@ -139,6 +139,15 @@ class RecommendService {
                           std::chrono::microseconds timeout =
                               std::chrono::microseconds{0});
 
+  // Hot-swaps the model's serving snapshot to the checkpoint at `path`
+  // while the service keeps running: the model-level RCU swap guarantees
+  // requests already in flight finish on the snapshot they started with
+  // and no request ever observes a torn model (serve_chaos_test locks this
+  // in under concurrent load). Returns the model's status — e.g.
+  // kFailedPrecondition for models without live reload, kCorruption for a
+  // bad checkpoint — and leaves the old snapshot serving on any failure.
+  Status ReloadFromCheckpoint(const std::string& path);
+
   struct Stats {
     int64_t requests = 0;
     int64_t full = 0;
@@ -148,6 +157,7 @@ class RecommendService {
     int64_t load_shed = 0;
     int64_t retries = 0;             // extra primary attempts beyond the first
     int64_t breaker_rejections = 0;  // primary attempts skipped: breaker open
+    int64_t reloads = 0;             // successful snapshot hot-swaps
   };
   Stats stats() const;
 

@@ -1,0 +1,12 @@
+#include "util/alloc_stats.h"
+
+namespace cadrl {
+namespace util {
+
+int64_t& TensorGraphAllocs() {
+  thread_local int64_t count = 0;
+  return count;
+}
+
+}  // namespace util
+}  // namespace cadrl

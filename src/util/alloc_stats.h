@@ -1,0 +1,33 @@
+#ifndef CADRL_UTIL_ALLOC_STATS_H_
+#define CADRL_UTIL_ALLOC_STATS_H_
+
+#include <cstdint>
+
+// Lightweight per-thread tensor-graph allocation accounting. Every
+// ag::TensorImpl construction bumps a thread-local counter, so a caller can
+// bracket a region and prove that it allocates no autograd graph nodes —
+// the contract the compiled inference path (src/infer/) lives by. Only
+// TensorImpl constructions are counted; plain std::vector scratch is free.
+namespace cadrl {
+namespace util {
+
+// The running count of ag::TensorImpl constructions on this thread.
+int64_t& TensorGraphAllocs();
+
+inline void NoteTensorAlloc() { ++TensorGraphAllocs(); }
+
+// Brackets a region: delta() is the number of tensor-graph allocations on
+// this thread since the scope was opened.
+class TensorAllocScope {
+ public:
+  TensorAllocScope() : start_(TensorGraphAllocs()) {}
+  int64_t delta() const { return TensorGraphAllocs() - start_; }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace util
+}  // namespace cadrl
+
+#endif  // CADRL_UTIL_ALLOC_STATS_H_

@@ -1,0 +1,117 @@
+#ifndef CADRL_UTIL_ELEMWISE_H_
+#define CADRL_UTIL_ELEMWISE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/kernels.h"
+
+// Shared scalar element-wise forward primitives. These are the single source
+// of truth for the per-element formulas used by BOTH the autograd forwards
+// (autograd/ops.cc) and the tape-free compiled forwards (infer/). Each
+// function is exactly one loop that writes its result through memory, which
+// pins f32 rounding at every statement: the byte-identity contract between
+// the two call sites holds because they inline the very same loop, not a
+// re-derivation of it. Keep every body a single loop per mirrored op — do
+// not fuse two of these into one pass (FMA contraction across statements
+// would change the bits).
+namespace cadrl {
+namespace elemwise {
+
+inline void AddVec(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+inline void SubVec(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+inline void MulVec(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+inline void MulScalarVec(const float* a, float c, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] * c;
+}
+
+inline void AddScalarVec(const float* a, float c, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] + c;
+}
+
+inline void SigmoidVec(const float* a, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const float x = a[i];
+    // Branch for numerical stability on large |x|.
+    out[i] = x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                       : std::exp(x) / (1.0f + std::exp(x));
+  }
+}
+
+inline void TanhVec(const float* a, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = std::tanh(a[i]);
+}
+
+inline void ReluVec(const float* a, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = std::max(0.0f, a[i]);
+}
+
+inline void LeakyReluVec(const float* a, float negative_slope, float* out,
+                         size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const float x = a[i];
+    out[i] = x > 0.0f ? x : negative_slope * x;
+  }
+}
+
+inline void ExpVec(const float* a, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = std::exp(a[i]);
+}
+
+// out[i*d..] = m[i*d..] * s[i] for each of `rows` rows.
+inline void RowScaleMat(const float* m, const float* s, float* out,
+                        int64_t rows, int64_t d) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const float sv = s[i];
+    const float* src = m + i * d;
+    float* dst = out + i * d;
+    for (int64_t j = 0; j < d; ++j) dst[j] = src[j] * sv;
+  }
+}
+
+// Accumulates the row sum of an (rows x d) matrix into `out` (length d).
+// `out` must be zeroed by the caller; rows are added in ascending order
+// through the fixed-lane kernel reduction, matching ag::SumRows.
+inline void SumRowsAcc(const float* m, float* out, int64_t rows, int64_t d) {
+  for (int64_t i = 0; i < rows; ++i) {
+    kernels::Axpy(static_cast<int>(d), 1.0f, m + i * d, out);
+  }
+}
+
+// Numerically-stable softmax, element order identical to ag::Softmax.
+inline void SoftmaxVec(const float* logits, float* out, int64_t n) {
+  float max_logit = logits[0];
+  for (int64_t i = 1; i < n; ++i) max_logit = std::max(max_logit, logits[i]);
+  float denom = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = std::exp(logits[i] - max_logit);
+    denom += out[i];
+  }
+  for (int64_t i = 0; i < n; ++i) out[i] /= denom;
+}
+
+// Log-softmax, element order identical to ag::LogSoftmax.
+inline void LogSoftmaxVec(const float* logits, float* out, int64_t n) {
+  float max_logit = logits[0];
+  for (int64_t i = 1; i < n; ++i) max_logit = std::max(max_logit, logits[i]);
+  float denom = 0.0f;
+  for (int64_t i = 0; i < n; ++i) denom += std::exp(logits[i] - max_logit);
+  const float log_denom = std::log(denom) + max_logit;
+  for (int64_t i = 0; i < n; ++i) out[i] = logits[i] - log_denom;
+}
+
+}  // namespace elemwise
+}  // namespace cadrl
+
+#endif  // CADRL_UTIL_ELEMWISE_H_

@@ -16,7 +16,9 @@
 // workload (`ctest -L tsan`); any unguarded shared state in the service
 // shows up as a TSan report or a determinism mismatch.
 
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <future>
 #include <map>
 #include <string>
@@ -318,7 +320,125 @@ TEST_F(ServeChaosTest, BurstAgainstSlowModelShedsButAnswersEverything) {
   service.Stop();
 }
 
-// --- 4. Breaker transitions match the golden trace ----------------------
+// --- 4. Snapshot hot-swap under concurrent load -------------------------
+
+// DESIGN.md §12 acceptance: ReloadFromCheckpoint swaps the compiled
+// inference snapshot while clients hammer the service, and no request ever
+// fails or observes a torn model — every answer is byte-identical to one of
+// the two checkpoints, never a mixture.
+TEST_F(ServeChaosTest, SnapshotSwapUnderLoad) {
+  // Two fully trained models with identical shapes but different weights,
+  // checkpointed to disk. Model `serving` starts on A and is swapped
+  // between A and B while requests are in flight.
+  core::CadrlOptions opts_b = ChaosModelOptions();
+  opts_b.seed = 131;
+  core::CadrlRecommender model_b(opts_b);
+  ASSERT_TRUE(model_b.Fit(*dataset_).ok());
+
+  const std::string path_a = ::testing::TempDir() + "/chaos_swap_a.bin";
+  const std::string path_b = ::testing::TempDir() + "/chaos_swap_b.bin";
+  ASSERT_TRUE(model_->SaveModel(path_a).ok());
+  ASSERT_TRUE(model_b.SaveModel(path_b).ok());
+
+  core::CadrlRecommender serving(ChaosModelOptions());
+  ASSERT_TRUE(serving.LoadModel(*dataset_, path_a).ok());
+
+  // Golden answers per user under each checkpoint (compiled inference is
+  // deterministic, so these are the only two byte patterns allowed). The
+  // two models must actually disagree somewhere, or the test is vacuous.
+  constexpr int kTopK = 5;
+  auto fingerprint = [](const std::vector<eval::Recommendation>& recs) {
+    std::vector<std::tuple<kg::EntityId, double, size_t>> fp;
+    fp.reserve(recs.size());
+    for (const auto& r : recs) {
+      fp.emplace_back(r.item, r.score, r.path.steps.size());
+    }
+    return fp;
+  };
+  std::map<kg::EntityId,
+           std::vector<std::tuple<kg::EntityId, double, size_t>>>
+      golden_a, golden_b;
+  bool models_differ = false;
+  for (kg::EntityId user : dataset_->users) {
+    golden_a[user] = fingerprint(model_->Recommend(user, kTopK));
+    golden_b[user] = fingerprint(model_b.Recommend(user, kTopK));
+    models_differ = models_differ || golden_a[user] != golden_b[user];
+  }
+  ASSERT_TRUE(models_differ)
+      << "checkpoints A and B are indistinguishable; swap test is vacuous";
+
+  ServeOptions options;
+  options.threads = 4;
+  options.queue_capacity = 1024;  // no shedding: every answer must be kFull
+  options.max_attempts = 1;
+  options.breaker_failure_threshold = 0;
+  options.top_k = kTopK;
+  RecommendService service(&serving, *dataset_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  // Reloader thread alternates A/B as fast as it can while 4 client
+  // threads stream requests with no deadline.
+  std::atomic<bool> done{false};
+  std::thread reloader([&] {
+    bool to_b = true;
+    while (!done.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(
+          service.ReloadFromCheckpoint(to_b ? path_b : path_a).ok());
+      to_b = !to_b;
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 32;
+  std::vector<std::vector<std::pair<kg::EntityId, std::future<ServeResponse>>>>
+      futures(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      futures[c].reserve(kRequestsPerClient);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        ServeRequest req;
+        req.user = dataset_->users[(static_cast<size_t>(c) * 5 + i) %
+                                   dataset_->users.size()];
+        req.k = kTopK;
+        req.timeout = kNoDeadline;
+        futures[c].emplace_back(req.user, service.Submit(req));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  int from_a = 0, from_b = 0;
+  for (auto& per_client : futures) {
+    for (auto& [user, f] : per_client) {
+      const ServeResponse resp = f.get();
+      // No faults, no deadline, no shedding: every request must succeed at
+      // full quality on whichever snapshot it started with.
+      ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+      ASSERT_EQ(resp.level, DegradationLevel::kFull);
+      const auto fp = fingerprint(resp.recs);
+      if (fp == golden_a[user]) {
+        ++from_a;
+      } else if (fp == golden_b[user]) {
+        ++from_b;
+      } else {
+        FAIL() << "torn response for user " << user
+               << ": matches neither checkpoint A nor B";
+      }
+    }
+  }
+  done.store(true, std::memory_order_relaxed);
+  reloader.join();
+  service.Stop();
+
+  EXPECT_EQ(from_a + from_b, kClients * kRequestsPerClient);
+  EXPECT_GT(service.stats().reloads, 0) << "the swap loop never swapped";
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+// --- 5. Breaker transitions match the golden trace ----------------------
 
 TEST_F(ServeChaosTest, BreakerTransitionsMatchGoldenTrace) {
   CircuitBreaker::Clock::time_point now{};

@@ -358,6 +358,96 @@ void RunServeLatency(BenchJson& json) {
   table.Print(std::cout);
 }
 
+// Throughput-vs-concurrency curve for cross-request micro-batching
+// (DESIGN.md §13): closed-loop clients (each submits, waits, repeats)
+// against the same service with the batcher off and on. The batched column
+// amortizes the policy-head GEMMs across concurrent requests' beam steps,
+// so its throughput curve should flatten later as concurrency grows; on a
+// single-core machine the curve mainly shows the constant-factor effect,
+// since all stacking and all clients share one core. Answers are
+// byte-identical either way — the batch_scheduler_test suite holds that
+// line, so this harness only reports time.
+void RunBatchingConcurrency(BenchJson& json) {
+  const BenchConfig config = BenchConfig::FromEnv();
+  data::Dataset dataset = MakeDatasetByName("Beauty");
+  auto model = baselines::MakeCadrlForDataset(config.budget, "Beauty");
+  CADRL_CHECK_OK(model->Fit(dataset));
+
+  TablePrinter table(
+      "Micro-batching throughput vs concurrency: CADRL on Beauty, "
+      "closed-loop clients, batcher off vs on (max_batch=8, linger=100us)");
+  table.SetHeader({"Mode/Clients", "req/s", "p50(ms)", "p95(ms)",
+                   "mean batch", "flushes"});
+
+  constexpr int kRequestsPerClient = 24;
+  for (const bool batched : {false, true}) {
+    for (const int concurrency : {1, 2, 4, 8}) {
+      serve::ServeOptions options;
+      // Workers >= clients so queueing never caps the curve: the measured
+      // quantity is inference + (when on) staging-buffer time.
+      options.threads = std::max(4, concurrency);
+      options.queue_capacity = 1024;
+      options.batch_max = batched ? 8 : 0;
+      options.batch_linger = std::chrono::microseconds{100};
+      serve::RecommendService service(model.get(), dataset, options);
+      CADRL_CHECK_OK(service.Start());
+
+      std::vector<std::vector<double>> latencies(
+          static_cast<size_t>(concurrency));
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> clients;
+      for (int c = 0; c < concurrency; ++c) {
+        clients.emplace_back([&, c] {
+          latencies[static_cast<size_t>(c)].reserve(kRequestsPerClient);
+          for (int i = 0; i < kRequestsPerClient; ++i) {
+            serve::ServeRequest req;
+            req.user = dataset.users[static_cast<size_t>(
+                c * kRequestsPerClient + i) % dataset.users.size()];
+            req.timeout = std::chrono::microseconds{-1};  // no deadline
+            const serve::ServeResponse resp = service.Submit(req).get();
+            latencies[static_cast<size_t>(c)].push_back(resp.latency_ms);
+          }
+        });
+      }
+      for (std::thread& t : clients) t.join();
+      const double wall_s = std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - t0).count();
+      service.Stop();
+
+      std::vector<double> all;
+      for (auto& per_client : latencies) {
+        all.insert(all.end(), per_client.begin(), per_client.end());
+      }
+      const double req_per_s =
+          static_cast<double>(all.size()) / wall_s;
+      const double p50 = PercentileMs(&all, 0.50);
+      const double p95 = PercentileMs(&all, 0.95);
+      const serve::RecommendService::Stats stats = service.stats();
+      const double mean_batch =
+          stats.batch_flushes > 0
+              ? static_cast<double>(stats.batched_steps) /
+                    static_cast<double>(stats.batch_flushes)
+              : 0.0;
+
+      const std::string mode = batched ? "on" : "off";
+      table.AddRow({mode + "/c" + std::to_string(concurrency),
+                    TablePrinter::Fmt(req_per_s, 1),
+                    TablePrinter::Fmt(p50, 3), TablePrinter::Fmt(p95, 3),
+                    TablePrinter::Fmt(mean_batch, 2),
+                    std::to_string(stats.batch_flushes)});
+      const std::string key =
+          "batching/" + mode + "/c" + std::to_string(concurrency);
+      json.Set(key + "/req_per_s", req_per_s);
+      json.Set(key + "/p50_ms", p50);
+      json.Set(key + "/p95_ms", p95);
+      json.Set(key + "/mean_batch", mean_batch);
+      std::cerr << "batching / " << mode << " c=" << concurrency << " done"
+                << std::endl;
+    }
+  }
+  table.Print(std::cout);
+}
+
 // A google-benchmark microbenchmark of the per-user inference step, the
 // operation Table III normalizes: registered so `--benchmark_filter` users
 // can drill into single-model latencies.
@@ -388,6 +478,7 @@ int main(int argc, char** argv) {
   cadrl::bench::RunParallelScaling(json);
   cadrl::bench::RunCompiledVsTape(json);
   cadrl::bench::RunServeLatency(json);
+  cadrl::bench::RunBatchingConcurrency(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

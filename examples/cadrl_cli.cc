@@ -13,6 +13,7 @@
 //              [--requests N] [--timeout_ms N] [--fail_p P]
 //              [--latency_us N] [--latency_p P] [--seed S]
 //              [--reload_from <model-path>] [--reload_every_ms N]
+//              [--batch_max N] [--batch_linger_us N]
 
 #include <algorithm>
 #include <atomic>
@@ -80,7 +81,16 @@ int Usage() {
          " on the old model\n"
          "  --reload_every_ms N     serve: reload period in ms (default 200;"
          " needs\n"
-         "                          --reload_from)\n";
+         "                          --reload_from)\n"
+         "  --batch_max N           serve: micro-batch up to N concurrent"
+         " requests'\n"
+         "                          beam steps per stacked dispatch (default"
+         " 0 = off;\n"
+         "                          results are byte-identical either way)\n"
+         "  --batch_linger_us N     serve: longest a parked step waits for"
+         " peers\n"
+         "                          (default 200; a lone request never"
+         " waits)\n";
   return 2;
 }
 
@@ -287,6 +297,8 @@ struct ServeFlags {
   uint64_t seed = 11;
   std::string reload_from;
   int reload_every_ms = 200;
+  int batch_max = 0;  // <= 1 serves unbatched
+  int batch_linger_us = 200;
 };
 
 bool ParseServeFlags(std::vector<std::string>* args, ServeFlags* flags) {
@@ -313,6 +325,10 @@ bool ParseServeFlags(std::vector<std::string>* args, ServeFlags* flags) {
       flags->reload_from = v;
     } else if (a == "--reload_every_ms" && (v = next_value(&i))) {
       flags->reload_every_ms = std::atoi(v);
+    } else if (a == "--batch_max" && (v = next_value(&i))) {
+      flags->batch_max = std::atoi(v);
+    } else if (a == "--batch_linger_us" && (v = next_value(&i))) {
+      flags->batch_linger_us = std::atoi(v);
     } else if (a.rfind("--", 0) == 0) {
       std::cerr << "unknown or incomplete flag: " << a << "\n";
       return false;
@@ -322,7 +338,8 @@ bool ParseServeFlags(std::vector<std::string>* args, ServeFlags* flags) {
   }
   if (flags->requests < 1 || flags->fail_p < 0.0 || flags->fail_p > 1.0 ||
       flags->latency_p < 0.0 || flags->latency_p > 1.0 ||
-      flags->latency_us < 0 || flags->reload_every_ms < 1) {
+      flags->latency_us < 0 || flags->reload_every_ms < 1 ||
+      flags->batch_max < 0 || flags->batch_linger_us < 0) {
     std::cerr << "serve flag out of range\n";
     return false;
   }
@@ -366,6 +383,8 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
   options.threads = threads;
   options.default_timeout = std::chrono::milliseconds{flags.timeout_ms};
   options.seed = flags.seed;
+  options.batch_max = flags.batch_max;
+  options.batch_linger = std::chrono::microseconds{flags.batch_linger_us};
   serve::RecommendService service(model.get(), dataset, options);
   if (const Status s = service.Start(); !s.ok()) {
     std::cerr << "error starting service: " << s.ToString() << "\n";
@@ -383,6 +402,10 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
   if (!flags.reload_from.empty()) {
     std::cout << ", reloading " << flags.reload_from << " every "
               << flags.reload_every_ms << "ms";
+  }
+  if (service.batching_enabled()) {
+    std::cout << ", micro-batching max=" << flags.batch_max << " linger="
+              << flags.batch_linger_us << "us";
   }
   std::cout << ")...\n";
 
@@ -450,6 +473,14 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
   if (!flags.reload_from.empty()) {
     std::cout << "model reloads: " << stats.reloads << " succeeded, "
               << reload_failures << " failed\n";
+  }
+  if (service.batching_enabled()) {
+    const serve::BatchScheduler::Stats batch = service.batch_stats();
+    std::cout << "micro-batching: " << batch.steps << " steps in "
+              << batch.flushes << " flushes (max batch "
+              << batch.max_batch_observed << ", forced "
+              << batch.forced_flushes << ", linger p95 ~"
+              << batch.linger_p95_us << "us)\n";
   }
   for (int level = 0; level < 4; ++level) {
     auto& lat = latencies[static_cast<size_t>(level)];

@@ -8,6 +8,7 @@
 
 #include "autograd/ops.h"
 #include "core/reward.h"
+#include "infer/step_batcher.h"
 #include "util/elemwise.h"
 #include "util/failpoint.h"
 #include "util/io.h"
@@ -1053,7 +1054,8 @@ struct CadrlRecommender::CompiledBeamDriver {
   explicit CompiledBeamDriver(const infer::CompiledModel& m)
       : sv(m.scoring()),
         pv(m.policy()),
-        zeros(static_cast<size_t>(sv.dim), 0.0f) {}
+        zeros(static_cast<size_t>(sv.dim), 0.0f),
+        batcher(infer::CurrentStepBatcher()) {}
 
   std::span<const float> Ent(kg::EntityId e) const {
     return {sv.EntityRow(e), static_cast<size_t>(sv.dim)};
@@ -1088,8 +1090,25 @@ struct CadrlRecommender::CompiledBeamDriver {
       std::copy(row, row + d, action_rows.data() + static_cast<size_t>(i) * d);
     }
     logits.resize(static_cast<size_t>(n));
-    infer::CategoryLogitsRaw(pv, state, Ent(user_), Cat(current),
-                             action_rows.data(), n, &scratch, logits.data());
+    if (batcher != nullptr) {
+      // Yield the head forward to the serving layer's micro-batcher: the
+      // feature row and action rows stay owned by this driver while the
+      // step is parked, and ExecuteHead returns with `logits` holding the
+      // same bytes CategoryLogitsRaw would have written.
+      infer::CategoryFeaturesRaw(pv, state, Ent(user_), Cat(current),
+                                 &batch_features);
+      infer::PolicyHeadStep step;
+      step.head1 = &pv.head1_c;
+      step.head2 = &pv.head2_c;
+      step.features = batch_features.data();
+      step.action_matrix = action_rows.data();
+      step.num_actions = n;
+      step.out = logits.data();
+      batcher->ExecuteHead(&step);
+    } else {
+      infer::CategoryLogitsRaw(pv, state, Ent(user_), Cat(current),
+                               action_rows.data(), n, &scratch, logits.data());
+    }
     probs.resize(static_cast<size_t>(n));
     elemwise::SoftmaxVec(logits.data(), probs.data(), static_cast<size_t>(n));
     const int64_t best = static_cast<int64_t>(std::distance(
@@ -1113,11 +1132,25 @@ struct CadrlRecommender::CompiledBeamDriver {
       dst += 2 * d;
     }
     logits.resize(static_cast<size_t>(n));
-    infer::EntityLogitsRaw(pv, state, Ent(entity), Rel(last_rel),
-                           condition != kg::kInvalidCategory
-                               ? Cat(condition)
-                               : std::span<const float>(),
-                           action_rows.data(), n, &scratch, logits.data());
+    const std::span<const float> condition_row =
+        condition != kg::kInvalidCategory ? Cat(condition)
+                                          : std::span<const float>();
+    if (batcher != nullptr) {
+      infer::EntityFeaturesRaw(pv, state, Ent(entity), Rel(last_rel),
+                               condition_row, &scratch, &batch_features);
+      infer::PolicyHeadStep step;
+      step.head1 = &pv.head1_e;
+      step.head2 = &pv.head2_e;
+      step.features = batch_features.data();
+      step.action_matrix = action_rows.data();
+      step.num_actions = n;
+      step.out = logits.data();
+      batcher->ExecuteHead(&step);
+    } else {
+      infer::EntityLogitsRaw(pv, state, Ent(entity), Rel(last_rel),
+                             condition_row, action_rows.data(), n, &scratch,
+                             logits.data());
+    }
     out->resize(static_cast<size_t>(n));
     elemwise::LogSoftmaxVec(logits.data(), out->data(),
                             static_cast<size_t>(n));
@@ -1136,6 +1169,13 @@ struct CadrlRecommender::CompiledBeamDriver {
   infer::PolicyScratch scratch;
   std::vector<float> zeros;
   std::vector<float> action_rows, logits, probs;
+  // Feature row handed to a parked PolicyHeadStep; must stay untouched by
+  // other scratch users until ExecuteHead returns, hence its own buffer.
+  std::vector<float> batch_features;
+  // Micro-batcher installed by the serving worker for this request, or
+  // null for direct (unbatched) dispatch. Captured once at driver
+  // construction: one request never switches mode mid-search.
+  infer::StepBatcher* const batcher;
   kg::EntityId user_ = kg::kInvalidEntity;
 };
 

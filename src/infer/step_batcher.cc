@@ -1,0 +1,41 @@
+#include "infer/step_batcher.h"
+
+namespace cadrl {
+namespace infer {
+
+namespace {
+
+struct TlsBatcherState {
+  StepBatcher* batcher = nullptr;
+  RequestContext::Clock::time_point deadline =
+      RequestContext::Clock::time_point::max();
+};
+
+thread_local TlsBatcherState g_tls;
+
+}  // namespace
+
+StepBatcher* CurrentStepBatcher() { return g_tls.batcher; }
+
+RequestContext::Clock::time_point CurrentStepDeadline() {
+  return g_tls.deadline;
+}
+
+ScopedStepBatcher::ScopedStepBatcher(
+    StepBatcher* batcher, RequestContext::Clock::time_point deadline)
+    : previous_batcher_(g_tls.batcher),
+      previous_deadline_(g_tls.deadline),
+      installed_(batcher) {
+  g_tls.batcher = batcher;
+  g_tls.deadline = deadline;
+  if (installed_ != nullptr) installed_->BeginRequest();
+}
+
+ScopedStepBatcher::~ScopedStepBatcher() {
+  if (installed_ != nullptr) installed_->EndRequest();
+  g_tls.batcher = previous_batcher_;
+  g_tls.deadline = previous_deadline_;
+}
+
+}  // namespace infer
+}  // namespace cadrl

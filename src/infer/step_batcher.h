@@ -1,0 +1,107 @@
+#ifndef CADRL_INFER_STEP_BATCHER_H_
+#define CADRL_INFER_STEP_BATCHER_H_
+
+#include <span>
+
+#include "infer/policy_forward.h"
+#include "infer/scoring.h"
+#include "kg/graph.h"
+#include "util/deadline.h"
+
+// Cross-request micro-batching seam of the compiled inference path
+// (DESIGN.md §13). A serving layer installs a StepBatcher on the worker
+// thread (ScopedStepBatcher); the beam search then parks each of its
+// per-request expansion steps — a policy-head logits forward or a
+// user-entity scoring batch — with the batcher instead of dispatching the
+// kernel call itself. The batcher coalesces steps from concurrent requests
+// into one stacked dispatch per flush and scatters the rows back before the
+// parked Execute* call returns.
+//
+// Byte-identity contract: every Execute* call must leave exactly the bytes
+// in `out` that the unbatched forward (HeadLogitsRaw / ScoreUserEntities)
+// would have produced, for any batch composition. The kernel layer's fixed
+// reduction order makes a stacked GemmNTAcc row bit-identical to the
+// per-request Gemv, so a conforming batcher needs no per-composition
+// tolerance — tests/batch_scheduler_test.cc compares bytes.
+//
+// The seam lives in infer/ (not serve/) so core::CadrlRecommender and
+// core::UserScoreMemo can yield steps without a dependency on the serving
+// layer; serve::BatchScheduler is the production implementation.
+namespace cadrl {
+namespace infer {
+
+// One parked policy-head forward (Eq 15 category head or Eq 16 entity
+// head): logits of `num_actions` pre-stacked action rows against this
+// request's feature row. All pointers stay owned by (and valid on) the
+// parking thread for the whole Execute call; `head1`/`head2` come from the
+// request's acquired snapshot, so their weight pointers double as the
+// snapshot-epoch key that keeps a flush from spanning a hot-swap.
+struct PolicyHeadStep {
+  const LinearView* head1 = nullptr;
+  const LinearView* head2 = nullptr;
+  const float* features = nullptr;       // length head1->in
+  const float* action_matrix = nullptr;  // (num_actions x head2->out)
+  int num_actions = 0;
+  float* out = nullptr;  // logits, length num_actions
+};
+
+// One parked user-entity scoring batch (the miss set of a
+// core::UserScoreMemo::ScoreBatch call). `view` points at the request's
+// snapshot tables; its `entities` arena pointer is the epoch key.
+struct ScoreStep {
+  const ScoringView* view = nullptr;
+  kg::EntityId user = kg::kInvalidEntity;
+  std::span<const kg::EntityId> entities;
+  std::span<float> out;  // same length as entities
+};
+
+class StepBatcher {
+ public:
+  virtual ~StepBatcher() = default;
+
+  // Request lifecycle hooks, called by ScopedStepBatcher. A batcher may use
+  // the live request count to flush eagerly once every in-flight request is
+  // parked (no peer left to wait for).
+  virtual void BeginRequest() {}
+  virtual void EndRequest() {}
+
+  // Both calls block until the step's `out` holds its final bytes. They
+  // must not fail: a batcher under deadline pressure flushes early rather
+  // than abandoning a step (an expired request surfaces at the beam
+  // search's next RequestContext::Check, never as a missing result).
+  virtual void ExecuteHead(PolicyHeadStep* step) = 0;
+  virtual void ExecuteScore(ScoreStep* step) = 0;
+};
+
+// Batcher installed on the current thread, or null (the default: every
+// caller outside a serving worker dispatches unbatched).
+StepBatcher* CurrentStepBatcher();
+
+// Deadline of the request currently executing on this thread;
+// time_point::max() when none. A batcher uses it to cap how long this
+// thread's parked steps may linger for peers.
+RequestContext::Clock::time_point CurrentStepDeadline();
+
+// RAII install/restore of the thread's batcher (+ request deadline).
+// Nesting restores the previous batcher on destruction; a null batcher is
+// a no-op scope, so call sites can install unconditionally.
+class ScopedStepBatcher {
+ public:
+  explicit ScopedStepBatcher(StepBatcher* batcher,
+                             RequestContext::Clock::time_point deadline =
+                                 RequestContext::Clock::time_point::max());
+  ~ScopedStepBatcher();
+
+  ScopedStepBatcher(const ScopedStepBatcher&) = delete;
+  ScopedStepBatcher& operator=(const ScopedStepBatcher&) = delete;
+
+ private:
+  StepBatcher* const previous_batcher_;
+  const RequestContext::Clock::time_point previous_deadline_;
+  StepBatcher* const installed_;
+};
+
+}  // namespace infer
+}  // namespace cadrl
+
+#endif  // CADRL_INFER_STEP_BATCHER_H_

@@ -1,0 +1,207 @@
+#include "serve/batch_scheduler.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.h"
+
+namespace cadrl {
+namespace serve {
+
+namespace {
+
+// Power-of-two microsecond bucket of a park -> scatter wait. Bucket b
+// covers [2^(b-1), 2^b - 1] us (b = 0 holds zero-wait steps).
+size_t WaitBucket(int64_t wait_us) {
+  if (wait_us <= 0) return 0;
+  return static_cast<size_t>(std::bit_width(static_cast<uint64_t>(wait_us)));
+}
+
+int64_t WaitBucketUpperUs(size_t bucket) {
+  if (bucket == 0) return 0;
+  return (int64_t{1} << bucket) - 1;
+}
+
+constexpr size_t kWaitBuckets = 64;
+
+}  // namespace
+
+Status BatchScheduler::Options::Validate() const {
+  if (max_batch < 1) {
+    return Status::InvalidArgument("batch max_batch must be >= 1");
+  }
+  if (max_linger < std::chrono::microseconds::zero()) {
+    return Status::InvalidArgument("batch max_linger must be >= 0");
+  }
+  return Status::OK();
+}
+
+BatchScheduler::BatchScheduler(const Options& options) : options_(options) {
+  CADRL_CHECK(options_.Validate().ok()) << options_.Validate().ToString();
+  stats_.batch_size_hist.assign(static_cast<size_t>(options_.max_batch) + 1,
+                                0);
+  wait_hist_.assign(kWaitBuckets, 0);
+}
+
+BatchScheduler::~BatchScheduler() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CADRL_CHECK_EQ(parked_, 0) << "BatchScheduler destroyed with parked steps";
+  CADRL_CHECK_EQ(inflight_, 0)
+      << "BatchScheduler destroyed with registered requests";
+}
+
+void BatchScheduler::BeginRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++inflight_;
+}
+
+void BatchScheduler::EndRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --inflight_;
+  CADRL_CHECK_GE(inflight_, 0);
+  // A departing request can make the remaining parked steps quiescent
+  // (ShouldFlushLocked); wake a parked owner to claim the flush.
+  if (ShouldFlushLocked()) cv_.notify_all();
+}
+
+void BatchScheduler::ExecuteHead(infer::PolicyHeadStep* step) {
+  Record rec;
+  rec.kind = Kind::kHead;
+  rec.head = step;
+  Park({static_cast<int>(Kind::kHead), step->head1->weight,
+        step->head2->weight},
+       &rec);
+}
+
+void BatchScheduler::ExecuteScore(infer::ScoreStep* step) {
+  Record rec;
+  rec.kind = Kind::kScore;
+  rec.score = step;
+  Park({static_cast<int>(Kind::kScore), step->view->entities, nullptr}, &rec);
+}
+
+void BatchScheduler::Park(const GroupKey& key, Record* rec) {
+  rec->enqueued_at = Clock::now();
+  const Clock::time_point deadline = infer::CurrentStepDeadline();
+  std::unique_lock<std::mutex> lock(mu_);
+  Group& group = groups_[key];
+  group.records.push_back(rec);
+  ++parked_;
+  ++stats_.steps;
+  if (ShouldFlushLocked()) FlushAllLocked(&lock, /*forced=*/false);
+  // Wait for a leader to complete us, claiming the flush ourselves when our
+  // linger or request deadline arrives first. After a timeout-claimed flush
+  // the wake-up is re-armed: our group may already be computing under
+  // another leader, and an un-armed past deadline would busy-spin.
+  Clock::time_point wake_at =
+      std::min(rec->enqueued_at + options_.max_linger, deadline);
+  while (!rec->done) {
+    if (cv_.wait_until(lock, wake_at) == std::cv_status::timeout) {
+      if (!rec->done) {
+        FlushAllLocked(&lock, /*forced=*/true);
+        wake_at = Clock::now() + options_.max_linger;
+      }
+    } else if (!rec->done && ShouldFlushLocked()) {
+      FlushAllLocked(&lock, /*forced=*/false);
+    }
+  }
+}
+
+bool BatchScheduler::ShouldFlushLocked() const {
+  if (parked_ == 0) return false;
+  // Quiescence: every registered in-flight request is parked, so no group
+  // can grow until something flushes — waiting longer buys nothing.
+  if (parked_ >= inflight_) return true;
+  for (const auto& [key, group] : groups_) {
+    if (static_cast<int>(group.records.size()) >= options_.max_batch) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void BatchScheduler::FlushAllLocked(std::unique_lock<std::mutex>* lock,
+                                    bool forced) {
+  if (groups_.empty()) return;
+  std::vector<Group> flushed;
+  flushed.reserve(groups_.size());
+  for (auto& [key, group] : groups_) flushed.push_back(std::move(group));
+  groups_.clear();
+  int total = 0;
+  for (const Group& group : flushed) {
+    total += static_cast<int>(group.records.size());
+  }
+  parked_ -= total;
+  CADRL_CHECK_GE(parked_, 0);
+
+  // Compute with the lock released so arriving steps can stage the next
+  // batch. The flushed records are no longer reachable from groups_, so
+  // this leader is their sole owner until `done` is published below.
+  lock->unlock();
+  for (const Group& group : flushed) ComputeGroup(group);
+  const Clock::time_point done_at = Clock::now();
+  lock->lock();
+
+  for (const Group& group : flushed) {
+    const int batch = static_cast<int>(group.records.size());
+    ++stats_.flushes;
+    if (forced) ++stats_.forced_flushes;
+    stats_.max_batch_observed =
+        std::max<int64_t>(stats_.max_batch_observed, batch);
+    const size_t hist_idx = std::min(static_cast<size_t>(batch),
+                                     stats_.batch_size_hist.size() - 1);
+    ++stats_.batch_size_hist[hist_idx];
+    for (Record* record : group.records) {
+      record->done = true;
+      const int64_t wait_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              done_at - record->enqueued_at)
+              .count();
+      ++wait_hist_[std::min(WaitBucket(wait_us), kWaitBuckets - 1)];
+    }
+  }
+  cv_.notify_all();
+}
+
+void BatchScheduler::ComputeGroup(const Group& group) {
+  if (group.records.empty()) return;
+  if (group.records.front()->kind == Kind::kHead) {
+    std::vector<infer::HeadBatchRow> rows;
+    rows.reserve(group.records.size());
+    for (const Record* record : group.records) {
+      rows.push_back({record->head->features, record->head->action_matrix,
+                      record->head->num_actions, record->head->out});
+    }
+    infer::HeadLogitsBatchRaw(*group.records.front()->head->head1,
+                              *group.records.front()->head->head2, rows);
+  } else {
+    // Scoring is already a fused per-request kernel; the flush win here is
+    // one wakeup for the whole group rather than a shared GEMM.
+    for (const Record* record : group.records) {
+      infer::ScoreUserEntities(*record->score->view, record->score->user,
+                               record->score->entities, record->score->out);
+    }
+  }
+}
+
+BatchScheduler::Stats BatchScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  int64_t total = 0;
+  for (const int64_t count : wait_hist_) total += count;
+  if (total > 0) {
+    const int64_t target = (total * 95 + 99) / 100;  // ceil(0.95 * total)
+    int64_t seen = 0;
+    for (size_t bucket = 0; bucket < wait_hist_.size(); ++bucket) {
+      seen += wait_hist_[bucket];
+      if (seen >= target) {
+        out.linger_p95_us = WaitBucketUpperUs(bucket);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace cadrl

@@ -1,0 +1,153 @@
+#ifndef CADRL_SERVE_BATCH_SCHEDULER_H_
+#define CADRL_SERVE_BATCH_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "infer/step_batcher.h"
+#include "util/status.h"
+
+namespace cadrl {
+namespace serve {
+
+// Cross-request micro-batching scheduler for the compiled inference path
+// (DESIGN.md §13). Serving workers install it per request
+// (infer::ScopedStepBatcher); each parked beam step waits in a staging
+// buffer until its group flushes, at which point one thread — the flush
+// leader — runs the whole group as a single stacked dispatch
+// (infer::HeadLogitsBatchRaw / infer::ScoreUserEntities) and scatters the
+// rows back to the parked requests.
+//
+// Grouping: steps batch together only when they share a step kind AND the
+// same snapshot parameters (keyed by the head-weight / entity-table arena
+// pointers of the request's acquired infer::CompiledModel). Requests
+// in flight across a ReloadFromCheckpoint therefore land in different
+// groups by construction — a flush can never span a hot-swap, and every
+// response is single-snapshot pure (locked by serve_chaos_test).
+//
+// Flush triggers, in the order a parked step can experience them:
+//   1. Size:      a group reaching `max_batch` flushes immediately.
+//   2. Quiescence: whenever every registered in-flight request is parked,
+//                  nothing new can arrive until something completes, so
+//                  everything staged flushes with zero added wait. This is
+//                  why a lone request never pays the linger.
+//   3. Linger:    a step that has waited `max_linger` flushes everything
+//                  staged (peers exist but are busy elsewhere).
+//   4. Deadline:  a step whose request deadline arrives flushes everything
+//                  staged — a request never misses its budget parked.
+// Execute never fails and never abandons a step: deadline pressure turns
+// into an early flush, and the expired request surfaces at the beam
+// search's next RequestContext::Check.
+//
+// Determinism: flush composition depends on thread timing, but the stacked
+// kernels make every composition byte-identical per row to the unbatched
+// forward, so timing can never leak into results (batch_scheduler_test
+// property-checks random interleavings).
+class BatchScheduler : public infer::StepBatcher {
+ public:
+  struct Options {
+    // Largest group a single flush dispatches. Values <= 1 still work
+    // (every step flushes alone) but callers normally gate batching off
+    // entirely instead (ServeOptions::batch_max).
+    int max_batch = 8;
+    // Longest a parked step waits for peers before forcing a flush.
+    std::chrono::microseconds max_linger{200};
+
+    Status Validate() const;
+  };
+
+  explicit BatchScheduler(const Options& options);
+  ~BatchScheduler() override;
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  // infer::StepBatcher interface.
+  void BeginRequest() override;
+  void EndRequest() override;
+  void ExecuteHead(infer::PolicyHeadStep* step) override;
+  void ExecuteScore(infer::ScoreStep* step) override;
+
+  struct Stats {
+    int64_t steps = 0;    // beam steps that went through the batcher
+    int64_t flushes = 0;  // stacked dispatches (one per flushed group)
+    int64_t forced_flushes = 0;  // flushes claimed by linger/deadline expiry
+    int64_t max_batch_observed = 0;
+    // batch_size_hist[b] = number of flushes that dispatched exactly b
+    // steps (index 0 unused); sums to `flushes`, and the b-weighted sum
+    // recovers `steps`.
+    std::vector<int64_t> batch_size_hist;
+    // p95 of park -> scatter wait, from power-of-two microsecond buckets
+    // (reported as the bucket's upper bound; 0 when no steps yet).
+    int64_t linger_p95_us = 0;
+  };
+  Stats stats() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  using Clock = RequestContext::Clock;
+
+  enum class Kind { kHead, kScore };
+
+  // A parked step. Lives on the owner's stack for the whole Execute call;
+  // `done` flips under mu_ once the leader has scattered the results, which
+  // is what publishes the out-buffer writes to the owner.
+  struct Record {
+    Kind kind;
+    infer::PolicyHeadStep* head = nullptr;
+    infer::ScoreStep* score = nullptr;
+    bool done = false;
+    Clock::time_point enqueued_at;
+  };
+
+  // (kind, snapshot-parameter pointers): the snapshot-epoch grouping rule.
+  struct GroupKey {
+    int kind;
+    const void* a;
+    const void* b;
+    bool operator<(const GroupKey& o) const {
+      if (kind != o.kind) return kind < o.kind;
+      if (a != o.a) return a < o.a;
+      return b < o.b;
+    }
+  };
+
+  struct Group {
+    std::vector<Record*> records;
+  };
+
+  // Parks `rec` in its group and blocks until a flush completes it.
+  void Park(const GroupKey& key, Record* rec);
+
+  // True when a flush should happen right now: a group is full, or every
+  // in-flight request is already parked (quiescence).
+  bool ShouldFlushLocked() const;
+
+  // Moves every staged group out, computes them with mu_ released, then
+  // re-locks to mark records done, fold stats, and wake the owners.
+  void FlushAllLocked(std::unique_lock<std::mutex>* lock, bool forced);
+
+  static void ComputeGroup(const Group& group);
+
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int inflight_ = 0;  // requests between BeginRequest/EndRequest
+  int parked_ = 0;    // records currently staged across all groups
+  std::map<GroupKey, Group> groups_;
+
+  // Stats, guarded by mu_.
+  Stats stats_;
+  std::vector<int64_t> wait_hist_;  // power-of-two microsecond buckets
+};
+
+}  // namespace serve
+}  // namespace cadrl
+
+#endif  // CADRL_SERVE_BATCH_SCHEDULER_H_

@@ -47,6 +47,12 @@ Status ServeOptions::Validate() const {
     return Status::InvalidArgument("backoff_base must be >= 0");
   }
   if (top_k < 1) return Status::InvalidArgument("top_k must be >= 1");
+  if (batch_max < 0) {
+    return Status::InvalidArgument("batch_max must be >= 0");
+  }
+  if (batch_linger < std::chrono::microseconds::zero()) {
+    return Status::InvalidArgument("batch_linger must be >= 0");
+  }
   return Status::OK();
 }
 
@@ -89,6 +95,13 @@ RecommendService::RecommendService(eval::Recommender* model,
   cache_breaker_ = std::make_unique<CircuitBreaker>(
       options_.breaker_failure_threshold, options_.breaker_cooldown,
       options_.breaker_time_source);
+
+  if (options_.batch_max > 1) {
+    BatchScheduler::Options batch_options;
+    batch_options.max_batch = options_.batch_max;
+    batch_options.max_linger = options_.batch_linger;
+    batcher_ = std::make_unique<BatchScheduler>(batch_options);
+  }
 }
 
 RecommendService::~RecommendService() { Stop(); }
@@ -300,7 +313,18 @@ Status RecommendService::TryPrimary(const ServeRequest& req,
     status = ctx.Check();
     if (status.ok()) {
       resp->recs.clear();
-      status = model_->Recommend(req.user, req.k, ctx, &resp->recs);
+      if (batcher_ != nullptr) {
+        // Primary stage only: the scoped install scopes micro-batching to
+        // the full-CADRL model call, so the degradation ladder (cache /
+        // popularity) and the inline shed path never park in the batcher.
+        infer::ScopedStepBatcher scope(
+            batcher_.get(), ctx.has_deadline()
+                                ? ctx.deadline()
+                                : RequestContext::Clock::time_point::max());
+        status = model_->Recommend(req.user, req.k, ctx, &resp->recs);
+      } else {
+        status = model_->Recommend(req.user, req.k, ctx, &resp->recs);
+      }
     }
     if (status.ok() && resp->recs.empty()) {
       status = Status::NotFound("model returned no candidates");
@@ -383,8 +407,22 @@ void RecommendService::RecordResponse(const ServeResponse& resp) {
 }
 
 RecommendService::Stats RecommendService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  if (batcher_ != nullptr) {
+    const BatchScheduler::Stats batch = batcher_->stats();
+    out.batch_flushes = batch.flushes;
+    out.batched_steps = batch.steps;
+  }
+  return out;
+}
+
+BatchScheduler::Stats RecommendService::batch_stats() const {
+  if (batcher_ == nullptr) return BatchScheduler::Stats();
+  return batcher_->stats();
 }
 
 }  // namespace serve

@@ -15,6 +15,7 @@
 
 #include "data/dataset.h"
 #include "eval/recommender.h"
+#include "serve/batch_scheduler.h"
 #include "serve/circuit_breaker.h"
 #include "util/deadline.h"
 #include "util/rng.h"
@@ -90,6 +91,16 @@ struct ServeOptions {
   int top_k = 10;
   // Seed of the service RNG; request streams fork off it by request id.
   uint64_t seed = 11;
+  // Cross-request micro-batching of compiled-inference beam steps
+  // (DESIGN.md §13): <= 1 dispatches every request unbatched; > 1 installs
+  // a BatchScheduler that coalesces up to `batch_max` concurrent requests'
+  // steps per stacked dispatch. Only the full-CADRL primary stage batches —
+  // the degradation ladder always bypasses the batcher.
+  int batch_max = 0;
+  // Longest a parked step may wait for peers; the scheduler flushes sooner
+  // whenever every in-flight request is parked, so a lone request never
+  // pays this (and a request's own deadline always overrides it).
+  std::chrono::microseconds batch_linger{200};
   // Injectable time source for the breakers (tests); null = steady clock.
   CircuitBreaker::TimeSource breaker_time_source;
 
@@ -158,8 +169,15 @@ class RecommendService {
     int64_t retries = 0;             // extra primary attempts beyond the first
     int64_t breaker_rejections = 0;  // primary attempts skipped: breaker open
     int64_t reloads = 0;             // successful snapshot hot-swaps
+    int64_t batch_flushes = 0;       // stacked micro-batch dispatches
+    int64_t batched_steps = 0;       // beam steps routed through the batcher
   };
   Stats stats() const;
+
+  bool batching_enabled() const { return batcher_ != nullptr; }
+  // Full scheduler stats (batch-size histogram, linger p95, ...);
+  // default-constructed when batching is disabled.
+  BatchScheduler::Stats batch_stats() const;
 
   const CircuitBreaker& primary_breaker() const { return *primary_breaker_; }
   const CircuitBreaker& cache_breaker() const { return *cache_breaker_; }
@@ -210,6 +228,10 @@ class RecommendService {
 
   std::unique_ptr<CircuitBreaker> primary_breaker_;
   std::unique_ptr<CircuitBreaker> cache_breaker_;
+  // Present iff options_.batch_max > 1. Workers install it around the
+  // primary-stage model call only; Stop() joins the workers before members
+  // destruct, so no step can outlive the scheduler.
+  std::unique_ptr<BatchScheduler> batcher_;
 
   mutable std::mutex cache_mu_;
   std::unordered_map<kg::EntityId, std::vector<eval::Recommendation>>

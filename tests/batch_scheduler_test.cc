@@ -1,0 +1,508 @@
+// Determinism harness for cross-request micro-batching (DESIGN.md §13).
+// The load-bearing contract: routing beam steps through a
+// serve::BatchScheduler must leave every request's bytes identical to the
+// unbatched forward — for every batch composition (1..max_batch concurrent
+// requests, mixed users), both kernel backends, any worker count, and any
+// interleaving of size/quiescence/linger/deadline flush triggers. The
+// suite checks bytes, never tolerances: one reassociated float sum fails
+// it.
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cadrl.h"
+#include "data/generator.h"
+#include "infer/policy_forward.h"
+#include "infer/step_batcher.h"
+#include "serve/batch_scheduler.h"
+#include "serve/recommend_service.h"
+#include "util/failpoint.h"
+#include "util/kernels.h"
+
+namespace cadrl {
+namespace {
+
+using serve::BatchScheduler;
+using serve::DegradationLevel;
+using serve::RecommendService;
+using serve::ServeOptions;
+using serve::ServeRequest;
+using serve::ServeResponse;
+
+constexpr auto kNoDeadline = std::chrono::microseconds{-1};
+
+core::CadrlOptions BatchModelOptions() {
+  core::CadrlOptions o;
+  o.transe.dim = 8;
+  o.transe.epochs = 4;
+  o.use_cggnn = false;
+  o.episodes_per_user = 2;
+  o.policy_hidden = 16;
+  o.seed = 77;
+  return o;
+}
+
+void ExpectSameRecommendations(
+    const std::vector<eval::Recommendation>& expected,
+    const std::vector<eval::Recommendation>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].item, actual[i].item);
+    EXPECT_EQ(expected[i].score, actual[i].score);
+    EXPECT_EQ(expected[i].path.steps, actual[i].path.steps);
+  }
+}
+
+class BatchSchedulerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Failpoints::Instance().DisarmAll();
+    dataset_ = new data::Dataset();
+    ASSERT_TRUE(
+        data::GenerateDataset(data::SyntheticConfig::Tiny(), dataset_).ok());
+    model_ = new core::CadrlRecommender(BatchModelOptions());
+    ASSERT_TRUE(model_->Fit(*dataset_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  void TearDown() override { Failpoints::Instance().DisarmAll(); }
+
+  static data::Dataset* dataset_;
+  static core::CadrlRecommender* model_;
+};
+
+data::Dataset* BatchSchedulerTest::dataset_ = nullptr;
+core::CadrlRecommender* BatchSchedulerTest::model_ = nullptr;
+
+// ---------- byte-identity: Recommend through the scheduler ----------
+
+// Every batch composition from 1 to max_batch concurrent requests (mixed
+// users), under both kernel backends. Each client thread installs the
+// scheduler and calls the model directly, so the test covers the scheduler
+// and the driver's step-yielding without the serving queue in between.
+TEST_F(BatchSchedulerTest, RecommendByteIdenticalForAllCompositions) {
+  constexpr int kMaxBatch = 4;
+  const kernels::Backend saved = kernels::ActiveBackend();
+  for (const kernels::Backend backend :
+       {kernels::Backend::kBlocked, kernels::Backend::kScalar}) {
+    kernels::SetBackend(backend);
+    std::vector<std::vector<eval::Recommendation>> baseline;
+    for (kg::EntityId user : dataset_->users) {
+      baseline.push_back(model_->Recommend(user, 10));
+    }
+    for (int width = 1; width <= kMaxBatch; ++width) {
+      BatchScheduler::Options options;
+      options.max_batch = kMaxBatch;
+      options.max_linger = std::chrono::microseconds{500};
+      BatchScheduler scheduler(options);
+      std::vector<std::thread> clients;
+      clients.reserve(static_cast<size_t>(width));
+      for (int c = 0; c < width; ++c) {
+        clients.emplace_back([&, c] {
+          for (size_t u = 0; u < dataset_->users.size(); ++u) {
+            const size_t idx =
+                (u + static_cast<size_t>(c) * 3) % dataset_->users.size();
+            infer::ScopedStepBatcher scope(&scheduler);
+            const auto recs = model_->Recommend(dataset_->users[idx], 10);
+            ExpectSameRecommendations(baseline[idx], recs);
+          }
+        });
+      }
+      for (std::thread& t : clients) t.join();
+      const BatchScheduler::Stats stats = scheduler.stats();
+      EXPECT_GT(stats.steps, 0);
+      EXPECT_GT(stats.flushes, 0);
+      EXPECT_LE(stats.max_batch_observed, kMaxBatch);
+    }
+  }
+  kernels::SetBackend(saved);
+}
+
+TEST_F(BatchSchedulerTest, FindPathsByteIdenticalUnderBatching) {
+  std::vector<std::vector<eval::RecommendationPath>> baseline;
+  for (kg::EntityId user : dataset_->users) {
+    baseline.push_back(model_->FindPaths(user, 5));
+  }
+  BatchScheduler::Options options;
+  options.max_batch = 3;
+  BatchScheduler scheduler(options);
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t u = 0; u < dataset_->users.size(); ++u) {
+        const size_t idx =
+            (u + static_cast<size_t>(c)) % dataset_->users.size();
+        infer::ScopedStepBatcher scope(&scheduler);
+        std::vector<eval::RecommendationPath> paths;
+        ASSERT_TRUE(model_
+                        ->FindPaths(dataset_->users[idx], 5, RequestContext(),
+                                    &paths)
+                        .ok());
+        ASSERT_EQ(baseline[idx].size(), paths.size());
+        for (size_t p = 0; p < paths.size(); ++p) {
+          EXPECT_EQ(baseline[idx][p].steps, paths[p].steps);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_GT(scheduler.stats().steps, 0);
+}
+
+// End-to-end through RecommendService: batching on, worker counts 1 and 4.
+// A single worker exercises the quiescence flush (batch size pinned at 1);
+// four workers exercise real cross-request stacking.
+TEST_F(BatchSchedulerTest, ServiceBatchedMatchesDirectForWorkerCounts) {
+  std::vector<std::vector<eval::Recommendation>> baseline;
+  for (kg::EntityId user : dataset_->users) {
+    baseline.push_back(model_->Recommend(user, 10));
+  }
+  for (const int threads : {1, 4}) {
+    ServeOptions options;
+    options.threads = threads;
+    options.queue_capacity = 128;
+    options.top_k = 10;
+    options.batch_max = 4;
+    options.batch_linger = std::chrono::microseconds{200};
+    RecommendService service(model_, *dataset_, options);
+    ASSERT_TRUE(service.Start().ok());
+    std::vector<std::future<ServeResponse>> futures;
+    std::vector<size_t> indices;
+    for (int round = 0; round < 2; ++round) {
+      for (size_t u = 0; u < dataset_->users.size(); ++u) {
+        ServeRequest req;
+        req.user = dataset_->users[u];
+        req.k = 10;
+        req.timeout = kNoDeadline;
+        futures.push_back(service.Submit(req));
+        indices.push_back(u);
+      }
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const ServeResponse resp = futures[i].get();
+      ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+      EXPECT_EQ(resp.level, DegradationLevel::kFull);
+      ExpectSameRecommendations(baseline[indices[i]], resp.recs);
+    }
+    service.Stop();
+    const RecommendService::Stats stats = service.stats();
+    EXPECT_EQ(stats.full, stats.requests);
+    EXPECT_GT(stats.batched_steps, 0);
+    EXPECT_GT(stats.batch_flushes, 0);
+    const BatchScheduler::Stats batch = service.batch_stats();
+    EXPECT_EQ(batch.steps, stats.batched_steps);
+    if (threads == 1) {
+      // One worker -> one request in flight -> every flush is a singleton.
+      EXPECT_EQ(batch.max_batch_observed, 1);
+    }
+  }
+}
+
+// ---------- flush-trigger semantics ----------
+
+// A lone request must never pay the linger: with no peers registered, every
+// park is immediately quiescent. The 10-minute linger makes the test hang
+// (and fail on timeout) if this trigger regresses.
+TEST_F(BatchSchedulerTest, LoneRequestFlushesWithoutLinger) {
+  BatchScheduler::Options options;
+  options.max_batch = 8;
+  options.max_linger = std::chrono::minutes{10};
+  BatchScheduler scheduler(options);
+  const kg::EntityId user = dataset_->users[0];
+  const auto baseline = model_->Recommend(user, 10);
+  {
+    infer::ScopedStepBatcher scope(&scheduler);
+    ExpectSameRecommendations(baseline, model_->Recommend(user, 10));
+  }
+  const BatchScheduler::Stats stats = scheduler.stats();
+  EXPECT_GT(stats.steps, 0);
+  EXPECT_EQ(stats.forced_flushes, 0);
+  EXPECT_EQ(stats.max_batch_observed, 1);
+  EXPECT_EQ(stats.batch_size_hist[1], stats.flushes);
+}
+
+// Three registered requests parking one step each: nothing flushes until
+// the last one parks (quiescence), then all three go in one stacked
+// dispatch — deterministically, because the linger is unreachable.
+TEST_F(BatchSchedulerTest, QuiescenceFlushStacksAllParkedSteps) {
+  BatchScheduler::Options options;
+  options.max_batch = 8;
+  options.max_linger = std::chrono::minutes{10};
+  BatchScheduler scheduler(options);
+
+  const infer::PolicyParamsView& pv = model_->CurrentSnapshot()->policy();
+  const int in1 = pv.head1_c.in;
+  const int n_actions = 6;
+  constexpr int kThreads = 3;
+
+  std::mt19937 rng(123);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<std::vector<float>> features(kThreads), actions(kThreads),
+      got(kThreads), want(kThreads);
+  infer::PolicyScratch scratch;
+  for (int t = 0; t < kThreads; ++t) {
+    features[t].resize(static_cast<size_t>(in1));
+    for (float& v : features[t]) v = dist(rng);
+    actions[t].resize(static_cast<size_t>(n_actions) * pv.head2_c.out);
+    for (float& v : actions[t]) v = dist(rng);
+    got[t].assign(static_cast<size_t>(n_actions), 0.0f);
+    want[t].assign(static_cast<size_t>(n_actions), 0.0f);
+    infer::HeadLogitsRaw(pv.head1_c, pv.head2_c, features[t].data(),
+                         actions[t].data(), n_actions, &scratch,
+                         want[t].data());
+  }
+
+  // Register all three requests before any of them parks, so no park is
+  // quiescent until the last one.
+  std::atomic<int> registered{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      infer::ScopedStepBatcher scope(&scheduler);
+      registered.fetch_add(1);
+      while (registered.load() < kThreads) std::this_thread::yield();
+      infer::PolicyHeadStep step;
+      step.head1 = &pv.head1_c;
+      step.head2 = &pv.head2_c;
+      step.features = features[t].data();
+      step.action_matrix = actions[t].data();
+      step.num_actions = n_actions;
+      step.out = got[t].data();
+      scheduler.ExecuteHead(&step);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(want[t], got[t]);
+
+  const BatchScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.steps, kThreads);
+  EXPECT_EQ(stats.flushes, 1);
+  EXPECT_EQ(stats.forced_flushes, 0);
+  EXPECT_EQ(stats.max_batch_observed, kThreads);
+  EXPECT_EQ(stats.batch_size_hist[kThreads], 1);
+}
+
+// A parked step whose request deadline arrives flushes without waiting out
+// the (unreachable) linger, even though a registered peer never parks.
+TEST_F(BatchSchedulerTest, DeadlineTriggersEarlyFlush) {
+  BatchScheduler::Options options;
+  options.max_batch = 8;
+  options.max_linger = std::chrono::minutes{10};
+  BatchScheduler scheduler(options);
+
+  const infer::PolicyParamsView& pv = model_->CurrentSnapshot()->policy();
+  std::vector<float> features(static_cast<size_t>(pv.head1_e.in), 0.25f);
+  std::vector<float> actions(static_cast<size_t>(4) * pv.head2_e.out, 0.5f);
+  std::vector<float> got(4, 0.0f), want(4, 0.0f);
+  infer::PolicyScratch scratch;
+  infer::HeadLogitsRaw(pv.head1_e, pv.head2_e, features.data(),
+                       actions.data(), 4, &scratch, want.data());
+
+  // The idle peer keeps the scheduler non-quiescent for the whole park.
+  infer::ScopedStepBatcher idle_peer(&scheduler);
+  const auto started = std::chrono::steady_clock::now();
+  std::thread worker([&] {
+    infer::ScopedStepBatcher scope(
+        &scheduler,
+        RequestContext::Clock::now() + std::chrono::milliseconds{25});
+    infer::PolicyHeadStep step;
+    step.head1 = &pv.head1_e;
+    step.head2 = &pv.head2_e;
+    step.features = features.data();
+    step.action_matrix = actions.data();
+    step.num_actions = 4;
+    step.out = got.data();
+    scheduler.ExecuteHead(&step);
+  });
+  worker.join();
+  const auto waited = std::chrono::steady_clock::now() - started;
+  EXPECT_EQ(want, got);
+  EXPECT_LT(waited, std::chrono::seconds{30});  // linger never applied
+  const BatchScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.flushes, 1);
+  EXPECT_EQ(stats.forced_flushes, 1);
+}
+
+// ---------- property test: randomized flush triggers ----------
+
+// Random max_batch / linger / deadlines / client jitter, many rounds: any
+// interleaving of size, quiescence, linger and deadline flushes must leave
+// every step's bytes equal to the direct HeadLogitsRaw / ScoreUserEntities
+// result.
+TEST_F(BatchSchedulerTest, RandomizedFlushTriggersStayByteIdentical) {
+  const infer::PolicyParamsView& pv = model_->CurrentSnapshot()->policy();
+  const infer::ScoringView& sv = model_->CurrentSnapshot()->scoring();
+  const kg::EntityId user = dataset_->users[0];
+
+  std::mt19937 seed_rng(2024);
+  for (int trial = 0; trial < 6; ++trial) {
+    const uint32_t seed = seed_rng();
+    std::mt19937 rng(seed);
+    BatchScheduler::Options options;
+    options.max_batch = 1 + static_cast<int>(rng() % 5);
+    const int linger_choices[] = {0, 50, 200, 2000};
+    options.max_linger = std::chrono::microseconds{
+        linger_choices[rng() % 4]};
+    BatchScheduler scheduler(options);
+
+    const int n_threads = 2 + static_cast<int>(rng() % 3);
+    const int steps_per_thread = 12;
+    std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+
+    struct ThreadPlan {
+      std::vector<std::vector<float>> features, actions, got, want;
+      std::vector<std::vector<kg::EntityId>> score_ids;
+      std::vector<std::vector<float>> score_got, score_want;
+      std::vector<int> kinds;       // 0 = category head, 1 = entity head,
+                                    // 2 = score batch
+      std::vector<int> sleeps_us;
+      bool with_deadline = false;
+    };
+    std::vector<ThreadPlan> plans(static_cast<size_t>(n_threads));
+    infer::PolicyScratch scratch;
+    for (ThreadPlan& plan : plans) {
+      plan.with_deadline = (rng() % 2) == 0;
+      for (int s = 0; s < steps_per_thread; ++s) {
+        const int kind = static_cast<int>(rng() % 3);
+        plan.kinds.push_back(kind);
+        plan.sleeps_us.push_back(static_cast<int>(rng() % 200));
+        if (kind == 2) {
+          std::vector<kg::EntityId> ids;
+          const size_t count = 1 + rng() % 6;
+          for (size_t i = 0; i < count; ++i) {
+            ids.push_back(static_cast<kg::EntityId>(
+                rng() % static_cast<uint32_t>(dataset_->graph.num_entities())));
+          }
+          std::vector<float> want_scores(ids.size());
+          infer::ScoreUserEntities(sv, user, ids, want_scores);
+          plan.score_ids.push_back(std::move(ids));
+          plan.score_want.push_back(std::move(want_scores));
+          plan.score_got.emplace_back(plan.score_want.back().size(), 0.0f);
+          plan.features.emplace_back();
+          plan.actions.emplace_back();
+          plan.got.emplace_back();
+          plan.want.emplace_back();
+        } else {
+          const infer::LinearView& h1 = kind == 0 ? pv.head1_c : pv.head1_e;
+          const infer::LinearView& h2 = kind == 0 ? pv.head2_c : pv.head2_e;
+          const int n_actions = 1 + static_cast<int>(rng() % 10);
+          std::vector<float> features(static_cast<size_t>(h1.in));
+          for (float& v : features) v = dist(rng);
+          std::vector<float> actions(static_cast<size_t>(n_actions) * h2.out);
+          for (float& v : actions) v = dist(rng);
+          std::vector<float> want(static_cast<size_t>(n_actions), 0.0f);
+          infer::HeadLogitsRaw(h1, h2, features.data(), actions.data(),
+                               n_actions, &scratch, want.data());
+          plan.features.push_back(std::move(features));
+          plan.actions.push_back(std::move(actions));
+          plan.want.push_back(std::move(want));
+          plan.got.emplace_back(static_cast<size_t>(n_actions), 0.0f);
+          plan.score_ids.emplace_back();
+          plan.score_want.emplace_back();
+          plan.score_got.emplace_back();
+        }
+      }
+    }
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < n_threads; ++t) {
+      threads.emplace_back([&, t] {
+        ThreadPlan& plan = plans[static_cast<size_t>(t)];
+        const auto deadline =
+            plan.with_deadline
+                ? RequestContext::Clock::now() + std::chrono::milliseconds{30}
+                : RequestContext::Clock::time_point::max();
+        infer::ScopedStepBatcher scope(&scheduler, deadline);
+        for (int s = 0; s < steps_per_thread; ++s) {
+          if (plan.sleeps_us[static_cast<size_t>(s)] > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds{
+                plan.sleeps_us[static_cast<size_t>(s)]});
+          }
+          const int kind = plan.kinds[static_cast<size_t>(s)];
+          if (kind == 2) {
+            infer::ScoreStep step;
+            step.view = &sv;
+            step.user = user;
+            step.entities = plan.score_ids[static_cast<size_t>(s)];
+            step.out = plan.score_got[static_cast<size_t>(s)];
+            scheduler.ExecuteScore(&step);
+          } else {
+            infer::PolicyHeadStep step;
+            step.head1 = kind == 0 ? &pv.head1_c : &pv.head1_e;
+            step.head2 = kind == 0 ? &pv.head2_c : &pv.head2_e;
+            step.features = plan.features[static_cast<size_t>(s)].data();
+            step.action_matrix = plan.actions[static_cast<size_t>(s)].data();
+            step.num_actions = static_cast<int>(
+                plan.got[static_cast<size_t>(s)].size());
+            step.out = plan.got[static_cast<size_t>(s)].data();
+            scheduler.ExecuteHead(&step);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    for (const ThreadPlan& plan : plans) {
+      for (int s = 0; s < steps_per_thread; ++s) {
+        if (plan.kinds[static_cast<size_t>(s)] == 2) {
+          EXPECT_EQ(plan.score_want[static_cast<size_t>(s)],
+                    plan.score_got[static_cast<size_t>(s)])
+              << "trial seed " << seed << " step " << s;
+        } else {
+          EXPECT_EQ(plan.want[static_cast<size_t>(s)],
+                    plan.got[static_cast<size_t>(s)])
+              << "trial seed " << seed << " step " << s;
+        }
+      }
+    }
+    const BatchScheduler::Stats stats = scheduler.stats();
+    EXPECT_EQ(stats.steps, int64_t{n_threads} * steps_per_thread);
+    int64_t hist_flushes = 0;
+    int64_t hist_steps = 0;
+    for (size_t b = 1; b < stats.batch_size_hist.size(); ++b) {
+      hist_flushes += stats.batch_size_hist[b];
+      hist_steps += static_cast<int64_t>(b) * stats.batch_size_hist[b];
+    }
+    EXPECT_EQ(hist_flushes, stats.flushes);
+    EXPECT_EQ(hist_steps, stats.steps);
+    EXPECT_GE(stats.linger_p95_us, 0);
+  }
+}
+
+// ---------- options validation ----------
+
+TEST_F(BatchSchedulerTest, OptionValidationRejectsBadValues) {
+  BatchScheduler::Options bad_batch;
+  bad_batch.max_batch = 0;
+  EXPECT_TRUE(bad_batch.Validate().IsInvalidArgument());
+  BatchScheduler::Options bad_linger;
+  bad_linger.max_linger = std::chrono::microseconds{-1};
+  EXPECT_TRUE(bad_linger.Validate().IsInvalidArgument());
+
+  ServeOptions bad_serve;
+  bad_serve.batch_max = -1;
+  EXPECT_TRUE(bad_serve.Validate().IsInvalidArgument());
+  bad_serve = ServeOptions();
+  bad_serve.batch_linger = std::chrono::microseconds{-1};
+  EXPECT_TRUE(bad_serve.Validate().IsInvalidArgument());
+  ServeOptions ok;
+  ok.batch_max = 8;
+  ok.batch_linger = std::chrono::microseconds{0};
+  EXPECT_TRUE(ok.Validate().ok());
+}
+
+}  // namespace
+}  // namespace cadrl

@@ -85,7 +85,12 @@ core::CadrlRecommender* ServeChaosTest::model_ = nullptr;
 
 // --- 1. Liveness under chaos -------------------------------------------
 
-TEST_F(ServeChaosTest, EveryRequestResolvesUnderFaultsAndLatency) {
+// Shared body: `batch_max > 1` additionally routes the primary stage
+// through the micro-batch scheduler, so flush leaders execute other
+// requests' parked steps while faults and latency injection fire — the
+// liveness contract (resolve within deadline + grace) must hold anyway.
+void RunFaultLatencyLiveness(core::CadrlRecommender* model,
+                             const data::Dataset& dataset, int batch_max) {
   // 10% injected faults on both inference failpoints plus 30% latency
   // injection on scoring — the ISSUE's acceptance workload.
   Failpoints::Instance().ArmWithProbability("cadrl/score", 0.1, /*seed=*/17);
@@ -102,7 +107,9 @@ TEST_F(ServeChaosTest, EveryRequestResolvesUnderFaultsAndLatency) {
   options.default_timeout = std::chrono::milliseconds{500};
   options.breaker_failure_threshold = 4;
   options.breaker_cooldown = std::chrono::milliseconds{20};
-  RecommendService service(model_, *dataset_, options);
+  options.batch_max = batch_max;
+  options.batch_linger = std::chrono::microseconds{100};
+  RecommendService service(model, dataset, options);
   ASSERT_TRUE(service.Start().ok());
 
   constexpr int kClients = 4;
@@ -118,15 +125,15 @@ TEST_F(ServeChaosTest, EveryRequestResolvesUnderFaultsAndLatency) {
         req.id = static_cast<uint64_t>(c) * 1000 + static_cast<uint64_t>(i) +
                  1;
         req.user =
-            dataset_->users[(static_cast<size_t>(c) * 7 + i) %
-                            dataset_->users.size()];
+            dataset.users[(static_cast<size_t>(c) * 7 + i) %
+                          dataset.users.size()];
         req.k = 5;
         futures[c].push_back(service.Submit(req));
         // Path finding rides the same chaos: the deadline-aware FindPaths
         // must return a terminal status, never crash or hang.
         if (i % 6 == 0) {
           std::vector<eval::RecommendationPath> paths;
-          const Status s = model_->FindPaths(
+          const Status s = model->FindPaths(
               req.user, 3,
               RequestContext::WithTimeout(std::chrono::milliseconds{500}),
               &paths);
@@ -162,6 +169,19 @@ TEST_F(ServeChaosTest, EveryRequestResolvesUnderFaultsAndLatency) {
   EXPECT_EQ(stats.requests, kClients * kRequestsPerClient);
   EXPECT_EQ(stats.full + stats.cached + stats.popularity,
             stats.requests);  // nobody failed
+  if (batch_max > 1) {
+    // The chaos must actually have exercised the batcher, not bypassed it.
+    EXPECT_GT(stats.batched_steps, 0);
+    EXPECT_GT(stats.batch_flushes, 0);
+  }
+}
+
+TEST_F(ServeChaosTest, EveryRequestResolvesUnderFaultsAndLatency) {
+  RunFaultLatencyLiveness(model_, *dataset_, /*batch_max=*/0);
+}
+
+TEST_F(ServeChaosTest, EveryRequestResolvesUnderFaultsAndLatencyBatched) {
+  RunFaultLatencyLiveness(model_, *dataset_, /*batch_max=*/4);
 }
 
 // --- 2. Byte-deterministic degradation decisions -----------------------
@@ -184,9 +204,14 @@ struct DecisionKey {
 
 // One full chaos run: warm the cache fault-free, then arm probabilistic
 // faults on the primary and cache stages and replay the same request ids
-// from 4 client threads. Returns id -> decision.
+// from 4 client threads. Returns id -> decision. `batch_max > 1` routes the
+// primary stage through the micro-batch scheduler; because the failpoints
+// fire on the request's own thread (before any step parks) and the stacked
+// dispatch is byte-identical per row, the decision map must not depend on
+// batching at all.
 std::map<uint64_t, DecisionKey> RunDeterministicChaos(
-    core::CadrlRecommender* model, const data::Dataset& dataset) {
+    core::CadrlRecommender* model, const data::Dataset& dataset,
+    int batch_max = 0) {
   Failpoints::Instance().DisarmAll();
 
   ServeOptions options;
@@ -199,6 +224,8 @@ std::map<uint64_t, DecisionKey> RunDeterministicChaos(
                                           // ordering effects
   options.seed = 11;
   options.top_k = 5;
+  options.batch_max = batch_max;
+  options.batch_linger = std::chrono::microseconds{100};
   RecommendService service(model, dataset, options);
   EXPECT_TRUE(service.Start().ok());
 
@@ -276,6 +303,30 @@ TEST_F(ServeChaosTest, DegradationDecisionsAreByteDeterministic) {
   EXPECT_GT(degraded, 0);
 }
 
+// The strongest form of the batching determinism contract: two batched
+// chaos runs agree with each other AND with the unbatched run, request by
+// request — level, status codes, attempt counts, items, scores. Any leak
+// of flush composition into decisions or bytes shows up here.
+TEST_F(ServeChaosTest, BatchedDegradationDecisionsMatchUnbatched) {
+  const auto unbatched = RunDeterministicChaos(model_, *dataset_);
+  const auto batched_a =
+      RunDeterministicChaos(model_, *dataset_, /*batch_max=*/4);
+  const auto batched_b =
+      RunDeterministicChaos(model_, *dataset_, /*batch_max=*/4);
+  ASSERT_EQ(unbatched.size(), batched_a.size());
+  ASSERT_EQ(unbatched.size(), batched_b.size());
+  for (const auto& [id, key] : unbatched) {
+    const auto a = batched_a.find(id);
+    const auto b = batched_b.find(id);
+    ASSERT_NE(a, batched_a.end()) << "request id " << id << " missing";
+    ASSERT_NE(b, batched_b.end()) << "request id " << id << " missing";
+    EXPECT_TRUE(key == a->second)
+        << "batched decision differs from unbatched for request id " << id;
+    EXPECT_TRUE(a->second == b->second)
+        << "batched runs disagree for request id " << id;
+  }
+}
+
 // --- 3. Load shedding under a slow dependency --------------------------
 
 TEST_F(ServeChaosTest, BurstAgainstSlowModelShedsButAnswersEverything) {
@@ -325,23 +376,29 @@ TEST_F(ServeChaosTest, BurstAgainstSlowModelShedsButAnswersEverything) {
 // DESIGN.md §12 acceptance: ReloadFromCheckpoint swaps the compiled
 // inference snapshot while clients hammer the service, and no request ever
 // fails or observes a torn model — every answer is byte-identical to one of
-// the two checkpoints, never a mixture.
-TEST_F(ServeChaosTest, SnapshotSwapUnderLoad) {
+// the two checkpoints, never a mixture. With `batch_max > 1` this also
+// locks in the scheduler's snapshot-epoch rule (DESIGN.md §13): flush
+// groups are keyed by the parked steps' snapshot arena pointers, so a
+// stacked dispatch can never mix steps from checkpoints A and B — a torn
+// fingerprint here is exactly what a cross-epoch flush would produce.
+void RunSnapshotSwapUnderLoad(core::CadrlRecommender* base_model,
+                              const data::Dataset& dataset, int batch_max) {
   // Two fully trained models with identical shapes but different weights,
   // checkpointed to disk. Model `serving` starts on A and is swapped
   // between A and B while requests are in flight.
   core::CadrlOptions opts_b = ChaosModelOptions();
   opts_b.seed = 131;
   core::CadrlRecommender model_b(opts_b);
-  ASSERT_TRUE(model_b.Fit(*dataset_).ok());
+  ASSERT_TRUE(model_b.Fit(dataset).ok());
 
-  const std::string path_a = ::testing::TempDir() + "/chaos_swap_a.bin";
-  const std::string path_b = ::testing::TempDir() + "/chaos_swap_b.bin";
-  ASSERT_TRUE(model_->SaveModel(path_a).ok());
+  const std::string suffix = std::to_string(batch_max) + ".bin";
+  const std::string path_a = ::testing::TempDir() + "/chaos_swap_a" + suffix;
+  const std::string path_b = ::testing::TempDir() + "/chaos_swap_b" + suffix;
+  ASSERT_TRUE(base_model->SaveModel(path_a).ok());
   ASSERT_TRUE(model_b.SaveModel(path_b).ok());
 
   core::CadrlRecommender serving(ChaosModelOptions());
-  ASSERT_TRUE(serving.LoadModel(*dataset_, path_a).ok());
+  ASSERT_TRUE(serving.LoadModel(dataset, path_a).ok());
 
   // Golden answers per user under each checkpoint (compiled inference is
   // deterministic, so these are the only two byte patterns allowed). The
@@ -359,8 +416,8 @@ TEST_F(ServeChaosTest, SnapshotSwapUnderLoad) {
            std::vector<std::tuple<kg::EntityId, double, size_t>>>
       golden_a, golden_b;
   bool models_differ = false;
-  for (kg::EntityId user : dataset_->users) {
-    golden_a[user] = fingerprint(model_->Recommend(user, kTopK));
+  for (kg::EntityId user : dataset.users) {
+    golden_a[user] = fingerprint(base_model->Recommend(user, kTopK));
     golden_b[user] = fingerprint(model_b.Recommend(user, kTopK));
     models_differ = models_differ || golden_a[user] != golden_b[user];
   }
@@ -373,7 +430,9 @@ TEST_F(ServeChaosTest, SnapshotSwapUnderLoad) {
   options.max_attempts = 1;
   options.breaker_failure_threshold = 0;
   options.top_k = kTopK;
-  RecommendService service(&serving, *dataset_, options);
+  options.batch_max = batch_max;
+  options.batch_linger = std::chrono::microseconds{100};
+  RecommendService service(&serving, dataset, options);
   ASSERT_TRUE(service.Start().ok());
 
   // Reloader thread alternates A/B as fast as it can while 4 client
@@ -399,8 +458,8 @@ TEST_F(ServeChaosTest, SnapshotSwapUnderLoad) {
       futures[c].reserve(kRequestsPerClient);
       for (int i = 0; i < kRequestsPerClient; ++i) {
         ServeRequest req;
-        req.user = dataset_->users[(static_cast<size_t>(c) * 5 + i) %
-                                   dataset_->users.size()];
+        req.user = dataset.users[(static_cast<size_t>(c) * 5 + i) %
+                                 dataset.users.size()];
         req.k = kTopK;
         req.timeout = kNoDeadline;
         futures[c].emplace_back(req.user, service.Submit(req));
@@ -434,8 +493,19 @@ TEST_F(ServeChaosTest, SnapshotSwapUnderLoad) {
 
   EXPECT_EQ(from_a + from_b, kClients * kRequestsPerClient);
   EXPECT_GT(service.stats().reloads, 0) << "the swap loop never swapped";
+  if (batch_max > 1) {
+    EXPECT_GT(service.stats().batched_steps, 0);
+  }
   std::remove(path_a.c_str());
   std::remove(path_b.c_str());
+}
+
+TEST_F(ServeChaosTest, SnapshotSwapUnderLoad) {
+  RunSnapshotSwapUnderLoad(model_, *dataset_, /*batch_max=*/0);
+}
+
+TEST_F(ServeChaosTest, SnapshotSwapUnderLoadBatched) {
+  RunSnapshotSwapUnderLoad(model_, *dataset_, /*batch_max=*/4);
 }
 
 // --- 5. Breaker transitions match the golden trace ----------------------

@@ -5,7 +5,10 @@
 // covered by serve_chaos_test (its own binary, ctest labels chaos/tsan).
 
 #include <chrono>
+#include <condition_variable>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -451,6 +454,120 @@ TEST_F(ServeTest, AutoAssignedRequestIdsAreUniqueAndNonZero) {
   EXPECT_NE(a.request_id, 0u);
   EXPECT_NE(b.request_id, 0u);
   EXPECT_NE(a.request_id, b.request_id);
+}
+
+// Wraps the real model but parks the contextual Recommend on a gate, so a
+// test can hold the single worker mid-request and fill the admission queue
+// deterministically — no sleeps, no timing assumptions.
+class GatedRecommender : public eval::Recommender {
+ public:
+  explicit GatedRecommender(eval::Recommender* inner) : inner_(inner) {}
+  std::string name() const override { return "Gated"; }
+  Status Fit(const data::Dataset&) override { return Status::OK(); }
+  std::vector<eval::Recommendation> Recommend(kg::EntityId user,
+                                              int k) override {
+    return inner_->Recommend(user, k);
+  }
+  Status Recommend(kg::EntityId user, int k, const RequestContext& ctx,
+                   std::vector<eval::Recommendation>* out) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++entered_;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return released_; });
+    }
+    return inner_->Recommend(user, k, ctx, out);
+  }
+  // Blocks until `n` contextual calls have entered the gate.
+  void WaitForEntries(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return entered_ >= n; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  eval::Recommender* const inner_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int entered_ = 0;
+  bool released_ = false;
+};
+
+// Deterministic shed path: one worker held mid-request, a 1-slot queue
+// filled behind it, and every further Submit answered inline from the
+// degraded ladder. Locks in the exact queue/shed counters — and, with
+// batching disabled, the all-zero batcher baseline the micro-batching
+// stats build on.
+TEST_F(ServeTest, FullQueueShedsInlineWithExactStats) {
+  GatedRecommender gated(model_);
+  ServeOptions options;
+  options.threads = 1;
+  options.queue_capacity = 1;
+  options.max_attempts = 1;
+  options.backoff_base = std::chrono::microseconds{0};
+  options.breaker_failure_threshold = 0;
+  options.top_k = 5;
+  RecommendService service(&gated, *dataset_, options);
+  ASSERT_FALSE(service.batching_enabled());
+  ASSERT_TRUE(service.Start().ok());
+
+  const kg::EntityId user = dataset_->users[0];
+  const auto submit = [&] {
+    ServeRequest req;
+    req.user = user;
+    req.k = 5;
+    req.timeout = kNoDeadline;
+    return service.Submit(req);
+  };
+
+  // First request: admitted, dequeued by the lone worker, parked on the
+  // gate. Only then is the queue guaranteed empty again.
+  auto held = submit();
+  gated.WaitForEntries(1);
+  // Second request: takes the single queue slot behind the held worker.
+  auto queued = submit();
+
+  // Everything past a full queue sheds inline on this thread: the future
+  // is ready before Release(), carries kResourceExhausted plus a degraded
+  // (popularity — the cache is cold) answer.
+  constexpr int kShed = 3;
+  for (int i = 0; i < kShed; ++i) {
+    auto f = submit();
+    ASSERT_EQ(f.wait_for(std::chrono::seconds{0}),
+              std::future_status::ready);
+    const ServeResponse resp = f.get();
+    EXPECT_TRUE(resp.status.IsResourceExhausted()) << resp.status.ToString();
+    EXPECT_TRUE(resp.load_shed);
+    EXPECT_EQ(resp.level, DegradationLevel::kPopularity);
+    EXPECT_EQ(resp.attempts, 0);
+    EXPECT_FALSE(resp.recs.empty());
+  }
+
+  gated.Release();
+  EXPECT_EQ(held.get().level, DegradationLevel::kFull);
+  EXPECT_EQ(queued.get().level, DegradationLevel::kFull);
+  service.Stop();
+
+  const RecommendService::Stats stats = service.stats();
+  EXPECT_EQ(stats.requests, 2 + kShed);
+  EXPECT_EQ(stats.load_shed, kShed);
+  EXPECT_EQ(stats.full, 2);
+  EXPECT_EQ(stats.popularity, kShed);
+  EXPECT_EQ(stats.failed, 0);
+  // Batching disabled: the batcher counters and the full scheduler stats
+  // must be the all-zero baseline.
+  EXPECT_EQ(stats.batch_flushes, 0);
+  EXPECT_EQ(stats.batched_steps, 0);
+  const serve::BatchScheduler::Stats batch = service.batch_stats();
+  EXPECT_EQ(batch.steps, 0);
+  EXPECT_EQ(batch.flushes, 0);
+  EXPECT_EQ(batch.forced_flushes, 0);
+  EXPECT_EQ(batch.max_batch_observed, 0);
+  EXPECT_EQ(batch.linger_p95_us, 0);
 }
 
 TEST_F(ServeTest, ValidateRejectsBadOptions) {

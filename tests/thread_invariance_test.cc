@@ -8,8 +8,10 @@
 // dependent RNG draw, out-of-order reduction, or shared mutable state that
 // changes results will fail here even on a single-core machine.
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <future>
 #include <iterator>
 #include <string>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "data/generator.h"
 #include "embed/transe.h"
 #include "eval/evaluator.h"
+#include "serve/recommend_service.h"
 #include "util/kernels.h"
 
 namespace cadrl {
@@ -206,6 +209,62 @@ TEST_F(ThreadInvarianceTest, KernelBackendsProduceIdenticalModels) {
 
   std::remove(model_scalar.c_str());
   std::remove(model_blocked.c_str());
+}
+
+TEST_F(ThreadInvarianceTest, BatchedServingIsWorkerCountInvariant) {
+  // The serving-side face of the same contract: the worker count and the
+  // micro-batch flush composition are pure performance knobs. A service
+  // with cross-request batching enabled must return, at every worker
+  // count, the exact bytes of a direct single-threaded Recommend call —
+  // item ids, scores, and explanation paths.
+  core::CadrlOptions opts = BaseOptions();
+  opts.threads = 1;
+  opts.transe.threads = 1;
+  core::CadrlRecommender model(opts);
+  ASSERT_TRUE(model.Fit(*dataset_).ok());
+
+  constexpr int kTopK = 5;
+  std::vector<std::vector<eval::Recommendation>> baseline;
+  for (kg::EntityId user : dataset_->users) {
+    baseline.push_back(model.Recommend(user, kTopK));
+  }
+
+  for (const int workers : {1, 4}) {
+    serve::ServeOptions options;
+    options.threads = workers;
+    options.queue_capacity = 256;
+    options.top_k = kTopK;
+    options.batch_max = 4;
+    options.batch_linger = std::chrono::microseconds{200};
+    serve::RecommendService service(&model, *dataset_, options);
+    ASSERT_TRUE(service.Start().ok());
+    std::vector<std::future<serve::ServeResponse>> futures;
+    std::vector<size_t> indices;
+    for (int round = 0; round < 2; ++round) {
+      for (size_t u = 0; u < dataset_->users.size(); ++u) {
+        serve::ServeRequest req;
+        req.user = dataset_->users[u];
+        req.k = kTopK;
+        req.timeout = std::chrono::microseconds{-1};  // no deadline
+        futures.push_back(service.Submit(req));
+        indices.push_back(u);
+      }
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const serve::ServeResponse resp = futures[i].get();
+      ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+      ASSERT_EQ(resp.level, serve::DegradationLevel::kFull);
+      const auto& want = baseline[indices[i]];
+      ASSERT_EQ(want.size(), resp.recs.size());
+      for (size_t r = 0; r < want.size(); ++r) {
+        EXPECT_EQ(want[r].item, resp.recs[r].item);
+        EXPECT_EQ(want[r].score, resp.recs[r].score);
+        EXPECT_EQ(want[r].path.steps, resp.recs[r].path.steps);
+      }
+    }
+    service.Stop();
+    EXPECT_GT(service.stats().batched_steps, 0);
+  }
 }
 
 TEST_F(ThreadInvarianceTest, RolloutBatchIsPartOfTheAlgorithm) {

@@ -50,6 +50,7 @@ void Run() {
     }
     const eval::EvalResult r =
         eval::EvaluateRecommender(&model, dataset, 10, config.eval_users);
+    DumpServingArena(json, model, "arena/" + BenchJson::Slug(v.name));
     table.AddRow({v.name, Pct(r.ndcg), Pct(r.recall), Pct(r.hit_rate),
                   Pct(r.precision)});
     std::cerr << v.name << ": " << Pct(r.ndcg) << std::endl;

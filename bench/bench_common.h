@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "baselines/cafe.h"
+#include "bench_json.h"
 #include "baselines/cke.h"
 #include "baselines/deepconn.h"
 #include "baselines/heteroembed.h"
@@ -139,6 +140,22 @@ inline std::vector<ModelEntry> Table1Models(const BenchConfig& config,
 }
 
 inline std::string Pct(double v) { return TablePrinter::Fmt(v, 3); }
+
+// Serving-arena footprint of `model`'s published snapshot, per section,
+// into the bench JSON under "<key>/..." (zeros for models without a
+// compiled arena). Every bench binary dumps this for its fitted CADRL
+// model so the memory claims of DESIGN.md §14 stay measured numbers that
+// scripts can diff across commits alongside the timing metrics.
+inline void DumpServingArena(BenchJson& json, const eval::Recommender& model,
+                             const std::string& key) {
+  const eval::Recommender::ServingArena arena = model.ServingArenaBytes();
+  json.Set(key + "/store_row_bytes", static_cast<double>(arena.store_row_bytes));
+  json.Set(key + "/store_scale_bytes",
+           static_cast<double>(arena.store_scale_bytes));
+  json.Set(key + "/policy_param_bytes",
+           static_cast<double>(arena.policy_param_bytes));
+  json.Set(key + "/total_bytes", static_cast<double>(arena.total()));
+}
 
 }  // namespace bench
 }  // namespace cadrl

@@ -52,6 +52,10 @@ void Run() {
       }
       const eval::EvalResult r = eval::EvaluateRecommender(
           model.get(), dataset, 10, config.eval_users);
+      if (v.name == "CADRL") {
+        DumpServingArena(json, *model,
+                         BenchJson::Slug(dataset_name) + "/arena");
+      }
       table.AddRow({v.name, Pct(r.ndcg), Pct(r.recall), Pct(r.hit_rate),
                     Pct(r.precision)});
       std::cerr << dataset_name << " / " << v.name << " done" << std::endl;

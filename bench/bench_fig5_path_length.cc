@@ -76,6 +76,10 @@ void Run() {
           continue;
         }
         const eval::EvalResult r = eval::EvaluateRecommender(model.get(), dataset, 10, eval_cap);
+        if (s.name == "CADRL") {
+          DumpServingArena(json, *model, BenchJson::Slug(dataset_name) +
+                                             "/arena_l" + std::to_string(l));
+        }
         row.push_back(Pct(r.ndcg));
         std::cerr << dataset_name << " / " << s.name << " L=" << l
                   << ": " << Pct(r.ndcg) << std::endl;

@@ -33,6 +33,10 @@ void RunSweep(BenchJson& json, const std::string& prefix,
         continue;
       }
       const eval::EvalResult r = eval::EvaluateRecommender(&model, dataset, 10, 100);
+      // Same key per sweep value (the arena does not depend on the swept
+      // hyper-parameter); the JSON map keeps the last write.
+      DumpServingArena(json, model,
+                       prefix + BenchJson::Slug(dataset_name) + "/arena");
       row.push_back(Pct(r.ndcg));
       std::cerr << title << " " << dataset_name << " v="
                 << TablePrinter::Fmt(v, 1) << ": " << Pct(r.ndcg)

@@ -36,6 +36,7 @@ void Run() {
   data::Dataset dataset = MakeDatasetByName("Beauty");
   auto cadrl_model = baselines::MakeCadrlForDataset(config.budget, "Beauty");
   CADRL_CHECK_OK(cadrl_model->Fit(dataset));
+  DumpServingArena(json, *cadrl_model, "arena");
   auto pgpr = baselines::MakePgpr(config.budget);
   CADRL_CHECK_OK(pgpr->Fit(dataset));
 

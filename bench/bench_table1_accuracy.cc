@@ -34,6 +34,10 @@ void Run() {
       eval::EvalResult result = eval::EvaluateRecommender(
           model.get(), dataset, 10, config.eval_users);
       results[dataset_name][entry.name] = result;
+      if (entry.name == "CADRL") {
+        DumpServingArena(json, *model,
+                         "arena/" + BenchJson::Slug(dataset_name));
+      }
       std::cerr << "  " << entry.name << ": NDCG=" << Pct(result.ndcg)
                 << " (" << TablePrinter::Fmt(sw.ElapsedSeconds(), 1) << "s)"
                 << std::endl;

@@ -16,6 +16,7 @@
 
 #include "bench_common.h"
 #include "bench_json.h"
+#include "infer/precision.h"
 #include "serve/recommend_service.h"
 #include "util/alloc_stats.h"
 #include "util/failpoint.h"
@@ -448,6 +449,108 @@ void RunBatchingConcurrency(BenchJson& json) {
   table.Print(std::cout);
 }
 
+// Quantized serving end to end (DESIGN.md §14): the same trained CADRL on
+// Beauty republished under f32 / f16 / int8, reporting per-section arena
+// bytes, single-stream Recommend/FindPaths throughput, NDCG@10 / HR@10
+// drift against f32, and closed-loop batched-serve throughput (4 clients,
+// max_batch=8). The int8 row is the headline: ~0.29x the f32 embedding
+// bytes at dim 24, bit-determinism intact (quantized_inference_test holds
+// that line), drift bounded, serve throughput at least f32's.
+void RunQuantizedServing(BenchJson& json) {
+  const BenchConfig config = BenchConfig::FromEnv();
+  data::Dataset dataset = MakeDatasetByName("Beauty");
+  auto model = baselines::MakeCadrlForDataset(config.budget, "Beauty");
+  CADRL_CHECK_OK(model->Fit(dataset));
+
+  const eval::EvalResult f32_eval =
+      eval::EvaluateRecommender(model.get(), dataset, /*k=*/10,
+                                config.eval_users, config.threads);
+
+  TablePrinter table(
+      "Quantized serving: CADRL on Beauty, one trained model republished "
+      "per precision; arena bytes (rows+scales | policy), throughput, "
+      "metric drift vs f32, batched req/s (4 clients, max_batch=8)");
+  table.SetHeader({"Precision", "Store B", "Policy B", "Rec users/s",
+                   "Find paths/s", "dNDCG@10", "dHR@10", "Serve req/s"});
+
+  double f32_serve = 0.0;
+  for (const infer::Precision precision :
+       {infer::Precision::kF32, infer::Precision::kF16,
+        infer::Precision::kInt8}) {
+    model->set_snapshot_precision(precision);
+    model->RepublishSnapshot();
+    const std::string name = infer::PrecisionName(precision);
+    const std::string key = "quantized/" + name;
+    DumpServingArena(json, *model, key + "/arena");
+    const eval::Recommender::ServingArena arena = model->ServingArenaBytes();
+
+    const eval::TimingResult t = eval::MeasureEfficiency(
+        model.get(), dataset, /*users_per_run=*/30, /*paths_per_run=*/120,
+        /*repeats=*/3, config.threads);
+    const double users_per_s = 1000.0 / t.rec_per_1k_users_mean;
+    const double paths_per_s = 10000.0 / t.find_per_10k_paths_mean;
+
+    const eval::EvalResult e =
+        eval::EvaluateRecommender(model.get(), dataset, /*k=*/10,
+                                  config.eval_users, config.threads);
+    const double d_ndcg = e.ndcg - f32_eval.ndcg;
+    const double d_hr = e.hit_rate - f32_eval.hit_rate;
+
+    // Closed-loop batched serving, the deployment configuration the int8
+    // arena targets: smaller rows -> more of the store stays cache-hot
+    // while concurrent requests' steps stack.
+    constexpr int kClients = 4;
+    constexpr int kRequestsPerClient = 24;
+    serve::ServeOptions options;
+    options.threads = 4;
+    options.queue_capacity = 1024;
+    options.batch_max = 8;
+    options.batch_linger = std::chrono::microseconds{100};
+    serve::RecommendService service(model.get(), dataset, options);
+    CADRL_CHECK_OK(service.Start());
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          serve::ServeRequest req;
+          req.user = dataset.users[static_cast<size_t>(
+              c * kRequestsPerClient + i) % dataset.users.size()];
+          req.timeout = std::chrono::microseconds{-1};  // no deadline
+          service.Submit(req).get();
+        }
+      });
+    }
+    for (std::thread& th : clients) th.join();
+    const double wall_s = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    service.Stop();
+    const double req_per_s = kClients * kRequestsPerClient / wall_s;
+    if (precision == infer::Precision::kF32) f32_serve = req_per_s;
+
+    table.AddRow({name,
+                  std::to_string(arena.store_row_bytes +
+                                 arena.store_scale_bytes),
+                  std::to_string(arena.policy_param_bytes),
+                  TablePrinter::Fmt(users_per_s, 1),
+                  TablePrinter::Fmt(paths_per_s, 1),
+                  TablePrinter::Fmt(d_ndcg, 3), TablePrinter::Fmt(d_hr, 3),
+                  TablePrinter::Fmt(req_per_s, 1)});
+    json.Set(key + "/rec_users_per_s", users_per_s);
+    json.Set(key + "/find_paths_per_s", paths_per_s);
+    json.Set(key + "/ndcg_drift", d_ndcg);
+    json.Set(key + "/hit_rate_drift", d_hr);
+    json.Set(key + "/serve_req_per_s", req_per_s);
+    if (precision == infer::Precision::kInt8 && f32_serve > 0.0) {
+      json.Set("quantized/int8_vs_f32_serve_speedup", req_per_s / f32_serve);
+    }
+    std::cerr << "quantized / " << name << " done" << std::endl;
+  }
+  model->set_snapshot_precision(infer::Precision::kF32);
+  model->RepublishSnapshot();
+  table.Print(std::cout);
+}
+
 // A google-benchmark microbenchmark of the per-user inference step, the
 // operation Table III normalizes: registered so `--benchmark_filter` users
 // can drill into single-model latencies.
@@ -479,6 +582,7 @@ int main(int argc, char** argv) {
   cadrl::bench::RunCompiledVsTape(json);
   cadrl::bench::RunServeLatency(json);
   cadrl::bench::RunBatchingConcurrency(json);
+  cadrl::bench::RunQuantizedServing(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -59,6 +59,8 @@ void Run() {
       }
       const eval::EvalResult r = eval::EvaluateRecommender(
           model.get(), dataset, 10, config.eval_users);
+      DumpServingArena(json, *model, "arena/" + BenchJson::Slug(dataset_name) +
+                                         "/" + BenchJson::Slug(v.name));
       rows[v.name].push_back(Pct(r.ndcg));
       rows[v.name].push_back(Pct(r.recall));
       rows[v.name].push_back(Pct(r.hit_rate));

@@ -13,7 +13,7 @@
 //              [--requests N] [--timeout_ms N] [--fail_p P]
 //              [--latency_us N] [--latency_p P] [--seed S]
 //              [--reload_from <model-path>] [--reload_every_ms N]
-//              [--batch_max N] [--batch_linger_us N]
+//              [--batch_max N] [--batch_linger_us N] [--precision <p>]
 
 #include <algorithm>
 #include <atomic>
@@ -31,6 +31,7 @@
 #include "data/serialize.h"
 #include "eval/evaluator.h"
 #include "eval/path_metrics.h"
+#include "infer/precision.h"
 #include "serve/recommend_service.h"
 #include "util/failpoint.h"
 
@@ -90,7 +91,12 @@ int Usage() {
          "  --batch_linger_us N     serve: longest a parked step waits for"
          " peers\n"
          "                          (default 200; a lone request never"
-         " waits)\n";
+         " waits)\n"
+         "  --precision <p>         serve: row format of the published"
+         " inference\n"
+         "                          snapshot: f32 (default), f16 or int8;"
+         " overrides\n"
+         "                          CADRL_PRECISION; training stays f32\n";
   return 2;
 }
 
@@ -299,6 +305,8 @@ struct ServeFlags {
   int reload_every_ms = 200;
   int batch_max = 0;  // <= 1 serves unbatched
   int batch_linger_us = 200;
+  // Empty keeps the CADRL_PRECISION (or f32) default.
+  std::string precision;
 };
 
 bool ParseServeFlags(std::vector<std::string>* args, ServeFlags* flags) {
@@ -329,6 +337,8 @@ bool ParseServeFlags(std::vector<std::string>* args, ServeFlags* flags) {
       flags->batch_max = std::atoi(v);
     } else if (a == "--batch_linger_us" && (v = next_value(&i))) {
       flags->batch_linger_us = std::atoi(v);
+    } else if (a == "--precision" && (v = next_value(&i))) {
+      flags->precision = v;
     } else if (a.rfind("--", 0) == 0) {
       std::cerr << "unknown or incomplete flag: " << a << "\n";
       return false;
@@ -342,6 +352,13 @@ bool ParseServeFlags(std::vector<std::string>* args, ServeFlags* flags) {
       flags->batch_max < 0 || flags->batch_linger_us < 0) {
     std::cerr << "serve flag out of range\n";
     return false;
+  }
+  if (!flags->precision.empty()) {
+    infer::Precision p;
+    if (!infer::ParsePrecision(flags->precision, &p)) {
+      std::cerr << "--precision must be f32, f16 or int8\n";
+      return false;
+    }
   }
   *args = std::move(rest);
   return true;
@@ -366,6 +383,13 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
                                 &dataset);
       rc != 0) {
     return rc;
+  }
+
+  if (!flags.precision.empty()) {
+    infer::Precision p = infer::Precision::kF32;
+    infer::ParsePrecision(flags.precision, &p);  // validated at flag parse
+    model->set_snapshot_precision(p);
+    model->RepublishSnapshot();
   }
 
   Failpoints::Instance().DisarmAll();
@@ -469,7 +493,12 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
             << stats.breaker_rejections << " breaker rejections\n"
             << "breaker trips: primary "
             << service.primary_breaker().trips() << ", cache "
-            << service.cache_breaker().trips() << "\n";
+            << service.cache_breaker().trips() << "\n"
+            << "serving arena: "
+            << infer::PrecisionName(model->snapshot_precision()) << ", "
+            << stats.arena_store_row_bytes << " B rows + "
+            << stats.arena_store_scale_bytes << " B scales + "
+            << stats.arena_policy_param_bytes << " B policy\n";
   if (!flags.reload_from.empty()) {
     std::cout << "model reloads: " << stats.reloads << " succeeded, "
               << reload_failures << " failed\n";

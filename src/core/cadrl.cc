@@ -406,8 +406,11 @@ Status CadrlRecommender::Fit(const data::Dataset& dataset,
   }
   // Freeze the fitted state into the serving snapshot: training mutated
   // the live policy/store for the last time above, so the compiled copy is
-  // byte-identical to what the tape path would read.
-  PublishSnapshot(infer::CompiledModel::Build(*store_, *policy_, score_scale_));
+  // byte-identical to what the tape path would read (modulo the configured
+  // snapshot precision's quantization, applied once here).
+  PublishSnapshot(infer::CompiledModel::Build(
+      *store_, *policy_, score_scale_,
+      infer::CompiledModelOptions{snapshot_precision_}));
   fitted_ = true;
   return Status::OK();
 }
@@ -543,6 +546,27 @@ void CadrlRecommender::PublishSnapshot(
     std::shared_ptr<const infer::CompiledModel> snapshot) {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   compiled_ = std::move(snapshot);
+}
+
+void CadrlRecommender::RepublishSnapshot() {
+  if (!fitted_ || !use_compiled_ || store_ == nullptr || policy_ == nullptr) {
+    return;
+  }
+  PublishSnapshot(infer::CompiledModel::Build(
+      *store_, *policy_, score_scale_,
+      infer::CompiledModelOptions{snapshot_precision_}));
+}
+
+eval::Recommender::ServingArena CadrlRecommender::ServingArenaBytes() const {
+  const std::shared_ptr<const infer::CompiledModel> snapshot =
+      AcquireSnapshot();
+  if (snapshot == nullptr) return {};
+  const infer::ArenaBytes& ab = snapshot->arena_bytes();
+  ServingArena arena;
+  arena.store_row_bytes = ab.store_rows;
+  arena.store_scale_bytes = ab.store_scales;
+  arena.policy_param_bytes = ab.policy_params;
+  return arena;
 }
 
 namespace {
@@ -711,7 +735,9 @@ Status CadrlRecommender::LoadModel(const data::Dataset& dataset,
   std::vector<ag::Tensor> params = policy_->Parameters();
   CADRL_RETURN_IF_ERROR(ReadParams(in, &params));
   cggnn_.reset();
-  PublishSnapshot(infer::CompiledModel::Build(*store_, *policy_, score_scale_));
+  PublishSnapshot(infer::CompiledModel::Build(
+      *store_, *policy_, score_scale_,
+      infer::CompiledModelOptions{snapshot_precision_}));
   fitted_ = true;
   return Status::OK();
 }
@@ -745,7 +771,9 @@ Status CadrlRecommender::ReloadFromCheckpoint(const std::string& path) {
   SharedPolicyNetworks next_policy(MakePolicyConfig(), &scratch_rng);
   std::vector<ag::Tensor> params = next_policy.Parameters();
   CADRL_RETURN_IF_ERROR(ReadParams(in, &params));
-  PublishSnapshot(infer::CompiledModel::Build(next_store, next_policy, scale));
+  PublishSnapshot(infer::CompiledModel::Build(
+      next_store, next_policy, scale,
+      infer::CompiledModelOptions{snapshot_precision_}));
   return Status::OK();
 }
 
@@ -1048,6 +1076,15 @@ struct CadrlRecommender::TapeBeamDriver {
 // CompiledModel snapshot through infer/policy_forward, allocating no tensor
 // graph nodes. Steady state reuses the scratch buffers below, so a warmed
 // driver performs zero heap allocation per forward.
+//
+// The snapshot's tables may be quantized (f16/int8): every policy-forward
+// operand goes through RowSpan, which is zero-copy for f32 and dequantizes
+// into a per-operand slot otherwise. Slots are per *operand position* —
+// user/entity/relation/category — because one forward holds up to four row
+// pointers live at once (e.g. AdvanceRaw reads the user and entity rows
+// together). Dequantization is a pure per-row function of the stored
+// bytes, so the policy forwards stay byte-identical across thread counts
+// and batch compositions for a fixed snapshot.
 struct CadrlRecommender::CompiledBeamDriver {
   using State = infer::RawPolicyState;
 
@@ -1057,14 +1094,22 @@ struct CadrlRecommender::CompiledBeamDriver {
         zeros(static_cast<size_t>(sv.dim), 0.0f),
         batcher(infer::CurrentStepBatcher()) {}
 
-  std::span<const float> Ent(kg::EntityId e) const {
-    return {sv.EntityRow(e), static_cast<size_t>(sv.dim)};
+  // The requesting user's entity row (user_ is fixed per search).
+  std::span<const float> User() {
+    return infer::RowSpan(sv.entities, sv.precision, sv.dim,
+                          static_cast<int64_t>(user_), &user_slot);
   }
-  std::span<const float> Rel(kg::Relation r) const {
-    return {sv.RelationRow(r), static_cast<size_t>(sv.dim)};
+  std::span<const float> Ent(kg::EntityId e) {
+    return infer::RowSpan(sv.entities, sv.precision, sv.dim,
+                          static_cast<int64_t>(e), &ent_slot);
   }
-  std::span<const float> Cat(kg::CategoryId c) const {
-    return {sv.CategoryRow(c), static_cast<size_t>(sv.dim)};
+  std::span<const float> Rel(kg::Relation r) {
+    return infer::RowSpan(sv.relations, sv.precision, sv.dim,
+                          static_cast<int64_t>(r), &rel_slot);
+  }
+  std::span<const float> Cat(kg::CategoryId c) {
+    return infer::RowSpan(sv.categories, sv.precision, sv.dim,
+                          static_cast<int64_t>(c), &cat_slot);
   }
   std::span<const float> Zero() const {
     return {zeros.data(), zeros.size()};
@@ -1074,7 +1119,7 @@ struct CadrlRecommender::CompiledBeamDriver {
     user_ = user;
     State state;
     infer::InitialStateRaw(
-        pv, Ent(user),
+        pv, User(),
         category != kg::kInvalidCategory ? Cat(category) : Zero(),
         Rel(kg::Relation::kSelfLoop), Ent(user), &scratch, &state);
     return state;
@@ -1086,8 +1131,10 @@ struct CadrlRecommender::CompiledBeamDriver {
     const int n = static_cast<int>(actions.size());
     action_rows.resize(static_cast<size_t>(n) * d);
     for (int i = 0; i < n; ++i) {
-      const float* row = sv.CategoryRow(actions[static_cast<size_t>(i)]);
-      std::copy(row, row + d, action_rows.data() + static_cast<size_t>(i) * d);
+      infer::MaterializeRow(
+          sv.categories, sv.precision, d,
+          static_cast<int64_t>(actions[static_cast<size_t>(i)]),
+          action_rows.data() + static_cast<size_t>(i) * d);
     }
     logits.resize(static_cast<size_t>(n));
     if (batcher != nullptr) {
@@ -1095,7 +1142,7 @@ struct CadrlRecommender::CompiledBeamDriver {
       // feature row and action rows stay owned by this driver while the
       // step is parked, and ExecuteHead returns with `logits` holding the
       // same bytes CategoryLogitsRaw would have written.
-      infer::CategoryFeaturesRaw(pv, state, Ent(user_), Cat(current),
+      infer::CategoryFeaturesRaw(pv, state, User(), Cat(current),
                                  &batch_features);
       infer::PolicyHeadStep step;
       step.head1 = &pv.head1_c;
@@ -1106,7 +1153,7 @@ struct CadrlRecommender::CompiledBeamDriver {
       step.out = logits.data();
       batcher->ExecuteHead(&step);
     } else {
-      infer::CategoryLogitsRaw(pv, state, Ent(user_), Cat(current),
+      infer::CategoryLogitsRaw(pv, state, User(), Cat(current),
                                action_rows.data(), n, &scratch, logits.data());
     }
     probs.resize(static_cast<size_t>(n));
@@ -1125,10 +1172,10 @@ struct CadrlRecommender::CompiledBeamDriver {
     action_rows.resize(static_cast<size_t>(n) * 2 * d);
     float* dst = action_rows.data();
     for (const EntityAction& a : actions) {
-      const float* rel = sv.RelationRow(a.relation);
-      const float* ent = sv.EntityRow(a.dst);
-      std::copy(rel, rel + d, dst);
-      std::copy(ent, ent + d, dst + d);
+      infer::MaterializeRow(sv.relations, sv.precision, d,
+                            static_cast<int64_t>(a.relation), dst);
+      infer::MaterializeRow(sv.entities, sv.precision, d,
+                            static_cast<int64_t>(a.dst), dst + d);
       dst += 2 * d;
     }
     logits.resize(static_cast<size_t>(n));
@@ -1159,7 +1206,7 @@ struct CadrlRecommender::CompiledBeamDriver {
   void Advance(State* state, kg::EntityId user, kg::CategoryId category,
                kg::Relation last_rel, kg::EntityId entity) {
     (void)user;
-    infer::AdvanceRaw(pv, state, Ent(user_),
+    infer::AdvanceRaw(pv, state, User(),
                       category != kg::kInvalidCategory ? Cat(category) : Zero(),
                       Rel(last_rel), Ent(entity), &scratch);
   }
@@ -1168,6 +1215,9 @@ struct CadrlRecommender::CompiledBeamDriver {
   const infer::PolicyParamsView& pv;
   infer::PolicyScratch scratch;
   std::vector<float> zeros;
+  // Dequantized operand slots (empty and unused for f32 snapshots); one
+  // per operand position so concurrent row pointers never alias.
+  std::vector<float> user_slot, ent_slot, rel_slot, cat_slot;
   std::vector<float> action_rows, logits, probs;
   // Feature row handed to a parked PolicyHeadStep; must stay untouched by
   // other scratch users until ExecuteHead returns, hence its own buffer.

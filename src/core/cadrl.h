@@ -184,6 +184,24 @@ class CadrlRecommender : public eval::Recommender {
   void set_use_compiled_inference(bool on) { use_compiled_ = on; }
   bool use_compiled_inference() const { return use_compiled_; }
 
+  // Row format of snapshots published from now on (default: CADRL_PRECISION
+  // env, f32 when unset). Training and the live store stay f32 regardless;
+  // quantization happens once per publish. Changing this does not touch the
+  // currently published snapshot — call RepublishSnapshot() (or reload) to
+  // re-encode. Mixed-precision hot swap is safe: in-flight requests finish
+  // on the snapshot they acquired, and the batcher groups work by snapshot
+  // arena pointers, so batches never mix row formats.
+  void set_snapshot_precision(infer::Precision p) { snapshot_precision_ = p; }
+  infer::Precision snapshot_precision() const { return snapshot_precision_; }
+
+  // Rebuilds a snapshot from the live store/policy at the current
+  // snapshot_precision() and publishes it (no-op before Fit/LoadModel or
+  // with compiled inference off).
+  void RepublishSnapshot();
+
+  // Arena footprint of the currently published snapshot (zeros when none).
+  ServingArena ServingArenaBytes() const override;
+
   // The currently published inference snapshot (null before Fit/LoadModel
   // or when compiled inference is disabled at publish time); for tests and
   // benchmarks.
@@ -308,6 +326,7 @@ class CadrlRecommender : public eval::Recommender {
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const infer::CompiledModel> compiled_;
   bool use_compiled_ = true;
+  infer::Precision snapshot_precision_ = infer::PrecisionFromEnv();
 
   std::vector<float> epoch_rewards_;
   bool fitted_ = false;

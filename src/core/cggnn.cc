@@ -153,7 +153,8 @@ infer::CggnnView Cggnn::ForwardView() const {
   v.use_ggnn = options_.use_ggnn;
   v.use_cgan = options_.use_cgan;
   v.delta = options_.delta;
-  v.entity_table = entity_table_.data();
+  v.entity_table.f32 = entity_table_.data();
+  v.entity_precision = infer::Precision::kF32;
   v.relation_table = relation_table_.data();
   v.items = items_.data();
   v.num_items = static_cast<int64_t>(items_.size());

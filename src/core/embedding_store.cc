@@ -111,12 +111,13 @@ infer::ScoringView EmbeddingStore::View() const {
   view.dim = dim_;
   view.mode = score_mode_;
   view.ensemble_weight = ensemble_translation_weight_;
-  view.entities = entities_.data();
-  view.raw_entities = raw_entities_.data();
-  view.demand_entities =
+  view.precision = infer::Precision::kF32;  // the live store is always f32
+  view.entities.f32 = entities_.data();
+  view.raw_entities.f32 = raw_entities_.data();
+  view.demand_entities.f32 =
       demand_entities_.empty() ? nullptr : demand_entities_.data();
-  view.relations = relations_.data();
-  view.categories = categories_.data();
+  view.relations.f32 = relations_.data();
+  view.categories.f32 = categories_.data();
   view.num_entities = graph_->num_entities();
   view.num_categories = graph_->num_categories();
   return view;

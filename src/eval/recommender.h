@@ -1,6 +1,7 @@
 #ifndef CADRL_EVAL_RECOMMENDER_H_
 #define CADRL_EVAL_RECOMMENDER_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,20 @@ class Recommender {
   virtual Status FindPaths(kg::EntityId user, int max_paths,
                            const RequestContext& ctx,
                            std::vector<RecommendationPath>* out);
+
+  // Byte footprint of the model's frozen serving state, by section; all
+  // zeros for models without a compiled serving arena (the default).
+  // Serving stats and bench dumps report these so memory claims about
+  // quantized snapshots are measured, not computed.
+  struct ServingArena {
+    size_t store_row_bytes = 0;    // embedding-table row payloads
+    size_t store_scale_bytes = 0;  // per-row quantization metadata
+    size_t policy_param_bytes = 0; // policy parameters
+    size_t total() const {
+      return store_row_bytes + store_scale_bytes + policy_param_bytes;
+    }
+  };
+  virtual ServingArena ServingArenaBytes() const { return {}; }
 
   // Atomically swaps the model's serving state to the one persisted at
   // `path` (e.g. a checkpoint a trainer just published) without pausing

@@ -13,11 +13,20 @@ namespace {
 
 // Row of the evolving representations for any entity: items read their
 // current row, other entities their frozen table row (Cggnn::EntityRow).
+// For quantized views the frozen row is dequantized into a per-thread
+// slot, so the returned pointer is valid only until the next call.
 const float* EntityRowOf(const CggnnView& v, const std::vector<float>& reps,
                          kg::EntityId e) {
   const int64_t pos = v.item_index[static_cast<size_t>(e)];
   if (pos >= 0) return reps.data() + pos * v.dim;
-  return v.entity_table + static_cast<int64_t>(e) * v.dim;
+  if (v.entity_precision == Precision::kF32) {
+    return v.entity_table.f32 + static_cast<int64_t>(e) * v.dim;
+  }
+  static thread_local std::vector<float> slot;
+  slot.resize(static_cast<size_t>(v.dim));
+  MaterializeRow(v.entity_table, v.entity_precision, v.dim,
+                 static_cast<int64_t>(e), slot.data());
+  return slot.data();
 }
 
 // Eq 3 for one item (Cggnn::Propagate mirrored op-for-op): writes the
@@ -160,8 +169,8 @@ void CggnnForward(const CggnnView& v, std::vector<float>* out) {
   const int64_t m = v.num_items;
   std::vector<float> reps(static_cast<size_t>(m) * d);
   for (int64_t pos = 0; pos < m; ++pos) {
-    const float* src = v.entity_table + static_cast<int64_t>(v.items[pos]) * d;
-    std::copy(src, src + d, reps.data() + pos * d);
+    MaterializeRow(v.entity_table, v.entity_precision, d,
+                   static_cast<int64_t>(v.items[pos]), reps.data() + pos * d);
   }
   if (v.use_ggnn) {
     std::vector<float> contributions(static_cast<size_t>(m) * d);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "infer/precision.h"
 #include "kg/graph.h"
 
 // Tape-free forward pass of the Category-aware GGNN (core::Cggnn,
@@ -26,7 +27,13 @@ struct CggnnView {
   bool use_cgan = true;
   float delta = 0.4f;
 
-  const float* entity_table = nullptr;    // num_entities x dim
+  // Frozen entity rows, in the owner's row format (`entity_precision`).
+  // Cggnn's own training-side view is always kF32; a quantized compiled
+  // snapshot can re-run the bake with its encoded rows, paying one
+  // dequantize per frozen-row access. Relations stay f32: the table is
+  // kNumRelations rows — quantizing it saves nothing measurable.
+  RowTable entity_table;                  // num_entities x dim
+  Precision entity_precision = Precision::kF32;
   const float* relation_table = nullptr;  // kNumRelations x dim
 
   const kg::EntityId* items = nullptr;  // num_items item entity ids

@@ -1,10 +1,12 @@
 #ifndef CADRL_INFER_COMPILED_MODEL_H_
 #define CADRL_INFER_COMPILED_MODEL_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "infer/policy_forward.h"
+#include "infer/precision.h"
 #include "infer/scoring.h"
 
 namespace cadrl {
@@ -15,14 +17,43 @@ class SharedPolicyNetworks;
 
 namespace infer {
 
+// Snapshot-compile options. `precision` selects the row format of the
+// embedding-table sections (DESIGN.md §14); policy parameters are always
+// f32 — the head/LSTM math is tiny next to the tables and keeping it f32
+// keeps the policy forwards byte-identical across precisions for the same
+// (dequantized) inputs.
+struct CompiledModelOptions {
+  Precision precision = Precision::kF32;
+
+  // Default options with `precision` taken from CADRL_PRECISION
+  // (f32|f16|int8; unset -> f32).
+  static CompiledModelOptions FromEnv();
+};
+
+// Arena footprint by section, in bytes (RecommendService::Stats and every
+// bench JSON dump report these — the memory claim is a measured number).
+struct ArenaBytes {
+  size_t store_rows = 0;    // embedding-table row payloads (all tables)
+  size_t store_scales = 0;  // per-row int8 scale/zero-point metadata
+  size_t policy_params = 0; // both agents' parameters (always f32)
+  size_t total() const { return store_rows + store_scales + policy_params; }
+};
+
 // A frozen, tape-free inference snapshot: every parameter the serving path
 // needs — the embedding tables and both agents' policy parameters —
-// flattened out of ag::Tensor into one contiguous immutable arena, plus
+// flattened out of ag::Tensor into contiguous immutable arenas, plus
 // the views the compiled forwards (scoring.h / policy_forward.h) read.
 // Instances are immutable after Build and shared by std::shared_ptr, which
 // is what makes RCU-style hot swap safe: a reader that grabbed the pointer
 // keeps a complete consistent model alive for the whole request while a
 // writer publishes a new snapshot (DESIGN.md §12).
+//
+// The embedding tables live in the row format selected at Build
+// (CompiledModelOptions::precision): f32 rows in the float arena, f16 rows
+// in the half arena, or int8 rows in the byte arena with per-row binary16
+// scale/zero-point pairs in the half arena. Quantization happens exactly
+// once, here — training and the tape never see quantized values, and a
+// request's acquired snapshot carries one row format end-to-end.
 //
 // CGGNN weights are deliberately NOT part of the serving arena: the GNN
 // runs at train/load time and its outputs are already baked into the
@@ -34,7 +65,13 @@ class CompiledModel {
   CompiledModel& operator=(const CompiledModel&) = delete;
 
   // Deep-copies all tables and parameters out of the live store/policy
-  // into the arena. The sources may be mutated or destroyed afterwards.
+  // into the arenas, quantizing the tables per `options.precision`. The
+  // sources may be mutated or destroyed afterwards.
+  static std::shared_ptr<const CompiledModel> Build(
+      const core::EmbeddingStore& store,
+      const core::SharedPolicyNetworks& policy, float score_scale,
+      const CompiledModelOptions& options);
+  // Convenience overload: options from CADRL_PRECISION.
   static std::shared_ptr<const CompiledModel> Build(
       const core::EmbeddingStore& store,
       const core::SharedPolicyNetworks& policy, float score_scale);
@@ -42,15 +79,22 @@ class CompiledModel {
   const ScoringView& scoring() const { return scoring_; }
   const PolicyParamsView& policy() const { return policy_; }
   float score_scale() const { return score_scale_; }
-  // Total parameter floats held by the arena (bench/diagnostics).
+  Precision precision() const { return scoring_.precision; }
+  // Floats held by the f32 arena (policy params + f32-precision tables);
+  // prefer arena_bytes() for footprint reporting.
   size_t arena_size() const { return arena_.size(); }
+  // Per-section arena footprint in bytes, across all three arenas.
+  const ArenaBytes& arena_bytes() const { return arena_bytes_; }
 
  private:
   CompiledModel() = default;
 
-  std::vector<float> arena_;  // single allocation; views point into it
+  std::vector<float> arena_;      // policy params (+ f32 tables)
+  std::vector<uint16_t> half_arena_;  // f16 rows / int8 scale-zp pairs
+  std::vector<int8_t> byte_arena_;    // int8 rows
   ScoringView scoring_;
   PolicyParamsView policy_;
+  ArenaBytes arena_bytes_;
   float score_scale_ = 1.0f;
 };
 

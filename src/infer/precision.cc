@@ -1,0 +1,90 @@
+#include "infer/precision.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "util/kernels.h"
+#include "util/logging.h"
+
+namespace cadrl {
+namespace infer {
+
+const char* PrecisionName(Precision p) {
+  switch (p) {
+    case Precision::kF32:
+      return "f32";
+    case Precision::kF16:
+      return "f16";
+    case Precision::kInt8:
+      return "int8";
+  }
+  return "?";
+}
+
+bool ParsePrecision(const std::string& value, Precision* out) {
+  if (value == "f32") {
+    *out = Precision::kF32;
+    return true;
+  }
+  if (value == "f16") {
+    *out = Precision::kF16;
+    return true;
+  }
+  if (value == "int8") {
+    *out = Precision::kInt8;
+    return true;
+  }
+  return false;
+}
+
+Precision PrecisionFromEnv() {
+  const char* env = std::getenv("CADRL_PRECISION");
+  if (env == nullptr || env[0] == '\0') return Precision::kF32;
+  Precision p = Precision::kF32;
+  if (!ParsePrecision(env, &p)) {
+    std::cerr << "CADRL_PRECISION: unknown precision \"" << env
+              << "\", using f32\n";
+  }
+  return p;
+}
+
+RowQuant RowQuantOf(const RowTable& t, int64_t idx) {
+  RowQuant q;
+  q.scale = kernels::F16ToF32(t.q8_scale[idx]);
+  q.zp = kernels::F16ToF32(t.q8_zp[idx]);
+  return q;
+}
+
+void MaterializeRow(const RowTable& t, Precision p, int dim, int64_t idx,
+                    float* dst) {
+  switch (p) {
+    case Precision::kF32: {
+      const float* src = t.f32 + idx * dim;
+      std::copy(src, src + dim, dst);
+      return;
+    }
+    case Precision::kF16:
+      kernels::DequantizeRowF16(t.f16 + idx * dim, dim, dst);
+      return;
+    case Precision::kInt8: {
+      const RowQuant q = RowQuantOf(t, idx);
+      kernels::DequantizeRowQ8(t.q8 + idx * dim, q.scale, q.zp, dim, dst);
+      return;
+    }
+  }
+  CADRL_CHECK(false) << "unknown precision";
+}
+
+std::span<const float> RowSpan(const RowTable& t, Precision p, int dim,
+                               int64_t idx, std::vector<float>* slot) {
+  if (p == Precision::kF32) {
+    return {t.f32 + idx * dim, static_cast<size_t>(dim)};
+  }
+  slot->resize(static_cast<size_t>(dim));
+  MaterializeRow(t, p, dim, idx, slot->data());
+  return {slot->data(), slot->size()};
+}
+
+}  // namespace infer
+}  // namespace cadrl

@@ -11,11 +11,38 @@ namespace infer {
 
 namespace {
 
-// Per-thread gather buffer for batched scoring: candidate rows are packed
-// contiguously so one fused kernel call scores the whole action set.
+// Per-thread gather buffers for batched scoring: candidate rows are packed
+// contiguously so one fused kernel call scores the whole action set. The
+// quantized paths gather the *encoded* rows (plus decoded per-row
+// scale/zp) and leave dequantization to the fused kernels.
 std::vector<float>& ScratchRows() {
   static thread_local std::vector<float> scratch;
   return scratch;
+}
+
+struct QuantScratch {
+  std::vector<int8_t> q8_rows;
+  std::vector<uint16_t> f16_rows;
+  std::vector<float> scales, zps;
+};
+QuantScratch& ScratchQuant() {
+  static thread_local QuantScratch scratch;
+  return scratch;
+}
+
+// Per-thread dequantized single-row slots (user / relation operands of the
+// fused kernels). Distinct slots because one call may need both live.
+std::vector<float>& UserSlot() {
+  static thread_local std::vector<float> slot;
+  return slot;
+}
+std::vector<float>& TransUserSlot() {
+  static thread_local std::vector<float> slot;
+  return slot;
+}
+std::vector<float>& RelationSlot() {
+  static thread_local std::vector<float> slot;
+  return slot;
 }
 
 void GatherRows(const float* table, int dim,
@@ -29,33 +56,112 @@ void GatherRows(const float* table, int dim,
   }
 }
 
+void GatherRowsF16(const RowTable& t, int dim,
+                   std::span<const kg::EntityId> ids,
+                   std::vector<uint16_t>* out) {
+  out->resize(ids.size() * static_cast<size_t>(dim));
+  uint16_t* dst = out->data();
+  for (const kg::EntityId id : ids) {
+    const uint16_t* src = t.f16 + static_cast<int64_t>(id) * dim;
+    std::copy(src, src + dim, dst);
+    dst += dim;
+  }
+}
+
+void GatherRowsQ8(const RowTable& t, int dim,
+                  std::span<const kg::EntityId> ids, std::vector<int8_t>* out,
+                  std::vector<float>* scales, std::vector<float>* zps) {
+  out->resize(ids.size() * static_cast<size_t>(dim));
+  scales->resize(ids.size());
+  zps->resize(ids.size());
+  int8_t* dst = out->data();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int64_t id = static_cast<int64_t>(ids[i]);
+    const int8_t* src = t.q8 + id * dim;
+    std::copy(src, src + dim, dst);
+    dst += dim;
+    const RowQuant q = RowQuantOf(t, id);
+    (*scales)[i] = q.scale;
+    (*zps)[i] = q.zp;
+  }
+}
+
 // Translation term table selection: kTranslation scores the current
 // (possibly edited) rows; kEnsemble deliberately uses the untouched TransE
 // rows so the two terms stay independent signals.
-const float* TranslationTable(const ScoringView& view) {
+const RowTable& TranslationTable(const ScoringView& view) {
   if (view.mode == ScoreMode::kTranslation) return view.entities;
   if (view.mode == ScoreMode::kDemandTranslation &&
-      view.demand_entities != nullptr) {
+      view.demand_entities.present()) {
     return view.demand_entities;
   }
   return view.raw_entities;
+}
+
+// Row `id` of `t` as f32 for use as a kernel operand: zero-copy for f32
+// views, dequantized into `slot` otherwise.
+const float* OperandRow(const ScoringView& view, const RowTable& t,
+                        int64_t id, std::vector<float>* slot) {
+  if (view.precision == Precision::kF32) {
+    return t.f32 + id * view.dim;
+  }
+  slot->resize(static_cast<size_t>(view.dim));
+  MaterializeRow(t, view.precision, view.dim, id, slot->data());
+  return slot->data();
 }
 
 }  // namespace
 
 float ScoreUserEntity(const ScoringView& view, kg::EntityId user,
                       kg::EntityId entity) {
+  const int d = view.dim;
   float dot = 0.0f;
   if (view.mode == ScoreMode::kDotProduct || view.mode == ScoreMode::kEnsemble) {
-    dot = kernels::Dot(view.EntityRow(user), view.EntityRow(entity), view.dim);
+    const float* u = OperandRow(view, view.entities, user, &UserSlot());
+    switch (view.precision) {
+      case Precision::kF32:
+        dot = kernels::Dot(u, view.EntityRow(entity), d);
+        break;
+      case Precision::kF16:
+        dot = kernels::DotF16(
+            u, view.entities.f16 + static_cast<int64_t>(entity) * d, d);
+        break;
+      case Precision::kInt8: {
+        const RowQuant q = RowQuantOf(view.entities, entity);
+        dot = kernels::DotQ8(
+            u, view.entities.q8 + static_cast<int64_t>(entity) * d, q.scale,
+            q.zp, d);
+        break;
+      }
+    }
     if (view.mode == ScoreMode::kDotProduct) return dot;
   }
-  const float* table = TranslationTable(view);
-  const float* u = table + static_cast<int64_t>(user) * view.dim;
-  const float* v = table + static_cast<int64_t>(entity) * view.dim;
+  const RowTable& table = TranslationTable(view);
+  const float* u =
+      OperandRow(view, table, static_cast<int64_t>(user), &TransUserSlot());
+  const float* r =
+      OperandRow(view, view.relations,
+                 static_cast<int64_t>(kg::Relation::kPurchase),
+                 &RelationSlot());
   float neg_dist = 0.0f;
-  kernels::NegSqDistRows(v, /*num=*/1, view.dim, u,
-                         view.RelationRow(kg::Relation::kPurchase), &neg_dist);
+  switch (view.precision) {
+    case Precision::kF32:
+      kernels::NegSqDistRows(table.f32 + static_cast<int64_t>(entity) * d,
+                             /*num=*/1, d, u, r, &neg_dist);
+      break;
+    case Precision::kF16:
+      kernels::NegSqDistRowsF16(
+          table.f16 + static_cast<int64_t>(entity) * d, /*num=*/1, d, u, r,
+          &neg_dist);
+      break;
+    case Precision::kInt8: {
+      const RowQuant q = RowQuantOf(table, entity);
+      kernels::NegSqDistRowsQ8(table.q8 + static_cast<int64_t>(entity) * d,
+                               &q.scale, &q.zp, /*num=*/1, d, u, r,
+                               &neg_dist);
+      break;
+    }
+  }
   if (view.mode == ScoreMode::kEnsemble) {
     return dot + view.ensemble_weight * neg_dist;
   }
@@ -68,36 +174,86 @@ void ScoreUserEntities(const ScoringView& view, kg::EntityId user,
   CADRL_CHECK_EQ(entities.size(), out.size());
   if (entities.empty()) return;
   const int num = static_cast<int>(entities.size());
+  const int d = view.dim;
   std::vector<float>& scratch = ScratchRows();
+  QuantScratch& qs = ScratchQuant();
   if (view.mode == ScoreMode::kDotProduct || view.mode == ScoreMode::kEnsemble) {
-    GatherRows(view.entities, view.dim, entities, &scratch);
-    kernels::Gemv(scratch.data(), num, view.dim, view.EntityRow(user),
-                  out.data());
+    const float* u = OperandRow(view, view.entities, user, &UserSlot());
+    switch (view.precision) {
+      case Precision::kF32:
+        GatherRows(view.entities.f32, d, entities, &scratch);
+        kernels::Gemv(scratch.data(), num, d, u, out.data());
+        break;
+      case Precision::kF16:
+        GatherRowsF16(view.entities, d, entities, &qs.f16_rows);
+        kernels::GemvF16(qs.f16_rows.data(), num, d, u, out.data());
+        break;
+      case Precision::kInt8:
+        GatherRowsQ8(view.entities, d, entities, &qs.q8_rows, &qs.scales,
+                     &qs.zps);
+        kernels::GemvQ8(qs.q8_rows.data(), qs.scales.data(), qs.zps.data(),
+                        num, d, u, out.data());
+        break;
+    }
     if (view.mode == ScoreMode::kDotProduct) return;
   }
-  const float* table = TranslationTable(view);
-  const float* u = table + static_cast<int64_t>(user) * view.dim;
-  const float* r = view.RelationRow(kg::Relation::kPurchase);
-  GatherRows(table, view.dim, entities, &scratch);
+  const RowTable& table = TranslationTable(view);
+  const float* u =
+      OperandRow(view, table, static_cast<int64_t>(user), &TransUserSlot());
+  const float* r =
+      OperandRow(view, view.relations,
+                 static_cast<int64_t>(kg::Relation::kPurchase),
+                 &RelationSlot());
+  // Ensemble keeps the dots in `out` and adds the weighted translation
+  // term the same way the scalar path does (dot + w * neg_dist).
+  static thread_local std::vector<float> neg_dist;
+  float* dist_out = out.data();
   if (view.mode == ScoreMode::kEnsemble) {
-    // out already holds the dots; add the weighted translation term the
-    // same way the scalar path does (dot + w * neg_dist).
-    static thread_local std::vector<float> neg_dist;
     neg_dist.resize(entities.size());
-    kernels::NegSqDistRows(scratch.data(), num, view.dim, u, r,
-                           neg_dist.data());
+    dist_out = neg_dist.data();
+  }
+  switch (view.precision) {
+    case Precision::kF32:
+      GatherRows(table.f32, d, entities, &scratch);
+      kernels::NegSqDistRows(scratch.data(), num, d, u, r, dist_out);
+      break;
+    case Precision::kF16:
+      GatherRowsF16(table, d, entities, &qs.f16_rows);
+      kernels::NegSqDistRowsF16(qs.f16_rows.data(), num, d, u, r, dist_out);
+      break;
+    case Precision::kInt8:
+      GatherRowsQ8(table, d, entities, &qs.q8_rows, &qs.scales, &qs.zps);
+      kernels::NegSqDistRowsQ8(qs.q8_rows.data(), qs.scales.data(),
+                               qs.zps.data(), num, d, u, r, dist_out);
+      break;
+  }
+  if (view.mode == ScoreMode::kEnsemble) {
     for (int i = 0; i < num; ++i) {
       out[static_cast<size_t>(i)] +=
           view.ensemble_weight * neg_dist[static_cast<size_t>(i)];
     }
-    return;
   }
-  kernels::NegSqDistRows(scratch.data(), num, view.dim, u, r, out.data());
 }
 
 float UserCategoryAffinity(const ScoringView& view, kg::EntityId user,
                            kg::CategoryId c) {
-  return kernels::Dot(view.EntityRow(user), view.CategoryRow(c), view.dim);
+  const int d = view.dim;
+  const float* u = OperandRow(view, view.entities, user, &UserSlot());
+  switch (view.precision) {
+    case Precision::kF32:
+      return kernels::Dot(u, view.CategoryRow(c), d);
+    case Precision::kF16:
+      return kernels::DotF16(
+          u, view.categories.f16 + static_cast<int64_t>(c) * d, d);
+    case Precision::kInt8: {
+      const RowQuant q = RowQuantOf(view.categories, c);
+      return kernels::DotQ8(
+          u, view.categories.q8 + static_cast<int64_t>(c) * d, q.scale, q.zp,
+          d);
+    }
+  }
+  CADRL_CHECK(false) << "unknown precision";
+  return 0.0f;
 }
 
 }  // namespace infer

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 
+#include "infer/precision.h"
 #include "kg/graph.h"
 
 // Tape-free embedding scoring: the single implementation of user->entity
@@ -26,29 +27,35 @@ enum class ScoreMode {
   kDemandTranslation // raw translation with demand-fused user rows
 };
 
-// Non-owning view over the embedding tables a scoring call needs. All
-// pointers must outlive the view; `demand_entities` may be null (absent
-// demand table — falls back to the raw rows like the store does).
+// Non-owning view over the embedding tables a scoring call needs, in the
+// owning snapshot's row format (`precision`; the live EmbeddingStore is
+// always kF32). All pointers must outlive the view; `demand_entities` may
+// be absent (no demand table — falls back to the raw rows like the store
+// does). The scoring entry points below dispatch on `precision`
+// internally, so callers never branch on the row format.
 struct ScoringView {
   int dim = 0;
   ScoreMode mode = ScoreMode::kTranslation;
   float ensemble_weight = 0.5f;
-  const float* entities = nullptr;        // num_entities x dim
-  const float* raw_entities = nullptr;    // num_entities x dim
-  const float* demand_entities = nullptr; // num_entities x dim or null
-  const float* relations = nullptr;  // (kNumRelations + 1) x dim; last = loop
-  const float* categories = nullptr;      // num_categories x dim
+  Precision precision = Precision::kF32;
+  RowTable entities;         // num_entities x dim
+  RowTable raw_entities;     // num_entities x dim
+  RowTable demand_entities;  // num_entities x dim, or absent
+  RowTable relations;  // (kNumRelations + 1) x dim; last = self-loop
+  RowTable categories;       // num_categories x dim
   int64_t num_entities = 0;
   int64_t num_categories = 0;
 
+  // f32 row accessors — valid only for kF32 views (the live store and f32
+  // snapshots). Quantized consumers use RowSpan/MaterializeRow instead.
   const float* EntityRow(kg::EntityId e) const {
-    return entities + static_cast<int64_t>(e) * dim;
+    return entities.f32 + static_cast<int64_t>(e) * dim;
   }
   const float* RelationRow(kg::Relation r) const {
-    return relations + static_cast<int64_t>(r) * dim;
+    return relations.f32 + static_cast<int64_t>(r) * dim;
   }
   const float* CategoryRow(kg::CategoryId c) const {
-    return categories + static_cast<int64_t>(c) * dim;
+    return categories.f32 + static_cast<int64_t>(c) * dim;
   }
 };
 

@@ -28,7 +28,10 @@ ScopedStepBatcher::ScopedStepBatcher(
       installed_(batcher) {
   g_tls.batcher = batcher;
   g_tls.deadline = deadline;
-  if (installed_ != nullptr) installed_->BeginRequest();
+  if (installed_ != nullptr) {
+    backend_pin_.emplace();
+    installed_->BeginRequest();
+  }
 }
 
 ScopedStepBatcher::~ScopedStepBatcher() {

@@ -1,12 +1,14 @@
 #ifndef CADRL_INFER_STEP_BATCHER_H_
 #define CADRL_INFER_STEP_BATCHER_H_
 
+#include <optional>
 #include <span>
 
 #include "infer/policy_forward.h"
 #include "infer/scoring.h"
 #include "kg/graph.h"
 #include "util/deadline.h"
+#include "util/kernels.h"
 
 // Cross-request micro-batching seam of the compiled inference path
 // (DESIGN.md §13). A serving layer installs a StepBatcher on the worker
@@ -85,6 +87,13 @@ RequestContext::Clock::time_point CurrentStepDeadline();
 // RAII install/restore of the thread's batcher (+ request deadline).
 // Nesting restores the previous batcher on destruction; a null batcher is
 // a no-op scope, so call sites can install unconditionally.
+//
+// Installing a real batcher also pins the kernel backend
+// (kernels::BackendPin): a batched flush stacks rows from concurrent
+// requests into one dispatch, so a kernels::SetBackend racing with it
+// could split one request's steps across backends. The pin turns that
+// race into a CHECK failure in SetBackend instead of a silent
+// nondeterminism hazard.
 class ScopedStepBatcher {
  public:
   explicit ScopedStepBatcher(StepBatcher* batcher,
@@ -99,6 +108,7 @@ class ScopedStepBatcher {
   StepBatcher* const previous_batcher_;
   const RequestContext::Clock::time_point previous_deadline_;
   StepBatcher* const installed_;
+  std::optional<kernels::BackendPin> backend_pin_;
 };
 
 }  // namespace infer

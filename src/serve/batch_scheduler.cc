@@ -77,7 +77,12 @@ void BatchScheduler::ExecuteScore(infer::ScoreStep* step) {
   Record rec;
   rec.kind = Kind::kScore;
   rec.score = step;
-  Park({static_cast<int>(Kind::kScore), step->view->entities, nullptr}, &rec);
+  // The entity table's arena pointer (f32, f16 or int8 — whichever the
+  // snapshot carries) is the epoch key: a flush never mixes snapshots, and
+  // therefore never mixes row formats, even across a mid-swap precision
+  // change.
+  Park({static_cast<int>(Kind::kScore), step->view->entities.data(), nullptr},
+       &rec);
 }
 
 void BatchScheduler::Park(const GroupKey& key, Record* rec) {

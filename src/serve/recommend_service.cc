@@ -417,6 +417,11 @@ RecommendService::Stats RecommendService::stats() const {
     out.batch_flushes = batch.flushes;
     out.batched_steps = batch.steps;
   }
+  const eval::Recommender::ServingArena arena = model_->ServingArenaBytes();
+  out.arena_store_row_bytes = static_cast<int64_t>(arena.store_row_bytes);
+  out.arena_store_scale_bytes = static_cast<int64_t>(arena.store_scale_bytes);
+  out.arena_policy_param_bytes =
+      static_cast<int64_t>(arena.policy_param_bytes);
   return out;
 }
 

@@ -171,6 +171,12 @@ class RecommendService {
     int64_t reloads = 0;             // successful snapshot hot-swaps
     int64_t batch_flushes = 0;       // stacked micro-batch dispatches
     int64_t batched_steps = 0;       // beam steps routed through the batcher
+    // Serving-arena footprint of the model's current snapshot (zeros for
+    // models without a compiled arena); sampled at stats() time so a
+    // hot-swap to a different precision shows up immediately.
+    int64_t arena_store_row_bytes = 0;
+    int64_t arena_store_scale_bytes = 0;
+    int64_t arena_policy_param_bytes = 0;
   };
   Stats stats() const;
 

@@ -1,6 +1,7 @@
 #ifndef CADRL_UTIL_KERNELS_H_
 #define CADRL_UTIL_KERNELS_H_
 
+#include <cstdint>
 #include <string>
 
 // Dense f32 kernels for the CADRL hot path (autograd MatMul, CGGNN
@@ -32,17 +33,101 @@ enum class Backend {
   kBlocked,  // simd pragmas + cache blocking; bit-identical to kScalar
 };
 
-// The process-wide backend. Initialized once from the CADRL_KERNELS
-// environment variable ("scalar" or "blocked"); unset/unknown values fall
-// back to the compile-time default (kBlocked unless the build defines
-// CADRL_KERNELS_DEFAULT_SCALAR).
+// The process-wide backend, stored in an acquire/release atomic.
+// Initialized once from the CADRL_KERNELS environment variable ("scalar"
+// or "blocked"); unset/unknown values fall back to the compile-time
+// default (kBlocked unless the build defines CADRL_KERNELS_DEFAULT_SCALAR).
 Backend ActiveBackend();
 
-// Overrides the active backend (tests and benchmarks only; not
-// synchronized against concurrent kernel calls).
+// Overrides the active backend (tests and benchmarks only). The store is
+// release-ordered against the acquire load in ActiveBackend, and the call
+// CHECK-fails while any BackendPin is alive: flipping the backend under an
+// in-flight batched-request scope would let one logical dispatch observe
+// both backends.
 void SetBackend(Backend backend);
 
+// RAII marker for a region whose kernel dispatches must all observe one
+// backend (serve workers hold one for the lifetime of each batched-request
+// scope). SetBackend refuses to run while any pin is held.
+class BackendPin {
+ public:
+  BackendPin();
+  ~BackendPin();
+  BackendPin(const BackendPin&) = delete;
+  BackendPin& operator=(const BackendPin&) = delete;
+};
+
+// Number of live BackendPins process-wide (diagnostics/tests).
+int ActiveBackendPins();
+
 const char* BackendName(Backend backend);
+
+// ---------------------------------------------------------------------------
+// Quantized row formats (DESIGN.md §14). Two compact embedding-row layouts
+// for the serving arena, both dequantized on the fly inside the fused
+// kernels below — never into a temporary row buffer on the hot path:
+//
+//   f16:  each element is IEEE binary16 (uint16_t bits). Conversion to f32
+//         is exact (every binary16 value is representable), so the only
+//         loss is the one-time f32 -> f16 rounding at snapshot build.
+//   int8: each row stores dim int8 codes plus a per-row (scale, zero_point)
+//         pair, both binary16: value = scale * (q - zp). zp is a float
+//         offset (not an int8 code), so rows whose range is tiny relative
+//         to their magnitude still quantize with ~2^-11 relative error
+//         instead of collapsing.
+//
+// Every quantized kernel accumulates in f32 using the exact 8-lane order
+// documented above, with the dequantized element value
+// (float(q) - zp) * scale  (resp. F16ToF32(h)) in place of the f32 load.
+// That expression is shared with DequantizeRow*, so a fused kernel is
+// bit-identical to dequantizing the rows first and calling the f32 kernel
+// — and therefore deterministic across thread counts and backends.
+// ---------------------------------------------------------------------------
+
+// IEEE binary16 <-> f32. F32ToF16 rounds to nearest-even, clamping
+// overflow to +-inf; F16ToF32 is exact (subnormals included).
+float F16ToF32(uint16_t bits);
+uint16_t F32ToF16(float value);
+
+// Quantizes one row of n f32 values to int8 codes plus binary16
+// scale/zero-point bits. Constant rows degrade gracefully (all-zero rows
+// reproduce exactly); the scale is floored so the zero-point magnitude
+// always fits binary16.
+void QuantizeRowQ8(const float* x, int n, int8_t* q, uint16_t* scale_bits,
+                   uint16_t* zp_bits);
+
+// out[i] = (float(q[i]) - zp) * scale — the kernels' element expression.
+void DequantizeRowQ8(const int8_t* q, float scale, float zp, int n,
+                     float* out);
+
+void QuantizeRowF16(const float* x, int n, uint16_t* out);
+void DequantizeRowF16(const uint16_t* h, int n, float* out);
+
+// dot(x, dequant(q)) in the documented 8-lane order, dequantizing on the
+// accumulate. Bit-identical to Dot(x, DequantizeRowQ8(q)).
+float DotQ8(const float* x, const int8_t* q, float scale, float zp, int n);
+float DotF16(const float* x, const uint16_t* h, int n);
+
+// y[i] = DotQ8(x, A row i) for A (m x n) int8 rows with per-row
+// scales/zps (batched action scoring over gathered quantized rows).
+void GemvQ8(const int8_t* a, const float* scales, const float* zps, int m,
+            int n, const float* x, float* y);
+void GemvF16(const uint16_t* a, int m, int n, const float* x, float* y);
+
+// C[i][j] += DotQ8(A row i, B row j) for f32 A (m x k) against quantized
+// B (n x k): C += A * dequant(B)^T, each element in the 8-lane order.
+void GemmNTQ8Acc(const float* a, const int8_t* b, const float* b_scales,
+                 const float* b_zps, float* c, int m, int n, int k);
+void GemmNTF16Acc(const float* a, const uint16_t* b, float* c, int m, int n,
+                  int k);
+
+// out[i] = -||(u + r) - dequant(rows[i])||^2 over quantized rows: the
+// fused TransE translation score, dequantize-on-accumulate.
+void NegSqDistRowsQ8(const int8_t* rows, const float* scales,
+                     const float* zps, int num, int d, const float* u,
+                     const float* r, float* out);
+void NegSqDistRowsF16(const uint16_t* rows, int num, int d, const float* u,
+                      const float* r, float* out);
 
 // dot(x, y) over n elements in the documented 8-lane order.
 float Dot(const float* x, const float* y, int n);

@@ -19,6 +19,7 @@
 #include "core/cadrl.h"
 #include "data/generator.h"
 #include "infer/policy_forward.h"
+#include "infer/precision.h"
 #include "infer/step_batcher.h"
 #include "serve/batch_scheduler.h"
 #include "serve/recommend_service.h"
@@ -128,6 +129,52 @@ TEST_F(BatchSchedulerTest, RecommendByteIdenticalForAllCompositions) {
     }
   }
   kernels::SetBackend(saved);
+}
+
+// The same composition sweep over a *quantized* snapshot: batching over
+// int8 rows must be exactly as composition-invariant as over f32 — the
+// batcher stacks rows materialized through one shared dequantize formula,
+// so batch membership can no more change bytes than it can at f32.
+TEST_F(BatchSchedulerTest, RecommendByteIdenticalForAllCompositionsInt8) {
+  const infer::Precision saved_precision = model_->snapshot_precision();
+  model_->set_snapshot_precision(infer::Precision::kInt8);
+  model_->RepublishSnapshot();
+  ASSERT_EQ(model_->CurrentSnapshot()->precision(), infer::Precision::kInt8);
+
+  constexpr int kMaxBatch = 4;
+  const kernels::Backend saved = kernels::ActiveBackend();
+  for (const kernels::Backend backend :
+       {kernels::Backend::kBlocked, kernels::Backend::kScalar}) {
+    kernels::SetBackend(backend);
+    std::vector<std::vector<eval::Recommendation>> baseline;
+    for (kg::EntityId user : dataset_->users) {
+      baseline.push_back(model_->Recommend(user, 10));
+    }
+    for (int width = 1; width <= kMaxBatch; ++width) {
+      BatchScheduler::Options options;
+      options.max_batch = kMaxBatch;
+      options.max_linger = std::chrono::microseconds{500};
+      BatchScheduler scheduler(options);
+      std::vector<std::thread> clients;
+      clients.reserve(static_cast<size_t>(width));
+      for (int c = 0; c < width; ++c) {
+        clients.emplace_back([&, c] {
+          for (size_t u = 0; u < dataset_->users.size(); ++u) {
+            const size_t idx =
+                (u + static_cast<size_t>(c) * 3) % dataset_->users.size();
+            infer::ScopedStepBatcher scope(&scheduler);
+            const auto recs = model_->Recommend(dataset_->users[idx], 10);
+            ExpectSameRecommendations(baseline[idx], recs);
+          }
+        });
+      }
+      for (std::thread& t : clients) t.join();
+      EXPECT_GT(scheduler.stats().steps, 0);
+    }
+  }
+  kernels::SetBackend(saved);
+  model_->set_snapshot_precision(saved_precision);
+  model_->RepublishSnapshot();
 }
 
 TEST_F(BatchSchedulerTest, FindPathsByteIdenticalUnderBatching) {

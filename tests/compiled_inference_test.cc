@@ -80,6 +80,10 @@ class CompiledInferenceTest : public ::testing::Test {
     dataset_ = new data::Dataset(
         data::MustGenerateDataset(data::SyntheticConfig::Tiny()));
     model_ = new CadrlRecommender(GoldenOptions());
+    // Compiled-vs-tape byte identity is an f32 contract: the tape computes
+    // in f32, so the snapshot must too, whatever CADRL_PRECISION says (the
+    // quantized-snapshot contract lives in quantized_inference_test.cc).
+    model_->set_snapshot_precision(infer::Precision::kF32);
     ASSERT_TRUE(model_->Fit(*dataset_).ok());
   }
   static void TearDownTestSuite() {

@@ -7,7 +7,9 @@
 // before it can silently shift golden values elsewhere.
 
 #include <bit>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -445,6 +447,270 @@ TEST(KernelsTest, BatchedScoringBitIdenticalToScalarScoring) {
       ASSERT_EQ(Bits(memo.Score(entities[7])), Bits(batched[7]));
     });
   }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized row formats (binary16 / int8 with per-row scale+zero-point).
+// The contract under test: every fused quantized kernel is bit-identical to
+// dequantizing the rows first and running the f32 kernel — the shared
+// DequantQ8/F16ToF32 expression makes fusion a pure layout change.
+// ---------------------------------------------------------------------------
+
+// Lengths covering every n % 8 residue plus multi-block sizes.
+const int kQuantLens[] = {1, 2, 3, 4, 5, 6, 7, 8,
+                          9, 10, 11, 12, 13, 14, 15, 64, 131};
+// Row counts straddling the blocked backend's kBlockM=32 tile edge.
+const int kQuantRows[] = {1, 7, 31, 32, 33, 65};
+
+// Encodes `rows x n` f32 values as int8 rows + decoded per-row scale/zp.
+struct Q8Table {
+  std::vector<int8_t> q;
+  std::vector<float> scales, zps;
+  std::vector<float> dequant;  // DequantizeRowQ8 of every row
+
+  Q8Table(const std::vector<float>& x, int rows, int n) {
+    q.resize(x.size());
+    scales.resize(static_cast<size_t>(rows));
+    zps.resize(static_cast<size_t>(rows));
+    dequant.resize(x.size());
+    for (int i = 0; i < rows; ++i) {
+      uint16_t scale_bits = 0, zp_bits = 0;
+      QuantizeRowQ8(x.data() + static_cast<size_t>(i) * n, n,
+                    q.data() + static_cast<size_t>(i) * n, &scale_bits,
+                    &zp_bits);
+      scales[static_cast<size_t>(i)] = F16ToF32(scale_bits);
+      zps[static_cast<size_t>(i)] = F16ToF32(zp_bits);
+      DequantizeRowQ8(q.data() + static_cast<size_t>(i) * n,
+                      scales[static_cast<size_t>(i)],
+                      zps[static_cast<size_t>(i)], n,
+                      dequant.data() + static_cast<size_t>(i) * n);
+    }
+  }
+};
+
+TEST(KernelsTest, F16ConversionRoundTripsAndSpecials) {
+  // Exactly representable values survive a f32 -> f16 -> f32 round trip.
+  for (float x : {0.0f, 1.0f, -1.0f, 0.5f, -2.0f, 1024.0f, 65504.0f,
+                  0.0009765625f}) {
+    EXPECT_EQ(F16ToF32(F32ToF16(x)), x) << x;
+  }
+  // Conversion is idempotent: re-encoding a decoded f16 changes nothing.
+  Lcg rng(53);
+  for (int i = 0; i < 200; ++i) {
+    const float x = rng.Next() * 100.0f;
+    const uint16_t h = F32ToF16(x);
+    EXPECT_EQ(F32ToF16(F16ToF32(h)), h);
+    // Round-to-nearest-even: error bounded by half a ulp (2^-11 relative
+    // for normal values).
+    EXPECT_LE(std::abs(F16ToF32(h) - x), std::abs(x) * 0x1p-11f + 0x1p-24f);
+  }
+  // Overflow saturates to infinity, sign preserved.
+  EXPECT_EQ(F16ToF32(F32ToF16(1.0e6f)),
+            std::numeric_limits<float>::infinity());
+  EXPECT_EQ(F16ToF32(F32ToF16(-1.0e6f)),
+            -std::numeric_limits<float>::infinity());
+}
+
+TEST(KernelsTest, QuantizeRowQ8RoundTripErrorBounds) {
+  Lcg rng(59);
+  for (int n : kQuantLens) {
+    // Random, constant-offset-dominated, and scaled rows.
+    std::vector<std::vector<float>> cases;
+    cases.push_back(rng.Vec(n));
+    {
+      std::vector<float> offset = rng.Vec(n);
+      for (float& v : offset) v = 300.0f + 0.001f * v;  // tiny spread
+      cases.push_back(std::move(offset));
+    }
+    {
+      std::vector<float> wide = rng.Vec(n);
+      for (float& v : wide) v *= 1000.0f;
+      cases.push_back(std::move(wide));
+    }
+    for (const auto& x : cases) {
+      const Q8Table t(x, 1, n);
+      // Error bound: half a code step, plus the worst-case clamp shift from
+      // rounding the zero-point to binary16 (|zp| * 2^-11 code units,
+      // doubled for slack).
+      const float bound =
+          t.scales[0] * (0.5f + std::abs(t.zps[0]) * 0x1p-10f) + 1e-6f;
+      for (int i = 0; i < n; ++i) {
+        EXPECT_LE(std::abs(t.dequant[static_cast<size_t>(i)] -
+                           x[static_cast<size_t>(i)]),
+                  bound)
+            << "n=" << n << " i=" << i;
+      }
+    }
+  }
+  // Exactness guarantees: an all-zero row decodes to exact zeros and a
+  // constant row to the f16 rounding of the constant.
+  for (int n : {1, 5, 8, 13}) {
+    const std::vector<float> zeros(static_cast<size_t>(n), 0.0f);
+    const Q8Table tz(zeros, 1, n);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(Bits(tz.dequant[static_cast<size_t>(i)]), Bits(0.0f));
+    }
+    const std::vector<float> cst(static_cast<size_t>(n), 0.3137f);
+    const Q8Table tc(cst, 1, n);
+    const float want = F16ToF32(F32ToF16(0.3137f));
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(Bits(tc.dequant[static_cast<size_t>(i)]), Bits(want));
+    }
+  }
+}
+
+TEST(KernelsTest, DotQ8AndDotF16MatchDequantizedDot) {
+  ForEachBackend([] {
+    Lcg rng(61);
+    for (int n : kQuantLens) {
+      const auto x = rng.Vec(n);
+      const auto raw = rng.Vec(n);
+      const Q8Table t(raw, 1, n);
+      EXPECT_EQ(Bits(DotQ8(x.data(), t.q.data(), t.scales[0], t.zps[0], n)),
+                Bits(Dot(x.data(), t.dequant.data(), n)))
+          << "DotQ8 n=" << n;
+
+      std::vector<uint16_t> h(static_cast<size_t>(n));
+      QuantizeRowF16(raw.data(), n, h.data());
+      std::vector<float> deq(static_cast<size_t>(n));
+      DequantizeRowF16(h.data(), n, deq.data());
+      EXPECT_EQ(Bits(DotF16(x.data(), h.data(), n)),
+                Bits(Dot(x.data(), deq.data(), n)))
+          << "DotF16 n=" << n;
+    }
+  });
+}
+
+TEST(KernelsTest, GemvQ8AndF16MatchDequantizedGemv) {
+  ForEachBackend([] {
+    Lcg rng(67);
+    for (int m : kQuantRows) {
+      for (int n : {5, 8, 11, 24}) {
+        const auto x = rng.Vec(n);
+        const auto raw = rng.Vec(m * n);
+        const Q8Table t(raw, m, n);
+        std::vector<float> got(static_cast<size_t>(m), 99.0f);
+        GemvQ8(t.q.data(), t.scales.data(), t.zps.data(), m, n, x.data(),
+               got.data());
+        std::vector<float> want(static_cast<size_t>(m));
+        Gemv(t.dequant.data(), m, n, x.data(), want.data());
+        ExpectSameBits(got, want, "GemvQ8");
+
+        std::vector<uint16_t> h(raw.size());
+        QuantizeRowF16(raw.data(), m * n, h.data());
+        std::vector<float> deq(raw.size());
+        DequantizeRowF16(h.data(), m * n, deq.data());
+        GemvF16(h.data(), m, n, x.data(), got.data());
+        Gemv(deq.data(), m, n, x.data(), want.data());
+        ExpectSameBits(got, want, "GemvF16");
+      }
+    }
+  });
+}
+
+TEST(KernelsTest, GemmNTQ8AccAndF16AccMatchDequantizedGemm) {
+  ForEachBackend([] {
+    Lcg rng(71);
+    for (int m : {1, 3, 9}) {
+      for (int n : {1, 4, 33}) {
+        for (int k : {5, 8, 13, 24}) {
+          const auto a = rng.Vec(m * k);
+          const auto raw = rng.Vec(n * k);
+          const Q8Table t(raw, n, k);
+          std::vector<float> got = rng.Vec(m * n);
+          std::vector<float> want = got;
+          GemmNTQ8Acc(a.data(), t.q.data(), t.scales.data(), t.zps.data(),
+                      got.data(), m, n, k);
+          GemmNTAcc(a.data(), t.dequant.data(), want.data(), m, n, k);
+          ExpectSameBits(got, want, "GemmNTQ8Acc");
+
+          std::vector<uint16_t> h(raw.size());
+          QuantizeRowF16(raw.data(), n * k, h.data());
+          std::vector<float> deq(raw.size());
+          DequantizeRowF16(h.data(), n * k, deq.data());
+          got = rng.Vec(m * n);
+          want = got;
+          GemmNTF16Acc(a.data(), h.data(), got.data(), m, n, k);
+          GemmNTAcc(a.data(), deq.data(), want.data(), m, n, k);
+          ExpectSameBits(got, want, "GemmNTF16Acc");
+        }
+      }
+    }
+  });
+}
+
+TEST(KernelsTest, NegSqDistRowsQ8AndF16MatchDequantizedRows) {
+  ForEachBackend([] {
+    Lcg rng(73);
+    for (int num : kQuantRows) {
+      for (int d : {5, 8, 12, 15, 24}) {
+        const auto u = rng.Vec(d);
+        const auto r = rng.Vec(d);
+        const auto raw = rng.Vec(num * d);
+        const Q8Table t(raw, num, d);
+        std::vector<float> got(static_cast<size_t>(num));
+        std::vector<float> want(static_cast<size_t>(num));
+        NegSqDistRowsQ8(t.q.data(), t.scales.data(), t.zps.data(), num, d,
+                        u.data(), r.data(), got.data());
+        NegSqDistRows(t.dequant.data(), num, d, u.data(), r.data(),
+                      want.data());
+        ExpectSameBits(got, want, "NegSqDistRowsQ8");
+
+        std::vector<uint16_t> h(raw.size());
+        QuantizeRowF16(raw.data(), num * d, h.data());
+        std::vector<float> deq(raw.size());
+        DequantizeRowF16(h.data(), num * d, deq.data());
+        NegSqDistRowsF16(h.data(), num, d, u.data(), r.data(), got.data());
+        NegSqDistRows(deq.data(), num, d, u.data(), r.data(), want.data());
+        ExpectSameBits(got, want, "NegSqDistRowsF16");
+      }
+    }
+  });
+}
+
+TEST(KernelsTest, QuantizedScalarVsBlockedBitIdentical) {
+  // Direct scalar-vs-blocked comparison on awkward shapes: the dequantized
+  // references above already imply it (the f32 kernels are backend-exact),
+  // but this fails with a clearer message on divergence.
+  Lcg rng(79);
+  const int m = 33, d = 13;
+  const auto x = rng.Vec(d);
+  const auto u = rng.Vec(d);
+  const auto r = rng.Vec(d);
+  const auto raw = rng.Vec(m * d);
+  const Q8Table t(raw, m, d);
+  const Backend saved = ActiveBackend();
+
+  SetBackend(Backend::kScalar);
+  const float dot_s = DotQ8(x.data(), t.q.data(), t.scales[0], t.zps[0], d);
+  std::vector<float> dist_s(static_cast<size_t>(m));
+  NegSqDistRowsQ8(t.q.data(), t.scales.data(), t.zps.data(), m, d, u.data(),
+                  r.data(), dist_s.data());
+
+  SetBackend(Backend::kBlocked);
+  const float dot_b = DotQ8(x.data(), t.q.data(), t.scales[0], t.zps[0], d);
+  std::vector<float> dist_b(static_cast<size_t>(m));
+  NegSqDistRowsQ8(t.q.data(), t.scales.data(), t.zps.data(), m, d, u.data(),
+                  r.data(), dist_b.data());
+
+  SetBackend(saved);
+  EXPECT_EQ(Bits(dot_s), Bits(dot_b));
+  ExpectSameBits(dist_s, dist_b, "NegSqDistRowsQ8 scalar vs blocked");
+}
+
+TEST(KernelsDeathTest, SetBackendRefusesWhileBackendPinned) {
+  EXPECT_EQ(ActiveBackendPins(), 0);
+  {
+    BackendPin pin;
+    EXPECT_EQ(ActiveBackendPins(), 1);
+    EXPECT_DEATH(SetBackend(Backend::kScalar), "BackendPin");
+  }
+  EXPECT_EQ(ActiveBackendPins(), 0);
+  // With the pin released, switching works again.
+  const Backend saved = ActiveBackend();
+  SetBackend(Backend::kScalar);
+  EXPECT_EQ(ActiveBackend(), Backend::kScalar);
+  SetBackend(saved);
 }
 
 }  // namespace

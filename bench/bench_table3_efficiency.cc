@@ -17,6 +17,7 @@
 #include "bench_common.h"
 #include "bench_json.h"
 #include "infer/precision.h"
+#include "serve/overload_harness.h"
 #include "serve/recommend_service.h"
 #include "util/alloc_stats.h"
 #include "util/failpoint.h"
@@ -551,6 +552,68 @@ void RunQuantizedServing(BenchJson& json) {
   table.Print(std::cout);
 }
 
+// Goodput vs offered load (DESIGN.md §15): the discrete-event overload
+// harness (4 simulated workers, 1ms +/- 30% service, 20ms deadline, 1s of
+// virtual time per cell) swept over 1x-4x of nominal capacity, once with
+// the plain bounded queue and once with the AIMD admission limiter +
+// deadline-aware early shedding. Virtual-clock simulation: every cell is
+// deterministic and the whole sweep costs only simulation work. The
+// contract the chaos suite enforces shows up as the shape of the two
+// curves — fixed-queue goodput collapses past saturation while AIMD
+// goodput holds near capacity, trading the excess for explicit sheds.
+void RunOverloadCurve(BenchJson& json) {
+  TablePrinter table(
+      "Overload control: goodput vs offered load, fixed queue vs AIMD "
+      "admission (DES on a virtual clock; 4 workers, 1ms service, 20ms "
+      "deadline, 1s per cell)");
+  table.SetHeader({"Mode/Load", "Offered/s", "Goodput/s", "p95 full(ms)",
+                   "Shed rate", "Degraded", "Limit [min,max]"});
+
+  for (const bool adaptive : {false, true}) {
+    const std::string mode = adaptive ? "aimd" : "fixed";
+    for (const double multiplier : {1.0, 1.5, 2.0, 3.0, 4.0}) {
+      serve::OverloadOptions o;
+      o.workers = 4;
+      o.mean_service = std::chrono::microseconds{1000};
+      o.service_jitter = 0.3;
+      o.deadline = std::chrono::microseconds{20000};
+      o.duration = std::chrono::milliseconds{1000};
+      o.seed = 42;
+      o.offered_multiplier = multiplier;
+      o.adaptive_admission = adaptive;
+      const serve::OverloadReport r = serve::RunOverload(o);
+
+      std::string load = TablePrinter::Fmt(multiplier, 1) + "x";
+      table.AddRow({mode + "/" + load,
+                    TablePrinter::Fmt(r.offered_per_s, 0),
+                    TablePrinter::Fmt(r.goodput_per_s, 0),
+                    TablePrinter::Fmt(r.p95_full_ms, 2),
+                    TablePrinter::Fmt(r.shed_rate, 3),
+                    std::to_string(r.degraded),
+                    adaptive ? "[" + TablePrinter::Fmt(r.limit_min, 1) +
+                                   ", " + TablePrinter::Fmt(r.limit_max, 1) +
+                                   "]"
+                             : "-"});
+      // JSON keys use the multiplier with the dot stripped (1.5x -> 1p5x).
+      std::string mkey = TablePrinter::Fmt(multiplier, 1) + "x";
+      std::replace(mkey.begin(), mkey.end(), '.', 'p');
+      const std::string key = "overload/" + mode + "/" + mkey;
+      json.Set(key + "/offered_per_s", r.offered_per_s);
+      json.Set(key + "/goodput_per_s", r.goodput_per_s);
+      json.Set(key + "/p95_full_ms", r.p95_full_ms);
+      json.Set(key + "/shed_rate", r.shed_rate);
+      if (adaptive) {
+        json.Set(key + "/limit_min", r.limit_min);
+        json.Set(key + "/limit_max", r.limit_max);
+        json.Set(key + "/limit_mean", r.limit_mean);
+      }
+      std::cerr << "overload / " << mode << " " << load << " done"
+                << std::endl;
+    }
+  }
+  table.Print(std::cout);
+}
+
 // A google-benchmark microbenchmark of the per-user inference step, the
 // operation Table III normalizes: registered so `--benchmark_filter` users
 // can drill into single-model latencies.
@@ -583,6 +646,7 @@ int main(int argc, char** argv) {
   cadrl::bench::RunServeLatency(json);
   cadrl::bench::RunBatchingConcurrency(json);
   cadrl::bench::RunQuantizedServing(json);
+  cadrl::bench::RunOverloadCurve(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

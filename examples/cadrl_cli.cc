@@ -14,6 +14,7 @@
 //              [--latency_us N] [--latency_p P] [--seed S]
 //              [--reload_from <model-path>] [--reload_every_ms N]
 //              [--batch_max N] [--batch_linger_us N] [--precision <p>]
+//              [--adaptive_admission] [--metrics_every_ms N]
 
 #include <algorithm>
 #include <atomic>
@@ -96,7 +97,14 @@ int Usage() {
          " inference\n"
          "                          snapshot: f32 (default), f16 or int8;"
          " overrides\n"
-         "                          CADRL_PRECISION; training stays f32\n";
+         "                          CADRL_PRECISION; training stays f32\n"
+         "  --adaptive_admission    serve: AIMD admission limiter +"
+         " deadline-aware\n"
+         "                          early shedding (DESIGN.md §15)\n"
+         "  --metrics_every_ms N    serve: dump Prometheus metrics"
+         " (MetricsText) to\n"
+         "                          stdout every N ms, and once at the end"
+         " of the run\n";
   return 2;
 }
 
@@ -307,6 +315,8 @@ struct ServeFlags {
   int batch_linger_us = 200;
   // Empty keeps the CADRL_PRECISION (or f32) default.
   std::string precision;
+  bool adaptive_admission = false;
+  int metrics_every_ms = 0;  // 0 = no periodic dump
 };
 
 bool ParseServeFlags(std::vector<std::string>* args, ServeFlags* flags) {
@@ -339,6 +349,10 @@ bool ParseServeFlags(std::vector<std::string>* args, ServeFlags* flags) {
       flags->batch_linger_us = std::atoi(v);
     } else if (a == "--precision" && (v = next_value(&i))) {
       flags->precision = v;
+    } else if (a == "--adaptive_admission") {
+      flags->adaptive_admission = true;
+    } else if (a == "--metrics_every_ms" && (v = next_value(&i))) {
+      flags->metrics_every_ms = std::atoi(v);
     } else if (a.rfind("--", 0) == 0) {
       std::cerr << "unknown or incomplete flag: " << a << "\n";
       return false;
@@ -349,7 +363,8 @@ bool ParseServeFlags(std::vector<std::string>* args, ServeFlags* flags) {
   if (flags->requests < 1 || flags->fail_p < 0.0 || flags->fail_p > 1.0 ||
       flags->latency_p < 0.0 || flags->latency_p > 1.0 ||
       flags->latency_us < 0 || flags->reload_every_ms < 1 ||
-      flags->batch_max < 0 || flags->batch_linger_us < 0) {
+      flags->batch_max < 0 || flags->batch_linger_us < 0 ||
+      flags->metrics_every_ms < 0) {
     std::cerr << "serve flag out of range\n";
     return false;
   }
@@ -409,6 +424,7 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
   options.seed = flags.seed;
   options.batch_max = flags.batch_max;
   options.batch_linger = std::chrono::microseconds{flags.batch_linger_us};
+  options.admission.enabled = flags.adaptive_admission;
   serve::RecommendService service(model.get(), dataset, options);
   if (const Status s = service.Start(); !s.ok()) {
     std::cerr << "error starting service: " << s.ToString() << "\n";
@@ -431,7 +447,23 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
     std::cout << ", micro-batching max=" << flags.batch_max << " linger="
               << flags.batch_linger_us << "us";
   }
+  if (flags.adaptive_admission) std::cout << ", adaptive admission";
   std::cout << ")...\n";
+
+  // Optional metrics scraper stand-in: dumps the Prometheus exposition to
+  // stdout on a fixed period, the way a sidecar would scrape /metrics.
+  std::atomic<bool> metrics_done{false};
+  std::thread metrics_dumper;
+  if (flags.metrics_every_ms > 0) {
+    metrics_dumper = std::thread([&] {
+      while (!metrics_done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds{flags.metrics_every_ms});
+        if (metrics_done.load(std::memory_order_relaxed)) break;
+        std::cout << "# --- metrics dump ---\n" << service.MetricsText();
+      }
+    });
+  }
 
   // Live model reload: while the request stream replays, a publisher
   // thread hot-swaps the serving snapshot from --reload_from — the
@@ -475,6 +507,14 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
     reloads_done.store(true, std::memory_order_relaxed);
     reloader.join();
   }
+  if (metrics_dumper.joinable()) {
+    metrics_done.store(true, std::memory_order_relaxed);
+    metrics_dumper.join();
+  }
+  // Final exposition before Stop() clears in-flight state, so the dump
+  // reflects the whole run.
+  const std::string final_metrics =
+      flags.metrics_every_ms > 0 ? service.MetricsText() : std::string();
   service.Stop();
   Failpoints::Instance().DisarmAll();
 
@@ -499,6 +539,16 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
             << stats.arena_store_row_bytes << " B rows + "
             << stats.arena_store_scale_bytes << " B scales + "
             << stats.arena_policy_param_bytes << " B policy\n";
+  if (flags.adaptive_admission) {
+    const serve::AdmissionController::Snapshot adm =
+        service.admission().snapshot();
+    std::cout << "admission: limit " << adm.limit << " (x"
+              << adm.increases << " increase, x" << adm.decreases
+              << " decrease), " << stats.early_sheds << " early + "
+              << stats.limit_sheds << " limit + " << stats.queue_full_sheds
+              << " queue-full + " << stats.queue_timeout_sheds
+              << " queue-timeout sheds\n";
+  }
   if (!flags.reload_from.empty()) {
     std::cout << "model reloads: " << stats.reloads << " succeeded, "
               << reload_failures << " failed\n";
@@ -521,6 +571,9 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
               << Percentile(lat, 0.50) << "ms  p95 "
               << Percentile(lat, 0.95) << "ms  p99 "
               << Percentile(lat, 0.99) << "ms\n";
+  }
+  if (!final_metrics.empty()) {
+    std::cout << "# --- final metrics ---\n" << final_metrics;
   }
   return 0;
 }

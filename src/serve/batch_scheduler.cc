@@ -1,30 +1,11 @@
 #include "serve/batch_scheduler.h"
 
 #include <algorithm>
-#include <bit>
 
 #include "util/logging.h"
 
 namespace cadrl {
 namespace serve {
-
-namespace {
-
-// Power-of-two microsecond bucket of a park -> scatter wait. Bucket b
-// covers [2^(b-1), 2^b - 1] us (b = 0 holds zero-wait steps).
-size_t WaitBucket(int64_t wait_us) {
-  if (wait_us <= 0) return 0;
-  return static_cast<size_t>(std::bit_width(static_cast<uint64_t>(wait_us)));
-}
-
-int64_t WaitBucketUpperUs(size_t bucket) {
-  if (bucket == 0) return 0;
-  return (int64_t{1} << bucket) - 1;
-}
-
-constexpr size_t kWaitBuckets = 64;
-
-}  // namespace
 
 Status BatchScheduler::Options::Validate() const {
   if (max_batch < 1) {
@@ -36,11 +17,13 @@ Status BatchScheduler::Options::Validate() const {
   return Status::OK();
 }
 
-BatchScheduler::BatchScheduler(const Options& options) : options_(options) {
+BatchScheduler::BatchScheduler(const Options& options)
+    : options_(options),
+      time_(options.time_source != nullptr ? options.time_source
+                                           : RealTimeSource::Get()) {
   CADRL_CHECK(options_.Validate().ok()) << options_.Validate().ToString();
   stats_.batch_size_hist.assign(static_cast<size_t>(options_.max_batch) + 1,
                                 0);
-  wait_hist_.assign(kWaitBuckets, 0);
 }
 
 BatchScheduler::~BatchScheduler() {
@@ -86,7 +69,7 @@ void BatchScheduler::ExecuteScore(infer::ScoreStep* step) {
 }
 
 void BatchScheduler::Park(const GroupKey& key, Record* rec) {
-  rec->enqueued_at = Clock::now();
+  rec->enqueued_at = time_->Now();
   const Clock::time_point deadline = infer::CurrentStepDeadline();
   std::unique_lock<std::mutex> lock(mu_);
   Group& group = groups_[key];
@@ -101,10 +84,10 @@ void BatchScheduler::Park(const GroupKey& key, Record* rec) {
   Clock::time_point wake_at =
       std::min(rec->enqueued_at + options_.max_linger, deadline);
   while (!rec->done) {
-    if (cv_.wait_until(lock, wake_at) == std::cv_status::timeout) {
+    if (time_->WaitUntil(cv_, lock, wake_at) == std::cv_status::timeout) {
       if (!rec->done) {
         FlushAllLocked(&lock, /*forced=*/true);
-        wake_at = Clock::now() + options_.max_linger;
+        wake_at = time_->Now() + options_.max_linger;
       }
     } else if (!rec->done && ShouldFlushLocked()) {
       FlushAllLocked(&lock, /*forced=*/false);
@@ -144,7 +127,7 @@ void BatchScheduler::FlushAllLocked(std::unique_lock<std::mutex>* lock,
   // this leader is their sole owner until `done` is published below.
   lock->unlock();
   for (const Group& group : flushed) ComputeGroup(group);
-  const Clock::time_point done_at = Clock::now();
+  const Clock::time_point done_at = time_->Now();
   lock->lock();
 
   for (const Group& group : flushed) {
@@ -158,11 +141,7 @@ void BatchScheduler::FlushAllLocked(std::unique_lock<std::mutex>* lock,
     ++stats_.batch_size_hist[hist_idx];
     for (Record* record : group.records) {
       record->done = true;
-      const int64_t wait_us =
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              done_at - record->enqueued_at)
-              .count();
-      ++wait_hist_[std::min(WaitBucket(wait_us), kWaitBuckets - 1)];
+      wait_hist_.Record(done_at - record->enqueued_at);
     }
   }
   cv_.notify_all();
@@ -192,19 +171,7 @@ void BatchScheduler::ComputeGroup(const Group& group) {
 BatchScheduler::Stats BatchScheduler::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats out = stats_;
-  int64_t total = 0;
-  for (const int64_t count : wait_hist_) total += count;
-  if (total > 0) {
-    const int64_t target = (total * 95 + 99) / 100;  // ceil(0.95 * total)
-    int64_t seen = 0;
-    for (size_t bucket = 0; bucket < wait_hist_.size(); ++bucket) {
-      seen += wait_hist_[bucket];
-      if (seen >= target) {
-        out.linger_p95_us = WaitBucketUpperUs(bucket);
-        break;
-      }
-    }
-  }
+  out.linger_p95_us = wait_hist_.PercentileUs(0.95);
   return out;
 }
 

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "infer/step_batcher.h"
+#include "serve/time_source.h"
+#include "util/latency_histogram.h"
 #include "util/status.h"
 
 namespace cadrl {
@@ -56,6 +58,12 @@ class BatchScheduler : public infer::StepBatcher {
     int max_batch = 8;
     // Longest a parked step waits for peers before forcing a flush.
     std::chrono::microseconds max_linger{200};
+    // Clock the linger/deadline waits run on; null = monotonic clock.
+    // Non-owning, must outlive the scheduler, and non-const because the
+    // scheduler *waits* on it (a virtual source advances when slept on).
+    // The service passes its own source so batch timing follows the same
+    // (possibly virtual) clock as every other timed decision.
+    TimeSource* time_source = nullptr;
 
     Status Validate() const;
   };
@@ -135,6 +143,7 @@ class BatchScheduler : public infer::StepBatcher {
   static void ComputeGroup(const Group& group);
 
   const Options options_;
+  TimeSource* const time_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -142,9 +151,9 @@ class BatchScheduler : public infer::StepBatcher {
   int parked_ = 0;    // records currently staged across all groups
   std::map<GroupKey, Group> groups_;
 
-  // Stats, guarded by mu_.
+  // Stats, guarded by mu_ (the wait histogram is internally atomic).
   Stats stats_;
-  std::vector<int64_t> wait_hist_;  // power-of-two microsecond buckets
+  util::LatencyHistogram wait_hist_;  // park -> scatter waits
 };
 
 }  // namespace serve

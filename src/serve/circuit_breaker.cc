@@ -4,10 +4,11 @@ namespace cadrl {
 namespace serve {
 
 CircuitBreaker::CircuitBreaker(int failure_threshold, Clock::duration cooldown,
-                               TimeSource time_source)
+                               const TimeSource* time_source)
     : failure_threshold_(failure_threshold),
       cooldown_(cooldown),
-      time_source_(std::move(time_source)) {}
+      time_source_(time_source != nullptr ? time_source
+                                          : RealTimeSource::Get()) {}
 
 bool CircuitBreaker::Allow() {
   if (failure_threshold_ <= 0) return true;  // disabled
@@ -16,9 +17,7 @@ bool CircuitBreaker::Allow() {
     case State::kClosed:
       return true;
     case State::kOpen: {
-      const Clock::time_point now =
-          time_source_ ? time_source_() : Clock::now();
-      if (now - opened_at_ < cooldown_) return false;
+      if (NowFor() - opened_at_ < cooldown_) return false;
       TransitionLocked(State::kHalfOpen);
       probe_in_flight_ = true;
       return true;
@@ -49,14 +48,14 @@ void CircuitBreaker::RecordFailure() {
     probe_in_flight_ = false;
     TransitionLocked(State::kOpen);
     ++trips_;
-    opened_at_ = time_source_ ? time_source_() : Clock::now();
+    opened_at_ = NowFor();
     return;
   }
   if (state_ == State::kClosed &&
       consecutive_failures_ >= failure_threshold_) {
     TransitionLocked(State::kOpen);
     ++trips_;
-    opened_at_ = time_source_ ? time_source_() : Clock::now();
+    opened_at_ = NowFor();
   }
 }
 

@@ -2,10 +2,11 @@
 #define CADRL_SERVE_CIRCUIT_BREAKER_H_
 
 #include <chrono>
-#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "serve/time_source.h"
 
 namespace cadrl {
 namespace serve {
@@ -29,24 +30,25 @@ namespace serve {
 // breaker — it never opens, which the chaos determinism suite uses to keep
 // per-request decisions independent of cross-request ordering.
 //
-// Time is read through an injectable clock so tests can drive the
-// open -> half-open transition deterministically and compare the recorded
-// transition trace against a golden sequence.
+// Time is read through the injected TimeSource so tests can drive the
+// open -> half-open transition deterministically on a virtual clock and
+// compare the recorded transition trace against a golden sequence.
 class CircuitBreaker {
  public:
   enum class State { kClosed, kOpen, kHalfOpen };
 
-  using Clock = std::chrono::steady_clock;
-  using TimeSource = std::function<Clock::time_point()>;
+  using Clock = TimeSource::Clock;
 
   // `cooldown` is how long an open breaker waits before admitting a
-  // half-open probe. A null `time_source` uses the monotonic clock.
+  // half-open probe. A null `time_source` uses the monotonic clock; the
+  // source is non-owning and must outlive the breaker.
   CircuitBreaker(int failure_threshold, Clock::duration cooldown,
-                 TimeSource time_source = nullptr);
+                 const TimeSource* time_source = nullptr);
 
   // True if the protected stage may be attempted now. Transitions
   // open -> half-open once the cooldown has elapsed; in half-open only the
-  // single in-flight probe is admitted.
+  // single in-flight probe is admitted — concurrent callers racing for the
+  // probe lose and fall to the next ladder stage.
   bool Allow();
 
   // Reports the outcome of an attempt admitted by Allow().
@@ -67,10 +69,11 @@ class CircuitBreaker {
 
  private:
   void TransitionLocked(State next);
+  Clock::time_point NowFor() const { return time_source_->Now(); }
 
   const int failure_threshold_;
   const Clock::duration cooldown_;
-  const TimeSource time_source_;
+  const TimeSource* const time_source_;
 
   mutable std::mutex mu_;
   State state_ = State::kClosed;

@@ -1,0 +1,87 @@
+#ifndef CADRL_SERVE_OVERLOAD_HARNESS_H_
+#define CADRL_SERVE_OVERLOAD_HARNESS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "serve/recommend_service.h"
+
+namespace cadrl {
+namespace serve {
+
+// Discrete-event sustained-overload harness (DESIGN.md §15). Runs a
+// RecommendService in manual-pump mode on a VirtualTimeSource: an open-loop
+// generator draws Poisson arrivals at `offered_multiplier` times the
+// service's nominal capacity (workers / mean_service), virtual workers
+// charge each started request a seeded per-request service time by
+// advancing the clock, and every timed decision the service makes —
+// deadlines, queue waits, AIMD windows, shed verdicts — runs in virtual
+// time. The whole run is single-threaded and every decision is a pure
+// function of (seed, request id), so two runs with the same options produce
+// byte-identical decision logs; the chaos suite asserts exactly that, plus
+// the goodput contract under 4x overload.
+struct OverloadOptions {
+  // Virtual serving workers (the simulated parallelism; the service itself
+  // spawns no threads in manual-pump mode).
+  int workers = 4;
+  // Per-request service time: mean_service * (1 - jitter + 2*jitter*u)
+  // with u drawn by hashing (seed, request id) — deterministic and
+  // independent of arrival order.
+  std::chrono::microseconds mean_service{1000};
+  double service_jitter = 0.3;
+  // Cost charged for a request whose deadline already passed at start
+  // (fixed-queue mode only — adaptive admission sheds those at dequeue):
+  // a real worker's first context check fails and it skips the model.
+  std::chrono::microseconds skim_cost{5};
+  // Per-request deadline budget, measured from Submit.
+  std::chrono::microseconds deadline{20000};
+  // Answer-resolution grace on top of the deadline: a response resolving
+  // later than deadline + grace counts as late. Zero derives `deadline`
+  // (sheds of queue-aged requests resolve after their own deadline by
+  // construction; the grace bounds how much later).
+  std::chrono::microseconds grace{0};
+  // Offered load as a multiple of nominal capacity (1.0 = saturation).
+  double offered_multiplier = 1.0;
+  // Virtual duration of the arrival process (completions drain past it).
+  std::chrono::milliseconds duration{1000};
+  uint64_t seed = 42;
+  // false = fixed bounded queue only (the pre-AIMD baseline).
+  bool adaptive_admission = true;
+  int queue_capacity = 512;
+  // AIMD knobs; `enabled` is overridden by adaptive_admission.
+  AdmissionOptions admission;
+};
+
+struct OverloadReport {
+  int64_t offered = 0;        // requests submitted
+  int64_t answered_full = 0;  // kFull answers (within deadline by contract)
+  int64_t degraded = 0;       // cached/popularity answers
+  int64_t shed = 0;           // load-shed answers (subset of degraded)
+  // Responses resolving past deadline + grace — the liveness violation the
+  // fixed-queue baseline exhibits and AIMD must not.
+  int64_t late_answers = 0;
+  // kFull answers past the deadline: must be zero by construction (the
+  // primary stage's own context check degrades an overrun).
+  int64_t late_full = 0;
+  double offered_per_s = 0.0;
+  double goodput_per_s = 0.0;  // full-quality answers per virtual second
+  double p95_full_ms = 0.0;    // p95 latency of the kFull answers
+  double shed_rate = 0.0;      // shed / offered
+  // AIMD limit over the run's second half (equilibrium band); zeros when
+  // adaptive admission is off.
+  double limit_min = 0.0;
+  double limit_max = 0.0;
+  double limit_mean = 0.0;
+  // One line per request in submission order: the byte-reproducibility
+  // witness.
+  std::string decision_log;
+  RecommendService::Stats stats;
+};
+
+OverloadReport RunOverload(const OverloadOptions& options);
+
+}  // namespace serve
+}  // namespace cadrl
+
+#endif  // CADRL_SERVE_OVERLOAD_HARNESS_H_

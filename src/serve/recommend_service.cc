@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <sstream>
 #include <utility>
 
 #include "util/failpoint.h"
@@ -53,15 +54,23 @@ Status ServeOptions::Validate() const {
   if (batch_linger < std::chrono::microseconds::zero()) {
     return Status::InvalidArgument("batch_linger must be >= 0");
   }
-  return Status::OK();
+  if (manual_pump && batch_max > 1) {
+    return Status::InvalidArgument(
+        "manual_pump is single-threaded; batching has no peers to park for");
+  }
+  return admission.Validate();
 }
 
 RecommendService::RecommendService(eval::Recommender* model,
                                    const data::Dataset& dataset,
                                    const ServeOptions& options)
-    : model_(model), options_(options), base_rng_(options.seed) {
+    : model_(model),
+      options_(options),
+      time_(options.time_source != nullptr ? options.time_source
+                                           : RealTimeSource::Get()),
+      base_rng_(options.seed) {
   CADRL_CHECK(model_ != nullptr);
-  CADRL_CHECK(options_.Validate().ok());
+  CADRL_CHECK(options_.Validate().ok()) << options_.Validate().ToString();
 
   // Popularity index: train-interaction counts, normalized to (0, 1].
   // std::map keeps the count aggregation id-ordered so the sort tie-break
@@ -90,18 +99,24 @@ RecommendService::RecommendService(eval::Recommender* model,
                    });
 
   primary_breaker_ = std::make_unique<CircuitBreaker>(
-      options_.breaker_failure_threshold, options_.breaker_cooldown,
-      options_.breaker_time_source);
+      options_.breaker_failure_threshold, options_.breaker_cooldown, time_);
   cache_breaker_ = std::make_unique<CircuitBreaker>(
-      options_.breaker_failure_threshold, options_.breaker_cooldown,
-      options_.breaker_time_source);
+      options_.breaker_failure_threshold, options_.breaker_cooldown, time_);
+  admission_ = std::make_unique<AdmissionController>(
+      options_.admission,
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          options_.default_timeout),
+      time_);
 
   if (options_.batch_max > 1) {
     BatchScheduler::Options batch_options;
     batch_options.max_batch = options_.batch_max;
     batch_options.max_linger = options_.batch_linger;
+    batch_options.time_source = time_;
     batcher_ = std::make_unique<BatchScheduler>(batch_options);
   }
+
+  last_snapshot_at_ = time_->Now();
 }
 
 RecommendService::~RecommendService() { Stop(); }
@@ -111,6 +126,7 @@ Status RecommendService::Start() {
   if (started_) return Status::FailedPrecondition("service already started");
   if (stopping_) return Status::FailedPrecondition("service already stopped");
   started_ = true;
+  if (options_.manual_pump) return Status::OK();  // the caller is the worker
   const int workers = ThreadPool::ClampThreads(options_.threads);
   pool_ = std::make_unique<ThreadPool>(workers);
   // The dispatcher parks one ParallelFor whose indices are the long-lived
@@ -142,13 +158,15 @@ void RecommendService::Stop() {
   pool_.reset();
   {
     // Workers drain the queue before exiting, so this is normally empty; it
-    // is non-empty only when Start() was never called.
+    // is non-empty only when Start() was never called or in manual-pump
+    // mode with requests left unpumped.
     std::lock_guard<std::mutex> lock(queue_mu_);
     leftovers.swap(queue_);
   }
   for (Pending& p : leftovers) {
     p.promise.set_value(Process(p.request, p.ctx, p.accepted_at,
                                 Status::Cancelled("service stopped")));
+    admission_->Release();
   }
 }
 
@@ -158,12 +176,12 @@ RequestContext RecommendService::MakeContext(const ServeRequest& req) const {
                            ? std::chrono::duration_cast<std::chrono::microseconds>(
                                  options_.default_timeout)
                            : req.timeout;
-  return RequestContext::WithTimeout(timeout);
+  return RequestContext::WithTimeout(timeout, time_);
 }
 
 std::future<ServeResponse> RecommendService::Submit(ServeRequest req) {
   if (req.k <= 0) req.k = options_.top_k;
-  const auto accepted_at = RequestContext::Clock::now();
+  const auto accepted_at = time_->Now();
 
   std::promise<ServeResponse> promise;
   std::future<ServeResponse> future = promise.get_future();
@@ -173,10 +191,25 @@ std::future<ServeResponse> RecommendService::Submit(ServeRequest req) {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (req.id == 0) req.id = next_id_++;
     ctx = MakeContext(req);
+    // Admission gates, cheapest answer first: a request whose remaining
+    // budget cannot cover even the ladder floor's observed p95 is answered
+    // from the fallback right here; then the AIMD concurrency limit; the
+    // fixed bounded queue stays as the backstop.
     if (!started_ || stopping_) {
       admission = Status::FailedPrecondition("service not running");
+    } else if (ctx.has_deadline() &&
+               admission_->ShouldShedEarly(ctx.remaining())) {
+      admission = Status::ResourceExhausted(
+          "admission: remaining budget below ladder-floor p95");
+      CountShed(&Stats::early_sheds);
+    } else if (!admission_->TryAcquire()) {
+      admission = Status::ResourceExhausted(
+          "admission: adaptive concurrency limit reached");
+      CountShed(&Stats::limit_sheds);
     } else if (static_cast<int>(queue_.size()) >= options_.queue_capacity) {
+      admission_->Release();
       admission = Status::ResourceExhausted("admission queue full");
+      CountShed(&Stats::queue_full_sheds);
     } else {
       queue_.push_back(Pending{req, ctx, accepted_at, std::move(promise)});
     }
@@ -205,6 +238,7 @@ Status RecommendService::ReloadFromCheckpoint(const std::string& path) {
   if (status.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.reloads;
+    last_snapshot_at_ = time_->Now();
   }
   return status;
 }
@@ -219,9 +253,59 @@ void RecommendService::WorkerLoop() {
       pending = std::move(queue_.front());
       queue_.pop_front();
     }
-    pending.promise.set_value(Process(pending.request, pending.ctx,
-                                      pending.accepted_at, Status::OK()));
+    const Status verdict = QueueWaitVerdict(pending);
+    pending.promise.set_value(
+        Process(pending.request, pending.ctx, pending.accepted_at, verdict));
+    admission_->Release();
   }
+}
+
+Status RecommendService::QueueWaitVerdict(const Pending& pending) {
+  queue_wait_.Record(time_->Now() - pending.accepted_at);
+  if (!admission_->enabled()) return Status::OK();
+  if (!pending.ctx.has_deadline() || !pending.ctx.expired()) {
+    return Status::OK();
+  }
+  // The budget burned away in FIFO order: shed through the ladder now
+  // instead of starting doomed work, and treat it as the overload signal it
+  // is.
+  CountShed(&Stats::queue_timeout_sheds);
+  admission_->OnQueueTimeout();
+  return Status::ResourceExhausted("shed: deadline budget spent in queue");
+}
+
+bool RecommendService::PumpStart(StartedRequest* out) {
+  CADRL_CHECK(options_.manual_pump);
+  for (;;) {
+    Pending pending;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.empty()) return false;
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const Status verdict = QueueWaitVerdict(pending);
+    if (!verdict.ok()) {
+      pending.promise.set_value(
+          Process(pending.request, pending.ctx, pending.accepted_at, verdict));
+      admission_->Release();
+      continue;
+    }
+    out->expired_at_start_ =
+        pending.ctx.has_deadline() && pending.ctx.expired();
+    out->pending_ = std::move(pending);
+    out->valid_ = true;
+    return true;
+  }
+}
+
+void RecommendService::PumpFinish(StartedRequest started) {
+  CADRL_CHECK(started.valid_);
+  Pending& pending = started.pending_;
+  pending.promise.set_value(
+      Process(pending.request, pending.ctx, pending.accepted_at,
+              Status::OK()));
+  admission_->Release();
 }
 
 ServeResponse RecommendService::Process(
@@ -248,6 +332,11 @@ ServeResponse RecommendService::Process(
   if (admission.ok()) {
     if (primary_breaker_->Allow()) {
       resp.primary_status = TryPrimary(req, ctx, &rng, &resp);
+      // The AIMD signal: admission -> primary-stage completion (queue wait
+      // + every attempt), success or failure — both consumed capacity.
+      const auto primary_elapsed = time_->Now() - accepted_at;
+      primary_latency_.Record(primary_elapsed);
+      admission_->OnPrimarySample(primary_elapsed);
       if (resp.primary_status.ok()) {
         primary_breaker_->RecordSuccess();
         {
@@ -284,8 +373,12 @@ ServeResponse RecommendService::Process(
   }
 
   if (!served) {
-    // Ladder floor: pure in-memory lookup, cannot fail.
+    // Ladder floor: pure in-memory lookup, cannot fail. Its execution time
+    // feeds the early-shed gate — a future request whose remaining budget
+    // can't cover even this stage's p95 is shed at admission.
+    const auto floor_start = time_->Now();
     resp.recs = PopularityFor(req.user, req.k);
+    admission_->OnFloorSample(time_->Now() - floor_start);
     resp.level = DegradationLevel::kPopularity;
     served = true;
   }
@@ -343,7 +436,7 @@ Status RecommendService::TryPrimary(const ServeRequest& req,
       return Status::DeadlineExceeded("no deadline budget left for retry")
           .Annotate(status.ToString());
     }
-    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    if (delay.count() > 0) time_->SleepFor(delay);
   }
   return status;
 }
@@ -379,10 +472,10 @@ std::vector<eval::Recommendation> RecommendService::PopularityFor(
 
 void RecommendService::FinishResponse(
     RequestContext::Clock::time_point accepted_at, ServeResponse* resp) {
+  const auto elapsed = time_->Now() - accepted_at;
   resp->latency_ms =
-      std::chrono::duration<double, std::milli>(
-          RequestContext::Clock::now() - accepted_at)
-          .count();
+      std::chrono::duration<double, std::milli>(elapsed).count();
+  level_latency_[static_cast<int>(resp->level)].Record(elapsed);
   RecordResponse(*resp);
 }
 
@@ -406,6 +499,11 @@ void RecommendService::RecordResponse(const ServeResponse& resp) {
   if (resp.load_shed) ++stats_.load_shed;
 }
 
+void RecommendService::CountShed(int64_t Stats::* counter) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++(stats_.*counter);
+}
+
 RecommendService::Stats RecommendService::stats() const {
   Stats out;
   {
@@ -417,6 +515,9 @@ RecommendService::Stats RecommendService::stats() const {
     out.batch_flushes = batch.flushes;
     out.batched_steps = batch.steps;
   }
+  const AdmissionController::Snapshot adm = admission_->snapshot();
+  out.admission_limit = adm.limit;
+  out.admission_inflight = adm.inflight;
   const eval::Recommender::ServingArena arena = model_->ServingArenaBytes();
   out.arena_store_row_bytes = static_cast<int64_t>(arena.store_row_bytes);
   out.arena_store_scale_bytes = static_cast<int64_t>(arena.store_scale_bytes);
@@ -428,6 +529,176 @@ RecommendService::Stats RecommendService::stats() const {
 BatchScheduler::Stats RecommendService::batch_stats() const {
   if (batcher_ == nullptr) return BatchScheduler::Stats();
   return batcher_->stats();
+}
+
+namespace {
+
+// Emits one histogram in Prometheus exposition order: cumulative
+// `_bucket{le=...}` series (trailing empty buckets folded into +Inf), then
+// `_count` and summary quantiles. Latencies are in microseconds.
+void EmitHistogram(const util::LatencyHistogram& hist, const std::string& name,
+                   const std::string& labels, std::ostringstream* out) {
+  const std::string brace_open = labels.empty() ? "{" : "{" + labels + ",";
+  const auto buckets = hist.Snapshot();
+  size_t last = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] > 0) last = b;
+  }
+  int64_t cumulative = 0;
+  for (size_t b = 0; b <= last; ++b) {
+    cumulative += buckets[b];
+    *out << name << "_bucket" << brace_open << "le=\""
+         << util::LatencyHistogram::BucketUpperUs(b) << "\"} " << cumulative
+         << "\n";
+  }
+  *out << name << "_bucket" << brace_open << "le=\"+Inf\"} " << cumulative
+       << "\n";
+  const std::string label_block = labels.empty() ? "" : "{" + labels + "}";
+  *out << name << "_count" << label_block << " " << hist.TotalCount() << "\n";
+  for (const double q : {0.5, 0.95, 0.99}) {
+    *out << name << brace_open << "quantile=\"" << q << "\"} "
+         << hist.PercentileUs(q) << "\n";
+  }
+}
+
+}  // namespace
+
+std::string RecommendService::MetricsText() const {
+  const Stats s = stats();
+  const AdmissionController::Snapshot adm = admission_->snapshot();
+  TimeSource::Clock::time_point snapshot_at;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot_at = last_snapshot_at_;
+  }
+
+  std::ostringstream out;
+  auto counter = [&out](const char* name, const char* help, int64_t value) {
+    out << "# HELP " << name << " " << help << "\n";
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << value << "\n";
+  };
+
+  counter("cadrl_serve_requests_total", "Requests answered (any level).",
+          s.requests);
+  out << "# HELP cadrl_serve_level_total Answers by degradation level.\n"
+      << "# TYPE cadrl_serve_level_total counter\n";
+  const int64_t by_level[4] = {s.full, s.cached, s.popularity, s.failed};
+  for (int level = 0; level < 4; ++level) {
+    out << "cadrl_serve_level_total{level=\""
+        << DegradationLevelName(static_cast<DegradationLevel>(level)) << "\"} "
+        << by_level[level] << "\n";
+  }
+  counter("cadrl_serve_load_shed_total", "Requests shed at admission/dequeue.",
+          s.load_shed);
+  out << "# HELP cadrl_serve_shed_total Shed breakdown by reason.\n"
+      << "# TYPE cadrl_serve_shed_total counter\n"
+      << "cadrl_serve_shed_total{reason=\"early_deadline\"} " << s.early_sheds
+      << "\n"
+      << "cadrl_serve_shed_total{reason=\"admission_limit\"} " << s.limit_sheds
+      << "\n"
+      << "cadrl_serve_shed_total{reason=\"queue_full\"} " << s.queue_full_sheds
+      << "\n"
+      << "cadrl_serve_shed_total{reason=\"queue_timeout\"} "
+      << s.queue_timeout_sheds << "\n";
+  counter("cadrl_serve_retries_total", "Primary attempts beyond the first.",
+          s.retries);
+  counter("cadrl_serve_breaker_rejections_total",
+          "Primary attempts skipped because the breaker was open.",
+          s.breaker_rejections);
+
+  out << "# HELP cadrl_serve_breaker_state Breaker state "
+         "(0=closed,1=open,2=half_open).\n"
+      << "# TYPE cadrl_serve_breaker_state gauge\n";
+  const struct {
+    const char* stage;
+    const CircuitBreaker* breaker;
+  } breakers[] = {{"primary", primary_breaker_.get()},
+                  {"cache", cache_breaker_.get()}};
+  for (const auto& b : breakers) {
+    out << "cadrl_serve_breaker_state{stage=\"" << b.stage << "\"} "
+        << static_cast<int>(b.breaker->state()) << "\n";
+  }
+  out << "# HELP cadrl_serve_breaker_trips_total Times the breaker opened.\n"
+      << "# TYPE cadrl_serve_breaker_trips_total counter\n";
+  for (const auto& b : breakers) {
+    out << "cadrl_serve_breaker_trips_total{stage=\"" << b.stage << "\"} "
+        << b.breaker->trips() << "\n";
+  }
+
+  out << "# HELP cadrl_serve_admission_limit Current AIMD concurrency "
+         "limit.\n"
+      << "# TYPE cadrl_serve_admission_limit gauge\n"
+      << "cadrl_serve_admission_limit " << adm.limit << "\n"
+      << "# HELP cadrl_serve_admission_inflight Admitted requests in "
+         "flight.\n"
+      << "# TYPE cadrl_serve_admission_inflight gauge\n"
+      << "cadrl_serve_admission_inflight " << adm.inflight << "\n"
+      << "# HELP cadrl_serve_admission_latency_target_us AIMD latency "
+         "target.\n"
+      << "# TYPE cadrl_serve_admission_latency_target_us gauge\n"
+      << "cadrl_serve_admission_latency_target_us "
+      << admission_->latency_target().count() << "\n";
+  counter("cadrl_serve_admission_increases_total",
+          "Additive limit increases.", adm.increases);
+  counter("cadrl_serve_admission_decreases_total",
+          "Multiplicative limit decreases.", adm.decreases);
+  counter("cadrl_serve_admission_breaches_total",
+          "Windows whose p95 exceeded the latency target.", adm.breaches);
+  out << "# HELP cadrl_serve_admission_floor_p95_us Observed p95 of the "
+         "ladder floor (early-shed gate).\n"
+      << "# TYPE cadrl_serve_admission_floor_p95_us gauge\n"
+      << "cadrl_serve_admission_floor_p95_us " << adm.floor_p95_us << "\n";
+
+  out << "# HELP cadrl_serve_latency_us End-to-end latency by terminal "
+         "level (power-of-two us buckets).\n"
+      << "# TYPE cadrl_serve_latency_us histogram\n";
+  for (int level = 0; level < 4; ++level) {
+    EmitHistogram(
+        level_latency_[level], "cadrl_serve_latency_us",
+        std::string("level=\"") +
+            DegradationLevelName(static_cast<DegradationLevel>(level)) + "\"",
+        &out);
+  }
+  out << "# HELP cadrl_serve_primary_latency_us Admission -> primary-stage "
+         "completion (the AIMD signal).\n"
+      << "# TYPE cadrl_serve_primary_latency_us histogram\n";
+  EmitHistogram(primary_latency_, "cadrl_serve_primary_latency_us", "", &out);
+  out << "# HELP cadrl_serve_queue_wait_us Submit -> dequeue wait.\n"
+      << "# TYPE cadrl_serve_queue_wait_us histogram\n";
+  EmitHistogram(queue_wait_, "cadrl_serve_queue_wait_us", "", &out);
+
+  counter("cadrl_serve_snapshot_reloads_total",
+          "Successful snapshot hot-swaps.", s.reloads);
+  out << "# HELP cadrl_serve_snapshot_age_seconds Age of the serving "
+         "snapshot.\n"
+      << "# TYPE cadrl_serve_snapshot_age_seconds gauge\n"
+      << "cadrl_serve_snapshot_age_seconds "
+      << std::chrono::duration<double>(time_->Now() - snapshot_at).count()
+      << "\n";
+
+  out << "# HELP cadrl_serve_arena_bytes Serving-arena footprint by "
+         "section.\n"
+      << "# TYPE cadrl_serve_arena_bytes gauge\n"
+      << "cadrl_serve_arena_bytes{section=\"store_rows\"} "
+      << s.arena_store_row_bytes << "\n"
+      << "cadrl_serve_arena_bytes{section=\"store_scales\"} "
+      << s.arena_store_scale_bytes << "\n"
+      << "cadrl_serve_arena_bytes{section=\"policy_params\"} "
+      << s.arena_policy_param_bytes << "\n";
+
+  counter("cadrl_serve_batch_flushes_total", "Stacked micro-batch dispatches.",
+          s.batch_flushes);
+  counter("cadrl_serve_batch_steps_total",
+          "Beam steps routed through the batcher.", s.batched_steps);
+  if (batcher_ != nullptr) {
+    out << "# HELP cadrl_serve_batch_linger_p95_us p95 of park -> scatter "
+           "waits.\n"
+        << "# TYPE cadrl_serve_batch_linger_p95_us gauge\n"
+        << "cadrl_serve_batch_linger_p95_us "
+        << batcher_->stats().linger_p95_us << "\n";
+  }
+  return out.str();
 }
 
 }  // namespace serve

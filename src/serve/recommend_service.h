@@ -8,6 +8,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -15,9 +16,12 @@
 
 #include "data/dataset.h"
 #include "eval/recommender.h"
+#include "serve/admission_controller.h"
 #include "serve/batch_scheduler.h"
 #include "serve/circuit_breaker.h"
+#include "serve/time_source.h"
 #include "util/deadline.h"
+#include "util/latency_histogram.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -101,8 +105,22 @@ struct ServeOptions {
   // whenever every in-flight request is parked, so a lone request never
   // pays this (and a request's own deadline always overrides it).
   std::chrono::microseconds batch_linger{200};
-  // Injectable time source for the breakers (tests); null = steady clock.
-  CircuitBreaker::TimeSource breaker_time_source;
+  // Clock behind every timed decision the service makes — request
+  // deadlines, queue waits, retry backoff, breaker cooldowns, batch linger
+  // (DESIGN.md §15). Null = the monotonic clock; tests and the overload
+  // harness inject a VirtualTimeSource. Non-owning, must outlive the
+  // service; non-const because backoff *sleeps* on it (a virtual source
+  // advances when slept on).
+  TimeSource* time_source = nullptr;
+  // Adaptive admission (AIMD concurrency limiting + queue-wait timeout and
+  // early-deadline shedding, DESIGN.md §15). Disabled by default; the
+  // fixed bounded queue above stays as the backstop either way.
+  AdmissionOptions admission;
+  // Manual-pump mode for the deterministic overload harness: Start()
+  // spawns no workers; a single caller thread drives execution with
+  // PumpStart/PumpFinish against a virtual clock. Submit still queues
+  // normally.
+  bool manual_pump = false;
 
   Status Validate() const;
 };
@@ -166,11 +184,20 @@ class RecommendService {
     int64_t popularity = 0;
     int64_t failed = 0;
     int64_t load_shed = 0;
+    // Shed breakdown (each also counted in load_shed; the remainder of
+    // load_shed is queue_full_sheds, kept explicit for the metrics).
+    int64_t early_sheds = 0;   // admission: budget below ladder-floor p95
+    int64_t limit_sheds = 0;   // admission: AIMD concurrency limit reached
+    int64_t queue_full_sheds = 0;     // admission: bounded queue backstop
+    int64_t queue_timeout_sheds = 0;  // dequeue: budget burned in the queue
     int64_t retries = 0;             // extra primary attempts beyond the first
     int64_t breaker_rejections = 0;  // primary attempts skipped: breaker open
     int64_t reloads = 0;             // successful snapshot hot-swaps
     int64_t batch_flushes = 0;       // stacked micro-batch dispatches
     int64_t batched_steps = 0;       // beam steps routed through the batcher
+    // AIMD state sampled at stats() time.
+    double admission_limit = 0.0;
+    int64_t admission_inflight = 0;
     // Serving-arena footprint of the model's current snapshot (zeros for
     // models without a compiled arena); sampled at stats() time so a
     // hot-swap to a different precision shows up immediately.
@@ -180,6 +207,12 @@ class RecommendService {
   };
   Stats stats() const;
 
+  // Prometheus-style text exposition of the whole serving surface: request
+  // counters and the shed breakdown, breaker states, the AIMD limit,
+  // per-stage latency quantiles + cumulative bucket counts, snapshot
+  // generation/age, serving-arena bytes, and micro-batching stats.
+  std::string MetricsText() const;
+
   bool batching_enabled() const { return batcher_ != nullptr; }
   // Full scheduler stats (batch-size histogram, linger p95, ...);
   // default-constructed when batching is disabled.
@@ -187,6 +220,7 @@ class RecommendService {
 
   const CircuitBreaker& primary_breaker() const { return *primary_breaker_; }
   const CircuitBreaker& cache_breaker() const { return *cache_breaker_; }
+  const AdmissionController& admission() const { return *admission_; }
 
   const ServeOptions& options() const { return options_; }
 
@@ -197,6 +231,48 @@ class RecommendService {
     RequestContext::Clock::time_point accepted_at;
     std::promise<ServeResponse> promise;
   };
+
+ public:
+  // ---- Manual-pump mode (ServeOptions::manual_pump) ----------------------
+  // The overload harness (serve/overload_harness.h) separates *starting* a
+  // request from *finishing* it so a discrete-event loop can charge the
+  // model's simulated service time in between: PumpStart performs the
+  // dequeue-time decisions (queue-wait recording, stale-request shedding)
+  // at assignment time, the harness advances the virtual clock by the
+  // service time, and PumpFinish runs the pipeline at completion time.
+
+  // Move-only handle for a request between PumpStart and PumpFinish.
+  class StartedRequest {
+   public:
+    StartedRequest() = default;
+    StartedRequest(StartedRequest&&) = default;
+    StartedRequest& operator=(StartedRequest&&) = default;
+
+    uint64_t id() const { return pending_.request.id; }
+    // True when the request's deadline had already passed at dequeue
+    // (possible only with adaptive admission off — on, PumpStart sheds
+    // such requests itself). The harness charges these starts the ladder
+    // skim cost instead of a model execution, mirroring how a real worker
+    // skips the model for a request whose first ctx check fails.
+    bool expired_at_start() const { return expired_at_start_; }
+
+   private:
+    friend class RecommendService;
+    Pending pending_;
+    bool valid_ = false;
+    bool expired_at_start_ = false;
+  };
+
+  // Dequeues until a startable request is found (shedding stale ones
+  // through the ladder along the way, exactly like a worker would) or the
+  // queue drains. Returns false when nothing is left to start.
+  bool PumpStart(StartedRequest* out);
+
+  // Completes a started request at the current (virtual) time: runs the
+  // full pipeline, resolves the future, releases the admission slot.
+  void PumpFinish(StartedRequest started);
+
+ private:
 
   // Builds `ctx` for a request (deadline starts at admission time).
   RequestContext MakeContext(const ServeRequest& req) const;
@@ -216,13 +292,20 @@ class RecommendService {
                                                   int k) const;
 
   void WorkerLoop();
+  // Records the queue wait of a just-dequeued request and decides whether
+  // its deadline budget burned away while it sat in FIFO order — adaptive
+  // admission sheds it through the ladder (kResourceExhausted) instead of
+  // starting doomed work.
+  Status QueueWaitVerdict(const Pending& pending);
   // Stamps the latency and folds the response into the stats.
   void FinishResponse(RequestContext::Clock::time_point accepted_at,
                      ServeResponse* resp);
   void RecordResponse(const ServeResponse& resp);
+  void CountShed(int64_t Stats::* counter);
 
   eval::Recommender* const model_;
   const ServeOptions options_;
+  TimeSource* const time_;
   const Rng base_rng_;
 
   std::unordered_set<kg::EntityId> users_;
@@ -234,6 +317,7 @@ class RecommendService {
 
   std::unique_ptr<CircuitBreaker> primary_breaker_;
   std::unique_ptr<CircuitBreaker> cache_breaker_;
+  std::unique_ptr<AdmissionController> admission_;
   // Present iff options_.batch_max > 1. Workers install it around the
   // primary-stage model call only; Stop() joins the workers before members
   // destruct, so no step can outlive the scheduler.
@@ -255,6 +339,16 @@ class RecommendService {
 
   mutable std::mutex stats_mu_;
   Stats stats_;
+  // When the current snapshot was published (construction or the last
+  // successful reload); MetricsText reports its age. Guarded by stats_mu_.
+  TimeSource::Clock::time_point last_snapshot_at_;
+
+  // Per-stage latency histograms (internally atomic): end-to-end latency
+  // by terminal degradation level, the primary stage (queue wait +
+  // attempts — the AIMD signal), and the raw queue wait.
+  util::LatencyHistogram level_latency_[4];
+  util::LatencyHistogram primary_latency_;
+  util::LatencyHistogram queue_wait_;
 };
 
 }  // namespace serve

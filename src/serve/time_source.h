@@ -1,0 +1,23 @@
+#ifndef CADRL_SERVE_TIME_SOURCE_H_
+#define CADRL_SERVE_TIME_SOURCE_H_
+
+#include "util/time_source.h"
+
+namespace cadrl {
+namespace serve {
+
+// The serving layer's clock abstraction (DESIGN.md §15). The implementation
+// lives in util/ so RequestContext (util/deadline.h) can read it without a
+// layering inversion; serving code and its tests name it through these
+// aliases. Every timed decision the service makes — admission deadlines,
+// queue waits, retry backoff, breaker cooldowns, batch linger — goes
+// through one injected TimeSource, which is what lets the overload harness
+// drive the whole service in deterministic virtual time.
+using TimeSource = util::TimeSource;
+using RealTimeSource = util::RealTimeSource;
+using VirtualTimeSource = util::VirtualTimeSource;
+
+}  // namespace serve
+}  // namespace cadrl
+
+#endif  // CADRL_SERVE_TIME_SOURCE_H_

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "util/status.h"
+#include "util/time_source.h"
 
 namespace cadrl {
 
@@ -21,6 +22,13 @@ namespace cadrl {
 // kDeadlineExceeded / kCancelled status promptly instead of finishing the
 // request. A default-constructed context has no deadline and never expires,
 // so non-serving callers pay only an atomic load per check.
+//
+// Deadline contexts read "now" through an optional util::TimeSource so the
+// serving layer can run a virtual clock end to end (DESIGN.md §15): a
+// context created against a VirtualTimeSource expires when the *virtual*
+// clock crosses its deadline, no matter which thread asks. The source is
+// non-owning and must outlive every copy of the context; null means the
+// monotonic clock.
 class RequestContext {
  public:
   using Clock = std::chrono::steady_clock;
@@ -29,14 +37,21 @@ class RequestContext {
 
   // Context expiring `timeout` from now. A non-positive timeout is already
   // expired (useful to force the degraded path in tests).
-  static RequestContext WithTimeout(Clock::duration timeout) {
-    return WithDeadline(Clock::now() + timeout);
+  static RequestContext WithTimeout(Clock::duration timeout,
+                                    const util::TimeSource* time_source =
+                                        nullptr) {
+    return WithDeadline(
+        (time_source ? time_source->Now() : Clock::now()) + timeout,
+        time_source);
   }
 
-  static RequestContext WithDeadline(Clock::time_point deadline) {
+  static RequestContext WithDeadline(Clock::time_point deadline,
+                                     const util::TimeSource* time_source =
+                                         nullptr) {
     RequestContext ctx;
     ctx.deadline_ = deadline;
     ctx.has_deadline_ = true;
+    ctx.time_source_ = time_source;
     return ctx;
   }
 
@@ -47,11 +62,11 @@ class RequestContext {
   // never negative.
   Clock::duration remaining() const {
     if (!has_deadline_) return Clock::duration::max();
-    const Clock::time_point now = Clock::now();
+    const Clock::time_point now = NowFor();
     return now >= deadline_ ? Clock::duration::zero() : deadline_ - now;
   }
 
-  bool expired() const { return has_deadline_ && Clock::now() >= deadline_; }
+  bool expired() const { return has_deadline_ && NowFor() >= deadline_; }
 
   // Flags every copy of this context as cancelled; in-flight work observes
   // it at its next Check().
@@ -71,9 +86,14 @@ class RequestContext {
   }
 
  private:
+  Clock::time_point NowFor() const {
+    return time_source_ ? time_source_->Now() : Clock::now();
+  }
+
   std::shared_ptr<std::atomic<bool>> cancelled_;
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
+  const util::TimeSource* time_source_ = nullptr;
 };
 
 }  // namespace cadrl

@@ -78,9 +78,16 @@ void Failpoints::DisarmAll() {
   latency_.clear();
 }
 
+void Failpoints::SetSleeper(
+    std::function<void(std::chrono::microseconds)> sleeper) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sleeper_ = std::move(sleeper);
+}
+
 bool Failpoints::Hit(const std::string& name) {
   const uint64_t token = g_thread_token;
   std::chrono::microseconds delay{0};
+  std::function<void(std::chrono::microseconds)> sleeper;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = latency_.find(name);
@@ -89,11 +96,20 @@ bool Failpoints::Hit(const std::string& name) {
       const uint64_t n = a.hits_by_token[token]++;
       if (FireDecision(a.seed, token, n, a.probability)) {
         delay = a.delay;
+        sleeper = sleeper_;
         ++a.fired;
       }
     }
   }
-  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  // The sleep (real or injected) runs outside the registry lock so
+  // concurrent hits are never serialized by an injected delay.
+  if (delay.count() > 0) {
+    if (sleeper) {
+      sleeper(delay);
+    } else {
+      std::this_thread::sleep_for(delay);
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = armed_.find(name);
   if (it == armed_.end()) return false;

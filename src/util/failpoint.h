@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -68,6 +69,14 @@ class Failpoints {
   static void SetThreadToken(uint64_t token);
   static uint64_t thread_token();
 
+  // Replaces the real sleep a firing latency arming performs — chaos tests
+  // route it into a util::VirtualTimeSource so injected delays advance the
+  // virtual clock instead of blocking the suite (DESIGN.md §15). Null
+  // restores the real sleep. Process-global like the registry; the fire
+  // *decision* stays the seeded hash either way, so swapping the sleeper
+  // never changes which hits fire.
+  void SetSleeper(std::function<void(std::chrono::microseconds)> sleeper);
+
  private:
   struct Arming {
     // Count mode (probability < 0).
@@ -92,6 +101,21 @@ class Failpoints {
   mutable std::mutex mu_;
   std::unordered_map<std::string, Arming> armed_;
   std::unordered_map<std::string, LatencyArming> latency_;
+  std::function<void(std::chrono::microseconds)> sleeper_;
+};
+
+// Installs a failpoint sleeper for the current scope, restoring the real
+// sleep on exit (test helper for virtual-time chaos runs).
+class ScopedFailpointSleeper {
+ public:
+  explicit ScopedFailpointSleeper(
+      std::function<void(std::chrono::microseconds)> sleeper) {
+    Failpoints::Instance().SetSleeper(std::move(sleeper));
+  }
+  ~ScopedFailpointSleeper() { Failpoints::Instance().SetSleeper(nullptr); }
+
+  ScopedFailpointSleeper(const ScopedFailpointSleeper&) = delete;
+  ScopedFailpointSleeper& operator=(const ScopedFailpointSleeper&) = delete;
 };
 
 // Arms a failpoint for the current scope (test helper).

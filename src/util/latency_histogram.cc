@@ -1,0 +1,60 @@
+#include "util/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace cadrl {
+namespace util {
+
+int64_t LatencyHistogram::TotalCount() const {
+  int64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t LatencyHistogram::PercentileUs(double p) const {
+  const std::array<int64_t, kBuckets> counts = Snapshot();
+  int64_t total = 0;
+  for (const int64_t count : counts) total += count;
+  if (total <= 0) return 0;
+  const int64_t target = std::clamp<int64_t>(
+      static_cast<int64_t>(std::ceil(p * static_cast<double>(total))),
+      int64_t{1}, total);
+  int64_t seen = 0;
+  for (size_t bucket = 0; bucket < kBuckets; ++bucket) {
+    seen += counts[bucket];
+    if (seen >= target) return BucketUpperUs(bucket);
+  }
+  return BucketUpperUs(kBuckets - 1);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+std::array<int64_t, LatencyHistogram::kBuckets> LatencyHistogram::Snapshot()
+    const {
+  std::array<int64_t, kBuckets> out;
+  for (size_t bucket = 0; bucket < kBuckets; ++bucket) {
+    out[bucket] = buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+size_t LatencyHistogram::BucketOf(int64_t us) {
+  if (us <= 0) return 0;
+  return std::min(
+      static_cast<size_t>(std::bit_width(static_cast<uint64_t>(us))),
+      kBuckets - 1);
+}
+
+int64_t LatencyHistogram::BucketUpperUs(size_t bucket) {
+  if (bucket == 0) return 0;
+  return (int64_t{1} << bucket) - 1;
+}
+
+}  // namespace util
+}  // namespace cadrl

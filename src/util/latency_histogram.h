@@ -1,0 +1,65 @@
+#ifndef CADRL_UTIL_LATENCY_HISTOGRAM_H_
+#define CADRL_UTIL_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace cadrl {
+namespace util {
+
+// Lock-cheap latency histogram with power-of-two microsecond buckets
+// (DESIGN.md §15): bucket 0 holds zero-latency samples, bucket b >= 1
+// covers [2^(b-1), 2^b - 1] us. Recording is one relaxed atomic increment,
+// so hot serving paths can sample every request; readers (percentiles,
+// metrics exposition) fold the counters without stopping writers and may
+// observe a sample count mid-update — fine for monitoring, which is the
+// only consumer.
+//
+// Sub-microsecond samples round *up* to 1us so a stage that is fast but
+// non-free never reports a zero percentile (the admission controller's
+// early-shed gate compares remaining budget against the floor stage's p95,
+// which must stay conservative).
+class LatencyHistogram {
+ public:
+  // 40 buckets cover up to ~2^39 us (~6.4 days); anything larger clamps
+  // into the last bucket.
+  static constexpr size_t kBuckets = 40;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(std::chrono::nanoseconds latency) {
+    const int64_t ns = latency.count();
+    RecordUs(ns <= 0 ? 0 : (ns + 999) / 1000);
+  }
+
+  void RecordUs(int64_t us) {
+    buckets_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int64_t TotalCount() const;
+
+  // Upper bound (us) of the bucket holding the p-quantile sample,
+  // p in (0, 1]; 0 when the histogram is empty.
+  int64_t PercentileUs(double p) const;
+
+  void Reset();
+
+  // Cumulative counts per bucket boundary are derived from this by the
+  // metrics exposition.
+  std::array<int64_t, kBuckets> Snapshot() const;
+
+  static size_t BucketOf(int64_t us);
+  static int64_t BucketUpperUs(size_t bucket);
+
+ private:
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+};
+
+}  // namespace util
+}  // namespace cadrl
+
+#endif  // CADRL_UTIL_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,56 @@
+#include "util/time_source.h"
+
+#include <thread>
+
+namespace cadrl {
+namespace util {
+
+namespace {
+
+// Real-time slice between virtual-deadline re-checks in
+// VirtualTimeSource::WaitUntil. Short enough that a frozen virtual clock
+// never stalls a predicate loop noticeably, long enough not to burn a core.
+constexpr std::chrono::microseconds kVirtualWaitSlice{200};
+
+}  // namespace
+
+void RealTimeSource::SleepFor(Clock::duration d) {
+  if (d > Clock::duration::zero()) std::this_thread::sleep_for(d);
+}
+
+RealTimeSource* RealTimeSource::Get() {
+  static RealTimeSource* instance = new RealTimeSource();
+  return instance;
+}
+
+std::cv_status VirtualTimeSource::WaitUntil(std::condition_variable& cv,
+                                            std::unique_lock<std::mutex>& lock,
+                                            Clock::time_point deadline) {
+  if (Now() >= deadline) return std::cv_status::timeout;
+  // The wait_for verdict is meaningless here (it timed against real time);
+  // only the virtual deadline decides. A no_timeout return is the
+  // spurious-wakeup case the interface already allows.
+  cv.wait_for(lock, kVirtualWaitSlice);
+  return Now() >= deadline ? std::cv_status::timeout
+                           : std::cv_status::no_timeout;
+}
+
+void VirtualTimeSource::Advance(Clock::duration d) {
+  const int64_t ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+  if (ns > 0) offset_ns_.fetch_add(ns, std::memory_order_acq_rel);
+}
+
+void VirtualTimeSource::AdvanceTo(Clock::time_point tp) {
+  const int64_t target_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(tp - epoch_)
+          .count();
+  int64_t current = offset_ns_.load(std::memory_order_acquire);
+  while (current < target_ns &&
+         !offset_ns_.compare_exchange_weak(current, target_ns,
+                                           std::memory_order_acq_rel)) {
+  }
+}
+
+}  // namespace util
+}  // namespace cadrl

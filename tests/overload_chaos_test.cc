@@ -1,0 +1,137 @@
+// Sustained-overload chaos harness (ctest labels "chaos"/"tsan"): drives
+// the discrete-event overload simulation (serve/overload_harness.h) — a
+// manual-pump RecommendService on a virtual clock with an open-loop Poisson
+// generator at 1x-4x of nominal capacity — and asserts the adaptive
+// overload-control contract of DESIGN.md §15:
+//
+//   1. no late answers: every request resolves within deadline + grace, and
+//      no full-quality answer ever lands past its own deadline;
+//   2. goodput holds: full-quality answers per second under 4x overload stay
+//      >= 0.8x of the 1x (saturation) run's goodput — overload costs sheds,
+//      not throughput;
+//   3. the AIMD limit converges to a stable band over the run's second half;
+//   4. determinism: two same-seed runs produce byte-identical decision logs;
+//   5. the fixed-queue baseline (adaptive admission off) demonstrably
+//      collapses under the same 4x load — that contrast is what justifies
+//      the subsystem. (The degradation ladder keeps even the baseline
+//      *live* — queue-aged requests fall through to fast fallbacks rather
+//      than answering arbitrarily late — so the collapse shows up as
+//      goodput, not lateness: nearly every answer finishes past its
+//      deadline and degrades.)
+//
+// Everything runs in virtual time on one thread, so the whole file costs
+// simulation work only, no wall-clock waits.
+
+#include <gtest/gtest.h>
+
+#include "serve/overload_harness.h"
+
+namespace cadrl {
+namespace {
+
+using serve::OverloadOptions;
+using serve::OverloadReport;
+using serve::RunOverload;
+
+OverloadOptions BaseOptions() {
+  OverloadOptions o;
+  o.workers = 4;
+  o.mean_service = std::chrono::microseconds{1000};
+  o.service_jitter = 0.3;
+  o.deadline = std::chrono::microseconds{20000};
+  o.duration = std::chrono::milliseconds{1000};
+  o.seed = 42;
+  o.adaptive_admission = true;
+  return o;
+}
+
+OverloadReport RunAt(double multiplier, bool adaptive = true,
+                     uint64_t seed = 42) {
+  OverloadOptions o = BaseOptions();
+  o.offered_multiplier = multiplier;
+  o.adaptive_admission = adaptive;
+  o.seed = seed;
+  return RunOverload(o);
+}
+
+void ExpectNoLateAnswers(const OverloadReport& r) {
+  EXPECT_EQ(r.late_answers, 0)
+      << "answers resolved past deadline + grace";
+  EXPECT_EQ(r.late_full, 0)
+      << "full-quality answers past their own deadline";
+}
+
+TEST(OverloadChaosTest, SustainedOverloadMeetsGoodputContract) {
+  const OverloadReport clean = RunAt(1.0);
+  const OverloadReport overload = RunAt(4.0);
+
+  // Sanity on the simulation itself: the generator actually offered ~4x.
+  EXPECT_GT(clean.offered, 3000);
+  EXPECT_GT(overload.offered, 3 * clean.offered);
+
+  ExpectNoLateAnswers(clean);
+  ExpectNoLateAnswers(overload);
+
+  // The core contract: 4x offered load costs sheds, not goodput.
+  EXPECT_GT(clean.goodput_per_s, 0.0);
+  EXPECT_GE(overload.goodput_per_s, 0.8 * clean.goodput_per_s)
+      << "clean=" << clean.goodput_per_s
+      << " overload=" << overload.goodput_per_s;
+  // Overload is actually shedding (the limiter is engaged, not bypassed).
+  EXPECT_GT(overload.shed, 0);
+  EXPECT_GT(overload.stats.limit_sheds + overload.stats.early_sheds +
+                overload.stats.queue_full_sheds +
+                overload.stats.queue_timeout_sheds,
+            0);
+
+  // AIMD limit converged to a stable band over the second half.
+  ASSERT_GT(overload.limit_min, 0.0);
+  EXPECT_LE(overload.limit_max / overload.limit_min, 3.0)
+      << "limit band [" << overload.limit_min << ", " << overload.limit_max
+      << "] has not converged";
+}
+
+TEST(OverloadChaosTest, IntermediateLoadsStayHealthy) {
+  const OverloadReport clean = RunAt(1.0);
+  for (const double multiplier : {1.5, 2.0}) {
+    const OverloadReport r = RunAt(multiplier);
+    ExpectNoLateAnswers(r);
+    EXPECT_GE(r.goodput_per_s, 0.8 * clean.goodput_per_s)
+        << "at " << multiplier << "x";
+  }
+}
+
+TEST(OverloadChaosTest, DecisionsAreByteReproducible) {
+  const OverloadReport a = RunAt(4.0);
+  const OverloadReport b = RunAt(4.0);
+  ASSERT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.decision_log, b.decision_log);
+  EXPECT_EQ(a.answered_full, b.answered_full);
+  EXPECT_EQ(a.shed, b.shed);
+  // A different seed must actually change the run (the log is not vacuous).
+  const OverloadReport c = RunAt(4.0, /*adaptive=*/true, /*seed=*/43);
+  EXPECT_NE(a.decision_log, c.decision_log);
+}
+
+TEST(OverloadChaosTest, FixedQueueBaselineCollapsesUnderOverload) {
+  const OverloadReport aimd = RunAt(4.0, /*adaptive=*/true);
+  const OverloadReport fixed = RunAt(4.0, /*adaptive=*/false);
+
+  // Without admission control, requests age in FIFO order until their
+  // budget is nearly gone: goodput collapses under the exact same offered
+  // load (observed ~3% of AIMD's), and the surviving full answers squeak
+  // in just under the wire.
+  EXPECT_LT(fixed.goodput_per_s, 0.25 * aimd.goodput_per_s)
+      << "fixed=" << fixed.goodput_per_s << " aimd=" << aimd.goodput_per_s;
+  EXPECT_GT(fixed.p95_full_ms, 0.9 * 20.0 /*deadline ms*/);
+  // Nearly everything degrades (finishes past its deadline and falls down
+  // the ladder) ...
+  EXPECT_GT(fixed.degraded, (9 * fixed.offered) / 10);
+  // ... yet the ladder itself keeps the baseline live: degraded answers
+  // resolve promptly, so even the collapse produces no late answers. AIMD
+  // buys goodput, not liveness — the ladder already guarantees that.
+  ExpectNoLateAnswers(fixed);
+}
+
+}  // namespace
+}  // namespace cadrl

@@ -511,13 +511,13 @@ TEST_F(ServeChaosTest, SnapshotSwapUnderLoadBatched) {
 // --- 5. Breaker transitions match the golden trace ----------------------
 
 TEST_F(ServeChaosTest, BreakerTransitionsMatchGoldenTrace) {
-  CircuitBreaker::Clock::time_point now{};
+  serve::VirtualTimeSource clock;
   ServeOptions options;
   options.threads = 1;
   options.max_attempts = 1;
   options.breaker_failure_threshold = 2;
   options.breaker_cooldown = std::chrono::milliseconds{10};
-  options.breaker_time_source = [&now] { return now; };
+  options.time_source = &clock;
   RecommendService service(model_, *dataset_, options);
   ASSERT_TRUE(service.Start().ok());
 
@@ -532,10 +532,10 @@ TEST_F(ServeChaosTest, BreakerTransitionsMatchGoldenTrace) {
   EXPECT_EQ(rejected.attempts, 0);
   EXPECT_TRUE(rejected.primary_status.IsResourceExhausted());
   // ... after the cooldown a half-open probe runs and fails -> open ...
-  now += std::chrono::milliseconds{10};
+  clock.Advance(std::chrono::milliseconds{10});
   service.Recommend(user, 5, kNoDeadline);
   // ... and once the fault clears, the next probe closes the breaker.
-  now += std::chrono::milliseconds{10};
+  clock.Advance(std::chrono::milliseconds{10});
   Failpoints::Instance().DisarmAll();
   const ServeResponse recovered = service.Recommend(user, 5, kNoDeadline);
   EXPECT_EQ(recovered.level, DegradationLevel::kFull);

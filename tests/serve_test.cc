@@ -4,11 +4,14 @@
 // RecommendService degradation ladder. The concurrent/chaotic behavior is
 // covered by serve_chaos_test (its own binary, ctest labels chaos/tsan).
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -74,21 +77,10 @@ TEST(RequestContextTest, CancellationWinsOverExpiredDeadline) {
 
 // ---------- CircuitBreaker ----------
 
-class ManualClock {
- public:
-  CircuitBreaker::TimeSource source() {
-    return [this] { return now_; };
-  }
-  void Advance(CircuitBreaker::Clock::duration d) { now_ += d; }
-
- private:
-  CircuitBreaker::Clock::time_point now_{};
-};
-
 TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresAndRecovers) {
-  ManualClock clock;
+  serve::VirtualTimeSource clock;
   CircuitBreaker breaker(/*failure_threshold=*/2,
-                         std::chrono::milliseconds{10}, clock.source());
+                         std::chrono::milliseconds{10}, &clock);
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
 
   EXPECT_TRUE(breaker.Allow());
@@ -146,6 +138,36 @@ TEST(CircuitBreakerTest, NonPositiveThresholdDisablesBreaker) {
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
   EXPECT_EQ(breaker.trips(), 0);
   EXPECT_TRUE(breaker.transitions().empty());
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneProbeUnderRace) {
+  serve::VirtualTimeSource clock;
+  CircuitBreaker breaker(/*failure_threshold=*/1,
+                         std::chrono::milliseconds{10}, &clock);
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  clock.Advance(std::chrono::milliseconds{10});
+
+  // Eight threads race for the half-open probe; exactly one may win.
+  constexpr int kThreads = 8;
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      if (breaker.Allow()) admitted.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(admitted.load(), 1);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  const std::vector<std::string> golden = {"closed->open", "open->half_open",
+                                           "half_open->closed"};
+  EXPECT_EQ(breaker.transitions(), golden);
 }
 
 // ---------- Deadline-aware inference + RecommendService ----------
@@ -461,7 +483,11 @@ TEST_F(ServeTest, AutoAssignedRequestIdsAreUniqueAndNonZero) {
 // deterministically — no sleeps, no timing assumptions.
 class GatedRecommender : public eval::Recommender {
  public:
-  explicit GatedRecommender(eval::Recommender* inner) : inner_(inner) {}
+  // Contextual calls with ordinal < `gate_from` pass straight through; the
+  // rest park on the gate (the breaker tests let an opening failure run
+  // ungated, then hold the half-open probe).
+  explicit GatedRecommender(eval::Recommender* inner, int gate_from = 0)
+      : inner_(inner), gate_from_(gate_from) {}
   std::string name() const override { return "Gated"; }
   Status Fit(const data::Dataset&) override { return Status::OK(); }
   std::vector<eval::Recommendation> Recommend(kg::EntityId user,
@@ -472,9 +498,11 @@ class GatedRecommender : public eval::Recommender {
                    std::vector<eval::Recommendation>* out) override {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      ++entered_;
-      cv_.notify_all();
-      cv_.wait(lock, [&] { return released_; });
+      if (calls_++ >= gate_from_) {
+        ++entered_;
+        cv_.notify_all();
+        cv_.wait(lock, [&] { return released_; });
+      }
     }
     return inner_->Recommend(user, k, ctx, out);
   }
@@ -491,8 +519,10 @@ class GatedRecommender : public eval::Recommender {
 
  private:
   eval::Recommender* const inner_;
+  const int gate_from_;
   std::mutex mu_;
   std::condition_variable cv_;
+  int calls_ = 0;
   int entered_ = 0;
   bool released_ = false;
 };
@@ -570,6 +600,255 @@ TEST_F(ServeTest, FullQueueShedsInlineWithExactStats) {
   EXPECT_EQ(batch.linger_p95_us, 0);
 }
 
+// Half-open at the service level, concurrently: the single probe parks in
+// the gated model while further requests keep resolving through the ladder
+// — losing the probe race must never block or fail a request. Driven on a
+// virtual clock with the transition trace locked against a golden sequence.
+TEST_F(ServeTest, HalfOpenProbeLosersFallToLadder) {
+  serve::VirtualTimeSource clock;
+  GatedRecommender gated(model_, /*gate_from=*/1);
+  ServeOptions options;
+  options.threads = 2;
+  options.max_attempts = 1;
+  options.backoff_base = std::chrono::microseconds{0};
+  options.breaker_failure_threshold = 1;
+  options.breaker_cooldown = std::chrono::milliseconds{10};
+  options.top_k = 5;
+  options.time_source = &clock;
+  RecommendService service(&gated, *dataset_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  const kg::EntityId user = dataset_->users[0];
+  const auto submit = [&] {
+    ServeRequest req;
+    req.user = user;
+    req.k = 5;
+    req.timeout = kNoDeadline;
+    return service.Submit(req);
+  };
+
+  // One ungated failure trips the breaker (threshold 1) ...
+  Failpoints::Instance().Arm("cadrl/score", /*count=*/-1);
+  EXPECT_EQ(submit().get().level, DegradationLevel::kPopularity);
+  EXPECT_EQ(service.primary_breaker().state(), CircuitBreaker::State::kOpen);
+  // ... and open rejects instantly while the virtual cooldown stands still.
+  const ServeResponse rejected = submit().get();
+  EXPECT_EQ(rejected.attempts, 0);
+  EXPECT_TRUE(rejected.primary_status.IsResourceExhausted());
+
+  // Cooldown elapses (virtually), the fault clears, and the next request
+  // becomes the half-open probe — parked on the model gate.
+  clock.Advance(std::chrono::milliseconds{10});
+  Failpoints::Instance().DisarmAll();
+  auto probe = submit();
+  gated.WaitForEntries(1);
+  EXPECT_EQ(service.primary_breaker().state(),
+            CircuitBreaker::State::kHalfOpen);
+
+  // Requests racing the in-flight probe lose Allow() and fall to the
+  // ladder; they resolve while the probe is still parked.
+  for (int i = 0; i < 2; ++i) {
+    const ServeResponse loser = submit().get();
+    EXPECT_EQ(loser.level, DegradationLevel::kPopularity);
+    EXPECT_EQ(loser.attempts, 0);
+    EXPECT_TRUE(loser.primary_status.IsResourceExhausted());
+  }
+  EXPECT_EQ(service.primary_breaker().state(),
+            CircuitBreaker::State::kHalfOpen);
+
+  // The probe succeeds and closes the breaker.
+  gated.Release();
+  EXPECT_EQ(probe.get().level, DegradationLevel::kFull);
+  EXPECT_EQ(service.primary_breaker().state(),
+            CircuitBreaker::State::kClosed);
+  service.Stop();
+
+  const std::vector<std::string> golden = {"closed->open", "open->half_open",
+                                           "half_open->closed"};
+  EXPECT_EQ(service.primary_breaker().transitions(), golden);
+  EXPECT_EQ(service.primary_breaker().trips(), 1);
+  EXPECT_EQ(service.stats().breaker_rejections, 3);  // rejected + 2 losers
+}
+
+// ---------- Adaptive admission at the service level ----------
+
+// AIMD limit as the binding constraint: with initial_limit == min_limit ==
+// 2 and two requests parked in the manual-pump queue, the third submit is
+// shed inline — deterministically, no timing involved.
+TEST_F(ServeTest, AdmissionLimitShedsInline) {
+  ServeOptions options = UnitOptions();
+  options.manual_pump = true;
+  options.admission.enabled = true;
+  options.admission.initial_limit = 2.0;
+  options.admission.min_limit = 2.0;
+  RecommendService service(model_, *dataset_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  const auto submit = [&] {
+    ServeRequest req;
+    req.user = dataset_->users[0];
+    req.k = 5;
+    req.timeout = kNoDeadline;
+    return service.Submit(req);
+  };
+  auto first = submit();
+  auto second = submit();
+  auto third = submit();
+  ASSERT_EQ(third.wait_for(std::chrono::seconds{0}),
+            std::future_status::ready);
+  const ServeResponse shed = third.get();
+  EXPECT_TRUE(shed.status.IsResourceExhausted()) << shed.status.ToString();
+  EXPECT_TRUE(shed.load_shed);
+  EXPECT_EQ(shed.level, DegradationLevel::kPopularity);
+
+  RecommendService::StartedRequest started;
+  ASSERT_TRUE(service.PumpStart(&started));
+  service.PumpFinish(std::move(started));
+  ASSERT_TRUE(service.PumpStart(&started));
+  service.PumpFinish(std::move(started));
+  EXPECT_FALSE(service.PumpStart(&started));
+  EXPECT_EQ(first.get().level, DegradationLevel::kFull);
+  EXPECT_EQ(second.get().level, DegradationLevel::kFull);
+  service.Stop();
+
+  const RecommendService::Stats stats = service.stats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.full, 2);
+  EXPECT_EQ(stats.popularity, 1);
+  EXPECT_EQ(stats.limit_sheds, 1);
+  EXPECT_EQ(stats.load_shed, 1);
+  EXPECT_EQ(service.admission().inflight(), 0);
+}
+
+// A request whose deadline budget burns away in the queue is shed at
+// dequeue, never started, and counted as the overload signal it is — the
+// AIMD limit is cut. Fully deterministic on the virtual clock.
+TEST_F(ServeTest, QueueAgedRequestIsShedAndCutsTheLimit) {
+  serve::VirtualTimeSource clock;
+  ServeOptions options = UnitOptions();
+  options.manual_pump = true;
+  options.time_source = &clock;
+  options.admission.enabled = true;
+  RecommendService service(model_, *dataset_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  ServeRequest req;
+  req.user = dataset_->users[0];
+  req.k = 5;
+  req.timeout = std::chrono::milliseconds{10};
+  auto future = service.Submit(req);
+  clock.Advance(std::chrono::milliseconds{11});  // budget burns in the queue
+
+  RecommendService::StartedRequest started;
+  EXPECT_FALSE(service.PumpStart(&started));  // shed while draining
+  ASSERT_EQ(future.wait_for(std::chrono::seconds{0}),
+            std::future_status::ready);
+  const ServeResponse resp = future.get();
+  EXPECT_TRUE(resp.load_shed);
+  EXPECT_TRUE(resp.status.IsResourceExhausted()) << resp.status.ToString();
+  EXPECT_EQ(resp.level, DegradationLevel::kPopularity);
+  EXPECT_EQ(resp.attempts, 0);  // the model never started
+  service.Stop();
+
+  const RecommendService::Stats stats = service.stats();
+  EXPECT_EQ(stats.queue_timeout_sheds, 1);
+  EXPECT_EQ(stats.load_shed, 1);
+  EXPECT_NEAR(service.admission().limit(),
+              options.admission.initial_limit *
+                  options.admission.decrease_factor,
+              1e-9);
+  EXPECT_EQ(service.admission().snapshot().decreases, 1);
+}
+
+// The early-shed gate: once the ladder floor's p95 is observed (warmed by
+// the first wave's queue-timeout sheds), a request whose entire budget is
+// below it is answered through the fallback right at admission. Runs on
+// the real clock — microscopic budgets are doomed either way, the split
+// between early and queue-timeout sheds is timing-dependent, their sum is
+// not.
+TEST_F(ServeTest, EarlyShedCatchesBudgetsBelowTheFloor) {
+  ServeOptions options = UnitOptions();
+  options.manual_pump = true;
+  options.admission.enabled = true;
+  options.admission.initial_limit = 64.0;  // not the constraint under test
+  RecommendService service(model_, *dataset_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  const auto submit_doomed = [&] {
+    ServeRequest req;
+    req.user = dataset_->users[0];
+    req.k = 5;
+    req.timeout = std::chrono::microseconds{1};
+    return service.Submit(req);
+  };
+  const auto drain = [&] {
+    RecommendService::StartedRequest started;
+    while (service.PumpStart(&started)) {
+      service.PumpFinish(std::move(started));
+    }
+  };
+
+  // Wave 1: the floor histogram is cold, so these queue; by drain time
+  // their 1us budgets are long gone -> queue-timeout sheds that run the
+  // popularity floor and warm its p95 (>= 1us by round-up).
+  constexpr int kWave1 = 5, kWave2 = 15;
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < kWave1; ++i) futures.push_back(submit_doomed());
+  std::this_thread::sleep_for(std::chrono::milliseconds{2});
+  drain();
+  ASSERT_GE(service.admission().snapshot().floor_p95_us, 1);
+
+  // Wave 2: the gate is armed; a 1us budget (minus the nanoseconds burned
+  // reaching the check) falls below the floor p95 and sheds inline.
+  for (int i = 0; i < kWave2; ++i) futures.push_back(submit_doomed());
+  std::this_thread::sleep_for(std::chrono::milliseconds{2});
+  drain();
+
+  for (auto& f : futures) {
+    const ServeResponse resp = f.get();
+    EXPECT_TRUE(resp.load_shed);
+    EXPECT_EQ(resp.level, DegradationLevel::kPopularity);
+    EXPECT_EQ(resp.attempts, 0);  // the model never started
+  }
+  service.Stop();
+
+  const RecommendService::Stats stats = service.stats();
+  EXPECT_EQ(stats.load_shed, kWave1 + kWave2);
+  EXPECT_EQ(stats.early_sheds + stats.queue_timeout_sheds, kWave1 + kWave2);
+  EXPECT_GE(stats.queue_timeout_sheds, kWave1);
+  EXPECT_GE(stats.early_sheds, 1);
+}
+
+TEST_F(ServeTest, MetricsTextExposesServingSurface) {
+  RecommendService service(model_, *dataset_, UnitOptions());
+  ASSERT_TRUE(service.Start().ok());
+  EXPECT_EQ(service.Recommend(dataset_->users[0], 5, kNoDeadline).level,
+            DegradationLevel::kFull);
+  service.Stop();
+
+  const std::string text = service.MetricsText();
+  for (const char* needle : {
+           "cadrl_serve_requests_total 1",
+           "cadrl_serve_level_total{level=\"full\"} 1",
+           "cadrl_serve_shed_total{reason=\"queue_timeout\"} 0",
+           "cadrl_serve_breaker_state{stage=\"primary\"} 0",
+           "cadrl_serve_breaker_trips_total{stage=\"cache\"} 0",
+           "cadrl_serve_admission_limit ",
+           "cadrl_serve_admission_latency_target_us ",
+           "cadrl_serve_latency_us_bucket{level=\"full\",le=\"+Inf\"} 1",
+           "cadrl_serve_latency_us_count{level=\"full\"} 1",
+           "cadrl_serve_primary_latency_us_count 1",
+           "cadrl_serve_queue_wait_us_count 1",
+           "cadrl_serve_snapshot_age_seconds ",
+           "cadrl_serve_arena_bytes{section=\"store_rows\"}",
+           "cadrl_serve_batch_steps_total 0",
+       }) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "missing metric: " << needle << "\n"
+        << text;
+  }
+}
+
 TEST_F(ServeTest, ValidateRejectsBadOptions) {
   ServeOptions o;
   o.queue_capacity = 0;
@@ -579,6 +858,13 @@ TEST_F(ServeTest, ValidateRejectsBadOptions) {
   EXPECT_TRUE(o.Validate().IsInvalidArgument());
   o = ServeOptions();
   o.top_k = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = ServeOptions();
+  o.manual_pump = true;
+  o.batch_max = 4;  // single-threaded pump has no peers to park for
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = ServeOptions();
+  o.admission.decrease_factor = 2.0;
   EXPECT_TRUE(o.Validate().IsInvalidArgument());
   EXPECT_TRUE(ServeOptions().Validate().ok());
 }

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <future>
 #include <iostream>
 #include <map>
@@ -17,6 +19,7 @@
 #include "bench_common.h"
 #include "bench_json.h"
 #include "infer/precision.h"
+#include "infer/shard_layout.h"
 #include "serve/overload_harness.h"
 #include "serve/recommend_service.h"
 #include "util/alloc_stats.h"
@@ -552,6 +555,146 @@ void RunQuantizedServing(BenchJson& json) {
   table.Print(std::cout);
 }
 
+// Snapshot reload latency (DESIGN.md §16): the same trained CADRL on
+// Beauty hot-swapped three ways — (a) contiguous checkpoint reload
+// (ReloadFromCheckpoint: parse the full hex-float model file, re-quantize,
+// rebuild the heap arena), (b) cold shard-dir publish (LoadFromShardDir
+// with no predecessor: open + mmap + header/CRC validate every shard, no
+// parse), and (c) delta republish (one entity row perturbed, recompiled —
+// only the one changed shard is rewritten and remapped) — plus the no-op
+// poll an unchanged directory costs a reloader. The point of the format:
+// (b) is independent of arena size and (c) is independent of everything
+// but the changed range.
+void RunReloadLatency(BenchJson& json) {
+  const BenchConfig config = BenchConfig::FromEnv();
+  data::Dataset dataset = MakeDatasetByName("Beauty");
+  auto model = baselines::MakeCadrlForDataset(config.budget, "Beauty");
+  CADRL_CHECK_OK(model->Fit(dataset));
+
+  std::string root = []() {
+    const char* t = std::getenv("TEST_TMPDIR");
+    std::string tmpl = std::string(t != nullptr && t[0] != '\0' ? t : "/tmp") +
+                       "/cadrl_reload_bench_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    CADRL_CHECK(::mkdtemp(buf.data()) != nullptr);
+    return std::string(buf.data());
+  }();
+  const std::string ckpt = root + "/model.cadrl";
+  const std::string shard_dir = root + "/shards";
+  CADRL_CHECK_OK(model->SaveModel(ckpt));
+  // Small shard rows so the tiny bench dataset still splits into a real
+  // multi-shard set; production tables would use the 4096-row default.
+  constexpr int64_t kShardRows = 64;
+  infer::ShardWriteStats wstats;
+  CADRL_CHECK_OK(model->CompileSnapshotToDir(shard_dir, kShardRows, &wstats));
+
+  constexpr int kRepeats = 5;
+  auto time_ms = [](auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (const double x : v) s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  };
+
+  // (a) Contiguous checkpoint parse + arena rebuild + publish.
+  std::vector<double> parse_ms;
+  for (int r = 0; r < kRepeats; ++r) {
+    parse_ms.push_back(
+        time_ms([&] { CADRL_CHECK_OK(model->ReloadFromCheckpoint(ckpt)); }));
+  }
+
+  // (b) Cold shard-dir load: no predecessor, every shard opened + mapped.
+  std::shared_ptr<const infer::CompiledModel> cold;
+  std::vector<double> cold_ms;
+  for (int r = 0; r < kRepeats; ++r) {
+    cold.reset();
+    cold_ms.push_back(time_ms([&] {
+      CADRL_CHECK_OK(
+          infer::LoadFromShardDir(shard_dir, {}, nullptr, &cold));
+    }));
+  }
+  const int shard_count = cold->shard_stats().shard_count;
+
+  // No-op poll: unchanged dir, previous mappings all reused.
+  std::vector<double> noop_ms;
+  for (int r = 0; r < kRepeats; ++r) {
+    std::shared_ptr<const infer::CompiledModel> again;
+    noop_ms.push_back(time_ms([&] {
+      CADRL_CHECK_OK(infer::LoadFromShardDir(shard_dir, {}, cold, &again));
+    }));
+    CADRL_CHECK_EQ(again->shard_stats().shards_remapped, 0);
+  }
+
+  // (c) Delta: perturb one entity row, recompile (rewrites one shard +
+  // manifest), then reload against the cold model — one remap, rest reused.
+  core::EmbeddingStore perturbed = *model->store();
+  const kg::EntityId victim = dataset.users.front();
+  std::vector<float> row(perturbed.Entity(victim).begin(),
+                         perturbed.Entity(victim).end());
+  row[0] += 0.25f;
+  perturbed.SetEntityRow(victim, row);
+  const std::shared_ptr<const infer::CompiledModel> snap =
+      model->CurrentSnapshot();
+  infer::ShardWriteOptions wopts;
+  wopts.shard_rows = kShardRows;
+  infer::ShardWriteStats delta_write;
+  const double delta_compile_ms = time_ms([&] {
+    CADRL_CHECK_OK(infer::CompileToShardDir(
+        perturbed.View(), snap->policy(), snap->score_scale(),
+        infer::CompiledModelOptions{snap->precision()}, shard_dir, wopts,
+        &delta_write));
+  });
+  std::shared_ptr<const infer::CompiledModel> delta;
+  const double delta_ms = time_ms([&] {
+    CADRL_CHECK_OK(infer::LoadFromShardDir(shard_dir, {}, cold, &delta));
+  });
+  CADRL_CHECK_GE(delta_write.shards_reused, shard_count - 1);
+  CADRL_CHECK_GT(delta->shard_stats().shards_reused, 0);
+
+  TablePrinter table(
+      "Snapshot reload latency: CADRL on Beauty (" +
+      std::to_string(shard_count) + " shards of " +
+      std::to_string(kShardRows) + " rows), mean of " +
+      std::to_string(kRepeats) + " repeats");
+  table.SetHeader({"Path", "ms", "Shards remapped"});
+  table.AddRow({"checkpoint parse (contiguous)",
+                TablePrinter::Fmt(mean(parse_ms), 3), "-"});
+  table.AddRow({"shard-dir cold publish (mmap)",
+                TablePrinter::Fmt(mean(cold_ms), 3),
+                std::to_string(shard_count)});
+  table.AddRow({"shard-dir delta republish",
+                TablePrinter::Fmt(delta_ms, 3),
+                std::to_string(delta->shard_stats().shards_remapped)});
+  table.AddRow({"shard-dir no-op poll", TablePrinter::Fmt(mean(noop_ms), 3),
+                "0"});
+  table.Print(std::cout);
+
+  json.Set("reload/checkpoint_parse_ms", mean(parse_ms));
+  json.Set("reload/mmap_cold_publish_ms", mean(cold_ms));
+  json.Set("reload/delta_republish_ms", delta_ms);
+  json.Set("reload/delta_compile_ms", delta_compile_ms);
+  json.Set("reload/noop_poll_ms", mean(noop_ms));
+  json.Set("reload/shard_count", static_cast<double>(shard_count));
+  json.Set("reload/delta_shards_remapped",
+           static_cast<double>(delta->shard_stats().shards_remapped));
+  json.Set("reload/delta_shards_written",
+           static_cast<double>(delta_write.shards_written));
+  json.Set("reload/mapped_bytes",
+           static_cast<double>(cold->shard_stats().mapped_bytes));
+  json.Set("reload/parse_vs_mmap_speedup", mean(parse_ms) / mean(cold_ms));
+  std::cerr << "reload latency done" << std::endl;
+
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+}
+
 // Goodput vs offered load (DESIGN.md §15): the discrete-event overload
 // harness (4 simulated workers, 1ms +/- 30% service, 20ms deadline, 1s of
 // virtual time per cell) swept over 1x-4x of nominal capacity, once with
@@ -646,6 +789,7 @@ int main(int argc, char** argv) {
   cadrl::bench::RunServeLatency(json);
   cadrl::bench::RunBatchingConcurrency(json);
   cadrl::bench::RunQuantizedServing(json);
+  cadrl::bench::RunReloadLatency(json);
   cadrl::bench::RunOverloadCurve(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

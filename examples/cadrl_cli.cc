@@ -9,10 +9,13 @@
 //   cadrl_cli train <dataset-path> <model-path> [--checkpoint_dir <dir>]
 //              [--resume] [--threads N]
 //   cadrl_cli recommend <dataset-path> <user-entity-id> [k] [model-path]
+//   cadrl_cli snapshot compile <dataset-path> <model-path> <shard-dir>
+//              [--shard_rows N] [--precision <p>] [--threads N] [--verify]
 //   cadrl_cli serve <dataset-path> [model-path] [--threads N]
 //              [--requests N] [--timeout_ms N] [--fail_p P]
 //              [--latency_us N] [--latency_p P] [--seed S]
-//              [--reload_from <model-path>] [--reload_every_ms N]
+//              [--reload_from <model-path>] [--shard_dir <dir>]
+//              [--reload_every_ms N]
 //              [--batch_max N] [--batch_linger_us N] [--precision <p>]
 //              [--adaptive_admission] [--metrics_every_ms N]
 
@@ -33,8 +36,10 @@
 #include "eval/evaluator.h"
 #include "eval/path_metrics.h"
 #include "infer/precision.h"
+#include "infer/shard_layout.h"
 #include "serve/recommend_service.h"
 #include "util/failpoint.h"
+#include "util/logging.h"
 
 namespace {
 
@@ -50,6 +55,10 @@ int Usage() {
          "[--checkpoint_dir <dir>] [--resume] [--threads N]\n"
          "  cadrl_cli recommend <dataset-path> <user-entity-id> [k] "
          "[model-path]\n"
+         "  cadrl_cli snapshot compile <dataset-path> <model-path> "
+         "<shard-dir>\n"
+         "             [--shard_rows N] [--precision <p>] [--threads N] "
+         "[--verify]\n"
          "  cadrl_cli serve <dataset-path> [model-path] [--threads N] "
          "[--requests N]\n"
          "             [--timeout_ms N] [--fail_p P] [--latency_us N] "
@@ -81,9 +90,18 @@ int Usage() {
          " file a trainer\n"
          "                          republishes); in-flight requests finish"
          " on the old model\n"
-         "  --reload_every_ms N     serve: reload period in ms (default 200;"
-         " needs\n"
-         "                          --reload_from)\n"
+         "  --shard_dir <dir>       serve: poll this compiled shard"
+         " directory\n"
+         "                          (cadrl_cli snapshot compile) and"
+         " republish the\n"
+         "                          serving snapshot zero-parse whenever its"
+         " manifest\n"
+         "                          changes; a delta publish remaps only the"
+         " changed\n"
+         "                          shards\n"
+         "  --reload_every_ms N     serve: reload/poll period in ms"
+         " (default 200;\n"
+         "                          needs --reload_from or --shard_dir)\n"
          "  --batch_max N           serve: micro-batch up to N concurrent"
          " requests'\n"
          "                          beam steps per stacked dispatch (default"
@@ -93,11 +111,17 @@ int Usage() {
          " peers\n"
          "                          (default 200; a lone request never"
          " waits)\n"
-         "  --precision <p>         serve: row format of the published"
-         " inference\n"
-         "                          snapshot: f32 (default), f16 or int8;"
-         " overrides\n"
-         "                          CADRL_PRECISION; training stays f32\n"
+         "  --precision <p>         serve / snapshot compile: row format of"
+         " the\n"
+         "                          published inference snapshot: f32, f16"
+         " or int8.\n"
+         "                          The flag always beats CADRL_PRECISION"
+         " (the env\n"
+         "                          var is the default when the flag is"
+         " absent) and\n"
+         "                          applies from the first publish; training"
+         " stays\n"
+         "                          f32\n"
          "  --adaptive_admission    serve: AIMD admission limiter +"
          " deadline-aware\n"
          "                          early shedding (DESIGN.md §15)\n"
@@ -191,9 +215,22 @@ int Generate(const std::string& preset, const std::string& path) {
   return 0;
 }
 
+// Applies a --precision flag value to a freshly constructed model, BEFORE
+// Fit/LoadModel publishes the first snapshot: the flag always beats
+// CADRL_PRECISION (which seeded the model's default), and no snapshot is
+// ever built at the wrong precision and republished after the fact.
+void ApplyPrecisionFlag(const std::string& precision,
+                        core::CadrlRecommender* model) {
+  if (precision.empty()) return;  // keep the CADRL_PRECISION / f32 default
+  infer::Precision p = infer::Precision::kF32;
+  const bool ok = infer::ParsePrecision(precision, &p);
+  CADRL_CHECK(ok) << "--precision validated at flag parse";
+  model->set_snapshot_precision(p);
+}
+
 int TrainModel(const std::string& path, const CheckpointOptions& ckpt,
                int threads, std::unique_ptr<core::CadrlRecommender>* out,
-               data::Dataset* dataset) {
+               data::Dataset* dataset, const std::string& precision = "") {
   Status status = data::LoadDataset(path, dataset);
   if (!status.ok()) {
     std::cerr << "error loading " << path << ": " << status.ToString()
@@ -202,6 +239,7 @@ int TrainModel(const std::string& path, const CheckpointOptions& ckpt,
   }
   auto model = std::make_unique<core::CadrlRecommender>(
       DefaultOptions(dataset->name, threads));
+  ApplyPrecisionFlag(precision, model.get());
   std::cout << "training CADRL on '" << dataset->name << "' ("
             << dataset->num_users() << " users)...\n";
   if (ckpt.enabled()) {
@@ -221,15 +259,17 @@ int TrainModel(const std::string& path, const CheckpointOptions& ckpt,
 int LoadOrTrainModel(const std::string& dataset_path,
                      const std::string& model_path, int threads,
                      std::unique_ptr<core::CadrlRecommender>* out,
-                     data::Dataset* dataset) {
+                     data::Dataset* dataset,
+                     const std::string& precision = "") {
   if (model_path.empty()) {
     return TrainModel(dataset_path, CheckpointOptions(), threads, out,
-                      dataset);
+                      dataset, precision);
   }
   Status status = data::LoadDataset(dataset_path, dataset);
   if (status.ok()) {
     *out = std::make_unique<core::CadrlRecommender>(
         DefaultOptions(dataset->name, threads));
+    ApplyPrecisionFlag(precision, out->get());
     status = (*out)->LoadModel(*dataset, model_path);
   }
   if (!status.ok()) {
@@ -302,6 +342,81 @@ int Recommend(const std::string& path, const std::string& user_arg, int k,
   return 0;
 }
 
+// `cadrl_cli snapshot compile`: compile a trained model into the
+// relocatable shard-dir snapshot format (DESIGN.md §16). Recompiling over
+// an existing directory is a delta publish: shards whose bytes are
+// unchanged are skipped and a `serve --shard_dir` poller remaps only the
+// republished ones.
+int SnapshotCompile(const std::string& dataset_path,
+                    const std::string& model_path, const std::string& dir,
+                    int threads, std::vector<std::string> flag_args) {
+  int64_t shard_rows = 0;  // 0 keeps the model's default
+  std::string precision;
+  bool verify = false;
+  for (size_t i = 0; i < flag_args.size(); ++i) {
+    const std::string& a = flag_args[i];
+    if (a == "--shard_rows" && i + 1 < flag_args.size()) {
+      shard_rows = std::atoll(flag_args[++i].c_str());
+      if (shard_rows < 1) {
+        std::cerr << "--shard_rows expects a positive integer\n";
+        return 2;
+      }
+    } else if (a == "--precision" && i + 1 < flag_args.size()) {
+      precision = flag_args[++i];
+      infer::Precision p;
+      if (!infer::ParsePrecision(precision, &p)) {
+        std::cerr << "--precision must be f32, f16 or int8\n";
+        return 2;
+      }
+    } else if (a == "--verify") {
+      verify = true;
+    } else {
+      std::cerr << "unknown snapshot compile flag: " << a << "\n";
+      return 2;
+    }
+  }
+
+  data::Dataset dataset;
+  std::unique_ptr<core::CadrlRecommender> model;
+  if (int rc = LoadOrTrainModel(dataset_path, model_path, threads, &model,
+                                &dataset, precision);
+      rc != 0) {
+    return rc;
+  }
+
+  infer::ShardWriteStats stats;
+  const auto t0 = std::chrono::steady_clock::now();
+  Status status = model->CompileSnapshotToDir(dir, shard_rows, &stats);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  if (!status.ok()) {
+    std::cerr << "error compiling shards: " << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "compiled " << dir << " gen " << stats.generation << ": "
+            << stats.shards_written << "/" << stats.shards_total
+            << " shards written (" << stats.shards_reused << " unchanged), "
+            << stats.bytes_written << " B in "
+            << static_cast<int>(ms * 100) / 100.0 << "ms at "
+            << infer::PrecisionName(model->snapshot_precision()) << "\n";
+
+  if (verify) {
+    infer::ShardLoadOptions lopts;
+    lopts.verify_payload = true;  // full payload CRC scan, not just headers
+    std::shared_ptr<const infer::CompiledModel> check;
+    status = infer::LoadFromShardDir(dir, lopts, nullptr, &check);
+    if (!status.ok()) {
+      std::cerr << "verify failed: " << status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "verified " << check->shard_stats().shard_count
+              << " shards + meta, " << check->shard_stats().mapped_bytes
+              << " B mapped\n";
+  }
+  return 0;
+}
+
 struct ServeFlags {
   int requests = 200;
   int timeout_ms = 250;
@@ -310,6 +425,7 @@ struct ServeFlags {
   double latency_p = 1.0;
   uint64_t seed = 11;
   std::string reload_from;
+  std::string shard_dir;  // poll a compiled shard dir for zero-parse reloads
   int reload_every_ms = 200;
   int batch_max = 0;  // <= 1 serves unbatched
   int batch_linger_us = 200;
@@ -341,6 +457,8 @@ bool ParseServeFlags(std::vector<std::string>* args, ServeFlags* flags) {
       flags->seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
     } else if (a == "--reload_from" && (v = next_value(&i))) {
       flags->reload_from = v;
+    } else if (a == "--shard_dir" && (v = next_value(&i))) {
+      flags->shard_dir = v;
     } else if (a == "--reload_every_ms" && (v = next_value(&i))) {
       flags->reload_every_ms = std::atoi(v);
     } else if (a == "--batch_max" && (v = next_value(&i))) {
@@ -375,6 +493,10 @@ bool ParseServeFlags(std::vector<std::string>* args, ServeFlags* flags) {
       return false;
     }
   }
+  if (!flags->reload_from.empty() && !flags->shard_dir.empty()) {
+    std::cerr << "--reload_from and --shard_dir are mutually exclusive\n";
+    return false;
+  }
   *args = std::move(rest);
   return true;
 }
@@ -394,17 +516,12 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
           int threads, const ServeFlags& flags) {
   data::Dataset dataset;
   std::unique_ptr<core::CadrlRecommender> model;
+  // --precision is applied before load/train so the first published
+  // snapshot is already at the requested row format.
   if (int rc = LoadOrTrainModel(dataset_path, model_path, threads, &model,
-                                &dataset);
+                                &dataset, flags.precision);
       rc != 0) {
     return rc;
-  }
-
-  if (!flags.precision.empty()) {
-    infer::Precision p = infer::Precision::kF32;
-    infer::ParsePrecision(flags.precision, &p);  // validated at flag parse
-    model->set_snapshot_precision(p);
-    model->RepublishSnapshot();
   }
 
   Failpoints::Instance().DisarmAll();
@@ -443,6 +560,10 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
     std::cout << ", reloading " << flags.reload_from << " every "
               << flags.reload_every_ms << "ms";
   }
+  if (!flags.shard_dir.empty()) {
+    std::cout << ", polling shard dir " << flags.shard_dir << " every "
+              << flags.reload_every_ms << "ms";
+  }
   if (service.batching_enabled()) {
     std::cout << ", micro-batching max=" << flags.batch_max << " linger="
               << flags.batch_linger_us << "us";
@@ -472,12 +593,13 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
   std::atomic<bool> reloads_done{false};
   int64_t reload_failures = 0;
   std::thread reloader;
-  if (!flags.reload_from.empty()) {
+  if (!flags.reload_from.empty() || !flags.shard_dir.empty()) {
     reloader = std::thread([&] {
       while (!reloads_done.load(std::memory_order_relaxed)) {
-        if (!service.ReloadFromCheckpoint(flags.reload_from).ok()) {
-          ++reload_failures;
-        }
+        const Status s = flags.shard_dir.empty()
+                             ? service.ReloadFromCheckpoint(flags.reload_from)
+                             : service.ReloadFromShardDir(flags.shard_dir);
+        if (!s.ok()) ++reload_failures;
         std::this_thread::sleep_for(
             std::chrono::milliseconds{flags.reload_every_ms});
       }
@@ -553,6 +675,14 @@ int Serve(const std::string& dataset_path, const std::string& model_path,
     std::cout << "model reloads: " << stats.reloads << " succeeded, "
               << reload_failures << " failed\n";
   }
+  if (!flags.shard_dir.empty()) {
+    std::cout << "shard reloads: " << stats.shard_reloads
+              << " published (" << stats.shards_remapped << " remapped + "
+              << stats.shards_reused << " reused shards), "
+              << reload_failures << " failed polls; serving gen "
+              << stats.shard_generation << ", " << stats.shard_count
+              << " shards, " << stats.shard_mapped_bytes << " B mapped\n";
+  }
   if (service.batching_enabled()) {
     const serve::BatchScheduler::Stats batch = service.batch_stats();
     std::cout << "micro-batching: " << batch.steps << " steps in "
@@ -600,6 +730,11 @@ int main(int argc, char** argv) {
     return Recommend(args[0], args[1],
                      args.size() >= 3 ? std::atoi(args[2].c_str()) : 5,
                      args.size() == 4 ? args[3] : "");
+  }
+  if (command == "snapshot" && args.size() >= 4 && args[0] == "compile") {
+    return SnapshotCompile(
+        args[1], args[2], args[3], threads,
+        std::vector<std::string>(args.begin() + 4, args.end()));
   }
   if (command == "serve") {
     ServeFlags flags;

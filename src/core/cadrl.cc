@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
 #include <iomanip>
+#include <iostream>
 #include <limits>
 #include <sstream>
 
@@ -408,9 +411,7 @@ Status CadrlRecommender::Fit(const data::Dataset& dataset,
   // the live policy/store for the last time above, so the compiled copy is
   // byte-identical to what the tape path would read (modulo the configured
   // snapshot precision's quantization, applied once here).
-  PublishSnapshot(infer::CompiledModel::Build(
-      *store_, *policy_, score_scale_,
-      infer::CompiledModelOptions{snapshot_precision_}));
+  PublishSnapshot(BuildSnapshot(*store_, *policy_, score_scale_));
   fitted_ = true;
   return Status::OK();
 }
@@ -552,9 +553,120 @@ void CadrlRecommender::RepublishSnapshot() {
   if (!fitted_ || !use_compiled_ || store_ == nullptr || policy_ == nullptr) {
     return;
   }
-  PublishSnapshot(infer::CompiledModel::Build(
-      *store_, *policy_, score_scale_,
-      infer::CompiledModelOptions{snapshot_precision_}));
+  PublishSnapshot(BuildSnapshot(*store_, *policy_, score_scale_));
+}
+
+std::shared_ptr<const infer::CompiledModel> CadrlRecommender::BuildSnapshot(
+    const EmbeddingStore& store, const SharedPolicyNetworks& policy,
+    float scale) const {
+  const infer::CompiledModelOptions options{snapshot_precision_};
+  if (infer::ShardedSnapshotsFromEnv()) {
+    // Route the publish through the relocatable shard format: compile into
+    // a private temp directory, map it, then remove the files — the
+    // mappings keep the pages alive (POSIX), which doubles as a standing
+    // proof that a mapped snapshot survives its files being replaced or
+    // unlinked underneath it.
+    const char* tmp = std::getenv("TEST_TMPDIR");
+    std::string tmpl = std::string(tmp != nullptr && tmp[0] != '\0'
+                                       ? tmp
+                                       : "/tmp") +
+                       "/cadrl_shard_pub_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) != nullptr) {
+      const std::string dir(buf.data());
+      infer::ShardWriteOptions wopts;
+      // Small default so even the tiny test datasets split across several
+      // shards — the variant must exercise real shard boundaries.
+      wopts.shard_rows = infer::ShardRowsFromEnv(48);
+      infer::ShardWriteStats wstats;
+      Status status =
+          infer::CompileToShardDir(store.View(), policy.ParamsView(), scale,
+                                   options, dir, wopts, &wstats);
+      std::shared_ptr<const infer::CompiledModel> model;
+      if (status.ok()) {
+        infer::ShardLoadOptions lopts;
+        lopts.verify_payload = infer::ShardVerifyFromEnv();
+        status = infer::LoadFromShardDir(dir, lopts, nullptr, &model);
+      }
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+      if (status.ok()) return model;
+      // Fall through to the heap build (byte-identical outputs either
+      // way) — e.g. a test has an io/* failpoint armed that our internal
+      // writes tripped; the publish itself must still succeed.
+      std::cerr << "[cadrl] sharded snapshot publish failed ("
+                << status.ToString() << "), using heap arena" << std::endl;
+    }
+  }
+  return infer::CompiledModel::Build(store, policy, scale, options);
+}
+
+Status CadrlRecommender::CompileSnapshotToDir(
+    const std::string& dir, int64_t shard_rows,
+    infer::ShardWriteStats* stats) const {
+  if (!fitted_ || store_ == nullptr || policy_ == nullptr) {
+    return Status::FailedPrecondition(
+        "CompileSnapshotToDir requires a fitted or loaded model");
+  }
+  infer::ShardWriteOptions wopts;
+  if (shard_rows > 0) wopts.shard_rows = shard_rows;
+  infer::ShardWriteStats local;
+  return infer::CompileToShardDir(
+      store_->View(), policy_->ParamsView(), score_scale_,
+      infer::CompiledModelOptions{snapshot_precision_}, dir, wopts,
+      stats != nullptr ? stats : &local);
+}
+
+Status CadrlRecommender::ReloadFromShardDir(const std::string& dir) {
+  if (!fitted_ || dataset_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ReloadFromShardDir requires a fitted or loaded model");
+  }
+  const std::shared_ptr<const infer::CompiledModel> previous =
+      AcquireSnapshot();
+  infer::ShardLoadOptions lopts;
+  lopts.verify_payload = infer::ShardVerifyFromEnv();
+  std::shared_ptr<const infer::CompiledModel> next;
+  CADRL_RETURN_IF_ERROR(infer::LoadFromShardDir(dir, lopts, previous, &next));
+  const infer::ScoringView& sv = next->scoring();
+  if (sv.dim != options_.transe.dim) {
+    return Status::Corruption("shard dir dim does not match options");
+  }
+  if (sv.num_entities !=
+          static_cast<int64_t>(dataset_->graph.num_entities()) ||
+      sv.num_categories !=
+          static_cast<int64_t>(dataset_->graph.num_categories())) {
+    return Status::Corruption("shard dir table sizes do not match dataset");
+  }
+  // An unchanged directory (same generation, nothing remapped beyond what
+  // the previous snapshot already held) republishes nothing: reloaders can
+  // poll cheaply.
+  if (previous != nullptr && previous->mapped() &&
+      previous->shard_stats().generation == next->shard_stats().generation &&
+      next->shard_stats().shards_remapped == 0) {
+    return Status::OK();
+  }
+  PublishSnapshot(std::move(next));
+  return Status::OK();
+}
+
+eval::Recommender::ShardServingStatus CadrlRecommender::ShardStatus() const {
+  const std::shared_ptr<const infer::CompiledModel> snapshot =
+      AcquireSnapshot();
+  if (snapshot == nullptr || !snapshot->mapped()) return {};
+  const infer::ShardSetStats& st = snapshot->shard_stats();
+  ShardServingStatus out;
+  out.shard_count = st.shard_count;
+  out.mapped_bytes = st.mapped_bytes;
+  out.generation = st.generation;
+  out.shards_remapped = st.shards_remapped;
+  out.shards_reused = st.shards_reused;
+  out.shard_generations.reserve(snapshot->shard_infos().size());
+  for (const infer::ShardSetInfo& info : snapshot->shard_infos()) {
+    out.shard_generations.push_back(info.generation);
+  }
+  return out;
 }
 
 eval::Recommender::ServingArena CadrlRecommender::ServingArenaBytes() const {
@@ -735,9 +847,7 @@ Status CadrlRecommender::LoadModel(const data::Dataset& dataset,
   std::vector<ag::Tensor> params = policy_->Parameters();
   CADRL_RETURN_IF_ERROR(ReadParams(in, &params));
   cggnn_.reset();
-  PublishSnapshot(infer::CompiledModel::Build(
-      *store_, *policy_, score_scale_,
-      infer::CompiledModelOptions{snapshot_precision_}));
+  PublishSnapshot(BuildSnapshot(*store_, *policy_, score_scale_));
   fitted_ = true;
   return Status::OK();
 }
@@ -771,9 +881,7 @@ Status CadrlRecommender::ReloadFromCheckpoint(const std::string& path) {
   SharedPolicyNetworks next_policy(MakePolicyConfig(), &scratch_rng);
   std::vector<ag::Tensor> params = next_policy.Parameters();
   CADRL_RETURN_IF_ERROR(ReadParams(in, &params));
-  PublishSnapshot(infer::CompiledModel::Build(
-      next_store, next_policy, scale,
-      infer::CompiledModelOptions{snapshot_precision_}));
+  PublishSnapshot(BuildSnapshot(next_store, next_policy, scale));
   return Status::OK();
 }
 

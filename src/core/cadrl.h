@@ -17,6 +17,7 @@
 #include "embed/transe.h"
 #include "eval/recommender.h"
 #include "infer/compiled_model.h"
+#include "infer/shard_layout.h"
 #include "rl/reinforce.h"
 #include "util/checkpoint.h"
 #include "util/rng.h"
@@ -178,6 +179,27 @@ class CadrlRecommender : public eval::Recommender {
   // loaded) recommender against the same dataset/options.
   Status ReloadFromCheckpoint(const std::string& path) override;
 
+  // Compiles the current fitted state into a relocatable shard directory
+  // (infer/shard_layout.h): entity-range shards + meta shard + manifest,
+  // encoded at snapshot_precision(). Delta-aware — recompiling into a dir
+  // that already holds an older compile rewrites only the shards whose
+  // bytes changed. `shard_rows <= 0` uses the format default; `stats` may
+  // be null.
+  Status CompileSnapshotToDir(const std::string& dir, int64_t shard_rows,
+                              infer::ShardWriteStats* stats) const;
+
+  // Zero-parse hot swap from a compiled shard directory: open + mmap +
+  // validate and publish, with the same RCU semantics as
+  // ReloadFromCheckpoint but no full-model parse — reload cost is
+  // independent of arena size, and when the currently served snapshot came
+  // from the same directory lineage only changed shards are remapped. A
+  // reload of an unchanged directory (same manifest generation) publishes
+  // nothing.
+  Status ReloadFromShardDir(const std::string& dir) override;
+
+  // Shard-set accounting of the served snapshot (zeros for heap arenas).
+  ShardServingStatus ShardStatus() const override;
+
   // Compiled (tape-free) inference is the default; switching it off routes
   // Recommend/FindPaths through the legacy autograd forwards. Golden tests
   // flip this toggle to prove both paths are byte-identical.
@@ -243,6 +265,17 @@ class CadrlRecommender : public eval::Recommender {
   // the pointer so later readers see the new model.
   std::shared_ptr<const infer::CompiledModel> AcquireSnapshot() const;
   void PublishSnapshot(std::shared_ptr<const infer::CompiledModel> snapshot);
+
+  // Compiles a publishable snapshot from an f32 store + policy at the
+  // current snapshot precision. Every publish site routes through here:
+  // with CADRL_SNAPSHOT_SHARDED=1 the snapshot detours through a temp
+  // shard directory and comes back mmap-backed (the files are removed
+  // immediately — the mappings keep the pages alive), so the whole test
+  // suite can run against the sharded layout; otherwise it is a plain
+  // heap-arena CompiledModel::Build.
+  std::shared_ptr<const infer::CompiledModel> BuildSnapshot(
+      const EmbeddingStore& store, const SharedPolicyNetworks& policy,
+      float scale) const;
 
   PolicyConfig MakePolicyConfig() const;
 

@@ -54,5 +54,11 @@ Status Recommender::ReloadFromCheckpoint(const std::string& path) {
                                     " does not support live model reload");
 }
 
+Status Recommender::ReloadFromShardDir(const std::string& dir) {
+  (void)dir;
+  return Status::FailedPrecondition(name() +
+                                    " does not support shard-dir reload");
+}
+
 }  // namespace eval
 }  // namespace cadrl

@@ -110,6 +110,30 @@ class Recommender {
   // that keep no swappable snapshot return kFailedPrecondition (the
   // default) and keep serving their fitted state.
   virtual Status ReloadFromCheckpoint(const std::string& path);
+
+  // Zero-parse variant of ReloadFromCheckpoint over a compiled shard
+  // directory (infer/shard_layout.h): open + mmap + validate, no full-model
+  // parse, and a delta publish remaps only the shards whose manifest entry
+  // changed. Same RCU swap semantics as above. Default: kFailedPrecondition
+  // for models without a mapped snapshot backend.
+  virtual Status ReloadFromShardDir(const std::string& dir);
+
+  // Shard-set accounting of the currently served snapshot; all zeros/empty
+  // when the snapshot is not shard-dir-backed (the default). The serving
+  // layer exports these as Prometheus gauges.
+  struct ShardServingStatus {
+    int shard_count = 0;
+    size_t mapped_bytes = 0;
+    uint64_t generation = 0;
+    // How the serving snapshot was loaded relative to its predecessor: a
+    // delta reload reuses unchanged shards' mappings and maps only the
+    // republished ones.
+    int shards_remapped = 0;
+    int shards_reused = 0;
+    // Per-shard manifest generation, indexed by entity-range shard.
+    std::vector<uint64_t> shard_generations;
+  };
+  virtual ShardServingStatus ShardStatus() const { return {}; }
 };
 
 }  // namespace eval

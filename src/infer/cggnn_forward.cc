@@ -20,7 +20,9 @@ const float* EntityRowOf(const CggnnView& v, const std::vector<float>& reps,
   const int64_t pos = v.item_index[static_cast<size_t>(e)];
   if (pos >= 0) return reps.data() + pos * v.dim;
   if (v.entity_precision == Precision::kF32) {
-    return v.entity_table.f32 + static_cast<int64_t>(e) * v.dim;
+    int64_t idx = static_cast<int64_t>(e);
+    const RowTable& t = ResolveRow(v.entity_table, &idx);
+    return t.f32 + idx * v.dim;
   }
   static thread_local std::vector<float> slot;
   slot.resize(static_cast<size_t>(v.dim));

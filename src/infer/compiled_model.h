@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "infer/policy_forward.h"
@@ -14,6 +15,9 @@ namespace core {
 class EmbeddingStore;
 class SharedPolicyNetworks;
 }  // namespace core
+namespace util {
+class MmapFile;
+}  // namespace util
 
 namespace infer {
 
@@ -32,11 +36,39 @@ struct CompiledModelOptions {
 
 // Arena footprint by section, in bytes (RecommendService::Stats and every
 // bench JSON dump report these — the memory claim is a measured number).
+// For a shard-dir-backed model these are the *logical* section sizes inside
+// the mappings (the heap arenas are empty; see arena_size()).
 struct ArenaBytes {
   size_t store_rows = 0;    // embedding-table row payloads (all tables)
   size_t store_scales = 0;  // per-row int8 scale/zero-point metadata
   size_t policy_params = 0; // both agents' parameters (always f32)
   size_t total() const { return store_rows + store_scales + policy_params; }
+};
+
+// Aggregate shard-set accounting for a shard-dir-backed model (all zero for
+// heap-arena models). `shards_remapped`/`shards_reused` describe how this
+// model was loaded relative to the `previous` model handed to the loader:
+// a delta reload reuses the unchanged shards' mappings and maps only the
+// republished ones.
+struct ShardSetStats {
+  int shard_count = 0;      // entity-range shards (excludes the meta shard)
+  int shards_remapped = 0;  // freshly opened+mapped in this load
+  int shards_reused = 0;    // mappings inherited from the previous model
+  size_t mapped_bytes = 0;  // total bytes of all mappings (incl. meta)
+  uint64_t generation = 0;  // manifest generation this model serves
+  bool fallback_buffered = false;  // any mapping fell back to a heap read
+};
+
+// One entity-range shard of a shard-dir-backed model, as loaded. The CRC is
+// the payload CRC recorded in the manifest — the delta loader's identity
+// key for mapping reuse.
+struct ShardSetInfo {
+  std::string file;  // basename within the shard dir
+  int64_t row_begin = 0;
+  int64_t row_count = 0;
+  uint32_t crc = 0;
+  uint64_t generation = 0;  // manifest generation that last wrote this shard
+  bool remapped = false;    // false = mapping inherited from previous model
 };
 
 // A frozen, tape-free inference snapshot: every parameter the serving path
@@ -81,12 +113,23 @@ class CompiledModel {
   float score_scale() const { return score_scale_; }
   Precision precision() const { return scoring_.precision; }
   // Floats held by the f32 arena (policy params + f32-precision tables);
-  // prefer arena_bytes() for footprint reporting.
+  // prefer arena_bytes() for footprint reporting. Zero for a shard-dir-
+  // backed model — its parameters live in the mapped files, not the heap.
   size_t arena_size() const { return arena_.size(); }
-  // Per-section arena footprint in bytes, across all three arenas.
+  // Per-section arena footprint in bytes, across all three arenas (or the
+  // equivalent logical sections of the mappings for a mapped model).
   const ArenaBytes& arena_bytes() const { return arena_bytes_; }
 
+  // True when this model is backed by a shard directory (ShardLoader):
+  // the tables and policy parameters point into read-only file mappings
+  // instead of the heap arenas.
+  bool mapped() const { return !mappings_.empty(); }
+  const ShardSetStats& shard_stats() const { return shard_stats_; }
+  const std::vector<ShardSetInfo>& shard_infos() const { return shard_infos_; }
+
  private:
+  friend class ShardLoader;  // builds mapped instances (shard_layout.cc)
+
   CompiledModel() = default;
 
   std::vector<float> arena_;      // policy params (+ f32 tables)
@@ -96,6 +139,22 @@ class CompiledModel {
   PolicyParamsView policy_;
   ArenaBytes arena_bytes_;
   float score_scale_ = 1.0f;
+
+  // Shard-dir backend (empty for heap-arena models). `mappings_` pins the
+  // mapped files for the model's lifetime — an acquired snapshot therefore
+  // pins its whole shard set exactly like a heap arena, and a delta reload
+  // shares unchanged mappings with the previous model via the shared_ptrs.
+  // The segment vectors are the flat per-shard sub-tables the sharded
+  // RowTables (see infer/precision.h) point into; they are sized once at
+  // load and never reallocate.
+  std::vector<std::shared_ptr<const util::MmapFile>> mappings_;
+  std::vector<RowTable> ent_segments_;
+  std::vector<RowTable> raw_segments_;
+  std::vector<RowTable> demand_segments_;
+  ShardSetStats shard_stats_;
+  std::vector<ShardSetInfo> shard_infos_;
+  uint32_t meta_crc_ = 0;           // meta shard payload CRC (delta reuse)
+  uint64_t meta_generation_ = 0;    // manifest generation of the meta shard
 };
 
 }  // namespace infer

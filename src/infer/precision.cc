@@ -49,15 +49,17 @@ Precision PrecisionFromEnv() {
   return p;
 }
 
-RowQuant RowQuantOf(const RowTable& t, int64_t idx) {
+RowQuant RowQuantOf(const RowTable& table, int64_t idx) {
+  const RowTable& t = ResolveRow(table, &idx);
   RowQuant q;
   q.scale = kernels::F16ToF32(t.q8_scale[idx]);
   q.zp = kernels::F16ToF32(t.q8_zp[idx]);
   return q;
 }
 
-void MaterializeRow(const RowTable& t, Precision p, int dim, int64_t idx,
+void MaterializeRow(const RowTable& table, Precision p, int dim, int64_t idx,
                     float* dst) {
+  const RowTable& t = ResolveRow(table, &idx);
   switch (p) {
     case Precision::kF32: {
       const float* src = t.f32 + idx * dim;
@@ -76,8 +78,9 @@ void MaterializeRow(const RowTable& t, Precision p, int dim, int64_t idx,
   CADRL_CHECK(false) << "unknown precision";
 }
 
-std::span<const float> RowSpan(const RowTable& t, Precision p, int dim,
+std::span<const float> RowSpan(const RowTable& table, Precision p, int dim,
                                int64_t idx, std::vector<float>* slot) {
+  const RowTable& t = ResolveRow(table, &idx);
   if (p == Precision::kF32) {
     return {t.f32 + idx * dim, static_cast<size_t>(dim)};
   }

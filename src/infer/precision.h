@@ -34,6 +34,13 @@ Precision PrecisionFromEnv();
 
 // One embedding table in the owning view's row format. Exactly the pointer
 // set matching the precision is non-null; all pointers borrow the arena.
+//
+// A table is either *flat* (the pointers cover every row contiguously —
+// the heap-arena layout) or *sharded* (rows live in `num_segments`
+// sub-tables of `segment_rows` rows each, the last possibly shorter; the
+// sub-tables are flat RowTables borrowing separate mmap'ed shard files).
+// All row access goes through ResolveRow below, so consumers never assume
+// contiguity; flat tables keep their zero-indirection fast path.
 struct RowTable {
   const float* f32 = nullptr;       // num_rows x dim
   const uint16_t* f16 = nullptr;    // num_rows x dim binary16 bits
@@ -41,17 +48,37 @@ struct RowTable {
   const uint16_t* q8_scale = nullptr;  // per-row binary16 scale
   const uint16_t* q8_zp = nullptr;     // per-row binary16 zero point
 
+  // Sharded layout: row r lives in segments[r / segment_rows] at local
+  // index r % segment_rows. Null/0 for flat tables.
+  const RowTable* segments = nullptr;
+  int num_segments = 0;
+  int64_t segment_rows = 0;
+
+  bool sharded() const { return segments != nullptr; }
   bool present() const {
-    return f32 != nullptr || f16 != nullptr || q8 != nullptr;
+    return f32 != nullptr || f16 != nullptr || q8 != nullptr ||
+           segments != nullptr;
   }
-  // The row payload pointer regardless of format — unique per arena, which
-  // is what makes it usable as a snapshot-epoch key (batch grouping).
+  // The row payload pointer regardless of format — unique per arena (for a
+  // sharded table, the segment array is unique per model), which is what
+  // makes it usable as a snapshot-epoch key (batch grouping).
   const void* data() const {
+    if (segments != nullptr) return segments;
     if (f32 != nullptr) return f32;
     if (f16 != nullptr) return f16;
     return q8;
   }
 };
+
+// Maps a global row index to the flat sub-table holding it, rewriting *idx
+// to the segment-local row. Identity (and branch-predictable) for flat
+// tables, so the contiguous layout pays nothing.
+inline const RowTable& ResolveRow(const RowTable& t, int64_t* idx) {
+  if (t.segments == nullptr) return t;
+  const int64_t s = *idx / t.segment_rows;
+  *idx -= s * t.segment_rows;
+  return t.segments[s];
+}
 
 // Decoded per-row int8 metadata for row `idx`: {scale, zero_point} as f32.
 struct RowQuant {

@@ -45,30 +45,38 @@ std::vector<float>& RelationSlot() {
   return slot;
 }
 
-void GatherRows(const float* table, int dim,
+// The gathers are the scatter half of the sharded layout's scatter-gather:
+// each row resolves to its owning segment (a no-op for flat tables) and is
+// packed into one contiguous scratch run, so the fused kernels downstream
+// never see a shard boundary and the fixed-reduction contract is untouched.
+void GatherRows(const RowTable& table, int dim,
                 std::span<const kg::EntityId> ids, std::vector<float>* out) {
   out->resize(ids.size() * static_cast<size_t>(dim));
   float* dst = out->data();
   for (const kg::EntityId id : ids) {
-    const float* src = table + static_cast<int64_t>(id) * dim;
+    int64_t idx = static_cast<int64_t>(id);
+    const RowTable& t = ResolveRow(table, &idx);
+    const float* src = t.f32 + idx * dim;
     std::copy(src, src + dim, dst);
     dst += dim;
   }
 }
 
-void GatherRowsF16(const RowTable& t, int dim,
+void GatherRowsF16(const RowTable& table, int dim,
                    std::span<const kg::EntityId> ids,
                    std::vector<uint16_t>* out) {
   out->resize(ids.size() * static_cast<size_t>(dim));
   uint16_t* dst = out->data();
   for (const kg::EntityId id : ids) {
-    const uint16_t* src = t.f16 + static_cast<int64_t>(id) * dim;
+    int64_t idx = static_cast<int64_t>(id);
+    const RowTable& t = ResolveRow(table, &idx);
+    const uint16_t* src = t.f16 + idx * dim;
     std::copy(src, src + dim, dst);
     dst += dim;
   }
 }
 
-void GatherRowsQ8(const RowTable& t, int dim,
+void GatherRowsQ8(const RowTable& table, int dim,
                   std::span<const kg::EntityId> ids, std::vector<int8_t>* out,
                   std::vector<float>* scales, std::vector<float>* zps) {
   out->resize(ids.size() * static_cast<size_t>(dim));
@@ -76,11 +84,12 @@ void GatherRowsQ8(const RowTable& t, int dim,
   zps->resize(ids.size());
   int8_t* dst = out->data();
   for (size_t i = 0; i < ids.size(); ++i) {
-    const int64_t id = static_cast<int64_t>(ids[i]);
-    const int8_t* src = t.q8 + id * dim;
+    int64_t idx = static_cast<int64_t>(ids[i]);
+    const RowTable& t = ResolveRow(table, &idx);
+    const int8_t* src = t.q8 + idx * dim;
     std::copy(src, src + dim, dst);
     dst += dim;
-    const RowQuant q = RowQuantOf(t, id);
+    const RowQuant q = RowQuantOf(table, static_cast<int64_t>(ids[i]));
     (*scales)[i] = q.scale;
     (*zps)[i] = q.zp;
   }
@@ -100,14 +109,27 @@ const RowTable& TranslationTable(const ScoringView& view) {
 
 // Row `id` of `t` as f32 for use as a kernel operand: zero-copy for f32
 // views, dequantized into `slot` otherwise.
-const float* OperandRow(const ScoringView& view, const RowTable& t,
+const float* OperandRow(const ScoringView& view, const RowTable& table,
                         int64_t id, std::vector<float>* slot) {
   if (view.precision == Precision::kF32) {
+    const RowTable& t = ResolveRow(table, &id);
     return t.f32 + id * view.dim;
   }
   slot->resize(static_cast<size_t>(view.dim));
-  MaterializeRow(t, view.precision, view.dim, id, slot->data());
+  MaterializeRow(table, view.precision, view.dim, id, slot->data());
   return slot->data();
+}
+
+// Single-row pointer into `table`'s encoded payload (f16 bits or int8
+// codes), resolving shard boundaries. The row itself is contiguous within
+// its segment, so handing the pointer to a num=1 kernel call is safe.
+const uint16_t* RowPtrF16(const RowTable& table, int64_t id, int dim) {
+  const RowTable& t = ResolveRow(table, &id);
+  return t.f16 + id * dim;
+}
+const int8_t* RowPtrQ8(const RowTable& table, int64_t id, int dim) {
+  const RowTable& t = ResolveRow(table, &id);
+  return t.q8 + id * dim;
 }
 
 }  // namespace
@@ -124,13 +146,13 @@ float ScoreUserEntity(const ScoringView& view, kg::EntityId user,
         break;
       case Precision::kF16:
         dot = kernels::DotF16(
-            u, view.entities.f16 + static_cast<int64_t>(entity) * d, d);
+            u, RowPtrF16(view.entities, static_cast<int64_t>(entity), d), d);
         break;
       case Precision::kInt8: {
         const RowQuant q = RowQuantOf(view.entities, entity);
         dot = kernels::DotQ8(
-            u, view.entities.q8 + static_cast<int64_t>(entity) * d, q.scale,
-            q.zp, d);
+            u, RowPtrQ8(view.entities, static_cast<int64_t>(entity), d),
+            q.scale, q.zp, d);
         break;
       }
     }
@@ -145,18 +167,20 @@ float ScoreUserEntity(const ScoringView& view, kg::EntityId user,
                  &RelationSlot());
   float neg_dist = 0.0f;
   switch (view.precision) {
-    case Precision::kF32:
-      kernels::NegSqDistRows(table.f32 + static_cast<int64_t>(entity) * d,
-                             /*num=*/1, d, u, r, &neg_dist);
+    case Precision::kF32: {
+      int64_t idx = static_cast<int64_t>(entity);
+      const RowTable& t = ResolveRow(table, &idx);
+      kernels::NegSqDistRows(t.f32 + idx * d, /*num=*/1, d, u, r, &neg_dist);
       break;
+    }
     case Precision::kF16:
       kernels::NegSqDistRowsF16(
-          table.f16 + static_cast<int64_t>(entity) * d, /*num=*/1, d, u, r,
-          &neg_dist);
+          RowPtrF16(table, static_cast<int64_t>(entity), d), /*num=*/1, d, u,
+          r, &neg_dist);
       break;
     case Precision::kInt8: {
       const RowQuant q = RowQuantOf(table, entity);
-      kernels::NegSqDistRowsQ8(table.q8 + static_cast<int64_t>(entity) * d,
+      kernels::NegSqDistRowsQ8(RowPtrQ8(table, static_cast<int64_t>(entity), d),
                                &q.scale, &q.zp, /*num=*/1, d, u, r,
                                &neg_dist);
       break;
@@ -181,7 +205,7 @@ void ScoreUserEntities(const ScoringView& view, kg::EntityId user,
     const float* u = OperandRow(view, view.entities, user, &UserSlot());
     switch (view.precision) {
       case Precision::kF32:
-        GatherRows(view.entities.f32, d, entities, &scratch);
+        GatherRows(view.entities, d, entities, &scratch);
         kernels::Gemv(scratch.data(), num, d, u, out.data());
         break;
       case Precision::kF16:
@@ -214,7 +238,7 @@ void ScoreUserEntities(const ScoringView& view, kg::EntityId user,
   }
   switch (view.precision) {
     case Precision::kF32:
-      GatherRows(table.f32, d, entities, &scratch);
+      GatherRows(table, d, entities, &scratch);
       kernels::NegSqDistRows(scratch.data(), num, d, u, r, dist_out);
       break;
     case Precision::kF16:
@@ -244,12 +268,12 @@ float UserCategoryAffinity(const ScoringView& view, kg::EntityId user,
       return kernels::Dot(u, view.CategoryRow(c), d);
     case Precision::kF16:
       return kernels::DotF16(
-          u, view.categories.f16 + static_cast<int64_t>(c) * d, d);
+          u, RowPtrF16(view.categories, static_cast<int64_t>(c), d), d);
     case Precision::kInt8: {
       const RowQuant q = RowQuantOf(view.categories, c);
       return kernels::DotQ8(
-          u, view.categories.q8 + static_cast<int64_t>(c) * d, q.scale, q.zp,
-          d);
+          u, RowPtrQ8(view.categories, static_cast<int64_t>(c), d), q.scale,
+          q.zp, d);
     }
   }
   CADRL_CHECK(false) << "unknown precision";

@@ -48,14 +48,22 @@ struct ScoringView {
 
   // f32 row accessors — valid only for kF32 views (the live store and f32
   // snapshots). Quantized consumers use RowSpan/MaterializeRow instead.
+  // Each resolves through ResolveRow, so they work unchanged when the
+  // backing table is split across mmap'ed shards.
   const float* EntityRow(kg::EntityId e) const {
-    return entities.f32 + static_cast<int64_t>(e) * dim;
+    int64_t idx = static_cast<int64_t>(e);
+    const RowTable& t = ResolveRow(entities, &idx);
+    return t.f32 + idx * dim;
   }
   const float* RelationRow(kg::Relation r) const {
-    return relations.f32 + static_cast<int64_t>(r) * dim;
+    int64_t idx = static_cast<int64_t>(r);
+    const RowTable& t = ResolveRow(relations, &idx);
+    return t.f32 + idx * dim;
   }
   const float* CategoryRow(kg::CategoryId c) const {
-    return categories.f32 + static_cast<int64_t>(c) * dim;
+    int64_t idx = static_cast<int64_t>(c);
+    const RowTable& t = ResolveRow(categories, &idx);
+    return t.f32 + idx * dim;
   }
 };
 

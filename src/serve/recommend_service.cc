@@ -243,6 +243,41 @@ Status RecommendService::ReloadFromCheckpoint(const std::string& path) {
   return status;
 }
 
+Status RecommendService::ReloadFromShardDir(const std::string& dir) {
+  const eval::Recommender::ShardServingStatus before = model_->ShardStatus();
+  CADRL_RETURN_IF_ERROR(model_->ReloadFromShardDir(dir));
+  const eval::Recommender::ShardServingStatus after = model_->ShardStatus();
+  // An unchanged directory republishes nothing — same generation, same
+  // per-shard generations — and must not look like a reload in the stats.
+  const bool published = before.generation != after.generation ||
+                         before.shard_generations != after.shard_generations ||
+                         before.shard_count != after.shard_count;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (published) {
+    ++stats_.reloads;
+    ++stats_.shard_reloads;
+    stats_.shards_remapped += after.shards_remapped;
+    stats_.shards_reused += after.shards_reused;
+    last_snapshot_at_ = time_->Now();
+  }
+  RefreshShardStampsLocked(after);
+  return Status::OK();
+}
+
+void RecommendService::RefreshShardStampsLocked(
+    const eval::Recommender::ShardServingStatus& status) const {
+  const TimeSource::Clock::time_point now = time_->Now();
+  const size_t n = status.shard_generations.size();
+  shard_published_at_.resize(n, now);
+  shard_stamp_generations_.resize(n, ~uint64_t{0});
+  for (size_t i = 0; i < n; ++i) {
+    if (shard_stamp_generations_[i] != status.shard_generations[i]) {
+      shard_stamp_generations_[i] = status.shard_generations[i];
+      shard_published_at_[i] = now;
+    }
+  }
+}
+
 void RecommendService::WorkerLoop() {
   for (;;) {
     Pending pending;
@@ -523,6 +558,10 @@ RecommendService::Stats RecommendService::stats() const {
   out.arena_store_scale_bytes = static_cast<int64_t>(arena.store_scale_bytes);
   out.arena_policy_param_bytes =
       static_cast<int64_t>(arena.policy_param_bytes);
+  const eval::Recommender::ShardServingStatus shards = model_->ShardStatus();
+  out.shard_count = shards.shard_count;
+  out.shard_mapped_bytes = static_cast<int64_t>(shards.mapped_bytes);
+  out.shard_generation = static_cast<int64_t>(shards.generation);
   return out;
 }
 
@@ -676,6 +715,47 @@ std::string RecommendService::MetricsText() const {
       << "cadrl_serve_snapshot_age_seconds "
       << std::chrono::duration<double>(time_->Now() - snapshot_at).count()
       << "\n";
+
+  // Shard-dir snapshot surface (zeros / no per-shard series when the
+  // snapshot is not shard-dir-backed).
+  counter("cadrl_serve_shard_reloads_total",
+          "Snapshot hot-swaps served from a shard directory.",
+          s.shard_reloads);
+  counter("cadrl_serve_shards_remapped_total",
+          "Shards freshly mapped across all shard-dir reloads.",
+          s.shards_remapped);
+  counter("cadrl_serve_shards_reused_total",
+          "Shard mappings inherited across all shard-dir reloads.",
+          s.shards_reused);
+  out << "# HELP cadrl_serve_shards_mapped Entity-range shards backing the "
+         "serving snapshot.\n"
+      << "# TYPE cadrl_serve_shards_mapped gauge\n"
+      << "cadrl_serve_shards_mapped " << s.shard_count << "\n"
+      << "# HELP cadrl_serve_shard_mapped_bytes Bytes of all shard "
+         "mappings (incl. the meta shard).\n"
+      << "# TYPE cadrl_serve_shard_mapped_bytes gauge\n"
+      << "cadrl_serve_shard_mapped_bytes " << s.shard_mapped_bytes << "\n"
+      << "# HELP cadrl_serve_snapshot_generation Manifest generation of the "
+         "serving snapshot.\n"
+      << "# TYPE cadrl_serve_snapshot_generation gauge\n"
+      << "cadrl_serve_snapshot_generation " << s.shard_generation << "\n";
+  {
+    const eval::Recommender::ShardServingStatus shards = model_->ShardStatus();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    RefreshShardStampsLocked(shards);
+    if (!shard_published_at_.empty()) {
+      const TimeSource::Clock::time_point now = time_->Now();
+      out << "# HELP cadrl_serve_shard_age_seconds Time since each shard "
+             "was last republished.\n"
+          << "# TYPE cadrl_serve_shard_age_seconds gauge\n";
+      for (size_t i = 0; i < shard_published_at_.size(); ++i) {
+        out << "cadrl_serve_shard_age_seconds{shard=\"" << i << "\"} "
+            << std::chrono::duration<double>(now - shard_published_at_[i])
+                   .count()
+            << "\n";
+      }
+    }
+  }
 
   out << "# HELP cadrl_serve_arena_bytes Serving-arena footprint by "
          "section.\n"

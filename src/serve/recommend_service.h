@@ -177,6 +177,16 @@ class RecommendService {
   // bad checkpoint — and leaves the old snapshot serving on any failure.
   Status ReloadFromCheckpoint(const std::string& path);
 
+  // Zero-parse variant over a compiled shard directory (DESIGN.md §16):
+  // the model opens + maps + validates the shards and republishes with the
+  // same RCU swap guarantees as ReloadFromCheckpoint; a delta publish
+  // remaps only the shards whose manifest entry changed. An unchanged
+  // directory is a cheap no-op (no republish, no reload counted), so a
+  // polling reloader can call this at a fixed cadence. Returns the model's
+  // status (kFailedPrecondition for models without a shard-dir backend)
+  // and leaves the old snapshot serving on any failure.
+  Status ReloadFromShardDir(const std::string& dir);
+
   struct Stats {
     int64_t requests = 0;
     int64_t full = 0;
@@ -193,6 +203,12 @@ class RecommendService {
     int64_t retries = 0;             // extra primary attempts beyond the first
     int64_t breaker_rejections = 0;  // primary attempts skipped: breaker open
     int64_t reloads = 0;             // successful snapshot hot-swaps
+    // Shard-dir reload accounting (ReloadFromShardDir; also counted in
+    // reloads). shards_remapped/shards_reused accumulate across reloads —
+    // a healthy delta pipeline shows reused >> remapped.
+    int64_t shard_reloads = 0;
+    int64_t shards_remapped = 0;
+    int64_t shards_reused = 0;
     int64_t batch_flushes = 0;       // stacked micro-batch dispatches
     int64_t batched_steps = 0;       // beam steps routed through the batcher
     // AIMD state sampled at stats() time.
@@ -204,6 +220,11 @@ class RecommendService {
     int64_t arena_store_row_bytes = 0;
     int64_t arena_store_scale_bytes = 0;
     int64_t arena_policy_param_bytes = 0;
+    // Shard-set accounting of the serving snapshot, sampled at stats()
+    // time; zeros when the snapshot is not shard-dir-backed.
+    int64_t shard_count = 0;
+    int64_t shard_mapped_bytes = 0;
+    int64_t shard_generation = 0;
   };
   Stats stats() const;
 
@@ -337,11 +358,24 @@ class RecommendService {
   std::unique_ptr<ThreadPool> pool_;
   std::thread dispatcher_;
 
+  // Updates the per-shard publish stamps from a fresh ShardStatus sample:
+  // any shard whose manifest generation changed since the last sample is
+  // stamped `now`. Callers hold stats_mu_. Const because the (mutable,
+  // lock-guarded) stamps are also refreshed lazily at MetricsText scrape
+  // time, which covers reloads done directly on the model.
+  void RefreshShardStampsLocked(
+      const eval::Recommender::ShardServingStatus& status) const;
+
   mutable std::mutex stats_mu_;
   Stats stats_;
   // When the current snapshot was published (construction or the last
   // successful reload); MetricsText reports its age. Guarded by stats_mu_.
   TimeSource::Clock::time_point last_snapshot_at_;
+  // Per-shard publish stamps + the generations they were stamped at, for
+  // the cadrl_serve_shard_age_seconds gauge. Guarded by stats_mu_;
+  // mutable so the const MetricsText scrape can refresh them.
+  mutable std::vector<TimeSource::Clock::time_point> shard_published_at_;
+  mutable std::vector<uint64_t> shard_stamp_generations_;
 
   // Per-stage latency histograms (internally atomic): end-to-end latency
   // by terminal degradation level, the primary stage (queue wait +

@@ -23,18 +23,29 @@ std::string Errno(const std::string& what) {
   return what + ": " + std::strerror(errno);
 }
 
-// Best-effort fsync of the directory containing `path`, so the rename
-// itself is durable. Failure is ignored: the data file is already synced
-// and a lost rename only reverts to the previous (intact) artifact.
-void SyncParentDir(const std::string& path) {
+// fsync of the directory containing `path`, so the rename itself is
+// durable across power loss, not just process crash. A failure here means
+// the new artifact is visible at `path` but its directory entry may not
+// survive a power cut — callers must hear about that instead of treating
+// the publish as committed.
+Status SyncParentDir(const std::string& path) {
   const size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos
                               ? std::string(".")
                               : path.substr(0, slash == 0 ? 1 : slash);
+  if (CADRL_FAILPOINT("io/dirsync")) {
+    return Status::IOError("fsync failed: " + dir +
+                           " (injected; rename of " + path +
+                           " landed but is not yet durable)");
+  }
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return;
-  ::fsync(fd);
+  if (fd < 0) return Status::IOError(Errno("cannot open directory " + dir));
+  Status status;
+  if (::fsync(fd) != 0) {
+    status = Status::IOError(Errno("fsync failed: " + dir));
+  }
   ::close(fd);
+  return status;
 }
 
 }  // namespace
@@ -46,16 +57,16 @@ std::string MakeDurabilityFooter(std::string_view payload) {
   return footer.str();
 }
 
-Status VerifyAndStripFooter(std::string* contents) {
-  CADRL_CHECK(contents != nullptr);
+Status VerifyFooterOnView(std::string_view contents, bool verify_crc,
+                          std::string_view* payload, uint32_t* payload_crc) {
   // The last occurrence of the tag is the real footer whenever one exists;
   // a tag inside the payload can only be found when the footer itself is
   // missing, and then the size/CRC checks below reject the parse.
-  const size_t pos = contents->rfind(kFooterTag);
-  if (pos == std::string::npos) {
+  const size_t pos = contents.rfind(kFooterTag);
+  if (pos == std::string_view::npos) {
     return Status::Corruption("missing durability footer");
   }
-  std::istringstream in(contents->substr(pos));
+  std::istringstream in(std::string(contents.substr(pos)));
   std::string tag;
   int version = 0;
   uint64_t size = 0;
@@ -76,11 +87,23 @@ Status VerifyAndStripFooter(std::string* contents) {
     return Status::Corruption("durability footer length mismatch (truncated "
                               "or partially written file)");
   }
-  const uint32_t actual = Crc32(std::string_view(contents->data(), pos));
-  if (actual != crc) {
-    return Status::Corruption("checksum mismatch (corrupted file)");
+  if (verify_crc) {
+    const uint32_t actual = Crc32(contents.substr(0, pos));
+    if (actual != crc) {
+      return Status::Corruption("checksum mismatch (corrupted file)");
+    }
   }
-  contents->resize(pos);
+  if (payload != nullptr) *payload = contents.substr(0, pos);
+  if (payload_crc != nullptr) *payload_crc = crc;
+  return Status::OK();
+}
+
+Status VerifyAndStripFooter(std::string* contents) {
+  CADRL_CHECK(contents != nullptr);
+  std::string_view payload;
+  CADRL_RETURN_IF_ERROR(VerifyFooterOnView(*contents, /*verify_crc=*/true,
+                                           &payload, nullptr));
+  contents->resize(payload.size());
   return Status::OK();
 }
 
@@ -140,8 +163,10 @@ Status WriteFileAtomic(const std::string& path, std::string_view payload) {
     ::unlink(tmp.c_str());
     return rename_status;
   }
-  SyncParentDir(path);
-  return Status::OK();
+  // The new artifact is now visible at `path`; the directory fsync makes
+  // the rename durable. On failure the file is intact but the caller must
+  // not advertise the publish as power-loss-safe.
+  return SyncParentDir(path);
 }
 
 Status ReadFileRaw(const std::string& path, std::string* contents) {

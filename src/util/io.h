@@ -1,6 +1,7 @@
 #ifndef CADRL_UTIL_IO_H_
 #define CADRL_UTIL_IO_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -23,8 +24,14 @@ namespace cadrl {
 //   io/crash-before-rename everything is written and synced, but the
 //                          process "dies" before the rename (temp file is
 //                          left behind, the final path is untouched)
+//   io/dirsync             fsync of the parent directory after the rename
+//                          fails (the new file is visible but the rename
+//                          is not yet durable across power loss)
 // On any injected or real failure before the rename the final path is never
-// modified; the temp file is removed except in the simulated-crash case.
+// modified; the temp file is removed except in the simulated-crash case. A
+// dirsync failure happens after the rename landed: the new artifact is
+// intact at `path`, but the caller must not advertise the publish as
+// power-loss-durable.
 
 // The footer appended by WriteFileAtomic: "cadrl_footer 1 <size> <crc>\n".
 std::string MakeDurabilityFooter(std::string_view payload);
@@ -32,6 +39,15 @@ std::string MakeDurabilityFooter(std::string_view payload);
 // Validates that `contents` ends with a well-formed footer whose size and
 // CRC match the preceding payload, then strips the footer in place.
 Status VerifyAndStripFooter(std::string* contents);
+
+// Zero-copy footer check for bytes not owned by a std::string (e.g. an
+// mmap'ed shard file): validates the footer structure, optionally verifies
+// the payload CRC (`verify_crc=false` skips the O(size) scan — used by the
+// zero-parse shard load, which trusts the per-shard CRC recorded in the
+// manifest instead), and returns the footer-less payload view and the CRC
+// the footer claims.
+Status VerifyFooterOnView(std::string_view contents, bool verify_crc,
+                          std::string_view* payload, uint32_t* payload_crc);
 
 // Atomically replaces `path` with `payload` + footer (tmp, fsync, rename).
 Status WriteFileAtomic(const std::string& path, std::string_view payload);

@@ -1,0 +1,325 @@
+// Prometheus exposition-format lint over RecommendService::MetricsText()
+// (DESIGN.md §11/§16). Scrapers are unforgiving: a series without # HELP/
+// # TYPE, a duplicated series, or a counter that moves backwards silently
+// breaks dashboards long after the code change that caused it. These tests
+// parse the exposition text structurally instead of string-matching a few
+// known lines, so any future metric added to MetricsText() is linted for
+// free. The shard-reload test additionally pins the counting contract of
+// ReloadFromShardDir: one reload per *published* generation, zero per no-op
+// poll.
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cadrl.h"
+#include "data/generator.h"
+#include "serve/recommend_service.h"
+
+namespace cadrl {
+namespace {
+
+using serve::RecommendService;
+using serve::ServeOptions;
+using serve::ServeResponse;
+
+constexpr auto kNoDeadline = std::chrono::microseconds{-1};
+
+// ---------- tiny exposition-format parser ----------
+
+struct Sample {
+  std::string series;  // full identity: name + label block
+  std::string name;    // series up to '{'
+  double value = 0.0;
+};
+
+struct Exposition {
+  std::map<std::string, std::string> type;  // family -> counter|gauge|...
+  std::set<std::string> help;               // families with a # HELP line
+  std::vector<Sample> samples;              // in emission order
+  std::vector<std::string> errors;          // structural problems
+};
+
+Exposition Parse(const std::string& text) {
+  Exposition e;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      std::istringstream meta(line.substr(7));
+      std::string name;
+      meta >> name;
+      if (!e.help.insert(name).second) {
+        e.errors.push_back("duplicate HELP: " + line);
+      }
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream meta(line.substr(7));
+      std::string name, type;
+      meta >> name >> type;
+      if (!e.type.emplace(name, type).second) {
+        e.errors.push_back("duplicate TYPE: " + line);
+      }
+      continue;
+    }
+    if (line[0] == '#') {
+      e.errors.push_back("unrecognized comment: " + line);
+      continue;
+    }
+    const size_t space = line.find_last_of(' ');
+    if (space == std::string::npos || space + 1 >= line.size()) {
+      e.errors.push_back("malformed sample: " + line);
+      continue;
+    }
+    Sample s;
+    s.series = line.substr(0, space);
+    const std::string num = line.substr(space + 1);
+    char* end = nullptr;
+    s.value = std::strtod(num.c_str(), &end);
+    if (end == num.c_str() || *end != '\0') {
+      e.errors.push_back("non-numeric value: " + line);
+      continue;
+    }
+    const size_t brace = s.series.find('{');
+    s.name = brace == std::string::npos ? s.series : s.series.substr(0, brace);
+    if (brace != std::string::npos && s.series.back() != '}') {
+      e.errors.push_back("unterminated label block: " + line);
+      continue;
+    }
+    e.samples.push_back(std::move(s));
+  }
+  return e;
+}
+
+// The metric family that owns a sample: histogram samples carry _bucket/
+// _count/_sum suffixes but their HELP/TYPE lines name the bare family.
+std::string MetricFamily(const Exposition& e, const std::string& name) {
+  for (const char* raw : {"_bucket", "_count", "_sum"}) {
+    const std::string suffix = raw;
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      const std::string base = name.substr(0, name.size() - suffix.size());
+      const auto it = e.type.find(base);
+      if (it != e.type.end() && it->second == "histogram") return base;
+    }
+  }
+  return name;
+}
+
+// ---------- fixture ----------
+
+core::CadrlOptions MetricsModelOptions() {
+  core::CadrlOptions o;
+  o.transe.dim = 8;
+  o.transe.epochs = 4;
+  o.use_cggnn = false;
+  o.episodes_per_user = 2;
+  o.policy_hidden = 16;
+  o.seed = 77;
+  return o;
+}
+
+class MetricsTextTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset();
+    ASSERT_TRUE(
+        data::GenerateDataset(data::SyntheticConfig::Tiny(), dataset_).ok());
+    model_ = new core::CadrlRecommender(MetricsModelOptions());
+    ASSERT_TRUE(model_->Fit(*dataset_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  // Restore the default publish for tests that follow in this binary.
+  void TearDown() override { model_->RepublishSnapshot(); }
+
+  static ServeOptions UnitOptions() {
+    ServeOptions o;
+    o.threads = 1;
+    o.max_attempts = 2;
+    o.backoff_base = std::chrono::microseconds{0};
+    o.breaker_failure_threshold = 0;
+    o.top_k = 5;
+    return o;
+  }
+
+  static void DriveRequests(RecommendService* service, int count) {
+    for (int i = 0; i < count; ++i) {
+      const kg::EntityId user =
+          dataset_->users[i % dataset_->users.size()];
+      const ServeResponse resp = service->Recommend(user, 5, kNoDeadline);
+      ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+    }
+  }
+
+  static data::Dataset* dataset_;
+  static core::CadrlRecommender* model_;
+};
+
+data::Dataset* MetricsTextTest::dataset_ = nullptr;
+core::CadrlRecommender* MetricsTextTest::model_ = nullptr;
+
+// ---------- lint tests ----------
+
+TEST_F(MetricsTextTest, EverySeriesHasHelpTypeAndNoDuplicates) {
+  RecommendService service(model_, *dataset_, UnitOptions());
+  ASSERT_TRUE(service.Start().ok());
+  DriveRequests(&service, 4);
+
+  const Exposition e = Parse(service.MetricsText());
+  EXPECT_TRUE(e.errors.empty()) << e.errors.front();
+  ASSERT_FALSE(e.samples.empty());
+
+  std::set<std::string> seen;
+  for (const Sample& s : e.samples) {
+    const std::string family = MetricFamily(e, s.name);
+    const auto type = e.type.find(family);
+    ASSERT_NE(type, e.type.end()) << "no # TYPE for " << s.series;
+    EXPECT_TRUE(type->second == "counter" || type->second == "gauge" ||
+                type->second == "histogram")
+        << family << " has unknown type " << type->second;
+    EXPECT_TRUE(e.help.count(family)) << "no # HELP for " << s.series;
+    EXPECT_TRUE(seen.insert(s.series).second)
+        << "duplicate series: " << s.series;
+  }
+}
+
+TEST_F(MetricsTextTest, CountersAreMonotoneAcrossScrapes) {
+  RecommendService service(model_, *dataset_, UnitOptions());
+  ASSERT_TRUE(service.Start().ok());
+  DriveRequests(&service, 3);
+  const Exposition first = Parse(service.MetricsText());
+  DriveRequests(&service, 5);
+  const Exposition second = Parse(service.MetricsText());
+
+  std::map<std::string, double> later;
+  for (const Sample& s : second.samples) later[s.series] = s.value;
+
+  int monotone_checked = 0;
+  for (const Sample& s : first.samples) {
+    const std::string family = MetricFamily(first, s.name);
+    const auto type = first.type.find(family);
+    ASSERT_NE(type, first.type.end());
+    // Counters and histogram bucket/count series must never move backwards.
+    // (Histogram quantile samples live under the bare family name and may
+    // legitimately decrease; gauges are unconstrained.)
+    const bool cumulative =
+        type->second == "counter" ||
+        (type->second == "histogram" && s.name != family);
+    if (!cumulative) continue;
+    EXPECT_GE(s.value, 0.0) << s.series;
+    const auto it = later.find(s.series);
+    ASSERT_NE(it, later.end())
+        << "cumulative series vanished between scrapes: " << s.series;
+    EXPECT_GE(it->second, s.value) << s.series << " moved backwards";
+    ++monotone_checked;
+  }
+  EXPECT_GT(monotone_checked, 10);  // the lint actually covered something
+}
+
+TEST_F(MetricsTextTest, HistogramBucketsAreCumulativeAndMatchCount) {
+  RecommendService service(model_, *dataset_, UnitOptions());
+  ASSERT_TRUE(service.Start().ok());
+  DriveRequests(&service, 6);
+
+  const Exposition e = Parse(service.MetricsText());
+  std::map<std::string, double> values;
+  for (const Sample& s : e.samples) values[s.series] = s.value;
+
+  // Walk bucket samples in emission order; within one (family, labels-sans-
+  // le) key the cumulative counts must be non-decreasing and the +Inf
+  // bucket must equal the matching _count series.
+  std::map<std::string, double> running;
+  int histograms_seen = 0;
+  for (const Sample& s : e.samples) {
+    const std::string family = MetricFamily(e, s.name);
+    if (e.type.at(family) != "histogram" || s.name != family + "_bucket") {
+      continue;
+    }
+    const size_t le = s.series.find("le=\"");
+    ASSERT_NE(le, std::string::npos) << s.series;
+    const size_t vstart = le + 4;
+    const size_t vend = s.series.find('"', vstart);
+    ASSERT_NE(vend, std::string::npos) << s.series;
+    const std::string le_value = s.series.substr(vstart, vend - vstart);
+    // `le` is always the last label, so stripping it yields the series key.
+    const std::string key =
+        s.series[le - 1] == '{' ? s.series.substr(0, le - 1)
+                                : s.series.substr(0, le - 1) + "}";
+    auto it = running.find(key);
+    if (it == running.end()) {
+      running.emplace(key, s.value);
+    } else {
+      EXPECT_GE(s.value, it->second) << "bucket regression in " << s.series;
+      it->second = s.value;
+    }
+    if (le_value == "+Inf") {
+      std::string count_series = key;
+      const size_t pos = count_series.find("_bucket");
+      ASSERT_NE(pos, std::string::npos);
+      count_series.replace(pos, 7, "_count");
+      const auto count = values.find(count_series);
+      ASSERT_NE(count, values.end()) << "missing " << count_series;
+      EXPECT_EQ(s.value, count->second)
+          << key << ": +Inf bucket disagrees with _count";
+      ++histograms_seen;
+    }
+  }
+  EXPECT_GE(histograms_seen, 3);  // latency levels + primary + queue wait
+}
+
+TEST_F(MetricsTextTest, ShardReloadCountsPublishesNotPolls) {
+  const std::string dir =
+      ::testing::TempDir() + "/cadrl_metrics_shard_dir";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  ASSERT_TRUE(model_->CompileSnapshotToDir(dir, /*shard_rows=*/16, nullptr)
+                  .ok());
+
+  RecommendService service(model_, *dataset_, UnitOptions());
+  ASSERT_TRUE(service.Start().ok());
+  ASSERT_TRUE(service.ReloadFromShardDir(dir).ok());
+  // An unchanged directory is a no-op poll: nothing published, no count.
+  ASSERT_TRUE(service.ReloadFromShardDir(dir).ok());
+
+  const RecommendService::Stats s = service.stats();
+  EXPECT_EQ(s.shard_reloads, 1);
+  EXPECT_EQ(s.reloads, 1);
+  EXPECT_GT(s.shard_count, 0);
+  EXPECT_GT(s.shard_mapped_bytes, 0);
+  EXPECT_GT(s.shards_remapped, 0);
+
+  const std::string text = service.MetricsText();
+  const Exposition e = Parse(text);
+  EXPECT_TRUE(e.errors.empty()) << e.errors.front();
+  EXPECT_NE(text.find("cadrl_serve_shard_reloads_total 1\n"),
+            std::string::npos);
+  std::ostringstream mapped;
+  mapped << "cadrl_serve_shards_mapped " << s.shard_count << "\n";
+  EXPECT_NE(text.find(mapped.str()), std::string::npos);
+  // Per-shard freshness gauges appear once the snapshot is shard-backed.
+  EXPECT_NE(text.find("cadrl_serve_shard_age_seconds{shard=\"0\"}"),
+            std::string::npos);
+
+  // The shard-backed snapshot still answers requests.
+  DriveRequests(&service, 2);
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace cadrl

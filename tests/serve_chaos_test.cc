@@ -19,9 +19,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <future>
 #include <map>
+#include <memory>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <tuple>
 #include <vector>
@@ -30,6 +33,8 @@
 
 #include "core/cadrl.h"
 #include "data/generator.h"
+#include "infer/compiled_model.h"
+#include "infer/shard_layout.h"
 #include "serve/recommend_service.h"
 #include "util/failpoint.h"
 
@@ -506,6 +511,152 @@ TEST_F(ServeChaosTest, SnapshotSwapUnderLoad) {
 
 TEST_F(ServeChaosTest, SnapshotSwapUnderLoadBatched) {
   RunSnapshotSwapUnderLoad(model_, *dataset_, /*batch_max=*/4);
+}
+
+// --- 5. Shard-dir hot-swap under concurrent load ------------------------
+
+// Same torn-model contract as the checkpoint swap, but through the sharded
+// mmap path (DESIGN.md §16): a writer thread alternately compiles model A's
+// and model B's weights into ONE shard directory (delta writer + atomic
+// manifest) and republishes via ReloadFromShardDir, while clients stream
+// requests. Every answer must be byte-identical to checkpoint A or B —
+// never a mixture — which exercises the whole epoch chain: atomic manifest
+// cutover, per-request snapshot pinning, mapping reuse across delta
+// reloads, and unlink-safe old mappings kept alive by in-flight requests.
+void RunShardSwapUnderLoad(core::CadrlRecommender* base_model,
+                           const data::Dataset& dataset, int batch_max) {
+  core::CadrlOptions opts_b = ChaosModelOptions();
+  opts_b.seed = 131;
+  core::CadrlRecommender model_b(opts_b);
+  ASSERT_TRUE(model_b.Fit(dataset).ok());
+
+  const std::string suffix = std::to_string(batch_max);
+  const std::string path_a =
+      ::testing::TempDir() + "/chaos_shard_a" + suffix + ".bin";
+  const std::string dir = ::testing::TempDir() + "/chaos_shard_dir" + suffix;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  ASSERT_TRUE(base_model->SaveModel(path_a).ok());
+
+  core::CadrlRecommender serving(ChaosModelOptions());
+  ASSERT_TRUE(serving.LoadModel(dataset, path_a).ok());
+
+  constexpr int kTopK = 5;
+  auto fingerprint = [](const std::vector<eval::Recommendation>& recs) {
+    std::vector<std::tuple<kg::EntityId, double, size_t>> fp;
+    fp.reserve(recs.size());
+    for (const auto& r : recs) {
+      fp.emplace_back(r.item, r.score, r.path.steps.size());
+    }
+    return fp;
+  };
+  std::map<kg::EntityId,
+           std::vector<std::tuple<kg::EntityId, double, size_t>>>
+      golden_a, golden_b;
+  bool models_differ = false;
+  for (kg::EntityId user : dataset.users) {
+    golden_a[user] = fingerprint(base_model->Recommend(user, kTopK));
+    golden_b[user] = fingerprint(model_b.Recommend(user, kTopK));
+    models_differ = models_differ || golden_a[user] != golden_b[user];
+  }
+  ASSERT_TRUE(models_differ)
+      << "checkpoints A and B are indistinguishable; swap test is vacuous";
+
+  // Seed the directory with A so the service starts shard-backed.
+  auto compile_into_dir = [&](const core::CadrlRecommender& src) {
+    const std::shared_ptr<const infer::CompiledModel> snap =
+        src.CurrentSnapshot();
+    infer::ShardWriteOptions wopts;
+    wopts.shard_rows = 16;  // several shards even on the Tiny graph
+    infer::ShardWriteStats wstats;
+    return infer::CompileToShardDir(
+        src.store()->View(), snap->policy(), snap->score_scale(),
+        infer::CompiledModelOptions{snap->precision()}, dir, wopts, &wstats);
+  };
+  ASSERT_TRUE(compile_into_dir(*base_model).ok());
+
+  ServeOptions options;
+  options.threads = 4;
+  options.queue_capacity = 1024;  // no shedding: every answer must be kFull
+  options.max_attempts = 1;
+  options.breaker_failure_threshold = 0;
+  options.top_k = kTopK;
+  options.batch_max = batch_max;
+  options.batch_linger = std::chrono::microseconds{100};
+  RecommendService service(&serving, dataset, options);
+  ASSERT_TRUE(service.Start().ok());
+  ASSERT_TRUE(service.ReloadFromShardDir(dir).ok());
+
+  std::atomic<bool> done{false};
+  std::thread swapper([&] {
+    bool to_b = true;
+    while (!done.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(compile_into_dir(to_b ? model_b : *base_model).ok());
+      ASSERT_TRUE(service.ReloadFromShardDir(dir).ok());
+      to_b = !to_b;
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 32;
+  std::vector<std::vector<std::pair<kg::EntityId, std::future<ServeResponse>>>>
+      futures(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      futures[c].reserve(kRequestsPerClient);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        ServeRequest req;
+        req.user = dataset.users[(static_cast<size_t>(c) * 5 + i) %
+                                 dataset.users.size()];
+        req.k = kTopK;
+        req.timeout = kNoDeadline;
+        futures[c].emplace_back(req.user, service.Submit(req));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  int from_a = 0, from_b = 0;
+  for (auto& per_client : futures) {
+    for (auto& [user, f] : per_client) {
+      const ServeResponse resp = f.get();
+      ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+      ASSERT_EQ(resp.level, DegradationLevel::kFull);
+      const auto fp = fingerprint(resp.recs);
+      if (fp == golden_a[user]) {
+        ++from_a;
+      } else if (fp == golden_b[user]) {
+        ++from_b;
+      } else {
+        FAIL() << "torn response for user " << user
+               << ": matches neither checkpoint A nor B";
+      }
+    }
+  }
+  done.store(true, std::memory_order_relaxed);
+  swapper.join();
+  service.Stop();
+
+  EXPECT_EQ(from_a + from_b, kClients * kRequestsPerClient);
+  const RecommendService::Stats stats = service.stats();
+  EXPECT_GT(stats.shard_reloads, 0) << "the swap loop never republished";
+  EXPECT_GT(stats.shards_remapped, 0);
+  EXPECT_GT(stats.shard_count, 0);
+  if (batch_max > 1) {
+    EXPECT_GT(stats.batched_steps, 0);
+  }
+  std::remove(path_a.c_str());
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST_F(ServeChaosTest, ShardSwapUnderLoad) {
+  RunShardSwapUnderLoad(model_, *dataset_, /*batch_max=*/0);
+}
+
+TEST_F(ServeChaosTest, ShardSwapUnderLoadBatched) {
+  RunShardSwapUnderLoad(model_, *dataset_, /*batch_max=*/4);
 }
 
 // --- 5. Breaker transitions match the golden trace ----------------------

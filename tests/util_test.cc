@@ -350,6 +350,24 @@ TEST(AtomicIoTest, CrashBeforeRenameLeavesTempNotFinal) {
   std::remove((path + ".tmp").c_str());
 }
 
+TEST(AtomicIoTest, DirsyncFailureLandsFileButReportsNotDurable) {
+  const std::string path = ::testing::TempDir() + "/cadrl_atomic_dirsync.txt";
+  std::remove(path.c_str());
+  {
+    ScopedFailpoint fault("io/dirsync");
+    // The directory fsync happens after the rename: the publish is visible
+    // but not guaranteed durable, and the caller must hear about it.
+    EXPECT_TRUE(WriteFileAtomic(path, "payload\n").IsIOError());
+  }
+  // The rename landed: the new artifact is intact and verifiable.
+  std::string verified;
+  ASSERT_TRUE(ReadFileVerified(path, &verified).ok());
+  EXPECT_EQ(verified, "payload\n");
+  // No temp file remains; only durability across power loss was in doubt.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").is_open());
+  std::remove(path.c_str());
+}
+
 TEST(RngTest, StateRoundTripContinuesIdentically) {
   Rng original(7);
   // Advance past a Box-Muller draw so the cached-gaussian flag is exercised.
